@@ -1,0 +1,141 @@
+/// Ablation: how much frequency and spatial diversity does RF-Prism
+/// actually need? The paper's §IV argument is that 50 channels and 3
+/// antennas over-determine the 5 unknowns; these sweeps show where the
+/// margins are:
+///
+///   channels: slope precision scales ~ span^-1 * n^-1/2 — accuracy
+///             collapses when the hop plan is truncated
+///   reads:    dwell averaging sets the per-channel noise floor
+///             (DESIGN.md §2.1's central sensitivity)
+///   antennas: 3 is the 2D minimum; extra antennas buy GDOP
+
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace rfp;
+using namespace rfp::bench;
+
+struct SweepResult {
+  std::vector<double> loc_cm;
+  std::vector<double> orient_deg;
+  double invalid_fraction = 0.0;
+};
+
+SweepResult run(const Testbed& bed, const ReaderConfig& reader,
+                std::size_t n_channels_used, std::uint64_t trial_base) {
+  SweepResult out;
+  Rng rng(mix_seed(trial_base, 0xD1F));
+  std::uint64_t trial = trial_base;
+  int invalid = 0;
+  const int trials = 60;
+  for (int rep = 0; rep < trials; ++rep) {
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const double alpha = rng.uniform(0.0, kPi);
+    const TagState state = bed.tag_state(p, alpha, "plastic");
+
+    Rng read_rng(mix_seed(bed.config().seed, 0x726F756E64ULL, trial));
+    RoundTrace round = collect_round(bed.scene(), reader,
+                                     bed.config().channel, bed.tag(), state,
+                                     mix_seed(bed.config().seed, trial),
+                                     read_rng);
+    ++trial;
+    // Truncate the hop plan: keep only dwells on the first n channels
+    // (evenly spread channels would be kinder; truncation also shrinks
+    // the span, which is the dominant effect — exactly the point).
+    if (n_channels_used < kNumChannels) {
+      std::erase_if(round.dwells, [&](const Dwell& dwell) {
+        return dwell.channel >= n_channels_used;
+      });
+    }
+    const SensingResult r = bed.prism().sense(round, bed.tag_id());
+    if (!r.valid) {
+      ++invalid;
+      continue;
+    }
+    out.loc_cm.push_back(100.0 * distance(r.position, state.position));
+    out.orient_deg.push_back(rad2deg(planar_angle_error(r.alpha, alpha)));
+  }
+  out.invalid_fraction = static_cast<double>(invalid) / trials;
+  return out;
+}
+
+void print_row(const char* label, const SweepResult& r) {
+  if (r.loc_cm.empty()) {
+    std::printf("  %-14s all %3.0f%% of windows rejected\n", label,
+                100.0 * r.invalid_fraction);
+    return;
+  }
+  std::printf("  %-14s loc %7.2f cm (p90 %7.2f)   orient %6.2f deg   "
+              "rejected %3.0f%%\n",
+              label, mean(r.loc_cm), percentile(r.loc_cm, 90.0),
+              mean(r.orient_deg), 100.0 * r.invalid_fraction);
+}
+
+}  // namespace
+
+int main() {
+  Testbed bed{};
+
+  print_header("Ablation: frequency diversity",
+               "accuracy vs number of hop channels (truncated plan)");
+  std::uint64_t base = 300000;
+  for (std::size_t channels : {50u, 35u, 25u, 15u, 8u}) {
+    char label[24];
+    std::snprintf(label, sizeof label, "%zu channels", channels);
+    print_row(label, run(bed, bed.config().reader, channels, base));
+    base += 1000;
+  }
+  std::printf("\n  the intercept extrapolation to f=0 is the diversity-hungry\n"
+              "  estimate: orientation degrades steadily as the plan shrinks, while\n"
+              "  localization is survey-error-limited at this operating point; below\n"
+              "  ~12 clean channels the error detector refuses the window.\n");
+
+  print_header("Ablation: dwell averaging",
+               "accuracy vs raw reads per (antenna, channel) dwell");
+  for (std::size_t reads : {24u, 12u, 6u, 2u, 1u}) {
+    ReaderConfig reader = bed.config().reader;
+    reader.reads_per_antenna_per_channel = reads;
+    char label[24];
+    std::snprintf(label, sizeof label, "%zu reads", reads);
+    print_row(label, run(bed, reader, kNumChannels, base));
+    base += 1000;
+  }
+  std::printf("\n  per-channel noise ~ 1/sqrt(reads): dwell averaging sets the\n"
+              "  orientation noise floor (DESIGN.md 2.1).\n");
+
+  print_header("Ablation: spatial diversity",
+               "2D xy accuracy: 3-antenna 2D rig vs 4-antenna 3D rig");
+  print_row("3 antennas", run(bed, bed.config().reader, kNumChannels, base));
+  base += 1000;
+  {
+    TestbedConfig big;
+    big.seed = 77;
+    big.mode_3d = true;  // 4 antennas, z additionally solved
+    Testbed bed4(big);
+    Rng rng(mix_seed(base, 0xD1F));
+    std::uint64_t trial = base;
+    SweepResult result;
+    int invalid = 0;
+    for (int rep = 0; rep < 60; ++rep) {
+      const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+      const double alpha = rng.uniform(0.0, kPi);
+      const TagState state = bed4.tag_state(p, alpha, "plastic");
+      const SensingResult r =
+          bed4.prism().sense(bed4.collect(state, trial++), bed4.tag_id());
+      if (!r.valid) {
+        ++invalid;
+        continue;
+      }
+      result.loc_cm.push_back(100.0 * distance(r.position.xy(), p));
+      result.orient_deg.push_back(
+          rad2deg(planar_angle_error(r.alpha, alpha)));
+    }
+    result.invalid_fraction = invalid / 60.0;
+    print_row("4 antennas(3D)", result);
+  }
+  std::printf("\n  3 antennas already over-determine 2D (paper Eq. 7); the "
+              "4-antenna rig\n  spends its extra equations on the z unknown "
+              "it also solves.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Ablation: Stage-A solver variants (DESIGN.md §5.2).
+///
+///   grid only        — coarse multi-start, no refinement
+///   grid + LM        — the shipped configuration
+///   coarse grid + LM — 11x11 grid seeds, LM does the work
+///
+/// Shows what the Levenberg-Marquardt refinement buys and how much grid
+/// resolution the seed needs.
+
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace rfp;
+using namespace rfp::bench;
+
+std::vector<double> run_variant(const Testbed& bed,
+                                const DisentangleConfig& disentangle,
+                                std::uint64_t trial_base) {
+  RfPrismConfig config = bed.prism().config();
+  config.disentangle = disentangle;
+  const RfPrism prism = bed.make_pipeline_variant(std::move(config));
+
+  Rng rng(mix_seed(trial_base, 0xAB1A));
+  std::vector<double> errors;
+  std::uint64_t trial = trial_base;
+  for (int rep = 0; rep < 100; ++rep) {
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const TagState state = bed.tag_state(p, rng.uniform(0.0, kPi), "glass");
+    const SensingResult r = prism.sense(bed.collect(state, trial++),
+                                        bed.tag_id());
+    if (!r.valid) continue;
+    errors.push_back(100.0 * distance(r.position, state.position));
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main() {
+  Testbed bed{};
+  print_header("Ablation: position solver",
+               "grid multi-start vs Levenberg-Marquardt refinement");
+
+  DisentangleConfig grid_only;
+  grid_only.refine = false;
+
+  DisentangleConfig shipped;  // 41x41 + LM (defaults)
+
+  DisentangleConfig coarse_lm;
+  coarse_lm.grid_nx = 11;
+  coarse_lm.grid_ny = 11;
+
+  DisentangleConfig fine_grid_only;
+  fine_grid_only.refine = false;
+  fine_grid_only.grid_nx = 161;
+  fine_grid_only.grid_ny = 161;
+
+  print_stat_row("grid 41x41", run_variant(bed, grid_only, 100000), "cm");
+  print_stat_row("grid+LM", run_variant(bed, shipped, 100000), "cm");
+  print_stat_row("11x11+LM", run_variant(bed, coarse_lm, 100000), "cm");
+  print_stat_row("grid 161^2", run_variant(bed, fine_grid_only, 100000),
+                 "cm");
+  std::printf("\n  expectation: LM refinement removes the grid-quantization "
+              "floor (~%.1f cm cell at 41x41);\n"
+              "  a coarse 11x11 seed suffices because the slope cost is "
+              "unimodal in the region.\n",
+              100.0 * 2.0 / 40.0 / 2.0);
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// Extension (paper §VII future work): full 3D sensing with 4 antennas.
+///
+/// "One of them is to perform the system in 3D space, which is totally
+/// feasible as long as increasing the number of antenna to 4." — this
+/// bench does exactly that: 7 unknowns (x, y, z, 2 orientation angles,
+/// kt, bt) from 8 fitted parameters, reporting localization error by
+/// height layer and 3D orientation error.
+
+#include <map>
+
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace rfp;
+using namespace rfp::bench;
+
+}  // namespace
+
+int main() {
+  print_header("Extension: 3D sensing",
+               "4 antennas, z solved, full polarization direction");
+
+  TestbedConfig config;
+  config.mode_3d = true;
+  const Testbed bed(config);
+
+  Rng rng(0x3D);
+  std::map<int, std::vector<double>> loc_by_layer;
+  std::vector<double> loc_cm, orient_deg, z_err_cm;
+  std::uint64_t trial = 200000;
+  int rejected = 0;
+  for (int rep = 0; rep < 120; ++rep) {
+    const int layer = rep % 3;
+    const double z = 0.2 + 0.3 * layer;  // 0.2 / 0.5 / 0.8 m shelves
+    const Vec3 truth{0.4 + 1.2 * rng.uniform(), 0.4 + 1.2 * rng.uniform(), z};
+    const Vec3 w = spherical_polarization(rng.uniform(0.0, kTwoPi),
+                                          rng.uniform(-0.5, 0.5));
+    const TagState state{truth, w, "plastic"};
+    const SensingResult r =
+        bed.prism().sense(bed.collect(state, trial++), bed.tag_id());
+    if (!r.valid) {
+      ++rejected;
+      continue;
+    }
+    const double err = 100.0 * distance(r.position, truth);
+    loc_cm.push_back(err);
+    loc_by_layer[layer].push_back(err);
+    z_err_cm.push_back(100.0 * std::abs(r.position.z - truth.z));
+    orient_deg.push_back(rad2deg(polarization_angle_error(r.polarization, w)));
+  }
+
+  for (const auto& [layer, errors] : loc_by_layer) {
+    char label[24];
+    std::snprintf(label, sizeof label, "z=%.1fm", 0.2 + 0.3 * layer);
+    print_stat_row(label, errors, "cm");
+  }
+  print_stat_row("3D overall", loc_cm, "cm");
+  print_stat_row("|z error|", z_err_cm, "cm");
+  print_stat_row("orientation", orient_deg, "deg");
+  std::printf("  rejected %d/120\n", rejected);
+  std::printf("\n  expectation: 3D errors a modest factor above the 2D 7.6 cm"
+              " (one more unknown,\n  weaker vertical aperture), orientation"
+              " in the 10-20 deg band.\n");
+  return 0;
+}

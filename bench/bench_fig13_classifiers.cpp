@@ -1,0 +1,41 @@
+/// Figure 13: material identification accuracy of the three classifiers.
+/// Paper reference: KNN 75.6% < SVM 83.5% < Decision Tree 87.9%. The
+/// paper attributes KNN's weakness to the 52-dimensional feature vector
+/// and SVM's to untuned kernel choice — both reproduced by using the
+/// classifiers "as commonly used" (raw features, default kernel).
+
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace rfp;
+  using namespace rfp::bench;
+
+  Testbed bed{};
+  print_header("Fig. 13", "classifier comparison on identical features");
+
+  const LabelledData data =
+      collect_material_data(bed, /*reps_train=*/35, /*reps_test=*/35,
+                            /*train_alpha=*/0.0, /*test_alpha=*/0.0,
+                            /*trial_base=*/30000);
+  std::printf("  dataset: %zu train / %zu test, %zu-dim features\n",
+              data.train.size(), data.test.size(),
+              2 + kNumChannels);
+
+  double knn = 0.0, svm = 0.0, tree = 0.0;
+  for (ClassifierKind kind : {ClassifierKind::kKnn, ClassifierKind::kSvm,
+                              ClassifierKind::kDecisionTree}) {
+    const MaterialIdentifier id = train_identifier(data.train, kind);
+    const double accuracy = id.evaluate(data.test).accuracy();
+    std::printf("  %-14s %5.1f%%\n", to_string(kind), 100.0 * accuracy);
+    if (kind == ClassifierKind::kKnn) knn = accuracy;
+    if (kind == ClassifierKind::kSvm) svm = accuracy;
+    if (kind == ClassifierKind::kDecisionTree) tree = accuracy;
+  }
+  std::printf("\n  [paper: knn 75.6%% < svm 83.5%% < decision_tree 87.9%%]\n");
+  std::printf("  ordering reproduced: %s\n",
+              (knn < svm && svm < tree) ? "yes (knn < svm < tree)"
+              : (knn < tree && svm < tree)
+                  ? "tree wins (paper's headline claim holds)"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,128 @@
+/// Figures 4-6: the empirical basis of the multi-frequency phase model.
+///
+///   Fig 4: theta vs f at distances 0.5/1.5/2.5 m    -> distinct slopes
+///   Fig 5: theta vs f at rotations 0/30/45 deg      -> identical slopes,
+///                                                      shifted intercepts
+///   Fig 6: theta vs f on wood/glass/plastic at 1.5m -> material-distinct
+///                                                      slopes + intercepts
+///
+/// Prints each series (unwrapped phase at a subsample of channels) and the
+/// fitted (slope, intercept) so the claimed structure is visible in text.
+
+#include "support/bench_util.hpp"
+
+#include "rfp/core/fitting.hpp"
+#include "rfp/core/preprocess.hpp"
+
+namespace {
+
+using namespace rfp;
+using namespace rfp::bench;
+
+struct Series {
+  std::string label;
+  AntennaLine line;
+  std::vector<double> phase;  // unwrapped, re-based to start at its minimum
+};
+
+Series run_case(const Testbed& bed, Vec2 position, double alpha,
+                const std::string& material, const std::string& label,
+                std::uint64_t trial) {
+  const RoundTrace round =
+      bed.collect(bed.tag_state(position, alpha, material), trial);
+  const auto traces = preprocess_round(round);
+  const AntennaLine line = fit_antenna_line(traces[0], FittingConfig{});
+
+  Series s;
+  s.label = label;
+  s.line = line;
+  // Reconstruct the clean unwrapped curve from the fit + residuals.
+  for (std::size_t i = 0; i < line.frequency_hz.size(); ++i) {
+    s.phase.push_back(line.fit.at(line.frequency_hz[i]) + line.residual[i]);
+  }
+  const double base = min_value(s.phase);
+  for (double& p : s.phase) p -= base;
+  return s;
+}
+
+void print_series(const std::vector<Series>& series) {
+  std::printf("  %-22s", "frequency (MHz)");
+  for (std::size_t ch = 0; ch < kNumChannels; ch += 10) {
+    std::printf("%8.1f", channel_frequency(ch) / 1e6);
+  }
+  std::printf("   slope[rad/GHz]  intercept[rad]\n");
+  for (const Series& s : series) {
+    std::printf("  %-22s", s.label.c_str());
+    for (std::size_t ch = 0; ch < kNumChannels; ch += 10) {
+      std::printf("%8.2f", s.phase[ch]);
+    }
+    std::printf("   %10.3f  %12.3f\n", s.line.fit.slope * 1e9,
+                wrap_to_2pi(s.line.fit.intercept));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Testbed bed{};
+  // Positions at controlled distance from antenna 0.
+  const Vec3 a0 = bed.scene().antennas[0].position;
+  const auto at_distance = [&](double d) {
+    // Walk from the antenna toward the region center until |p - a0| = d.
+    const Vec2 center = bed.scene().working_region.center();
+    const Vec3 target{center, 0.0};
+    const Vec3 dir = (target - a0).normalized();
+    const Vec3 p = a0 + dir * d;
+    return Vec2{p.x, p.y};  // tag plane z=0 differs slightly; close enough
+  };
+
+  print_header("Fig. 4", "theta_prop vs frequency: slope encodes distance");
+  std::vector<Series> fig4;
+  std::uint64_t trial = 10;
+  for (double d : {0.5, 1.5, 2.5}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%.1fm + glass", d);
+    fig4.push_back(run_case(bed, at_distance(d), 0.0, "glass", label, trial++));
+  }
+  print_series(fig4);
+  std::printf("  check: slopes strictly increase with distance -> %s\n",
+              fig4[0].line.fit.slope < fig4[1].line.fit.slope &&
+                      fig4[1].line.fit.slope < fig4[2].line.fit.slope
+                  ? "yes"
+                  : "NO");
+
+  print_header("Fig. 5",
+               "theta_orient vs frequency: rotation shifts intercept only");
+  std::vector<Series> fig5;
+  for (double deg : {0.0, 30.0, 45.0}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f degree", deg);
+    fig5.push_back(
+        run_case(bed, {1.0, 1.0}, deg2rad(deg), "glass", label, trial++));
+  }
+  print_series(fig5);
+  const std::vector<double> fig5_slopes{fig5[0].line.fit.slope,
+                                        fig5[1].line.fit.slope,
+                                        fig5[2].line.fit.slope};
+  const double slope_spread =
+      (max_value(fig5_slopes) - min_value(fig5_slopes)) * 1e9;
+  std::printf("  check: slope spread across rotations %.3f rad/GHz (~0) ; "
+              "intercepts differ\n",
+              slope_spread);
+
+  print_header("Fig. 6",
+               "theta_device vs frequency: material shifts slope + intercept");
+  std::vector<Series> fig6;
+  for (const char* m : {"wood", "glass", "plastic"}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "1.5m + %s", m);
+    fig6.push_back(run_case(bed, at_distance(1.5), 0.0, m, label, trial++));
+  }
+  print_series(fig6);
+  std::printf(
+      "  check: material slopes distinct (wood %.2f / glass %.2f / plastic "
+      "%.2f rad/GHz)\n",
+      fig6[0].line.fit.slope * 1e9, fig6[1].line.fit.slope * 1e9,
+      fig6[2].line.fit.slope * 1e9);
+  return 0;
+}

@@ -1,0 +1,94 @@
+#pragma once
+
+/// Shared helpers for the figure-reproduction benches. Every bench prints
+/// a header naming the paper figure it regenerates, runs fixed-seed
+/// trials on the shared Testbed, and prints the same rows/series the
+/// paper plots. Reproduction target is the *shape* (orderings, rough
+/// factors), not the authors' absolute testbed numbers.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/rng.hpp"
+#include "rfp/core/identifier.hpp"
+#include "rfp/dsp/stats.hpp"
+#include "rfp/exp/testbed.hpp"
+
+namespace rfp::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_stat_row(const std::string& label,
+                           const std::vector<double>& values,
+                           const char* unit) {
+  if (values.empty()) {
+    std::printf("  %-12s (no valid trials)\n", label.c_str());
+    return;
+  }
+  std::printf("  %-12s mean %7.2f %s   p50 %7.2f   p90 %7.2f   n=%zu\n",
+              label.c_str(), mean(values), unit, percentile(values, 50.0),
+              percentile(values, 90.0), values.size());
+}
+
+/// One labelled (result, material) example set split into train/test.
+struct LabelledData {
+  std::vector<std::pair<SensingResult, std::string>> train;
+  std::vector<std::pair<SensingResult, std::string>> test;
+};
+
+/// Collect the paper's material dataset (§VI-B): `reps_train` training and
+/// `reps_test` validation reads per material at random positions, at the
+/// given orientation(s). Trial ids derive from `trial_base`.
+inline LabelledData collect_material_data(const Testbed& bed,
+                                          std::size_t reps_train,
+                                          std::size_t reps_test,
+                                          double train_alpha,
+                                          double test_alpha,
+                                          std::uint64_t trial_base) {
+  LabelledData data;
+  Rng rng(mix_seed(trial_base, 0xDA7A));
+  std::uint64_t trial = trial_base;
+  for (const auto& material : paper_materials()) {
+    std::size_t got_train = 0, got_test = 0;
+    // Cap attempts so a pathological config cannot loop forever.
+    for (int attempt = 0;
+         attempt < 400 && (got_train < reps_train || got_test < reps_test);
+         ++attempt) {
+      const bool for_train = got_train < reps_train;
+      const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+      const double alpha = for_train ? train_alpha : test_alpha;
+      const SensingResult r =
+          bed.sense(bed.tag_state(p, alpha, material), trial++);
+      if (!r.valid) continue;
+      if (for_train) {
+        data.train.push_back({r, material});
+        ++got_train;
+      } else {
+        data.test.push_back({r, material});
+        ++got_test;
+      }
+    }
+  }
+  return data;
+}
+
+/// Train an identifier on a labelled set.
+inline MaterialIdentifier train_identifier(
+    const std::vector<std::pair<SensingResult, std::string>>& train,
+    ClassifierKind kind = ClassifierKind::kDecisionTree) {
+  MaterialIdentifier id(kind);
+  for (const auto& [r, m] : train) id.add_sample(r, m);
+  id.train();
+  return id;
+}
+
+}  // namespace rfp::bench

@@ -1,0 +1,73 @@
+/// Smart shelf in a cluttered stockroom — multipath suppression (§V-D).
+///
+/// Supermarket stockrooms are full of cartons and people: reflections
+/// corrupt a subset of frequency channels. RF-Prism's channel selection
+/// finds the consensus line across channels and drops the corrupted ones;
+/// this example measures how much that recovers, mirroring the paper's
+/// Fig. 12 comparison on a small scale.
+
+#include <cstdio>
+#include <vector>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/rng.hpp"
+#include "rfp/dsp/stats.hpp"
+#include "rfp/exp/testbed.hpp"
+
+namespace {
+
+double mean_error(const rfp::Testbed& bed, const rfp::RfPrism& prism,
+                  std::uint64_t trial_base) {
+  using namespace rfp;
+  Rng rng(trial_base);
+  std::vector<double> errors;
+  std::uint64_t trial = trial_base;
+  for (int rep = 0; rep < 20; ++rep) {
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const TagState state =
+        bed.tag_state(p, rng.uniform(0.0, kPi), "plastic");
+    const SensingResult r = prism.sense(bed.collect(state, trial++),
+                                        bed.tag_id());
+    if (!r.valid) continue;
+    errors.push_back(100.0 * distance(r.position, state.position));
+  }
+  return errors.empty() ? -1.0 : mean(errors);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rfp;
+
+  // Clean reference deployment.
+  Testbed clean_bed{};
+
+  // The same shelf surrounded by cartons and passing staff.
+  TestbedConfig cluttered;
+  cluttered.multipath_environment = true;
+  cluttered.n_clutter = 6;
+  Testbed messy_bed(cluttered);
+
+  // A pipeline identical to the messy one but with channel selection off.
+  RfPrismConfig no_selection = messy_bed.prism().config();
+  no_selection.fitting.multipath_suppression = false;
+  no_selection.error_detector.max_fit_rmse = 0.20;
+  const RfPrism plain = messy_bed.make_pipeline_variant(std::move(no_selection));
+
+  const double clean_err = mean_error(clean_bed, clean_bed.prism(), 1000);
+  const double suppressed_err = mean_error(messy_bed, messy_bed.prism(), 2000);
+  const double plain_err = mean_error(messy_bed, plain, 2000);
+
+  std::printf("mean localization error, 20 shelf reads each:\n");
+  std::printf("  clean stockroom                    : %6.1f cm\n", clean_err);
+  std::printf("  cluttered, channel selection ON    : %6.1f cm\n",
+              suppressed_err);
+  std::printf("  cluttered, channel selection OFF   : %6.1f cm\n", plain_err);
+  if (plain_err > 0.0 && suppressed_err > 0.0) {
+    std::printf("  suppression recovers %.0f%% of the multipath penalty\n",
+                100.0 * (plain_err - suppressed_err) /
+                    std::max(plain_err - clean_err, 1e-9));
+  }
+  return suppressed_err >= 0.0 && suppressed_err <= plain_err ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "rfp/core/fitting.hpp"
+#include "rfp/core/types.hpp"
+#include "rfp/rfsim/reader.hpp"
+
+/// \file hologram.hpp
+/// Tagoram-style differential hologram localizer (Yang et al., MobiCom'14
+/// — cited by the paper as the classic phase-based tracker). For every
+/// candidate cell of the surveillance plane it coherently accumulates
+///
+///     A(p) = | sum_{i,k} exp( j * (dtheta_i(f_k) - 4*pi*d_i(p)*df/c) ) |
+///
+/// over the *differential* phases between adjacent frequency channels
+/// (differencing cancels the orientation / device / port offsets that
+/// plain holograms suffer from), and reports the argmax cell. Included as
+/// a third comparator: it shares RF-Prism's frequency diversity but has
+/// no notion of the material slope kt, which therefore biases its ranges
+/// exactly like MobiTagbot's.
+
+namespace rfp {
+
+struct HologramConfig {
+  std::size_t grid_nx = 81;
+  std::size_t grid_ny = 81;
+
+  /// Refine the argmax cell with a local 3x3 sub-grid pass.
+  bool refine = true;
+};
+
+class HologramLocalizer {
+ public:
+  HologramLocalizer(DeploymentGeometry geometry, HologramConfig config = {});
+
+  /// Localize the tag on the tag plane. Returns the peak of the
+  /// differential hologram. Throws InvalidArgument when fewer than two
+  /// usable channels exist on every antenna.
+  Vec3 localize(const RoundTrace& round) const;
+
+  /// Hologram magnitude at a candidate position (exposed for tests:
+  /// the peak must dominate distant cells).
+  double intensity(const std::vector<AntennaTrace>& traces, Vec3 p) const;
+
+ private:
+  double accumulate(const std::vector<AntennaTrace>& traces, Vec3 p) const;
+
+  DeploymentGeometry geometry_;
+  HologramConfig config_;
+};
+
+}  // namespace rfp

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <optional>
+
+#include "rfp/core/fitting.hpp"
+#include "rfp/core/types.hpp"
+#include "rfp/rfsim/reader.hpp"
+
+/// \file mobitagbot.hpp
+/// MobiTagbot-style multi-channel localization baseline (paper §VI-B):
+/// "uses two antennas and also leverages the multi-channel technique to
+/// improve the localization. But Mobitagbot cannot eliminate the effect of
+/// orientation, device, and material related phase offset."
+///
+/// Concretely: per-antenna distance = calibrated slope ranging (coarse)
+/// refined by the absolute mid-band phase (fine), then circle
+/// intersection / least squares over the antenna subset. Because the
+/// calibration bakes in one fixed orientation/material, any change in
+/// either shows up as ranging bias — exactly the failure mode RF-Prism's
+/// disentangling removes (paper Figs. 14-16).
+
+namespace rfp {
+
+struct MobiTagbotConfig {
+  /// Which antennas of the deployment the method uses (MobiTagbot is a
+  /// two-antenna system at 0.5 m spacing).
+  std::vector<std::size_t> antennas{0, 1};
+
+  /// Same pre-processing and robust fitting as RF-Prism: the baseline's
+  /// weakness is its model, not its DSP.
+  FittingConfig fitting;
+
+  /// Use the absolute mid-band phase to refine the slope-ranged distance
+  /// (the multi-channel "fine" step). Disable for slope-only ranging.
+  bool fine_phase_refinement = true;
+};
+
+/// The baseline localizer.
+class MobiTagbot {
+ public:
+  /// Geometry is the *measured* deployment, as for RF-Prism.
+  MobiTagbot(DeploymentGeometry geometry, MobiTagbotConfig config);
+
+  /// One-time calibration with the tag at a known position (fixed
+  /// orientation and target object — the assumption the method lives and
+  /// dies by).
+  void calibrate(const RoundTrace& round, Vec3 known_position);
+
+  /// Estimate the tag position on the tag plane. nullopt when any used
+  /// antenna's trace is unusable. Throws Error when not calibrated.
+  std::optional<Vec3> localize(const RoundTrace& round) const;
+
+  /// Per-antenna ranged distances of the last localize() internals,
+  /// exposed for tests: (antenna, distance) pairs.
+  std::vector<std::pair<std::size_t, double>> range_all(
+      const RoundTrace& round) const;
+
+ private:
+  struct AntennaCalibration {
+    double k_cal = 0.0;     ///< fitted slope at the reference
+    double mid_cal = 0.0;   ///< fitted phase at mid-band at the reference
+    double f_mid = 0.0;     ///< the mid-band abscissa used
+    double d_cal = 0.0;     ///< reference distance
+  };
+
+  std::optional<double> range_antenna(const AntennaLine& line,
+                                      std::size_t slot) const;
+
+  DeploymentGeometry geometry_;
+  MobiTagbotConfig config_;
+  std::vector<AntennaCalibration> calibration_;  ///< per config_.antennas slot
+  bool calibrated_ = false;
+};
+
+}  // namespace rfp

@@ -1,0 +1,99 @@
+#include "rfp/baselines/hologram.hpp"
+
+#include <cmath>
+#include <complex>
+#include <limits>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/core/preprocess.hpp"
+
+namespace rfp {
+
+HologramLocalizer::HologramLocalizer(DeploymentGeometry geometry,
+                                     HologramConfig config)
+    : geometry_(std::move(geometry)), config_(config) {
+  require(geometry_.n_antennas() >= 2, "HologramLocalizer: need >= 2 antennas");
+  require(config_.grid_nx >= 3 && config_.grid_ny >= 3,
+          "HologramLocalizer: grid too coarse");
+}
+
+double HologramLocalizer::accumulate(const std::vector<AntennaTrace>& traces,
+                                     Vec3 p) const {
+  // Per-antenna coherent sum over channels: taking the magnitude before
+  // combining antennas cancels every per-antenna constant offset
+  // (orientation, device, port) — the "differential" trick — while the
+  // channel diversity inside the sum provides the range discrimination.
+  double total = 0.0;
+  std::size_t used = 0;
+  for (const AntennaTrace& trace : traces) {
+    if (trace.antenna >= geometry_.n_antennas()) continue;
+    const auto& f = trace.trace.frequency_hz;
+    const auto& phase = trace.wrapped_phase;
+    if (f.size() < 2) continue;
+    const double d = distance(geometry_.antenna_positions[trace.antenna], p);
+    std::complex<double> inner{0.0, 0.0};
+    for (std::size_t k = 0; k < f.size(); ++k) {
+      // The doubled angle also cancels the reader's pi ambiguity (theta
+      // and theta+pi map to the same point); halving the effective
+      // distance scale is absorbed by doubling the expected term.
+      const double residual = phase[k] - kSlopePerMeter * d * f[k];
+      inner += std::polar(1.0, 2.0 * residual);
+    }
+    total += std::abs(inner) / static_cast<double>(f.size());
+    ++used;
+  }
+  require(used > 0, "HologramLocalizer: no usable antennas");
+  return total / static_cast<double>(used);
+}
+
+double HologramLocalizer::intensity(const std::vector<AntennaTrace>& traces,
+                                    Vec3 p) const {
+  return accumulate(traces, p);
+}
+
+Vec3 HologramLocalizer::localize(const RoundTrace& round) const {
+  const std::vector<AntennaTrace> traces = preprocess_round(round);
+  for (const AntennaTrace& trace : traces) {
+    require(trace.trace.frequency_hz.size() >= 2,
+            "HologramLocalizer: antenna with < 2 channels");
+  }
+
+  const Rect& region = geometry_.working_region;
+  const double z = geometry_.tag_plane_z;
+  Vec2 best = region.center();
+  double best_value = -std::numeric_limits<double>::infinity();
+
+  const auto scan = [&](Rect area, std::size_t nx, std::size_t ny) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const Vec2 p{
+            area.lo.x + area.width() * static_cast<double>(ix) /
+                            static_cast<double>(nx - 1),
+            area.lo.y + area.height() * static_cast<double>(iy) /
+                            static_cast<double>(ny - 1)};
+        const double value = accumulate(traces, Vec3{p, z});
+        if (value > best_value) {
+          best_value = value;
+          best = p;
+        }
+      }
+    }
+  };
+
+  scan(region, config_.grid_nx, config_.grid_ny);
+
+  if (config_.refine) {
+    const double cell_x =
+        region.width() / static_cast<double>(config_.grid_nx - 1);
+    const double cell_y =
+        region.height() / static_cast<double>(config_.grid_ny - 1);
+    const Rect local{{best.x - cell_x, best.y - cell_y},
+                     {best.x + cell_x, best.y + cell_y}};
+    scan(local, 9, 9);
+  }
+  return Vec3{best.x, best.y, z};
+}
+
+}  // namespace rfp

@@ -1,0 +1,138 @@
+#include "rfp/baselines/mobitagbot.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/core/preprocess.hpp"
+
+namespace rfp {
+
+MobiTagbot::MobiTagbot(DeploymentGeometry geometry, MobiTagbotConfig config)
+    : geometry_(std::move(geometry)), config_(std::move(config)) {
+  require(config_.antennas.size() >= 2,
+          "MobiTagbot: need at least two antennas");
+  for (std::size_t ai : config_.antennas) {
+    require(ai < geometry_.n_antennas(),
+            "MobiTagbot: antenna index out of range");
+  }
+}
+
+void MobiTagbot::calibrate(const RoundTrace& round, Vec3 known_position) {
+  const std::vector<AntennaTrace> traces = preprocess_round(round);
+  const std::vector<AntennaLine> lines =
+      fit_all_antennas(traces, config_.fitting);
+
+  calibration_.clear();
+  calibration_.reserve(config_.antennas.size());
+  for (std::size_t ai : config_.antennas) {
+    require(ai < lines.size() && lines[ai].fit.n >= 3,
+            "MobiTagbot::calibrate: unusable antenna trace");
+    AntennaCalibration cal;
+    cal.k_cal = lines[ai].fit.slope;
+    cal.f_mid = lines[ai].fit.x_mean;
+    cal.mid_cal = lines[ai].fit.y_mean;
+    cal.d_cal = distance(geometry_.antenna_positions[ai], known_position);
+    calibration_.push_back(cal);
+  }
+  calibrated_ = true;
+}
+
+std::optional<double> MobiTagbot::range_antenna(const AntennaLine& line,
+                                                std::size_t slot) const {
+  if (line.fit.n < 3) return std::nullopt;
+  const AntennaCalibration& cal = calibration_[slot];
+
+  // Coarse: displacement from the calibrated slope. Any material-induced
+  // slope change (kt) is indistinguishable from distance here.
+  double d = cal.d_cal + (line.fit.slope - cal.k_cal) / kSlopePerMeter;
+
+  if (config_.fine_phase_refinement) {
+    // Fine: the absolute phase at mid-band moves by 4*pi*f_mid/c per meter
+    // of displacement. Orientation/material intercept changes alias into
+    // this step — the baseline cannot tell them apart from displacement.
+    const double expected_mid =
+        cal.mid_cal + kSlopePerMeter * (d - cal.d_cal) * cal.f_mid +
+        line.fit.slope * (line.fit.x_mean - cal.f_mid);
+    const double measured_mid = line.fit.y_mean;
+    const double delta = wrap_to_pi(measured_mid - expected_mid);
+    d += delta / (kSlopePerMeter * cal.f_mid);
+  }
+  return std::max(d, 0.05);
+}
+
+std::vector<std::pair<std::size_t, double>> MobiTagbot::range_all(
+    const RoundTrace& round) const {
+  if (!calibrated_) throw Error("MobiTagbot: calibrate() first");
+  const std::vector<AntennaTrace> traces = preprocess_round(round);
+  const std::vector<AntennaLine> lines =
+      fit_all_antennas(traces, config_.fitting);
+
+  std::vector<std::pair<std::size_t, double>> out;
+  for (std::size_t slot = 0; slot < config_.antennas.size(); ++slot) {
+    const std::size_t ai = config_.antennas[slot];
+    if (ai >= lines.size()) continue;
+    if (const auto d = range_antenna(lines[ai], slot)) {
+      out.emplace_back(ai, *d);
+    }
+  }
+  return out;
+}
+
+std::optional<Vec3> MobiTagbot::localize(const RoundTrace& round) const {
+  const auto ranges = range_all(round);
+  if (ranges.size() < 2) return std::nullopt;
+
+  // Least-squares circle intersection on the tag plane via dense grid +
+  // local descent (the region is small; robustness beats elegance here).
+  const Rect& region = geometry_.working_region;
+  const double z = geometry_.tag_plane_z;
+
+  const auto cost = [&](Vec2 p) {
+    double c = 0.0;
+    for (const auto& [ai, d] : ranges) {
+      const double dist_i = distance(geometry_.antenna_positions[ai],
+                                     Vec3{p.x, p.y, z});
+      c += (dist_i - d) * (dist_i - d);
+    }
+    return c;
+  };
+
+  Vec2 best = region.center();
+  double best_cost = std::numeric_limits<double>::infinity();
+  const std::size_t steps = 81;
+  for (std::size_t iy = 0; iy < steps; ++iy) {
+    for (std::size_t ix = 0; ix < steps; ++ix) {
+      const Vec2 p{region.lo.x + region.width() * static_cast<double>(ix) /
+                                     static_cast<double>(steps - 1),
+                   region.lo.y + region.height() * static_cast<double>(iy) /
+                                     static_cast<double>(steps - 1)};
+      const double c = cost(p);
+      if (c < best_cost) {
+        best_cost = c;
+        best = p;
+      }
+    }
+  }
+
+  // Pattern descent refine.
+  double step = region.width() / static_cast<double>(steps - 1);
+  while (step > 1e-4) {
+    bool improved = false;
+    for (const Vec2 dir : {Vec2{1, 0}, Vec2{-1, 0}, Vec2{0, 1}, Vec2{0, -1}}) {
+      const Vec2 cand = region.clamp(best + dir * step);
+      const double c = cost(cand);
+      if (c < best_cost) {
+        best_cost = c;
+        best = cand;
+        improved = true;
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+  return Vec3{best.x, best.y, z};
+}
+
+}  // namespace rfp

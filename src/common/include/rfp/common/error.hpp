@@ -1,0 +1,42 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Exception hierarchy and precondition assertions. Following the Core
+/// Guidelines (E.2, I.6): throw on contract violations and unrecoverable
+/// states; keep error types specific enough for callers to discriminate.
+
+namespace rfp {
+
+/// Base class for all rfprism errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A function argument violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A numeric routine failed to converge or produced a degenerate result.
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A lookup (tag id, material name, calibration entry) found nothing.
+class NotFound : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throw InvalidArgument when `cond` is false.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw InvalidArgument(what);
+}
+
+}  // namespace rfp

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.hpp
+/// Minimal leveled logger writing to stderr. Benches and examples use it for
+/// progress lines; the library itself logs only at Warn and above so that
+/// programmatic use stays quiet by default.
+
+namespace rfp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` (thread-safe at line granularity).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() {
+  return detail::LogStream(LogLevel::kDebug);
+}
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() {
+  return detail::LogStream(LogLevel::kError);
+}
+
+}  // namespace rfp

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation. We implement
+/// xoshiro256++ seeded through splitmix64 rather than relying on
+/// std::mt19937 + std::*_distribution, because the standard distributions
+/// are implementation-defined: the same seed must reproduce the same traces
+/// on any toolchain for the benches to be comparable run-to-run.
+
+namespace rfp {
+
+/// xoshiro256++ generator with explicit-seed construction.
+/// Satisfies UniformRandomBitGenerator so it can also feed <random> if a
+/// caller wants that (at the cost of cross-platform determinism).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed the four 64-bit words of state via splitmix64(seed).
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal deviate (Box-Muller, deterministic).
+  double gaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Fork a statistically independent child generator. Deriving per-trial
+  /// generators this way keeps trial i's draws identical regardless of how
+  /// many draws earlier trials consumed.
+  Rng fork();
+
+  /// In-place Fisher-Yates shuffle of an index-addressable container.
+  template <typename Vec>
+  void shuffle(Vec& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = uniform_index(i + 1);
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// splitmix64 step, exposed for seeding schemes and hash-like mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mix several values into one seed (order-sensitive).
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0);
+
+}  // namespace rfp

@@ -1,0 +1,109 @@
+#include "rfp/common/rng.hpp"
+
+#include <cmath>
+
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t st = a;
+  std::uint64_t out = splitmix64(st);
+  st ^= b + 0x9E3779B97F4A7C15ULL;
+  out ^= splitmix64(st);
+  st ^= c + 0xD1B54A32D192ED03ULL;
+  out ^= splitmix64(st);
+  return out;
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t st = seed;
+  for (auto& w : s_) w = splitmix64(st);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo > hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  require(n > 0, "Rng::uniform_index: n must be positive");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller: guard against log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  spare_ = r * std::sin(kTwoPi * u2);
+  have_spare_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::fork() { return Rng(mix_seed((*this)(), (*this)())); }
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  require(k <= n, "Rng::sample_indices: k > n");
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  // Partial Fisher-Yates: first k entries become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace rfp

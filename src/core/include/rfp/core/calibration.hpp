@@ -1,0 +1,95 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "rfp/core/types.hpp"
+
+/// \file calibration.hpp
+/// The two calibrations of the paper:
+///
+/// 1. Antenna (reader-port) equalization — §IV-C. Different antenna ports
+///    of the same reader add different phase responses. They depend only on
+///    hardware, so a one-time pre-deployment measurement with a reference
+///    tag at a known pose yields per-antenna corrections relative to port
+///    0; after subtraction "all antennas will have an identical
+///    theta_reader".
+///
+/// 2. Per-tag device response theta_device0 — §V-B. Needed only for
+///    material identification: the bare tag's manufacturing-specific
+///    response is measured once (tag at known pose, attached to nothing)
+///    and subtracted from deployed readings so that what remains is the
+///    material's contribution.
+
+namespace rfp {
+
+/// Per-antenna linear phase correction relative to antenna 0.
+struct ReaderCalibration {
+  /// delta_k[i], delta_b[i]: subtract (delta_k[i] * f + delta_b[i]) from
+  /// antenna i's fitted line. Entry 0 is zero by construction.
+  std::vector<double> delta_k;
+  std::vector<double> delta_b;
+
+  std::size_t n_antennas() const { return delta_k.size(); }
+};
+
+/// One tag's bare-hardware response (includes the shared reader response,
+/// which cancels because it is also present in deployed readings).
+struct TagCalibration {
+  double kd = 0.0;  ///< device slope [rad/Hz]
+  double bd = 0.0;  ///< device intercept [rad]
+  /// Per-channel-index nonlinear residual of the bare tag (usually ~0).
+  std::vector<double> residual_curve;
+};
+
+/// Known reference pose used during calibration.
+struct ReferencePose {
+  Vec3 position;
+  Vec3 polarization{1.0, 0.0, 0.0};
+};
+
+/// Derive the reader-port equalization from per-antenna fits of a round
+/// collected with a bare reference tag at `reference`. The tag's own
+/// device response cancels in the cross-antenna differences. Requires all
+/// lines usable (>= 2 inlier channels each); throws InvalidArgument
+/// otherwise.
+ReaderCalibration calibrate_reader(const DeploymentGeometry& geometry,
+                                   std::span<const AntennaLine> lines,
+                                   const ReferencePose& reference);
+
+/// Apply the equalization to fitted lines in place (subtracts the
+/// per-antenna delta line). Throws InvalidArgument on antenna-count
+/// mismatch.
+void apply_reader_calibration(const ReaderCalibration& calibration,
+                              std::vector<AntennaLine>& lines);
+
+/// Derive a tag's theta_device0 from per-antenna fits of a calibration
+/// round (bare tag at `reference`, reader calibration already applied).
+/// kd/bd come from the slope/intercept common mode after removing the
+/// known propagation and orientation terms; the residual curve is the
+/// antenna-averaged per-channel fit residual.
+TagCalibration calibrate_tag(const DeploymentGeometry& geometry,
+                             std::span<const AntennaLine> lines,
+                             const ReferencePose& reference);
+
+/// Store of calibrations, keyed by tag id.
+class CalibrationDB {
+ public:
+  void set_reader(ReaderCalibration calibration);
+  const std::optional<ReaderCalibration>& reader() const { return reader_; }
+
+  void set_tag(const std::string& tag_id, TagCalibration calibration);
+  const TagCalibration* find_tag(const std::string& tag_id) const;
+  bool has_tag(const std::string& tag_id) const;
+  std::size_t n_tags() const { return tags_.size(); }
+
+  /// All calibrated tag ids, in sorted order.
+  std::vector<std::string> tag_ids() const;
+
+ private:
+  std::optional<ReaderCalibration> reader_;
+  std::map<std::string, TagCalibration> tags_;
+};
+
+}  // namespace rfp

@@ -1,0 +1,89 @@
+#pragma once
+
+#include "rfp/core/types.hpp"
+
+/// \file disentangle.hpp
+/// The phase-disentangling solver (paper §IV): turns the per-antenna
+/// (slope, intercept) pairs of Eq. 6 into the five (2D) or seven (3D)
+/// physical unknowns of Eq. 7:
+///
+///   k_i = 4*pi*dist(A_i, p)/c + kt
+///   b_i = theta_orient(A_i, w) + bt   (mod 2*pi)
+///
+/// The two equation families are *independent*: the slope family contains
+/// the position and the material slope; the intercept family contains the
+/// orientation and the material intercept. RF-Prism exploits this by
+/// solving them in two stages — which is also why its localization needs
+/// no calibration (kt is solved, not assumed) and why its orientation
+/// estimate is immune to ranging error (the intercepts never reference
+/// distance).
+
+namespace rfp {
+
+struct DisentangleConfig {
+  /// Stage A multi-start grid resolution over the working region.
+  std::size_t grid_nx = 41;
+  std::size_t grid_ny = 41;
+
+  /// 3D mode: number of z layers (1 = planar 2D sensing at tag_plane_z).
+  std::size_t grid_nz = 1;
+  double z_lo = 0.0;  ///< z search range in 3D mode
+  double z_hi = 1.5;
+
+  /// Levenberg-Marquardt refinement of the grid optimum.
+  bool refine = true;
+
+  /// Stage B orientation scan steps over alpha in [0, pi) (2D) or per
+  /// azimuth turn (3D; elevation uses half as many over [-pi/2, pi/2]).
+  std::size_t orientation_scan_steps = 720;
+};
+
+/// Stage A output: position and material slope from the slope equations.
+struct PositionSolve {
+  Vec3 position;
+  double kt = 0.0;       ///< common-mode slope left after propagation [rad/Hz]
+  double rms = 0.0;      ///< RMS slope residual [rad/Hz]
+  bool converged = false;
+};
+
+/// Stage B output: orientation and material intercept from the intercept
+/// equations.
+struct OrientationSolve {
+  double alpha = 0.0;      ///< planar angle in [0, pi) (2D mode)
+  Vec3 polarization{1, 0, 0};
+  double bt = 0.0;         ///< material intercept, wrapped to [0, 2*pi)
+  double rms = 0.0;        ///< RMS wrapped intercept residual [rad]
+};
+
+/// Solve position + kt from per-antenna slopes. Requires >= 3 usable lines
+/// in 2D mode (grid_nz == 1) and >= 4 in 3D mode; throws InvalidArgument
+/// otherwise. Grid search over the working region seeds an LM refinement;
+/// kt is eliminated in closed form at every candidate (it enters the
+/// equations linearly).
+PositionSolve solve_position(const DeploymentGeometry& geometry,
+                             std::span<const AntennaLine> lines,
+                             const DisentangleConfig& config);
+
+/// Solve orientation + bt from per-antenna intercepts, given the Stage-A
+/// position estimate (the polarization coupling happens transverse to each
+/// antenna->tag ray, so the model needs the ray directions; their
+/// sensitivity to position error is tiny — degrees of ray per tens of cm).
+/// In 2D mode the polarization is constrained to the tag plane; in 3D mode
+/// azimuth and elevation are both scanned. Requires >= 3 usable lines.
+OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
+                                   std::span<const AntennaLine> lines,
+                                   Vec3 tag_position,
+                                   const DisentangleConfig& config);
+
+/// Slope-equation RMS residual at a given position (diagnostic; also the
+/// Stage A cost function). kt is the closed-form optimum at `p`.
+double position_cost(const DeploymentGeometry& geometry,
+                     std::span<const AntennaLine> lines, Vec3 p);
+
+/// Intercept-equation RMS residual at a given polarization (diagnostic;
+/// Stage B cost). bt is the closed-form circular-mean optimum at `w`.
+double orientation_cost(const DeploymentGeometry& geometry,
+                        std::span<const AntennaLine> lines, Vec3 tag_position,
+                        Vec3 w);
+
+}  // namespace rfp

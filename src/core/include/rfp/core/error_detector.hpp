@@ -1,0 +1,43 @@
+#pragma once
+
+#include "rfp/core/types.hpp"
+
+/// \file error_detector.hpp
+/// The error detector of paper §V-C: a static tag produces phase readings
+/// that are linear in frequency; a tag that moved or rotated during the
+/// hop round does not. Windows whose per-antenna fits stay nonlinear even
+/// after multipath channel selection are rejected rather than producing
+/// silently wrong results.
+
+namespace rfp {
+
+struct ErrorDetectorConfig {
+  /// Reject as mobility when any antenna's inlier-channel RMSE exceeds
+  /// this [rad]. Mobility corrupts *all* channels smoothly, so trimming
+  /// cannot repair it — the residual stays high.
+  double max_fit_rmse = 0.25;
+
+  /// Reject as mobility when the fitted line is supported by less than
+  /// this fraction of an antenna's channels. A static tag in multipath
+  /// loses a minority of channels to corruption; a tag that moved or
+  /// rotated mid-round has no line through most of its channels at all.
+  double min_line_support_fraction = 0.6;
+
+  /// Reject as "too few channels" when any antenna retains fewer clean
+  /// channels than this in absolute terms (sparse coverage, e.g. a port
+  /// that only saw a handful of dwells).
+  std::size_t min_inlier_channels = 12;
+
+  /// Reject as mobility when more than this fraction of antennas'
+  /// *median* absolute residual exceeds half the RMSE bound (a second,
+  /// scale-robust view of broken linearity).
+  double max_median_residual = 0.15;
+};
+
+/// Inspect per-antenna fits and decide whether this window is usable.
+/// Returns RejectReason::kNone when the window passes. Throws
+/// InvalidArgument when `lines` is empty.
+RejectReason detect_errors(std::span<const AntennaLine> lines,
+                           const ErrorDetectorConfig& config);
+
+}  // namespace rfp

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "rfp/core/calibration.hpp"
+#include "rfp/core/types.hpp"
+
+/// \file features.hpp
+/// Material feature extraction (paper Eq. 9):
+///
+///   F = (kt, bt, theta_material(f_1) ... theta_material(f_n))
+///
+/// kt and bt come from the disentangling stages; theta_material(f) is the
+/// per-channel device-phase residual after the linear part is removed —
+/// computed as the antenna-averaged fit residual, which is independent of
+/// the position estimate (the linear propagation term is subtracted by the
+/// per-antenna fit itself, not by re-predicting distances).
+
+namespace rfp {
+
+/// Antenna-averaged per-channel fit residual, indexed by channel (length
+/// kNumChannels). Channels with no inlier observation on any antenna are
+/// 0.0. Throws InvalidArgument when `lines` is empty.
+std::vector<double> material_signature(std::span<const AntennaLine> lines);
+
+/// Compensate (kt, bt, signature) for the tag's own hardware using its
+/// theta_device0 calibration: kt -= kd, bt -= bd (re-wrapped), signature
+/// -= residual_curve. Wrapping uses [-pi, pi) for bt so the standard
+/// material intercepts (0.1 .. 2.3 rad) sit away from the seam.
+void apply_tag_calibration(const TagCalibration& calibration, double& kt,
+                           double& bt, std::vector<double>& signature);
+
+/// Assemble the classifier feature vector from a sensing result:
+/// [kt in rad/GHz, bt in rad, signature...]. The slope is expressed in
+/// rad/GHz so all entries share a comparable numeric scale.
+std::vector<double> material_features(double kt, double bt,
+                                      std::span<const double> signature);
+
+}  // namespace rfp

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rfp/core/types.hpp"
+#include "rfp/ml/classifier.hpp"
+#include "rfp/ml/metrics.hpp"
+
+/// \file identifier.hpp
+/// Material identification on top of disentangled phase parameters (paper
+/// §V-B): builds the 52-dimensional feature vectors F = (kt, bt,
+/// theta_material(f_1..f_n)) from SensingResults, trains one of the three
+/// evaluated classifiers, and predicts material names.
+
+namespace rfp {
+
+/// Which classifier backs the identifier (paper Fig. 13 compares all
+/// three; RF-Prism ships with the decision tree).
+enum class ClassifierKind { kKnn, kSvm, kDecisionTree };
+
+const char* to_string(ClassifierKind kind);
+
+/// Factory for the classifier backends.
+std::unique_ptr<Classifier> make_classifier(ClassifierKind kind);
+
+/// Trainable material identifier.
+class MaterialIdentifier {
+ public:
+  explicit MaterialIdentifier(
+      ClassifierKind kind = ClassifierKind::kDecisionTree);
+
+  /// Add one labelled training example from a valid sensing result.
+  /// Throws InvalidArgument when the result is invalid or has no
+  /// signature.
+  void add_sample(const SensingResult& result, const std::string& material);
+
+  /// Train on all added samples. Throws InvalidArgument when empty.
+  void train();
+
+  /// Predict the material of a sensing result. Throws Error when called
+  /// before train(); throws InvalidArgument on an invalid result.
+  std::string predict(const SensingResult& result) const;
+
+  /// Evaluate on held-out labelled results (does not retrain).
+  ConfusionMatrix evaluate(
+      std::span<const std::pair<SensingResult, std::string>> test) const;
+
+  std::size_t n_samples() const { return data_.size(); }
+  const std::vector<std::string>& class_names() const {
+    return data_.label_names();
+  }
+
+  /// Direct access to the training dataset (for classifier-comparison
+  /// benches that reuse the same features across backends).
+  const Dataset& dataset() const { return data_; }
+
+ private:
+  std::vector<double> features_of(const SensingResult& result) const;
+
+  ClassifierKind kind_;
+  std::unique_ptr<Classifier> classifier_;
+  Dataset data_;
+  bool trained_ = false;
+};
+
+}  // namespace rfp

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <string>
+
+#include "rfp/core/calibration.hpp"
+#include "rfp/core/disentangle.hpp"
+#include "rfp/core/error_detector.hpp"
+#include "rfp/core/fitting.hpp"
+#include "rfp/core/preprocess.hpp"
+#include "rfp/core/types.hpp"
+
+/// \file pipeline.hpp
+/// The RF-Prism facade: pre-processing -> per-antenna linear fitting (with
+/// multipath channel selection) -> error detection -> phase disentangling
+/// -> feature extraction, exactly the three-module architecture of paper
+/// Fig. 2. This is the main public entry point of the library.
+///
+/// Typical use:
+///
+///   RfPrism prism(config);
+///   prism.calibrate_reader(reference_round, reference_pose);   // once
+///   prism.calibrate_tag("tag-7", bare_round, reference_pose);  // per tag
+///   SensingResult r = prism.sense(round, "tag-7");
+///   if (r.valid) { use r.position / r.alpha / material features }
+
+namespace rfp {
+
+/// Everything the pipeline needs to know about the deployment and its own
+/// thresholds. Geometry is *as measured* — the pipeline never touches the
+/// simulator's ground truth.
+struct RfPrismConfig {
+  DeploymentGeometry geometry;
+  FittingConfig fitting;
+  ErrorDetectorConfig error_detector;
+  DisentangleConfig disentangle;
+
+  /// Run the error detector (paper §V-C). Disable to study its effect.
+  bool enable_error_detector = true;
+};
+
+/// Versatile phase-disentangling sensor.
+class RfPrism {
+ public:
+  /// Throws InvalidArgument unless the geometry has >= 3 antennas with
+  /// matching frames (>= 4 in 3D mode).
+  explicit RfPrism(RfPrismConfig config);
+
+  /// One-time antenna-port equalization (paper §IV-C): `round` must be
+  /// collected with a bare reference tag held at `reference`.
+  void calibrate_reader(const RoundTrace& round,
+                        const ReferencePose& reference);
+
+  /// Per-tag theta_device0 measurement (paper §V-B): `round` must be
+  /// collected with the bare tag `tag_id` at `reference`. Requires reader
+  /// calibration to have been performed first (throws Error otherwise).
+  void calibrate_tag(const std::string& tag_id, const RoundTrace& round,
+                     const ReferencePose& reference);
+
+  /// Full sensing pass over one hop round. Never throws on bad *data*
+  /// (the result carries valid=false + reason); throws InvalidArgument on
+  /// structurally wrong input (antenna count mismatch).
+  ///
+  /// `tag_id` selects the theta_device0 calibration for material features;
+  /// pass an empty id (or an uncalibrated tag's id) to skip device
+  /// compensation — localization and orientation are unaffected
+  /// (calibration-free by design).
+  SensingResult sense(const RoundTrace& round,
+                      const std::string& tag_id = {}) const;
+
+  const RfPrismConfig& config() const { return config_; }
+  const CalibrationDB& calibrations() const { return db_; }
+  bool reader_calibrated() const { return db_.reader().has_value(); }
+
+  /// Adopt calibrations measured by another pipeline instance over the
+  /// same deployment (e.g. a variant with different solver thresholds).
+  /// Throws InvalidArgument when the reader calibration's antenna count
+  /// does not match this geometry.
+  void import_calibrations(const CalibrationDB& db);
+
+ private:
+  std::vector<AntennaLine> fit_round(const RoundTrace& round,
+                                     bool apply_reader_cal) const;
+
+  RfPrismConfig config_;
+  CalibrationDB db_;
+};
+
+}  // namespace rfp

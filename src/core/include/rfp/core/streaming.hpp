@@ -1,0 +1,102 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rfp/core/pipeline.hpp"
+
+/// \file streaming.hpp
+/// Incremental multi-tag ingestion. A production reader does not deliver
+/// tidy per-tag rounds: it streams interleaved (tag, antenna, channel,
+/// phase, rssi) reports for the whole population. StreamingSensor
+/// assembles them into per-tag hop rounds and runs the RF-Prism pipeline
+/// whenever a tag's round completes — the shape a warehouse integration
+/// actually consumes.
+
+namespace rfp {
+
+/// One tag report from the reader stream.
+struct TagRead {
+  std::string tag_id;
+  std::size_t antenna = 0;
+  std::size_t channel = 0;
+  double frequency_hz = 0.0;
+  double time_s = 0.0;
+  double phase = 0.0;     ///< wrapped phase [rad]
+  double rssi_dbm = 0.0;
+};
+
+struct StreamingConfig {
+  /// A tag's round is complete when every antenna has at least this many
+  /// distinct channels.
+  std::size_t min_channels_per_antenna = 40;
+
+  /// Reads older than this relative to the newest read of the same tag
+  /// are discarded when a round is assembled (stale pose data).
+  double max_round_age_s = 30.0;
+
+  /// Drop a tag's partial state entirely if it has not been read for this
+  /// long (departed tags).
+  double tag_timeout_s = 120.0;
+};
+
+/// A completed sensing emission.
+struct StreamedResult {
+  std::string tag_id;
+  double completed_at_s = 0.0;  ///< time of the newest read in the round
+  SensingResult result;
+};
+
+/// Assembles reads into rounds and senses them.
+///
+/// The pipeline reference must outlive the sensor. Reads may arrive in
+/// any interleaving; per (tag, antenna, channel) the reads of the current
+/// round are pooled (the pipeline's dwell aggregation handles pi jumps
+/// and averaging).
+class StreamingSensor {
+ public:
+  StreamingSensor(const RfPrism& prism, StreamingConfig config = {});
+
+  /// Ingest one read. Throws InvalidArgument on an empty tag id or an
+  /// antenna index outside the pipeline geometry.
+  void push(const TagRead& read);
+
+  /// Ingest a batch.
+  void push(std::span<const TagRead> reads);
+
+  /// Emit results for every tag whose round is complete; those tags'
+  /// buffers are reset for the next round. Call at any cadence.
+  std::vector<StreamedResult> poll();
+
+  /// Tags currently being assembled.
+  std::size_t pending_tags() const { return pending_.size(); }
+
+  /// Total reads buffered across tags.
+  std::size_t buffered_reads() const;
+
+  /// Drop all partial state.
+  void clear() { pending_.clear(); }
+
+ private:
+  struct ChannelPool {
+    double frequency_hz = 0.0;
+    std::vector<double> phases;
+    std::vector<double> rssi;
+    double first_time_s = 0.0;
+  };
+  struct PendingTag {
+    // per antenna: channel -> pooled reads
+    std::vector<std::map<std::size_t, ChannelPool>> antennas;
+    double newest_time_s = 0.0;
+  };
+
+  bool round_complete(const PendingTag& tag) const;
+  RoundTrace assemble(PendingTag& tag) const;
+
+  const RfPrism* prism_;
+  StreamingConfig config_;
+  std::map<std::string, PendingTag> pending_;
+};
+
+}  // namespace rfp

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "rfp/core/types.hpp"
+
+/// \file survey.hpp
+/// Deployment survey refinement. The paper measures antenna coordinates
+/// by hand ("the accurate coordinates ... are measured during the
+/// deployment"); tape-measure error of a few centimeters is one of the
+/// dominant localization error sources (DESIGN.md §2.1). This tool turns
+/// the measurement around: collect hop rounds from reference tags at a
+/// handful of *known* positions and solve for the antenna positions that
+/// best explain the fitted slopes,
+///
+///     k[i][r] = 4*pi*|a_i - p_r|/c + kt_r ,
+///
+/// jointly over the N antenna positions (3N unknowns) and the per-round
+/// device slopes kt_r (R unknowns) from N*R slope observations. With the
+/// standard 3-antenna rig, 7+ reference positions over-determine the
+/// problem comfortably.
+
+namespace rfp {
+
+/// One reference observation: a known tag position and the per-antenna
+/// fitted lines of a round collected there (reader calibration applied).
+struct SurveyObservation {
+  Vec3 reference_position;
+  std::vector<AntennaLine> lines;
+};
+
+struct SurveyConfig {
+  /// Refine the antenna z coordinates too. Off by default: with the
+  /// reference tags coplanar (all on the tag plane), the out-of-plane
+  /// antenna coordinate is nearly unobservable (a gauge mode the
+  /// per-round kt absorbs), and mast heights are the easy part of a
+  /// survey anyway.
+  bool refine_z = false;
+
+  /// Gaussian prior pulling each refined coordinate toward its measured
+  /// value [m] — the tape measure is itself a measurement. <= 0 disables.
+  double prior_sigma = 0.05;
+};
+
+struct SurveyRefinementResult {
+  std::vector<Vec3> antenna_positions;  ///< refined
+  double initial_rms = 0.0;  ///< slope-equation RMS before [rad/Hz]
+  double refined_rms = 0.0;  ///< slope-equation RMS after [rad/Hz]
+  bool converged = false;
+};
+
+/// Refine the measured antenna positions. Requires >= 3 observations with
+/// every antenna usable in each (>= 3 inlier channels), and enough total
+/// observations to over-determine the unknowns (N*R >= 3N + R); throws
+/// InvalidArgument otherwise.
+SurveyRefinementResult refine_antenna_positions(
+    const DeploymentGeometry& geometry,
+    std::span<const SurveyObservation> observations,
+    const SurveyConfig& config = {});
+
+}  // namespace rfp

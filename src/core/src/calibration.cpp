@@ -1,0 +1,143 @@
+#include "rfp/core/calibration.hpp"
+
+#include <cmath>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+namespace {
+
+void check_lines(const DeploymentGeometry& geometry,
+                 std::span<const AntennaLine> lines) {
+  require(lines.size() == geometry.n_antennas(),
+          "calibration: line/antenna count mismatch");
+  require(geometry.antenna_frames.size() == geometry.n_antennas(),
+          "calibration: geometry missing antenna frames");
+  for (const auto& line : lines) {
+    require(line.fit.n >= 2, "calibration: unusable antenna line");
+  }
+}
+
+/// Slope and intercept residuals of line i after removing the known
+/// propagation and orientation terms at the reference pose.
+struct LineResidual {
+  double slope;      ///< k_i - 4*pi*d_i/c
+  double intercept;  ///< b_i - theta_orient_i (not yet wrapped)
+};
+
+LineResidual line_residual(const DeploymentGeometry& geometry,
+                           const AntennaLine& line,
+                           const ReferencePose& reference) {
+  const std::size_t ai = line.antenna;
+  const double d =
+      distance(geometry.antenna_positions[ai], reference.position);
+  const double orient = polarization_phase_toward(
+      geometry.antenna_frames[ai], geometry.antenna_positions[ai],
+      reference.position, reference.polarization);
+  return {line.fit.slope - kSlopePerMeter * d, line.fit.intercept - orient};
+}
+
+}  // namespace
+
+ReaderCalibration calibrate_reader(const DeploymentGeometry& geometry,
+                                   std::span<const AntennaLine> lines,
+                                   const ReferencePose& reference) {
+  check_lines(geometry, lines);
+  require(!lines.empty(), "calibrate_reader: no antennas");
+
+  const LineResidual base = line_residual(geometry, lines[0], reference);
+  ReaderCalibration cal;
+  cal.delta_k.resize(lines.size(), 0.0);
+  cal.delta_b.resize(lines.size(), 0.0);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const LineResidual r = line_residual(geometry, lines[i], reference);
+    cal.delta_k[i] = r.slope - base.slope;
+    cal.delta_b[i] = wrap_to_pi(r.intercept - base.intercept);
+  }
+  return cal;
+}
+
+void apply_reader_calibration(const ReaderCalibration& calibration,
+                              std::vector<AntennaLine>& lines) {
+  require(calibration.n_antennas() == lines.size(),
+          "apply_reader_calibration: antenna count mismatch");
+  for (auto& line : lines) {
+    const std::size_t ai = line.antenna;
+    require(ai < calibration.n_antennas(),
+            "apply_reader_calibration: antenna index out of range");
+    line.fit.slope -= calibration.delta_k[ai];
+    line.fit.intercept -= calibration.delta_b[ai];
+    line.fit.y_mean = line.fit.slope * line.fit.x_mean + line.fit.intercept;
+  }
+}
+
+TagCalibration calibrate_tag(const DeploymentGeometry& geometry,
+                             std::span<const AntennaLine> lines,
+                             const ReferencePose& reference) {
+  check_lines(geometry, lines);
+  require(!lines.empty(), "calibrate_tag: no antennas");
+
+  TagCalibration cal;
+  // Common-mode slope residual: every antenna sees the same device slope.
+  double kd_sum = 0.0;
+  std::vector<double> intercepts;
+  intercepts.reserve(lines.size());
+  for (const auto& line : lines) {
+    const LineResidual r = line_residual(geometry, line, reference);
+    kd_sum += r.slope;
+    intercepts.push_back(wrap_to_2pi(r.intercept));
+  }
+  cal.kd = kd_sum / static_cast<double>(lines.size());
+  cal.bd = wrap_to_2pi(circular_mean(intercepts));
+
+  // Antenna-averaged per-channel residual curve, indexed by channel.
+  cal.residual_curve.assign(kNumChannels, 0.0);
+  std::vector<std::size_t> counts(kNumChannels, 0);
+  for (const auto& line : lines) {
+    for (std::size_t j = 0; j < line.frequency_hz.size(); ++j) {
+      if (j < line.channel_inlier.size() && !line.channel_inlier[j]) continue;
+      const auto ch = static_cast<std::size_t>(std::llround(
+          (line.frequency_hz[j] - kFirstChannelHz) / kChannelSpacingHz));
+      if (ch >= kNumChannels) continue;
+      cal.residual_curve[ch] += line.residual[j];
+      ++counts[ch];
+    }
+  }
+  for (std::size_t ch = 0; ch < kNumChannels; ++ch) {
+    if (counts[ch] > 0) {
+      cal.residual_curve[ch] /= static_cast<double>(counts[ch]);
+    }
+  }
+  return cal;
+}
+
+void CalibrationDB::set_reader(ReaderCalibration calibration) {
+  reader_ = std::move(calibration);
+}
+
+void CalibrationDB::set_tag(const std::string& tag_id,
+                            TagCalibration calibration) {
+  require(!tag_id.empty(), "CalibrationDB::set_tag: empty tag id");
+  tags_[tag_id] = std::move(calibration);
+}
+
+const TagCalibration* CalibrationDB::find_tag(const std::string& tag_id) const {
+  const auto it = tags_.find(tag_id);
+  return it == tags_.end() ? nullptr : &it->second;
+}
+
+bool CalibrationDB::has_tag(const std::string& tag_id) const {
+  return tags_.contains(tag_id);
+}
+
+std::vector<std::string> CalibrationDB::tag_ids() const {
+  std::vector<std::string> out;
+  out.reserve(tags_.size());
+  for (const auto& [id, cal] : tags_) out.push_back(id);
+  return out;
+}
+
+}  // namespace rfp

@@ -1,0 +1,287 @@
+#include "rfp/core/disentangle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/solver/levenberg_marquardt.hpp"
+
+namespace rfp {
+
+namespace {
+
+/// Lines with enough inlier channels to trust, paired with their antenna's
+/// geometry index.
+std::vector<const AntennaLine*> usable_lines(
+    std::span<const AntennaLine> lines) {
+  std::vector<const AntennaLine*> out;
+  for (const auto& line : lines) {
+    if (line.fit.n >= 3) out.push_back(&line);
+  }
+  return out;
+}
+
+/// Closed-form kt at position p: mean of (k_i - C*d_i).
+double kt_at(const DeploymentGeometry& geometry,
+             const std::vector<const AntennaLine*>& lines, Vec3 p) {
+  double s = 0.0;
+  for (const AntennaLine* line : lines) {
+    const double d = distance(geometry.antenna_positions[line->antenna], p);
+    s += line->fit.slope - kSlopePerMeter * d;
+  }
+  return s / static_cast<double>(lines.size());
+}
+
+double slope_rss(const DeploymentGeometry& geometry,
+                 const std::vector<const AntennaLine*>& lines, Vec3 p) {
+  const double kt = kt_at(geometry, lines, p);
+  double rss = 0.0;
+  for (const AntennaLine* line : lines) {
+    const double d = distance(geometry.antenna_positions[line->antenna], p);
+    const double r = line->fit.slope - kSlopePerMeter * d - kt;
+    rss += r * r;
+  }
+  return rss;
+}
+
+/// Closed-form bt at polarization w (circular mean of b_i - orient_i) and
+/// the resulting wrapped residual sum of squares.
+struct InterceptCost {
+  double bt = 0.0;
+  double rss = 0.0;
+};
+
+InterceptCost intercept_cost(const DeploymentGeometry& geometry,
+                             const std::vector<const AntennaLine*>& lines,
+                             const std::vector<OrthoFrame>& ray_frames,
+                             Vec3 w) {
+  std::vector<double> residual_angles;
+  residual_angles.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    (void)geometry;
+    const double orient = polarization_phase(ray_frames[i], w);
+    residual_angles.push_back(
+        wrap_to_2pi(lines[i]->fit.intercept - orient));
+  }
+  InterceptCost out;
+  out.bt = wrap_to_2pi(circular_mean(residual_angles));
+  for (double a : residual_angles) {
+    const double r = ang_diff(a, out.bt);
+    out.rss += r * r;
+  }
+  return out;
+}
+
+/// Propagation-adjusted aperture frames for all usable lines at candidate
+/// tag position `p`.
+std::vector<OrthoFrame> ray_frames_at(
+    const DeploymentGeometry& geometry,
+    const std::vector<const AntennaLine*>& lines, Vec3 p) {
+  std::vector<OrthoFrame> out;
+  out.reserve(lines.size());
+  for (const AntennaLine* line : lines) {
+    out.push_back(propagation_adjusted_frame(
+        geometry.antenna_frames[line->antenna],
+        geometry.antenna_positions[line->antenna], p));
+  }
+  return out;
+}
+
+}  // namespace
+
+double position_cost(const DeploymentGeometry& geometry,
+                     std::span<const AntennaLine> lines, Vec3 p) {
+  const auto usable = usable_lines(lines);
+  require(!usable.empty(), "position_cost: no usable lines");
+  return std::sqrt(slope_rss(geometry, usable, p) /
+                   static_cast<double>(usable.size()));
+}
+
+double orientation_cost(const DeploymentGeometry& geometry,
+                        std::span<const AntennaLine> lines, Vec3 tag_position,
+                        Vec3 w) {
+  const auto usable = usable_lines(lines);
+  require(!usable.empty(), "orientation_cost: no usable lines");
+  const auto frames = ray_frames_at(geometry, usable, tag_position);
+  return std::sqrt(intercept_cost(geometry, usable, frames, w).rss /
+                   static_cast<double>(usable.size()));
+}
+
+PositionSolve solve_position(const DeploymentGeometry& geometry,
+                             std::span<const AntennaLine> lines,
+                             const DisentangleConfig& config) {
+  const auto usable = usable_lines(lines);
+  const bool mode_3d = config.grid_nz > 1;
+  const std::size_t min_antennas = mode_3d ? 4 : 3;
+  require(usable.size() >= min_antennas,
+          "solve_position: not enough usable antenna lines");
+  require(config.grid_nx >= 2 && config.grid_ny >= 2,
+          "solve_position: grid too coarse");
+  for (const AntennaLine* line : usable) {
+    require(line->antenna < geometry.n_antennas(),
+            "solve_position: line references unknown antenna");
+  }
+
+  // ---- Stage A1: grid multi-start over the working region -------------
+  const Rect& region = geometry.working_region;
+  Vec3 best{region.center().x, region.center().y, geometry.tag_plane_z};
+  double best_rss = std::numeric_limits<double>::infinity();
+
+  const std::size_t nz = std::max<std::size_t>(config.grid_nz, 1);
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    const double z =
+        mode_3d ? config.z_lo + (config.z_hi - config.z_lo) *
+                                    static_cast<double>(iz) /
+                                    static_cast<double>(nz - 1)
+                : geometry.tag_plane_z;
+    for (std::size_t iy = 0; iy < config.grid_ny; ++iy) {
+      const double y = region.lo.y + region.height() *
+                                         static_cast<double>(iy) /
+                                         static_cast<double>(config.grid_ny - 1);
+      for (std::size_t ix = 0; ix < config.grid_nx; ++ix) {
+        const double x = region.lo.x + region.width() *
+                                           static_cast<double>(ix) /
+                                           static_cast<double>(config.grid_nx - 1);
+        const Vec3 p{x, y, z};
+        const double rss = slope_rss(geometry, usable, p);
+        if (rss < best_rss) {
+          best_rss = rss;
+          best = p;
+        }
+      }
+    }
+  }
+
+  PositionSolve solve;
+  solve.position = best;
+  solve.converged = true;
+
+  // ---- Stage A2: Levenberg-Marquardt refinement ------------------------
+  if (config.refine) {
+    const std::size_t n_params = mode_3d ? 3 : 2;
+    std::vector<double> initial{best.x, best.y};
+    if (mode_3d) initial.push_back(best.z);
+
+    const auto residual_fn = [&](std::span<const double> params,
+                                 std::span<double> residuals) {
+      const Vec3 p{params[0], params[1],
+                   mode_3d ? params[2] : geometry.tag_plane_z};
+      const double kt = kt_at(geometry, usable, p);
+      for (std::size_t i = 0; i < usable.size(); ++i) {
+        const double d =
+            distance(geometry.antenna_positions[usable[i]->antenna], p);
+        // Scale rad/Hz residuals into O(1) units (rad/Hz -> rad/GHz).
+        residuals[i] =
+            (usable[i]->fit.slope - kSlopePerMeter * d - kt) * 1e9;
+      }
+    };
+
+    LmOptions options;
+    options.parameter_scales.assign(n_params, 0.05);  // meters
+    const LmResult lm = levenberg_marquardt(residual_fn, initial,
+                                            usable.size(), options);
+    const Vec3 refined{lm.params[0], lm.params[1],
+                       mode_3d ? lm.params[2] : geometry.tag_plane_z};
+    // Keep the refinement only if it stayed in (a modest margin around)
+    // the search region and actually improved.
+    const Rect margin{{region.lo.x - 0.2, region.lo.y - 0.2},
+                      {region.hi.x + 0.2, region.hi.y + 0.2}};
+    if (margin.contains(refined.xy()) &&
+        slope_rss(geometry, usable, refined) <= best_rss) {
+      solve.position = refined;
+      solve.converged = lm.converged;
+    }
+  }
+
+  solve.kt = kt_at(geometry, usable, solve.position);
+  solve.rms = std::sqrt(slope_rss(geometry, usable, solve.position) /
+                        static_cast<double>(usable.size()));
+  return solve;
+}
+
+OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
+                                   std::span<const AntennaLine> lines,
+                                   Vec3 tag_position,
+                                   const DisentangleConfig& config) {
+  const auto usable = usable_lines(lines);
+  require(usable.size() >= 3, "solve_orientation: need >= 3 usable lines");
+  require(config.orientation_scan_steps >= 8,
+          "solve_orientation: scan too coarse");
+  require(geometry.antenna_frames.size() == geometry.n_antennas(),
+          "solve_orientation: geometry missing frames");
+  const bool mode_3d = config.grid_nz > 1;
+  const auto frames = ray_frames_at(geometry, usable, tag_position);
+
+  OrientationSolve best;
+  double best_rss = std::numeric_limits<double>::infinity();
+
+  const std::size_t az_steps = config.orientation_scan_steps;
+  // theta_orient has period pi in the polarization angle (w ~ -w), so a
+  // half-turn of azimuth covers everything in 2D.
+  for (std::size_t ia = 0; ia < az_steps; ++ia) {
+    const double alpha =
+        kPi * static_cast<double>(ia) / static_cast<double>(az_steps);
+    if (!mode_3d) {
+      const Vec3 w = planar_polarization(alpha);
+      const InterceptCost c = intercept_cost(geometry, usable, frames, w);
+      if (c.rss < best_rss) {
+        best_rss = c.rss;
+        best.alpha = alpha;
+        best.polarization = w;
+        best.bt = c.bt;
+      }
+    } else {
+      const std::size_t el_steps = std::max<std::size_t>(az_steps / 2, 4);
+      for (std::size_t ie = 0; ie < el_steps; ++ie) {
+        const double elevation =
+            -kPi / 2.0 + kPi * static_cast<double>(ie) /
+                             static_cast<double>(el_steps - 1);
+        const Vec3 w = spherical_polarization(alpha, elevation);
+        const InterceptCost c = intercept_cost(geometry, usable, frames, w);
+        if (c.rss < best_rss) {
+          best_rss = c.rss;
+          best.alpha = alpha;
+          best.polarization = w;
+          best.bt = c.bt;
+        }
+      }
+    }
+  }
+
+  // Local golden-section style refinement around the best scan cell (2D
+  // only; the 3D scan is already dense enough for the grid resolution).
+  if (!mode_3d) {
+    double lo = best.alpha - kPi / static_cast<double>(az_steps);
+    double hi = best.alpha + kPi / static_cast<double>(az_steps);
+    for (int iter = 0; iter < 40; ++iter) {
+      const double m1 = lo + (hi - lo) * 0.382;
+      const double m2 = lo + (hi - lo) * 0.618;
+      const double c1 =
+          intercept_cost(geometry, usable, frames, planar_polarization(m1))
+              .rss;
+      const double c2 =
+          intercept_cost(geometry, usable, frames, planar_polarization(m2))
+              .rss;
+      if (c1 < c2) {
+        hi = m2;
+      } else {
+        lo = m1;
+      }
+    }
+    const double alpha = wrap_to_2pi((lo + hi) / 2.0);
+    best.alpha = alpha >= kPi ? alpha - kPi : alpha;
+    best.polarization = planar_polarization(best.alpha);
+    const InterceptCost c =
+        intercept_cost(geometry, usable, frames, best.polarization);
+    best.bt = c.bt;
+    best_rss = c.rss;
+  }
+
+  best.rms = std::sqrt(best_rss / static_cast<double>(usable.size()));
+  return best;
+}
+
+}  // namespace rfp

@@ -1,0 +1,52 @@
+#include "rfp/core/error_detector.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "rfp/common/error.hpp"
+#include "rfp/dsp/stats.hpp"
+
+namespace rfp {
+
+RejectReason detect_errors(std::span<const AntennaLine> lines,
+                           const ErrorDetectorConfig& config) {
+  require(!lines.empty(), "detect_errors: no lines");
+
+  std::size_t median_violations = 0;
+  for (const auto& line : lines) {
+    // Broken linearity first: a line that most channels refuse to support
+    // means the pose changed during the round, not that channels are
+    // merely corrupted.
+    if (line.n_channels > 0 &&
+        static_cast<double>(line.fit.n) <
+            config.min_line_support_fraction *
+                static_cast<double>(line.n_channels)) {
+      return RejectReason::kMobility;
+    }
+    if (line.fit.n < config.min_inlier_channels) {
+      return RejectReason::kTooFewChannels;
+    }
+    // RMSE over inlier channels only: multipath outliers were already
+    // excluded, so what remains measures genuine nonlinearity.
+    if (line.fit.rmse > config.max_fit_rmse) {
+      return RejectReason::kMobility;
+    }
+    std::vector<double> inlier_abs;
+    inlier_abs.reserve(line.residual.size());
+    for (std::size_t j = 0; j < line.residual.size(); ++j) {
+      if (j < line.channel_inlier.size() && !line.channel_inlier[j]) continue;
+      inlier_abs.push_back(std::abs(line.residual[j]));
+    }
+    if (!inlier_abs.empty() &&
+        median(std::span<const double>(inlier_abs)) >
+            config.max_median_residual) {
+      ++median_violations;
+    }
+  }
+  if (median_violations * 2 > lines.size()) {
+    return RejectReason::kMobility;
+  }
+  return RejectReason::kNone;
+}
+
+}  // namespace rfp

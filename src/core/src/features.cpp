@@ -1,0 +1,56 @@
+#include "rfp/core/features.hpp"
+
+#include <cmath>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+std::vector<double> material_signature(std::span<const AntennaLine> lines) {
+  require(!lines.empty(), "material_signature: no lines");
+  std::vector<double> signature(kNumChannels, 0.0);
+  std::vector<std::size_t> counts(kNumChannels, 0);
+  for (const auto& line : lines) {
+    require(line.residual.size() == line.frequency_hz.size(),
+            "material_signature: malformed line");
+    for (std::size_t j = 0; j < line.frequency_hz.size(); ++j) {
+      if (j < line.channel_inlier.size() && !line.channel_inlier[j]) continue;
+      const auto ch = static_cast<std::size_t>(std::llround(
+          (line.frequency_hz[j] - kFirstChannelHz) / kChannelSpacingHz));
+      if (ch >= kNumChannels) continue;
+      signature[ch] += line.residual[j];
+      ++counts[ch];
+    }
+  }
+  for (std::size_t ch = 0; ch < kNumChannels; ++ch) {
+    if (counts[ch] > 0) signature[ch] /= static_cast<double>(counts[ch]);
+  }
+  return signature;
+}
+
+void apply_tag_calibration(const TagCalibration& calibration, double& kt,
+                           double& bt, std::vector<double>& signature) {
+  kt -= calibration.kd;
+  bt = wrap_to_pi(bt - calibration.bd);
+  if (!calibration.residual_curve.empty()) {
+    require(calibration.residual_curve.size() == signature.size(),
+            "apply_tag_calibration: curve length mismatch");
+    for (std::size_t ch = 0; ch < signature.size(); ++ch) {
+      signature[ch] -= calibration.residual_curve[ch];
+    }
+  }
+}
+
+std::vector<double> material_features(double kt, double bt,
+                                      std::span<const double> signature) {
+  std::vector<double> features;
+  features.reserve(2 + signature.size());
+  features.push_back(kt * 1e9);  // rad/Hz -> rad/GHz
+  features.push_back(bt);
+  features.insert(features.end(), signature.begin(), signature.end());
+  return features;
+}
+
+}  // namespace rfp

@@ -1,0 +1,80 @@
+#include "rfp/core/identifier.hpp"
+
+#include "rfp/common/error.hpp"
+#include "rfp/core/features.hpp"
+#include "rfp/ml/decision_tree.hpp"
+#include "rfp/ml/knn.hpp"
+#include "rfp/ml/svm.hpp"
+
+namespace rfp {
+
+const char* to_string(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kKnn:
+      return "knn";
+    case ClassifierKind::kSvm:
+      return "svm";
+    case ClassifierKind::kDecisionTree:
+      return "decision_tree";
+  }
+  return "?";
+}
+
+std::unique_ptr<Classifier> make_classifier(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kKnn:
+      return std::make_unique<KnnClassifier>();
+    case ClassifierKind::kSvm:
+      return std::make_unique<SvmClassifier>();
+    case ClassifierKind::kDecisionTree:
+      return std::make_unique<DecisionTreeClassifier>();
+  }
+  throw InvalidArgument("make_classifier: unknown kind");
+}
+
+MaterialIdentifier::MaterialIdentifier(ClassifierKind kind)
+    : kind_(kind), classifier_(make_classifier(kind)) {}
+
+std::vector<double> MaterialIdentifier::features_of(
+    const SensingResult& result) const {
+  require(result.valid, "MaterialIdentifier: invalid sensing result");
+  require(!result.material_signature.empty(),
+          "MaterialIdentifier: result has no material signature");
+  return material_features(result.kt, result.bt, result.material_signature);
+}
+
+void MaterialIdentifier::add_sample(const SensingResult& result,
+                                    const std::string& material) {
+  require(!material.empty(), "MaterialIdentifier: empty material name");
+  data_.add(features_of(result), data_.label_id(material));
+  trained_ = false;
+}
+
+void MaterialIdentifier::train() {
+  require(!data_.empty(), "MaterialIdentifier::train: no samples");
+  classifier_->fit(data_);
+  trained_ = true;
+}
+
+std::string MaterialIdentifier::predict(const SensingResult& result) const {
+  if (!trained_) throw Error("MaterialIdentifier: train() first");
+  const int label = classifier_->predict(features_of(result));
+  return data_.label_names()[static_cast<std::size_t>(label)];
+}
+
+ConfusionMatrix MaterialIdentifier::evaluate(
+    std::span<const std::pair<SensingResult, std::string>> test) const {
+  if (!trained_) throw Error("MaterialIdentifier: train() first");
+  ConfusionMatrix cm(data_.label_names());
+  Dataset lookup(data_.label_names());
+  for (const auto& [result, material] : test) {
+    const int true_label = lookup.label_id(material);
+    require(static_cast<std::size_t>(true_label) < data_.label_names().size(),
+            "MaterialIdentifier::evaluate: unseen material class");
+    const int predicted = classifier_->predict(features_of(result));
+    cm.record(true_label, predicted);
+  }
+  return cm;
+}
+
+}  // namespace rfp

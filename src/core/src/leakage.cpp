@@ -1,0 +1,59 @@
+#include "rfp/core/leakage.hpp"
+
+#include "rfp/common/constants.hpp"
+
+namespace rfp {
+
+const char* to_string(LeakageStatus status) {
+  switch (status) {
+    case LeakageStatus::kLearning:
+      return "learning";
+    case LeakageStatus::kSteady:
+      return "steady";
+    case LeakageStatus::kAlarm:
+      return "alarm";
+  }
+  return "?";
+}
+
+namespace {
+
+CusumConfig cusum_config(std::size_t warmup, double drift, double threshold,
+                         double period = 0.0) {
+  CusumConfig config;
+  config.warmup = warmup;
+  config.drift = drift;
+  config.threshold = threshold;
+  config.period = period;
+  return config;
+}
+
+}  // namespace
+
+LeakageMonitor::LeakageMonitor(LeakageConfig config)
+    : config_(config),
+      kt_(cusum_config(config.warmup_rounds, config.kt_drift,
+                       config.kt_threshold)),
+      bt_(cusum_config(config.warmup_rounds, config.bt_drift,
+                       config.bt_threshold, kTwoPi)) {}
+
+LeakageStatus LeakageMonitor::update(const SensingResult& result) {
+  if (!result.valid) return status();
+  // kt in rad/GHz so both streams live at O(1) scales.
+  kt_.update(result.kt * 1e9);
+  bt_.update(result.bt);
+  return status();
+}
+
+LeakageStatus LeakageMonitor::status() const {
+  if (kt_.alarmed() || bt_.alarmed()) return LeakageStatus::kAlarm;
+  if (!kt_.armed()) return LeakageStatus::kLearning;
+  return LeakageStatus::kSteady;
+}
+
+void LeakageMonitor::reset() {
+  kt_.reset();
+  bt_.reset();
+}
+
+}  // namespace rfp

@@ -1,0 +1,118 @@
+#include "rfp/core/pipeline.hpp"
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/core/features.hpp"
+
+namespace rfp {
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kMobility:
+      return "mobility";
+    case RejectReason::kTooFewChannels:
+      return "too_few_channels";
+    case RejectReason::kSolverFailure:
+      return "solver_failure";
+  }
+  return "?";
+}
+
+RfPrism::RfPrism(RfPrismConfig config) : config_(std::move(config)) {
+  const bool mode_3d = config_.disentangle.grid_nz > 1;
+  const std::size_t min_antennas = mode_3d ? 4 : 3;
+  require(config_.geometry.n_antennas() >= min_antennas,
+          "RfPrism: not enough antennas for the sensing mode");
+  require(config_.geometry.antenna_frames.size() ==
+              config_.geometry.n_antennas(),
+          "RfPrism: antenna frames/positions mismatch");
+}
+
+void RfPrism::import_calibrations(const CalibrationDB& db) {
+  if (db.reader().has_value()) {
+    require(db.reader()->n_antennas() == config_.geometry.n_antennas(),
+            "RfPrism::import_calibrations: antenna count mismatch");
+  }
+  db_ = db;
+}
+
+std::vector<AntennaLine> RfPrism::fit_round(const RoundTrace& round,
+                                            bool apply_reader_cal) const {
+  require(round.n_antennas == config_.geometry.n_antennas(),
+          "RfPrism: round antenna count does not match geometry");
+  const std::vector<AntennaTrace> traces = preprocess_round(round);
+  std::vector<AntennaLine> lines = fit_all_antennas(traces, config_.fitting);
+  if (apply_reader_cal && db_.reader().has_value()) {
+    apply_reader_calibration(*db_.reader(), lines);
+  }
+  return lines;
+}
+
+void RfPrism::calibrate_reader(const RoundTrace& round,
+                               const ReferencePose& reference) {
+  const std::vector<AntennaLine> lines =
+      fit_round(round, /*apply_reader_cal=*/false);
+  db_.set_reader(::rfp::calibrate_reader(config_.geometry, lines, reference));
+}
+
+void RfPrism::calibrate_tag(const std::string& tag_id, const RoundTrace& round,
+                            const ReferencePose& reference) {
+  require(!tag_id.empty(), "RfPrism::calibrate_tag: empty tag id");
+  if (!db_.reader().has_value()) {
+    throw Error("RfPrism::calibrate_tag: reader calibration required first");
+  }
+  const std::vector<AntennaLine> lines =
+      fit_round(round, /*apply_reader_cal=*/true);
+  db_.set_tag(tag_id, ::rfp::calibrate_tag(config_.geometry, lines, reference));
+}
+
+SensingResult RfPrism::sense(const RoundTrace& round,
+                             const std::string& tag_id) const {
+  SensingResult result;
+  result.lines = fit_round(round, /*apply_reader_cal=*/true);
+
+  if (config_.enable_error_detector) {
+    const RejectReason reason =
+        detect_errors(result.lines, config_.error_detector);
+    if (reason != RejectReason::kNone) {
+      result.valid = false;
+      result.reject_reason = reason;
+      return result;
+    }
+  }
+
+  try {
+    const PositionSolve pos =
+        solve_position(config_.geometry, result.lines, config_.disentangle);
+    const OrientationSolve orient = solve_orientation(
+        config_.geometry, result.lines, pos.position, config_.disentangle);
+
+    result.position = pos.position;
+    result.position_residual = pos.rms;
+    result.kt = pos.kt;
+    result.alpha = orient.alpha;
+    result.polarization = orient.polarization;
+    result.orientation_residual = orient.rms;
+    result.bt = orient.bt;
+  } catch (const Error&) {
+    result.valid = false;
+    result.reject_reason = RejectReason::kSolverFailure;
+    return result;
+  }
+
+  result.material_signature = material_signature(result.lines);
+  if (!tag_id.empty()) {
+    if (const TagCalibration* cal = db_.find_tag(tag_id)) {
+      apply_tag_calibration(*cal, result.kt, result.bt,
+                            result.material_signature);
+    }
+  }
+
+  result.valid = true;
+  result.reject_reason = RejectReason::kNone;
+  return result;
+}
+
+}  // namespace rfp

@@ -1,0 +1,69 @@
+#include "rfp/core/preprocess.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "rfp/common/error.hpp"
+#include "rfp/dsp/stats.hpp"
+
+namespace rfp {
+
+std::vector<AntennaTrace> preprocess_round(const RoundTrace& round) {
+  require(round.n_antennas > 0, "preprocess_round: zero antennas");
+
+  // Aggregate each dwell, grouped by antenna, keyed by frequency so the
+  // random hop order comes out sorted.
+  struct ChannelAgg {
+    ChannelPhase phase;
+    double rssi = 0.0;
+  };
+  std::vector<std::map<double, ChannelAgg>> per_antenna(round.n_antennas);
+
+  for (const Dwell& dwell : round.dwells) {
+    require(dwell.antenna < round.n_antennas,
+            "preprocess_round: antenna index out of range");
+    if (dwell.phases.empty()) continue;
+    ChannelAgg agg;
+    agg.phase = aggregate_dwell(dwell.frequency_hz, dwell.phases);
+    agg.rssi = dwell.rssi_dbm.empty()
+                   ? 0.0
+                   : mean(std::span<const double>(dwell.rssi_dbm));
+    // A channel can be visited twice in odd hop plans; keep the dwell with
+    // more reads (better averaging).
+    auto [it, inserted] = per_antenna[dwell.antenna].try_emplace(
+        dwell.frequency_hz, std::move(agg));
+    if (!inserted && dwell.phases.size() > it->second.phase.n_reads) {
+      it->second = std::move(agg);
+    }
+  }
+
+  std::vector<AntennaTrace> out;
+  out.reserve(round.n_antennas);
+  for (std::size_t ai = 0; ai < round.n_antennas; ++ai) {
+    AntennaTrace at;
+    at.antenna = ai;
+    if (!per_antenna[ai].empty()) {
+      std::vector<ChannelPhase> channels;
+      channels.reserve(per_antenna[ai].size());
+      at.mean_rssi_dbm.reserve(per_antenna[ai].size());
+      at.phase_spread.reserve(per_antenna[ai].size());
+      at.wrapped_phase.reserve(per_antenna[ai].size());
+      for (const auto& [freq, agg] : per_antenna[ai]) {
+        channels.push_back(agg.phase);
+        at.wrapped_phase.push_back(agg.phase.phase);
+        at.mean_rssi_dbm.push_back(agg.rssi);
+        at.phase_spread.push_back(agg.phase.spread);
+      }
+      at.trace = unwrap_trace(channels);
+    }
+    out.push_back(std::move(at));
+  }
+  return out;
+}
+
+double trace_mean_rssi(const AntennaTrace& trace) {
+  require(!trace.mean_rssi_dbm.empty(), "trace_mean_rssi: empty trace");
+  return mean(std::span<const double>(trace.mean_rssi_dbm));
+}
+
+}  // namespace rfp

@@ -1,0 +1,107 @@
+#include "rfp/core/streaming.hpp"
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+StreamingSensor::StreamingSensor(const RfPrism& prism, StreamingConfig config)
+    : prism_(&prism), config_(config) {
+  require(config_.min_channels_per_antenna >= 3,
+          "StreamingSensor: need at least 3 channels per antenna");
+  require(config_.max_round_age_s > 0.0 && config_.tag_timeout_s > 0.0,
+          "StreamingSensor: ages must be positive");
+}
+
+void StreamingSensor::push(const TagRead& read) {
+  require(!read.tag_id.empty(), "StreamingSensor: empty tag id");
+  const std::size_t n_antennas = prism_->config().geometry.n_antennas();
+  require(read.antenna < n_antennas,
+          "StreamingSensor: antenna index out of range");
+  require(read.frequency_hz > 0.0, "StreamingSensor: bad frequency");
+
+  PendingTag& tag = pending_[read.tag_id];
+  if (tag.antennas.empty()) tag.antennas.resize(n_antennas);
+  ChannelPool& pool = tag.antennas[read.antenna][read.channel];
+  if (pool.phases.empty()) {
+    pool.frequency_hz = read.frequency_hz;
+    pool.first_time_s = read.time_s;
+  }
+  pool.phases.push_back(read.phase);
+  pool.rssi.push_back(read.rssi_dbm);
+  tag.newest_time_s = std::max(tag.newest_time_s, read.time_s);
+}
+
+void StreamingSensor::push(std::span<const TagRead> reads) {
+  for (const TagRead& read : reads) push(read);
+}
+
+bool StreamingSensor::round_complete(const PendingTag& tag) const {
+  if (tag.antennas.empty()) return false;
+  for (const auto& antenna : tag.antennas) {
+    if (antenna.size() < config_.min_channels_per_antenna) return false;
+  }
+  return true;
+}
+
+RoundTrace StreamingSensor::assemble(PendingTag& tag) const {
+  RoundTrace round;
+  round.n_antennas = tag.antennas.size();
+  const double cutoff = tag.newest_time_s - config_.max_round_age_s;
+  for (std::size_t ai = 0; ai < tag.antennas.size(); ++ai) {
+    for (auto& [channel, pool] : tag.antennas[ai]) {
+      if (pool.first_time_s < cutoff) continue;  // stale pose data
+      Dwell dwell;
+      dwell.antenna = ai;
+      dwell.channel = channel;
+      dwell.frequency_hz = pool.frequency_hz;
+      dwell.start_time_s = pool.first_time_s;
+      dwell.phases = std::move(pool.phases);
+      dwell.rssi_dbm = std::move(pool.rssi);
+      round.dwells.push_back(std::move(dwell));
+    }
+  }
+  round.duration_s = config_.max_round_age_s;
+  return round;
+}
+
+std::vector<StreamedResult> StreamingSensor::poll() {
+  std::vector<StreamedResult> out;
+  double now = 0.0;
+  for (const auto& [id, tag] : pending_) {
+    now = std::max(now, tag.newest_time_s);
+  }
+
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingTag& tag = it->second;
+    if (round_complete(tag)) {
+      StreamedResult emitted;
+      emitted.tag_id = it->first;
+      emitted.completed_at_s = tag.newest_time_s;
+      emitted.result = prism_->sense(assemble(tag), it->first);
+      out.push_back(std::move(emitted));
+      it = pending_.erase(it);
+      continue;
+    }
+    if (now - tag.newest_time_s > config_.tag_timeout_s) {
+      // Departed tag: drop the stale partial round.
+      it = pending_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::size_t StreamingSensor::buffered_reads() const {
+  std::size_t total = 0;
+  for (const auto& [id, tag] : pending_) {
+    for (const auto& antenna : tag.antennas) {
+      for (const auto& [channel, pool] : antenna) {
+        total += pool.phases.size();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace rfp

@@ -1,0 +1,168 @@
+#include "rfp/core/survey.hpp"
+
+#include <cmath>
+
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/solver/levenberg_marquardt.hpp"
+
+namespace rfp {
+
+namespace {
+
+/// Parameter layout: per antenna x, y [, z], then per-round kt.
+struct Problem {
+  std::size_t n_antennas;
+  std::size_t n_rounds;
+  bool refine_z;
+  bool use_prior;
+
+  std::size_t coords_per_antenna() const { return refine_z ? 3 : 2; }
+  std::size_t n_params() const {
+    return coords_per_antenna() * n_antennas + n_rounds;
+  }
+  std::size_t n_slope_residuals() const { return n_antennas * n_rounds; }
+  std::size_t n_residuals() const {
+    return n_slope_residuals() +
+           (use_prior ? coords_per_antenna() * n_antennas : 0);
+  }
+
+  Vec3 antenna(std::span<const double> p, std::size_t i,
+               const DeploymentGeometry& geometry) const {
+    const std::size_t c = coords_per_antenna();
+    return {p[c * i], p[c * i + 1],
+            refine_z ? p[c * i + 2] : geometry.antenna_positions[i].z};
+  }
+  double kt(std::span<const double> p, std::size_t r) const {
+    return p[coords_per_antenna() * n_antennas + r];
+  }
+};
+
+double rms_slope_residual(const Problem& problem,
+                          const DeploymentGeometry& geometry,
+                          std::span<const SurveyObservation> observations,
+                          std::span<const double> params) {
+  double rss = 0.0;
+  for (std::size_t r = 0; r < observations.size(); ++r) {
+    for (std::size_t i = 0; i < problem.n_antennas; ++i) {
+      const double d = distance(problem.antenna(params, i, geometry),
+                                observations[r].reference_position);
+      const double predicted = kSlopePerMeter * d + problem.kt(params, r);
+      const double residual = observations[r].lines[i].fit.slope - predicted;
+      rss += residual * residual;
+    }
+  }
+  return std::sqrt(rss / static_cast<double>(problem.n_slope_residuals()));
+}
+
+}  // namespace
+
+SurveyRefinementResult refine_antenna_positions(
+    const DeploymentGeometry& geometry,
+    std::span<const SurveyObservation> observations,
+    const SurveyConfig& config) {
+  const std::size_t n_antennas = geometry.n_antennas();
+  const std::size_t n_rounds = observations.size();
+  require(n_rounds >= 3, "refine_antenna_positions: need >= 3 observations");
+  const Problem problem{n_antennas, n_rounds, config.refine_z,
+                        config.prior_sigma > 0.0};
+  require(problem.n_slope_residuals() >=
+              problem.coords_per_antenna() * n_antennas + n_rounds,
+          "refine_antenna_positions: under-determined (add reference "
+          "positions)");
+  for (const auto& observation : observations) {
+    require(observation.lines.size() == n_antennas,
+            "refine_antenna_positions: line/antenna count mismatch");
+    for (const auto& line : observation.lines) {
+      require(line.fit.n >= 3,
+              "refine_antenna_positions: unusable antenna line");
+      require(line.antenna < n_antennas,
+              "refine_antenna_positions: antenna index out of range");
+    }
+  }
+
+  // Initial guess: the measured positions; kt_r from the mean slope
+  // residual at those positions.
+  const std::size_t coords = problem.coords_per_antenna();
+  std::vector<double> params(problem.n_params(), 0.0);
+  for (std::size_t i = 0; i < n_antennas; ++i) {
+    params[coords * i] = geometry.antenna_positions[i].x;
+    params[coords * i + 1] = geometry.antenna_positions[i].y;
+    if (config.refine_z) {
+      params[coords * i + 2] = geometry.antenna_positions[i].z;
+    }
+  }
+  for (std::size_t r = 0; r < n_rounds; ++r) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n_antennas; ++i) {
+      const double d = distance(geometry.antenna_positions[i],
+                                observations[r].reference_position);
+      s += observations[r].lines[i].fit.slope - kSlopePerMeter * d;
+    }
+    params[coords * n_antennas + r] = s / static_cast<double>(n_antennas);
+  }
+
+  SurveyRefinementResult result;
+  result.initial_rms =
+      rms_slope_residual(problem, geometry, observations, params);
+
+  // Prior weight: a coordinate deviation of prior_sigma costs as much as
+  // a 1 rad/GHz slope residual (the residuals below are scaled to
+  // rad/GHz).
+  const double prior_weight =
+      problem.use_prior ? 1.0 / config.prior_sigma : 0.0;
+
+  const ResidualFn fn = [&](std::span<const double> p,
+                            std::span<double> residuals) {
+    std::size_t idx = 0;
+    for (std::size_t r = 0; r < n_rounds; ++r) {
+      for (std::size_t i = 0; i < n_antennas; ++i) {
+        const double d = distance(problem.antenna(p, i, geometry),
+                                  observations[r].reference_position);
+        residuals[idx++] =
+            (observations[r].lines[i].fit.slope - kSlopePerMeter * d -
+             problem.kt(p, r)) *
+            1e9;
+      }
+    }
+    if (problem.use_prior) {
+      for (std::size_t i = 0; i < n_antennas; ++i) {
+        residuals[idx++] = prior_weight * (p[coords * i] -
+                                           geometry.antenna_positions[i].x);
+        residuals[idx++] = prior_weight * (p[coords * i + 1] -
+                                           geometry.antenna_positions[i].y);
+        if (config.refine_z) {
+          residuals[idx++] = prior_weight *
+                             (p[coords * i + 2] -
+                              geometry.antenna_positions[i].z);
+        }
+      }
+    }
+  };
+
+  LmOptions options;
+  options.max_iterations = 120;
+  options.parameter_scales.assign(problem.n_params(), 0.02);  // meters
+  for (std::size_t r = 0; r < n_rounds; ++r) {
+    options.parameter_scales[coords * n_antennas + r] = 1e-9;  // rad/Hz
+  }
+  const LmResult lm =
+      levenberg_marquardt(fn, params, problem.n_residuals(), options);
+
+  result.converged = lm.converged;
+  result.refined_rms =
+      rms_slope_residual(problem, geometry, observations, lm.params);
+  result.antenna_positions.reserve(n_antennas);
+  for (std::size_t i = 0; i < n_antennas; ++i) {
+    result.antenna_positions.push_back(problem.antenna(lm.params, i, geometry));
+  }
+  // Keep the refinement only if it actually reduced the slope residual.
+  if (result.refined_rms > result.initial_rms) {
+    result.antenna_positions = geometry.antenna_positions;
+    result.refined_rms = result.initial_rms;
+    result.converged = false;
+  }
+  return result;
+}
+
+}  // namespace rfp

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file cusum.hpp
+/// Two-sided CUSUM change detector for scalar streams. Used by the
+/// leakage monitor (paper-adjacent application: TwinLeak/TagLeak, both
+/// cited by the paper, detect liquid leaks as drifts of the tag's
+/// material-dependent phase parameters).
+
+namespace rfp {
+
+struct CusumConfig {
+  /// Samples used to learn the in-control reference before arming. The
+  /// reference is the warmup *median*, so a single gross outlier during
+  /// warmup cannot poison it.
+  std::size_t warmup = 5;
+
+  /// Allowance (slack) per sample, in the stream's units: drifts smaller
+  /// than this are treated as noise.
+  double drift = 0.1;
+
+  /// Alarm when either cumulative sum exceeds this.
+  double threshold = 1.0;
+
+  /// When > 0, the stream lives on a circle of this period (e.g. 2*pi
+  /// for phase-like quantities): deviations are reduced to
+  /// [-period/2, period/2) before accumulating, and the reference is
+  /// learned circularly.
+  double period = 0.0;
+};
+
+/// Classic tabular CUSUM around a learned reference mean.
+class CusumDetector {
+ public:
+  explicit CusumDetector(CusumConfig config = {});
+
+  /// Feed one sample. Returns true exactly when the alarm first fires
+  /// (and keeps returning true until reset).
+  bool update(double value);
+
+  bool alarmed() const { return alarmed_; }
+  bool armed() const { return seen_ >= config_.warmup; }
+
+  /// Learned in-control mean (meaningful once armed).
+  double reference_mean() const { return mean_; }
+
+  /// Current positive/negative cumulative sums.
+  double upper_sum() const { return g_pos_; }
+  double lower_sum() const { return g_neg_; }
+
+  /// Forget everything (re-learn the reference).
+  void reset();
+
+ private:
+  double deviation_from_reference(double value) const;
+
+  CusumConfig config_;
+  std::size_t seen_ = 0;
+  double mean_ = 0.0;
+  double g_pos_ = 0.0;
+  double g_neg_ = 0.0;
+  bool alarmed_ = false;
+  std::vector<double> warmup_samples_;
+};
+
+}  // namespace rfp

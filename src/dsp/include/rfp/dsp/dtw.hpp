@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+
+/// \file dtw.hpp
+/// Dynamic time warping distance between two real-valued sequences.
+/// Needed by the Tagtag baseline (paper §VI-B), which matches material
+/// phase signatures by DTW nearest-neighbour.
+
+namespace rfp {
+
+/// Classic DTW with absolute-difference local cost and an optional
+/// Sakoe-Chiba band. `band` is the maximum |i - j| index deviation allowed;
+/// 0 means unconstrained. Returns the accumulated cost of the best warp
+/// path. Throws InvalidArgument if either sequence is empty or the band is
+/// too narrow to connect the endpoints of sequences with different lengths.
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    std::size_t band = 0);
+
+/// DTW distance normalized by the warp path length (average per-step cost),
+/// making distances comparable across sequence lengths.
+double dtw_distance_normalized(std::span<const double> a,
+                               std::span<const double> b,
+                               std::size_t band = 0);
+
+}  // namespace rfp

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// \file linear_fit.hpp
+/// Ordinary least-squares line fitting y = slope * x + intercept.
+/// RF-Prism's disentangling model (paper Eq. 6) reduces each antenna's
+/// multi-frequency phase trace to a (slope, intercept) pair, so this fit is
+/// on the hot path of every sensing round.
+///
+/// Numerical note: abscissae here are carrier frequencies (~9e8) spanning
+/// only ~2.5e7, so the normal equations are formed on centered x to avoid
+/// catastrophic cancellation; results are mapped back to the raw axis.
+
+namespace rfp {
+
+/// Result of a least-squares line fit.
+struct LineFit {
+  double slope = 0.0;          ///< dy/dx
+  double intercept = 0.0;      ///< y at x = 0
+  double x_mean = 0.0;         ///< mean abscissa (evaluation pivot)
+  double y_mean = 0.0;         ///< mean ordinate = value at x_mean
+  double rmse = 0.0;           ///< root-mean-square residual
+  double r2 = 1.0;             ///< coefficient of determination
+  double slope_stderr = 0.0;   ///< standard error of the slope estimate
+  double mid_stderr = 0.0;     ///< standard error of y at x_mean
+  std::size_t n = 0;           ///< number of points used
+
+  /// Fitted value at x.
+  double at(double x) const { return slope * x + intercept; }
+};
+
+/// Fit a line through (x[i], y[i]). Requires x.size() == y.size() >= 2 and
+/// non-degenerate x spread; throws InvalidArgument / NumericalError
+/// otherwise.
+LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Weighted fit; w[i] >= 0, at least two points with positive weight and
+/// non-degenerate weighted x spread required.
+LineFit fit_line_weighted(std::span<const double> x, std::span<const double> y,
+                          std::span<const double> w);
+
+/// Residuals y[i] - fit.at(x[i]).
+std::vector<double> residuals(const LineFit& fit, std::span<const double> x,
+                              std::span<const double> y);
+
+}  // namespace rfp

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rfp/common/rng.hpp"
+#include "rfp/dsp/linear_fit.hpp"
+
+/// \file robust.hpp
+/// Outlier-tolerant line fitting on unwrapped data. Paper §V-D: under
+/// multipath, "the samples on some frequencies largely deviate while the
+/// remaining samples can still be fitted into a line". The core pipeline's
+/// fitter works directly in the mod-pi domain (core/fitting.hpp) because
+/// raw reader phases carry wrap ambiguities; these utilities are the
+/// general-purpose versions for already-continuous data.
+
+namespace rfp {
+
+/// A robust fit together with the channels that survived.
+struct RobustLineFit {
+  LineFit fit;                ///< final fit over inliers only
+  std::vector<bool> inlier;   ///< per-input-point inlier flag
+  std::size_t n_inliers = 0;  ///< count of true entries in `inlier`
+};
+
+/// RANSAC line fit. Samples point pairs, scores by inlier count within
+/// `inlier_threshold` (absolute residual), then refits on the best
+/// consensus set. Deterministic given `rng`.
+///
+/// Requires >= 2 points. Throws NumericalError if no non-degenerate sample
+/// pair exists.
+RobustLineFit ransac_line(std::span<const double> x,
+                          std::span<const double> y, Rng& rng,
+                          std::size_t iterations = 64,
+                          double inlier_threshold = 0.3);
+
+/// Iteratively trimmed refit: fit all points, then repeatedly drop the
+/// worst-residual point while it exceeds `threshold_factor` times the
+/// robust residual scale (1.4826 * MAD, floored by `min_scale`), refitting
+/// each round. At most `max_drop_fraction` of the points are dropped.
+RobustLineFit trimmed_line_fit(std::span<const double> x,
+                               std::span<const double> y,
+                               double threshold_factor = 3.5,
+                               double max_drop_fraction = 0.4,
+                               double min_scale = 0.02);
+
+/// Map each y[i] to the representative congruent value modulo `period`
+/// closest to fit.at(x[i]). Used after a robust fit to pull wrapped phase
+/// samples onto the fitted line before a final refit.
+std::vector<double> snap_to_line(const LineFit& fit,
+                                 std::span<const double> x,
+                                 std::span<const double> y, double period);
+
+}  // namespace rfp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// \file stats.hpp
+/// Descriptive statistics and empirical CDFs used by the evaluation
+/// harness (paper Figs. 8-20 all report means, std-devs, or CDFs).
+
+namespace rfp {
+
+/// Arithmetic mean. Throws InvalidArgument on empty input.
+double mean(std::span<const double> v);
+
+/// Sample standard deviation (n-1 denominator); 0 for a single element.
+double stddev(std::span<const double> v);
+
+/// Median (average of middle two for even n). Throws on empty input.
+double median(std::span<const double> v);
+
+/// Median absolute deviation (raw, not scaled to sigma).
+double mad(std::span<const double> v);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> v, double p);
+
+/// Min / max. Throw on empty input.
+double min_value(std::span<const double> v);
+double max_value(std::span<const double> v);
+
+/// Empirical cumulative distribution function over a sample.
+class Cdf {
+ public:
+  /// Builds from a sample (copied and sorted). Throws on empty input.
+  explicit Cdf(std::span<const double> sample);
+
+  /// Fraction of the sample <= x.
+  double at(double x) const;
+
+  /// Smallest sample value v such that at(v) >= q, q in (0, 1].
+  double quantile(double q) const;
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Evaluation points for plotting: (value, cumulative fraction) pairs at
+  /// `steps` evenly spaced values between min and max.
+  std::vector<std::pair<double, double>> curve(std::size_t steps) const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+}  // namespace rfp

@@ -1,0 +1,67 @@
+#include "rfp/dsp/cusum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfp/common/error.hpp"
+#include "rfp/dsp/stats.hpp"
+
+namespace rfp {
+
+CusumDetector::CusumDetector(CusumConfig config) : config_(config) {
+  require(config_.warmup >= 1, "CusumDetector: warmup must be >= 1");
+  require(config_.drift >= 0.0, "CusumDetector: negative drift allowance");
+  require(config_.threshold > 0.0, "CusumDetector: threshold must be positive");
+  require(config_.period >= 0.0, "CusumDetector: negative period");
+}
+
+double CusumDetector::deviation_from_reference(double value) const {
+  if (config_.period > 0.0) {
+    return std::remainder(value - mean_, config_.period);
+  }
+  return value - mean_;
+}
+
+bool CusumDetector::update(double value) {
+  if (seen_ < config_.warmup) {
+    warmup_samples_.push_back(value);
+    ++seen_;
+    if (seen_ == config_.warmup) {
+      if (config_.period > 0.0) {
+        // Circular median: anchor at the first sample, take the median of
+        // the wrapped deviations from it.
+        const double anchor = warmup_samples_.front();
+        std::vector<double> deviations;
+        deviations.reserve(warmup_samples_.size());
+        for (double s : warmup_samples_) {
+          deviations.push_back(std::remainder(s - anchor, config_.period));
+        }
+        mean_ = anchor + median(deviations);
+      } else {
+        mean_ = median(warmup_samples_);
+      }
+      warmup_samples_.clear();
+      warmup_samples_.shrink_to_fit();
+    }
+    return false;
+  }
+  ++seen_;
+  const double deviation = deviation_from_reference(value);
+  g_pos_ = std::max(0.0, g_pos_ + deviation - config_.drift);
+  g_neg_ = std::max(0.0, g_neg_ - deviation - config_.drift);
+  if (g_pos_ > config_.threshold || g_neg_ > config_.threshold) {
+    alarmed_ = true;
+  }
+  return alarmed_;
+}
+
+void CusumDetector::reset() {
+  seen_ = 0;
+  mean_ = 0.0;
+  g_pos_ = 0.0;
+  g_neg_ = 0.0;
+  alarmed_ = false;
+  warmup_samples_.clear();
+}
+
+}  // namespace rfp

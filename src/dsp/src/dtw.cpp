@@ -1,0 +1,90 @@
+#include "rfp/dsp/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct DtwResult {
+  double cost = kInf;
+  std::size_t path_len = 0;
+};
+
+DtwResult dtw_impl(std::span<const double> a, std::span<const double> b,
+                   std::size_t band) {
+  require(!a.empty() && !b.empty(), "dtw: empty sequence");
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (band != 0) {
+    const std::size_t len_gap = n > m ? n - m : m - n;
+    require(band >= len_gap, "dtw: band narrower than length difference");
+  }
+
+  // Rolling two-row DP over accumulated cost; a parallel table tracks the
+  // path length so the normalized variant divides by the true path size.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  std::vector<std::size_t> prev_len(m + 1, 0), cur_len(m + 1, 0);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    cur[0] = kInf;
+    std::size_t j_lo = 1, j_hi = m;
+    if (band != 0) {
+      j_lo = i > band ? i - band : 1;
+      j_hi = std::min(m, i + band);
+    }
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double local = std::abs(a[i - 1] - b[j - 1]);
+      // Predecessors: (i-1,j), (i,j-1), (i-1,j-1).
+      double best = prev[j];
+      std::size_t best_len = prev_len[j];
+      if (cur[j - 1] < best) {
+        best = cur[j - 1];
+        best_len = cur_len[j - 1];
+      }
+      if (prev[j - 1] < best) {
+        best = prev[j - 1];
+        best_len = prev_len[j - 1];
+      }
+      if (best == kInf && !(i == 1 && j == 1)) continue;
+      if (i == 1 && j == 1) {
+        best = 0.0;
+        best_len = 0;
+      }
+      cur[j] = best + local;
+      cur_len[j] = best_len + 1;
+    }
+    std::swap(prev, cur);
+    std::swap(prev_len, cur_len);
+  }
+
+  DtwResult r;
+  r.cost = prev[m];
+  r.path_len = prev_len[m];
+  if (r.cost == kInf) throw NumericalError("dtw: no feasible warp path");
+  return r;
+}
+
+}  // namespace
+
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    std::size_t band) {
+  return dtw_impl(a, b, band).cost;
+}
+
+double dtw_distance_normalized(std::span<const double> a,
+                               std::span<const double> b, std::size_t band) {
+  const DtwResult r = dtw_impl(a, b, band);
+  return r.cost / static_cast<double>(std::max<std::size_t>(r.path_len, 1));
+}
+
+}  // namespace rfp

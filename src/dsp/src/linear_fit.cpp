@@ -1,0 +1,89 @@
+#include "rfp/dsp/linear_fit.hpp"
+
+#include <cmath>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+namespace {
+
+LineFit fit_impl(std::span<const double> x, std::span<const double> y,
+                 const double* w) {
+  require(x.size() == y.size(), "fit_line: size mismatch");
+  require(x.size() >= 2, "fit_line: need at least two points");
+
+  double sw = 0.0, sx = 0.0, sy = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = w ? w[i] : 1.0;
+    require(wi >= 0.0, "fit_line: negative weight");
+    sw += wi;
+    sx += wi * x[i];
+    sy += wi * y[i];
+  }
+  if (sw <= 0.0) throw NumericalError("fit_line: total weight is zero");
+  const double xm = sx / sw;
+  const double ym = sy / sw;
+
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = w ? w[i] : 1.0;
+    const double dx = x[i] - xm;
+    sxx += wi * dx * dx;
+    sxy += wi * dx * (y[i] - ym);
+  }
+  if (sxx < 1e-300) {
+    throw NumericalError("fit_line: degenerate abscissa spread");
+  }
+
+  LineFit fit;
+  fit.n = n;
+  fit.x_mean = xm;
+  fit.y_mean = ym;
+  fit.slope = sxy / sxx;
+  fit.intercept = ym - fit.slope * xm;
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = w ? w[i] : 1.0;
+    const double r = y[i] - fit.at(x[i]);
+    const double dy = y[i] - ym;
+    ss_res += wi * r * r;
+    ss_tot += wi * dy * dy;
+  }
+  fit.rmse = std::sqrt(ss_res / sw);
+  fit.r2 = ss_tot > 1e-300 ? 1.0 - ss_res / ss_tot : 1.0;
+
+  // Standard errors from residual variance with n-2 degrees of freedom
+  // (meaningful for unweighted or relative weights).
+  if (n > 2) {
+    const double dof = static_cast<double>(n - 2);
+    const double sigma2 = ss_res / dof * (static_cast<double>(n) / sw);
+    fit.slope_stderr = std::sqrt(sigma2 / sxx);
+    fit.mid_stderr = std::sqrt(sigma2 / sw);
+  }
+  return fit;
+}
+
+}  // namespace
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  return fit_impl(x, y, nullptr);
+}
+
+LineFit fit_line_weighted(std::span<const double> x, std::span<const double> y,
+                          std::span<const double> w) {
+  require(w.size() == x.size(), "fit_line_weighted: weight size mismatch");
+  return fit_impl(x, y, w.data());
+}
+
+std::vector<double> residuals(const LineFit& fit, std::span<const double> x,
+                              std::span<const double> y) {
+  require(x.size() == y.size(), "residuals: size mismatch");
+  std::vector<double> r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) r[i] = y[i] - fit.at(x[i]);
+  return r;
+}
+
+}  // namespace rfp

@@ -1,0 +1,141 @@
+#include "rfp/dsp/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rfp/common/error.hpp"
+#include "rfp/dsp/stats.hpp"
+
+namespace rfp {
+
+namespace {
+
+LineFit fit_subset(std::span<const double> x, std::span<const double> y,
+                   const std::vector<bool>& keep) {
+  std::vector<double> xs, ys;
+  xs.reserve(x.size());
+  ys.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (keep[i]) {
+      xs.push_back(x[i]);
+      ys.push_back(y[i]);
+    }
+  }
+  return fit_line(xs, ys);
+}
+
+}  // namespace
+
+RobustLineFit ransac_line(std::span<const double> x, std::span<const double> y,
+                          Rng& rng, std::size_t iterations,
+                          double inlier_threshold) {
+  require(x.size() == y.size(), "ransac_line: size mismatch");
+  require(x.size() >= 2, "ransac_line: need at least two points");
+  require(inlier_threshold > 0.0, "ransac_line: threshold must be positive");
+
+  const std::size_t n = x.size();
+  std::vector<bool> best_mask(n, false);
+  std::size_t best_count = 0;
+  double best_rss = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const std::size_t i = rng.uniform_index(n);
+    std::size_t j = rng.uniform_index(n);
+    if (i == j) continue;
+    const double dx = x[j] - x[i];
+    if (std::abs(dx) < 1e-300) continue;
+    const double slope = (y[j] - y[i]) / dx;
+    const double intercept = y[i] - slope * x[i];
+
+    std::vector<bool> mask(n, false);
+    std::size_t count = 0;
+    double rss = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      const double r = y[p] - (slope * x[p] + intercept);
+      if (std::abs(r) <= inlier_threshold) {
+        mask[p] = true;
+        ++count;
+        rss += r * r;
+      }
+    }
+    if (count > best_count || (count == best_count && rss < best_rss)) {
+      best_count = count;
+      best_rss = rss;
+      best_mask = std::move(mask);
+      found = true;
+    }
+  }
+  if (!found || best_count < 2) {
+    throw NumericalError("ransac_line: no non-degenerate consensus found");
+  }
+
+  RobustLineFit out;
+  out.inlier = std::move(best_mask);
+  out.n_inliers = best_count;
+  out.fit = fit_subset(x, y, out.inlier);
+  return out;
+}
+
+RobustLineFit trimmed_line_fit(std::span<const double> x,
+                               std::span<const double> y,
+                               double threshold_factor,
+                               double max_drop_fraction, double min_scale) {
+  require(x.size() == y.size(), "trimmed_line_fit: size mismatch");
+  require(x.size() >= 2, "trimmed_line_fit: need at least two points");
+  require(threshold_factor > 0.0 && max_drop_fraction >= 0.0 &&
+              max_drop_fraction < 1.0,
+          "trimmed_line_fit: bad parameters");
+
+  const std::size_t n = x.size();
+  const auto max_drop = static_cast<std::size_t>(
+      std::floor(max_drop_fraction * static_cast<double>(n)));
+
+  RobustLineFit out;
+  out.inlier.assign(n, true);
+  out.n_inliers = n;
+  out.fit = fit_line(x, y);
+
+  std::size_t dropped = 0;
+  while (dropped < max_drop && out.n_inliers > 2) {
+    // Robust residual scale over current inliers.
+    std::vector<double> abs_res;
+    abs_res.reserve(out.n_inliers);
+    double worst = -1.0;
+    std::size_t worst_idx = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!out.inlier[i]) continue;
+      const double r = std::abs(y[i] - out.fit.at(x[i]));
+      abs_res.push_back(r);
+      if (r > worst) {
+        worst = r;
+        worst_idx = i;
+      }
+    }
+    const double scale =
+        std::max(min_scale, 1.4826 * median(std::span<const double>(abs_res)));
+    if (worst <= threshold_factor * scale) break;
+
+    out.inlier[worst_idx] = false;
+    --out.n_inliers;
+    ++dropped;
+    out.fit = fit_subset(x, y, out.inlier);
+  }
+  return out;
+}
+
+std::vector<double> snap_to_line(const LineFit& fit, std::span<const double> x,
+                                 std::span<const double> y, double period) {
+  require(x.size() == y.size(), "snap_to_line: size mismatch");
+  require(period > 0.0, "snap_to_line: period must be positive");
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double pred = fit.at(x[i]);
+    const double m = std::round((pred - y[i]) / period);
+    out[i] = y[i] + m * period;
+  }
+  return out;
+}
+
+}  // namespace rfp

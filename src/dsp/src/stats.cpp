@@ -1,0 +1,100 @@
+#include "rfp/dsp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+double mean(std::span<const double> v) {
+  require(!v.empty(), "mean: empty input");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) {
+  require(!v.empty(), "stddev: empty input");
+  if (v.size() == 1) return 0.0;
+  const double m = mean(v);
+  double s2 = 0.0;
+  for (double x : v) s2 += (x - m) * (x - m);
+  return std::sqrt(s2 / static_cast<double>(v.size() - 1));
+}
+
+double median(std::span<const double> v) {
+  require(!v.empty(), "median: empty input");
+  std::vector<double> s(v.begin(), v.end());
+  std::sort(s.begin(), s.end());
+  const std::size_t n = s.size();
+  if (n % 2 == 1) return s[n / 2];
+  return (s[n / 2 - 1] + s[n / 2]) / 2.0;
+}
+
+double mad(std::span<const double> v) {
+  const double m = median(v);
+  std::vector<double> dev(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) dev[i] = std::abs(v[i] - m);
+  return median(dev);
+}
+
+double percentile(std::span<const double> v, double p) {
+  require(!v.empty(), "percentile: empty input");
+  require(p >= 0.0 && p <= 100.0, "percentile: p out of [0,100]");
+  std::vector<double> s(v.begin(), v.end());
+  std::sort(s.begin(), s.end());
+  if (s.size() == 1) return s[0];
+  const double pos = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double min_value(std::span<const double> v) {
+  require(!v.empty(), "min_value: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(std::span<const double> v) {
+  require(!v.empty(), "max_value: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+Cdf::Cdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  require(!sorted_.empty(), "Cdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = rfp::mean(sorted_);
+  stddev_ = rfp::stddev(sorted_);
+}
+
+double Cdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  require(q > 0.0 && q <= 1.0, "Cdf::quantile: q out of (0,1]");
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())) - 1);
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t steps) const {
+  require(steps >= 2, "Cdf::curve: need at least two steps");
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(steps);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(steps - 1);
+    pts.emplace_back(x, at(x));
+  }
+  return pts;
+}
+
+}  // namespace rfp

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rfp/core/pipeline.hpp"
+#include "rfp/rfsim/reader.hpp"
+
+/// \file testbed.hpp
+/// The shared experiment harness: one object that stands in for the
+/// paper's physical testbed (§VI-A/B). It owns the simulated scene, the
+/// *measured* deployment the pipeline sees (survey errors applied), a
+/// calibrated RfPrism instance, and the reference calibration rounds —
+/// so every bench, test, and example runs against the same deployment.
+///
+/// All randomness flows from the config seed; trials are keyed by caller-
+/// supplied trial ids, so individual data points are reproducible in
+/// isolation.
+
+namespace rfp {
+
+struct TestbedConfig {
+  std::uint64_t seed = 42;
+
+  /// Deployment in 3D mode (4 antennas, z solved) instead of planar.
+  bool mode_3d = false;
+
+  /// Multipath environment per paper Fig. 12: clutter reflectors around
+  /// the region and the ChannelConfig::multipath() impairments.
+  bool multipath_environment = false;
+  std::size_t n_clutter = 6;
+
+  /// Survey (measurement) error applied to the geometry the pipeline
+  /// sees: per-axis position sigma [m] and frame rotation sigma [rad].
+  double survey_position_sigma = 0.015;
+  double survey_frame_sigma = 0.012;
+
+  ReaderConfig reader;
+  ChannelConfig channel = ChannelConfig::clean();
+};
+
+/// The paper's 6 evaluation rotation angles (0..150 degrees), in radians.
+std::vector<double> paper_rotation_angles();
+
+/// The paper's 8 evaluation materials.
+std::vector<std::string> paper_materials();
+
+/// 25 well-spread test positions in the working region (paper: "tags are
+/// placed at 25 points with known positions").
+std::vector<Vec2> paper_grid_positions(const Rect& region);
+
+/// Distance regions of paper Figs. 9-10.
+enum class Region { kNear, kMedium, kFar };
+const char* to_string(Region region);
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  /// The ground-truth scene (benches use it for truth; the pipeline never
+  /// sees it).
+  const Scene& scene() const { return scene_; }
+
+  /// The calibrated sensing pipeline.
+  const RfPrism& prism() const { return *prism_; }
+
+  /// The main evaluation tag (theta_device0-calibrated as "tag-1").
+  const TagHardware& tag() const { return tag_; }
+  const std::string& tag_id() const { return tag_id_; }
+
+  /// The reference pose used for calibration.
+  const ReferencePose& reference_pose() const { return reference_; }
+
+  const TestbedConfig& config() const { return config_; }
+
+  /// Collect one hop round for a static tag state. `trial` seeds the
+  /// environment realization and read noise for this round.
+  RoundTrace collect(const TagState& state, std::uint64_t trial) const;
+
+  /// Collect one hop round for a moving tag.
+  RoundTrace collect(const MobilityModel& mobility, std::uint64_t trial) const;
+
+  /// Collect + sense in one step (device calibration of the main tag is
+  /// applied).
+  SensingResult sense(const TagState& state, std::uint64_t trial) const;
+
+  /// Make a planar tag state at (x, y) with polarization angle alpha.
+  TagState tag_state(Vec2 position, double alpha,
+                     const std::string& material) const;
+
+  /// Classify a position into the near/medium/far region by its mean
+  /// distance to the antennas (tercile thresholds fixed from the region
+  /// geometry).
+  Region region_of(Vec2 position) const;
+
+  /// Build a pipeline variant (different thresholds / solver settings)
+  /// over this deployment, inheriting the testbed's calibrations. The
+  /// variant's geometry is forced to this deployment's measured geometry.
+  RfPrism make_pipeline_variant(RfPrismConfig config) const;
+
+ private:
+  TestbedConfig config_;
+  Scene scene_;
+  TagHardware tag_;
+  std::string tag_id_ = "tag-1";
+  ReferencePose reference_;
+  std::unique_ptr<RfPrism> prism_;
+  double region_near_threshold_ = 0.0;
+  double region_far_threshold_ = 0.0;
+};
+
+}  // namespace rfp

@@ -1,0 +1,149 @@
+#include "rfp/exp/testbed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+std::vector<double> paper_rotation_angles() {
+  return {deg2rad(0.0), deg2rad(30.0), deg2rad(60.0),
+          deg2rad(90.0), deg2rad(120.0), deg2rad(150.0)};
+}
+
+std::vector<std::string> paper_materials() {
+  return {"wood", "plastic", "glass", "metal",
+          "water", "milk", "oil", "alcohol"};
+}
+
+std::vector<Vec2> paper_grid_positions(const Rect& region) {
+  // 5 x 5 grid with a margin so no point sits on the region boundary.
+  const Rect inner{{region.lo.x + 0.15 * region.width(),
+                    region.lo.y + 0.15 * region.height()},
+                   {region.hi.x - 0.15 * region.width(),
+                    region.hi.y - 0.15 * region.height()}};
+  return grid_points(inner, 5, 5);
+}
+
+const char* to_string(Region region) {
+  switch (region) {
+    case Region::kNear:
+      return "near";
+    case Region::kMedium:
+      return "medium";
+    case Region::kFar:
+      return "far";
+  }
+  return "?";
+}
+
+Testbed::Testbed(TestbedConfig config) : config_(config) {
+  scene_ = config_.mode_3d ? make_scene_3d(config_.seed)
+                           : make_scene_2d(config_.seed);
+  if (config_.multipath_environment) {
+    add_clutter(scene_, config_.n_clutter, mix_seed(config_.seed, 0xC1));
+    config_.channel = ChannelConfig::multipath();
+  }
+
+  // The pipeline sees the *measured* deployment only.
+  RfPrismConfig pcfg;
+  pcfg.geometry.antenna_positions = scene_.measured_antenna_positions(
+      config_.survey_position_sigma, config_.seed);
+  pcfg.geometry.antenna_frames = scene_.measured_antenna_frames(
+      config_.survey_frame_sigma, config_.seed);
+  pcfg.geometry.working_region = scene_.working_region;
+  pcfg.geometry.tag_plane_z = scene_.tag_plane_z;
+  if (config_.mode_3d) {
+    pcfg.disentangle.grid_nx = 25;
+    pcfg.disentangle.grid_ny = 25;
+    pcfg.disentangle.grid_nz = 9;
+    pcfg.disentangle.z_lo = 0.0;
+    pcfg.disentangle.z_hi = 1.2;
+  }
+  prism_ = std::make_unique<RfPrism>(std::move(pcfg));
+
+  tag_ = make_tag_hardware(tag_id_, mix_seed(config_.seed, 0x7461));
+  reference_ =
+      ReferencePose{Vec3{scene_.working_region.center(),
+                         scene_.tag_plane_z + (config_.mode_3d ? 0.4 : 0.0)},
+                    planar_polarization(0.0)};
+
+  // Reader-port equalization with a dedicated reference tag, then the
+  // theta_device0 calibration of the main tag (paper §IV-C and §V-B).
+  Rng cal_rng(mix_seed(config_.seed, 0xCA11));
+  const TagHardware ref_tag =
+      make_tag_hardware("reference-tag", mix_seed(config_.seed, 0x7265));
+  const TagState ref_state{reference_.position, reference_.polarization,
+                           "none"};
+  const RoundTrace reader_cal_round =
+      ::rfp::collect_round(scene_, config_.reader, config_.channel, ref_tag,
+                           ref_state, mix_seed(config_.seed, 1), cal_rng);
+  prism_->calibrate_reader(reader_cal_round, reference_);
+
+  const RoundTrace tag_cal_round =
+      ::rfp::collect_round(scene_, config_.reader, config_.channel, tag_,
+                           ref_state, mix_seed(config_.seed, 2), cal_rng);
+  prism_->calibrate_tag(tag_id_, tag_cal_round, reference_);
+
+  // Region terciles over the paper grid's mean antenna distance.
+  std::vector<double> mean_distances;
+  for (Vec2 p : paper_grid_positions(scene_.working_region)) {
+    double s = 0.0;
+    for (const auto& a : scene_.antennas) {
+      s += distance(a.position, Vec3{p, scene_.tag_plane_z});
+    }
+    mean_distances.push_back(s / static_cast<double>(scene_.antennas.size()));
+  }
+  std::sort(mean_distances.begin(), mean_distances.end());
+  region_near_threshold_ = mean_distances[mean_distances.size() / 3];
+  region_far_threshold_ = mean_distances[2 * mean_distances.size() / 3];
+}
+
+RoundTrace Testbed::collect(const TagState& state, std::uint64_t trial) const {
+  return collect(MobilityModel::static_tag(state), trial);
+}
+
+RoundTrace Testbed::collect(const MobilityModel& mobility,
+                            std::uint64_t trial) const {
+  // Trial-derived rng: every trial's reads are independent of how many
+  // rounds were collected before it.
+  Rng rng(mix_seed(config_.seed, 0x726F756E64ULL, trial));
+  return ::rfp::collect_round(scene_, config_.reader, config_.channel, tag_,
+                              mobility, mix_seed(config_.seed, trial), rng);
+}
+
+SensingResult Testbed::sense(const TagState& state,
+                             std::uint64_t trial) const {
+  return prism_->sense(collect(state, trial), tag_id_);
+}
+
+TagState Testbed::tag_state(Vec2 position, double alpha,
+                            const std::string& material) const {
+  require(scene_.materials.contains(material),
+          "Testbed::tag_state: unknown material");
+  return TagState{Vec3{position, scene_.tag_plane_z},
+                  planar_polarization(alpha), material};
+}
+
+RfPrism Testbed::make_pipeline_variant(RfPrismConfig config) const {
+  config.geometry = prism_->config().geometry;
+  RfPrism variant(std::move(config));
+  variant.import_calibrations(prism_->calibrations());
+  return variant;
+}
+
+Region Testbed::region_of(Vec2 position) const {
+  double s = 0.0;
+  for (const auto& a : scene_.antennas) {
+    s += distance(a.position, Vec3{position, scene_.tag_plane_z});
+  }
+  const double mean_d = s / static_cast<double>(scene_.antennas.size());
+  if (mean_d <= region_near_threshold_) return Region::kNear;
+  if (mean_d <= region_far_threshold_) return Region::kMedium;
+  return Region::kFar;
+}
+
+}  // namespace rfp

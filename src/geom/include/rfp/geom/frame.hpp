@@ -1,0 +1,99 @@
+#pragma once
+
+#include <vector>
+
+#include "rfp/geom/vec.hpp"
+
+/// \file frame.hpp
+/// Orthonormal frames for reader antennas and the polarization geometry of
+/// paper Eq. (4). A circularly-polarized reader antenna is described by its
+/// aperture basis (u = "horizontal", v = "vertical", both orthogonal to the
+/// boresight n); a linearly-polarized tag by its polarization direction w.
+
+namespace rfp {
+
+/// Right-handed orthonormal aperture frame of an antenna.
+/// Invariant (established by the factory functions): u, v, n are unit length
+/// and mutually orthogonal with n = u x v.
+struct OrthoFrame {
+  Vec3 u;  ///< horizontal aperture axis
+  Vec3 v;  ///< vertical aperture axis
+  Vec3 n;  ///< boresight (direction the antenna faces)
+};
+
+/// Build an aperture frame from a boresight direction and a roll angle
+/// around it. The zero-roll u axis is chosen horizontal (perpendicular to
+/// world +z); if the boresight is within ~0.5 deg of vertical, world +x
+/// seeds the basis instead. Throws InvalidArgument on a zero boresight.
+OrthoFrame make_frame(Vec3 boresight, double roll_rad = 0.0);
+
+/// Frame looking from `from` toward `at` (boresight = at - from).
+OrthoFrame look_at_frame(Vec3 from, Vec3 at, double roll_rad = 0.0);
+
+/// Phase rotation a circularly-polarized antenna with aperture frame
+/// (u, v) observes from a linearly-polarized tag with polarization w —
+/// paper Eq. (4), resolved with atan2 into (-pi, pi]:
+///
+///   theta = atan2(2 (u.w)(v.w), (u.w)^2 - (v.w)^2)
+///
+/// The result has period pi in the tag's polarization angle (w and -w are
+/// the same physical dipole). Returns 0 when w is orthogonal to the whole
+/// aperture plane (projection numerically zero) — the tag would be unread
+/// in that geometry, and 0 keeps the model total.
+double polarization_phase(const OrthoFrame& frame, Vec3 w);
+
+/// Aperture frame re-projected along the actual propagation direction:
+/// the polarization coupling happens in the plane transverse to the
+/// antenna->tag ray, not in the nominal aperture plane. Returns the frame
+/// whose n points from `antenna_pos` to `tag_pos` and whose u is the
+/// original u projected transverse to it (v completes the right-handed
+/// triad). Falls back to projecting v when the ray is (near-)parallel to
+/// u; throws InvalidArgument when antenna and tag coincide.
+OrthoFrame propagation_adjusted_frame(const OrthoFrame& frame,
+                                      Vec3 antenna_pos, Vec3 tag_pos);
+
+/// Polarization phase (Eq. 4) evaluated in the propagation-adjusted frame:
+/// the physically grounded form used throughout this implementation. The
+/// dependence on the tag position is weak (degrees of ray direction) but
+/// is exactly what makes the multi-antenna orientation equations
+/// independent.
+double polarization_phase_toward(const OrthoFrame& frame, Vec3 antenna_pos,
+                                 Vec3 tag_pos, Vec3 w);
+
+/// Tag polarization direction lying in the z=0 working plane at angle
+/// `alpha` from +x.
+Vec3 planar_polarization(double alpha);
+
+/// Tag polarization from azimuth (from +x, in xy) and elevation (from the
+/// xy-plane toward +z).
+Vec3 spherical_polarization(double azimuth, double elevation);
+
+/// Angular error between two polarization directions, in [0, pi/2].
+/// Polarizations are lines (w ~ -w), so the error is the acute angle
+/// between the two lines.
+double polarization_angle_error(Vec3 a, Vec3 b);
+
+/// Planar-polarization angle error in radians, in [0, pi/2]: the acute
+/// difference of two in-plane angles taken modulo pi.
+double planar_angle_error(double alpha_a, double alpha_b);
+
+/// Axis-aligned rectangle in the z=0 working plane.
+struct Rect {
+  Vec2 lo;
+  Vec2 hi;
+
+  bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  Vec2 center() const { return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0}; }
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+  Vec2 clamp(Vec2 p) const;
+};
+
+/// `nx` x `ny` grid of points covering `rect` (inclusive of edges when the
+/// count is >= 2; a count of 1 yields the center coordinate on that axis).
+std::vector<Vec2> grid_points(const Rect& rect, std::size_t nx,
+                              std::size_t ny);
+
+}  // namespace rfp

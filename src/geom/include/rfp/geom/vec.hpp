@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+/// \file vec.hpp
+/// Plain 2- and 3-component vectors. These are regular value types (C.10):
+/// trivially copyable, no invariants beyond "components are finite where the
+/// caller needs them", so members are public.
+
+namespace rfp {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm2() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction. Throws NumericalError on ~zero norm.
+  Vec2 normalized() const;
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Unit vector at angle `theta` from +x axis.
+inline Vec2 unit_from_angle(double theta) {
+  return {std::cos(theta), std::sin(theta)};
+}
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+  constexpr Vec3(Vec2 v, double z_) : x(v.x), y(v.y), z(z_) {}
+
+  constexpr Vec3 operator+(Vec3 o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(Vec3 o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3& operator+=(Vec3 o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(Vec3 o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec3 a, Vec3 b) = default;
+
+  constexpr double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(norm2()); }
+  constexpr double norm2() const { return x * x + y * y + z * z; }
+
+  /// Unit vector in the same direction. Throws NumericalError on ~zero norm.
+  Vec3 normalized() const;
+
+  constexpr Vec2 xy() const { return {x, y}; }
+};
+
+constexpr Vec3 operator*(double s, Vec3 v) { return v * s; }
+
+/// Euclidean distance.
+inline double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+std::ostream& operator<<(std::ostream& os, Vec3 v);
+
+}  // namespace rfp

@@ -1,0 +1,118 @@
+#include "rfp/geom/frame.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+OrthoFrame make_frame(Vec3 boresight, double roll_rad) {
+  const double bn = boresight.norm();
+  require(bn > 1e-12, "make_frame: zero boresight");
+  const Vec3 n = boresight / bn;
+
+  // Seed the horizontal axis from world up unless the boresight is nearly
+  // vertical, in which case any horizontal seed works.
+  const Vec3 up{0.0, 0.0, 1.0};
+  Vec3 u0 = up.cross(n);
+  if (u0.norm() < 1e-8) u0 = Vec3{1.0, 0.0, 0.0}.cross(n);
+  u0 = u0.normalized();
+  const Vec3 v0 = n.cross(u0);
+
+  // Apply roll about the boresight.
+  const double cr = std::cos(roll_rad);
+  const double sr = std::sin(roll_rad);
+  OrthoFrame f;
+  f.u = u0 * cr + v0 * sr;
+  f.v = v0 * cr - u0 * sr;
+  f.n = n;
+  return f;
+}
+
+OrthoFrame look_at_frame(Vec3 from, Vec3 at, double roll_rad) {
+  return make_frame(at - from, roll_rad);
+}
+
+double polarization_phase(const OrthoFrame& frame, Vec3 w) {
+  const double uw = frame.u.dot(w);
+  const double vw = frame.v.dot(w);
+  const double s = 2.0 * uw * vw;
+  const double c = uw * uw - vw * vw;
+  if (std::abs(s) < 1e-15 && std::abs(c) < 1e-15) return 0.0;
+  return std::atan2(s, c);
+}
+
+OrthoFrame propagation_adjusted_frame(const OrthoFrame& frame,
+                                      Vec3 antenna_pos, Vec3 tag_pos) {
+  const Vec3 ray = tag_pos - antenna_pos;
+  require(ray.norm() > 1e-9, "propagation_adjusted_frame: zero ray");
+  const Vec3 n = ray / ray.norm();
+  Vec3 u = frame.u - n * frame.u.dot(n);
+  if (u.norm() < 1e-6) u = frame.v - n * frame.v.dot(n);
+  u = u.normalized();
+  OrthoFrame g;
+  g.n = n;
+  g.u = u;
+  g.v = n.cross(u);
+  return g;
+}
+
+double polarization_phase_toward(const OrthoFrame& frame, Vec3 antenna_pos,
+                                 Vec3 tag_pos, Vec3 w) {
+  return polarization_phase(
+      propagation_adjusted_frame(frame, antenna_pos, tag_pos), w);
+}
+
+Vec3 planar_polarization(double alpha) {
+  return {std::cos(alpha), std::sin(alpha), 0.0};
+}
+
+Vec3 spherical_polarization(double azimuth, double elevation) {
+  const double ce = std::cos(elevation);
+  return {ce * std::cos(azimuth), ce * std::sin(azimuth),
+          std::sin(elevation)};
+}
+
+double polarization_angle_error(Vec3 a, Vec3 b) {
+  const double an = a.norm();
+  const double bn = b.norm();
+  require(an > 1e-12 && bn > 1e-12,
+          "polarization_angle_error: zero direction");
+  double c = std::abs(a.dot(b)) / (an * bn);
+  c = std::clamp(c, 0.0, 1.0);
+  return std::acos(c);
+}
+
+double planar_angle_error(double alpha_a, double alpha_b) {
+  // Reduce the difference modulo pi, then take the acute magnitude.
+  double d = std::fmod(alpha_a - alpha_b, kPi);
+  if (d < 0.0) d += kPi;
+  return std::min(d, kPi - d);
+}
+
+Vec2 Rect::clamp(Vec2 p) const {
+  return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+}
+
+std::vector<Vec2> grid_points(const Rect& rect, std::size_t nx,
+                              std::size_t ny) {
+  require(nx >= 1 && ny >= 1, "grid_points: counts must be >= 1");
+  std::vector<Vec2> pts;
+  pts.reserve(nx * ny);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double fx =
+          nx == 1 ? 0.5 : static_cast<double>(ix) / static_cast<double>(nx - 1);
+      const double fy =
+          ny == 1 ? 0.5 : static_cast<double>(iy) / static_cast<double>(ny - 1);
+      pts.push_back({rect.lo.x + fx * rect.width(),
+                     rect.lo.y + fy * rect.height()});
+    }
+  }
+  return pts;
+}
+
+}  // namespace rfp

@@ -1,0 +1,29 @@
+#include "rfp/geom/vec.hpp"
+
+#include <ostream>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+Vec2 Vec2::normalized() const {
+  const double n = norm();
+  if (n < 1e-300) throw NumericalError("Vec2::normalized: zero vector");
+  return *this / n;
+}
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  if (n < 1e-300) throw NumericalError("Vec3::normalized: zero vector");
+  return *this / n;
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, Vec3 v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace rfp

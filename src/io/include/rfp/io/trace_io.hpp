@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rfp/rfsim/reader.hpp"
+
+/// \file trace_io.hpp
+/// Plain-text serialization of hop rounds. The format exists so traces
+/// captured from a real reader (via e.g. the Octane SDK) can be replayed
+/// through the pipeline offline, and so simulated corpora can be archived
+/// with experiments.
+///
+/// Format ("rfprism-trace v1"), line-oriented, whitespace-separated:
+///
+///   rfprism-trace v1
+///   round <n_antennas> <duration_s> <n_dwells>
+///   dwell <antenna> <channel> <frequency_hz> <start_time_s> <n_reads>
+///   <phase> <rssi>            (n_reads lines)
+///   ...
+///
+/// Numbers round-trip at full double precision (max_digits10).
+
+namespace rfp {
+
+/// Serialize a round. Throws InvalidArgument on a malformed round (read
+/// count mismatches) and Error on stream failure.
+void write_round(std::ostream& os, const RoundTrace& round);
+
+/// Parse a round. Throws Error on syntax errors, version mismatch, or
+/// inconsistent counts.
+RoundTrace read_round(std::istream& is);
+
+/// File convenience wrappers; throw Error when the file cannot be
+/// opened.
+void save_round(const std::string& path, const RoundTrace& round);
+RoundTrace load_round(const std::string& path);
+
+}  // namespace rfp

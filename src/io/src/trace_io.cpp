@@ -1,0 +1,95 @@
+#include "rfp/io/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+namespace {
+
+constexpr const char* kMagic = "rfprism-trace";
+constexpr const char* kVersion = "v1";
+
+[[noreturn]] void parse_fail(const std::string& what) {
+  throw Error("read_round: " + what);
+}
+
+}  // namespace
+
+void write_round(std::ostream& os, const RoundTrace& round) {
+  require(round.n_antennas > 0, "write_round: zero antennas");
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "round " << round.n_antennas << ' '
+     << std::setprecision(std::numeric_limits<double>::max_digits10)
+     << round.duration_s << ' ' << round.dwells.size() << '\n';
+  for (const Dwell& dwell : round.dwells) {
+    require(dwell.phases.size() == dwell.rssi_dbm.size(),
+            "write_round: phase/rssi length mismatch");
+    os << "dwell " << dwell.antenna << ' ' << dwell.channel << ' '
+       << dwell.frequency_hz << ' ' << dwell.start_time_s << ' '
+       << dwell.phases.size() << '\n';
+    for (std::size_t i = 0; i < dwell.phases.size(); ++i) {
+      os << dwell.phases[i] << ' ' << dwell.rssi_dbm[i] << '\n';
+    }
+  }
+  if (!os) throw Error("write_round: stream failure");
+}
+
+RoundTrace read_round(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version)) parse_fail("missing header");
+  if (magic != kMagic) parse_fail("bad magic '" + magic + "'");
+  if (version != kVersion) parse_fail("unsupported version '" + version + "'");
+
+  std::string tag;
+  if (!(is >> tag) || tag != "round") parse_fail("expected 'round'");
+  RoundTrace round;
+  std::size_t n_dwells = 0;
+  if (!(is >> round.n_antennas >> round.duration_s >> n_dwells)) {
+    parse_fail("bad round header");
+  }
+  if (round.n_antennas == 0) parse_fail("zero antennas");
+
+  round.dwells.reserve(n_dwells);
+  for (std::size_t d = 0; d < n_dwells; ++d) {
+    if (!(is >> tag) || tag != "dwell") parse_fail("expected 'dwell'");
+    Dwell dwell;
+    std::size_t n_reads = 0;
+    if (!(is >> dwell.antenna >> dwell.channel >> dwell.frequency_hz >>
+          dwell.start_time_s >> n_reads)) {
+      parse_fail("bad dwell header");
+    }
+    if (dwell.antenna >= round.n_antennas) {
+      parse_fail("dwell antenna out of range");
+    }
+    dwell.phases.resize(n_reads);
+    dwell.rssi_dbm.resize(n_reads);
+    for (std::size_t i = 0; i < n_reads; ++i) {
+      if (!(is >> dwell.phases[i] >> dwell.rssi_dbm[i])) {
+        parse_fail("truncated reads");
+      }
+    }
+    round.dwells.push_back(std::move(dwell));
+  }
+  return round;
+}
+
+void save_round(const std::string& path, const RoundTrace& round) {
+  std::ofstream os(path);
+  if (!os) throw Error("save_round: cannot open '" + path + "'");
+  write_round(os, round);
+}
+
+RoundTrace load_round(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("load_round: cannot open '" + path + "'");
+  return read_round(is);
+}
+
+}  // namespace rfp

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "rfp/ml/dataset.hpp"
+
+/// \file classifier.hpp
+/// Common interface of the three classifiers the paper evaluates
+/// (Fig. 13): KNN, SVM, and Decision Tree.
+
+namespace rfp {
+
+/// A trainable multi-class classifier.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on `train`. Throws InvalidArgument on an empty dataset.
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predict the class label of one feature vector. Must be called after
+  /// fit(); throws Error otherwise.
+  virtual int predict(std::span<const double> x) const = 0;
+
+  /// Human-readable name ("knn", "svm", "decision_tree").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rfp

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rfp/common/rng.hpp"
+
+/// \file dataset.hpp
+/// Labelled feature vectors for the material-identification classifiers
+/// (paper §V-B / §VI: 52-dimensional feature vectors, 8 material classes).
+
+namespace rfp {
+
+/// A labelled dataset. Invariant: features.size() == labels.size(); every
+/// feature row has the same dimension; every label indexes label_names.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Declare the class universe up front (e.g. the 8 material names).
+  explicit Dataset(std::vector<std::string> label_names);
+
+  /// Append one example. The first row fixes the feature dimension; later
+  /// rows must match. Throws InvalidArgument on dimension/label violations.
+  void add(std::vector<double> features, int label);
+
+  /// Register (or find) a class by name and return its label id.
+  int label_id(const std::string& name);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t dim() const { return dim_; }
+  std::size_t n_classes() const { return label_names_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  std::span<const double> features(std::size_t i) const {
+    return features_[i];
+  }
+  int label(std::size_t i) const { return labels_[i]; }
+  const std::vector<std::string>& label_names() const { return label_names_; }
+
+  /// Split into (train, test): `train_fraction` of each class (stratified)
+  /// goes to train, shuffled by `rng`. Fractions in (0, 1).
+  std::pair<Dataset, Dataset> stratified_split(double train_fraction,
+                                               Rng& rng) const;
+
+ private:
+  std::vector<std::vector<double>> features_;
+  std::vector<int> labels_;
+  std::vector<std::string> label_names_;
+  std::size_t dim_ = 0;
+};
+
+/// Per-feature affine standardization fitted on a training set
+/// (x - mean) / std, with degenerate features left centered only.
+class Standardizer {
+ public:
+  /// Fit on `train`. Throws InvalidArgument on an empty dataset.
+  explicit Standardizer(const Dataset& train);
+
+  std::vector<double> transform(std::span<const double> x) const;
+  Dataset transform(const Dataset& data) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace rfp

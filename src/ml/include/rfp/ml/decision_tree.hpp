@@ -1,0 +1,51 @@
+#pragma once
+
+#include "rfp/ml/classifier.hpp"
+
+/// \file decision_tree.hpp
+/// CART decision tree with Gini impurity — the classifier RF-Prism ships
+/// with (paper §V-B: "Decision Tree provides the best classification
+/// accuracy, so we choose Decision Tree for material identification").
+
+namespace rfp {
+
+struct DecisionTreeConfig {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 3;
+  /// Minimum Gini decrease to accept a split (pre-pruning).
+  double min_impurity_decrease = 1e-7;
+};
+
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(DecisionTreeConfig config = {});
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "decision_tree"; }
+
+  /// Number of nodes in the fitted tree (0 before fit); exposed for tests.
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Depth of the fitted tree (root = depth 1).
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;        ///< split feature; -1 for a leaf
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int label = 0;           ///< majority label (used when leaf)
+  };
+
+  int build(std::vector<std::size_t>& indices, const Dataset& data,
+            std::size_t depth);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace rfp

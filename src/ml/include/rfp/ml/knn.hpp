@@ -1,0 +1,30 @@
+#pragma once
+
+#include "rfp/ml/classifier.hpp"
+
+/// \file knn.hpp
+/// K-nearest-neighbour classifier (Euclidean distance, majority vote with
+/// inverse-distance tie-breaking). The paper (Fig. 13 discussion) notes KNN
+/// handles the 52-dimensional feature vector poorly — reproduced here by
+/// running it on the raw (unstandardized) features, as a plain KNN would.
+
+namespace rfp {
+
+class KnnClassifier final : public Classifier {
+ public:
+  /// `k` neighbours; `standardize` optionally z-scores features first
+  /// (off by default to match the plain KNN the paper compares against).
+  explicit KnnClassifier(std::size_t k = 5, bool standardize = false);
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "knn"; }
+
+ private:
+  std::size_t k_;
+  bool standardize_;
+  Dataset train_;
+  std::unique_ptr<Standardizer> scaler_;
+};
+
+}  // namespace rfp

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rfp/ml/classifier.hpp"
+
+/// \file metrics.hpp
+/// Evaluation metrics: accuracy and the row-normalized confusion matrix of
+/// paper Fig. 11.
+
+namespace rfp {
+
+/// Confusion counts for an n-class problem; rows = true class, columns =
+/// predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::vector<std::string> class_names);
+
+  void record(int true_label, int predicted_label);
+
+  std::size_t n_classes() const { return names_.size(); }
+  std::size_t count(int true_label, int predicted_label) const;
+  std::size_t total() const { return total_; }
+
+  /// Overall fraction of correct predictions; 0 when empty.
+  double accuracy() const;
+
+  /// Recall of one class (diagonal / row sum); 0 for an unseen class.
+  double class_accuracy(int true_label) const;
+
+  /// Row-normalized value (fraction of true class `t` predicted as `p`).
+  double normalized(int t, int p) const;
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Pretty-print the row-normalized matrix (two decimals) with headers.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::size_t> counts_;  ///< n x n row-major
+  std::size_t total_ = 0;
+};
+
+/// Fit `clf` on `train`, evaluate on `test`, and return the confusion
+/// matrix. Throws InvalidArgument when either set is empty.
+ConfusionMatrix evaluate(Classifier& clf, const Dataset& train,
+                         const Dataset& test);
+
+/// Accuracy-only convenience wrapper around evaluate().
+double evaluate_accuracy(Classifier& clf, const Dataset& train,
+                         const Dataset& test);
+
+}  // namespace rfp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "rfp/ml/classifier.hpp"
+
+/// \file svm.hpp
+/// Soft-margin SVM, one-vs-rest, trained by dual coordinate descent
+/// (Hsieh et al., ICML'08). Features are standardized internally.
+///
+/// Two kernels are provided. The default is an RBF kernel with the
+/// customary default bandwidth gamma = 1/dim and no tuning — matching how
+/// the paper used SVM (Fig. 13 discussion: "usually it is not easy to
+/// find the optimal kernel"), which is why SVM lands between KNN and the
+/// decision tree there. A linear kernel is available for callers who want
+/// the stronger tuned baseline.
+
+namespace rfp {
+
+enum class SvmKernel { kLinear, kRbf };
+
+struct SvmConfig {
+  SvmKernel kernel = SvmKernel::kRbf;
+  double c = 1.0;              ///< soft-margin penalty (liblinear C)
+  /// RBF bandwidth; <= 0 means the default 1/dim ("auto").
+  double gamma = 0.0;
+  /// Z-score features before training. Off by default: the out-of-the-box
+  /// SVM usage the paper benchmarks feeds raw features to the kernel,
+  /// which is a large part of why it loses to the decision tree there.
+  bool standardize = false;
+  std::size_t epochs = 60;     ///< maximum passes over the training set
+  std::uint64_t seed = 1234;   ///< coordinate-order shuffling seed
+};
+
+class SvmClassifier final : public Classifier {
+ public:
+  explicit SvmClassifier(SvmConfig config = {});
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "svm"; }
+
+  /// Decision value of class `cls` for a *standardized* feature vector;
+  /// exposed for tests.
+  double decision_value(std::span<const double> x, std::size_t cls) const;
+
+ private:
+  double kernel_value(std::span<const double> a,
+                      std::span<const double> b) const;
+
+  SvmConfig config_;
+  std::unique_ptr<Standardizer> scaler_;
+  Dataset support_;                            ///< standardized training set
+  std::vector<std::vector<double>> alpha_y_;   ///< per class, per sample
+  std::vector<double> bias_;                   ///< per class
+  std::vector<std::vector<double>> weights_;   ///< linear kernel: per class
+  std::size_t dim_ = 0;
+  double gamma_ = 0.0;
+};
+
+}  // namespace rfp

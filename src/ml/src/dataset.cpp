@@ -1,0 +1,103 @@
+#include "rfp/ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+Dataset::Dataset(std::vector<std::string> label_names)
+    : label_names_(std::move(label_names)) {}
+
+void Dataset::add(std::vector<double> features, int label) {
+  require(label >= 0 && static_cast<std::size_t>(label) < label_names_.size(),
+          "Dataset::add: label out of range");
+  if (features_.empty()) {
+    require(!features.empty(), "Dataset::add: empty feature vector");
+    dim_ = features.size();
+  } else {
+    require(features.size() == dim_, "Dataset::add: dimension mismatch");
+  }
+  features_.push_back(std::move(features));
+  labels_.push_back(label);
+}
+
+int Dataset::label_id(const std::string& name) {
+  for (std::size_t i = 0; i < label_names_.size(); ++i) {
+    if (label_names_[i] == name) return static_cast<int>(i);
+  }
+  label_names_.push_back(name);
+  return static_cast<int>(label_names_.size() - 1);
+}
+
+std::pair<Dataset, Dataset> Dataset::stratified_split(double train_fraction,
+                                                      Rng& rng) const {
+  require(train_fraction > 0.0 && train_fraction < 1.0,
+          "stratified_split: fraction out of (0,1)");
+  Dataset train(label_names_);
+  Dataset test(label_names_);
+
+  for (std::size_t cls = 0; cls < label_names_.size(); ++cls) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      if (labels_[i] == static_cast<int>(cls)) idx.push_back(i);
+    }
+    if (idx.empty()) continue;
+    rng.shuffle(idx);
+    const auto n_train = static_cast<std::size_t>(
+        std::round(train_fraction * static_cast<double>(idx.size())));
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      auto& dst = j < n_train ? train : test;
+      dst.add(features_[idx[j]], labels_[idx[j]]);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Standardizer::Standardizer(const Dataset& train) {
+  require(!train.empty(), "Standardizer: empty training set");
+  const std::size_t d = train.dim();
+  const auto n = static_cast<double>(train.size());
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto x = train.features(i);
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += x[j];
+  }
+  for (double& m : mean_) m /= n;
+
+  std::vector<double> var(d, 0.0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto x = train.features(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double c = x[j] - mean_[j];
+      var[j] += c * c;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / std::max(n - 1.0, 1.0));
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::transform(std::span<const double> x) const {
+  require(x.size() == mean_.size(), "Standardizer: dimension mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - mean_[j]) * inv_std_[j];
+  }
+  return out;
+}
+
+Dataset Standardizer::transform(const Dataset& data) const {
+  Dataset out(data.label_names());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto x = data.features(i);
+    out.add(transform(x), data.label(i));
+  }
+  return out;
+}
+
+}  // namespace rfp

@@ -1,0 +1,148 @@
+#include "rfp/ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  const double n = static_cast<double>(total);
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / n;
+    g -= p * p;
+  }
+  return g;
+}
+
+int majority_label(const std::vector<std::size_t>& counts) {
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                          counts.begin());
+}
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(DecisionTreeConfig config)
+    : config_(config) {
+  require(config_.max_depth >= 1, "DecisionTree: max_depth must be >= 1");
+  require(config_.min_samples_leaf >= 1,
+          "DecisionTree: min_samples_leaf must be >= 1");
+}
+
+void DecisionTreeClassifier::fit(const Dataset& train) {
+  require(!train.empty(), "DecisionTree::fit: empty dataset");
+  nodes_.clear();
+  dim_ = train.dim();
+  std::vector<std::size_t> indices(train.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  build(indices, train, 1);
+}
+
+int DecisionTreeClassifier::build(std::vector<std::size_t>& indices,
+                                  const Dataset& data, std::size_t depth) {
+  const std::size_t n_classes = data.n_classes();
+  std::vector<std::size_t> counts(n_classes, 0);
+  for (std::size_t i : indices) ++counts[data.label(i)];
+  const double node_gini = gini(counts, indices.size());
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].label = majority_label(counts);
+
+  const bool stop = depth >= config_.max_depth ||
+                    indices.size() < config_.min_samples_split ||
+                    node_gini <= 0.0;
+  if (stop) return node_id;
+
+  // Best split: scan each feature over its sorted unique midpoints.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_decrease = config_.min_impurity_decrease;
+  const double n_total = static_cast<double>(indices.size());
+
+  std::vector<std::pair<double, int>> column(indices.size());
+  for (std::size_t f = 0; f < dim_; ++f) {
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      column[k] = {data.features(indices[k])[f], data.label(indices[k])};
+    }
+    std::sort(column.begin(), column.end());
+
+    std::vector<std::size_t> left_counts(n_classes, 0);
+    std::vector<std::size_t> right_counts = counts;
+    for (std::size_t k = 0; k + 1 < column.size(); ++k) {
+      ++left_counts[column[k].second];
+      --right_counts[column[k].second];
+      if (column[k].first == column[k + 1].first) continue;
+      const std::size_t n_left = k + 1;
+      const std::size_t n_right = column.size() - n_left;
+      if (n_left < config_.min_samples_leaf ||
+          n_right < config_.min_samples_leaf) {
+        continue;
+      }
+      const double decrease =
+          node_gini -
+          (static_cast<double>(n_left) / n_total) * gini(left_counts, n_left) -
+          (static_cast<double>(n_right) / n_total) * gini(right_counts, n_right);
+      if (decrease > best_decrease) {
+        best_decrease = decrease;
+        best_feature = static_cast<int>(f);
+        best_threshold = (column[k].first + column[k + 1].first) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  left_idx.reserve(indices.size());
+  right_idx.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (data.features(i)[best_feature] <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  // Free the parent's index list before recursing (it can be large).
+  indices.clear();
+  indices.shrink_to_fit();
+
+  const int left = build(left_idx, data, depth + 1);
+  const int right = build(right_idx, data, depth + 1);
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+int DecisionTreeClassifier::predict(std::span<const double> x) const {
+  require(!nodes_.empty(), "DecisionTree::predict: not fitted");
+  require(x.size() == dim_, "DecisionTree::predict: dim mismatch");
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = x[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].label;
+}
+
+std::size_t DecisionTreeClassifier::depth() const {
+  if (nodes_.empty()) return 0;
+  // Depth via recursion over the node structure.
+  std::function<std::size_t(int)> walk = [&](int id) -> std::size_t {
+    const Node& n = nodes_[id];
+    if (n.feature < 0) return 1;
+    return 1 + std::max(walk(n.left), walk(n.right));
+  };
+  return walk(0);
+}
+
+}  // namespace rfp

@@ -1,0 +1,57 @@
+#include "rfp/ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+KnnClassifier::KnnClassifier(std::size_t k, bool standardize)
+    : k_(k), standardize_(standardize) {
+  require(k >= 1, "KnnClassifier: k must be >= 1");
+}
+
+void KnnClassifier::fit(const Dataset& train) {
+  require(!train.empty(), "KnnClassifier::fit: empty dataset");
+  if (standardize_) {
+    scaler_ = std::make_unique<Standardizer>(train);
+    train_ = scaler_->transform(train);
+  } else {
+    train_ = train;
+  }
+}
+
+int KnnClassifier::predict(std::span<const double> x) const {
+  require(!train_.empty(), "KnnClassifier::predict: not fitted");
+  std::vector<double> q(x.begin(), x.end());
+  if (scaler_) q = scaler_->transform(q);
+  require(q.size() == train_.dim(), "KnnClassifier::predict: dim mismatch");
+
+  // (distance^2, label) pairs; partial sort for the k nearest.
+  std::vector<std::pair<double, int>> neighbours;
+  neighbours.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    const auto t = train_.features(i);
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      const double diff = q[j] - t[j];
+      d2 += diff * diff;
+    }
+    neighbours.emplace_back(d2, train_.label(i));
+  }
+  const std::size_t k = std::min(k_, neighbours.size());
+  std::partial_sort(neighbours.begin(), neighbours.begin() + k,
+                    neighbours.end());
+
+  // Inverse-distance-weighted vote: breaks ties and softens equal counts.
+  std::vector<double> votes(train_.n_classes(), 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    votes[neighbours[i].second] += 1.0 / (std::sqrt(neighbours[i].first) + 1e-9);
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace rfp

@@ -1,0 +1,92 @@
+#include "rfp/ml/metrics.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+ConfusionMatrix::ConfusionMatrix(std::vector<std::string> class_names)
+    : names_(std::move(class_names)),
+      counts_(names_.size() * names_.size(), 0) {
+  require(!names_.empty(), "ConfusionMatrix: no classes");
+}
+
+void ConfusionMatrix::record(int true_label, int predicted_label) {
+  const auto n = static_cast<int>(names_.size());
+  require(true_label >= 0 && true_label < n &&
+              predicted_label >= 0 && predicted_label < n,
+          "ConfusionMatrix::record: label out of range");
+  ++counts_[static_cast<std::size_t>(true_label) * names_.size() +
+            static_cast<std::size_t>(predicted_label)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int t, int p) const {
+  require(t >= 0 && p >= 0 && static_cast<std::size_t>(t) < names_.size() &&
+              static_cast<std::size_t>(p) < names_.size(),
+          "ConfusionMatrix::count: label out of range");
+  return counts_[static_cast<std::size_t>(t) * names_.size() +
+                 static_cast<std::size_t>(p)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    correct += count(static_cast<int>(i), static_cast<int>(i));
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::class_accuracy(int true_label) const {
+  std::size_t row_total = 0;
+  for (std::size_t p = 0; p < names_.size(); ++p) {
+    row_total += count(true_label, static_cast<int>(p));
+  }
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(true_label, true_label)) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::normalized(int t, int p) const {
+  std::size_t row_total = 0;
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    row_total += count(t, static_cast<int>(c));
+  }
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(t, p)) / static_cast<double>(row_total);
+}
+
+void ConfusionMatrix::print(std::ostream& os) const {
+  os << std::setw(10) << "" << ' ';
+  for (const auto& n : names_) os << std::setw(8) << n.substr(0, 7);
+  os << '\n';
+  for (std::size_t t = 0; t < names_.size(); ++t) {
+    os << std::setw(10) << names_[t].substr(0, 9) << ' ';
+    for (std::size_t p = 0; p < names_.size(); ++p) {
+      os << std::setw(8) << std::fixed << std::setprecision(2)
+         << normalized(static_cast<int>(t), static_cast<int>(p));
+    }
+    os << '\n';
+  }
+}
+
+ConfusionMatrix evaluate(Classifier& clf, const Dataset& train,
+                         const Dataset& test) {
+  require(!train.empty() && !test.empty(), "evaluate: empty dataset");
+  clf.fit(train);
+  ConfusionMatrix cm(test.label_names());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    cm.record(test.label(i), clf.predict(test.features(i)));
+  }
+  return cm;
+}
+
+double evaluate_accuracy(Classifier& clf, const Dataset& train,
+                         const Dataset& test) {
+  return evaluate(clf, train, test).accuracy();
+}
+
+}  // namespace rfp

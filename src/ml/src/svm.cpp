@@ -1,0 +1,171 @@
+#include "rfp/ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+
+SvmClassifier::SvmClassifier(SvmConfig config) : config_(config) {
+  require(config_.c > 0.0, "SvmClassifier: C must be positive");
+  require(config_.epochs >= 1, "SvmClassifier: need at least one epoch");
+}
+
+double SvmClassifier::kernel_value(std::span<const double> a,
+                                   std::span<const double> b) const {
+  if (config_.kernel == SvmKernel::kLinear) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.size(); ++j) s += a[j] * b[j];
+    return s;
+  }
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    d2 += d * d;
+  }
+  return std::exp(-gamma_ * d2);
+}
+
+void SvmClassifier::fit(const Dataset& train) {
+  require(!train.empty(), "SvmClassifier::fit: empty dataset");
+  if (config_.standardize) {
+    scaler_ = std::make_unique<Standardizer>(train);
+    support_ = scaler_->transform(train);
+  } else {
+    scaler_.reset();
+    support_ = train;
+  }
+  dim_ = support_.dim();
+  const std::size_t n = support_.size();
+  const std::size_t n_classes = support_.n_classes();
+  gamma_ = config_.gamma > 0.0 ? config_.gamma
+                               : 1.0 / static_cast<double>(dim_);
+
+  const bool linear = config_.kernel == SvmKernel::kLinear;
+  weights_.clear();
+  alpha_y_.assign(n_classes, std::vector<double>(n, 0.0));
+  bias_.assign(n_classes, 0.0);
+  if (linear) {
+    weights_.assign(n_classes, std::vector<double>(dim_, 0.0));
+  }
+
+  // Precompute the kernel Gram (augmented with +1 for the bias term, so
+  // the bias is learned as a regularized weight and the per-coordinate
+  // update stays exact). n is a few hundred here; O(n^2) memory is fine.
+  std::vector<std::vector<double>> gram;
+  if (!linear) {
+    gram.assign(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double k =
+            kernel_value(support_.features(i), support_.features(j)) + 1.0;
+        gram[i][j] = k;
+        gram[j][i] = k;
+      }
+    }
+  }
+
+  Rng rng(config_.seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (std::size_t cls = 0; cls < n_classes; ++cls) {
+    std::vector<double> alpha(n, 0.0);
+    // f[i] = decision value at sample i (kernel path keeps it incremental).
+    std::vector<double> f(n, 0.0);
+    auto& w = linear ? weights_[cls] : alpha_y_[cls];  // alias for linear
+    (void)w;
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      rng.shuffle(order);
+      double max_step = 0.0;
+      for (std::size_t idx : order) {
+        const double y =
+            support_.label(idx) == static_cast<int>(cls) ? 1.0 : -1.0;
+        double value;
+        double qii;
+        if (linear) {
+          const auto x = support_.features(idx);
+          value = bias_[cls];
+          qii = 1.0;
+          for (std::size_t j = 0; j < dim_; ++j) {
+            value += weights_[cls][j] * x[j];
+            qii += x[j] * x[j];
+          }
+        } else {
+          value = f[idx];
+          qii = gram[idx][idx];
+        }
+        const double g = y * value - 1.0;
+        const double old = alpha[idx];
+        const double next = std::clamp(old - g / qii, 0.0, config_.c);
+        const double delta = next - old;
+        if (delta == 0.0) continue;
+        alpha[idx] = next;
+        max_step = std::max(max_step, std::abs(delta));
+        if (linear) {
+          const auto x = support_.features(idx);
+          const double scale = delta * y;
+          for (std::size_t j = 0; j < dim_; ++j) {
+            weights_[cls][j] += scale * x[j];
+          }
+          bias_[cls] += scale;
+        } else {
+          const double scale = delta * y;
+          for (std::size_t i = 0; i < n; ++i) f[i] += scale * gram[idx][i];
+        }
+      }
+      if (max_step < 1e-6) break;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y = support_.label(i) == static_cast<int>(cls) ? 1.0 : -1.0;
+      alpha_y_[cls][i] = alpha[i] * y;
+    }
+    if (!linear) {
+      // Bias folded into the +1 kernel augmentation:
+      // b = sum_i alpha_i y_i * 1.
+      double b = 0.0;
+      for (std::size_t i = 0; i < n; ++i) b += alpha_y_[cls][i];
+      bias_[cls] = b;
+    }
+  }
+}
+
+double SvmClassifier::decision_value(std::span<const double> x,
+                                     std::size_t cls) const {
+  require(cls < alpha_y_.size(), "SvmClassifier: class out of range");
+  require(x.size() == dim_, "SvmClassifier: dim mismatch");
+  if (config_.kernel == SvmKernel::kLinear) {
+    const auto& w = weights_[cls];
+    double v = bias_[cls];
+    for (std::size_t j = 0; j < dim_; ++j) v += w[j] * x[j];
+    return v;
+  }
+  double v = bias_[cls];
+  for (std::size_t i = 0; i < support_.size(); ++i) {
+    if (alpha_y_[cls][i] == 0.0) continue;
+    v += alpha_y_[cls][i] * kernel_value(support_.features(i), x);
+  }
+  return v;
+}
+
+int SvmClassifier::predict(std::span<const double> x) const {
+  require(!support_.empty(), "SvmClassifier::predict: not fitted");
+  const std::vector<double> q =
+      scaler_ ? scaler_->transform(x) : std::vector<double>(x.begin(), x.end());
+  int best = 0;
+  double best_value = -1e300;
+  for (std::size_t cls = 0; cls < alpha_y_.size(); ++cls) {
+    const double v = decision_value(q, cls);
+    if (v > best_value) {
+      best_value = v;
+      best = static_cast<int>(cls);
+    }
+  }
+  return best;
+}
+
+}  // namespace rfp

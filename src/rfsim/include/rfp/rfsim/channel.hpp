@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rfp/rfsim/scene.hpp"
+
+/// \file channel.hpp
+/// The backscatter channel: composes every phase term of paper Eq. (1)/(2)
+///
+///   theta(f) = theta_prop(f) + theta_orient + theta_reader(f)
+///              + theta_tag(f)  [+ multipath + environment ripple]
+///
+/// for one (antenna, tag, frequency) triple, plus the received power.
+/// This is the physics that replaces the paper's over-the-air measurement.
+
+namespace rfp {
+
+/// Environment/impairment knobs for one deployment condition.
+struct ChannelConfig {
+  /// Amplitude of the per-(trial, antenna) environment ripple [rad]:
+  /// residual reflections whose phase rotates a few times across the band.
+  /// Kept small and fast (several cycles per band) because slow ripple is
+  /// indistinguishable from a slope change and would alias directly into
+  /// ranging error — the dominant sensitivity of slope-based ranging.
+  double trial_ripple_amplitude = 0.003;
+
+  /// Std-dev of a per-(trial, antenna) *constant* phase offset [rad]:
+  /// cable/temperature drift between rounds. Shifts the fitted intercept
+  /// (orientation/material equations) without touching the slope.
+  double trial_offset_sigma = 0.035;
+
+  /// Std-dev of a per-(trial, antenna) ranging offset [m]: the antenna's
+  /// effective phase center wanders with the angle of arrival and the
+  /// near-field environment. A pure delay term (phase = 4*pi*dd*f/c), so
+  /// it biases the slope (ranging) while leaving the f=0 intercept —
+  /// hence the orientation equations — untouched.
+  double trial_range_jitter_m = 0.012;
+
+  /// Per-trial variability of the material loading: the tag couples to the
+  /// target differently at every placement (contact area, fill level,
+  /// exact spot on the object), so kt/bt/signature are drawn around the
+  /// material's nominal values each trial. Relative sigma for kt and the
+  /// signature amplitude; absolute sigma [rad] for bt.
+  double material_kt_rel_sigma = 0.16;
+  double material_bt_sigma = 0.12;
+  double material_ripple_rel_sigma = 0.6;
+
+  /// Per-(trial, antenna, channel) probability that higher-order multipath
+  /// or external interference grossly corrupts that channel's phase.
+  double channel_corruption_prob = 0.01;
+
+  /// Maximum magnitude of a gross per-channel corruption [rad].
+  double corruption_max_rad = 1.8;
+
+  /// Per-read white phase noise on conductive targets is multiplied by
+  /// this factor (strong self-reflection raises the noise floor).
+  double conductive_noise_factor = 1.7;
+
+  /// Link-budget constants for the RSSI report.
+  double tx_power_dbm = 30.0;
+  double antenna_gain_dbi = 8.0;
+  double tag_backscatter_loss_db = 33.0;
+
+  /// A "clean space" per the paper's Fig. 12: no clutter reflectors in the
+  /// scene and near-zero corruption. (Reflectors live in the Scene; this
+  /// only sets the statistical impairments.)
+  static ChannelConfig clean();
+
+  /// The paper's multipath setup: cartons/people around the region. Pair
+  /// with add_clutter() on the scene.
+  static ChannelConfig multipath();
+};
+
+/// Deterministic channel realization for one trial.
+///
+/// A trial corresponds to one sensing round in one environment state; the
+/// trial seed fixes the environment ripple, reflector reflection phases,
+/// and which channels are corrupted, so repeated queries are consistent
+/// within the round (the tag may move; the environment holds still).
+class ChannelModel {
+ public:
+  ChannelModel(const Scene& scene, const ChannelConfig& config,
+               std::uint64_t trial_seed);
+
+  /// Noise-free reported phase [rad, unwrapped model value] for antenna
+  /// `ai` reading tag `hw` in state `state` at carrier `frequency_hz`.
+  /// Includes propagation, polarization, tag+material device response,
+  /// reader port response, reflector multipath, environment ripple, and
+  /// gross channel corruption. Read-level white noise and the pi ambiguity
+  /// are applied by the Reader, not here.
+  double reported_phase(std::size_t ai, const TagState& state,
+                        const TagHardware& hw, double frequency_hz) const;
+
+  /// Mean received power [dBm] (before per-read RSSI noise).
+  double mean_rssi_dbm(std::size_t ai, const TagState& state,
+                       double frequency_hz) const;
+
+  /// Multiplier on per-read phase noise for this target material and
+  /// geometry: conductive targets raise the noise floor, and so does
+  /// distance (weaker backscatter -> lower SNR; paper Fig. 9 sees higher
+  /// orientation error in the far region).
+  double noise_scale(std::size_t ai, const TagState& state) const;
+
+  /// Individual phase components, exposed for tests and the model-
+  /// verification benches (paper Figs. 4-6).
+  double propagation_phase(std::size_t ai, const TagState& state,
+                           double frequency_hz) const;
+  double orientation_phase(std::size_t ai, const TagState& state) const;
+  double device_phase(const TagState& state, const TagHardware& hw,
+                      double frequency_hz) const;
+  double reader_phase(std::size_t ai, double frequency_hz) const;
+
+  /// Phase perturbation contributed by reflector paths at this geometry
+  /// and frequency (zero when the scene has no reflectors).
+  double multipath_phase_shift(std::size_t ai, const TagState& state,
+                               double frequency_hz) const;
+
+  /// Amplitude ratio |S|/|LOS| of the multipath superposition (1 when the
+  /// scene has no reflectors).
+  double multipath_amplitude(std::size_t ai, const TagState& state,
+                             double frequency_hz) const;
+
+  /// Reflection-coefficient phase of reflector `ri` for this trial [rad].
+  double multipath_reflection_phase(std::size_t ri) const;
+
+  const Scene& scene() const { return *scene_; }
+
+ private:
+  double trial_ripple(std::size_t ai, double frequency_hz) const;
+  double trial_offset(std::size_t ai) const;
+  double trial_range_jitter(std::size_t ai) const;
+  double corruption(std::size_t ai, double frequency_hz) const;
+
+  const Scene* scene_;
+  ChannelConfig config_;
+  std::uint64_t trial_seed_;
+};
+
+}  // namespace rfp

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "rfp/rfsim/scene.hpp"
+
+/// \file mobility.hpp
+/// Tag pose as a function of time within a sensing round. The paper's error
+/// detector (§V-C) exists because a tag that moves or rotates while the
+/// reader hops across the band breaks the phase-vs-frequency linearity;
+/// these models generate exactly those conditions.
+
+namespace rfp {
+
+/// Time-parameterized tag state. Value type; cheap to copy.
+class MobilityModel {
+ public:
+  /// Tag that holds `state` for the whole round.
+  static MobilityModel static_tag(TagState state);
+
+  /// Tag translating at constant `velocity` [m/s] from `start`'s position.
+  static MobilityModel linear_motion(TagState start, Vec3 velocity);
+
+  /// Tag rotating its planar polarization at `rate_rad_s` starting from the
+  /// in-plane angle of `start.polarization` (z component is ignored).
+  static MobilityModel planar_rotation(TagState start, double rate_rad_s);
+
+  /// Tag that moves only inside (t0, t1): linear motion clipped to a window
+  /// (models a hand briefly displacing an object mid-round).
+  static MobilityModel windowed_motion(TagState start, Vec3 velocity,
+                                       double t0, double t1);
+
+  /// State at time t [s] since round start.
+  TagState at(double t) const;
+
+  /// True if the pose is time-invariant.
+  bool is_static() const { return kind_ == Kind::kStatic; }
+
+ private:
+  enum class Kind { kStatic, kLinear, kRotation, kWindowed };
+
+  MobilityModel(Kind kind, TagState start) : kind_(kind), start_(start) {}
+
+  Kind kind_;
+  TagState start_;
+  Vec3 velocity_{};
+  double rate_rad_s_ = 0.0;
+  double alpha0_ = 0.0;
+  double t0_ = 0.0;
+  double t1_ = 0.0;
+};
+
+}  // namespace rfp

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rfp/common/rng.hpp"
+#include "rfp/rfsim/channel.hpp"
+#include "rfp/rfsim/mobility.hpp"
+#include "rfp/rfsim/scene.hpp"
+
+/// \file reader.hpp
+/// The COTS reader front-end: frequency hopping across the 50-channel FCC
+/// plan, per-channel dwells, multi-antenna port switching, and the raw
+/// per-read phase/RSSI reports (with white phase noise and the sudden-pi
+/// ambiguity of commodity readers). Mirrors the ImpinJ Speedway R420 the
+/// paper deploys (§VI-A: 200 ms per channel, 10 s per full hop round).
+
+namespace rfp {
+
+/// Reader operating parameters.
+struct ReaderConfig {
+  /// Raw reads per antenna within one channel dwell. The R420 dwells
+  /// 200 ms per channel and inventories at a few hundred reads/s, so each
+  /// antenna accumulates a few dozen reads per channel; averaging them is
+  /// what makes slope-based ranging precise enough for cm-level work.
+  std::size_t reads_per_antenna_per_channel = 24;
+
+  /// Dwell time per channel [s] (R420: 0.2 s -> 10 s per 50-channel round).
+  double dwell_s = 0.2;
+
+  /// Std-dev of white phase noise per raw read [rad]. Represents the
+  /// effective post-conditioning noise floor of a dense R420 inventory
+  /// (per-read reports are noisier, but a 200 ms dwell yields enough
+  /// reads that the averaged channel phase reaches this level).
+  double read_phase_noise = 0.012;
+
+  /// Probability that a raw read is reported offset by pi (demodulation
+  /// ambiguity of COTS readers).
+  double pi_jump_prob = 0.08;
+
+  /// Std-dev of per-read RSSI noise [dB].
+  double rssi_noise_db = 1.5;
+
+  /// Hop across channels in a pseudo-random order (FCC requirement); if
+  /// false, hop in ascending frequency order (useful in tests).
+  bool randomize_hop_order = true;
+};
+
+/// All raw reads of one (channel, antenna) dwell segment.
+struct Dwell {
+  std::size_t antenna = 0;
+  std::size_t channel = 0;
+  double frequency_hz = 0.0;
+  double start_time_s = 0.0;
+  std::vector<double> phases;    ///< raw wrapped phases [0, 2*pi)
+  std::vector<double> rssi_dbm;  ///< raw RSSI reports, same length
+};
+
+/// One full hop round for one tag: every channel visited once, every
+/// antenna polled in each channel dwell. Time-ordered.
+struct RoundTrace {
+  std::size_t n_antennas = 0;
+  std::vector<Dwell> dwells;
+
+  /// Total wall-clock duration of the round [s].
+  double duration_s = 0.0;
+};
+
+/// Simulate one full hop round. The tag follows `mobility`; the
+/// environment realization (ripple, corrupted channels, reflection phases)
+/// is fixed by `trial_seed`; read-level noise draws from `rng`.
+RoundTrace collect_round(const Scene& scene, const ReaderConfig& reader_config,
+                         const ChannelConfig& channel_config,
+                         const TagHardware& tag, const MobilityModel& mobility,
+                         std::uint64_t trial_seed, Rng& rng);
+
+/// Convenience overload for a static tag.
+RoundTrace collect_round(const Scene& scene, const ReaderConfig& reader_config,
+                         const ChannelConfig& channel_config,
+                         const TagHardware& tag, const TagState& state,
+                         std::uint64_t trial_seed, Rng& rng);
+
+/// One tag participating in a multi-tag inventory.
+struct TagInstance {
+  TagHardware hardware;
+  MobilityModel mobility;
+};
+
+/// Simulate one hop round over a tag population. EPC Gen2 inventories all
+/// tags in range during each dwell, so the reads-per-dwell budget is
+/// split across tags (each tag gets at least one read per dwell segment).
+/// Returns one RoundTrace per tag, in input order, sharing the channel
+/// schedule and environment realization.
+std::vector<RoundTrace> collect_round_multi(
+    const Scene& scene, const ReaderConfig& reader_config,
+    const ChannelConfig& channel_config, std::span<const TagInstance> tags,
+    std::uint64_t trial_seed, Rng& rng);
+
+}  // namespace rfp

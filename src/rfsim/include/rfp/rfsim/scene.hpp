@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfp/geom/frame.hpp"
+#include "rfp/geom/vec.hpp"
+#include "rfp/rfsim/material.hpp"
+
+/// \file scene.hpp
+/// Static deployment description: reader antennas (true and as-measured
+/// poses), environment reflectors, the working region, and per-tag hardware
+/// identity. Mirrors the paper's setup (Fig. 7): three circularly-polarized
+/// antennas at 0.5 m spacing tilted 45 degrees toward a 2m x 2m region.
+
+namespace rfp {
+
+/// One reader antenna port.
+struct ReaderAntenna {
+  Vec3 position;      ///< phase center, true location [m]
+  OrthoFrame frame;   ///< aperture frame (u horizontal, v vertical, n boresight)
+  double kr = 0.0;    ///< cable/port phase slope [rad/Hz] (hardware error)
+  double br = 0.0;    ///< cable/port phase offset [rad] (hardware error)
+};
+
+/// A point reflector creating one extra backscatter path.
+struct Reflector {
+  Vec3 position;
+  double reflectivity = 0.3;  ///< amplitude ratio relative to LOS at 1 m detour
+};
+
+/// Hardware identity of one tag (manufacturing diversity). The paper's
+/// theta_device0 calibration (§V-B) exists to measure and remove exactly
+/// this per-tag response.
+struct TagHardware {
+  std::string id;
+  double kd = 0.0;  ///< device phase slope [rad/Hz]
+  double bd = 0.0;  ///< device phase offset [rad]
+};
+
+/// Instantaneous physical state of a tag in the scene.
+struct TagState {
+  Vec3 position;              ///< [m]
+  Vec3 polarization{1, 0, 0};  ///< unit polarization direction
+  std::string material = "none";
+};
+
+/// Full static deployment.
+struct Scene {
+  std::vector<ReaderAntenna> antennas;
+  std::vector<Reflector> reflectors;
+  MaterialDB materials = MaterialDB::standard();
+  Rect working_region{{0.0, 0.0}, {2.0, 2.0}};
+  double tag_plane_z = 0.0;  ///< tags lie on this z plane in 2D scenarios
+
+  /// Antenna positions as measured during deployment (true position plus
+  /// per-axis gaussian tape-measure error of `sigma` meters). Deterministic
+  /// for a given seed. These are what the *pipeline* is allowed to see.
+  std::vector<Vec3> measured_antenna_positions(double sigma,
+                                               std::uint64_t seed) const;
+
+  /// Antenna aperture frames as measured during deployment: each true
+  /// frame rotated by a small random rotation of gaussian magnitude
+  /// `sigma_rad` about a random axis (protractor/levelling error).
+  std::vector<OrthoFrame> measured_antenna_frames(double sigma_rad,
+                                                  std::uint64_t seed) const;
+};
+
+/// Configuration for the standard scenes.
+struct SceneConfig {
+  std::size_t n_antennas = 3;       ///< 3 for 2D, 4 for 3D
+  double antenna_spacing = 0.5;     ///< [m] along x
+  double antenna_height = 1.0;      ///< [m] above the tag plane
+  double antenna_setback = 0.7;     ///< [m] in front of the region (-y)
+  Rect working_region{{0.0, 0.0}, {2.0, 2.0}};
+};
+
+/// Paper-style 2D deployment: `n_antennas` antennas in a row at y =
+/// -setback, z = height, rolled by distinct angles and pitched toward the
+/// region center so their aperture frames differ (distinct frames are what
+/// make the orientation equations independent). Hardware errors (kr, br)
+/// are drawn deterministically from `seed`.
+Scene make_standard_scene(const SceneConfig& config, std::uint64_t seed);
+
+/// Convenience: the default 3-antenna 2D scene.
+Scene make_scene_2d(std::uint64_t seed);
+
+/// Convenience: a 4-antenna scene for 3D localization; antennas are placed
+/// at distinct heights and x positions so the 3D geometry is well
+/// conditioned.
+Scene make_scene_3d(std::uint64_t seed);
+
+/// Add `n` reflectors around the working region (cartons/people in the
+/// paper's multipath experiment, §VI-C). Reflectivity is drawn in
+/// [0.15, 0.45].
+void add_clutter(Scene& scene, std::size_t n, std::uint64_t seed);
+
+/// Draw a tag hardware identity (manufacturing diversity) for `id`.
+TagHardware make_tag_hardware(const std::string& id, std::uint64_t seed);
+
+}  // namespace rfp

@@ -1,0 +1,229 @@
+#include "rfp/rfsim/channel.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+
+ChannelConfig ChannelConfig::clean() {
+  ChannelConfig c;
+  c.trial_ripple_amplitude = 0.002;
+  c.trial_offset_sigma = 0.035;
+  c.trial_range_jitter_m = 0.009;
+  c.channel_corruption_prob = 0.01;
+  return c;
+}
+
+ChannelConfig ChannelConfig::multipath() {
+  ChannelConfig c;
+  c.trial_ripple_amplitude = 0.004;
+  c.trial_offset_sigma = 0.055;
+  c.trial_range_jitter_m = 0.010;
+  c.channel_corruption_prob = 0.05;
+  c.corruption_max_rad = 0.32;
+  return c;
+}
+
+ChannelModel::ChannelModel(const Scene& scene, const ChannelConfig& config,
+                           std::uint64_t trial_seed)
+    : scene_(&scene), config_(config), trial_seed_(trial_seed) {
+  require(!scene.antennas.empty(), "ChannelModel: scene has no antennas");
+}
+
+double ChannelModel::propagation_phase(std::size_t ai, const TagState& state,
+                                       double frequency_hz) const {
+  require(ai < scene_->antennas.size(), "ChannelModel: antenna out of range");
+  const double d = distance(scene_->antennas[ai].position, state.position);
+  return kSlopePerMeter * d * frequency_hz;
+}
+
+double ChannelModel::orientation_phase(std::size_t ai,
+                                       const TagState& state) const {
+  require(ai < scene_->antennas.size(), "ChannelModel: antenna out of range");
+  return polarization_phase_toward(scene_->antennas[ai].frame,
+                                   scene_->antennas[ai].position,
+                                   state.position, state.polarization);
+}
+
+double ChannelModel::device_phase(const TagState& state, const TagHardware& hw,
+                                  double frequency_hz) const {
+  const Material& m = scene_->materials.get(state.material);
+  // Per-trial placement variability: each attachment couples the tag to
+  // the target a little differently (contact area, fill level, spot).
+  double kt = m.kt;
+  double bt = m.bt;
+  double distortion = 0.0;
+  if (m.kt != 0.0 || m.bt != 0.0 || m.ripple_amplitude != 0.0) {
+    std::uint64_t h = trial_seed_;
+    for (unsigned char c : state.material) h = mix_seed(h, c);
+    std::uint64_t st = mix_seed(h, 0x6D617456ULL);
+    Rng rng(st);
+    kt *= 1.0 + rng.gaussian(0.0, config_.material_kt_rel_sigma);
+    bt += rng.gaussian(0.0, config_.material_bt_sigma);
+    // Shape distortion: a per-trial random fast ripple whose amplitude
+    // scales with the material's own frequency selectivity (a strongly
+    // selective load also couples more variably). This is what keeps the
+    // per-channel signature features from being noiselessly separable.
+    const double x = (frequency_hz - kFirstChannelHz) / kBandSpanHz;
+    for (int harmonics = 0; harmonics < 3; ++harmonics) {
+      const double phase = rng.uniform(0.0, kTwoPi);
+      const double cycles = rng.uniform(2.5, 6.0);
+      distortion += std::sin(kTwoPi * cycles * x + phase) /
+                    static_cast<double>(harmonics + 1);
+    }
+    distortion *= m.ripple_amplitude * config_.material_ripple_rel_sigma /
+                  (1.0 + 0.5 + 1.0 / 3.0);
+  }
+  return (hw.kd + kt) * frequency_hz + hw.bd + bt + m.signature(frequency_hz) +
+         distortion;
+}
+
+double ChannelModel::reader_phase(std::size_t ai, double frequency_hz) const {
+  require(ai < scene_->antennas.size(), "ChannelModel: antenna out of range");
+  const ReaderAntenna& a = scene_->antennas[ai];
+  return a.kr * frequency_hz + a.br;
+}
+
+double ChannelModel::multipath_reflection_phase(std::size_t ri) const {
+  // Reflection-coefficient phase of reflector `ri`, fixed for the trial.
+  Rng rng(mix_seed(trial_seed_, 0x7265666CULL, ri));
+  return rng.uniform(0.0, kTwoPi);
+}
+
+namespace {
+
+/// Complex superposition of the LOS path and all reflector detour paths,
+/// normalized so the LOS ray has unit amplitude and zero phase.
+std::complex<double> multipath_superposition(const Scene& scene,
+                                             std::size_t ai,
+                                             const TagState& state,
+                                             double frequency_hz,
+                                             const ChannelModel& model) {
+  std::complex<double> s{1.0, 0.0};
+  if (scene.reflectors.empty()) return s;
+  const Vec3 a = scene.antennas[ai].position;
+  const double d_los = distance(a, state.position);
+  for (std::size_t ri = 0; ri < scene.reflectors.size(); ++ri) {
+    const Reflector& r = scene.reflectors[ri];
+    const double detour =
+        distance(a, r.position) + distance(r.position, state.position);
+    // Round-trip phase advance of the detour path relative to LOS.
+    const double dphi =
+        kSlopePerMeter * (detour - d_los) * frequency_hz +
+        model.multipath_reflection_phase(ri);
+    // Amplitude: reflectivity referenced at 1 m excess length, with extra
+    // spreading loss along the longer path.
+    const double excess = std::max(detour - d_los, 0.05);
+    const double amp = r.reflectivity * (d_los / detour) / std::sqrt(excess);
+    s += std::polar(amp, -dphi);
+  }
+  return s;
+}
+
+}  // namespace
+
+double ChannelModel::multipath_phase_shift(std::size_t ai,
+                                           const TagState& state,
+                                           double frequency_hz) const {
+  const std::complex<double> s =
+      multipath_superposition(*scene_, ai, state, frequency_hz, *this);
+  return -std::arg(s);
+}
+
+double ChannelModel::multipath_amplitude(std::size_t ai, const TagState& state,
+                                         double frequency_hz) const {
+  const std::complex<double> s =
+      multipath_superposition(*scene_, ai, state, frequency_hz, *this);
+  return std::abs(s);
+}
+
+double ChannelModel::trial_ripple(std::size_t ai, double frequency_hz) const {
+  if (config_.trial_ripple_amplitude == 0.0) return 0.0;
+  std::uint64_t st = mix_seed(trial_seed_, 0x726970706CULL, ai);
+  const double x = (frequency_hz - kFirstChannelHz) / kBandSpanHz;
+  double acc = 0.0;
+  // Several cycles per band: fast enough that the leakage into the fitted
+  // slope stays small (slow ripple would masquerade as extra distance).
+  for (int h = 0; h < 3; ++h) {
+    const double phase =
+        kTwoPi * static_cast<double>(splitmix64(st) >> 11) * 0x1.0p-53;
+    const double cycles =
+        2.5 + 3.5 * static_cast<double>(splitmix64(st) >> 11) * 0x1.0p-53;
+    acc += std::sin(kTwoPi * cycles * x + phase) /
+           static_cast<double>(h + 1);
+  }
+  return config_.trial_ripple_amplitude * acc / (1.0 + 0.5 + 1.0 / 3.0);
+}
+
+double ChannelModel::trial_offset(std::size_t ai) const {
+  if (config_.trial_offset_sigma == 0.0) return 0.0;
+  Rng rng(mix_seed(trial_seed_, 0x6F666673ULL, ai));
+  return rng.gaussian(0.0, config_.trial_offset_sigma);
+}
+
+double ChannelModel::trial_range_jitter(std::size_t ai) const {
+  if (config_.trial_range_jitter_m == 0.0) return 0.0;
+  Rng rng(mix_seed(trial_seed_, 0x72616E6765ULL, ai));
+  return rng.gaussian(0.0, config_.trial_range_jitter_m);
+}
+
+double ChannelModel::corruption(std::size_t ai, double frequency_hz) const {
+  if (config_.channel_corruption_prob <= 0.0) return 0.0;
+  const auto channel = static_cast<std::uint64_t>(
+      std::llround((frequency_hz - kFirstChannelHz) / kChannelSpacingHz));
+  Rng rng(mix_seed(trial_seed_, 0x636F7272ULL + ai * 1315423911ULL, channel));
+  if (!rng.bernoulli(config_.channel_corruption_prob)) return 0.0;
+  // Gross deviation, bounded away from zero so a "corrupted" channel is
+  // actually an outlier rather than a no-op.
+  const double mag =
+      rng.uniform(0.6 * config_.corruption_max_rad, config_.corruption_max_rad);
+  return rng.bernoulli(0.5) ? mag : -mag;
+}
+
+double ChannelModel::noise_scale(std::size_t ai, const TagState& state) const {
+  require(ai < scene_->antennas.size(), "ChannelModel: antenna out of range");
+  const Material& m = scene_->materials.get(state.material);
+  double scale = m.conductive ? config_.conductive_noise_factor : 1.0;
+  // SNR falls with distance (backscatter power ~ 1/d^4); noise amplitude
+  // grows accordingly, normalized at 1.5 m.
+  const double d =
+      std::max(distance(scene_->antennas[ai].position, state.position), 0.2);
+  scale *= std::pow(d / 1.5, 1.1);
+  return scale;
+}
+
+double ChannelModel::reported_phase(std::size_t ai, const TagState& state,
+                                    const TagHardware& hw,
+                                    double frequency_hz) const {
+  return propagation_phase(ai, state, frequency_hz) +
+         kSlopePerMeter * trial_range_jitter(ai) * frequency_hz +
+         orientation_phase(ai, state) +
+         device_phase(state, hw, frequency_hz) +
+         reader_phase(ai, frequency_hz) +
+         multipath_phase_shift(ai, state, frequency_hz) +
+         trial_ripple(ai, frequency_hz) + trial_offset(ai) +
+         corruption(ai, frequency_hz);
+}
+
+double ChannelModel::mean_rssi_dbm(std::size_t ai, const TagState& state,
+                                   double frequency_hz) const {
+  require(ai < scene_->antennas.size(), "ChannelModel: antenna out of range");
+  const double d =
+      std::max(distance(scene_->antennas[ai].position, state.position), 0.05);
+  const Material& m = scene_->materials.get(state.material);
+  const double fspl_one_way =
+      20.0 * std::log10(4.0 * kPi * d * frequency_hz / kSpeedOfLight);
+  const double mp_gain =
+      20.0 * std::log10(std::max(multipath_amplitude(ai, state, frequency_hz),
+                                 1e-3));
+  return config_.tx_power_dbm + 2.0 * config_.antenna_gain_dbi -
+         2.0 * fspl_one_way - config_.tag_backscatter_loss_db -
+         2.0 * m.attenuation_db + mp_gain;
+}
+
+}  // namespace rfp

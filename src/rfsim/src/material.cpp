@@ -1,0 +1,159 @@
+#include "rfp/rfsim/material.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+
+namespace {
+
+std::uint64_t name_hash(const std::string& name) {
+  // FNV-1a, stable across platforms so signatures are reproducible.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+namespace {
+
+/// Three name-seeded sinusoids across the band, normalized to unit peak.
+/// Periods are a few cycles per band: frequency-selective enough to
+/// discriminate materials channel-wise, fast enough that the leakage into
+/// the fitted slope stays tiny (a slow signature would masquerade as
+/// extra distance and pollute kt).
+double shape_of(const std::string& key, double frequency_hz) {
+  std::uint64_t st = name_hash(key);
+  double acc = 0.0;
+  const double x = (frequency_hz - kFirstChannelHz) / kBandSpanHz;  // [0,1]
+  for (int h = 0; h < 3; ++h) {
+    const double phase = kTwoPi * static_cast<double>(splitmix64(st) >> 11) *
+                         0x1.0p-53;
+    const double cycles =
+        3.0 + 4.0 * static_cast<double>(splitmix64(st) >> 11) * 0x1.0p-53;
+    const double weight = 1.0 / static_cast<double>(h + 1);
+    acc += weight * std::sin(kTwoPi * cycles * x + phase);
+  }
+  // Normalize the three-harmonic sum (max weight sum = 1 + 1/2 + 1/3).
+  return acc / (1.0 + 0.5 + 1.0 / 3.0);
+}
+
+}  // namespace
+
+double Material::signature(double frequency_hz) const {
+  if (ripple_amplitude == 0.0) return 0.0;
+  if (signature_like.empty()) {
+    return ripple_amplitude * shape_of(name, frequency_hz);
+  }
+  return ripple_amplitude * (0.75 * shape_of(signature_like, frequency_hz) +
+                             0.25 * shape_of(name, frequency_hz));
+}
+
+MaterialDB MaterialDB::standard() {
+  MaterialDB db;
+  // kt values are chosen so that material-induced slope biases span the
+  // few-centimeter-equivalent range (c*kt/4pi = 2.39e7 * kt meters) the
+  // paper's comparisons imply: conductive loads detune hardest.
+  db.add({.name = "none",
+          .kt = 0.0,
+          .bt = 0.0,
+          .ripple_amplitude = 0.0,
+          .attenuation_db = 0.0,
+          .conductive = false});
+  db.add({.name = "wood",
+          .kt = 1.8e-9,
+          .bt = 0.35,
+          .ripple_amplitude = 0.055,
+          .attenuation_db = 1.0,
+          .conductive = false});
+  db.add({.name = "plastic",
+          .kt = 0.9e-9,
+          .bt = 0.18,
+          .ripple_amplitude = 0.045,
+          .attenuation_db = 0.5,
+          .conductive = false});
+  db.add({.name = "glass",
+          .kt = 3.3e-9,
+          .bt = 0.55,
+          .ripple_amplitude = 0.06,
+          .attenuation_db = 1.5,
+          .conductive = false});
+  db.add({.name = "metal",
+          .kt = 13.0e-9,
+          .bt = 2.2,
+          .ripple_amplitude = 0.18,
+          .attenuation_db = 6.0,
+          .conductive = true});
+  db.add({.name = "water",
+          .kt = 7.0e-9,
+          .bt = 1.25,
+          .ripple_amplitude = 0.10,
+          .attenuation_db = 4.0,
+          .conductive = true});
+  db.add({.name = "milk",
+          .kt = 7.6e-9,
+          .bt = 1.33,
+          .ripple_amplitude = 0.10,
+          .signature_like = "water",
+          .attenuation_db = 4.0,
+          .conductive = true});
+  db.add({.name = "oil",
+          .kt = 4.2e-9,
+          .bt = 0.75,
+          .ripple_amplitude = 0.07,
+          .attenuation_db = 1.5,
+          .conductive = false});
+  db.add({.name = "alcohol",
+          .kt = 6.2e-9,
+          .bt = 1.05,
+          .ripple_amplitude = 0.09,
+          .attenuation_db = 3.0,
+          .conductive = true});
+  return db;
+}
+
+void MaterialDB::add(Material m) {
+  require(!m.name.empty(), "MaterialDB::add: empty name");
+  for (auto& existing : materials_) {
+    if (existing.name == m.name) {
+      existing = std::move(m);
+      return;
+    }
+  }
+  materials_.push_back(std::move(m));
+}
+
+const Material& MaterialDB::get(const std::string& name) const {
+  for (const auto& m : materials_) {
+    if (m.name == name) return m;
+  }
+  throw NotFound("MaterialDB: unknown material '" + name + "'");
+}
+
+std::optional<Material> MaterialDB::find(const std::string& name) const {
+  for (const auto& m : materials_) {
+    if (m.name == name) return m;
+  }
+  return std::nullopt;
+}
+
+bool MaterialDB::contains(const std::string& name) const {
+  return find(name).has_value();
+}
+
+std::vector<std::string> MaterialDB::names() const {
+  std::vector<std::string> out;
+  out.reserve(materials_.size());
+  for (const auto& m : materials_) out.push_back(m.name);
+  return out;
+}
+
+}  // namespace rfp

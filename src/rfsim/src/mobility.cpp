@@ -1,0 +1,57 @@
+#include "rfp/rfsim/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfp/geom/frame.hpp"
+
+namespace rfp {
+
+MobilityModel MobilityModel::static_tag(TagState state) {
+  return MobilityModel(Kind::kStatic, state);
+}
+
+MobilityModel MobilityModel::linear_motion(TagState start, Vec3 velocity) {
+  MobilityModel m(Kind::kLinear, start);
+  m.velocity_ = velocity;
+  return m;
+}
+
+MobilityModel MobilityModel::planar_rotation(TagState start,
+                                             double rate_rad_s) {
+  MobilityModel m(Kind::kRotation, start);
+  m.rate_rad_s_ = rate_rad_s;
+  m.alpha0_ = std::atan2(start.polarization.y, start.polarization.x);
+  return m;
+}
+
+MobilityModel MobilityModel::windowed_motion(TagState start, Vec3 velocity,
+                                             double t0, double t1) {
+  MobilityModel m(Kind::kWindowed, start);
+  m.velocity_ = velocity;
+  m.t0_ = t0;
+  m.t1_ = t1;
+  return m;
+}
+
+TagState MobilityModel::at(double t) const {
+  TagState s = start_;
+  switch (kind_) {
+    case Kind::kStatic:
+      break;
+    case Kind::kLinear:
+      s.position += velocity_ * t;
+      break;
+    case Kind::kRotation:
+      s.polarization = planar_polarization(alpha0_ + rate_rad_s_ * t);
+      break;
+    case Kind::kWindowed: {
+      const double active = std::clamp(t, t0_, t1_) - t0_;
+      s.position += velocity_ * active;
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace rfp

@@ -1,0 +1,109 @@
+#include "rfp/rfsim/reader.hpp"
+
+#include <numeric>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+RoundTrace collect_round(const Scene& scene, const ReaderConfig& reader_config,
+                         const ChannelConfig& channel_config,
+                         const TagHardware& tag, const MobilityModel& mobility,
+                         std::uint64_t trial_seed, Rng& rng) {
+  require(!scene.antennas.empty(), "collect_round: scene has no antennas");
+  require(reader_config.reads_per_antenna_per_channel > 0,
+          "collect_round: need at least one read per dwell");
+  require(reader_config.dwell_s > 0.0, "collect_round: dwell must be positive");
+
+  const ChannelModel channel(scene, channel_config, trial_seed);
+  const std::size_t n_ant = scene.antennas.size();
+
+  // FCC pseudo-random hop sequence, fixed by the trial seed so the same
+  // trial is reproducible independent of read-noise draws.
+  std::vector<std::size_t> hop_order(kNumChannels);
+  std::iota(hop_order.begin(), hop_order.end(), std::size_t{0});
+  if (reader_config.randomize_hop_order) {
+    Rng hop_rng(mix_seed(trial_seed, 0x686F70ULL));
+    hop_rng.shuffle(hop_order);
+  }
+
+  RoundTrace trace;
+  trace.n_antennas = n_ant;
+  trace.dwells.reserve(kNumChannels * n_ant);
+
+  const std::size_t reads = reader_config.reads_per_antenna_per_channel;
+  const double ant_slot = reader_config.dwell_s / static_cast<double>(n_ant);
+  const double read_slot = ant_slot / static_cast<double>(reads);
+
+  for (std::size_t hop = 0; hop < hop_order.size(); ++hop) {
+    const std::size_t ch = hop_order[hop];
+    const double f = channel_frequency(ch);
+    const double channel_start =
+        reader_config.dwell_s * static_cast<double>(hop);
+
+    for (std::size_t ai = 0; ai < n_ant; ++ai) {
+      Dwell dwell;
+      dwell.antenna = ai;
+      dwell.channel = ch;
+      dwell.frequency_hz = f;
+      dwell.start_time_s = channel_start + ant_slot * static_cast<double>(ai);
+      dwell.phases.reserve(reads);
+      dwell.rssi_dbm.reserve(reads);
+
+      for (std::size_t r = 0; r < reads; ++r) {
+        const double t = dwell.start_time_s + read_slot * static_cast<double>(r);
+        const TagState state = mobility.at(t);
+        const double noise_scale = channel.noise_scale(ai, state);
+
+        double phase = channel.reported_phase(ai, state, tag, f);
+        phase += rng.gaussian(0.0, reader_config.read_phase_noise * noise_scale);
+        if (rng.bernoulli(reader_config.pi_jump_prob)) phase += kPi;
+        dwell.phases.push_back(wrap_to_2pi(phase));
+
+        const double rssi = channel.mean_rssi_dbm(ai, state, f) +
+                            rng.gaussian(0.0, reader_config.rssi_noise_db);
+        dwell.rssi_dbm.push_back(rssi);
+      }
+      trace.dwells.push_back(std::move(dwell));
+    }
+  }
+  trace.duration_s = reader_config.dwell_s * static_cast<double>(kNumChannels);
+  return trace;
+}
+
+RoundTrace collect_round(const Scene& scene, const ReaderConfig& reader_config,
+                         const ChannelConfig& channel_config,
+                         const TagHardware& tag, const TagState& state,
+                         std::uint64_t trial_seed, Rng& rng) {
+  return collect_round(scene, reader_config, channel_config, tag,
+                       MobilityModel::static_tag(state), trial_seed, rng);
+}
+
+std::vector<RoundTrace> collect_round_multi(
+    const Scene& scene, const ReaderConfig& reader_config,
+    const ChannelConfig& channel_config, std::span<const TagInstance> tags,
+    std::uint64_t trial_seed, Rng& rng) {
+  require(!tags.empty(), "collect_round_multi: no tags");
+
+  // The per-dwell read budget is shared by the population; every tag
+  // keeps at least one read per (channel, antenna) segment so its trace
+  // stays complete (sparser-population behavior is the graceful case).
+  ReaderConfig per_tag = reader_config;
+  per_tag.reads_per_antenna_per_channel = std::max<std::size_t>(
+      reader_config.reads_per_antenna_per_channel / tags.size(), 1);
+
+  std::vector<RoundTrace> out;
+  out.reserve(tags.size());
+  for (std::size_t t = 0; t < tags.size(); ++t) {
+    // The environment realization (trial seed) is shared; read noise draws
+    // are tag-specific via the caller's rng stream.
+    out.push_back(collect_round(scene, per_tag, channel_config,
+                                tags[t].hardware, tags[t].mobility,
+                                trial_seed, rng));
+  }
+  return out;
+}
+
+}  // namespace rfp

@@ -1,0 +1,171 @@
+#include "rfp/rfsim/scene.hpp"
+
+#include <cmath>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+
+std::vector<Vec3> Scene::measured_antenna_positions(double sigma,
+                                                    std::uint64_t seed) const {
+  Rng rng(mix_seed(seed, 0x616E74656E6E61ULL));
+  std::vector<Vec3> out;
+  out.reserve(antennas.size());
+  for (const auto& a : antennas) {
+    out.push_back({a.position.x + rng.gaussian(0.0, sigma),
+                   a.position.y + rng.gaussian(0.0, sigma),
+                   a.position.z + rng.gaussian(0.0, sigma)});
+  }
+  return out;
+}
+
+namespace {
+
+/// Rodrigues rotation of v by `angle` about unit `axis`.
+Vec3 rotate_about(Vec3 v, Vec3 axis, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return v * c + axis.cross(v) * s + axis * (axis.dot(v) * (1.0 - c));
+}
+
+}  // namespace
+
+std::vector<OrthoFrame> Scene::measured_antenna_frames(
+    double sigma_rad, std::uint64_t seed) const {
+  Rng rng(mix_seed(seed, 0x6672616D6573ULL));
+  std::vector<OrthoFrame> out;
+  out.reserve(antennas.size());
+  for (const auto& a : antennas) {
+    // Random unit axis via normalized gaussian triple.
+    Vec3 axis{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    if (axis.norm() < 1e-9) axis = {0.0, 0.0, 1.0};
+    axis = axis.normalized();
+    const double angle = rng.gaussian(0.0, sigma_rad);
+    OrthoFrame f;
+    f.u = rotate_about(a.frame.u, axis, angle);
+    f.v = rotate_about(a.frame.v, axis, angle);
+    f.n = rotate_about(a.frame.n, axis, angle);
+    out.push_back(f);
+  }
+  return out;
+}
+
+Scene make_standard_scene(const SceneConfig& config, std::uint64_t seed) {
+  require(config.n_antennas >= 1, "make_standard_scene: need >= 1 antenna");
+  Rng rng(mix_seed(seed, 0x7363656E65ULL));
+
+  Scene scene;
+  scene.working_region = config.working_region;
+  const Vec2 center = config.working_region.center();
+
+  const double row_width =
+      config.antenna_spacing * static_cast<double>(config.n_antennas - 1);
+  const double x0 = center.x - row_width / 2.0;
+
+  // Strongly staggered mounting heights. The depression angle sets the
+  // eccentricity of the polarization projection each aperture sees; the
+  // *diversity* of those eccentricities is what conditions the
+  // multi-antenna orientation solve (near-identical mounting makes the
+  // alpha/bt equations almost degenerate).
+  const double height_pattern[] = {0.5, 1.9, 1.1, 1.6};
+
+  for (std::size_t i = 0; i < config.n_antennas; ++i) {
+    ReaderAntenna ant;
+    ant.position = {x0 + config.antenna_spacing * static_cast<double>(i),
+                    config.working_region.lo.y - config.antenna_setback,
+                    config.antenna_height * height_pattern[i % 4]};
+    // Cross-aim the antennas across the region (left antenna covers the
+    // right side and vice versa). The diversity of boresight directions is
+    // what makes the per-antenna orientation equations independent: each
+    // aperture sees the tag's polarization under a different projection.
+    const double frac =
+        config.n_antennas == 1
+            ? 0.5
+            : 1.0 - static_cast<double>(i) /
+                        static_cast<double>(config.n_antennas - 1);
+    const Vec2 aim{config.working_region.lo.x +
+                       config.working_region.width() * (0.15 + 0.7 * frac),
+                   center.y + config.working_region.height() * 0.25 *
+                                  (i % 2 == 0 ? 1.0 : -1.0)};
+    const double roll = deg2rad(25.0) * static_cast<double>(i);
+    ant.frame = look_at_frame(ant.position, Vec3{aim, 0.0}, roll);
+    // Port hardware errors: slope within a few ns of group delay spread,
+    // offset uniform. These are exactly what the pre-deployment antenna
+    // equalization (paper §IV-C) measures and removes.
+    ant.kr = rng.gaussian(0.0, 2.0e-9);
+    ant.br = rng.uniform(0.0, kTwoPi);
+    scene.antennas.push_back(ant);
+  }
+  return scene;
+}
+
+Scene make_scene_2d(std::uint64_t seed) {
+  return make_standard_scene(SceneConfig{}, seed);
+}
+
+Scene make_scene_3d(std::uint64_t seed) {
+  SceneConfig config;
+  config.n_antennas = 4;
+  Scene scene = make_standard_scene(config, seed);
+  // Stagger heights for z resolution and projection diversity, and aim
+  // across the volume.
+  const double heights[] = {0.5, 1.9, 0.9, 1.5};
+  const Rect& r = scene.working_region;
+  for (std::size_t i = 0; i < scene.antennas.size(); ++i) {
+    scene.antennas[i].position.z = heights[i % 4];
+    const double frac = static_cast<double>(i) /
+                        static_cast<double>(scene.antennas.size() - 1);
+    const Vec2 aim{r.lo.x + r.width() * (0.85 - 0.7 * frac),
+                   r.lo.y + r.height() * (i % 2 == 0 ? 0.7 : 0.3)};
+    const double roll = deg2rad(25.0) * static_cast<double>(i);
+    scene.antennas[i].frame =
+        look_at_frame(scene.antennas[i].position, Vec3{aim, 0.4}, roll);
+  }
+  return scene;
+}
+
+void add_clutter(Scene& scene, std::size_t n, std::uint64_t seed) {
+  Rng rng(mix_seed(seed, 0x636C7574746572ULL));
+  const Rect& r = scene.working_region;
+  for (std::size_t i = 0; i < n; ++i) {
+    Reflector ref;
+    // Clutter sits around the region: offset outward from a random edge
+    // point, at carton/person height.
+    const double margin = rng.uniform(0.1, 0.6);
+    const int side = static_cast<int>(rng.uniform_index(4));
+    Vec2 p;
+    switch (side) {
+      case 0:
+        p = {r.lo.x - margin, rng.uniform(r.lo.y, r.hi.y)};
+        break;
+      case 1:
+        p = {r.hi.x + margin, rng.uniform(r.lo.y, r.hi.y)};
+        break;
+      case 2:
+        p = {rng.uniform(r.lo.x, r.hi.x), r.hi.y + margin};
+        break;
+      default:
+        p = {rng.uniform(r.lo.x, r.hi.x), r.lo.y - margin};
+        break;
+    }
+    ref.position = {p.x, p.y, rng.uniform(0.2, 1.2)};
+    ref.reflectivity = rng.uniform(0.001, 0.005);
+    scene.reflectors.push_back(ref);
+  }
+}
+
+TagHardware make_tag_hardware(const std::string& id, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : id) h = mix_seed(h, c);
+  Rng rng(h);
+  TagHardware hw;
+  hw.id = id;
+  hw.kd = rng.gaussian(0.0, 1.0e-9);
+  hw.bd = rng.uniform(0.0, kTwoPi);
+  return hw;
+}
+
+}  // namespace rfp

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file dense.hpp
+/// Minimal dense linear algebra for the small (<= ~8 parameter) normal
+/// equations the disentangling solver produces. Row-major storage;
+/// dimensions are runtime but tiny, so clarity beats blocking tricks.
+
+namespace rfp {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  static Matrix identity(std::size_t n);
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// A^T * A (cols x cols).
+  Matrix gram() const;
+
+  /// A^T * v for v of length rows().
+  std::vector<double> transpose_times(std::span<const double> v) const;
+
+  /// A * v for v of length cols().
+  std::vector<double> times(std::span<const double> v) const;
+
+  /// Add `value` to every diagonal entry (square matrices only).
+  void add_diagonal(double value);
+
+  /// Add `value * d[i]` to diagonal entry i (square; d.size() == rows()).
+  void add_scaled_diagonal(std::span<const double> d, double value);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for square A by LU with partial pivoting. Throws
+/// NumericalError on (near-)singular A. A is taken by value (factored in
+/// place on the copy).
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Solve the least-squares problem min ||A x - b||_2 via normal equations
+/// with Tikhonov damping `lambda` (>= 0). Requires rows >= cols.
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        std::span<const double> b,
+                                        double lambda = 0.0);
+
+}  // namespace rfp

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+/// \file levenberg_marquardt.hpp
+/// Damped Gauss-Newton (Levenberg-Marquardt) for small nonlinear
+/// least-squares problems. The disentangling solver (paper §IV-C) refines
+/// 3-7 physical parameters against 2N fitted phase-line equations, so the
+/// problems here are tiny but can be poorly scaled (slopes ~1e-8 rad/Hz
+/// next to coordinates ~1 m); per-parameter step scales handle that.
+
+namespace rfp {
+
+/// Residual function: fills `residuals` (fixed length) from `params`.
+using ResidualFn =
+    std::function<void(std::span<const double> params, std::span<double> residuals)>;
+
+/// Options for the LM driver.
+struct LmOptions {
+  std::size_t max_iterations = 60;
+  double initial_lambda = 1e-3;
+  double lambda_up = 8.0;
+  double lambda_down = 0.4;
+  double max_lambda = 1e10;
+  /// Converged when the relative cost decrease falls below this.
+  double cost_tolerance = 1e-12;
+  /// Converged when the scaled step norm falls below this.
+  double step_tolerance = 1e-10;
+  /// Per-parameter finite-difference steps AND trust scales. Must match the
+  /// parameter count; required (there is no sane universal default across
+  /// rad/Hz and meter axes).
+  std::vector<double> parameter_scales;
+};
+
+/// Result of an LM run.
+struct LmResult {
+  std::vector<double> params;     ///< best parameters found
+  double cost = 0.0;              ///< final 0.5 * sum of squared residuals
+  double initial_cost = 0.0;      ///< cost at the starting point
+  std::size_t iterations = 0;     ///< iterations actually performed
+  bool converged = false;         ///< tolerance met (vs iteration cap)
+};
+
+/// Minimize 0.5 * ||r(p)||^2 starting from `initial`. `n_residuals` is the
+/// fixed residual vector length. The Jacobian is forward-difference using
+/// `parameter_scales * 1e-4` steps. Throws InvalidArgument on inconsistent
+/// sizes; never throws on non-convergence (check `converged`).
+LmResult levenberg_marquardt(const ResidualFn& fn,
+                             std::span<const double> initial,
+                             std::size_t n_residuals, const LmOptions& options);
+
+}  // namespace rfp

@@ -1,0 +1,118 @@
+#include "rfp/solver/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        s += (*this)(r, i) * (*this)(r, j);
+      }
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(std::span<const double> v) const {
+  require(v.size() == rows_, "Matrix::transpose_times: size mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out[c] += (*this)(r, c) * v[r];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::times(std::span<const double> v) const {
+  require(v.size() == cols_, "Matrix::times: size mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+void Matrix::add_diagonal(double value) {
+  require(rows_ == cols_, "Matrix::add_diagonal: matrix not square");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += value;
+}
+
+void Matrix::add_scaled_diagonal(std::span<const double> d, double value) {
+  require(rows_ == cols_, "Matrix::add_scaled_diagonal: matrix not square");
+  require(d.size() == rows_, "Matrix::add_scaled_diagonal: size mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += value * d[i];
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  require(a.rows() == a.cols(), "solve_linear: matrix not square");
+  require(b.size() == a.rows(), "solve_linear: rhs size mismatch");
+  const std::size_t n = a.rows();
+
+  // LU with partial pivoting, in place.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) throw NumericalError("solve_linear: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        a(r, c) -= factor * a(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a(i, c) * x[c];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        std::span<const double> b,
+                                        double lambda) {
+  require(a.rows() >= a.cols(), "solve_least_squares: underdetermined");
+  require(lambda >= 0.0, "solve_least_squares: negative damping");
+  Matrix normal = a.gram();
+  if (lambda > 0.0) normal.add_diagonal(lambda);
+  return solve_linear(std::move(normal), a.transpose_times(b));
+}
+
+}  // namespace rfp

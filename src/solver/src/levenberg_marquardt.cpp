@@ -1,0 +1,128 @@
+#include "rfp/solver/levenberg_marquardt.hpp"
+
+#include <cmath>
+
+#include "rfp/common/error.hpp"
+#include "rfp/solver/dense.hpp"
+
+namespace rfp {
+
+namespace {
+
+double half_squared_norm(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return 0.5 * s;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ResidualFn& fn,
+                             std::span<const double> initial,
+                             std::size_t n_residuals,
+                             const LmOptions& options) {
+  const std::size_t n_params = initial.size();
+  require(n_params > 0, "levenberg_marquardt: no parameters");
+  require(n_residuals >= n_params,
+          "levenberg_marquardt: fewer residuals than parameters");
+  require(options.parameter_scales.size() == n_params,
+          "levenberg_marquardt: parameter_scales size mismatch");
+  for (double s : options.parameter_scales) {
+    require(s > 0.0, "levenberg_marquardt: scales must be positive");
+  }
+
+  std::vector<double> params(initial.begin(), initial.end());
+  std::vector<double> residuals(n_residuals, 0.0);
+  std::vector<double> trial_params(n_params, 0.0);
+  std::vector<double> trial_residuals(n_residuals, 0.0);
+  std::vector<double> perturbed(n_residuals, 0.0);
+
+  fn(params, residuals);
+  double cost = half_squared_norm(residuals);
+
+  LmResult result;
+  result.initial_cost = cost;
+  double lambda = options.initial_lambda;
+
+  // Squared inverse scales damp each parameter in its own units.
+  std::vector<double> damping(n_params);
+  for (std::size_t j = 0; j < n_params; ++j) {
+    damping[j] = 1.0 / (options.parameter_scales[j] * options.parameter_scales[j]);
+  }
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Forward-difference Jacobian.
+    Matrix jac(n_residuals, n_params);
+    for (std::size_t j = 0; j < n_params; ++j) {
+      const double h = options.parameter_scales[j] * 1e-4;
+      trial_params = params;
+      trial_params[j] += h;
+      fn(trial_params, perturbed);
+      for (std::size_t r = 0; r < n_residuals; ++r) {
+        jac(r, j) = (perturbed[r] - residuals[r]) / h;
+      }
+    }
+
+    const Matrix jtj = jac.gram();
+    std::vector<double> jtr = jac.transpose_times(residuals);
+    for (double& g : jtr) g = -g;
+
+    bool stepped = false;
+    while (lambda <= options.max_lambda) {
+      Matrix damped = jtj;
+      damped.add_scaled_diagonal(damping, lambda);
+
+      std::vector<double> step;
+      try {
+        step = solve_linear(std::move(damped), jtr);
+      } catch (const NumericalError&) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+
+      for (std::size_t j = 0; j < n_params; ++j) {
+        trial_params[j] = params[j] + step[j];
+      }
+      fn(trial_params, trial_residuals);
+      const double trial_cost = half_squared_norm(trial_residuals);
+
+      if (trial_cost < cost) {
+        // Accept.
+        double scaled_step = 0.0;
+        for (std::size_t j = 0; j < n_params; ++j) {
+          const double s = step[j] / options.parameter_scales[j];
+          scaled_step += s * s;
+        }
+        scaled_step = std::sqrt(scaled_step);
+        const double improvement = (cost - trial_cost) / (cost + 1e-300);
+
+        params = trial_params;
+        residuals = trial_residuals;
+        cost = trial_cost;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        stepped = true;
+
+        if (improvement < options.cost_tolerance ||
+            scaled_step < options.step_tolerance) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+
+    if (!stepped) {
+      // Damping exhausted: we are at a (possibly flat) minimum.
+      result.converged = true;
+    }
+    if (result.converged) break;
+  }
+
+  result.params = std::move(params);
+  result.cost = cost;
+  return result;
+}
+
+}  // namespace rfp

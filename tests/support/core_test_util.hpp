@@ -1,0 +1,62 @@
+#pragma once
+
+/// Shared helpers for core/system tests: canonical noiseless and
+/// mildly-noisy setups over the standard 2D scene, with exact geometry
+/// handed to the pipeline (tests that want survey error add it
+/// themselves).
+
+#include <string>
+
+#include "rfp/core/fitting.hpp"
+#include "rfp/core/preprocess.hpp"
+#include "rfp/core/types.hpp"
+#include "rfp/rfsim/reader.hpp"
+
+namespace rfp::testutil {
+
+inline ChannelConfig noiseless_channel() {
+  ChannelConfig c;
+  c.trial_ripple_amplitude = 0.0;
+  c.trial_offset_sigma = 0.0;
+  c.trial_range_jitter_m = 0.0;
+  c.channel_corruption_prob = 0.0;
+  c.material_kt_rel_sigma = 0.0;
+  c.material_bt_sigma = 0.0;
+  c.material_ripple_rel_sigma = 0.0;
+  return c;
+}
+
+inline ReaderConfig noiseless_reader() {
+  ReaderConfig r;
+  r.read_phase_noise = 0.0;
+  r.pi_jump_prob = 0.0;
+  r.rssi_noise_db = 0.0;
+  return r;
+}
+
+/// Exact deployment geometry (no survey error) from a scene.
+inline DeploymentGeometry exact_geometry(const Scene& scene) {
+  DeploymentGeometry g;
+  for (const auto& a : scene.antennas) {
+    g.antenna_positions.push_back(a.position);
+    g.antenna_frames.push_back(a.frame);
+  }
+  g.working_region = scene.working_region;
+  g.tag_plane_z = scene.tag_plane_z;
+  return g;
+}
+
+/// Collect a round and fit all antennas in one step.
+inline std::vector<AntennaLine> fit_round(const Scene& scene,
+                                          const ReaderConfig& reader,
+                                          const ChannelConfig& channel,
+                                          const TagHardware& tag,
+                                          const TagState& state,
+                                          std::uint64_t trial, Rng& rng,
+                                          const FittingConfig& fitting = {}) {
+  const RoundTrace round =
+      collect_round(scene, reader, channel, tag, state, trial, rng);
+  return fit_all_antennas(preprocess_round(round), fitting);
+}
+
+}  // namespace rfp::testutil

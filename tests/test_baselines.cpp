@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "rfp/baselines/mobitagbot.hpp"
+#include "rfp/baselines/tagtag.hpp"
+#include "rfp/common/angles.hpp"
+#include "rfp/common/error.hpp"
+#include "support/core_test_util.hpp"
+
+namespace rfp {
+namespace {
+
+using testutil::exact_geometry;
+using testutil::noiseless_channel;
+using testutil::noiseless_reader;
+
+class MobiTagbotTest : public ::testing::Test {
+ protected:
+  MobiTagbotTest()
+      : scene_(make_scene_2d(111)),
+        tag_(make_tag_hardware("t", 111)),
+        baseline_(exact_geometry(scene_), MobiTagbotConfig{}) {}
+
+  RoundTrace round_at(const TagState& state, std::uint64_t trial) {
+    Rng rng(trial);
+    return collect_round(scene_, noiseless_reader(), noiseless_channel(),
+                         tag_, state, trial, rng);
+  }
+
+  Scene scene_;
+  TagHardware tag_;
+  MobiTagbot baseline_;
+};
+
+TEST_F(MobiTagbotTest, AccurateWhenNothingVaries) {
+  const Vec3 cal_pos{1.0, 1.0, 0.0};
+  const TagState cal_state{cal_pos, planar_polarization(0.0), "plastic"};
+  baseline_.calibrate(round_at(cal_state, 1), cal_pos);
+  // Same orientation, same material, new position: the regime where the
+  // paper finds MobiTagbot competitive (Fig. 14).
+  const TagState test{Vec3{1.4, 1.3, 0.0}, planar_polarization(0.0),
+                      "plastic"};
+  const auto est = baseline_.localize(round_at(test, 2));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LT(distance(*est, test.position), 0.05);
+}
+
+TEST_F(MobiTagbotTest, OrientationChangeDegradesIt) {
+  const Vec3 cal_pos{1.0, 1.0, 0.0};
+  const TagState cal_state{cal_pos, planar_polarization(0.0), "plastic"};
+  baseline_.calibrate(round_at(cal_state, 3), cal_pos);
+
+  const Vec3 test_pos{0.7, 1.4, 0.0};
+  const TagState same_orient{test_pos, planar_polarization(0.0), "plastic"};
+  const TagState rotated{test_pos, planar_polarization(deg2rad(70.0)),
+                         "plastic"};
+  const double err_same =
+      distance(*baseline_.localize(round_at(same_orient, 4)), test_pos);
+  const double err_rot =
+      distance(*baseline_.localize(round_at(rotated, 5)), test_pos);
+  EXPECT_GT(err_rot, err_same + 0.01);
+}
+
+TEST_F(MobiTagbotTest, MaterialChangeDegradesItMore) {
+  const Vec3 cal_pos{1.0, 1.0, 0.0};
+  const TagState cal_state{cal_pos, planar_polarization(0.0), "plastic"};
+  baseline_.calibrate(round_at(cal_state, 6), cal_pos);
+
+  const Vec3 test_pos{1.3, 0.7, 0.0};
+  const TagState plastic{test_pos, planar_polarization(0.0), "plastic"};
+  const TagState metal{test_pos, planar_polarization(0.0), "metal"};
+  const double err_plastic =
+      distance(*baseline_.localize(round_at(plastic, 7)), test_pos);
+  const double err_metal =
+      distance(*baseline_.localize(round_at(metal, 8)), test_pos);
+  // Metal's kt masquerades as ~30 cm of extra distance for the slope
+  // ranger.
+  EXPECT_GT(err_metal, err_plastic + 0.05);
+}
+
+TEST_F(MobiTagbotTest, RangeAllReportsConfiguredAntennas) {
+  const Vec3 cal_pos{1.0, 1.0, 0.0};
+  const TagState cal_state{cal_pos, planar_polarization(0.0), "none"};
+  baseline_.calibrate(round_at(cal_state, 9), cal_pos);
+  const auto ranges = baseline_.range_all(round_at(cal_state, 10));
+  ASSERT_EQ(ranges.size(), 2u);  // default config uses antennas {0, 1}
+  for (const auto& [ai, d] : ranges) {
+    EXPECT_TRUE(ai == 0 || ai == 1);
+    const double truth = distance(scene_.antennas[ai].position, cal_pos);
+    EXPECT_NEAR(d, truth, 0.03);
+  }
+}
+
+TEST_F(MobiTagbotTest, LocalizeBeforeCalibrateThrows) {
+  const TagState state{Vec3{1.0, 1.0, 0.0}, planar_polarization(0.0), "none"};
+  EXPECT_THROW(baseline_.localize(round_at(state, 11)), Error);
+}
+
+TEST_F(MobiTagbotTest, BadConfigThrows) {
+  MobiTagbotConfig config;
+  config.antennas = {0};
+  EXPECT_THROW(MobiTagbot(exact_geometry(scene_), config), InvalidArgument);
+  config.antennas = {0, 9};
+  EXPECT_THROW(MobiTagbot(exact_geometry(scene_), config), InvalidArgument);
+}
+
+class TagtagTest : public ::testing::Test {
+ protected:
+  TagtagTest() : scene_(make_scene_2d(112)), tag_(make_tag_hardware("t", 112)) {}
+
+  RoundTrace round_at(Vec2 p, const std::string& material,
+                      std::uint64_t trial) {
+    Rng rng(trial);
+    const TagState state{Vec3{p, 0.0}, planar_polarization(0.0), material};
+    return collect_round(scene_, noiseless_reader(), noiseless_channel(),
+                         tag_, state, trial, rng);
+  }
+
+  Scene scene_;
+  TagHardware tag_;
+};
+
+TEST_F(TagtagTest, RssDistanceEstimateIsCoarseButSane) {
+  Tagtag baseline;
+  const Vec2 cal_p{1.0, 1.0};
+  const double cal_d =
+      distance(scene_.antennas[0].position, Vec3{cal_p, 0.0});
+  baseline.calibrate_link(round_at(cal_p, "none", 1), cal_d);
+  const Vec2 test_p{1.5, 1.6};
+  const double truth =
+      distance(scene_.antennas[0].position, Vec3{test_p, 0.0});
+  const double est = baseline.estimate_distance(round_at(test_p, "none", 2));
+  EXPECT_NEAR(est, truth, 0.4);
+}
+
+TEST_F(TagtagTest, ClassifiesDistinctMaterialsAtFixedPose) {
+  Tagtag baseline;
+  const Vec2 p{1.0, 1.0};
+  baseline.calibrate_link(
+      round_at(p, "none", 1),
+      distance(scene_.antennas[0].position, Vec3{p, 0.0}));
+  std::uint64_t trial = 10;
+  for (int rep = 0; rep < 6; ++rep) {
+    for (const char* m : {"wood", "metal", "water"}) {
+      baseline.add_sample(round_at(p, m, trial++), m);
+    }
+  }
+  EXPECT_EQ(baseline.n_samples(), 18u);
+  EXPECT_EQ(baseline.classes().size(), 3u);
+  int correct = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const char* m : {"wood", "metal", "water"}) {
+      correct += baseline.predict(round_at(p, m, trial++)) == m;
+    }
+  }
+  EXPECT_GE(correct, 10);
+}
+
+TEST_F(TagtagTest, SampleBeforeLinkCalibrationThrows) {
+  Tagtag baseline;
+  EXPECT_THROW(baseline.add_sample(round_at({1.0, 1.0}, "wood", 1), "wood"),
+               Error);
+}
+
+TEST_F(TagtagTest, PredictWithoutSamplesThrows) {
+  Tagtag baseline;
+  baseline.calibrate_link(round_at({1.0, 1.0}, "none", 1), 1.5);
+  EXPECT_THROW(baseline.predict(round_at({1.0, 1.0}, "wood", 2)), Error);
+}
+
+TEST_F(TagtagTest, BadCalibrationDistanceThrows) {
+  Tagtag baseline;
+  EXPECT_THROW(baseline.calibrate_link(round_at({1.0, 1.0}, "none", 1), 0.0),
+               InvalidArgument);
+}
+
+TEST_F(TagtagTest, EmptyMaterialNameThrows) {
+  Tagtag baseline;
+  baseline.calibrate_link(round_at({1.0, 1.0}, "none", 1), 1.5);
+  EXPECT_THROW(baseline.add_sample(round_at({1.0, 1.0}, "wood", 2), ""),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

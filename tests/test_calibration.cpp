@@ -1,0 +1,143 @@
+#include "rfp/core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "support/core_test_util.hpp"
+
+namespace rfp {
+namespace {
+
+using testutil::exact_geometry;
+using testutil::fit_round;
+using testutil::noiseless_channel;
+using testutil::noiseless_reader;
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  CalibrationTest()
+      : scene_(make_scene_2d(61)),
+        geometry_(exact_geometry(scene_)),
+        reference_{Vec3{1.0, 1.0, 0.0}, planar_polarization(0.0)} {}
+
+  Scene scene_;
+  DeploymentGeometry geometry_;
+  ReferencePose reference_;
+};
+
+TEST_F(CalibrationTest, ReaderCalibrationRecoversPortDifferences) {
+  const TagHardware ref_tag = make_tag_hardware("ref", 61);
+  const TagState state{reference_.position, reference_.polarization, "none"};
+  Rng rng(1);
+  const auto lines = fit_round(scene_, noiseless_reader(),
+                               noiseless_channel(), ref_tag, state, 5, rng);
+  const ReaderCalibration cal = calibrate_reader(geometry_, lines, reference_);
+  ASSERT_EQ(cal.n_antennas(), 3u);
+  EXPECT_DOUBLE_EQ(cal.delta_k[0], 0.0);
+  EXPECT_DOUBLE_EQ(cal.delta_b[0], 0.0);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_NEAR(cal.delta_k[i],
+                scene_.antennas[i].kr - scene_.antennas[0].kr, 1e-11);
+    EXPECT_NEAR(std::abs(ang_diff(
+                    cal.delta_b[i],
+                    scene_.antennas[i].br - scene_.antennas[0].br)),
+                0.0, 1e-6);
+  }
+}
+
+TEST_F(CalibrationTest, ApplyEqualizesPorts) {
+  const TagHardware ref_tag = make_tag_hardware("ref", 61);
+  const TagState state{reference_.position, reference_.polarization, "none"};
+  Rng rng(2);
+  auto lines = fit_round(scene_, noiseless_reader(), noiseless_channel(),
+                         ref_tag, state, 6, rng);
+  const ReaderCalibration cal = calibrate_reader(geometry_, lines, reference_);
+  apply_reader_calibration(cal, lines);
+  // After equalization, every antenna's slope residual (k - C*d) is the
+  // same (kr of antenna 0 plus the tag device slope).
+  std::vector<double> residuals;
+  for (const auto& line : lines) {
+    const double d = distance(geometry_.antenna_positions[line.antenna],
+                              reference_.position);
+    residuals.push_back(line.fit.slope - kSlopePerMeter * d);
+  }
+  EXPECT_NEAR(residuals[0], residuals[1], 1e-11);
+  EXPECT_NEAR(residuals[0], residuals[2], 1e-11);
+}
+
+TEST_F(CalibrationTest, TagCalibrationRecoversDeviceResponse) {
+  const TagHardware tag = make_tag_hardware("tag-x", 62);
+  const TagState state{reference_.position, reference_.polarization, "none"};
+  Rng rng(3);
+  auto lines = fit_round(scene_, noiseless_reader(), noiseless_channel(),
+                         tag, state, 7, rng);
+  // Equalize ports first (same round works for this purpose here).
+  const ReaderCalibration reader_cal =
+      calibrate_reader(geometry_, lines, reference_);
+  apply_reader_calibration(reader_cal, lines);
+  const TagCalibration cal = calibrate_tag(geometry_, lines, reference_);
+  // kd stored = tag.kd + antenna-0 port slope (shared reference).
+  EXPECT_NEAR(cal.kd, tag.kd + scene_.antennas[0].kr, 1e-10);
+  EXPECT_NEAR(std::abs(ang_diff(cal.bd, tag.bd + scene_.antennas[0].br)), 0.0,
+              0.05);
+  ASSERT_EQ(cal.residual_curve.size(), kNumChannels);
+  for (double r : cal.residual_curve) EXPECT_LT(std::abs(r), 0.05);
+}
+
+TEST_F(CalibrationTest, MismatchedLineCountThrows) {
+  std::vector<AntennaLine> two(2);
+  two[0].fit.n = 10;
+  two[1].fit.n = 10;
+  EXPECT_THROW(calibrate_reader(geometry_, two, reference_), InvalidArgument);
+}
+
+TEST_F(CalibrationTest, UnusableLineThrows) {
+  std::vector<AntennaLine> lines(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    lines[i].antenna = i;
+    lines[i].fit.n = 0;  // unusable
+  }
+  EXPECT_THROW(calibrate_reader(geometry_, lines, reference_),
+               InvalidArgument);
+}
+
+TEST_F(CalibrationTest, ApplyCountMismatchThrows) {
+  ReaderCalibration cal;
+  cal.delta_k = {0.0, 0.0};
+  cal.delta_b = {0.0, 0.0};
+  std::vector<AntennaLine> lines(3);
+  EXPECT_THROW(apply_reader_calibration(cal, lines), InvalidArgument);
+}
+
+TEST(CalibrationDB, StoresAndLooksUp) {
+  CalibrationDB db;
+  EXPECT_FALSE(db.reader().has_value());
+  EXPECT_FALSE(db.has_tag("t"));
+  EXPECT_EQ(db.find_tag("t"), nullptr);
+
+  db.set_reader(ReaderCalibration{{0.0}, {0.0}});
+  EXPECT_TRUE(db.reader().has_value());
+
+  TagCalibration cal;
+  cal.kd = 1e-9;
+  db.set_tag("t", cal);
+  ASSERT_TRUE(db.has_tag("t"));
+  EXPECT_DOUBLE_EQ(db.find_tag("t")->kd, 1e-9);
+  EXPECT_EQ(db.n_tags(), 1u);
+
+  // Overwrite.
+  cal.kd = 2e-9;
+  db.set_tag("t", cal);
+  EXPECT_DOUBLE_EQ(db.find_tag("t")->kd, 2e-9);
+  EXPECT_EQ(db.n_tags(), 1u);
+}
+
+TEST(CalibrationDB, EmptyTagIdThrows) {
+  CalibrationDB db;
+  EXPECT_THROW(db.set_tag("", TagCalibration{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

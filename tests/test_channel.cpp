@@ -1,0 +1,260 @@
+#include "rfp/rfsim/channel.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+ChannelConfig noiseless() {
+  ChannelConfig c;
+  c.trial_ripple_amplitude = 0.0;
+  c.trial_offset_sigma = 0.0;
+  c.trial_range_jitter_m = 0.0;
+  c.channel_corruption_prob = 0.0;
+  c.material_kt_rel_sigma = 0.0;
+  c.material_bt_sigma = 0.0;
+  c.material_ripple_rel_sigma = 0.0;
+  return c;
+}
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest()
+      : scene_(make_scene_2d(21)),
+        tag_(make_tag_hardware("t", 21)),
+        state_{Vec3{0.8, 1.1, 0.0}, planar_polarization(0.4), "glass"} {}
+
+  Scene scene_;
+  TagHardware tag_;
+  TagState state_;
+};
+
+TEST_F(ChannelTest, PropagationPhaseMatchesFormula) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  const double d = distance(scene_.antennas[0].position, state_.position);
+  const double f = 915e6;
+  EXPECT_NEAR(model.propagation_phase(0, state_, f),
+              4.0 * kPi * d * f / kSpeedOfLight, 1e-6);
+}
+
+TEST_F(ChannelTest, PropagationPhaseLinearInFrequency) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  const double p1 = model.propagation_phase(1, state_, 903e6);
+  const double p2 = model.propagation_phase(1, state_, 913e6);
+  const double p3 = model.propagation_phase(1, state_, 923e6);
+  EXPECT_NEAR(p3 - p2, p2 - p1, 1e-9);
+}
+
+TEST_F(ChannelTest, OrientationPhaseIndependentOfFrequency) {
+  // Paper Fig. 5: theta_orient does not change with frequency.
+  const ChannelModel model(scene_, noiseless(), 1);
+  const double o = model.orientation_phase(0, state_);
+  TagState rotated = state_;
+  rotated.polarization = planar_polarization(1.2);
+  EXPECT_NE(model.orientation_phase(0, rotated), o);
+}
+
+TEST_F(ChannelTest, DevicePhaseLinearPlusSignature) {
+  // Paper Fig. 6 / Eq. 5: theta_device = kt*f + bt (+ small signature).
+  const ChannelModel model(scene_, noiseless(), 1);
+  const Material& glass = scene_.materials.get("glass");
+  const double f = 910e6;
+  const double expected = (tag_.kd + glass.kt) * f + tag_.bd + glass.bt +
+                          glass.signature(f);
+  EXPECT_NEAR(model.device_phase(state_, tag_, f), expected, 1e-9);
+}
+
+TEST_F(ChannelTest, MaterialVariabilityPerturbsDevicePhase) {
+  ChannelConfig config = noiseless();
+  config.material_kt_rel_sigma = 0.2;
+  const ChannelModel a(scene_, config, 1);
+  const ChannelModel b(scene_, config, 2);
+  EXPECT_NE(a.device_phase(state_, tag_, 910e6),
+            b.device_phase(state_, tag_, 910e6));
+  // But deterministic within a trial.
+  EXPECT_DOUBLE_EQ(a.device_phase(state_, tag_, 910e6),
+                   a.device_phase(state_, tag_, 910e6));
+}
+
+TEST_F(ChannelTest, BareTagHasNoMaterialVariability) {
+  ChannelConfig config = noiseless();
+  config.material_kt_rel_sigma = 0.5;
+  config.material_bt_sigma = 0.5;
+  TagState bare = state_;
+  bare.material = "none";
+  const ChannelModel a(scene_, config, 1);
+  const ChannelModel b(scene_, config, 2);
+  EXPECT_DOUBLE_EQ(a.device_phase(bare, tag_, 910e6),
+                   b.device_phase(bare, tag_, 910e6));
+}
+
+TEST_F(ChannelTest, ReaderPhasePerPort) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  const double f = 915e6;
+  for (std::size_t ai = 0; ai < scene_.antennas.size(); ++ai) {
+    EXPECT_NEAR(model.reader_phase(ai, f),
+                scene_.antennas[ai].kr * f + scene_.antennas[ai].br, 1e-9);
+  }
+}
+
+TEST_F(ChannelTest, ReportedPhaseIsSumOfParts) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  const double f = 920e6;
+  const double total = model.reported_phase(0, state_, tag_, f);
+  const double parts = model.propagation_phase(0, state_, f) +
+                       model.orientation_phase(0, state_) +
+                       model.device_phase(state_, tag_, f) +
+                       model.reader_phase(0, f);
+  EXPECT_NEAR(total, parts, 1e-9);
+}
+
+TEST_F(ChannelTest, NoMultipathWithoutReflectors) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  EXPECT_DOUBLE_EQ(model.multipath_phase_shift(0, state_, 915e6), 0.0);
+  EXPECT_DOUBLE_EQ(model.multipath_amplitude(0, state_, 915e6), 1.0);
+}
+
+TEST_F(ChannelTest, ReflectorsPerturbPhaseAndAmplitude) {
+  Scene cluttered = scene_;
+  add_clutter(cluttered, 5, 7);
+  const ChannelModel model(cluttered, noiseless(), 1);
+  double max_shift = 0.0;
+  for (std::size_t ch = 0; ch < kNumChannels; ++ch) {
+    max_shift = std::max(
+        max_shift,
+        std::abs(model.multipath_phase_shift(0, state_, channel_frequency(ch))));
+  }
+  EXPECT_GT(max_shift, 0.0005);
+  EXPECT_NE(model.multipath_amplitude(0, state_, 915e6), 1.0);
+}
+
+TEST_F(ChannelTest, CorruptionHitsExpectedFraction) {
+  ChannelConfig config = noiseless();
+  config.channel_corruption_prob = 0.2;
+  std::size_t corrupted = 0;
+  std::size_t total = 0;
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    const ChannelModel model(scene_, config, trial);
+    const ChannelModel clean_model(scene_, noiseless(), trial);
+    for (std::size_t ch = 0; ch < kNumChannels; ++ch) {
+      const double f = channel_frequency(ch);
+      const double delta = model.reported_phase(0, state_, tag_, f) -
+                           clean_model.reported_phase(0, state_, tag_, f);
+      ++total;
+      if (std::abs(delta) > 1e-9) ++corrupted;
+    }
+  }
+  const double rate = static_cast<double>(corrupted) / total;
+  EXPECT_NEAR(rate, 0.2, 0.05);
+}
+
+TEST_F(ChannelTest, CorruptionMagnitudeBounded) {
+  ChannelConfig config = noiseless();
+  config.channel_corruption_prob = 1.0;
+  config.corruption_max_rad = 1.5;
+  const ChannelModel model(scene_, config, 3);
+  const ChannelModel reference(scene_, noiseless(), 3);
+  for (std::size_t ch = 0; ch < kNumChannels; ++ch) {
+    const double f = channel_frequency(ch);
+    const double delta = std::abs(model.reported_phase(0, state_, tag_, f) -
+                                  reference.reported_phase(0, state_, tag_, f));
+    ASSERT_LE(delta, 1.5 + 1e-9);
+    ASSERT_GE(delta, 0.6 * 1.5 - 1e-9);
+  }
+}
+
+TEST_F(ChannelTest, RangeJitterIsPureDelay) {
+  // The jitter must change the slope but not the f=0 intercept: evaluate
+  // the reported phase at two frequencies and extrapolate to zero.
+  ChannelConfig with_jitter = noiseless();
+  with_jitter.trial_range_jitter_m = 0.05;
+  const ChannelModel jittered(scene_, with_jitter, 5);
+  const ChannelModel reference(scene_, noiseless(), 5);
+  const double f1 = 903e6, f2 = 927e6;
+  const auto intercept_of = [&](const ChannelModel& m) {
+    const double p1 = m.reported_phase(0, state_, tag_, f1);
+    const double p2 = m.reported_phase(0, state_, tag_, f2);
+    const double slope = (p2 - p1) / (f2 - f1);
+    return p1 - slope * f1;
+  };
+  EXPECT_NEAR(intercept_of(jittered), intercept_of(reference), 1e-6);
+  EXPECT_NE(jittered.reported_phase(0, state_, tag_, f1),
+            reference.reported_phase(0, state_, tag_, f1));
+}
+
+TEST_F(ChannelTest, RssiDecreasesWithDistance) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  TagState near = state_;
+  near.position = {1.0, 0.3, 0.0};
+  TagState far = state_;
+  far.position = {1.0, 1.9, 0.0};
+  EXPECT_GT(model.mean_rssi_dbm(1, near, 915e6),
+            model.mean_rssi_dbm(1, far, 915e6));
+}
+
+TEST_F(ChannelTest, RssiFollowsFortyLogTen) {
+  // Backscatter: doubling the distance costs ~12 dB.
+  Scene scene = make_scene_2d(22);
+  scene.antennas[0].position = {0.0, 0.0, 0.0};
+  const ChannelModel model(scene, noiseless(), 1);
+  TagState s1{Vec3{1.0, 0.0, 0.0}, planar_polarization(0.0), "none"};
+  TagState s2{Vec3{2.0, 0.0, 0.0}, planar_polarization(0.0), "none"};
+  const double drop =
+      model.mean_rssi_dbm(0, s1, 915e6) - model.mean_rssi_dbm(0, s2, 915e6);
+  EXPECT_NEAR(drop, 40.0 * std::log10(2.0), 1e-6);
+}
+
+TEST_F(ChannelTest, MaterialAttenuationLowersRssi) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  TagState bare = state_;
+  bare.material = "none";
+  TagState watered = state_;
+  watered.material = "water";
+  EXPECT_GT(model.mean_rssi_dbm(0, bare, 915e6),
+            model.mean_rssi_dbm(0, watered, 915e6));
+}
+
+TEST_F(ChannelTest, NoiseScaleConductiveAndDistance) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  TagState wood = state_;
+  wood.material = "wood";
+  TagState metal = state_;
+  metal.material = "metal";
+  EXPECT_GT(model.noise_scale(0, metal), model.noise_scale(0, wood));
+
+  TagState near = wood;
+  near.position = {1.0, 0.2, 0.0};
+  TagState far = wood;
+  far.position = {1.0, 1.9, 0.0};
+  EXPECT_GT(model.noise_scale(1, far), model.noise_scale(1, near));
+}
+
+TEST_F(ChannelTest, InvalidAntennaThrows) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  EXPECT_THROW(model.propagation_phase(9, state_, 915e6), InvalidArgument);
+  EXPECT_THROW(model.reported_phase(9, state_, tag_, 915e6), InvalidArgument);
+}
+
+TEST_F(ChannelTest, UnknownMaterialThrows) {
+  const ChannelModel model(scene_, noiseless(), 1);
+  TagState bad = state_;
+  bad.material = "unobtainium";
+  EXPECT_THROW(model.device_phase(bad, tag_, 915e6), NotFound);
+}
+
+TEST(ChannelConfigPresets, MultipathIsHarsherThanClean) {
+  const ChannelConfig clean = ChannelConfig::clean();
+  const ChannelConfig mp = ChannelConfig::multipath();
+  EXPECT_GT(mp.channel_corruption_prob, clean.channel_corruption_prob);
+  EXPECT_GE(mp.trial_ripple_amplitude, clean.trial_ripple_amplitude);
+  EXPECT_GE(mp.trial_range_jitter_m, clean.trial_range_jitter_m);
+}
+
+}  // namespace
+}  // namespace rfp

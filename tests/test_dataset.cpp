@@ -1,0 +1,131 @@
+#include "rfp/ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+Dataset two_class_data() {
+  Dataset d({"a", "b"});
+  d.add({0.0, 0.0}, 0);
+  d.add({0.1, 0.0}, 0);
+  d.add({1.0, 1.0}, 1);
+  d.add({1.1, 1.0}, 1);
+  return d;
+}
+
+TEST(Dataset, AddAndAccess) {
+  const Dataset d = two_class_data();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_EQ(d.n_classes(), 2u);
+  EXPECT_EQ(d.label(2), 1);
+  EXPECT_DOUBLE_EQ(d.features(1)[0], 0.1);
+}
+
+TEST(Dataset, DimensionMismatchThrows) {
+  Dataset d({"a"});
+  d.add({1.0, 2.0}, 0);
+  EXPECT_THROW(d.add({1.0}, 0), InvalidArgument);
+}
+
+TEST(Dataset, LabelOutOfRangeThrows) {
+  Dataset d({"a"});
+  EXPECT_THROW(d.add({1.0}, 1), InvalidArgument);
+  EXPECT_THROW(d.add({1.0}, -1), InvalidArgument);
+}
+
+TEST(Dataset, EmptyFeatureVectorThrows) {
+  Dataset d({"a"});
+  EXPECT_THROW(d.add({}, 0), InvalidArgument);
+}
+
+TEST(Dataset, LabelIdRegistersNewClasses) {
+  Dataset d;
+  EXPECT_EQ(d.label_id("x"), 0);
+  EXPECT_EQ(d.label_id("y"), 1);
+  EXPECT_EQ(d.label_id("x"), 0);
+  EXPECT_EQ(d.n_classes(), 2u);
+}
+
+TEST(StratifiedSplit, PreservesClassBalance) {
+  Dataset d({"a", "b"});
+  for (int i = 0; i < 40; ++i) d.add({static_cast<double>(i)}, 0);
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i) + 100}, 1);
+  Rng rng(111);
+  const auto [train, test] = d.stratified_split(0.5, rng);
+  EXPECT_EQ(train.size(), 30u);
+  EXPECT_EQ(test.size(), 30u);
+  std::size_t train_a = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    if (train.label(i) == 0) ++train_a;
+  }
+  EXPECT_EQ(train_a, 20u);
+}
+
+TEST(StratifiedSplit, DisjointAndComplete) {
+  Dataset d({"a"});
+  for (int i = 0; i < 10; ++i) d.add({static_cast<double>(i)}, 0);
+  Rng rng(112);
+  const auto [train, test] = d.stratified_split(0.7, rng);
+  EXPECT_EQ(train.size() + test.size(), 10u);
+  // Every original value appears exactly once across the two splits.
+  std::vector<double> seen;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    seen.push_back(train.features(i)[0]);
+  }
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    seen.push_back(test.features(i)[0]);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(seen[i], i);
+}
+
+TEST(StratifiedSplit, BadFractionThrows) {
+  Dataset d = two_class_data();
+  Rng rng(113);
+  EXPECT_THROW(d.stratified_split(0.0, rng), InvalidArgument);
+  EXPECT_THROW(d.stratified_split(1.0, rng), InvalidArgument);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  Dataset d({"a"});
+  d.add({1.0, 100.0}, 0);
+  d.add({2.0, 200.0}, 0);
+  d.add({3.0, 300.0}, 0);
+  const Standardizer s(d);
+  const Dataset t = s.transform(d);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      sum += t.features(i)[j];
+      sum2 += t.features(i)[j] * t.features(i)[j];
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-9);
+    EXPECT_NEAR(sum2 / 2.0, 1.0, 1e-9);  // n-1 = 2
+  }
+}
+
+TEST(Standardizer, ConstantFeatureLeftCentered) {
+  Dataset d({"a"});
+  d.add({5.0}, 0);
+  d.add({5.0}, 0);
+  const Standardizer s(d);
+  const auto t = s.transform(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+}
+
+TEST(Standardizer, DimensionMismatchThrows) {
+  const Dataset d = two_class_data();
+  const Standardizer s(d);
+  EXPECT_THROW(s.transform(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(Standardizer, EmptyDatasetThrows) {
+  EXPECT_THROW(Standardizer(Dataset{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

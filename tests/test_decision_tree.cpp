@@ -1,0 +1,166 @@
+#include "rfp/ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(DecisionTree, AxisAlignedSplitLearned) {
+  Dataset d({"lo", "hi"});
+  for (int i = 0; i < 20; ++i) {
+    d.add({static_cast<double>(i)}, i < 10 ? 0 : 1);
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.predict(std::vector<double>{3.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{15.0}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{9.4}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{9.6}), 1);
+}
+
+TEST(DecisionTree, IntervalClassesNeedTwoSplits) {
+  // Class b occupies the middle interval — linear methods struggle, the
+  // tree nails it (the paper's DT advantage in kt space).
+  Dataset d({"a", "b", "c"});
+  for (int i = 0; i < 60; ++i) {
+    const double x = static_cast<double>(i) / 10.0;
+    d.add({x}, x < 2.0 ? 0 : (x < 4.0 ? 1 : 2));
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{3.0}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{5.0}), 2);
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  Dataset d({"only"});
+  for (int i = 0; i < 10; ++i) d.add({static_cast<double>(i)}, 0);
+  DecisionTreeClassifier tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 1u);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  Rng rng(141);
+  Dataset d({"a", "b"});
+  for (int i = 0; i < 200; ++i) {
+    d.add({rng.uniform(), rng.uniform()}, static_cast<int>(rng.uniform_index(2)));
+  }
+  DecisionTreeConfig config;
+  config.max_depth = 3;
+  config.min_impurity_decrease = 0.0;
+  DecisionTreeClassifier tree(config);
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  Dataset d({"a", "b"});
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  d.add({2.0}, 1);
+  DecisionTreeConfig config;
+  config.min_samples_leaf = 2;
+  config.min_samples_split = 2;
+  DecisionTreeClassifier tree(config);
+  tree.fit(d);
+  // A split would leave a 1-sample leaf, so the root stays a leaf.
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, IgnoresPureNoiseFeatureWhenSignalExists) {
+  Rng rng(142);
+  Dataset train({"a", "b"});
+  Dataset test({"a", "b"});
+  for (int i = 0; i < 200; ++i) {
+    const int cls = i % 2;
+    std::vector<double> x{cls * 2.0 + rng.gaussian(0.0, 0.2),
+                          rng.gaussian(0.0, 1.0)};
+    (i < 140 ? train : test).add(x, cls);
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(train);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += tree.predict(test.features(i)) == test.label(i);
+  }
+  EXPECT_GE(correct, 56);  // >= ~93%
+}
+
+TEST(DecisionTree, TrainingAccuracyHighOnSeparableData) {
+  Rng rng(143);
+  Dataset d({"a", "b", "c", "d"});
+  for (int i = 0; i < 120; ++i) {
+    const int cls = i % 4;
+    d.add({cls + rng.gaussian(0.0, 0.1), -cls + rng.gaussian(0.0, 0.1)}, cls);
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(d);
+  int correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    correct += tree.predict(d.features(i)) == d.label(i);
+  }
+  EXPECT_GE(correct, 118);
+}
+
+TEST(DecisionTree, DeterministicFit) {
+  Rng rng(144);
+  Dataset d({"a", "b"});
+  for (int i = 0; i < 50; ++i) {
+    d.add({rng.gaussian(), rng.gaussian()}, static_cast<int>(rng.uniform_index(2)));
+  }
+  DecisionTreeClassifier a, b;
+  a.fit(d);
+  b.fit(d);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  Rng probe(145);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{probe.gaussian(), probe.gaussian()};
+    ASSERT_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(DecisionTree, RefitResetsState) {
+  Dataset d1({"a", "b"});
+  for (int i = 0; i < 20; ++i) d1.add({static_cast<double>(i)}, i < 10 ? 0 : 1);
+  Dataset d2({"a", "b"});
+  for (int i = 0; i < 20; ++i) d2.add({static_cast<double>(i)}, i < 10 ? 1 : 0);
+  DecisionTreeClassifier tree;
+  tree.fit(d1);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 0);
+  tree.fit(d2);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 1);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), Error);
+}
+
+TEST(DecisionTree, DimMismatchThrows) {
+  Dataset d({"a"});
+  d.add({1.0, 2.0}, 0);
+  d.add({2.0, 1.0}, 0);
+  DecisionTreeClassifier tree;
+  tree.fit(d);
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(DecisionTree, BadConfigThrows) {
+  DecisionTreeConfig config;
+  config.max_depth = 0;
+  EXPECT_THROW(DecisionTreeClassifier{config}, InvalidArgument);
+}
+
+TEST(DecisionTree, Name) {
+  DecisionTreeClassifier tree;
+  EXPECT_EQ(tree.name(), "decision_tree");
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,179 @@
+#include "rfp/solver/dense.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, IdentityDiagonal) {
+  const Matrix id = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, GramIsSymmetricPsd) {
+  Rng rng(101);
+  Matrix a(6, 3);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.gaussian();
+  }
+  const Matrix g = a.gram();
+  ASSERT_EQ(g.rows(), 3u);
+  ASSERT_EQ(g.cols(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(g(r, c), g(c, r));
+    }
+    EXPECT_GE(g(r, r), 0.0);
+  }
+}
+
+TEST(Matrix, TimesAndTransposeTimes) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const std::vector<double> x{1.0, 0.0, -1.0};
+  const std::vector<double> ax = a.times(x);
+  ASSERT_EQ(ax.size(), 2u);
+  EXPECT_DOUBLE_EQ(ax[0], -2.0);
+  EXPECT_DOUBLE_EQ(ax[1], -2.0);
+
+  const std::vector<double> v{1.0, 1.0};
+  const std::vector<double> atv = a.transpose_times(v);
+  ASSERT_EQ(atv.size(), 3u);
+  EXPECT_DOUBLE_EQ(atv[0], 5.0);
+  EXPECT_DOUBLE_EQ(atv[1], 7.0);
+  EXPECT_DOUBLE_EQ(atv[2], 9.0);
+}
+
+TEST(Matrix, AddDiagonal) {
+  Matrix m = Matrix::identity(3);
+  m.add_diagonal(2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(Matrix, AddScaledDiagonal) {
+  Matrix m(2, 2);
+  const std::vector<double> d{2.0, 3.0};
+  m.add_scaled_diagonal(d, 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.5);
+}
+
+TEST(Matrix, AddDiagonalNonSquareThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.add_diagonal(1.0), InvalidArgument);
+}
+
+TEST(SolveLinear, TwoByTwo) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const std::vector<double> x = solve_linear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RandomSystemsRoundTrip) {
+  Rng rng(102);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(7);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.gaussian();
+      a(r, r) += 3.0;  // keep well conditioned
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.gaussian();
+    const std::vector<double> b = a.times(x_true);
+    const std::vector<double> x = solve_linear(a, b);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Zero leading pivot is fine with partial pivoting.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const std::vector<double> x = solve_linear(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(solve_linear(a, {1.0, 2.0}), NumericalError);
+}
+
+TEST(SolveLinear, SizeMismatchThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW(solve_linear(a, {1.0}), InvalidArgument);
+}
+
+TEST(SolveLeastSquares, OverdeterminedConsistent) {
+  // y = 2x + 1 sampled at 5 points, A = [x 1].
+  Matrix a(5, 2);
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = i;
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * i + 1.0;
+  }
+  const std::vector<double> x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(SolveLeastSquares, DampingShrinksSolution) {
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  Rng rng(103);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = rng.gaussian();
+    a(i, 1) = rng.gaussian();
+    b[i] = rng.gaussian();
+  }
+  const std::vector<double> x0 = solve_least_squares(a, b, 0.0);
+  const std::vector<double> x1 = solve_least_squares(a, b, 100.0);
+  const double n0 = x0[0] * x0[0] + x0[1] * x0[1];
+  const double n1 = x1[0] * x1[0] + x1[1] * x1[1];
+  EXPECT_LT(n1, n0);
+}
+
+TEST(SolveLeastSquares, UnderdeterminedThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_least_squares(a, std::vector<double>{1.0, 2.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

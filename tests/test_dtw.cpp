@@ -1,0 +1,119 @@
+#include "rfp/dsp/dtw.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(Dtw, IdenticalSequencesHaveZeroDistance) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(dtw_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(dtw_distance_normalized(a, a), 0.0);
+}
+
+TEST(Dtw, SingleElementSequences) {
+  const std::vector<double> a{2.0};
+  const std::vector<double> b{5.0};
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b), 3.0);
+}
+
+TEST(Dtw, TimeShiftCostsLittle) {
+  // The same bump shifted by two samples: DTW must be far below the
+  // pointwise L1 distance.
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(std::exp(-0.1 * (i - 15) * (i - 15)));
+    b.push_back(std::exp(-0.1 * (i - 17) * (i - 17)));
+  }
+  double l1 = 0.0;
+  for (int i = 0; i < 40; ++i) l1 += std::abs(a[i] - b[i]);
+  EXPECT_LT(dtw_distance(a, b), 0.2 * l1);
+}
+
+TEST(Dtw, SymmetricInArguments) {
+  Rng rng(91);
+  std::vector<double> a, b;
+  for (int i = 0; i < 25; ++i) a.push_back(rng.gaussian());
+  for (int i = 0; i < 30; ++i) b.push_back(rng.gaussian());
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b), dtw_distance(b, a));
+}
+
+TEST(Dtw, LowerBoundedByEndpointCosts) {
+  // The warp path must match first-with-first and last-with-last.
+  const std::vector<double> a{0.0, 1.0, 10.0};
+  const std::vector<double> b{2.0, 1.0, 4.0};
+  EXPECT_GE(dtw_distance(a, b),
+            std::abs(a.front() - b.front()) + std::abs(a.back() - b.back()) -
+                1e-12);
+}
+
+TEST(Dtw, ConstantOffsetScalesWithPathLength) {
+  const std::vector<double> a{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> b{3.0, 3.0, 3.0, 3.0};
+  // Diagonal path: 4 steps of cost 2.
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b), 8.0);
+  EXPECT_DOUBLE_EQ(dtw_distance_normalized(a, b), 2.0);
+}
+
+TEST(Dtw, BandRestrictsWarping) {
+  // A large shift that an unconstrained warp absorbs becomes costly
+  // under a narrow band.
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(i < 15 ? 0.0 : 1.0);
+    b.push_back(i < 25 ? 0.0 : 1.0);
+  }
+  const double unconstrained = dtw_distance(a, b);
+  const double banded = dtw_distance(a, b, 2);
+  EXPECT_GT(banded, unconstrained);
+}
+
+TEST(Dtw, BandEqualLengthDiagonalStillFeasible) {
+  Rng rng(92);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(rng.gaussian());
+    b.push_back(rng.gaussian());
+  }
+  // Band 1 permits the pure diagonal.
+  EXPECT_NO_THROW(dtw_distance(a, b, 1));
+}
+
+TEST(Dtw, BandNarrowerThanLengthGapThrows) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(dtw_distance(a, b, 2), InvalidArgument);
+}
+
+TEST(Dtw, EmptySequenceThrows) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(dtw_distance(a, std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(dtw_distance(std::vector<double>{}, a), InvalidArgument);
+}
+
+TEST(Dtw, TriangleLikeSanityOnSmallPerturbations) {
+  // Perturbing one element by eps changes the distance by at most eps *
+  // path multiplicity; sanity-check continuity.
+  const std::vector<double> a{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> b = a;
+  b[2] += 0.01;
+  EXPECT_LE(dtw_distance(a, b), 0.05);
+}
+
+TEST(DtwNormalized, ComparableAcrossLengths) {
+  // The same constant-offset pair at different lengths should yield the
+  // same normalized distance.
+  const std::vector<double> a4(4, 0.0), b4(4, 1.0);
+  const std::vector<double> a9(9, 0.0), b9(9, 1.0);
+  EXPECT_NEAR(dtw_distance_normalized(a4, b4),
+              dtw_distance_normalized(a9, b9), 1e-12);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,147 @@
+#include "rfp/core/error_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/core/fitting.hpp"
+#include "rfp/core/preprocess.hpp"
+#include "support/core_test_util.hpp"
+
+namespace rfp {
+namespace {
+
+using testutil::noiseless_channel;
+using testutil::noiseless_reader;
+
+AntennaLine healthy_line(std::size_t antenna, std::size_t n_inliers,
+                         double rmse) {
+  AntennaLine line;
+  line.antenna = antenna;
+  line.n_channels = 50;
+  line.fit.n = n_inliers;
+  line.fit.rmse = rmse;
+  line.channel_inlier.assign(50, true);
+  line.residual.assign(50, rmse * 0.7);
+  return line;
+}
+
+TEST(ErrorDetector, PassesHealthyLines) {
+  const std::vector<AntennaLine> lines{healthy_line(0, 50, 0.02),
+                                       healthy_line(1, 48, 0.03),
+                                       healthy_line(2, 50, 0.02)};
+  EXPECT_EQ(detect_errors(lines, ErrorDetectorConfig{}), RejectReason::kNone);
+}
+
+TEST(ErrorDetector, HighRmseFlagsMobility) {
+  const std::vector<AntennaLine> lines{healthy_line(0, 50, 0.02),
+                                       healthy_line(1, 50, 0.9),
+                                       healthy_line(2, 50, 0.02)};
+  EXPECT_EQ(detect_errors(lines, ErrorDetectorConfig{}),
+            RejectReason::kMobility);
+}
+
+TEST(ErrorDetector, BrokenLineSupportFlagsMobility) {
+  // Most channels refuse the line on one antenna: the pose changed.
+  const std::vector<AntennaLine> lines{healthy_line(0, 50, 0.02),
+                                       healthy_line(1, 20, 0.02),
+                                       healthy_line(2, 50, 0.02)};
+  EXPECT_EQ(detect_errors(lines, ErrorDetectorConfig{}),
+            RejectReason::kMobility);
+}
+
+TEST(ErrorDetector, SparseCoverageFlagsTooFewChannels) {
+  // An antenna that only saw 10 channels, fitting 8 of them: the line is
+  // fine (80% support) but too thin to trust.
+  AntennaLine sparse = healthy_line(1, 8, 0.02);
+  sparse.n_channels = 10;
+  const std::vector<AntennaLine> lines{healthy_line(0, 50, 0.02), sparse,
+                                       healthy_line(2, 50, 0.02)};
+  EXPECT_EQ(detect_errors(lines, ErrorDetectorConfig{}),
+            RejectReason::kTooFewChannels);
+}
+
+TEST(ErrorDetector, MedianResidualBackstop) {
+  // RMSE within bounds but residual medians high on most antennas.
+  auto make = [](std::size_t antenna) {
+    AntennaLine line = healthy_line(antenna, 50, 0.2);
+    line.residual.assign(50, 0.2);
+    return line;
+  };
+  const std::vector<AntennaLine> lines{make(0), make(1), make(2)};
+  ErrorDetectorConfig config;
+  config.max_fit_rmse = 0.25;
+  config.max_median_residual = 0.15;
+  EXPECT_EQ(detect_errors(lines, config), RejectReason::kMobility);
+}
+
+TEST(ErrorDetector, ThresholdsConfigurable) {
+  const std::vector<AntennaLine> lines{healthy_line(0, 20, 0.3),
+                                       healthy_line(1, 20, 0.3),
+                                       healthy_line(2, 20, 0.3)};
+  ErrorDetectorConfig lax;
+  lax.max_fit_rmse = 1.0;
+  lax.min_inlier_channels = 5;
+  lax.min_line_support_fraction = 0.3;
+  lax.max_median_residual = 1.0;
+  EXPECT_EQ(detect_errors(lines, lax), RejectReason::kNone);
+  ErrorDetectorConfig strict;
+  strict.max_fit_rmse = 0.1;
+  EXPECT_EQ(detect_errors(lines, strict), RejectReason::kMobility);
+}
+
+TEST(ErrorDetector, EmptyThrows) {
+  EXPECT_THROW(detect_errors(std::vector<AntennaLine>{}, {}),
+               InvalidArgument);
+}
+
+class ErrorDetectorSimTest : public ::testing::Test {
+ protected:
+  ErrorDetectorSimTest()
+      : scene_(make_scene_2d(81)), tag_(make_tag_hardware("t", 81)) {}
+
+  std::vector<AntennaLine> lines_for(const MobilityModel& mobility,
+                                     std::uint64_t trial) {
+    Rng rng(trial);
+    const RoundTrace round =
+        collect_round(scene_, noiseless_reader(), noiseless_channel(), tag_,
+                      mobility, trial, rng);
+    return fit_all_antennas(preprocess_round(round), FittingConfig{});
+  }
+
+  Scene scene_;
+  TagHardware tag_;
+};
+
+TEST_F(ErrorDetectorSimTest, StaticTagAccepted) {
+  const TagState state{Vec3{1.0, 1.0, 0.0}, planar_polarization(0.4), "none"};
+  const auto lines = lines_for(MobilityModel::static_tag(state), 3);
+  EXPECT_EQ(detect_errors(lines, ErrorDetectorConfig{}), RejectReason::kNone);
+}
+
+TEST_F(ErrorDetectorSimTest, MovingTagRejected) {
+  // 5 cm/s across a 10 s round = half a meter of travel: with randomized
+  // hop order the phase-frequency relation shatters (paper §V-C).
+  const TagState start{Vec3{0.6, 0.8, 0.0}, planar_polarization(0.4), "none"};
+  const auto lines = lines_for(
+      MobilityModel::linear_motion(start, Vec3{0.05, 0.02, 0.0}), 4);
+  EXPECT_NE(detect_errors(lines, ErrorDetectorConfig{}), RejectReason::kNone);
+}
+
+TEST_F(ErrorDetectorSimTest, RotatingTagRejected) {
+  const TagState start{Vec3{1.2, 1.2, 0.0}, planar_polarization(0.0), "none"};
+  const auto lines =
+      lines_for(MobilityModel::planar_rotation(start, deg2rad(25.0)), 5);
+  EXPECT_NE(detect_errors(lines, ErrorDetectorConfig{}), RejectReason::kNone);
+}
+
+TEST_F(ErrorDetectorSimTest, SlowDriftBelowDetectionAccepted) {
+  // 1 mm over the whole round is within noise: must not be rejected.
+  const TagState start{Vec3{1.0, 1.0, 0.0}, planar_polarization(0.4), "none"};
+  const auto lines = lines_for(
+      MobilityModel::linear_motion(start, Vec3{0.0001, 0.0, 0.0}), 6);
+  EXPECT_EQ(detect_errors(lines, ErrorDetectorConfig{}), RejectReason::kNone);
+}
+
+}  // namespace
+}  // namespace rfp

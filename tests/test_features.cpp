@@ -1,0 +1,127 @@
+#include "rfp/core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+AntennaLine line_with_residuals(std::size_t antenna,
+                                const std::vector<double>& residuals) {
+  AntennaLine line;
+  line.antenna = antenna;
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    line.frequency_hz.push_back(channel_frequency(i));
+    line.residual.push_back(residuals[i]);
+    line.channel_inlier.push_back(true);
+  }
+  line.n_channels = residuals.size();
+  line.fit.n = residuals.size();
+  return line;
+}
+
+TEST(MaterialSignatureFeature, AveragesOverAntennas) {
+  std::vector<double> r0(kNumChannels, 0.1);
+  std::vector<double> r1(kNumChannels, 0.3);
+  const std::vector<AntennaLine> lines{line_with_residuals(0, r0),
+                                       line_with_residuals(1, r1)};
+  const std::vector<double> sig = material_signature(lines);
+  ASSERT_EQ(sig.size(), kNumChannels);
+  for (double s : sig) EXPECT_NEAR(s, 0.2, 1e-12);
+}
+
+TEST(MaterialSignatureFeature, OutlierChannelsExcluded) {
+  std::vector<double> r0(kNumChannels, 0.1);
+  AntennaLine line = line_with_residuals(0, r0);
+  line.residual[5] = 99.0;
+  line.channel_inlier[5] = false;
+  const std::vector<AntennaLine> lines{line};
+  const std::vector<double> sig = material_signature(lines);
+  EXPECT_DOUBLE_EQ(sig[5], 0.0);  // no inlier observation -> 0
+  EXPECT_DOUBLE_EQ(sig[6], 0.1);
+}
+
+TEST(MaterialSignatureFeature, PartialChannelCoverage) {
+  // An antenna that only saw the first 10 channels contributes only
+  // there.
+  std::vector<double> partial(10, 0.4);
+  std::vector<double> full(kNumChannels, 0.2);
+  const std::vector<AntennaLine> lines{line_with_residuals(0, partial),
+                                       line_with_residuals(1, full)};
+  const std::vector<double> sig = material_signature(lines);
+  EXPECT_NEAR(sig[5], 0.3, 1e-12);
+  EXPECT_NEAR(sig[30], 0.2, 1e-12);
+}
+
+TEST(MaterialSignatureFeature, EmptyThrows) {
+  EXPECT_THROW(material_signature(std::vector<AntennaLine>{}),
+               InvalidArgument);
+}
+
+TEST(ApplyTagCalibration, SubtractsDeviceResponse) {
+  TagCalibration cal;
+  cal.kd = 1.5e-9;
+  cal.bd = 0.4;
+  cal.residual_curve.assign(kNumChannels, 0.05);
+
+  double kt = 4.0e-9;
+  double bt = 1.0;
+  std::vector<double> signature(kNumChannels, 0.15);
+  apply_tag_calibration(cal, kt, bt, signature);
+
+  EXPECT_NEAR(kt, 2.5e-9, 1e-15);
+  EXPECT_NEAR(bt, 0.6, 1e-12);
+  for (double s : signature) EXPECT_NEAR(s, 0.10, 1e-12);
+}
+
+TEST(ApplyTagCalibration, BtWrapsToSignedRange) {
+  TagCalibration cal;
+  cal.bd = 2.0;
+  double kt = 0.0;
+  double bt = 0.5;  // 0.5 - 2.0 = -1.5 (kept signed, no 2*pi jump)
+  std::vector<double> signature;
+  apply_tag_calibration(cal, kt, bt, signature);
+  EXPECT_NEAR(bt, -1.5, 1e-12);
+  EXPECT_GE(bt, -kPi);
+  EXPECT_LT(bt, kPi);
+}
+
+TEST(ApplyTagCalibration, EmptyCurveSkipsSignature) {
+  TagCalibration cal;  // no residual curve
+  double kt = 1e-9;
+  double bt = 0.0;
+  std::vector<double> signature(kNumChannels, 0.2);
+  apply_tag_calibration(cal, kt, bt, signature);
+  for (double s : signature) EXPECT_DOUBLE_EQ(s, 0.2);
+}
+
+TEST(ApplyTagCalibration, CurveLengthMismatchThrows) {
+  TagCalibration cal;
+  cal.residual_curve.assign(10, 0.0);
+  double kt = 0.0, bt = 0.0;
+  std::vector<double> signature(kNumChannels, 0.0);
+  EXPECT_THROW(apply_tag_calibration(cal, kt, bt, signature),
+               InvalidArgument);
+}
+
+TEST(MaterialFeatures, LayoutAndScaling) {
+  const std::vector<double> signature{0.1, -0.2, 0.3};
+  const std::vector<double> f = material_features(2.5e-9, 1.2, signature);
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_NEAR(f[0], 2.5, 1e-12);  // rad/GHz
+  EXPECT_DOUBLE_EQ(f[1], 1.2);
+  EXPECT_DOUBLE_EQ(f[2], 0.1);
+  EXPECT_DOUBLE_EQ(f[4], 0.3);
+}
+
+TEST(MaterialFeatures, PaperDimensionality) {
+  // kt + bt + 50 channels = the 52-dimensional vector of paper Eq. 9.
+  const std::vector<double> signature(kNumChannels, 0.0);
+  EXPECT_EQ(material_features(0.0, 0.0, signature).size(), 52u);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,214 @@
+#include "rfp/geom/frame.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+namespace {
+
+void expect_orthonormal(const OrthoFrame& f) {
+  EXPECT_NEAR(f.u.norm(), 1.0, 1e-9);
+  EXPECT_NEAR(f.v.norm(), 1.0, 1e-9);
+  EXPECT_NEAR(f.n.norm(), 1.0, 1e-9);
+  EXPECT_NEAR(f.u.dot(f.v), 0.0, 1e-9);
+  EXPECT_NEAR(f.u.dot(f.n), 0.0, 1e-9);
+  EXPECT_NEAR(f.v.dot(f.n), 0.0, 1e-9);
+  // Right-handed: n == u x v.
+  EXPECT_NEAR(distance(f.u.cross(f.v), f.n), 0.0, 1e-9);
+}
+
+TEST(MakeFrame, OrthonormalForRandomBoresights) {
+  Rng rng(41);
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 b{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    if (b.norm() < 1e-6) continue;
+    const OrthoFrame f = make_frame(b, rng.uniform(0.0, kTwoPi));
+    expect_orthonormal(f);
+    EXPECT_NEAR(distance(f.n, b.normalized()), 0.0, 1e-9);
+  }
+}
+
+TEST(MakeFrame, ZeroRollUIsHorizontal) {
+  const OrthoFrame f = make_frame({1.0, 2.0, -0.5});
+  EXPECT_NEAR(f.u.z, 0.0, 1e-12);
+}
+
+TEST(MakeFrame, VerticalBoresightHandled) {
+  const OrthoFrame up = make_frame({0.0, 0.0, 1.0});
+  expect_orthonormal(up);
+  const OrthoFrame down = make_frame({0.0, 0.0, -1.0});
+  expect_orthonormal(down);
+}
+
+TEST(MakeFrame, ZeroBoresightThrows) {
+  EXPECT_THROW(make_frame({0.0, 0.0, 0.0}), InvalidArgument);
+}
+
+TEST(MakeFrame, RollRotatesAboutBoresight) {
+  const Vec3 b{0.0, 1.0, 0.0};
+  const OrthoFrame f0 = make_frame(b, 0.0);
+  const OrthoFrame f90 = make_frame(b, kPi / 2.0);
+  // u rotates onto v.
+  EXPECT_NEAR(distance(f90.u, f0.v), 0.0, 1e-9);
+  EXPECT_NEAR(distance(f90.v, -f0.u), 0.0, 1e-9);
+}
+
+TEST(LookAtFrame, PointsAtTarget) {
+  const Vec3 from{0.0, 0.0, 1.0};
+  const Vec3 at{1.0, 1.0, 0.0};
+  const OrthoFrame f = look_at_frame(from, at);
+  EXPECT_NEAR(distance(f.n, (at - from).normalized()), 0.0, 1e-12);
+}
+
+TEST(PolarizationPhase, IsTwiceTheApertureAngle) {
+  // With u = x, v = y and w in the aperture plane at angle phi,
+  // Eq. (4) gives exactly 2*phi (mod 2*pi).
+  const OrthoFrame f = make_frame({0.0, 0.0, -1.0});
+  // Build w in terms of the frame's own axes to avoid axis conventions.
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    const double phi = rng.uniform(-kPi, kPi);
+    const Vec3 w = f.u * std::cos(phi) + f.v * std::sin(phi);
+    const double theta = polarization_phase(f, w);
+    ASSERT_NEAR(std::abs(ang_diff(theta, 2.0 * phi)), 0.0, 1e-9) << phi;
+  }
+}
+
+TEST(PolarizationPhase, PeriodPiInPolarization) {
+  const OrthoFrame f = make_frame({0.2, 1.0, -0.4});
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 w =
+        spherical_polarization(rng.uniform(0.0, kTwoPi), rng.uniform(-1.0, 1.0));
+    const double a = polarization_phase(f, w);
+    const double b = polarization_phase(f, -w);
+    ASSERT_NEAR(std::abs(ang_diff(a, b)), 0.0, 1e-9);
+  }
+}
+
+TEST(PolarizationPhase, OrthogonalPolarizationReturnsZero) {
+  const OrthoFrame f = make_frame({0.0, 1.0, 0.0});
+  // w along the boresight has no aperture projection.
+  EXPECT_DOUBLE_EQ(polarization_phase(f, f.n), 0.0);
+}
+
+TEST(PolarizationPhase, InvariantToWScale) {
+  const OrthoFrame f = make_frame({1.0, 1.0, -1.0});
+  const Vec3 w{0.3, -0.8, 0.1};
+  EXPECT_NEAR(polarization_phase(f, w), polarization_phase(f, w * 7.0), 1e-12);
+}
+
+TEST(PropagationAdjustedFrame, OrthonormalAndAimedAtTag) {
+  Rng rng(44);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 ant{rng.uniform(-1, 3), rng.uniform(-2, 0), rng.uniform(0.3, 2)};
+    const Vec3 tag{rng.uniform(0, 2), rng.uniform(0, 2), 0.0};
+    const OrthoFrame f = make_frame(Vec3{0.0, 1.0, -0.5}, 0.3);
+    const OrthoFrame g = propagation_adjusted_frame(f, ant, tag);
+    expect_orthonormal(g);
+    ASSERT_NEAR(distance(g.n, (tag - ant).normalized()), 0.0, 1e-9);
+  }
+}
+
+TEST(PropagationAdjustedFrame, NoOpWhenRayEqualsBoresight) {
+  const Vec3 ant{0.0, -1.0, 1.0};
+  const Vec3 tag{1.0, 1.0, 0.0};
+  const OrthoFrame f = look_at_frame(ant, tag, 0.0);
+  const OrthoFrame g = propagation_adjusted_frame(f, ant, tag);
+  EXPECT_NEAR(distance(g.u, f.u), 0.0, 1e-9);
+  EXPECT_NEAR(distance(g.v, f.v), 0.0, 1e-9);
+  EXPECT_NEAR(distance(g.n, f.n), 0.0, 1e-9);
+}
+
+TEST(PropagationAdjustedFrame, CoincidentPointsThrow) {
+  const OrthoFrame f = make_frame({0.0, 1.0, 0.0});
+  EXPECT_THROW(propagation_adjusted_frame(f, Vec3{1, 1, 1}, Vec3{1, 1, 1}),
+               InvalidArgument);
+}
+
+TEST(PolarizationPhaseToward, DependsOnTagPosition) {
+  // The whole point of the adjusted model: different tag positions see
+  // different projections, giving independent orientation equations.
+  const Vec3 ant{1.0, -0.7, 1.5};
+  const OrthoFrame f = look_at_frame(ant, Vec3{1.0, 1.0, 0.0});
+  const Vec3 w = planar_polarization(deg2rad(40.0));
+  const double a = polarization_phase_toward(f, ant, Vec3{0.3, 0.4, 0.0}, w);
+  const double b = polarization_phase_toward(f, ant, Vec3{1.8, 1.9, 0.0}, w);
+  EXPECT_GT(std::abs(ang_diff(a, b)), 0.01);
+}
+
+TEST(PlanarPolarization, UnitAndInPlane) {
+  Rng rng(45);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 w = planar_polarization(rng.uniform(0.0, kTwoPi));
+    ASSERT_NEAR(w.norm(), 1.0, 1e-12);
+    ASSERT_DOUBLE_EQ(w.z, 0.0);
+  }
+}
+
+TEST(SphericalPolarization, MatchesPlanarAtZeroElevation) {
+  const double az = 0.77;
+  EXPECT_NEAR(
+      distance(spherical_polarization(az, 0.0), planar_polarization(az)), 0.0,
+      1e-12);
+}
+
+TEST(PolarizationAngleError, ModuloPi) {
+  const Vec3 a = planar_polarization(0.1);
+  const Vec3 b = planar_polarization(0.1 + kPi);  // same line
+  EXPECT_NEAR(polarization_angle_error(a, b), 0.0, 1e-9);
+}
+
+TEST(PolarizationAngleError, MaxIsHalfPi) {
+  const Vec3 a = planar_polarization(0.0);
+  const Vec3 b = planar_polarization(kPi / 2.0);
+  EXPECT_NEAR(polarization_angle_error(a, b), kPi / 2.0, 1e-9);
+}
+
+TEST(PlanarAngleError, WrapsModuloPi) {
+  EXPECT_NEAR(planar_angle_error(0.05, kPi - 0.05), 0.1, 1e-12);
+  EXPECT_NEAR(planar_angle_error(1.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(planar_angle_error(0.0, kPi / 2.0), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(planar_angle_error(deg2rad(10.0), deg2rad(170.0)),
+              deg2rad(20.0), 1e-12);
+}
+
+TEST(Rect, ContainsAndClamp) {
+  const Rect r{{0.0, 0.0}, {2.0, 1.0}};
+  EXPECT_TRUE(r.contains({1.0, 0.5}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_FALSE(r.contains({2.1, 0.5}));
+  EXPECT_EQ(r.clamp({3.0, -1.0}), (Vec2{2.0, 0.0}));
+  EXPECT_EQ(r.center(), (Vec2{1.0, 0.5}));
+  EXPECT_DOUBLE_EQ(r.width(), 2.0);
+  EXPECT_DOUBLE_EQ(r.height(), 1.0);
+}
+
+TEST(GridPoints, CountAndCoverage) {
+  const Rect r{{0.0, 0.0}, {1.0, 1.0}};
+  const auto pts = grid_points(r, 3, 4);
+  EXPECT_EQ(pts.size(), 12u);
+  EXPECT_EQ(pts.front(), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(pts.back(), (Vec2{1.0, 1.0}));
+}
+
+TEST(GridPoints, SinglePointIsCenter) {
+  const Rect r{{0.0, 0.0}, {2.0, 4.0}};
+  const auto pts = grid_points(r, 1, 1);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0], (Vec2{1.0, 2.0}));
+}
+
+TEST(GridPoints, ZeroCountThrows) {
+  const Rect r{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_THROW(grid_points(r, 0, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

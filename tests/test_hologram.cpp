@@ -1,0 +1,102 @@
+#include "rfp/baselines/hologram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+#include "rfp/core/preprocess.hpp"
+#include "support/core_test_util.hpp"
+
+namespace rfp {
+namespace {
+
+using testutil::exact_geometry;
+using testutil::noiseless_channel;
+using testutil::noiseless_reader;
+
+class HologramTest : public ::testing::Test {
+ protected:
+  HologramTest()
+      : scene_(make_scene_2d(501)),
+        tag_(make_tag_hardware("t", 501)),
+        localizer_(exact_geometry(scene_)) {}
+
+  RoundTrace round_at(Vec2 p, const std::string& material, double alpha,
+                      std::uint64_t trial) {
+    Rng rng(trial);
+    const TagState state{Vec3{p, 0.0}, planar_polarization(alpha), material};
+    return collect_round(scene_, noiseless_reader(), noiseless_channel(),
+                         tag_, state, trial, rng);
+  }
+
+  Scene scene_;
+  TagHardware tag_;
+  HologramLocalizer localizer_;
+};
+
+TEST_F(HologramTest, PeakNearTruthOnCleanData) {
+  const Vec2 truth{0.8, 1.2};
+  const Vec3 est = localizer_.localize(round_at(truth, "none", 0.3, 1));
+  EXPECT_LT(distance(est, Vec3{truth, 0.0}), 0.25);
+}
+
+TEST_F(HologramTest, IntensityPeaksAtTruth) {
+  const Vec2 truth{1.2, 0.9};
+  const RoundTrace round = round_at(truth, "none", 0.0, 2);
+  const auto traces = preprocess_round(round);
+  const double at_truth = localizer_.intensity(traces, Vec3{truth, 0.0});
+  for (Vec2 other : {Vec2{0.4, 0.4}, Vec2{1.8, 1.8}, Vec2{0.4, 1.8}}) {
+    EXPECT_GT(at_truth, localizer_.intensity(traces, Vec3{other, 0.0}));
+  }
+}
+
+TEST_F(HologramTest, InsensitiveToOrientation) {
+  // The per-antenna magnitude cancels constant offsets, so rotating the
+  // tag must not move the peak much.
+  const Vec2 truth{1.0, 1.3};
+  const Vec3 a = localizer_.localize(round_at(truth, "none", 0.0, 3));
+  const Vec3 b = localizer_.localize(round_at(truth, "none", 1.2, 4));
+  EXPECT_LT(distance(a, b), 0.25);
+}
+
+TEST_F(HologramTest, MaterialSlopeBiasesIt) {
+  // Like MobiTagbot, the hologram cannot separate kt from distance: a
+  // strongly detuning material must displace its peak noticeably more
+  // than a neutral one.
+  const Vec2 truth{1.0, 0.8};
+  const Vec3 bare = localizer_.localize(round_at(truth, "none", 0.0, 5));
+  const Vec3 metal = localizer_.localize(round_at(truth, "metal", 0.0, 6));
+  const double bare_err = distance(bare, Vec3{truth, 0.0});
+  const double metal_err = distance(metal, Vec3{truth, 0.0});
+  EXPECT_GT(metal_err, bare_err + 0.05);
+}
+
+TEST_F(HologramTest, RobustToPiJumps) {
+  // The doubled-angle accumulation is invariant to the reader's pi
+  // ambiguity by construction.
+  ReaderConfig reader = noiseless_reader();
+  reader.pi_jump_prob = 0.3;
+  Rng rng(7);
+  const Vec2 truth{0.7, 1.5};
+  const TagState state{Vec3{truth, 0.0}, planar_polarization(0.4), "none"};
+  const RoundTrace round = collect_round(
+      scene_, reader, noiseless_channel(), tag_, state, 7, rng);
+  const Vec3 est = localizer_.localize(round);
+  EXPECT_LT(distance(est, Vec3{truth, 0.0}), 0.3);
+}
+
+TEST_F(HologramTest, BadConfigThrows) {
+  HologramConfig config;
+  config.grid_nx = 2;
+  EXPECT_THROW(HologramLocalizer(exact_geometry(scene_), config),
+               InvalidArgument);
+}
+
+TEST_F(HologramTest, TooFewAntennasThrows) {
+  DeploymentGeometry geometry = exact_geometry(scene_);
+  geometry.antenna_positions.resize(1);
+  geometry.antenna_frames.resize(1);
+  EXPECT_THROW(HologramLocalizer{geometry}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

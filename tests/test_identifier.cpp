@@ -1,0 +1,142 @@
+#include "rfp/core/identifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+namespace {
+
+/// Synthetic sensing result with a class-dependent kt/bt/signature.
+SensingResult result_for(int cls, Rng& rng) {
+  SensingResult r;
+  r.valid = true;
+  r.reject_reason = RejectReason::kNone;
+  r.kt = cls * 2e-9 + rng.gaussian(0.0, 2e-10);
+  r.bt = 0.3 * cls + rng.gaussian(0.0, 0.05);
+  r.material_signature.assign(kNumChannels, 0.0);
+  for (std::size_t ch = 0; ch < kNumChannels; ++ch) {
+    r.material_signature[ch] =
+        0.1 * std::sin(0.3 * static_cast<double>(ch) + cls) +
+        rng.gaussian(0.0, 0.02);
+  }
+  return r;
+}
+
+TEST(MaterialIdentifier, TrainsAndPredicts) {
+  Rng rng(91);
+  MaterialIdentifier id(ClassifierKind::kDecisionTree);
+  const std::vector<std::string> names{"wood", "glass", "water"};
+  for (int rep = 0; rep < 30; ++rep) {
+    for (int cls = 0; cls < 3; ++cls) {
+      id.add_sample(result_for(cls, rng), names[cls]);
+    }
+  }
+  EXPECT_EQ(id.n_samples(), 90u);
+  id.train();
+  int correct = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (int cls = 0; cls < 3; ++cls) {
+      correct += id.predict(result_for(cls, rng)) == names[cls];
+    }
+  }
+  EXPECT_GE(correct, 55);
+}
+
+TEST(MaterialIdentifier, EvaluateBuildsConfusionMatrix) {
+  Rng rng(92);
+  MaterialIdentifier id;
+  for (int rep = 0; rep < 20; ++rep) {
+    id.add_sample(result_for(0, rng), "a");
+    id.add_sample(result_for(1, rng), "b");
+  }
+  id.train();
+  std::vector<std::pair<SensingResult, std::string>> test;
+  for (int rep = 0; rep < 10; ++rep) {
+    test.push_back({result_for(0, rng), "a"});
+    test.push_back({result_for(1, rng), "b"});
+  }
+  const ConfusionMatrix cm = id.evaluate(test);
+  EXPECT_EQ(cm.total(), 20u);
+  EXPECT_GT(cm.accuracy(), 0.8);
+}
+
+TEST(MaterialIdentifier, AllThreeBackendsWork) {
+  for (ClassifierKind kind : {ClassifierKind::kKnn, ClassifierKind::kSvm,
+                              ClassifierKind::kDecisionTree}) {
+    Rng rng(93);
+    MaterialIdentifier id(kind);
+    for (int rep = 0; rep < 25; ++rep) {
+      id.add_sample(result_for(0, rng), "a");
+      id.add_sample(result_for(2, rng), "c");
+    }
+    id.train();
+    int correct = 0;
+    for (int rep = 0; rep < 10; ++rep) {
+      correct += id.predict(result_for(0, rng)) == "a";
+      correct += id.predict(result_for(2, rng)) == "c";
+    }
+    EXPECT_GE(correct, 17) << to_string(kind);
+  }
+}
+
+TEST(MaterialIdentifier, InvalidResultThrows) {
+  MaterialIdentifier id;
+  SensingResult invalid;
+  invalid.valid = false;
+  EXPECT_THROW(id.add_sample(invalid, "a"), InvalidArgument);
+}
+
+TEST(MaterialIdentifier, MissingSignatureThrows) {
+  MaterialIdentifier id;
+  SensingResult r;
+  r.valid = true;  // but no signature
+  EXPECT_THROW(id.add_sample(r, "a"), InvalidArgument);
+}
+
+TEST(MaterialIdentifier, EmptyMaterialNameThrows) {
+  Rng rng(94);
+  MaterialIdentifier id;
+  EXPECT_THROW(id.add_sample(result_for(0, rng), ""), InvalidArgument);
+}
+
+TEST(MaterialIdentifier, PredictBeforeTrainThrows) {
+  Rng rng(95);
+  MaterialIdentifier id;
+  id.add_sample(result_for(0, rng), "a");
+  EXPECT_THROW(id.predict(result_for(0, rng)), Error);
+}
+
+TEST(MaterialIdentifier, TrainWithoutSamplesThrows) {
+  MaterialIdentifier id;
+  EXPECT_THROW(id.train(), InvalidArgument);
+}
+
+TEST(MaterialIdentifier, ClassNamesTracked) {
+  Rng rng(96);
+  MaterialIdentifier id;
+  id.add_sample(result_for(0, rng), "x");
+  id.add_sample(result_for(1, rng), "y");
+  id.add_sample(result_for(0, rng), "x");
+  ASSERT_EQ(id.class_names().size(), 2u);
+  EXPECT_EQ(id.class_names()[0], "x");
+  EXPECT_EQ(id.class_names()[1], "y");
+}
+
+TEST(MakeClassifier, ProducesCorrectBackends) {
+  EXPECT_EQ(make_classifier(ClassifierKind::kKnn)->name(), "knn");
+  EXPECT_EQ(make_classifier(ClassifierKind::kSvm)->name(), "svm");
+  EXPECT_EQ(make_classifier(ClassifierKind::kDecisionTree)->name(),
+            "decision_tree");
+}
+
+TEST(ClassifierKindNames, Stable) {
+  EXPECT_STREQ(to_string(ClassifierKind::kKnn), "knn");
+  EXPECT_STREQ(to_string(ClassifierKind::kSvm), "svm");
+  EXPECT_STREQ(to_string(ClassifierKind::kDecisionTree), "decision_tree");
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,119 @@
+#include "rfp/ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+namespace {
+
+Dataset gaussian_blobs(std::size_t per_class, double separation, Rng& rng) {
+  Dataset d({"c0", "c1", "c2"});
+  for (int cls = 0; cls < 3; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      d.add({separation * cls + rng.gaussian(0.0, 0.3),
+             -separation * cls + rng.gaussian(0.0, 0.3)},
+            cls);
+    }
+  }
+  return d;
+}
+
+TEST(Knn, NearestNeighborMemorizesTraining) {
+  Rng rng(121);
+  const Dataset d = gaussian_blobs(20, 5.0, rng);
+  KnnClassifier knn(1);
+  knn.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    ASSERT_EQ(knn.predict(d.features(i)), d.label(i));
+  }
+}
+
+TEST(Knn, SeparatedBlobsClassifiedPerfectly) {
+  Rng rng(122);
+  const Dataset train = gaussian_blobs(30, 5.0, rng);
+  const Dataset test = gaussian_blobs(30, 5.0, rng);
+  KnnClassifier knn(5);
+  knn.fit(train);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    ASSERT_EQ(knn.predict(test.features(i)), test.label(i));
+  }
+}
+
+TEST(Knn, MajorityVoteBeatsSingleOutlier) {
+  Dataset d({"a", "b"});
+  // Three 'a' points around origin, one mislabelled 'b' at the origin.
+  d.add({0.0, 0.1}, 0);
+  d.add({0.1, 0.0}, 0);
+  d.add({-0.1, 0.0}, 0);
+  d.add({0.0, 0.0}, 1);
+  d.add({5.0, 5.0}, 1);
+  KnnClassifier knn(3);
+  knn.fit(d);
+  EXPECT_EQ(knn.predict(std::vector<double>{0.0, 0.05}), 0);
+}
+
+TEST(Knn, ScaleSensitiveWithoutStandardization) {
+  // Class information lives in a small-scale feature; a large-scale noise
+  // feature drowns it for plain KNN — the failure mode the paper's KNN
+  // comparison exhibits.
+  Rng rng(123);
+  Dataset train({"a", "b"});
+  Dataset test({"a", "b"});
+  for (int i = 0; i < 60; ++i) {
+    const int cls = i % 2;
+    const double info = cls == 0 ? 0.0 : 0.5;
+    std::vector<double> x{info + rng.gaussian(0.0, 0.05),
+                          rng.gaussian(0.0, 100.0)};
+    (i < 40 ? train : test).add(x, cls);
+  }
+  KnnClassifier raw(5, false);
+  raw.fit(train);
+  KnnClassifier scaled(5, true);
+  scaled.fit(train);
+  int raw_correct = 0, scaled_correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    raw_correct += raw.predict(test.features(i)) == test.label(i);
+    scaled_correct += scaled.predict(test.features(i)) == test.label(i);
+  }
+  EXPECT_GT(scaled_correct, raw_correct);
+}
+
+TEST(Knn, KLargerThanTrainingSetClamped) {
+  Dataset d({"a", "b"});
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  KnnClassifier knn(50);
+  knn.fit(d);
+  EXPECT_NO_THROW(knn.predict(std::vector<double>{0.2}));
+}
+
+TEST(Knn, PredictBeforeFitThrows) {
+  KnnClassifier knn(3);
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0}), Error);
+}
+
+TEST(Knn, DimMismatchThrows) {
+  Rng rng(124);
+  const Dataset d = gaussian_blobs(5, 3.0, rng);
+  KnnClassifier knn(1);
+  knn.fit(d);
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0, 2.0, 3.0}),
+               InvalidArgument);
+}
+
+TEST(Knn, ZeroKThrows) { EXPECT_THROW(KnnClassifier(0), InvalidArgument); }
+
+TEST(Knn, EmptyFitThrows) {
+  KnnClassifier knn(3);
+  EXPECT_THROW(knn.fit(Dataset{}), InvalidArgument);
+}
+
+TEST(Knn, Name) {
+  KnnClassifier knn;
+  EXPECT_EQ(knn.name(), "knn");
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,197 @@
+#include "rfp/core/leakage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/dsp/cusum.hpp"
+#include "rfp/exp/testbed.hpp"
+
+namespace rfp {
+namespace {
+
+// ---- CUSUM unit tests ---------------------------------------------------
+
+TEST(Cusum, StaysQuietOnStationaryStream) {
+  Rng rng(701);
+  CusumConfig config;
+  config.warmup = 10;
+  config.drift = 0.3;
+  config.threshold = 2.0;
+  CusumDetector detector(config);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_FALSE(detector.update(rng.gaussian(3.0, 0.1))) << i;
+  }
+  EXPECT_TRUE(detector.armed());
+  EXPECT_NEAR(detector.reference_mean(), 3.0, 0.1);
+}
+
+TEST(Cusum, DetectsUpwardStep) {
+  Rng rng(702);
+  CusumDetector detector({.warmup = 10, .drift = 0.2, .threshold = 1.5});
+  for (int i = 0; i < 30; ++i) detector.update(rng.gaussian(0.0, 0.1));
+  ASSERT_FALSE(detector.alarmed());
+  bool fired = false;
+  for (int i = 0; i < 20 && !fired; ++i) {
+    fired = detector.update(rng.gaussian(1.0, 0.1));
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(Cusum, DetectsDownwardStep) {
+  Rng rng(703);
+  CusumDetector detector({.warmup = 10, .drift = 0.2, .threshold = 1.5});
+  for (int i = 0; i < 30; ++i) detector.update(rng.gaussian(5.0, 0.1));
+  bool fired = false;
+  for (int i = 0; i < 20 && !fired; ++i) {
+    fired = detector.update(rng.gaussian(4.0, 0.1));
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(Cusum, DetectsSlowDrift) {
+  Rng rng(704);
+  CusumDetector detector({.warmup = 10, .drift = 0.05, .threshold = 1.0});
+  for (int i = 0; i < 20; ++i) detector.update(rng.gaussian(0.0, 0.02));
+  bool fired = false;
+  for (int i = 0; i < 200 && !fired; ++i) {
+    fired = detector.update(rng.gaussian(0.002 * i, 0.02));
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(Cusum, AlarmLatchesUntilReset) {
+  CusumDetector detector({.warmup = 2, .drift = 0.1, .threshold = 0.5});
+  detector.update(0.0);
+  detector.update(0.0);
+  detector.update(5.0);
+  ASSERT_TRUE(detector.alarmed());
+  EXPECT_TRUE(detector.update(0.0));  // latched
+  detector.reset();
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_FALSE(detector.armed());
+}
+
+TEST(Cusum, BadConfigThrows) {
+  EXPECT_THROW(CusumDetector({.warmup = 0}), InvalidArgument);
+  EXPECT_THROW(CusumDetector({.warmup = 1, .drift = -1.0}), InvalidArgument);
+  EXPECT_THROW(
+      CusumDetector({.warmup = 1, .drift = 0.0, .threshold = 0.0}),
+      InvalidArgument);
+}
+
+// ---- LeakageMonitor on synthetic results --------------------------------
+
+SensingResult result_with(double kt_rad_per_ghz, double bt) {
+  SensingResult r;
+  r.valid = true;
+  r.kt = kt_rad_per_ghz * 1e-9;
+  r.bt = bt;
+  return r;
+}
+
+TEST(LeakageMonitor, LearnsThenStaysSteady) {
+  Rng rng(705);
+  LeakageMonitor monitor;
+  // The monitor arms on the warmup-completing (5th) sample, so the first
+  // four updates report learning.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(monitor.update(result_with(7.0 + rng.gaussian(0.0, 0.5),
+                                         1.25 + rng.gaussian(0.0, 0.1))),
+              LeakageStatus::kLearning);
+  }
+  monitor.update(result_with(7.0, 1.25));
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(monitor.update(result_with(7.0 + rng.gaussian(0.0, 0.5),
+                                         1.25 + rng.gaussian(0.0, 0.1))),
+              LeakageStatus::kSteady);
+  }
+  EXPECT_NEAR(monitor.baseline_kt(), 7.0, 1.0);
+}
+
+TEST(LeakageMonitor, AlarmsOnContentChange) {
+  Rng rng(706);
+  LeakageMonitor monitor;
+  // Water baseline...
+  for (int i = 0; i < 12; ++i) {
+    monitor.update(result_with(7.0 + rng.gaussian(0.0, 0.5),
+                               1.25 + rng.gaussian(0.0, 0.1)));
+  }
+  ASSERT_EQ(monitor.status(), LeakageStatus::kSteady);
+  // ...then the bottle drains (coupling weakens toward the bare response).
+  LeakageStatus status = LeakageStatus::kSteady;
+  for (int i = 0; i < 25 && status != LeakageStatus::kAlarm; ++i) {
+    const double fill = std::max(0.0, 1.0 - 0.15 * i);
+    status = monitor.update(result_with(7.0 * fill + rng.gaussian(0.0, 0.5),
+                                        1.25 * fill +
+                                            rng.gaussian(0.0, 0.1)));
+  }
+  EXPECT_EQ(status, LeakageStatus::kAlarm);
+}
+
+TEST(LeakageMonitor, InvalidResultsSkipped) {
+  LeakageMonitor monitor;
+  SensingResult invalid;
+  invalid.valid = false;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(monitor.update(invalid), LeakageStatus::kLearning);
+  }
+}
+
+TEST(LeakageMonitor, ResetRelearns) {
+  LeakageMonitor monitor;
+  for (int i = 0; i < 10; ++i) monitor.update(result_with(7.0, 1.25));
+  monitor.reset();
+  EXPECT_EQ(monitor.status(), LeakageStatus::kLearning);
+}
+
+// ---- End-to-end with the simulator --------------------------------------
+
+TEST(LeakageMonitor, EndToEndDrainedBottleDetected) {
+  // A tagged water bottle sits still; after 10 rounds it has leaked
+  // empty (material coupling drops to the bare-tag response). Position
+  // never changes, so only the disentangled material parameters can tell.
+  Testbed bed{};
+  LeakageMonitor monitor;
+  const Vec2 slot{1.1, 0.9};
+  LeakageStatus status = LeakageStatus::kLearning;
+  for (int round = 0; round < 10; ++round) {
+    status = monitor.update(
+        bed.sense(bed.tag_state(slot, 0.3, "water"), 900 + round));
+  }
+  EXPECT_EQ(status, LeakageStatus::kSteady);
+  for (int round = 10; round < 30 && status != LeakageStatus::kAlarm;
+       ++round) {
+    status = monitor.update(
+        bed.sense(bed.tag_state(slot, 0.3, "none"), 900 + round));
+  }
+  EXPECT_EQ(status, LeakageStatus::kAlarm);
+}
+
+TEST(LeakageMonitor, EndToEndNudgeDoesNotAlarm) {
+  // The tag is nudged a few cm and rotated between rounds — the failure
+  // mode that breaks entangled-phase leak detectors. The disentangled
+  // kt/bt stay put, so no alarm.
+  Testbed bed{};
+  LeakageMonitor monitor;
+  Rng rng(707);
+  LeakageStatus status = LeakageStatus::kLearning;
+  for (int round = 0; round < 30; ++round) {
+    const Vec2 slot{1.1 + rng.uniform(-0.04, 0.04),
+                    0.9 + rng.uniform(-0.04, 0.04)};
+    const double alpha = rng.uniform(0.0, kPi);
+    status = monitor.update(
+        bed.sense(bed.tag_state(slot, alpha, "water"), 950 + round));
+    ASSERT_NE(status, LeakageStatus::kAlarm) << "round " << round;
+  }
+  EXPECT_EQ(status, LeakageStatus::kSteady);
+}
+
+TEST(LeakageStatusNames, Stable) {
+  EXPECT_STREQ(to_string(LeakageStatus::kLearning), "learning");
+  EXPECT_STREQ(to_string(LeakageStatus::kSteady), "steady");
+  EXPECT_STREQ(to_string(LeakageStatus::kAlarm), "alarm");
+}
+
+}  // namespace
+}  // namespace rfp

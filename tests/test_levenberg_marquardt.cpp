@@ -1,0 +1,154 @@
+#include "rfp/solver/levenberg_marquardt.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(Lm, LinearLeastSquaresExact) {
+  // r_i = a*x_i + b - y_i with y from a known line: LM solves in one hop.
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{1.0, 3.0, 5.0, 7.0, 9.0};
+  const ResidualFn fn = [&](std::span<const double> p,
+                            std::span<double> r) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      r[i] = p[0] * xs[i] + p[1] - ys[i];
+    }
+  };
+  LmOptions options;
+  options.parameter_scales = {1.0, 1.0};
+  const LmResult result =
+      levenberg_marquardt(fn, std::vector<double>{0.0, 0.0}, xs.size(), options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.params[0], 2.0, 1e-6);
+  EXPECT_NEAR(result.params[1], 1.0, 1e-6);
+  EXPECT_NEAR(result.cost, 0.0, 1e-10);
+}
+
+TEST(Lm, Rosenbrock) {
+  // Classic banana valley expressed as two residuals.
+  const ResidualFn fn = [](std::span<const double> p, std::span<double> r) {
+    r[0] = 10.0 * (p[1] - p[0] * p[0]);
+    r[1] = 1.0 - p[0];
+  };
+  LmOptions options;
+  options.parameter_scales = {1.0, 1.0};
+  options.max_iterations = 200;
+  const LmResult result =
+      levenberg_marquardt(fn, std::vector<double>{-1.2, 1.0}, 2, options);
+  EXPECT_NEAR(result.params[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.params[1], 1.0, 1e-4);
+}
+
+TEST(Lm, ExponentialDecayFit) {
+  // Fit y = A * exp(-k t): nonlinear in k, mildly correlated parameters.
+  std::vector<double> ts, ys;
+  for (int i = 0; i < 20; ++i) {
+    const double t = 0.25 * i;
+    ts.push_back(t);
+    ys.push_back(3.0 * std::exp(-0.8 * t));
+  }
+  const ResidualFn fn = [&](std::span<const double> p, std::span<double> r) {
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      r[i] = p[0] * std::exp(-p[1] * ts[i]) - ys[i];
+    }
+  };
+  LmOptions options;
+  options.parameter_scales = {1.0, 0.5};
+  const LmResult result =
+      levenberg_marquardt(fn, std::vector<double>{1.0, 0.2}, ts.size(), options);
+  EXPECT_NEAR(result.params[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.params[1], 0.8, 1e-4);
+}
+
+TEST(Lm, BadlyScaledParameters) {
+  // One parameter lives at 1e-8 scale (like rad/Hz slopes), the other at
+  // 1. Per-parameter scales must make this routine.
+  const ResidualFn fn = [](std::span<const double> p, std::span<double> r) {
+    r[0] = (p[0] - 3e-8) * 1e8;
+    r[1] = p[1] - 2.0;
+  };
+  LmOptions options;
+  options.parameter_scales = {1e-8, 1.0};
+  const LmResult result =
+      levenberg_marquardt(fn, std::vector<double>{0.0, 0.0}, 2, options);
+  EXPECT_NEAR(result.params[0], 3e-8, 1e-12);
+  EXPECT_NEAR(result.params[1], 2.0, 1e-6);
+}
+
+TEST(Lm, CostNeverIncreases) {
+  const ResidualFn fn = [](std::span<const double> p, std::span<double> r) {
+    r[0] = std::sin(p[0]) + 0.5 * p[0];
+    r[1] = p[1] * p[1] - 0.3;
+  };
+  LmOptions options;
+  options.parameter_scales = {1.0, 1.0};
+  const LmResult result =
+      levenberg_marquardt(fn, std::vector<double>{2.0, 2.0}, 2, options);
+  EXPECT_LE(result.cost, result.initial_cost);
+}
+
+TEST(Lm, AlreadyAtMinimumConverges) {
+  const ResidualFn fn = [](std::span<const double> p, std::span<double> r) {
+    r[0] = p[0];
+    r[1] = p[1];
+  };
+  LmOptions options;
+  options.parameter_scales = {1.0, 1.0};
+  const LmResult result =
+      levenberg_marquardt(fn, std::vector<double>{0.0, 0.0}, 2, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.cost, 0.0, 1e-15);
+}
+
+TEST(Lm, IterationCapRespected) {
+  const ResidualFn fn = [](std::span<const double> p, std::span<double> r) {
+    r[0] = std::exp(p[0]) - 1e6;  // far minimum
+  };
+  LmOptions options;
+  options.parameter_scales = {1.0};
+  options.max_iterations = 3;
+  const LmResult result =
+      levenberg_marquardt(fn, std::vector<double>{0.0}, 1, options);
+  EXPECT_LE(result.iterations, 3u);
+}
+
+TEST(Lm, MissingScalesThrows) {
+  const ResidualFn fn = [](std::span<const double>, std::span<double> r) {
+    r[0] = 0.0;
+  };
+  LmOptions options;  // parameter_scales left empty
+  EXPECT_THROW(
+      levenberg_marquardt(fn, std::vector<double>{1.0}, 1, options),
+      InvalidArgument);
+}
+
+TEST(Lm, NonPositiveScaleThrows) {
+  const ResidualFn fn = [](std::span<const double>, std::span<double> r) {
+    r[0] = 0.0;
+  };
+  LmOptions options;
+  options.parameter_scales = {0.0};
+  EXPECT_THROW(
+      levenberg_marquardt(fn, std::vector<double>{1.0}, 1, options),
+      InvalidArgument);
+}
+
+TEST(Lm, FewerResidualsThanParamsThrows) {
+  const ResidualFn fn = [](std::span<const double>, std::span<double> r) {
+    r[0] = 0.0;
+  };
+  LmOptions options;
+  options.parameter_scales = {1.0, 1.0};
+  EXPECT_THROW(
+      levenberg_marquardt(fn, std::vector<double>{1.0, 2.0}, 1, options),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

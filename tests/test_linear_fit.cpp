@@ -1,0 +1,159 @@
+#include "rfp/dsp/linear_fit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(FitLine, ExactLineRecovered) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(2.5 * static_cast<double>(i) - 1.25);
+  }
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.25, 1e-12);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 20u);
+}
+
+TEST(FitLine, TwoPointsExact) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<double> y{1.0, 3.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+}
+
+TEST(FitLine, FrequencyScaleAbscissae) {
+  // The RF-Prism regime: x ~ 9e8 with tiny span, slope ~ 1e-7. Centered
+  // normal equations must not lose precision.
+  const double slope = 9.4e-8;
+  const double intercept = 3.1;
+  std::vector<double> x, y;
+  for (std::size_t i = 0; i < kNumChannels; ++i) {
+    x.push_back(channel_frequency(i));
+    y.push_back(slope * x.back() + intercept);
+  }
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope / slope, 1.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, intercept, 1e-5);
+}
+
+TEST(FitLine, GaussianNoiseStatistics) {
+  // Slope estimate should match the OLS variance formula.
+  Rng rng(51);
+  std::vector<double> slopes;
+  std::vector<double> x;
+  for (int i = 0; i < 50; ++i) x.push_back(static_cast<double>(i));
+  const double sigma = 0.5;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<double> y;
+    for (double xi : x) y.push_back(1.0 + 0.2 * xi + rng.gaussian(0.0, sigma));
+    slopes.push_back(fit_line(x, y).slope);
+  }
+  double mean_slope = 0.0;
+  for (double s : slopes) mean_slope += s;
+  mean_slope /= static_cast<double>(slopes.size());
+  EXPECT_NEAR(mean_slope, 0.2, 0.005);
+
+  // Theoretical slope stderr: sigma / sqrt(Sxx).
+  double sxx = 0.0;
+  for (double xi : x) sxx += (xi - 24.5) * (xi - 24.5);
+  const double expected = sigma / std::sqrt(sxx);
+  double var = 0.0;
+  for (double s : slopes) var += (s - mean_slope) * (s - mean_slope);
+  const double observed = std::sqrt(var / static_cast<double>(slopes.size()));
+  EXPECT_NEAR(observed / expected, 1.0, 0.2);
+}
+
+TEST(FitLine, ReportedStderrMatchesTheory) {
+  Rng rng(52);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(3.0 * x.back() + rng.gaussian(0.0, 1.0));
+  }
+  const LineFit fit = fit_line(x, y);
+  double sxx = 0.0;
+  for (double xi : x) sxx += (xi - fit.x_mean) * (xi - fit.x_mean);
+  EXPECT_NEAR(fit.slope_stderr, 1.0 / std::sqrt(sxx), 0.3 / std::sqrt(sxx));
+  EXPECT_NEAR(fit.mid_stderr, 1.0 / std::sqrt(200.0), 0.03);
+}
+
+TEST(FitLine, MidpointValueConsistent) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.1, 5.9, 8.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.y_mean, fit.at(fit.x_mean), 1e-12);
+}
+
+TEST(FitLine, SizeMismatchThrows) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(fit_line(x, y), InvalidArgument);
+}
+
+TEST(FitLine, TooFewPointsThrows) {
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(fit_line(x, y), InvalidArgument);
+}
+
+TEST(FitLine, DegenerateAbscissaThrows) {
+  const std::vector<double> x{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(x, y), NumericalError);
+}
+
+TEST(FitLineWeighted, ZeroWeightIgnoresPoint) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 10.0};
+  const std::vector<double> y{0.0, 1.0, 2.0, 100.0};  // last is an outlier
+  const std::vector<double> w{1.0, 1.0, 1.0, 0.0};
+  const LineFit fit = fit_line_weighted(x, y, w);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-12);
+}
+
+TEST(FitLineWeighted, MatchesUnweightedForUniformWeights) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 0.5, 2.5, 3.0};
+  const std::vector<double> w{2.0, 2.0, 2.0, 2.0};
+  const LineFit a = fit_line(x, y);
+  const LineFit b = fit_line_weighted(x, y, w);
+  EXPECT_NEAR(a.slope, b.slope, 1e-12);
+  EXPECT_NEAR(a.intercept, b.intercept, 1e-12);
+}
+
+TEST(FitLineWeighted, NegativeWeightThrows) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<double> y{0.0, 1.0};
+  const std::vector<double> w{1.0, -1.0};
+  EXPECT_THROW(fit_line_weighted(x, y, w), InvalidArgument);
+}
+
+TEST(Residuals, SumToZeroForOlsFit) {
+  Rng rng(53);
+  std::vector<double> x, y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(rng.gaussian(0.0, 1.0));
+  }
+  const LineFit fit = fit_line(x, y);
+  const std::vector<double> r = residuals(fit, x, y);
+  double sum = 0.0;
+  for (double ri : r) sum += ri;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,50 @@
+#include "rfp/common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfp {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, StreamsDoNotCrashAtAnyLevel) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    log_debug() << "debug " << 1;
+    log_info() << "info " << 2.5;
+    log_warn() << "warn " << 'x';
+    log_error() << "error " << std::string("s");
+  }
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_error() << "should not appear";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, ThresholdFilters) {
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  log_info() << "hidden";
+  log_warn() << "visible";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+  EXPECT_NE(out.find("[rfp:WARN]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfp

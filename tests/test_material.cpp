@@ -1,0 +1,137 @@
+#include "rfp/rfsim/material.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(MaterialDB, StandardContainsPaperMaterials) {
+  const MaterialDB db = MaterialDB::standard();
+  for (const char* name : {"none", "wood", "plastic", "glass", "metal",
+                           "water", "milk", "oil", "alcohol"}) {
+    EXPECT_TRUE(db.contains(name)) << name;
+  }
+  EXPECT_EQ(db.size(), 9u);
+}
+
+TEST(MaterialDB, NoneIsNeutral) {
+  const Material& none = MaterialDB::standard().get("none");
+  EXPECT_DOUBLE_EQ(none.kt, 0.0);
+  EXPECT_DOUBLE_EQ(none.bt, 0.0);
+  EXPECT_DOUBLE_EQ(none.signature(915e6), 0.0);
+  EXPECT_FALSE(none.conductive);
+}
+
+TEST(MaterialDB, ConductivityAssignments) {
+  const MaterialDB db = MaterialDB::standard();
+  EXPECT_TRUE(db.get("metal").conductive);
+  EXPECT_TRUE(db.get("water").conductive);
+  EXPECT_TRUE(db.get("milk").conductive);
+  EXPECT_TRUE(db.get("alcohol").conductive);
+  EXPECT_FALSE(db.get("wood").conductive);
+  EXPECT_FALSE(db.get("oil").conductive);
+}
+
+TEST(MaterialDB, DistinctKtPerMaterial) {
+  const MaterialDB db = MaterialDB::standard();
+  const auto names = db.names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(db.get(names[i]).kt, db.get(names[j]).kt)
+          << names[i] << " vs " << names[j];
+    }
+  }
+}
+
+TEST(MaterialDB, WaterAndMilkAreNeighbours) {
+  // The paper's confusion matrix hinges on water ~ milk similarity.
+  const MaterialDB db = MaterialDB::standard();
+  const double gap = std::abs(db.get("water").kt - db.get("milk").kt);
+  for (const auto& name : db.names()) {
+    if (name == "water" || name == "milk" || name == "none") continue;
+    EXPECT_GT(std::abs(db.get("water").kt - db.get(name).kt), gap) << name;
+  }
+}
+
+TEST(MaterialDB, UnknownThrowsAndFindReturnsNullopt) {
+  const MaterialDB db = MaterialDB::standard();
+  EXPECT_THROW(db.get("plutonium"), NotFound);
+  EXPECT_FALSE(db.find("plutonium").has_value());
+  EXPECT_TRUE(db.find("wood").has_value());
+}
+
+TEST(MaterialDB, AddReplacesByName) {
+  MaterialDB db;
+  db.add({.name = "x", .kt = 1.0});
+  db.add({.name = "x", .kt = 2.0});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(db.get("x").kt, 2.0);
+}
+
+TEST(MaterialDB, EmptyNameThrows) {
+  MaterialDB db;
+  EXPECT_THROW(db.add(Material{}), InvalidArgument);
+}
+
+TEST(MaterialSignature, DeterministicAndBounded) {
+  const Material& glass = MaterialDB::standard().get("glass");
+  for (std::size_t i = 0; i < kNumChannels; ++i) {
+    const double f = channel_frequency(i);
+    const double a = glass.signature(f);
+    const double b = glass.signature(f);
+    ASSERT_DOUBLE_EQ(a, b);
+    ASSERT_LE(std::abs(a), glass.ripple_amplitude + 1e-12);
+  }
+}
+
+TEST(MaterialSignature, DiffersAcrossMaterials) {
+  const MaterialDB db = MaterialDB::standard();
+  const double f = 915e6;
+  EXPECT_NE(db.get("glass").signature(f), db.get("wood").signature(f));
+  EXPECT_NE(db.get("water").signature(f), db.get("milk").signature(f));
+}
+
+TEST(MaterialSignature, SlopeLeakageIsSmall) {
+  // The signature must not masquerade as propagation distance: its OLS
+  // slope across the band must stay well below 1 cm equivalent.
+  const MaterialDB db = MaterialDB::standard();
+  for (const auto& name : db.names()) {
+    const Material& m = db.get(name);
+    double sxy = 0.0, sxx = 0.0;
+    const double f_mean = kMidBandHz;
+    double y_mean = 0.0;
+    for (std::size_t i = 0; i < kNumChannels; ++i) {
+      y_mean += m.signature(channel_frequency(i));
+    }
+    y_mean /= static_cast<double>(kNumChannels);
+    for (std::size_t i = 0; i < kNumChannels; ++i) {
+      const double fx = channel_frequency(i) - f_mean;
+      sxx += fx * fx;
+      sxy += fx * (m.signature(channel_frequency(i)) - y_mean);
+    }
+    const double slope = sxy / sxx;
+    const double equivalent_distance = slope / kSlopePerMeter;
+    // The leakage is common-mode across antennas (absorbed into kt), so
+    // it never biases position; this bound just keeps it from distorting
+    // the kt feature by more than ~material spacing.
+    EXPECT_LT(std::abs(equivalent_distance), 0.05) << name;
+  }
+}
+
+TEST(MaterialDB, NamesInInsertionOrder) {
+  MaterialDB db;
+  db.add({.name = "b"});
+  db.add({.name = "a"});
+  const auto names = db.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_EQ(names[1], "a");
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,90 @@
+#include "rfp/ml/metrics.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+#include "rfp/ml/decision_tree.hpp"
+#include "rfp/ml/knn.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm({"a", "b"});
+  cm.record(0, 0);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(1), 1.0);
+}
+
+TEST(ConfusionMatrix, RowNormalization) {
+  ConfusionMatrix cm({"a", "b"});
+  cm.record(0, 0);
+  cm.record(0, 1);
+  EXPECT_DOUBLE_EQ(cm.normalized(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.normalized(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.normalized(1, 0), 0.0);  // empty row
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero) {
+  ConfusionMatrix cm({"a"});
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(0), 0.0);
+}
+
+TEST(ConfusionMatrix, OutOfRangeThrows) {
+  ConfusionMatrix cm({"a", "b"});
+  EXPECT_THROW(cm.record(2, 0), InvalidArgument);
+  EXPECT_THROW(cm.record(0, -1), InvalidArgument);
+  EXPECT_THROW(cm.count(0, 5), InvalidArgument);
+}
+
+TEST(ConfusionMatrix, NoClassesThrows) {
+  EXPECT_THROW(ConfusionMatrix(std::vector<std::string>{}), InvalidArgument);
+}
+
+TEST(ConfusionMatrix, PrintContainsNamesAndValues) {
+  ConfusionMatrix cm({"wood", "metal"});
+  cm.record(0, 0);
+  cm.record(1, 0);
+  std::ostringstream os;
+  cm.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("wood"), std::string::npos);
+  EXPECT_NE(out.find("metal"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+}
+
+TEST(Evaluate, RunsFullTrainTestCycle) {
+  Dataset train({"a", "b"});
+  Dataset test({"a", "b"});
+  for (int i = 0; i < 40; ++i) {
+    const int cls = i % 2;
+    const std::vector<double> x{cls * 10.0 + (i % 5) * 0.1};
+    (i < 30 ? train : test).add(x, cls);
+  }
+  DecisionTreeClassifier tree;
+  const ConfusionMatrix cm = evaluate(tree, train, test);
+  EXPECT_EQ(cm.total(), test.size());
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(tree, train, test), 1.0);
+}
+
+TEST(Evaluate, EmptySetsThrow) {
+  KnnClassifier knn;
+  Dataset d({"a"});
+  d.add({1.0}, 0);
+  EXPECT_THROW(evaluate(knn, Dataset{}, d), InvalidArgument);
+  EXPECT_THROW(evaluate(knn, d, Dataset{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

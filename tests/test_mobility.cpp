@@ -1,0 +1,81 @@
+#include "rfp/rfsim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/geom/frame.hpp"
+
+namespace rfp {
+namespace {
+
+TagState base_state() {
+  return TagState{Vec3{1.0, 1.0, 0.0}, planar_polarization(0.3), "wood"};
+}
+
+TEST(Mobility, StaticTagNeverMoves) {
+  const MobilityModel m = MobilityModel::static_tag(base_state());
+  EXPECT_TRUE(m.is_static());
+  for (double t : {0.0, 1.0, 5.0, 100.0}) {
+    const TagState s = m.at(t);
+    EXPECT_EQ(s.position, base_state().position);
+    EXPECT_EQ(s.polarization, base_state().polarization);
+    EXPECT_EQ(s.material, "wood");
+  }
+}
+
+TEST(Mobility, LinearMotionIntegrates) {
+  const MobilityModel m =
+      MobilityModel::linear_motion(base_state(), Vec3{0.1, -0.2, 0.0});
+  const TagState s = m.at(2.0);
+  EXPECT_NEAR(s.position.x, 1.2, 1e-12);
+  EXPECT_NEAR(s.position.y, 0.6, 1e-12);
+  EXPECT_FALSE(m.is_static());
+  // Polarization untouched by translation.
+  EXPECT_EQ(s.polarization, base_state().polarization);
+}
+
+TEST(Mobility, LinearMotionAtZeroIsStart) {
+  const MobilityModel m =
+      MobilityModel::linear_motion(base_state(), Vec3{1.0, 1.0, 1.0});
+  EXPECT_EQ(m.at(0.0).position, base_state().position);
+}
+
+TEST(Mobility, PlanarRotationAdvancesAngle) {
+  const MobilityModel m =
+      MobilityModel::planar_rotation(base_state(), deg2rad(10.0));
+  const TagState s = m.at(3.0);
+  const double expected = 0.3 + deg2rad(30.0);
+  EXPECT_NEAR(planar_angle_error(
+                  std::atan2(s.polarization.y, s.polarization.x), expected),
+              0.0, 1e-9);
+  // Position untouched by rotation.
+  EXPECT_EQ(s.position, base_state().position);
+}
+
+TEST(Mobility, RotationPreservesUnitNorm) {
+  const MobilityModel m = MobilityModel::planar_rotation(base_state(), 2.0);
+  for (double t = 0.0; t < 10.0; t += 0.7) {
+    EXPECT_NEAR(m.at(t).polarization.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Mobility, WindowedMotionClipsToWindow) {
+  const MobilityModel m = MobilityModel::windowed_motion(
+      base_state(), Vec3{0.1, 0.0, 0.0}, 2.0, 4.0);
+  // Before the window: no displacement.
+  EXPECT_EQ(m.at(1.0).position, base_state().position);
+  // Inside: proportional displacement.
+  EXPECT_NEAR(m.at(3.0).position.x, 1.1, 1e-12);
+  // After: frozen at the window-end displacement.
+  EXPECT_NEAR(m.at(10.0).position.x, 1.2, 1e-12);
+}
+
+TEST(Mobility, MaterialCarriedThrough) {
+  const MobilityModel m =
+      MobilityModel::linear_motion(base_state(), Vec3{1, 0, 0});
+  EXPECT_EQ(m.at(5.0).material, "wood");
+}
+
+}  // namespace
+}  // namespace rfp

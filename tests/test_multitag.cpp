@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+#include "rfp/exp/testbed.hpp"
+#include "rfp/rfsim/reader.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(MultiTag, OneTraceDividesReadBudget) {
+  const Scene scene = make_scene_2d(401);
+  ReaderConfig reader;
+  reader.reads_per_antenna_per_channel = 24;
+  const ChannelConfig channel = ChannelConfig::clean();
+
+  std::vector<TagInstance> tags;
+  for (int i = 0; i < 4; ++i) {
+    tags.push_back(
+        {make_tag_hardware("t" + std::to_string(i), 401),
+         MobilityModel::static_tag(TagState{
+             Vec3{0.4 + 0.3 * i, 1.0, 0.0}, planar_polarization(0.2 * i),
+             "none"})});
+  }
+  Rng rng(1);
+  const auto rounds =
+      collect_round_multi(scene, reader, channel, tags, 100, rng);
+  ASSERT_EQ(rounds.size(), 4u);
+  for (const auto& round : rounds) {
+    EXPECT_EQ(round.n_antennas, 3u);
+    for (const auto& dwell : round.dwells) {
+      EXPECT_EQ(dwell.phases.size(), 6u);  // 24 / 4 tags
+    }
+  }
+}
+
+TEST(MultiTag, AtLeastOneReadPerTagEvenWhenCrowded) {
+  const Scene scene = make_scene_2d(402);
+  ReaderConfig reader;
+  reader.reads_per_antenna_per_channel = 4;
+  std::vector<TagInstance> tags;
+  for (int i = 0; i < 9; ++i) {
+    tags.push_back(
+        {make_tag_hardware("t" + std::to_string(i), 402),
+         MobilityModel::static_tag(TagState{
+             Vec3{0.3 + 0.15 * i, 1.2, 0.0}, planar_polarization(0.0),
+             "none"})});
+  }
+  Rng rng(2);
+  const auto rounds = collect_round_multi(scene, reader,
+                                          ChannelConfig::clean(), tags, 101,
+                                          rng);
+  for (const auto& round : rounds) {
+    for (const auto& dwell : round.dwells) {
+      EXPECT_GE(dwell.phases.size(), 1u);
+    }
+  }
+}
+
+TEST(MultiTag, SharedEnvironmentDistinctTags) {
+  // All tags share the trial's hop order; their phases differ by their
+  // own geometry/hardware.
+  const Scene scene = make_scene_2d(403);
+  ReaderConfig reader;
+  std::vector<TagInstance> tags{
+      {make_tag_hardware("a", 403),
+       MobilityModel::static_tag(TagState{Vec3{0.5, 0.5, 0.0},
+                                          planar_polarization(0.0), "none"})},
+      {make_tag_hardware("b", 403),
+       MobilityModel::static_tag(TagState{Vec3{1.5, 1.5, 0.0},
+                                          planar_polarization(1.0), "none"})},
+  };
+  Rng rng(3);
+  const auto rounds = collect_round_multi(scene, reader,
+                                          ChannelConfig::clean(), tags, 102,
+                                          rng);
+  // Same channel schedule...
+  for (std::size_t d = 0; d < rounds[0].dwells.size(); ++d) {
+    ASSERT_EQ(rounds[0].dwells[d].channel, rounds[1].dwells[d].channel);
+  }
+  // ...different phases.
+  EXPECT_NE(rounds[0].dwells[0].phases[0], rounds[1].dwells[0].phases[0]);
+}
+
+TEST(MultiTag, EachTagSensedAtItsOwnPose) {
+  const Testbed bed{};
+  const Scene& scene = bed.scene();
+
+  std::vector<Vec2> truths{{0.5, 0.6}, {1.0, 1.4}, {1.6, 0.9}};
+  std::vector<TagInstance> tags;
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    tags.push_back(
+        {bed.tag(),  // same hardware identity: its calibration applies
+         MobilityModel::static_tag(TagState{Vec3{truths[i], 0.0},
+                                            planar_polarization(0.3),
+                                            "plastic"})});
+  }
+  Rng rng(4);
+  const auto rounds = collect_round_multi(
+      scene, bed.config().reader, bed.config().channel, tags, 103, rng);
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    const SensingResult r = bed.prism().sense(rounds[i], bed.tag_id());
+    ASSERT_TRUE(r.valid) << i;
+    EXPECT_LT(distance(r.position, Vec3{truths[i], 0.0}), 0.3) << i;
+  }
+}
+
+TEST(MultiTag, EmptyPopulationThrows) {
+  const Scene scene = make_scene_2d(404);
+  Rng rng(5);
+  EXPECT_THROW(collect_round_multi(scene, ReaderConfig{},
+                                   ChannelConfig::clean(), {}, 1, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,146 @@
+#include "rfp/core/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+#include "support/core_test_util.hpp"
+
+namespace rfp {
+namespace {
+
+using testutil::noiseless_channel;
+using testutil::noiseless_reader;
+
+class PreprocessTest : public ::testing::Test {
+ protected:
+  PreprocessTest()
+      : scene_(make_scene_2d(41)),
+        tag_(make_tag_hardware("t", 41)),
+        state_{Vec3{0.9, 1.2, 0.0}, planar_polarization(0.5), "none"} {}
+
+  Scene scene_;
+  TagHardware tag_;
+  TagState state_;
+};
+
+TEST_F(PreprocessTest, OneTracePerAntennaAllChannels) {
+  Rng rng(1);
+  const RoundTrace round = collect_round(scene_, noiseless_reader(),
+                                         noiseless_channel(), tag_, state_,
+                                         10, rng);
+  const auto traces = preprocess_round(round);
+  ASSERT_EQ(traces.size(), 3u);
+  for (const auto& t : traces) {
+    EXPECT_EQ(t.trace.frequency_hz.size(), kNumChannels);
+    EXPECT_EQ(t.wrapped_phase.size(), kNumChannels);
+    EXPECT_EQ(t.mean_rssi_dbm.size(), kNumChannels);
+    EXPECT_EQ(t.phase_spread.size(), kNumChannels);
+  }
+}
+
+TEST_F(PreprocessTest, FrequenciesSortedAscending) {
+  Rng rng(2);
+  const RoundTrace round = collect_round(scene_, noiseless_reader(),
+                                         noiseless_channel(), tag_, state_,
+                                         11, rng);
+  for (const auto& t : preprocess_round(round)) {
+    for (std::size_t i = 1; i < t.trace.frequency_hz.size(); ++i) {
+      ASSERT_GT(t.trace.frequency_hz[i], t.trace.frequency_hz[i - 1]);
+    }
+  }
+}
+
+TEST_F(PreprocessTest, WrappedPhasesMatchChannelModel) {
+  Rng rng(3);
+  const RoundTrace round = collect_round(scene_, noiseless_reader(),
+                                         noiseless_channel(), tag_, state_,
+                                         12, rng);
+  const ChannelModel model(scene_, noiseless_channel(), 12);
+  for (const auto& t : preprocess_round(round)) {
+    for (std::size_t i = 0; i < t.trace.frequency_hz.size(); ++i) {
+      const double expected = wrap_to_2pi(model.reported_phase(
+          t.antenna, state_, tag_, t.trace.frequency_hz[i]));
+      ASSERT_NEAR(std::abs(ang_diff(t.wrapped_phase[i], expected)), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(PreprocessTest, PiJumpsRemovedByDwellAggregation) {
+  ReaderConfig reader = noiseless_reader();
+  reader.pi_jump_prob = 0.15;
+  Rng rng(4);
+  const RoundTrace round = collect_round(scene_, reader, noiseless_channel(),
+                                         tag_, state_, 13, rng);
+  const ChannelModel model(scene_, noiseless_channel(), 13);
+  for (const auto& t : preprocess_round(round)) {
+    for (std::size_t i = 0; i < t.trace.frequency_hz.size(); ++i) {
+      const double expected = wrap_to_2pi(model.reported_phase(
+          t.antenna, state_, tag_, t.trace.frequency_hz[i]));
+      // Each dwell's majority vote restores the base phase.
+      ASSERT_NEAR(std::abs(ang_diff(t.wrapped_phase[i], expected)), 0.0, 0.01)
+          << "antenna " << t.antenna << " channel " << i;
+    }
+  }
+}
+
+TEST_F(PreprocessTest, SpreadReflectsNoise) {
+  ReaderConfig noisy = noiseless_reader();
+  noisy.read_phase_noise = 0.2;
+  Rng rng(5);
+  const RoundTrace quiet_round = collect_round(
+      scene_, noiseless_reader(), noiseless_channel(), tag_, state_, 14, rng);
+  const RoundTrace noisy_round = collect_round(
+      scene_, noisy, noiseless_channel(), tag_, state_, 14, rng);
+  const auto quiet = preprocess_round(quiet_round);
+  const auto loud = preprocess_round(noisy_round);
+  double quiet_spread = 0.0, loud_spread = 0.0;
+  for (std::size_t a = 0; a < quiet.size(); ++a) {
+    for (std::size_t i = 0; i < quiet[a].phase_spread.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(quiet[a].phase_spread[i]));
+      ASSERT_TRUE(std::isfinite(loud[a].phase_spread[i]));
+      quiet_spread += quiet[a].phase_spread[i];
+      loud_spread += loud[a].phase_spread[i];
+    }
+  }
+  EXPECT_GT(loud_spread, quiet_spread + 1.0);
+}
+
+TEST_F(PreprocessTest, MeanRssiPlausible) {
+  Rng rng(6);
+  const RoundTrace round = collect_round(scene_, noiseless_reader(),
+                                         noiseless_channel(), tag_, state_,
+                                         15, rng);
+  for (const auto& t : preprocess_round(round)) {
+    const double rssi = trace_mean_rssi(t);
+    EXPECT_LT(rssi, -20.0);
+    EXPECT_GT(rssi, -90.0);
+  }
+}
+
+TEST_F(PreprocessTest, EmptyRoundThrows) {
+  RoundTrace empty;
+  EXPECT_THROW(preprocess_round(empty), InvalidArgument);
+}
+
+TEST_F(PreprocessTest, AntennaWithoutDwellsYieldsEmptyTrace) {
+  Rng rng(7);
+  RoundTrace round = collect_round(scene_, noiseless_reader(),
+                                   noiseless_channel(), tag_, state_, 16, rng);
+  // Drop all antenna-2 dwells (e.g. port failure).
+  std::erase_if(round.dwells,
+                [](const Dwell& d) { return d.antenna == 2; });
+  const auto traces = preprocess_round(round);
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_TRUE(traces[2].trace.frequency_hz.empty());
+  EXPECT_EQ(traces[0].trace.frequency_hz.size(), kNumChannels);
+}
+
+TEST_F(PreprocessTest, TraceMeanRssiEmptyThrows) {
+  AntennaTrace empty;
+  EXPECT_THROW(trace_mean_rssi(empty), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

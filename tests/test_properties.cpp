@@ -1,0 +1,202 @@
+/// Property tests of the disentangling mathematics: the algebraic
+/// invariances that make RF-Prism work, checked across parameter sweeps.
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/core/disentangle.hpp"
+#include "support/core_test_util.hpp"
+
+namespace rfp {
+namespace {
+
+using testutil::exact_geometry;
+
+std::vector<AntennaLine> lines_for(const DeploymentGeometry& geometry,
+                                   Vec3 position, Vec3 w, double kt,
+                                   double bt) {
+  std::vector<AntennaLine> lines;
+  for (std::size_t i = 0; i < geometry.n_antennas(); ++i) {
+    AntennaLine line;
+    line.antenna = i;
+    const double d = distance(geometry.antenna_positions[i], position);
+    line.fit.slope = kSlopePerMeter * d + kt;
+    line.fit.intercept = wrap_to_2pi(
+        polarization_phase_toward(geometry.antenna_frames[i],
+                                  geometry.antenna_positions[i], position,
+                                  w) +
+        bt);
+    line.fit.n = kNumChannels;
+    line.n_channels = kNumChannels;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+class DisentangleProperty : public ::testing::TestWithParam<int> {
+ protected:
+  DisentangleProperty()
+      : scene_(make_scene_2d(601)), geometry_(exact_geometry(scene_)) {}
+
+  Scene scene_;
+  DeploymentGeometry geometry_;
+  DisentangleConfig config_;
+};
+
+TEST_P(DisentangleProperty, PositionInvariantToCommonSlopeShift) {
+  // THE central identity (paper Eq. 7): kt is common-mode across antennas,
+  // so adding any constant to every slope must leave the position fixed
+  // and land entirely in kt. This is why localization is calibration-free.
+  Rng rng(700 + GetParam());
+  const Vec3 truth{rng.uniform(0.3, 1.7), rng.uniform(0.3, 1.7), 0.0};
+  auto base = lines_for(geometry_, truth, planar_polarization(0.5), 0.0, 0.2);
+  const PositionSolve reference = solve_position(geometry_, base, config_);
+
+  const double shift = rng.uniform(-1e-8, 2e-8);
+  for (auto& line : base) line.fit.slope += shift;
+  const PositionSolve shifted = solve_position(geometry_, base, config_);
+
+  EXPECT_LT(distance(reference.position, shifted.position), 1e-3);
+  EXPECT_NEAR(shifted.kt - reference.kt, shift, 1e-12);
+}
+
+TEST_P(DisentangleProperty, OrientationInvariantToCommonInterceptShift) {
+  // Mirror identity for the intercept family: a constant added to every
+  // b_i is absorbed by bt, leaving alpha fixed — material never distorts
+  // orientation.
+  Rng rng(800 + GetParam());
+  const Vec3 truth{rng.uniform(0.3, 1.7), rng.uniform(0.3, 1.7), 0.0};
+  const double alpha = rng.uniform(0.0, kPi);
+  auto base =
+      lines_for(geometry_, truth, planar_polarization(alpha), 1e-9, 0.4);
+  const OrientationSolve reference =
+      solve_orientation(geometry_, base, truth, config_);
+
+  const double shift = rng.uniform(0.0, kTwoPi);
+  for (auto& line : base) {
+    line.fit.intercept = wrap_to_2pi(line.fit.intercept + shift);
+  }
+  const OrientationSolve shifted =
+      solve_orientation(geometry_, base, truth, config_);
+
+  EXPECT_LT(rad2deg(planar_angle_error(shifted.alpha, reference.alpha)), 0.5);
+  EXPECT_NEAR(std::abs(ang_diff(shifted.bt, reference.bt + shift)), 0.0,
+              0.01);
+}
+
+TEST_P(DisentangleProperty, RoundTripAcrossRandomStates) {
+  // Generate random (position, alpha, kt, bt), build exact lines, solve,
+  // and demand the full 5-tuple back.
+  Rng rng(900 + GetParam());
+  const Vec3 truth{rng.uniform(0.3, 1.7), rng.uniform(0.3, 1.7), 0.0};
+  const double alpha = rng.uniform(0.0, kPi);
+  const double kt = rng.uniform(-2e-9, 1.4e-8);
+  const double bt = rng.uniform(0.0, kTwoPi);
+  const auto lines =
+      lines_for(geometry_, truth, planar_polarization(alpha), kt, bt);
+
+  const PositionSolve pos = solve_position(geometry_, lines, config_);
+  EXPECT_LT(distance(pos.position, truth), 5e-3);
+  EXPECT_NEAR(pos.kt, kt, 1e-11);
+
+  const OrientationSolve orient =
+      solve_orientation(geometry_, lines, pos.position, config_);
+  EXPECT_LT(rad2deg(planar_angle_error(orient.alpha, alpha)), 1.0);
+  EXPECT_NEAR(std::abs(ang_diff(orient.bt, bt)), 0.0, 0.05);
+}
+
+TEST_P(DisentangleProperty, InterceptsCarryNoPositionInformation) {
+  // Corrupting every intercept arbitrarily must not move the position
+  // estimate at all: the two equation families are fully decoupled.
+  Rng rng(1000 + GetParam());
+  const Vec3 truth{rng.uniform(0.3, 1.7), rng.uniform(0.3, 1.7), 0.0};
+  auto lines =
+      lines_for(geometry_, truth, planar_polarization(1.0), 2e-9, 1.5);
+  const PositionSolve reference = solve_position(geometry_, lines, config_);
+  for (auto& line : lines) {
+    line.fit.intercept = rng.uniform(0.0, kTwoPi);
+  }
+  const PositionSolve scrambled = solve_position(geometry_, lines, config_);
+  EXPECT_EQ(reference.position, scrambled.position);
+  EXPECT_EQ(reference.kt, scrambled.kt);
+}
+
+TEST_P(DisentangleProperty, SlopesCarryNoOrientationInformation) {
+  Rng rng(1100 + GetParam());
+  const Vec3 truth{rng.uniform(0.3, 1.7), rng.uniform(0.3, 1.7), 0.0};
+  const double alpha = rng.uniform(0.0, kPi);
+  auto lines =
+      lines_for(geometry_, truth, planar_polarization(alpha), 0.0, 0.7);
+  const OrientationSolve reference =
+      solve_orientation(geometry_, lines, truth, config_);
+  for (auto& line : lines) {
+    line.fit.slope += rng.uniform(-1e-8, 1e-8);
+  }
+  const OrientationSolve scrambled =
+      solve_orientation(geometry_, lines, truth, config_);
+  EXPECT_DOUBLE_EQ(reference.alpha, scrambled.alpha);
+  EXPECT_DOUBLE_EQ(reference.bt, scrambled.bt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DisentangleProperty, ::testing::Range(0, 8));
+
+// ---- Physics invariants of the simulator -------------------------------
+
+class PhysicsProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  PhysicsProperty() : scene_(make_scene_2d(602)), tag_(make_tag_hardware("t", 602)) {
+    channel_ = testutil::noiseless_channel();
+  }
+
+  Scene scene_;
+  TagHardware tag_;
+  ChannelConfig channel_;
+};
+
+TEST_P(PhysicsProperty, ReportedPhaseExactlyLinearInFrequency) {
+  const ChannelModel model(scene_, channel_, 9);
+  const TagState state{Vec3{0.8, 1.1, 0.0}, planar_polarization(0.7),
+                       GetParam()};
+  // Second differences vanish for a linear function. The material
+  // signature adds a bounded, known nonlinearity; compare against it.
+  const Material& m = scene_.materials.get(GetParam());
+  for (std::size_t k = 0; k + 2 < kNumChannels; k += 5) {
+    const double f0 = channel_frequency(k);
+    const double f1 = channel_frequency(k + 1);
+    const double f2 = channel_frequency(k + 2);
+    const double second_diff = model.reported_phase(0, state, tag_, f2) -
+                               2.0 * model.reported_phase(0, state, tag_, f1) +
+                               model.reported_phase(0, state, tag_, f0);
+    const double signature_second_diff = m.signature(f2) -
+                                         2.0 * m.signature(f1) +
+                                         m.signature(f0);
+    ASSERT_NEAR(second_diff, signature_second_diff, 1e-9);
+  }
+}
+
+TEST_P(PhysicsProperty, SlopeDecomposesExactly) {
+  const ChannelModel model(scene_, channel_, 10);
+  const TagState state{Vec3{1.3, 0.7, 0.0}, planar_polarization(0.0),
+                       GetParam()};
+  const Material& m = scene_.materials.get(GetParam());
+  const double f1 = channel_frequency(0);
+  const double f2 = channel_frequency(kNumChannels - 1);
+  const double d = distance(scene_.antennas[1].position, state.position);
+  const double slope = (model.reported_phase(1, state, tag_, f2) -
+                        model.reported_phase(1, state, tag_, f1)) /
+                       (f2 - f1);
+  const double expected =
+      kSlopePerMeter * d + tag_.kd + m.kt + scene_.antennas[1].kr;
+  // The signature contributes a small bounded residual slope.
+  EXPECT_NEAR(slope, expected, 3.0 * m.ripple_amplitude / (f2 - f1) + 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMaterials, PhysicsProperty,
+                         ::testing::ValuesIn(std::vector<std::string>{
+                             "none", "wood", "plastic", "glass", "metal",
+                             "water", "milk", "oil", "alcohol"}),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,198 @@
+#include "rfp/rfsim/reader.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+class ReaderTest : public ::testing::Test {
+ protected:
+  ReaderTest()
+      : scene_(make_scene_2d(31)),
+        tag_(make_tag_hardware("t", 31)),
+        state_{Vec3{1.0, 1.0, 0.0}, planar_polarization(0.0), "none"} {
+    channel_ = ChannelConfig::clean();
+  }
+
+  Scene scene_;
+  TagHardware tag_;
+  TagState state_;
+  ReaderConfig reader_;
+  ChannelConfig channel_;
+};
+
+TEST_F(ReaderTest, VisitsEveryChannelOnEveryAntenna) {
+  Rng rng(1);
+  const RoundTrace trace =
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng);
+  EXPECT_EQ(trace.n_antennas, 3u);
+  EXPECT_EQ(trace.dwells.size(), kNumChannels * 3u);
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const auto& dwell : trace.dwells) {
+    seen.insert({dwell.antenna, dwell.channel});
+    EXPECT_EQ(dwell.phases.size(), reader_.reads_per_antenna_per_channel);
+    EXPECT_EQ(dwell.rssi_dbm.size(), dwell.phases.size());
+  }
+  EXPECT_EQ(seen.size(), kNumChannels * 3u);
+}
+
+TEST_F(ReaderTest, PhasesAreWrapped) {
+  Rng rng(2);
+  const RoundTrace trace =
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng);
+  for (const auto& dwell : trace.dwells) {
+    for (double p : dwell.phases) {
+      ASSERT_GE(p, 0.0);
+      ASSERT_LT(p, kTwoPi);
+    }
+  }
+}
+
+TEST_F(ReaderTest, RoundDurationMatchesDwellTimes) {
+  Rng rng(3);
+  const RoundTrace trace =
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng);
+  // The paper's R420 figure: 50 channels x 200 ms = 10 s.
+  EXPECT_NEAR(trace.duration_s, 10.0, 1e-12);
+  for (const auto& dwell : trace.dwells) {
+    ASSERT_GE(dwell.start_time_s, 0.0);
+    ASSERT_LT(dwell.start_time_s, trace.duration_s);
+  }
+}
+
+TEST_F(ReaderTest, HopOrderRandomizedButDeterministicPerTrial) {
+  Rng rng1(4), rng2(4), rng3(4);
+  const RoundTrace a =
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng1);
+  const RoundTrace b =
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng2);
+  const RoundTrace c =
+      collect_round(scene_, reader_, channel_, tag_, state_, 101, rng3);
+  // Same trial seed -> same hop order.
+  for (std::size_t i = 0; i < a.dwells.size(); ++i) {
+    ASSERT_EQ(a.dwells[i].channel, b.dwells[i].channel);
+  }
+  // Different trial seed -> (almost surely) different order.
+  bool differs = false;
+  for (std::size_t i = 0; i < a.dwells.size(); ++i) {
+    if (a.dwells[i].channel != c.dwells[i].channel) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+  // Not simply ascending.
+  bool ascending = true;
+  for (std::size_t i = 3; i < a.dwells.size(); i += 3) {
+    if (a.dwells[i].channel < a.dwells[i - 3].channel) ascending = false;
+  }
+  EXPECT_FALSE(ascending);
+}
+
+TEST_F(ReaderTest, SequentialHopOrderWhenRequested) {
+  reader_.randomize_hop_order = false;
+  Rng rng(5);
+  const RoundTrace trace =
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng);
+  for (std::size_t i = trace.n_antennas; i < trace.dwells.size();
+       i += trace.n_antennas) {
+    ASSERT_EQ(trace.dwells[i].channel,
+              trace.dwells[i - trace.n_antennas].channel + 1);
+  }
+}
+
+TEST_F(ReaderTest, PiJumpsOccurAtConfiguredRate) {
+  reader_.pi_jump_prob = 0.25;
+  reader_.read_phase_noise = 0.0;
+  channel_.trial_ripple_amplitude = 0.0;
+  channel_.trial_offset_sigma = 0.0;
+  channel_.trial_range_jitter_m = 0.0;
+  channel_.channel_corruption_prob = 0.0;
+  Rng rng(6);
+  const RoundTrace trace =
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng);
+  // Within each dwell, reads are either the base phase or base + pi; count
+  // the minority fraction.
+  std::size_t jumps = 0, total = 0;
+  for (const auto& dwell : trace.dwells) {
+    for (double p : dwell.phases) {
+      // Compare against the first read modulo pi parity.
+      const double delta = std::abs(ang_diff(p, dwell.phases[0]));
+      ++total;
+      if (delta > kPi / 2.0) ++jumps;
+    }
+  }
+  const double rate = static_cast<double>(jumps) / total;
+  // First read itself may be jumped; the observable flip rate vs read 0 is
+  // p*(1-p)*2 = 0.375 for p = 0.25.
+  EXPECT_NEAR(rate, 0.375, 0.05);
+}
+
+TEST_F(ReaderTest, NoiseFreeReadsAreExact) {
+  reader_.pi_jump_prob = 0.0;
+  reader_.read_phase_noise = 0.0;
+  channel_ = ChannelConfig();
+  channel_.trial_ripple_amplitude = 0.0;
+  channel_.trial_offset_sigma = 0.0;
+  channel_.trial_range_jitter_m = 0.0;
+  channel_.channel_corruption_prob = 0.0;
+  Rng rng(7);
+  const RoundTrace trace =
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng);
+  const ChannelModel model(scene_, channel_, 100);
+  for (const auto& dwell : trace.dwells) {
+    const double expected = wrap_to_2pi(
+        model.reported_phase(dwell.antenna, state_, tag_, dwell.frequency_hz));
+    for (double p : dwell.phases) {
+      ASSERT_NEAR(std::abs(ang_diff(p, expected)), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(ReaderTest, MobilityChangesPhasesAcrossTheRound) {
+  reader_.pi_jump_prob = 0.0;
+  reader_.read_phase_noise = 0.0;
+  const MobilityModel moving =
+      MobilityModel::linear_motion(state_, Vec3{0.05, 0.0, 0.0});
+  Rng rng(8);
+  const RoundTrace trace =
+      collect_round(scene_, reader_, channel_, tag_, moving, 100, rng);
+  // The same channel visited at different times by different antennas is
+  // fine; instead compare first and last read within one dwell: the tag
+  // moves ~ 0.05 m/s * (dwell/antennas) which shifts phase measurably
+  // across the whole round. Check across two dwells of one antenna.
+  const Dwell* first = nullptr;
+  const Dwell* last = nullptr;
+  for (const auto& dwell : trace.dwells) {
+    if (dwell.antenna != 0) continue;
+    if (first == nullptr) first = &dwell;
+    last = &dwell;
+  }
+  ASSERT_NE(first, last);
+  EXPECT_GT(last->start_time_s - first->start_time_s, 5.0);
+}
+
+TEST_F(ReaderTest, ZeroReadsThrows) {
+  reader_.reads_per_antenna_per_channel = 0;
+  Rng rng(9);
+  EXPECT_THROW(
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng),
+      InvalidArgument);
+}
+
+TEST_F(ReaderTest, BadDwellThrows) {
+  reader_.dwell_s = 0.0;
+  Rng rng(10);
+  EXPECT_THROW(
+      collect_round(scene_, reader_, channel_, tag_, state_, 100, rng),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,191 @@
+#include "rfp/common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.5, 7.25);
+    ASSERT_GE(v, -3.5);
+    ASSERT_LT(v, 7.25);
+  }
+}
+
+TEST(Rng, UniformBadRangeThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(11);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScalesMeanAndStddev) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(5.0, 2.0);
+    sum += g;
+    sum2 += (g - 5.0) * (g - 5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.03);
+  EXPECT_NEAR(std::sqrt(sum2 / n), 2.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(16);
+  Rng child = parent.fork();
+  // Child and parent produce different streams.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleIsUniformish) {
+  // Position of element 0 after shuffling should be ~uniform.
+  std::vector<int> counts(5, 0);
+  Rng rng(18);
+  for (int trial = 0; trial < 10000; ++trial) {
+    std::vector<int> v{0, 1, 2, 3, 4};
+    rng.shuffle(v);
+    for (int p = 0; p < 5; ++p) {
+      if (v[p] == 0) ++counts[p];
+    }
+  }
+  for (int c : counts) EXPECT_NEAR(c, 2000, 200);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(19);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_indices(20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    ASSERT_EQ(unique.size(), 8u);
+    for (std::size_t idx : sample) ASSERT_LT(idx, 20u);
+  }
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(20);
+  const auto sample = rng.sample_indices(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesTooManyThrows) {
+  Rng rng(21);
+  EXPECT_THROW(rng.sample_indices(3, 4), InvalidArgument);
+}
+
+TEST(MixSeed, OrderSensitive) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+  EXPECT_NE(mix_seed(1, 2, 3), mix_seed(1, 3, 2));
+}
+
+TEST(MixSeed, Deterministic) {
+  EXPECT_EQ(mix_seed(42, 7, 9), mix_seed(42, 7, 9));
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t st = 99;
+  const std::uint64_t a = splitmix64(st);
+  const std::uint64_t b = splitmix64(st);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,144 @@
+#include "rfp/dsp/robust.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+struct NoisyLine {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+NoisyLine make_line(std::size_t n, double slope, double intercept,
+                    double noise_sigma, Rng& rng) {
+  NoisyLine line;
+  for (std::size_t i = 0; i < n; ++i) {
+    line.x.push_back(static_cast<double>(i));
+    line.y.push_back(slope * line.x.back() + intercept +
+                     rng.gaussian(0.0, noise_sigma));
+  }
+  return line;
+}
+
+TEST(RansacLine, RecoversLineUnderHeavyOutliers) {
+  Rng rng(71);
+  NoisyLine line = make_line(50, 0.7, -2.0, 0.02, rng);
+  // Corrupt 30% of points grossly.
+  for (std::size_t i = 0; i < line.y.size(); i += 3) {
+    line.y[i] += rng.uniform(3.0, 10.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+  }
+  const RobustLineFit fit = ransac_line(line.x, line.y, rng, 256, 0.1);
+  EXPECT_NEAR(fit.fit.slope, 0.7, 0.01);
+  EXPECT_NEAR(fit.fit.intercept, -2.0, 0.2);
+  EXPECT_GE(fit.n_inliers, 30u);
+}
+
+TEST(RansacLine, AllInliersOnCleanData) {
+  Rng rng(72);
+  const NoisyLine line = make_line(40, -0.3, 5.0, 0.01, rng);
+  const RobustLineFit fit = ransac_line(line.x, line.y, rng, 128, 0.1);
+  EXPECT_EQ(fit.n_inliers, 40u);
+}
+
+TEST(RansacLine, InlierMaskMatchesCount) {
+  Rng rng(73);
+  NoisyLine line = make_line(30, 1.0, 0.0, 0.05, rng);
+  line.y[5] += 50.0;
+  const RobustLineFit fit = ransac_line(line.x, line.y, rng, 128, 0.3);
+  std::size_t count = 0;
+  for (bool b : fit.inlier) count += b ? 1 : 0;
+  EXPECT_EQ(count, fit.n_inliers);
+  EXPECT_FALSE(fit.inlier[5]);
+}
+
+TEST(RansacLine, TooFewPointsThrows) {
+  Rng rng(74);
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(ransac_line(x, y, rng), InvalidArgument);
+}
+
+TEST(RansacLine, DegenerateAbscissaThrows) {
+  Rng rng(75);
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{0.0, 1.0, 2.0};
+  EXPECT_THROW(ransac_line(x, y, rng, 64, 0.1), NumericalError);
+}
+
+TEST(TrimmedLineFit, DropsSingleOutlier) {
+  Rng rng(76);
+  NoisyLine line = make_line(30, 2.0, 1.0, 0.02, rng);
+  line.y[12] += 5.0;
+  const RobustLineFit fit = trimmed_line_fit(line.x, line.y);
+  EXPECT_FALSE(fit.inlier[12]);
+  EXPECT_EQ(fit.n_inliers, 29u);
+  EXPECT_NEAR(fit.fit.slope, 2.0, 0.01);
+}
+
+TEST(TrimmedLineFit, KeepsEverythingOnCleanData) {
+  Rng rng(77);
+  const NoisyLine line = make_line(25, 0.5, 0.0, 0.03, rng);
+  const RobustLineFit fit = trimmed_line_fit(line.x, line.y);
+  EXPECT_EQ(fit.n_inliers, 25u);
+}
+
+TEST(TrimmedLineFit, RespectsMaxDropFraction) {
+  Rng rng(78);
+  NoisyLine line = make_line(20, 1.0, 0.0, 0.01, rng);
+  // Corrupt half the points; with max_drop_fraction 0.2 at most 4 drop.
+  for (std::size_t i = 0; i < 10; ++i) line.y[i] += 10.0 + static_cast<double>(i);
+  const RobustLineFit fit = trimmed_line_fit(line.x, line.y, 3.5, 0.2);
+  EXPECT_GE(fit.n_inliers, 16u);
+}
+
+TEST(TrimmedLineFit, BadParametersThrow) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<double> y{0.0, 1.0, 2.0};
+  EXPECT_THROW(trimmed_line_fit(x, y, -1.0), InvalidArgument);
+  EXPECT_THROW(trimmed_line_fit(x, y, 3.0, 1.0), InvalidArgument);
+}
+
+TEST(SnapToLine, MapsToNearestCongruentValue) {
+  LineFit fit;
+  fit.slope = 0.0;
+  fit.intercept = 10.0;
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  // Values off by multiples of the period.
+  const std::vector<double> y{10.0 - kTwoPi, 10.3, 10.0 + 2.0 * kTwoPi + 0.1};
+  const std::vector<double> snapped = snap_to_line(fit, x, y, kTwoPi);
+  EXPECT_NEAR(snapped[0], 10.0, 1e-12);
+  EXPECT_NEAR(snapped[1], 10.3, 1e-12);
+  EXPECT_NEAR(snapped[2], 10.1, 1e-12);
+}
+
+TEST(SnapToLine, ResidualsBoundedByHalfPeriod) {
+  Rng rng(79);
+  LineFit fit;
+  fit.slope = 0.4;
+  fit.intercept = -3.0;
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(rng.uniform(-50.0, 50.0));
+  }
+  const std::vector<double> snapped = snap_to_line(fit, x, y, 2.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_LE(std::abs(snapped[i] - fit.at(x[i])), 1.0 + 1e-9);
+  }
+}
+
+TEST(SnapToLine, BadPeriodThrows) {
+  LineFit fit;
+  const std::vector<double> x{0.0};
+  const std::vector<double> y{0.0};
+  EXPECT_THROW(snap_to_line(fit, x, y, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

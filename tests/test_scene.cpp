@@ -1,0 +1,193 @@
+#include "rfp/rfsim/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(Scene2d, ThreeAntennasWithPaperSpacing) {
+  const Scene scene = make_scene_2d(1);
+  ASSERT_EQ(scene.antennas.size(), 3u);
+  // 0.5 m spacing along x, all in front of the region.
+  EXPECT_NEAR(scene.antennas[1].position.x - scene.antennas[0].position.x,
+              0.5, 1e-12);
+  EXPECT_NEAR(scene.antennas[2].position.x - scene.antennas[1].position.x,
+              0.5, 1e-12);
+  for (const auto& a : scene.antennas) {
+    EXPECT_LT(a.position.y, scene.working_region.lo.y);
+    EXPECT_GT(a.position.z, 0.0);
+  }
+}
+
+TEST(Scene2d, HeightsAreDiverse) {
+  // Depression-angle diversity conditions the orientation solve.
+  const Scene scene = make_scene_2d(2);
+  std::set<double> heights;
+  for (const auto& a : scene.antennas) heights.insert(a.position.z);
+  EXPECT_EQ(heights.size(), scene.antennas.size());
+}
+
+TEST(Scene2d, FramesAreOrthonormalAndFaceRegion) {
+  const Scene scene = make_scene_2d(3);
+  for (const auto& a : scene.antennas) {
+    EXPECT_NEAR(a.frame.u.norm(), 1.0, 1e-9);
+    EXPECT_NEAR(a.frame.v.norm(), 1.0, 1e-9);
+    EXPECT_NEAR(a.frame.n.norm(), 1.0, 1e-9);
+    EXPECT_NEAR(a.frame.u.dot(a.frame.v), 0.0, 1e-9);
+    // Boresight points toward the region (positive y, downward z).
+    EXPECT_GT(a.frame.n.y, 0.0);
+    EXPECT_LT(a.frame.n.z, 0.0);
+  }
+}
+
+TEST(Scene2d, BoresightsDiffer) {
+  const Scene scene = make_scene_2d(4);
+  for (std::size_t i = 0; i < scene.antennas.size(); ++i) {
+    for (std::size_t j = i + 1; j < scene.antennas.size(); ++j) {
+      EXPECT_GT(
+          distance(scene.antennas[i].frame.n, scene.antennas[j].frame.n),
+          0.05);
+    }
+  }
+}
+
+TEST(Scene2d, DeterministicForSeed) {
+  const Scene a = make_scene_2d(7);
+  const Scene b = make_scene_2d(7);
+  ASSERT_EQ(a.antennas.size(), b.antennas.size());
+  for (std::size_t i = 0; i < a.antennas.size(); ++i) {
+    EXPECT_EQ(a.antennas[i].position, b.antennas[i].position);
+    EXPECT_DOUBLE_EQ(a.antennas[i].kr, b.antennas[i].kr);
+    EXPECT_DOUBLE_EQ(a.antennas[i].br, b.antennas[i].br);
+  }
+}
+
+TEST(Scene2d, HardwareErrorsDifferAcrossPorts) {
+  const Scene scene = make_scene_2d(8);
+  EXPECT_NE(scene.antennas[0].kr, scene.antennas[1].kr);
+  EXPECT_NE(scene.antennas[0].br, scene.antennas[2].br);
+}
+
+TEST(Scene3d, FourAntennas) {
+  const Scene scene = make_scene_3d(9);
+  EXPECT_EQ(scene.antennas.size(), 4u);
+  std::set<double> heights;
+  for (const auto& a : scene.antennas) heights.insert(a.position.z);
+  EXPECT_EQ(heights.size(), 4u);
+}
+
+TEST(MeasuredPositions, ErrorScalesWithSigma) {
+  const Scene scene = make_scene_2d(10);
+  const auto exact = scene.measured_antenna_positions(0.0, 5);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(distance(exact[i], scene.antennas[i].position), 0.0, 1e-12);
+  }
+  const auto coarse = scene.measured_antenna_positions(0.05, 5);
+  double total = 0.0;
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    total += distance(coarse[i], scene.antennas[i].position);
+  }
+  EXPECT_GT(total, 0.01);
+  EXPECT_LT(total / 3.0, 0.5);
+}
+
+TEST(MeasuredPositions, DeterministicPerSeed) {
+  const Scene scene = make_scene_2d(11);
+  const auto a = scene.measured_antenna_positions(0.02, 99);
+  const auto b = scene.measured_antenna_positions(0.02, 99);
+  const auto c = scene.measured_antenna_positions(0.02, 100);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(MeasuredFrames, StayOrthonormal) {
+  const Scene scene = make_scene_2d(12);
+  const auto frames = scene.measured_antenna_frames(0.05, 3);
+  ASSERT_EQ(frames.size(), scene.antennas.size());
+  for (const auto& f : frames) {
+    EXPECT_NEAR(f.u.norm(), 1.0, 1e-9);
+    EXPECT_NEAR(f.v.norm(), 1.0, 1e-9);
+    EXPECT_NEAR(f.n.norm(), 1.0, 1e-9);
+    EXPECT_NEAR(f.u.dot(f.v), 0.0, 1e-9);
+    EXPECT_NEAR(f.u.dot(f.n), 0.0, 1e-9);
+  }
+}
+
+TEST(MeasuredFrames, SmallRotationFromTruth) {
+  const Scene scene = make_scene_2d(13);
+  const auto frames = scene.measured_antenna_frames(0.01, 3);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const double angle =
+        std::acos(std::clamp(frames[i].n.dot(scene.antennas[i].frame.n),
+                             -1.0, 1.0));
+    EXPECT_LT(angle, 0.1);
+  }
+}
+
+TEST(AddClutter, PlacesReflectorsOutsideRegion) {
+  Scene scene = make_scene_2d(14);
+  add_clutter(scene, 8, 77);
+  ASSERT_EQ(scene.reflectors.size(), 8u);
+  for (const auto& r : scene.reflectors) {
+    EXPECT_FALSE(scene.working_region.contains(r.position.xy()));
+    EXPECT_GT(r.reflectivity, 0.0);
+    EXPECT_LT(r.reflectivity, 1.0);
+  }
+}
+
+TEST(AddClutter, Accumulates) {
+  Scene scene = make_scene_2d(15);
+  add_clutter(scene, 3, 1);
+  add_clutter(scene, 2, 2);
+  EXPECT_EQ(scene.reflectors.size(), 5u);
+}
+
+TEST(TagHardware, DeterministicPerIdAndSeed) {
+  const TagHardware a = make_tag_hardware("tag-7", 1);
+  const TagHardware b = make_tag_hardware("tag-7", 1);
+  const TagHardware c = make_tag_hardware("tag-8", 1);
+  const TagHardware d = make_tag_hardware("tag-7", 2);
+  EXPECT_DOUBLE_EQ(a.kd, b.kd);
+  EXPECT_DOUBLE_EQ(a.bd, b.bd);
+  EXPECT_NE(a.kd, c.kd);
+  EXPECT_NE(a.kd, d.kd);
+}
+
+TEST(TagHardware, ManufacturingSpreadIsModest) {
+  // kd values should be ~1e-9 scale (paper-consistent device diversity).
+  for (int i = 0; i < 50; ++i) {
+    const TagHardware hw = make_tag_hardware("t" + std::to_string(i), 3);
+    EXPECT_LT(std::abs(hw.kd), 6e-9);
+    EXPECT_GE(hw.bd, 0.0);
+    EXPECT_LT(hw.bd, kTwoPi);
+  }
+}
+
+TEST(StandardScene, CustomConfigRespected) {
+  SceneConfig config;
+  config.n_antennas = 5;
+  config.antenna_spacing = 0.3;
+  config.working_region = Rect{{0.0, 0.0}, {4.0, 4.0}};
+  const Scene scene = make_standard_scene(config, 1);
+  EXPECT_EQ(scene.antennas.size(), 5u);
+  EXPECT_NEAR(scene.antennas[1].position.x - scene.antennas[0].position.x,
+              0.3, 1e-12);
+  EXPECT_EQ(scene.working_region.hi.x, 4.0);
+}
+
+TEST(StandardScene, ZeroAntennasThrows) {
+  SceneConfig config;
+  config.n_antennas = 0;
+  EXPECT_THROW(make_standard_scene(config, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,142 @@
+#include "rfp/dsp/stats.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(Mean, Basic) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Mean, EmptyThrows) {
+  EXPECT_THROW(mean(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Stddev, KnownValue) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.138, 0.001);  // sample stddev (n-1)
+}
+
+TEST(Stddev, SingleElementIsZero) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Median, UnaffectedByOutlier) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 4.0, 1e9}), 3.0);
+}
+
+TEST(Mad, KnownValue) {
+  // median = 3; |x - 3| = {2,1,0,1,2}; mad = 1.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mad(v), 1.0);
+}
+
+TEST(Mad, RobustToOutliers) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0, 1e9};
+  EXPECT_LE(mad(v), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 10.0);
+}
+
+TEST(Percentile, MedianAgreement) {
+  Rng rng(61);
+  std::vector<double> v;
+  for (int i = 0; i < 999; ++i) v.push_back(rng.uniform());
+  EXPECT_NEAR(percentile(v, 50.0), median(v), 1e-9);
+}
+
+TEST(Percentile, OutOfRangeThrows) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile(v, 101.0), InvalidArgument);
+}
+
+TEST(MinMax, Basic) {
+  const std::vector<double> v{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(Cdf, StepsThroughSample) {
+  const Cdf cdf(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Cdf, MonotoneNondecreasing) {
+  Rng rng(62);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.gaussian(0.0, 2.0));
+  const Cdf cdf(v);
+  double prev = -1.0;
+  for (double x = -8.0; x <= 8.0; x += 0.05) {
+    const double c = cdf.at(x);
+    ASSERT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Cdf, QuantileInvertsAt) {
+  Rng rng(63);
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.uniform());
+  const Cdf cdf(v);
+  for (double q : {0.1, 0.25, 0.5, 0.9, 1.0}) {
+    const double x = cdf.quantile(q);
+    EXPECT_GE(cdf.at(x), q - 1e-9);
+  }
+}
+
+TEST(Cdf, SummaryStats) {
+  const Cdf cdf(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_EQ(cdf.size(), 3u);
+}
+
+TEST(Cdf, CurveSpansRangeAndEndsAtOne) {
+  Rng rng(64);
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.gaussian(5.0, 1.0));
+  const Cdf cdf(v);
+  const auto curve = cdf.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  EXPECT_DOUBLE_EQ(curve.front().first, cdf.min());
+  EXPECT_DOUBLE_EQ(curve.back().first, cdf.max());
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Cdf, EmptyThrows) {
+  EXPECT_THROW(Cdf(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Cdf, BadQuantileThrows) {
+  const Cdf cdf(std::vector<double>{1.0});
+  EXPECT_THROW(cdf.quantile(0.0), InvalidArgument);
+  EXPECT_THROW(cdf.quantile(1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,161 @@
+#include "rfp/core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/exp/testbed.hpp"
+
+namespace rfp {
+namespace {
+
+/// Convert a simulated round into the interleaved read stream a real
+/// reader would deliver.
+std::vector<TagRead> stream_of(const RoundTrace& round,
+                               const std::string& tag_id) {
+  std::vector<TagRead> reads;
+  for (const Dwell& dwell : round.dwells) {
+    for (std::size_t i = 0; i < dwell.phases.size(); ++i) {
+      TagRead read;
+      read.tag_id = tag_id;
+      read.antenna = dwell.antenna;
+      read.channel = dwell.channel;
+      read.frequency_hz = dwell.frequency_hz;
+      read.time_s = dwell.start_time_s + 1e-3 * static_cast<double>(i);
+      read.phase = dwell.phases[i];
+      read.rssi_dbm = dwell.rssi_dbm[i];
+      reads.push_back(read);
+    }
+  }
+  return reads;
+}
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  StreamingTest() : bed_{} {}
+  Testbed bed_;
+};
+
+TEST_F(StreamingTest, EmitsWhenRoundCompletes) {
+  StreamingSensor sensor(bed_.prism());
+  const TagState state = bed_.tag_state({0.8, 1.2}, 0.5, "glass");
+  const auto reads = stream_of(bed_.collect(state, 1), bed_.tag_id());
+
+  // Nothing emitted while the round is partial.
+  sensor.push(std::span<const TagRead>(reads.data(), reads.size() / 4));
+  EXPECT_TRUE(sensor.poll().empty());
+  EXPECT_EQ(sensor.pending_tags(), 1u);
+
+  sensor.push(std::span<const TagRead>(reads.data() + reads.size() / 4,
+                                       reads.size() - reads.size() / 4));
+  const auto emitted = sensor.poll();
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].tag_id, bed_.tag_id());
+  ASSERT_TRUE(emitted[0].result.valid);
+  EXPECT_LT(distance(emitted[0].result.position, state.position), 0.25);
+  // Buffer cleared after emission.
+  EXPECT_EQ(sensor.pending_tags(), 0u);
+}
+
+TEST_F(StreamingTest, MatchesBatchPipelineResult) {
+  StreamingSensor sensor(bed_.prism());
+  const TagState state = bed_.tag_state({1.3, 0.7}, 1.0, "wood");
+  const RoundTrace round = bed_.collect(state, 2);
+  sensor.push(stream_of(round, bed_.tag_id()));
+  const auto emitted = sensor.poll();
+  ASSERT_EQ(emitted.size(), 1u);
+
+  const SensingResult direct = bed_.prism().sense(round, bed_.tag_id());
+  ASSERT_EQ(emitted[0].result.valid, direct.valid);
+  EXPECT_NEAR(distance(emitted[0].result.position, direct.position), 0.0,
+              1e-9);
+  EXPECT_NEAR(emitted[0].result.alpha, direct.alpha, 1e-9);
+}
+
+TEST_F(StreamingTest, InterleavedTagsSeparated) {
+  StreamingSensor sensor(bed_.prism());
+  const TagState s1 = bed_.tag_state({0.5, 0.6}, 0.2, "water");
+  const TagState s2 = bed_.tag_state({1.5, 1.5}, 1.2, "metal");
+  const auto r1 = stream_of(bed_.collect(s1, 3), "tag-A");
+  const auto r2 = stream_of(bed_.collect(s2, 4), "tag-B");
+
+  // Interleave the two streams read-by-read.
+  std::vector<TagRead> mixed;
+  for (std::size_t i = 0; i < std::max(r1.size(), r2.size()); ++i) {
+    if (i < r1.size()) mixed.push_back(r1[i]);
+    if (i < r2.size()) mixed.push_back(r2[i]);
+  }
+  sensor.push(mixed);
+  auto emitted = sensor.poll();
+  ASSERT_EQ(emitted.size(), 2u);
+  std::sort(emitted.begin(), emitted.end(),
+            [](const auto& a, const auto& b) { return a.tag_id < b.tag_id; });
+  ASSERT_TRUE(emitted[0].result.valid);
+  ASSERT_TRUE(emitted[1].result.valid);
+  EXPECT_LT(distance(emitted[0].result.position, s1.position), 0.3);
+  EXPECT_LT(distance(emitted[1].result.position, s2.position), 0.3);
+}
+
+TEST_F(StreamingTest, StaleTagDropped) {
+  StreamingConfig config;
+  config.tag_timeout_s = 5.0;
+  StreamingSensor sensor(bed_.prism(), config);
+
+  // A few reads of a tag that then disappears.
+  TagRead read;
+  read.tag_id = "ghost";
+  read.antenna = 0;
+  read.channel = 0;
+  read.frequency_hz = 903e6;
+  read.time_s = 0.0;
+  read.phase = 1.0;
+  read.rssi_dbm = -60.0;
+  sensor.push(read);
+  EXPECT_EQ(sensor.pending_tags(), 1u);
+
+  // Another tag keeps reading far later: the ghost ages out.
+  read.tag_id = "alive";
+  read.time_s = 100.0;
+  sensor.push(read);
+  sensor.poll();
+  EXPECT_EQ(sensor.pending_tags(), 1u);  // only "alive" remains
+}
+
+TEST_F(StreamingTest, BufferedReadsCounted) {
+  StreamingSensor sensor(bed_.prism());
+  TagRead read;
+  read.tag_id = "t";
+  read.antenna = 1;
+  read.channel = 3;
+  read.frequency_hz = 905e6;
+  read.phase = 0.5;
+  sensor.push(read);
+  sensor.push(read);
+  EXPECT_EQ(sensor.buffered_reads(), 2u);
+  sensor.clear();
+  EXPECT_EQ(sensor.buffered_reads(), 0u);
+  EXPECT_EQ(sensor.pending_tags(), 0u);
+}
+
+TEST_F(StreamingTest, RejectsMalformedReads) {
+  StreamingSensor sensor(bed_.prism());
+  TagRead read;
+  read.tag_id = "";
+  read.frequency_hz = 905e6;
+  EXPECT_THROW(sensor.push(read), InvalidArgument);
+  read.tag_id = "t";
+  read.antenna = 99;
+  EXPECT_THROW(sensor.push(read), InvalidArgument);
+  read.antenna = 0;
+  read.frequency_hz = 0.0;
+  EXPECT_THROW(sensor.push(read), InvalidArgument);
+}
+
+TEST_F(StreamingTest, BadConfigThrows) {
+  StreamingConfig config;
+  config.min_channels_per_antenna = 2;
+  EXPECT_THROW(StreamingSensor(bed_.prism(), config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,140 @@
+#include "rfp/exp/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/error.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(TestbedHelpers, PaperRotationAngles) {
+  const auto angles = paper_rotation_angles();
+  ASSERT_EQ(angles.size(), 6u);
+  EXPECT_DOUBLE_EQ(angles[0], 0.0);
+  EXPECT_NEAR(angles[5], deg2rad(150.0), 1e-12);
+}
+
+TEST(TestbedHelpers, PaperMaterials) {
+  const auto materials = paper_materials();
+  ASSERT_EQ(materials.size(), 8u);
+  EXPECT_EQ(materials[0], "wood");
+  EXPECT_EQ(materials[7], "alcohol");
+}
+
+TEST(TestbedHelpers, PaperGridIs25PointsInsideRegion) {
+  const Rect region{{0.0, 0.0}, {2.0, 2.0}};
+  const auto grid = paper_grid_positions(region);
+  ASSERT_EQ(grid.size(), 25u);
+  for (Vec2 p : grid) {
+    EXPECT_TRUE(region.contains(p));
+    EXPECT_GT(p.x, 0.2);
+    EXPECT_LT(p.x, 1.8);
+  }
+}
+
+TEST(Testbed, ConstructsCalibratedPipeline) {
+  const Testbed bed{};
+  EXPECT_TRUE(bed.prism().reader_calibrated());
+  EXPECT_TRUE(bed.prism().calibrations().has_tag(bed.tag_id()));
+  EXPECT_EQ(bed.scene().antennas.size(), 3u);
+}
+
+TEST(Testbed, SenseIsDeterministicPerTrial) {
+  const Testbed bed{};
+  const TagState state = bed.tag_state({1.0, 1.0}, 0.5, "glass");
+  const SensingResult a = bed.sense(state, 7);
+  const SensingResult b = bed.sense(state, 7);
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(a.position, b.position);
+  EXPECT_DOUBLE_EQ(a.alpha, b.alpha);
+  const SensingResult c = bed.sense(state, 8);
+  EXPECT_NE(a.position, c.position);
+}
+
+TEST(Testbed, HeadlineAccuracyInCleanSpace) {
+  // The calibration pass of this reproduction: clean-space localization
+  // and orientation errors must sit near the paper's headline numbers
+  // (7.61 cm, 9.83 deg) — enforced loosely so the test is robust.
+  const Testbed bed{};
+  Rng rng(1);
+  double loc_sum = 0.0, ori_sum = 0.0;
+  int n = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const double alpha = rng.uniform(0.0, kPi);
+    const SensingResult r =
+        bed.sense(bed.tag_state(p, alpha, "plastic"), 100 + trial);
+    if (!r.valid) continue;
+    loc_sum += distance(r.position, Vec3{p, 0.0});
+    ori_sum += rad2deg(planar_angle_error(r.alpha, alpha));
+    ++n;
+  }
+  ASSERT_GT(n, 25);
+  EXPECT_LT(loc_sum / n, 0.15);   // mean loc error < 15 cm
+  EXPECT_GT(loc_sum / n, 0.02);   // and not implausibly perfect
+  EXPECT_LT(ori_sum / n, 20.0);   // mean orientation error < 20 deg
+}
+
+TEST(Testbed, RegionsPartitionTheGrid) {
+  const Testbed bed{};
+  int near = 0, medium = 0, far = 0;
+  for (Vec2 p : paper_grid_positions(bed.scene().working_region)) {
+    switch (bed.region_of(p)) {
+      case Region::kNear:
+        ++near;
+        break;
+      case Region::kMedium:
+        ++medium;
+        break;
+      case Region::kFar:
+        ++far;
+        break;
+    }
+  }
+  EXPECT_GT(near, 4);
+  EXPECT_GT(medium, 4);
+  EXPECT_GT(far, 4);
+  EXPECT_EQ(near + medium + far, 25);
+}
+
+TEST(Testbed, RegionOrderingMatchesDistance) {
+  const Testbed bed{};
+  // The closest grid row to the antennas must be 'near', the farthest
+  // 'far'.
+  EXPECT_EQ(bed.region_of({1.0, 0.3}), Region::kNear);
+  EXPECT_EQ(bed.region_of({1.0, 1.9}), Region::kFar);
+}
+
+TEST(Testbed, MultipathEnvironmentAddsClutter) {
+  TestbedConfig config;
+  config.multipath_environment = true;
+  config.n_clutter = 5;
+  const Testbed bed(config);
+  EXPECT_EQ(bed.scene().reflectors.size(), 5u);
+  EXPECT_GT(bed.config().channel.channel_corruption_prob,
+            ChannelConfig::clean().channel_corruption_prob);
+}
+
+TEST(Testbed, Mode3dBuildsFourAntennaScene) {
+  TestbedConfig config;
+  config.mode_3d = true;
+  const Testbed bed(config);
+  EXPECT_EQ(bed.scene().antennas.size(), 4u);
+}
+
+TEST(Testbed, UnknownMaterialThrows) {
+  const Testbed bed{};
+  EXPECT_THROW(bed.tag_state({1.0, 1.0}, 0.0, "adamantium"), InvalidArgument);
+}
+
+TEST(RegionNames, Stable) {
+  EXPECT_STREQ(to_string(Region::kNear), "near");
+  EXPECT_STREQ(to_string(Region::kMedium), "medium");
+  EXPECT_STREQ(to_string(Region::kFar), "far");
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,117 @@
+#include "rfp/geom/vec.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, DotAndNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.dot({1.0, 0.0}), 3.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_NEAR(a.normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroThrows) {
+  EXPECT_THROW((Vec2{0.0, 0.0}).normalized(), NumericalError);
+}
+
+TEST(Vec2, UnitFromAngle) {
+  const Vec2 u = unit_from_angle(0.0);
+  EXPECT_NEAR(u.x, 1.0, 1e-12);
+  EXPECT_NEAR(u.y, 0.0, 1e-12);
+  const Vec2 v = unit_from_angle(3.14159265358979323846 / 2.0);
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  EXPECT_EQ(a + b, (Vec3{0.0, 2.5, 5.0}));
+  EXPECT_EQ(a - b, (Vec3{2.0, 1.5, 1.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 a{1.0, 1.0, 1.0};
+  a += Vec3{1.0, 2.0, 3.0};
+  EXPECT_EQ(a, (Vec3{2.0, 3.0, 4.0}));
+  a -= Vec3{2.0, 3.0, 4.0};
+  EXPECT_EQ(a, (Vec3{0.0, 0.0, 0.0}));
+}
+
+TEST(Vec3, CrossProductOrthogonality) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 a{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    const Vec3 b{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    const Vec3 c = a.cross(b);
+    ASSERT_NEAR(c.dot(a), 0.0, 1e-9);
+    ASSERT_NEAR(c.dot(b), 0.0, 1e-9);
+  }
+}
+
+TEST(Vec3, CrossProductRightHanded) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+}
+
+TEST(Vec3, LagrangeIdentity) {
+  // |a x b|^2 + (a.b)^2 == |a|^2 |b|^2
+  Rng rng(32);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 a{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    const Vec3 b{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    const double lhs = a.cross(b).norm2() + a.dot(b) * a.dot(b);
+    const double rhs = a.norm2() * b.norm2();
+    ASSERT_NEAR(lhs, rhs, 1e-9 * (1.0 + rhs));
+  }
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec3{0, 0, 0}, Vec3{2, 3, 6}), 7.0);
+}
+
+TEST(Vec3, XyProjection) {
+  const Vec3 a{1.5, -2.5, 9.0};
+  EXPECT_EQ(a.xy(), (Vec2{1.5, -2.5}));
+}
+
+TEST(Vec3, FromVec2Constructor) {
+  const Vec3 a{Vec2{1.0, 2.0}, 3.0};
+  EXPECT_EQ(a, (Vec3{1.0, 2.0, 3.0}));
+}
+
+TEST(VecStream, PrintsReadably) {
+  std::ostringstream os;
+  os << Vec2{1.5, 2.0} << " " << Vec3{1, 2, 3};
+  EXPECT_EQ(os.str(), "(1.5, 2) (1, 2, 3)");
+}
+
+}  // namespace
+}  // namespace rfp

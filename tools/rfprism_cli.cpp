@@ -1,0 +1,294 @@
+/// rfprism — command-line front end for the RF-Prism library.
+///
+///   rfprism simulate [options]   run sensing trials on the simulated
+///                                testbed and print per-trial results
+///   rfprism replay <trace>       replay a saved hop round through the
+///                                standard deployment's pipeline
+///   rfprism inspect <trace>      print structural stats of a saved round
+///   rfprism materials            list the material database
+///
+/// `simulate` options:
+///   --trials N        number of trials (default 20)
+///   --material NAME   target material (default plastic; "all" cycles)
+///   --alpha DEG       fixed tag rotation; omit for random
+///   --multipath       use the cluttered environment
+///   --seed S          deployment seed (default 42)
+///   --csv             machine-readable per-trial output
+///   --dump-trace F    additionally save the first trial's round to F
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/common/constants.hpp"
+#include "rfp/common/rng.hpp"
+#include "rfp/dsp/stats.hpp"
+#include "rfp/core/tracker.hpp"
+#include "rfp/exp/testbed.hpp"
+#include "rfp/io/trace_io.hpp"
+
+namespace {
+
+using namespace rfp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rfprism <simulate|track|replay|inspect|materials> [args]\n"
+               "  rfprism simulate [--trials N] [--material NAME|all]\n"
+               "                   [--alpha DEG] [--multipath] [--seed S]\n"
+               "                   [--csv] [--dump-trace FILE]\n"
+               "  rfprism replay <trace-file> [--seed S]\n"
+               "  rfprism inspect <trace-file>\n"
+               "  rfprism track [--rounds N] [--seed S]\n"
+               "  rfprism materials\n");
+  return 2;
+}
+
+struct SimulateOptions {
+  int trials = 20;
+  std::string material = "plastic";
+  std::optional<double> alpha_rad;
+  bool multipath = false;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  std::string dump_trace;
+};
+
+int run_simulate(const SimulateOptions& options) {
+  TestbedConfig config;
+  config.seed = options.seed;
+  config.multipath_environment = options.multipath;
+  Testbed bed(config);
+
+  const auto materials = paper_materials();
+  Rng rng(mix_seed(options.seed, 0xC11));
+  std::vector<double> loc_cm, ori_deg;
+  int rejected = 0;
+
+  if (options.csv) {
+    std::printf("trial,material,true_x,true_y,true_alpha_deg,est_x,est_y,"
+                "est_alpha_deg,kt_rad_per_ghz,bt_rad,loc_err_cm,"
+                "ori_err_deg,valid\n");
+  }
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const std::string material =
+        options.material == "all"
+            ? materials[static_cast<std::size_t>(trial) % materials.size()]
+            : options.material;
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const double alpha =
+        options.alpha_rad ? *options.alpha_rad : rng.uniform(0.0, kPi);
+    const TagState state = bed.tag_state(p, alpha, material);
+    const RoundTrace round =
+        bed.collect(state, 1000 + static_cast<std::uint64_t>(trial));
+    if (trial == 0 && !options.dump_trace.empty()) {
+      save_round(options.dump_trace, round);
+      std::fprintf(stderr, "saved trial 0 round to %s\n",
+                   options.dump_trace.c_str());
+    }
+    const SensingResult r = bed.prism().sense(round, bed.tag_id());
+    if (!r.valid) {
+      ++rejected;
+      if (options.csv) {
+        std::printf("%d,%s,%.4f,%.4f,%.2f,,,,,,,,0\n", trial,
+                    material.c_str(), p.x, p.y, rad2deg(alpha));
+      }
+      continue;
+    }
+    const double loc = 100.0 * distance(r.position, state.position);
+    const double ori = rad2deg(planar_angle_error(r.alpha, alpha));
+    loc_cm.push_back(loc);
+    ori_deg.push_back(ori);
+    if (options.csv) {
+      std::printf("%d,%s,%.4f,%.4f,%.2f,%.4f,%.4f,%.2f,%.4f,%.4f,%.2f,%.2f,1\n",
+                  trial, material.c_str(), p.x, p.y, rad2deg(alpha),
+                  r.position.x, r.position.y, rad2deg(r.alpha), r.kt * 1e9,
+                  r.bt, loc, ori);
+    } else {
+      std::printf("trial %3d  %-8s  loc err %6.2f cm   orient err %6.2f deg"
+                  "   kt %6.2f rad/GHz\n",
+                  trial, material.c_str(), loc, ori, r.kt * 1e9);
+    }
+  }
+
+  if (!options.csv && !loc_cm.empty()) {
+    std::printf("\n%zu/%d valid:  loc mean %.2f cm (p90 %.2f)   orient mean "
+                "%.2f deg (p90 %.2f)   rejected %d\n",
+                loc_cm.size(), options.trials, mean(loc_cm),
+                percentile(loc_cm, 90.0), mean(ori_deg),
+                percentile(ori_deg, 90.0), rejected);
+  }
+  return 0;
+}
+
+int run_replay(const std::string& path, std::uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  const Testbed bed(config);
+  const RoundTrace round = load_round(path);
+  const SensingResult r = bed.prism().sense(round, bed.tag_id());
+  if (!r.valid) {
+    std::printf("rejected: %s\n", to_string(r.reject_reason));
+    return 1;
+  }
+  std::printf("position    (%.4f, %.4f, %.4f) m\n", r.position.x,
+              r.position.y, r.position.z);
+  std::printf("orientation %.2f deg\n", rad2deg(r.alpha));
+  std::printf("kt          %.4f rad/GHz\n", r.kt * 1e9);
+  std::printf("bt          %.4f rad\n", r.bt);
+  std::printf("residuals   slope %.3g rad/Hz, intercept %.3g rad\n",
+              r.position_residual, r.orientation_residual);
+  return 0;
+}
+
+int run_inspect(const std::string& path) {
+  const RoundTrace round = load_round(path);
+  std::printf("antennas    %zu\n", round.n_antennas);
+  std::printf("dwells      %zu\n", round.dwells.size());
+  std::printf("duration    %.2f s\n", round.duration_s);
+  std::size_t reads = 0;
+  double f_lo = 1e18, f_hi = 0.0;
+  for (const auto& dwell : round.dwells) {
+    reads += dwell.phases.size();
+    f_lo = std::min(f_lo, dwell.frequency_hz);
+    f_hi = std::max(f_hi, dwell.frequency_hz);
+  }
+  std::printf("reads       %zu\n", reads);
+  std::printf("band        %.2f - %.2f MHz\n", f_lo / 1e6, f_hi / 1e6);
+  return 0;
+}
+
+int run_track(int rounds, std::uint64_t seed) {
+  // A tag stepping across the shelf 5 cm between 10 s hop rounds: sense
+  // each round, feed the constant-velocity tracker, print both.
+  TestbedConfig config;
+  config.seed = seed;
+  const Testbed bed(config);
+  Tracker tracker;
+  Rng rng(mix_seed(seed, 0x7272));
+  const Vec2 start{0.35, 0.5 + rng.uniform(0.0, 1.0)};
+  const Vec2 step{0.05, 0.01};
+
+  std::printf("%-6s %-16s %-16s %-16s %-10s\n", "t[s]", "truth", "sensed",
+              "tracked", "speed");
+  for (int k = 0; k < rounds; ++k) {
+    const double t = 10.0 * k;
+    const Vec2 truth = start + step * static_cast<double>(k);
+    const SensingResult r = bed.sense(
+        bed.tag_state(truth, 0.4, "plastic"),
+        3000 + static_cast<std::uint64_t>(k));
+    if (!r.valid) {
+      std::printf("%-6.0f (%.2f, %.2f)     rejected: %s\n", t, truth.x,
+                  truth.y, to_string(r.reject_reason));
+      continue;
+    }
+    tracker.update(r, t);
+    const auto state = tracker.state();
+    std::printf("%-6.0f (%.2f, %.2f)     (%.2f, %.2f)     (%.2f, %.2f)    "
+                "%.3f m/s\n",
+                t, truth.x, truth.y, r.position.x, r.position.y,
+                state->position.x, state->position.y,
+                state->velocity.norm());
+  }
+  if (const auto state = tracker.state()) {
+    std::printf("\nfinal velocity estimate (%.4f, %.4f) m/s  [truth (%.4f, "
+                "%.4f)]\n",
+                state->velocity.x, state->velocity.y, step.x / 10.0,
+                step.y / 10.0);
+  }
+  return 0;
+}
+
+int run_materials() {
+  const MaterialDB db = MaterialDB::standard();
+  std::printf("%-10s %12s %8s %10s %8s %s\n", "name", "kt[rad/GHz]",
+              "bt[rad]", "ripple", "atten", "conductive");
+  for (const auto& name : db.names()) {
+    const Material& m = db.get(name);
+    std::printf("%-10s %12.2f %8.2f %10.3f %6.1fdB %s\n", m.name.c_str(),
+                m.kt * 1e9, m.bt, m.ripple_amplitude, m.attenuation_db,
+                m.conductive ? "yes" : "no");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  try {
+    if (command == "materials") return run_materials();
+
+    if (command == "track") {
+      int rounds = 15;
+      std::uint64_t seed = 42;
+      for (int i = 2; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--rounds") == 0) {
+          rounds = std::stoi(argv[i + 1]);
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+          seed = std::stoull(argv[i + 1]);
+        }
+      }
+      return run_track(rounds, seed);
+    }
+
+    if (command == "replay" || command == "inspect") {
+      if (argc < 3) return usage();
+      std::uint64_t seed = 42;
+      for (int i = 3; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--seed") == 0) {
+          seed = std::stoull(argv[i + 1]);
+        }
+      }
+      return command == "replay" ? run_replay(argv[2], seed)
+                                 : run_inspect(argv[2]);
+    }
+
+    if (command == "simulate") {
+      SimulateOptions options;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+          if (i + 1 >= argc) throw Error("missing value for " + arg);
+          return argv[++i];
+        };
+        if (arg == "--trials") {
+          options.trials = std::stoi(next());
+        } else if (arg == "--material") {
+          options.material = next();
+        } else if (arg == "--alpha") {
+          options.alpha_rad = deg2rad(std::stod(next()));
+        } else if (arg == "--multipath") {
+          options.multipath = true;
+        } else if (arg == "--seed") {
+          options.seed = std::stoull(next());
+        } else if (arg == "--csv") {
+          options.csv = true;
+        } else if (arg == "--dump-trace") {
+          options.dump_trace = next();
+        } else {
+          std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+          return usage();
+        }
+      }
+      if (options.material != "all" &&
+          !MaterialDB::standard().contains(options.material)) {
+        std::fprintf(stderr, "unknown material: %s (try 'rfprism materials')\n",
+                     options.material.c_str());
+        return 2;
+      }
+      return run_simulate(options);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
