@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_confusion.dir/bench_fig11_confusion.cpp.o"
+  "CMakeFiles/bench_fig11_confusion.dir/bench_fig11_confusion.cpp.o.d"
+  "bench_fig11_confusion"
+  "bench_fig11_confusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_16_vs_mobitagbot.dir/bench_fig14_16_vs_mobitagbot.cpp.o"
+  "CMakeFiles/bench_fig14_16_vs_mobitagbot.dir/bench_fig14_16_vs_mobitagbot.cpp.o.d"
+  "bench_fig14_16_vs_mobitagbot"
+  "bench_fig14_16_vs_mobitagbot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_16_vs_mobitagbot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_16_vs_mobitagbot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_20_vs_tagtag.dir/bench_fig17_20_vs_tagtag.cpp.o"
+  "CMakeFiles/bench_fig17_20_vs_tagtag.dir/bench_fig17_20_vs_tagtag.cpp.o.d"
+  "bench_fig17_20_vs_tagtag"
+  "bench_fig17_20_vs_tagtag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_20_vs_tagtag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

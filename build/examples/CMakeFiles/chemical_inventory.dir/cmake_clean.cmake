@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_inventory.dir/chemical_inventory.cpp.o"
+  "CMakeFiles/chemical_inventory.dir/chemical_inventory.cpp.o.d"
+  "chemical_inventory"
+  "chemical_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conveyor_guard.dir/conveyor_guard.cpp.o"
+  "CMakeFiles/conveyor_guard.dir/conveyor_guard.cpp.o.d"
+  "conveyor_guard"
+  "conveyor_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conveyor_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

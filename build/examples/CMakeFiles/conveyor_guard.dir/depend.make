@@ -1,0 +1,2 @@
+# Empty dependencies file for conveyor_guard.
+# This may be replaced when dependencies are built.

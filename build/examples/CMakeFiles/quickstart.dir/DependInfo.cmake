@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rfp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rfp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rfp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rfp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfsim/CMakeFiles/rfp_rfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rfp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_shelf_multipath.dir/smart_shelf_multipath.cpp.o"
+  "CMakeFiles/smart_shelf_multipath.dir/smart_shelf_multipath.cpp.o.d"
+  "smart_shelf_multipath"
+  "smart_shelf_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_shelf_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_baselines.dir/src/hologram.cpp.o"
+  "CMakeFiles/rfp_baselines.dir/src/hologram.cpp.o.d"
+  "CMakeFiles/rfp_baselines.dir/src/mobitagbot.cpp.o"
+  "CMakeFiles/rfp_baselines.dir/src/mobitagbot.cpp.o.d"
+  "CMakeFiles/rfp_baselines.dir/src/tagtag.cpp.o"
+  "CMakeFiles/rfp_baselines.dir/src/tagtag.cpp.o.d"
+  "librfp_baselines.a"
+  "librfp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/calibration.cpp" "src/core/CMakeFiles/rfp_core.dir/src/calibration.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/calibration.cpp.o.d"
+  "/root/repo/src/core/src/disentangle.cpp" "src/core/CMakeFiles/rfp_core.dir/src/disentangle.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/disentangle.cpp.o.d"
+  "/root/repo/src/core/src/error_detector.cpp" "src/core/CMakeFiles/rfp_core.dir/src/error_detector.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/error_detector.cpp.o.d"
+  "/root/repo/src/core/src/features.cpp" "src/core/CMakeFiles/rfp_core.dir/src/features.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/features.cpp.o.d"
+  "/root/repo/src/core/src/fitting.cpp" "src/core/CMakeFiles/rfp_core.dir/src/fitting.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/fitting.cpp.o.d"
+  "/root/repo/src/core/src/identifier.cpp" "src/core/CMakeFiles/rfp_core.dir/src/identifier.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/identifier.cpp.o.d"
+  "/root/repo/src/core/src/leakage.cpp" "src/core/CMakeFiles/rfp_core.dir/src/leakage.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/leakage.cpp.o.d"
+  "/root/repo/src/core/src/pipeline.cpp" "src/core/CMakeFiles/rfp_core.dir/src/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/pipeline.cpp.o.d"
+  "/root/repo/src/core/src/preprocess.cpp" "src/core/CMakeFiles/rfp_core.dir/src/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/preprocess.cpp.o.d"
+  "/root/repo/src/core/src/streaming.cpp" "src/core/CMakeFiles/rfp_core.dir/src/streaming.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/streaming.cpp.o.d"
+  "/root/repo/src/core/src/survey.cpp" "src/core/CMakeFiles/rfp_core.dir/src/survey.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/survey.cpp.o.d"
+  "/root/repo/src/core/src/tracker.cpp" "src/core/CMakeFiles/rfp_core.dir/src/tracker.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/src/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rfp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rfp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rfp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfsim/CMakeFiles/rfp_rfsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_core.dir/src/calibration.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/calibration.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/disentangle.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/disentangle.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/error_detector.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/error_detector.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/features.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/features.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/fitting.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/fitting.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/identifier.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/identifier.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/leakage.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/leakage.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/pipeline.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/pipeline.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/preprocess.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/preprocess.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/streaming.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/streaming.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/survey.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/survey.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/src/tracker.cpp.o"
+  "CMakeFiles/rfp_core.dir/src/tracker.cpp.o.d"
+  "librfp_core.a"
+  "librfp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

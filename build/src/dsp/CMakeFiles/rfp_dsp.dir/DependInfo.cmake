@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/src/cusum.cpp" "src/dsp/CMakeFiles/rfp_dsp.dir/src/cusum.cpp.o" "gcc" "src/dsp/CMakeFiles/rfp_dsp.dir/src/cusum.cpp.o.d"
+  "/root/repo/src/dsp/src/dtw.cpp" "src/dsp/CMakeFiles/rfp_dsp.dir/src/dtw.cpp.o" "gcc" "src/dsp/CMakeFiles/rfp_dsp.dir/src/dtw.cpp.o.d"
+  "/root/repo/src/dsp/src/linear_fit.cpp" "src/dsp/CMakeFiles/rfp_dsp.dir/src/linear_fit.cpp.o" "gcc" "src/dsp/CMakeFiles/rfp_dsp.dir/src/linear_fit.cpp.o.d"
+  "/root/repo/src/dsp/src/phase_prep.cpp" "src/dsp/CMakeFiles/rfp_dsp.dir/src/phase_prep.cpp.o" "gcc" "src/dsp/CMakeFiles/rfp_dsp.dir/src/phase_prep.cpp.o.d"
+  "/root/repo/src/dsp/src/robust.cpp" "src/dsp/CMakeFiles/rfp_dsp.dir/src/robust.cpp.o" "gcc" "src/dsp/CMakeFiles/rfp_dsp.dir/src/robust.cpp.o.d"
+  "/root/repo/src/dsp/src/stats.cpp" "src/dsp/CMakeFiles/rfp_dsp.dir/src/stats.cpp.o" "gcc" "src/dsp/CMakeFiles/rfp_dsp.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_dsp.dir/src/cusum.cpp.o"
+  "CMakeFiles/rfp_dsp.dir/src/cusum.cpp.o.d"
+  "CMakeFiles/rfp_dsp.dir/src/dtw.cpp.o"
+  "CMakeFiles/rfp_dsp.dir/src/dtw.cpp.o.d"
+  "CMakeFiles/rfp_dsp.dir/src/linear_fit.cpp.o"
+  "CMakeFiles/rfp_dsp.dir/src/linear_fit.cpp.o.d"
+  "CMakeFiles/rfp_dsp.dir/src/phase_prep.cpp.o"
+  "CMakeFiles/rfp_dsp.dir/src/phase_prep.cpp.o.d"
+  "CMakeFiles/rfp_dsp.dir/src/robust.cpp.o"
+  "CMakeFiles/rfp_dsp.dir/src/robust.cpp.o.d"
+  "CMakeFiles/rfp_dsp.dir/src/stats.cpp.o"
+  "CMakeFiles/rfp_dsp.dir/src/stats.cpp.o.d"
+  "librfp_dsp.a"
+  "librfp_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_exp.dir/src/testbed.cpp.o"
+  "CMakeFiles/rfp_exp.dir/src/testbed.cpp.o.d"
+  "librfp_exp.a"
+  "librfp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_geom.dir/src/frame.cpp.o"
+  "CMakeFiles/rfp_geom.dir/src/frame.cpp.o.d"
+  "CMakeFiles/rfp_geom.dir/src/vec.cpp.o"
+  "CMakeFiles/rfp_geom.dir/src/vec.cpp.o.d"
+  "librfp_geom.a"
+  "librfp_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_io.dir/src/calibration_io.cpp.o"
+  "CMakeFiles/rfp_io.dir/src/calibration_io.cpp.o.d"
+  "CMakeFiles/rfp_io.dir/src/trace_io.cpp.o"
+  "CMakeFiles/rfp_io.dir/src/trace_io.cpp.o.d"
+  "librfp_io.a"
+  "librfp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/src/dataset.cpp" "src/ml/CMakeFiles/rfp_ml.dir/src/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/rfp_ml.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/ml/src/decision_tree.cpp" "src/ml/CMakeFiles/rfp_ml.dir/src/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/rfp_ml.dir/src/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/src/knn.cpp" "src/ml/CMakeFiles/rfp_ml.dir/src/knn.cpp.o" "gcc" "src/ml/CMakeFiles/rfp_ml.dir/src/knn.cpp.o.d"
+  "/root/repo/src/ml/src/metrics.cpp" "src/ml/CMakeFiles/rfp_ml.dir/src/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/rfp_ml.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/ml/src/svm.cpp" "src/ml/CMakeFiles/rfp_ml.dir/src/svm.cpp.o" "gcc" "src/ml/CMakeFiles/rfp_ml.dir/src/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_ml.dir/src/dataset.cpp.o"
+  "CMakeFiles/rfp_ml.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/rfp_ml.dir/src/decision_tree.cpp.o"
+  "CMakeFiles/rfp_ml.dir/src/decision_tree.cpp.o.d"
+  "CMakeFiles/rfp_ml.dir/src/knn.cpp.o"
+  "CMakeFiles/rfp_ml.dir/src/knn.cpp.o.d"
+  "CMakeFiles/rfp_ml.dir/src/metrics.cpp.o"
+  "CMakeFiles/rfp_ml.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/rfp_ml.dir/src/svm.cpp.o"
+  "CMakeFiles/rfp_ml.dir/src/svm.cpp.o.d"
+  "librfp_ml.a"
+  "librfp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

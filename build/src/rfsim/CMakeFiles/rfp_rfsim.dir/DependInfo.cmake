@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfsim/src/channel.cpp" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/channel.cpp.o" "gcc" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/channel.cpp.o.d"
+  "/root/repo/src/rfsim/src/material.cpp" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/material.cpp.o" "gcc" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/material.cpp.o.d"
+  "/root/repo/src/rfsim/src/mobility.cpp" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/mobility.cpp.o" "gcc" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/mobility.cpp.o.d"
+  "/root/repo/src/rfsim/src/reader.cpp" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/reader.cpp.o" "gcc" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/reader.cpp.o.d"
+  "/root/repo/src/rfsim/src/scene.cpp" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/scene.cpp.o" "gcc" "src/rfsim/CMakeFiles/rfp_rfsim.dir/src/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rfp_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

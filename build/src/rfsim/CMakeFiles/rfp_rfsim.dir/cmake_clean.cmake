@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_rfsim.dir/src/channel.cpp.o"
+  "CMakeFiles/rfp_rfsim.dir/src/channel.cpp.o.d"
+  "CMakeFiles/rfp_rfsim.dir/src/material.cpp.o"
+  "CMakeFiles/rfp_rfsim.dir/src/material.cpp.o.d"
+  "CMakeFiles/rfp_rfsim.dir/src/mobility.cpp.o"
+  "CMakeFiles/rfp_rfsim.dir/src/mobility.cpp.o.d"
+  "CMakeFiles/rfp_rfsim.dir/src/reader.cpp.o"
+  "CMakeFiles/rfp_rfsim.dir/src/reader.cpp.o.d"
+  "CMakeFiles/rfp_rfsim.dir/src/scene.cpp.o"
+  "CMakeFiles/rfp_rfsim.dir/src/scene.cpp.o.d"
+  "librfp_rfsim.a"
+  "librfp_rfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_rfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_solver.dir/src/dense.cpp.o"
+  "CMakeFiles/rfp_solver.dir/src/dense.cpp.o.d"
+  "CMakeFiles/rfp_solver.dir/src/levenberg_marquardt.cpp.o"
+  "CMakeFiles/rfp_solver.dir/src/levenberg_marquardt.cpp.o.d"
+  "librfp_solver.a"
+  "librfp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

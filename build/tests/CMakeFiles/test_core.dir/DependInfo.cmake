@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/test_core.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_disentangle.cpp" "tests/CMakeFiles/test_core.dir/test_disentangle.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_disentangle.cpp.o.d"
+  "/root/repo/tests/test_error_detector.cpp" "tests/CMakeFiles/test_core.dir/test_error_detector.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_error_detector.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/test_core.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_fitting.cpp" "tests/CMakeFiles/test_core.dir/test_fitting.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_fitting.cpp.o.d"
+  "/root/repo/tests/test_identifier.cpp" "tests/CMakeFiles/test_core.dir/test_identifier.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_identifier.cpp.o.d"
+  "/root/repo/tests/test_preprocess.cpp" "tests/CMakeFiles/test_core.dir/test_preprocess.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_preprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rfp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rfp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rfp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfsim/CMakeFiles/rfp_rfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rfp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rfp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rfp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

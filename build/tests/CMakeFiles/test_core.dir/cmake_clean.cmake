@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_calibration.cpp.o"
+  "CMakeFiles/test_core.dir/test_calibration.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_disentangle.cpp.o"
+  "CMakeFiles/test_core.dir/test_disentangle.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_error_detector.cpp.o"
+  "CMakeFiles/test_core.dir/test_error_detector.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_features.cpp.o"
+  "CMakeFiles/test_core.dir/test_features.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_fitting.cpp.o"
+  "CMakeFiles/test_core.dir/test_fitting.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_identifier.cpp.o"
+  "CMakeFiles/test_core.dir/test_identifier.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_preprocess.cpp.o"
+  "CMakeFiles/test_core.dir/test_preprocess.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/test_dtw.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_dtw.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_linear_fit.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_linear_fit.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_phase_prep.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_phase_prep.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_robust.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_robust.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_stats.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_stats.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ext.dir/test_hologram.cpp.o"
+  "CMakeFiles/test_ext.dir/test_hologram.cpp.o.d"
+  "CMakeFiles/test_ext.dir/test_io.cpp.o"
+  "CMakeFiles/test_ext.dir/test_io.cpp.o.d"
+  "CMakeFiles/test_ext.dir/test_leakage.cpp.o"
+  "CMakeFiles/test_ext.dir/test_leakage.cpp.o.d"
+  "CMakeFiles/test_ext.dir/test_multitag.cpp.o"
+  "CMakeFiles/test_ext.dir/test_multitag.cpp.o.d"
+  "CMakeFiles/test_ext.dir/test_properties.cpp.o"
+  "CMakeFiles/test_ext.dir/test_properties.cpp.o.d"
+  "CMakeFiles/test_ext.dir/test_streaming.cpp.o"
+  "CMakeFiles/test_ext.dir/test_streaming.cpp.o.d"
+  "CMakeFiles/test_ext.dir/test_survey.cpp.o"
+  "CMakeFiles/test_ext.dir/test_survey.cpp.o.d"
+  "CMakeFiles/test_ext.dir/test_tracker.cpp.o"
+  "CMakeFiles/test_ext.dir/test_tracker.cpp.o.d"
+  "test_ext"
+  "test_ext.pdb"
+  "test_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

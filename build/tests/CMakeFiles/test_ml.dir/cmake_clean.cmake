@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/test_dataset.cpp.o"
+  "CMakeFiles/test_ml.dir/test_dataset.cpp.o.d"
+  "CMakeFiles/test_ml.dir/test_decision_tree.cpp.o"
+  "CMakeFiles/test_ml.dir/test_decision_tree.cpp.o.d"
+  "CMakeFiles/test_ml.dir/test_knn.cpp.o"
+  "CMakeFiles/test_ml.dir/test_knn.cpp.o.d"
+  "CMakeFiles/test_ml.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_ml.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/test_ml.dir/test_svm.cpp.o"
+  "CMakeFiles/test_ml.dir/test_svm.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

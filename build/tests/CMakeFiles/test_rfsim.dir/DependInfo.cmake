@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/test_rfsim.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/test_rfsim.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_material.cpp" "tests/CMakeFiles/test_rfsim.dir/test_material.cpp.o" "gcc" "tests/CMakeFiles/test_rfsim.dir/test_material.cpp.o.d"
+  "/root/repo/tests/test_mobility.cpp" "tests/CMakeFiles/test_rfsim.dir/test_mobility.cpp.o" "gcc" "tests/CMakeFiles/test_rfsim.dir/test_mobility.cpp.o.d"
+  "/root/repo/tests/test_reader.cpp" "tests/CMakeFiles/test_rfsim.dir/test_reader.cpp.o" "gcc" "tests/CMakeFiles/test_rfsim.dir/test_reader.cpp.o.d"
+  "/root/repo/tests/test_scene.cpp" "tests/CMakeFiles/test_rfsim.dir/test_scene.cpp.o" "gcc" "tests/CMakeFiles/test_rfsim.dir/test_scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rfp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rfp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rfp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfsim/CMakeFiles/rfp_rfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rfp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rfp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rfp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

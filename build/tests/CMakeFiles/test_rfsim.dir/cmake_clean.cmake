@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfsim.dir/test_channel.cpp.o"
+  "CMakeFiles/test_rfsim.dir/test_channel.cpp.o.d"
+  "CMakeFiles/test_rfsim.dir/test_material.cpp.o"
+  "CMakeFiles/test_rfsim.dir/test_material.cpp.o.d"
+  "CMakeFiles/test_rfsim.dir/test_mobility.cpp.o"
+  "CMakeFiles/test_rfsim.dir/test_mobility.cpp.o.d"
+  "CMakeFiles/test_rfsim.dir/test_reader.cpp.o"
+  "CMakeFiles/test_rfsim.dir/test_reader.cpp.o.d"
+  "CMakeFiles/test_rfsim.dir/test_scene.cpp.o"
+  "CMakeFiles/test_rfsim.dir/test_scene.cpp.o.d"
+  "test_rfsim"
+  "test_rfsim.pdb"
+  "test_rfsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/test_baselines.cpp.o"
+  "CMakeFiles/test_system.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_integration.cpp.o"
+  "CMakeFiles/test_system.dir/test_integration.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_pipeline.cpp.o"
+  "CMakeFiles/test_system.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_testbed.cpp.o"
+  "CMakeFiles/test_system.dir/test_testbed.cpp.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

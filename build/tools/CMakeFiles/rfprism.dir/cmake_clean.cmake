@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfprism.dir/rfprism_cli.cpp.o"
+  "CMakeFiles/rfprism.dir/rfprism_cli.cpp.o.d"
+  "rfprism"
+  "rfprism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfprism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
