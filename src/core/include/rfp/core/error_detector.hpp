@@ -40,4 +40,12 @@ struct ErrorDetectorConfig {
 RejectReason detect_errors(std::span<const AntennaLine> lines,
                            const ErrorDetectorConfig& config);
 
+/// Per-antenna view of the same criteria: does this single line look like
+/// a clean, linear, well-supported fit? `healthy[i]` corresponds to
+/// `lines[i]` (not to the antenna index the line carries). Feeds the
+/// degraded-mode antenna-subset selection: a round where *some* antennas
+/// fail these checks can still be solved on the ones that pass.
+std::vector<bool> antenna_health_flags(std::span<const AntennaLine> lines,
+                                       const ErrorDetectorConfig& config);
+
 }  // namespace rfp

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "rfp/core/antenna_health.hpp"
 #include "rfp/core/calibration.hpp"
 #include "rfp/core/disentangle.hpp"
 #include "rfp/core/error_detector.hpp"
@@ -36,6 +37,13 @@ struct RfPrismConfig {
 
   /// Run the error detector (paper §V-C). Disable to study its effect.
   bool enable_error_detector = true;
+
+  /// Degraded-mode sensing: when some antennas fail the per-round health
+  /// gate but at least the minimum solvable count (3 in 2D, 4 in 3D)
+  /// remain healthy, re-fit on the healthy subset and emit a kDegraded
+  /// result instead of rejecting the round. Disable to restore strict
+  /// all-or-nothing behaviour.
+  bool enable_degraded_mode = true;
 };
 
 /// Versatile phase-disentangling sensor.
@@ -64,8 +72,16 @@ class RfPrism {
   /// pass an empty id (or an uncalibrated tag's id) to skip device
   /// compensation — localization and orientation are unaffected
   /// (calibration-free by design).
-  SensingResult sense(const RoundTrace& round,
-                      const std::string& tag_id = {}) const;
+  ///
+  /// `health` optionally supplies long-horizon port state: quarantined
+  /// ports are excluded from the solve up-front (the monitor is read-only
+  /// here — callers feed results back via observe_round). With degraded
+  /// mode enabled (see RfPrismConfig), rounds where unhealthy/quarantined
+  /// ports leave at least the minimum solvable antenna count produce a
+  /// kDegraded result on the healthy subset; with fewer healthy ports the
+  /// round is rejected with RejectReason::kAntennaHealth.
+  SensingResult sense(const RoundTrace& round, const std::string& tag_id = {},
+                      const AntennaHealthMonitor* health = nullptr) const;
 
   const RfPrismConfig& config() const { return config_; }
   const CalibrationDB& calibrations() const { return db_; }

@@ -57,20 +57,42 @@ struct AntennaLine {
   std::vector<double> frequency_hz;  ///< abscissae matching `residual`
 };
 
-/// Why a sensing window was rejected by the error detector (paper §V-C).
+/// Why a sensing window was rejected by the error detector (paper §V-C)
+/// or the degraded-mode antenna gate.
 enum class RejectReason {
   kNone,            ///< not rejected
   kMobility,        ///< phase/frequency linearity broken: tag moved/rotated
   kTooFewChannels,  ///< multipath suppression left too few clean channels
   kSolverFailure,   ///< the disentangling solve did not converge
+  kAntennaHealth,   ///< too few healthy antenna ports to disentangle at all
 };
 
 const char* to_string(RejectReason reason);
+
+/// Quality grade of a sensing emission. A degraded result is still a real
+/// pose — it was just solved on a healthy antenna subset because one or
+/// more ports delivered unusable data (dead port, burst interference).
+enum class SensingGrade {
+  kFull,      ///< every antenna contributed
+  kDegraded,  ///< solved on a healthy subset; see excluded_antennas
+  kRejected,  ///< no pose emitted; see reject_reason
+};
+
+const char* to_string(SensingGrade grade);
 
 /// Disentangled physical state of one tag from one hop round.
 struct SensingResult {
   bool valid = false;
   RejectReason reject_reason = RejectReason::kSolverFailure;
+  SensingGrade grade = SensingGrade::kRejected;
+  /// Ports excluded from the solve (unhealthy fit this round, or
+  /// quarantined by an AntennaHealthMonitor). Empty for kFull results.
+  std::vector<std::size_t> excluded_antennas;
+  /// The subset of excluded_antennas whose *this-round* data failed the
+  /// health gate. A quarantined port with clean current data appears in
+  /// excluded_antennas but not here — which is what lets a health monitor
+  /// observe its recovery and re-admit it.
+  std::vector<std::size_t> unhealthy_antennas;
 
   // -- Localization ------------------------------------------------------
   Vec3 position;           ///< estimated tag position [m]

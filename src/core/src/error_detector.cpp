@@ -49,4 +49,22 @@ RejectReason detect_errors(std::span<const AntennaLine> lines,
   return RejectReason::kNone;
 }
 
+std::vector<bool> antenna_health_flags(std::span<const AntennaLine> lines,
+                                       const ErrorDetectorConfig& config) {
+  std::vector<bool> healthy;
+  healthy.reserve(lines.size());
+  for (const auto& line : lines) {
+    bool ok = line.fit.n >= config.min_inlier_channels &&
+              line.fit.rmse <= config.max_fit_rmse;
+    if (ok && line.n_channels > 0 &&
+        static_cast<double>(line.fit.n) <
+            config.min_line_support_fraction *
+                static_cast<double>(line.n_channels)) {
+      ok = false;
+    }
+    healthy.push_back(ok);
+  }
+  return healthy;
+}
+
 }  // namespace rfp

@@ -16,6 +16,20 @@ const char* to_string(RejectReason reason) {
       return "too_few_channels";
     case RejectReason::kSolverFailure:
       return "solver_failure";
+    case RejectReason::kAntennaHealth:
+      return "antenna_health";
+  }
+  return "?";
+}
+
+const char* to_string(SensingGrade grade) {
+  switch (grade) {
+    case SensingGrade::kFull:
+      return "full";
+    case SensingGrade::kDegraded:
+      return "degraded";
+    case SensingGrade::kRejected:
+      return "rejected";
   }
   return "?";
 }
@@ -68,26 +82,107 @@ void RfPrism::calibrate_tag(const std::string& tag_id, const RoundTrace& round,
   db_.set_tag(tag_id, ::rfp::calibrate_tag(config_.geometry, lines, reference));
 }
 
-SensingResult RfPrism::sense(const RoundTrace& round,
-                             const std::string& tag_id) const {
+namespace {
+
+/// Reject `result` in place with `reason`.
+SensingResult& reject(SensingResult& result, RejectReason reason) {
+  result.valid = false;
+  result.reject_reason = reason;
+  result.grade = SensingGrade::kRejected;
+  return result;
+}
+
+}  // namespace
+
+SensingResult RfPrism::sense(const RoundTrace& round, const std::string& tag_id,
+                             const AntennaHealthMonitor* health) const {
   SensingResult result;
   result.lines = fit_round(round, /*apply_reader_cal=*/true);
+  const bool mode_3d = config_.disentangle.grid_nz > 1;
+  const std::size_t min_antennas = mode_3d ? 4 : 3;
+
+  // ---- Antenna-subset selection (degraded mode) -----------------------
+  // Gate each port's *this-round* data: with the detector on, the §V-C
+  // per-antenna criteria; with it off, bare solver viability (>= 3 inlier
+  // channels), which reproduces the strict pipeline's implicit filtering.
+  // Quarantined ports (long-horizon health) are excluded regardless of how
+  // their current round looks.
+  std::vector<AntennaLine> solve_lines;
+  bool quarantine_excluded = false;
+  if (config_.enable_degraded_mode) {
+    std::vector<bool> gate;
+    if (config_.enable_error_detector) {
+      gate = antenna_health_flags(result.lines, config_.error_detector);
+    } else {
+      gate.reserve(result.lines.size());
+      for (const auto& line : result.lines) gate.push_back(line.fit.n >= 3);
+    }
+    for (std::size_t i = 0; i < result.lines.size(); ++i) {
+      const std::size_t antenna = result.lines[i].antenna;
+      const bool quarantined = health != nullptr &&
+                               antenna < health->n_antennas() &&
+                               !health->healthy(antenna);
+      if (!gate[i]) result.unhealthy_antennas.push_back(antenna);
+      if (!gate[i] || quarantined) {
+        result.excluded_antennas.push_back(antenna);
+        quarantine_excluded |= quarantined && gate[i];
+      } else {
+        solve_lines.push_back(result.lines[i]);
+      }
+    }
+  } else {
+    solve_lines = result.lines;
+  }
+
+  if (config_.enable_degraded_mode && solve_lines.size() < min_antennas) {
+    // Not enough healthy ports to disentangle. Prefer the whole-round
+    // detector verdict when *every* port failed (mobility corrupts all
+    // antennas at once — that is not a port-health problem); otherwise
+    // name the antenna-health gate explicitly.
+    if (config_.enable_error_detector) {
+      if (result.unhealthy_antennas.size() == result.lines.size()) {
+        const RejectReason reason =
+            detect_errors(result.lines, config_.error_detector);
+        return reject(result, reason != RejectReason::kNone
+                                  ? reason
+                                  : RejectReason::kAntennaHealth);
+      }
+      return reject(result, RejectReason::kAntennaHealth);
+    }
+    return reject(result, quarantine_excluded ? RejectReason::kAntennaHealth
+                                              : RejectReason::kSolverFailure);
+  }
 
   if (config_.enable_error_detector) {
-    const RejectReason reason =
-        detect_errors(result.lines, config_.error_detector);
-    if (reason != RejectReason::kNone) {
-      result.valid = false;
-      result.reject_reason = reason;
-      return result;
+    RejectReason reason =
+        detect_errors(std::span<const AntennaLine>(solve_lines),
+                      config_.error_detector);
+    if (config_.enable_degraded_mode) {
+      // Best-subset search: the cross-antenna checks can still fail on the
+      // healthy set (e.g. one marginal port drags the median); shed the
+      // worst-RMSE line while a solvable subset remains.
+      while (reason != RejectReason::kNone &&
+             solve_lines.size() > min_antennas) {
+        std::size_t worst = 0;
+        for (std::size_t i = 1; i < solve_lines.size(); ++i) {
+          if (solve_lines[i].fit.rmse > solve_lines[worst].fit.rmse) worst = i;
+        }
+        result.unhealthy_antennas.push_back(solve_lines[worst].antenna);
+        result.excluded_antennas.push_back(solve_lines[worst].antenna);
+        solve_lines.erase(solve_lines.begin() +
+                          static_cast<std::ptrdiff_t>(worst));
+        reason = detect_errors(std::span<const AntennaLine>(solve_lines),
+                               config_.error_detector);
+      }
     }
+    if (reason != RejectReason::kNone) return reject(result, reason);
   }
 
   try {
     const PositionSolve pos =
-        solve_position(config_.geometry, result.lines, config_.disentangle);
+        solve_position(config_.geometry, solve_lines, config_.disentangle);
     const OrientationSolve orient = solve_orientation(
-        config_.geometry, result.lines, pos.position, config_.disentangle);
+        config_.geometry, solve_lines, pos.position, config_.disentangle);
 
     result.position = pos.position;
     result.position_residual = pos.rms;
@@ -97,12 +192,13 @@ SensingResult RfPrism::sense(const RoundTrace& round,
     result.orientation_residual = orient.rms;
     result.bt = orient.bt;
   } catch (const Error&) {
-    result.valid = false;
-    result.reject_reason = RejectReason::kSolverFailure;
-    return result;
+    return reject(result, RejectReason::kSolverFailure);
   }
 
-  result.material_signature = material_signature(result.lines);
+  // Material features come from the lines that were actually solved on: a
+  // dead or bursty port would otherwise poison the averaged signature.
+  result.material_signature =
+      material_signature(std::span<const AntennaLine>(solve_lines));
   if (!tag_id.empty()) {
     if (const TagCalibration* cal = db_.find_tag(tag_id)) {
       apply_tag_calibration(*cal, result.kt, result.bt,
@@ -112,6 +208,10 @@ SensingResult RfPrism::sense(const RoundTrace& round,
 
   result.valid = true;
   result.reject_reason = RejectReason::kNone;
+  result.grade = (config_.enable_degraded_mode &&
+                  solve_lines.size() < result.lines.size())
+                     ? SensingGrade::kDegraded
+                     : SensingGrade::kFull;
   return result;
 }
 

@@ -27,6 +27,11 @@ struct TestbedConfig {
   /// Deployment in 3D mode (4 antennas, z solved) instead of planar.
   bool mode_3d = false;
 
+  /// Antenna count override; 0 keeps the mode default (3 in 2D, 4 in 3D).
+  /// A 4-antenna 2D deployment is the canonical fault-tolerance rig: one
+  /// port can die and the pipeline still has a solvable subset.
+  std::size_t n_antennas = 0;
+
   /// Multipath environment per paper Fig. 12: clutter reflectors around
   /// the region and the ChannelConfig::multipath() impairments.
   bool multipath_environment = false;

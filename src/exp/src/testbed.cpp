@@ -41,8 +41,17 @@ const char* to_string(Region region) {
 }
 
 Testbed::Testbed(TestbedConfig config) : config_(config) {
-  scene_ = config_.mode_3d ? make_scene_3d(config_.seed)
-                           : make_scene_2d(config_.seed);
+  if (config_.mode_3d) {
+    scene_ = make_scene_3d(config_.seed);
+    require(config_.n_antennas == 0 || config_.n_antennas == 4,
+            "Testbed: 3D mode uses the fixed 4-antenna scene");
+  } else if (config_.n_antennas == 0) {
+    scene_ = make_scene_2d(config_.seed);
+  } else {
+    SceneConfig scene_config;
+    scene_config.n_antennas = config_.n_antennas;
+    scene_ = make_standard_scene(scene_config, config_.seed);
+  }
   if (config_.multipath_environment) {
     add_clutter(scene_, config_.n_clutter, mix_seed(config_.seed, 0xC1));
     config_.channel = ChannelConfig::multipath();

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rfp/rfsim/reader.hpp"
+
+/// \file faults.hpp
+/// Deployment fault injection. `reader.hpp` models a *healthy* R420; a real
+/// installation loses antenna ports (cable kicked loose, PoE brownout),
+/// drops dwells under interference, restarts its reader mid-round, and
+/// delivers duplicate or reordered report streams. FaultInjector perturbs
+/// healthy simulator output with exactly those failure modes so the
+/// pipeline's degraded-mode behaviour is testable and benchmarkable.
+///
+/// All perturbations are deterministic in (profile.seed, trial): the same
+/// trial id reproduces the same fault realization regardless of how many
+/// rounds were faulted before it.
+
+namespace rfp {
+
+/// One report record of an interleaved reader stream. core/streaming.hpp
+/// aliases this as TagRead (rfsim cannot depend on core, but the fault
+/// layer must perturb the same records StreamingSensor ingests).
+struct StreamRead {
+  std::string tag_id;
+  std::size_t antenna = 0;
+  std::size_t channel = 0;
+  double frequency_hz = 0.0;
+  double time_s = 0.0;
+  double phase = 0.0;
+  double rssi_dbm = 0.0;
+};
+
+/// What can go wrong, and how often. Probabilities are per the unit named
+/// in each comment; 0 disables that fault class.
+struct FaultProfile {
+  std::uint64_t seed = 0xFA17;
+
+  // -- Antenna-port faults ----------------------------------------------
+  /// Ports that never report (severed cable). Full dropout for every round.
+  std::vector<std::size_t> dead_antennas;
+  /// Per (round, port) probability that an otherwise-healthy port is silent
+  /// for that whole round (connector chatter at round timescale).
+  double antenna_dropout_prob = 0.0;
+  /// Ports with intermittent per-dwell dropout (flaky connector).
+  std::vector<std::size_t> flaky_antennas;
+  /// Per-dwell loss probability for flaky ports.
+  double flaky_dropout_prob = 0.5;
+
+  // -- Reader/link faults -----------------------------------------------
+  /// Per-dwell probability the dwell is lost entirely (all ports see this;
+  /// models reader-side inventory gaps).
+  double dwell_loss_prob = 0.0;
+  /// Per-read loss probability (thinned dwells rather than missing ones).
+  double read_loss_prob = 0.0;
+  /// Probability a round contains one burst-interference window.
+  double burst_prob = 0.0;
+  double burst_duration_s = 1.5;    ///< burst window length [s]
+  double burst_phase_noise = 0.8;   ///< extra phase noise in-burst [rad]
+  double burst_rssi_drop_db = 6.0;  ///< RSSI suppression in-burst [dB]
+  /// Probability the reader restarts mid-round; reads inside the dead
+  /// window are lost.
+  double restart_prob = 0.0;
+  double restart_dead_time_s = 2.0;
+
+  // -- Stream transport faults (apply_stream only) ----------------------
+  /// Per-read probability the report is delivered twice (LLRP redelivery).
+  double duplicate_prob = 0.0;
+  /// Gaussian jitter applied to report timestamps [s].
+  double timestamp_jitter_s = 0.0;
+  /// Per-read probability the report is delayed past later reads.
+  double reorder_prob = 0.0;
+  /// How far (in reads) a reordered report can be displaced.
+  std::size_t reorder_max_displacement = 16;
+
+  /// Canonical mixed profile for robustness sweeps: every fault class
+  /// scaled by `intensity` in [0, 1] (0 = healthy, 1 = hostile site).
+  static FaultProfile scaled(double intensity, std::uint64_t seed = 0xFA17);
+};
+
+/// Tallies of what one apply() call actually did (for logging/benches).
+struct FaultSummary {
+  std::size_t ports_silenced = 0;   ///< ports with zero surviving dwells
+  std::size_t dwells_dropped = 0;
+  std::size_t reads_dropped = 0;
+  std::size_t reads_perturbed = 0;  ///< burst-noise-affected reads
+  std::size_t reads_duplicated = 0;
+  std::size_t reads_reordered = 0;
+};
+
+/// Applies a FaultProfile to healthy simulator output.
+class FaultInjector {
+ public:
+  /// Throws InvalidArgument on out-of-range probabilities or non-positive
+  /// window durations.
+  explicit FaultInjector(FaultProfile profile);
+
+  const FaultProfile& profile() const { return profile_; }
+  /// Tallies of the most recent apply()/apply_stream() call.
+  const FaultSummary& last_summary() const { return summary_; }
+
+  /// Perturb one hop round (collect_round output). n_antennas is
+  /// preserved; faulted dwells/reads are removed or noise-corrupted.
+  RoundTrace apply(const RoundTrace& round, std::uint64_t trial) const;
+
+  /// Perturb a multi-tag inventory (collect_round_multi output). All tags
+  /// share the round-level fault realization (a dead port is dead for
+  /// everyone), read-level draws are per tag.
+  std::vector<RoundTrace> apply(std::span<const RoundTrace> rounds,
+                                std::uint64_t trial) const;
+
+  /// Perturb an interleaved report stream: port/dwell/burst/restart faults
+  /// plus transport faults (duplicates, timestamp jitter, reordering).
+  std::vector<StreamRead> apply_stream(std::span<const StreamRead> reads,
+                                       std::uint64_t trial) const;
+
+ private:
+  FaultProfile profile_;
+  mutable FaultSummary summary_;
+};
+
+}  // namespace rfp

@@ -1,0 +1,279 @@
+#include "rfp/rfsim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "rfp/common/angles.hpp"
+#include "rfp/common/error.hpp"
+#include "rfp/common/rng.hpp"
+
+namespace rfp {
+
+namespace {
+
+constexpr std::uint64_t kRoundStream = 0x726E64;   // "rnd"
+constexpr std::uint64_t kStreamStream = 0x737472;  // "str"
+
+void require_prob(double p, const char* what) {
+  require(p >= 0.0 && p <= 1.0, std::string("FaultInjector: ") + what +
+                                    " must be a probability in [0, 1]");
+}
+
+bool contains(const std::vector<std::size_t>& v, std::size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/// Round-level fault realization shared by every dwell (and, for multi-tag
+/// inventories, every tag) of one trial.
+struct RoundFaults {
+  std::vector<std::size_t> silent_ports;  // dead + per-round dropout draws
+  bool has_burst = false;
+  double burst_lo = 0.0, burst_hi = 0.0;
+  bool has_restart = false;
+  double restart_lo = 0.0, restart_hi = 0.0;
+
+  bool port_silent(std::size_t antenna) const {
+    return contains(silent_ports, antenna);
+  }
+  bool in_burst(double t) const {
+    return has_burst && t >= burst_lo && t < burst_hi;
+  }
+  bool in_restart(double t) const {
+    return has_restart && t >= restart_lo && t < restart_hi;
+  }
+};
+
+RoundFaults draw_round_faults(const FaultProfile& profile,
+                              std::size_t n_antennas, double duration_s,
+                              Rng& rng) {
+  RoundFaults faults;
+  for (std::size_t ai = 0; ai < n_antennas; ++ai) {
+    if (contains(profile.dead_antennas, ai) ||
+        rng.bernoulli(profile.antenna_dropout_prob)) {
+      faults.silent_ports.push_back(ai);
+    }
+  }
+  if (rng.bernoulli(profile.burst_prob)) {
+    faults.has_burst = true;
+    const double span = std::max(duration_s - profile.burst_duration_s, 0.0);
+    faults.burst_lo = rng.uniform(0.0, std::max(span, 1e-12));
+    faults.burst_hi = faults.burst_lo + profile.burst_duration_s;
+  }
+  if (rng.bernoulli(profile.restart_prob)) {
+    faults.has_restart = true;
+    faults.restart_lo = rng.uniform(0.0, std::max(duration_s, 1e-12));
+    faults.restart_hi = faults.restart_lo + profile.restart_dead_time_s;
+  }
+  return faults;
+}
+
+}  // namespace
+
+FaultProfile FaultProfile::scaled(double intensity, std::uint64_t seed) {
+  require(intensity >= 0.0 && intensity <= 1.0,
+          "FaultProfile::scaled: intensity must be in [0, 1]");
+  FaultProfile p;
+  p.seed = seed;
+  p.antenna_dropout_prob = 0.15 * intensity;
+  p.dwell_loss_prob = 0.30 * intensity;
+  p.read_loss_prob = 0.15 * intensity;
+  p.burst_prob = intensity;
+  p.burst_phase_noise = 0.7 * intensity;
+  p.burst_duration_s = 1.5;
+  p.restart_prob = 0.5 * intensity;
+  p.restart_dead_time_s = 2.0;
+  p.duplicate_prob = 0.20 * intensity;
+  p.timestamp_jitter_s = 0.02 * intensity;
+  p.reorder_prob = 0.20 * intensity;
+  return p;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile)
+    : profile_(std::move(profile)) {
+  require_prob(profile_.antenna_dropout_prob, "antenna_dropout_prob");
+  require_prob(profile_.flaky_dropout_prob, "flaky_dropout_prob");
+  require_prob(profile_.dwell_loss_prob, "dwell_loss_prob");
+  require_prob(profile_.read_loss_prob, "read_loss_prob");
+  require_prob(profile_.burst_prob, "burst_prob");
+  require_prob(profile_.restart_prob, "restart_prob");
+  require_prob(profile_.duplicate_prob, "duplicate_prob");
+  require_prob(profile_.reorder_prob, "reorder_prob");
+  require(profile_.burst_duration_s > 0.0 && profile_.restart_dead_time_s > 0.0,
+          "FaultInjector: fault windows must have positive duration");
+  require(profile_.burst_phase_noise >= 0.0 &&
+              profile_.timestamp_jitter_s >= 0.0,
+          "FaultInjector: noise magnitudes must be non-negative");
+}
+
+namespace {
+
+RoundTrace apply_faulted(const FaultProfile& profile, const RoundTrace& round,
+                         const RoundFaults& faults, Rng& rng,
+                         FaultSummary& summary) {
+  RoundTrace out;
+  out.n_antennas = round.n_antennas;
+  out.duration_s = round.duration_s;
+  out.dwells.reserve(round.dwells.size());
+
+  std::vector<bool> port_alive(round.n_antennas, false);
+  for (const Dwell& dwell : round.dwells) {
+    if (faults.port_silent(dwell.antenna) ||
+        faults.in_restart(dwell.start_time_s) ||
+        rng.bernoulli(profile.dwell_loss_prob) ||
+        (contains(profile.flaky_antennas, dwell.antenna) &&
+         rng.bernoulli(profile.flaky_dropout_prob))) {
+      ++summary.dwells_dropped;
+      summary.reads_dropped += dwell.phases.size();
+      continue;
+    }
+
+    Dwell kept;
+    kept.antenna = dwell.antenna;
+    kept.channel = dwell.channel;
+    kept.frequency_hz = dwell.frequency_hz;
+    kept.start_time_s = dwell.start_time_s;
+    kept.phases.reserve(dwell.phases.size());
+    kept.rssi_dbm.reserve(dwell.rssi_dbm.size());
+    for (std::size_t r = 0; r < dwell.phases.size(); ++r) {
+      if (rng.bernoulli(profile.read_loss_prob)) {
+        ++summary.reads_dropped;
+        continue;
+      }
+      double phase = dwell.phases[r];
+      double rssi = r < dwell.rssi_dbm.size() ? dwell.rssi_dbm[r] : 0.0;
+      if (faults.in_burst(dwell.start_time_s)) {
+        phase = wrap_to_2pi(phase +
+                            rng.gaussian(0.0, profile.burst_phase_noise));
+        rssi -= profile.burst_rssi_drop_db;
+        ++summary.reads_perturbed;
+      }
+      kept.phases.push_back(phase);
+      kept.rssi_dbm.push_back(rssi);
+    }
+    if (kept.phases.empty()) {
+      ++summary.dwells_dropped;
+      continue;
+    }
+    port_alive[kept.antenna] = true;
+    out.dwells.push_back(std::move(kept));
+  }
+
+  for (bool alive : port_alive) {
+    if (!alive) ++summary.ports_silenced;
+  }
+  return out;
+}
+
+}  // namespace
+
+RoundTrace FaultInjector::apply(const RoundTrace& round,
+                                std::uint64_t trial) const {
+  summary_ = {};
+  Rng rng(mix_seed(profile_.seed, kRoundStream, trial));
+  const RoundFaults faults =
+      draw_round_faults(profile_, round.n_antennas, round.duration_s, rng);
+  return apply_faulted(profile_, round, faults, rng, summary_);
+}
+
+std::vector<RoundTrace> FaultInjector::apply(std::span<const RoundTrace> rounds,
+                                             std::uint64_t trial) const {
+  summary_ = {};
+  std::vector<RoundTrace> out;
+  if (rounds.empty()) return out;
+  out.reserve(rounds.size());
+
+  // One round-level realization for the whole inventory: a dead port, a
+  // burst window, or a restart hits every tag at once. Read-level draws
+  // then come from per-tag streams, so tag t's thinning is independent of
+  // how many tags were faulted before it.
+  Rng round_rng(mix_seed(profile_.seed, kRoundStream, trial));
+  const RoundFaults faults = draw_round_faults(
+      profile_, rounds[0].n_antennas, rounds[0].duration_s, round_rng);
+  for (std::size_t t = 0; t < rounds.size(); ++t) {
+    Rng tag_rng(mix_seed(profile_.seed, mix_seed(trial, 0x746167, t)));
+    out.push_back(
+        apply_faulted(profile_, rounds[t], faults, tag_rng, summary_));
+  }
+  return out;
+}
+
+std::vector<StreamRead> FaultInjector::apply_stream(
+    std::span<const StreamRead> reads, std::uint64_t trial) const {
+  summary_ = {};
+  if (reads.empty()) return {};
+  Rng rng(mix_seed(profile_.seed, kStreamStream, trial));
+
+  double t_lo = reads.front().time_s, t_hi = reads.front().time_s;
+  std::size_t max_antenna = 0;
+  for (const StreamRead& read : reads) {
+    t_lo = std::min(t_lo, read.time_s);
+    t_hi = std::max(t_hi, read.time_s);
+    max_antenna = std::max(max_antenna, read.antenna);
+  }
+  const RoundFaults faults =
+      draw_round_faults(profile_, max_antenna + 1, t_hi - t_lo, rng);
+
+  // Dwell-level decisions must be consistent across the reads of one
+  // (antenna, channel) segment, so they are drawn once per key.
+  std::map<std::pair<std::size_t, std::size_t>, bool> dwell_lost;
+  auto dwell_is_lost = [&](const StreamRead& read) {
+    const auto key = std::make_pair(read.antenna, read.channel);
+    auto it = dwell_lost.find(key);
+    if (it == dwell_lost.end()) {
+      const bool lost =
+          rng.bernoulli(profile_.dwell_loss_prob) ||
+          (contains(profile_.flaky_antennas, read.antenna) &&
+           rng.bernoulli(profile_.flaky_dropout_prob));
+      it = dwell_lost.emplace(key, lost).first;
+    }
+    return it->second;
+  };
+
+  std::vector<StreamRead> out;
+  out.reserve(reads.size());
+  for (const StreamRead& read : reads) {
+    const double t = read.time_s - t_lo;
+    if (faults.port_silent(read.antenna) || faults.in_restart(t) ||
+        dwell_is_lost(read) || rng.bernoulli(profile_.read_loss_prob)) {
+      ++summary_.reads_dropped;
+      continue;
+    }
+    StreamRead kept = read;
+    if (faults.in_burst(t)) {
+      kept.phase =
+          wrap_to_2pi(kept.phase + rng.gaussian(0.0, profile_.burst_phase_noise));
+      kept.rssi_dbm -= profile_.burst_rssi_drop_db;
+      ++summary_.reads_perturbed;
+    }
+    if (profile_.timestamp_jitter_s > 0.0) {
+      kept.time_s = std::max(
+          0.0, kept.time_s + rng.gaussian(0.0, profile_.timestamp_jitter_s));
+    }
+    out.push_back(kept);
+    if (rng.bernoulli(profile_.duplicate_prob)) {
+      out.push_back(out.back());
+      ++summary_.reads_duplicated;
+    }
+  }
+
+  // Reordering: displace selected reads later in the delivery order (LLRP
+  // batches flushing out of order), bounded by reorder_max_displacement.
+  if (profile_.reorder_prob > 0.0 && out.size() > 1) {
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (!rng.bernoulli(profile_.reorder_prob)) continue;
+      const std::size_t max_shift = std::min<std::size_t>(
+          profile_.reorder_max_displacement, out.size() - 1 - i);
+      if (max_shift == 0) continue;
+      const std::size_t target = i + 1 + rng.uniform_index(max_shift);
+      std::rotate(out.begin() + static_cast<std::ptrdiff_t>(i),
+                  out.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  out.begin() + static_cast<std::ptrdiff_t>(target) + 1);
+      ++summary_.reads_reordered;
+    }
+  }
+  return out;
+}
+
+}  // namespace rfp

@@ -1,0 +1,201 @@
+#include "rfp/rfsim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rfp/common/error.hpp"
+#include "rfp/core/streaming.hpp"
+#include "rfp/exp/testbed.hpp"
+
+namespace rfp {
+namespace {
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  FaultsTest() {
+    TestbedConfig config;
+    config.n_antennas = 4;
+    bed_ = std::make_unique<Testbed>(config);
+    state_ = bed_->tag_state({0.8, 1.2}, 0.5, "glass");
+    round_ = bed_->collect(state_, 1);
+  }
+
+  static std::size_t total_reads(const RoundTrace& round) {
+    std::size_t n = 0;
+    for (const auto& dwell : round.dwells) n += dwell.phases.size();
+    return n;
+  }
+
+  static std::set<std::size_t> antennas_present(const RoundTrace& round) {
+    std::set<std::size_t> out;
+    for (const auto& dwell : round.dwells) out.insert(dwell.antenna);
+    return out;
+  }
+
+  std::unique_ptr<Testbed> bed_;
+  TagState state_;
+  RoundTrace round_;
+};
+
+TEST_F(FaultsTest, ZeroIntensityIsIdentity) {
+  FaultInjector injector(FaultProfile::scaled(0.0));
+  const RoundTrace faulted = injector.apply(round_, 7);
+  ASSERT_EQ(faulted.dwells.size(), round_.dwells.size());
+  EXPECT_EQ(total_reads(faulted), total_reads(round_));
+  for (std::size_t i = 0; i < faulted.dwells.size(); ++i) {
+    EXPECT_EQ(faulted.dwells[i].phases, round_.dwells[i].phases);
+  }
+  EXPECT_EQ(injector.last_summary().dwells_dropped, 0u);
+  EXPECT_EQ(injector.last_summary().reads_dropped, 0u);
+}
+
+TEST_F(FaultsTest, DeterministicInSeedAndTrial) {
+  FaultInjector injector(FaultProfile::scaled(0.6));
+  const RoundTrace a = injector.apply(round_, 3);
+  const RoundTrace b = injector.apply(round_, 3);
+  ASSERT_EQ(a.dwells.size(), b.dwells.size());
+  for (std::size_t i = 0; i < a.dwells.size(); ++i) {
+    EXPECT_EQ(a.dwells[i].antenna, b.dwells[i].antenna);
+    EXPECT_EQ(a.dwells[i].phases, b.dwells[i].phases);
+  }
+  // A different trial realizes different faults.
+  const RoundTrace c = injector.apply(round_, 4);
+  const bool differs = c.dwells.size() != a.dwells.size() ||
+                       total_reads(c) != total_reads(a);
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(FaultsTest, DeadAntennaSilencedEveryRound) {
+  FaultProfile profile;
+  profile.dead_antennas = {2};
+  FaultInjector injector(profile);
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    const RoundTrace faulted = injector.apply(bed_->collect(state_, trial),
+                                              trial);
+    EXPECT_EQ(faulted.n_antennas, round_.n_antennas);  // geometry preserved
+    EXPECT_FALSE(antennas_present(faulted).contains(2));
+    EXPECT_GE(injector.last_summary().ports_silenced, 1u);
+  }
+}
+
+TEST_F(FaultsTest, DwellAndReadLossThinTheRound) {
+  FaultProfile profile;
+  profile.dwell_loss_prob = 0.4;
+  profile.read_loss_prob = 0.3;
+  FaultInjector injector(profile);
+  const RoundTrace faulted = injector.apply(round_, 11);
+  EXPECT_LT(faulted.dwells.size(), round_.dwells.size());
+  EXPECT_LT(total_reads(faulted), total_reads(round_));
+  EXPECT_GT(injector.last_summary().dwells_dropped, 0u);
+  EXPECT_GT(injector.last_summary().reads_dropped, 0u);
+}
+
+TEST_F(FaultsTest, BurstPerturbsPhasesInWindow) {
+  FaultProfile profile;
+  profile.burst_prob = 1.0;
+  profile.burst_duration_s = 1e6;  // whole round in-burst
+  profile.burst_phase_noise = 0.5;
+  FaultInjector injector(profile);
+  const RoundTrace faulted = injector.apply(round_, 2);
+  ASSERT_EQ(faulted.dwells.size(), round_.dwells.size());
+  EXPECT_GT(injector.last_summary().reads_perturbed, 0u);
+  bool any_changed = false;
+  for (std::size_t i = 0; i < faulted.dwells.size(); ++i) {
+    if (faulted.dwells[i].phases != round_.dwells[i].phases)
+      any_changed = true;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST_F(FaultsTest, MultiTagRoundsShareRoundLevelFaults) {
+  FaultProfile profile;
+  profile.antenna_dropout_prob = 0.5;
+  FaultInjector injector(profile);
+  const std::vector<RoundTrace> rounds = {bed_->collect(state_, 1),
+                                          bed_->collect(state_, 2)};
+  const auto faulted =
+      injector.apply(std::span<const RoundTrace>(rounds), 5);
+  ASSERT_EQ(faulted.size(), 2u);
+  // A round-level port dropout is shared: the same ports are silent for
+  // every tag in the inventory.
+  EXPECT_EQ(antennas_present(faulted[0]), antennas_present(faulted[1]));
+}
+
+TEST_F(FaultsTest, StreamDuplicatesAndJitter) {
+  const auto reads = round_to_reads(round_, "tag-1");
+  FaultProfile profile;
+  profile.duplicate_prob = 0.3;
+  profile.timestamp_jitter_s = 0.01;
+  FaultInjector injector(profile);
+  const auto faulted =
+      injector.apply_stream(std::span<const StreamRead>(reads), 1);
+  EXPECT_GT(faulted.size(), reads.size());
+  EXPECT_GT(injector.last_summary().reads_duplicated, 0u);
+  for (const auto& read : faulted) EXPECT_GE(read.time_s, 0.0);
+}
+
+TEST_F(FaultsTest, StreamReorderingPreservesContent) {
+  const auto reads = round_to_reads(round_, "tag-1");
+  FaultProfile profile;
+  profile.reorder_prob = 0.5;
+  FaultInjector injector(profile);
+  const auto faulted =
+      injector.apply_stream(std::span<const StreamRead>(reads), 9);
+  ASSERT_EQ(faulted.size(), reads.size());
+  EXPECT_GT(injector.last_summary().reads_reordered, 0u);
+  // Same multiset of phases, different order.
+  std::vector<double> a, b;
+  for (const auto& r : reads) a.push_back(r.phase);
+  for (const auto& r : faulted) b.push_back(r.phase);
+  EXPECT_NE(a, b);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(FaultsTest, FaultedStreamSurvivesStreamingSensor) {
+  // End-to-end: hostile transport into StreamingSensor still yields a
+  // valid (possibly degraded) pose.
+  StreamingSensor sensor(bed_->prism());
+  FaultProfile profile;
+  profile.duplicate_prob = 0.2;
+  profile.reorder_prob = 0.3;
+  profile.timestamp_jitter_s = 0.005;
+  profile.read_loss_prob = 0.1;
+  FaultInjector injector(profile);
+  const auto reads = round_to_reads(round_, bed_->tag_id());
+  sensor.push(injector.apply_stream(std::span<const StreamRead>(reads), 3));
+  const auto emitted = sensor.poll();
+  ASSERT_EQ(emitted.size(), 1u);
+  ASSERT_TRUE(emitted[0].result.valid);
+  EXPECT_LT(distance(emitted[0].result.position, state_.position), 0.4);
+  EXPECT_GT(sensor.stats().duplicates_dropped, 0u);
+}
+
+TEST_F(FaultsTest, ScaledIntensityIsMonotoneInSurvivingReads) {
+  const FaultInjector mild(FaultProfile::scaled(0.2));
+  const FaultInjector harsh(FaultProfile::scaled(0.9));
+  std::size_t mild_reads = 0, harsh_reads = 0;
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    mild_reads += total_reads(mild.apply(round_, trial));
+    harsh_reads += total_reads(harsh.apply(round_, trial));
+  }
+  EXPECT_GT(mild_reads, harsh_reads);
+}
+
+TEST_F(FaultsTest, ValidatesProfile) {
+  FaultProfile profile;
+  profile.dwell_loss_prob = 1.5;
+  EXPECT_THROW(FaultInjector{profile}, InvalidArgument);
+  profile = {};
+  profile.burst_prob = 0.5;
+  profile.burst_duration_s = -1.0;
+  EXPECT_THROW(FaultInjector{profile}, InvalidArgument);
+  EXPECT_THROW(FaultProfile::scaled(-0.1), InvalidArgument);
+  EXPECT_THROW(FaultProfile::scaled(1.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfp

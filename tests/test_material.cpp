@@ -20,7 +20,8 @@ TEST(MaterialDB, StandardContainsPaperMaterials) {
 }
 
 TEST(MaterialDB, NoneIsNeutral) {
-  const Material& none = MaterialDB::standard().get("none");
+  const MaterialDB db = MaterialDB::standard();
+  const Material& none = db.get("none");
   EXPECT_DOUBLE_EQ(none.kt, 0.0);
   EXPECT_DOUBLE_EQ(none.bt, 0.0);
   EXPECT_DOUBLE_EQ(none.signature(915e6), 0.0);
@@ -79,7 +80,8 @@ TEST(MaterialDB, EmptyNameThrows) {
 }
 
 TEST(MaterialSignature, DeterministicAndBounded) {
-  const Material& glass = MaterialDB::standard().get("glass");
+  const MaterialDB db = MaterialDB::standard();
+  const Material& glass = db.get("glass");
   for (std::size_t i = 0; i < kNumChannels; ++i) {
     const double f = channel_frequency(i);
     const double a = glass.signature(f);

@@ -6,6 +6,9 @@
 ///                                standard deployment's pipeline
 ///   rfprism inspect <trace>      print structural stats of a saved round
 ///   rfprism materials            list the material database
+///   rfprism stream [options]     push faulted reader streams through the
+///                                StreamingSensor and print emissions,
+///                                ingestion stats, and port health
 ///
 /// `simulate` options:
 ///   --trials N        number of trials (default 20)
@@ -27,9 +30,11 @@
 #include "rfp/common/constants.hpp"
 #include "rfp/common/rng.hpp"
 #include "rfp/dsp/stats.hpp"
+#include "rfp/core/streaming.hpp"
 #include "rfp/core/tracker.hpp"
 #include "rfp/exp/testbed.hpp"
 #include "rfp/io/trace_io.hpp"
+#include "rfp/rfsim/faults.hpp"
 
 namespace {
 
@@ -37,14 +42,16 @@ using namespace rfp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rfprism <simulate|track|replay|inspect|materials> [args]\n"
+               "usage: rfprism <simulate|track|replay|inspect|materials|stream> [args]\n"
                "  rfprism simulate [--trials N] [--material NAME|all]\n"
                "                   [--alpha DEG] [--multipath] [--seed S]\n"
                "                   [--csv] [--dump-trace FILE]\n"
                "  rfprism replay <trace-file> [--seed S]\n"
                "  rfprism inspect <trace-file>\n"
                "  rfprism track [--rounds N] [--seed S]\n"
-               "  rfprism materials\n");
+               "  rfprism materials\n"
+               "  rfprism stream [--rounds N] [--fault-intensity X]\n"
+               "                 [--dead PORT] [--antennas N] [--seed S]\n");
   return 2;
 }
 
@@ -204,6 +211,105 @@ int run_track(int rounds, std::uint64_t seed) {
   return 0;
 }
 
+struct StreamOptions {
+  int rounds = 12;
+  double intensity = 0.5;
+  std::optional<std::size_t> dead_port;
+  std::size_t antennas = 4;
+  std::uint64_t seed = 42;
+};
+
+int run_stream(const StreamOptions& options) {
+  if (options.dead_port && *options.dead_port >= options.antennas) {
+    std::fprintf(stderr, "error: --dead %zu out of range for %zu antennas\n",
+                 *options.dead_port, options.antennas);
+    return 1;
+  }
+  TestbedConfig config;
+  config.seed = options.seed;
+  config.n_antennas = options.antennas;
+  Testbed bed(config);
+  StreamingSensor sensor(bed.prism());
+
+  FaultProfile profile = FaultProfile::scaled(options.intensity,
+                                              mix_seed(options.seed, 0xFA17));
+  if (options.dead_port) profile.dead_antennas.push_back(*options.dead_port);
+  const FaultInjector injector(profile);
+
+  // A static tag streamed round after round through a faulty site.
+  const TagState state = bed.tag_state({0.8, 1.2}, 0.5, "plastic");
+  double clock = 0.0;
+  std::size_t emitted_total = 0;
+
+  std::printf("%-8s %-10s %-12s %-10s %s\n", "t[s]", "grade", "loc err",
+              "excluded", "reject reason");
+  const auto print_emissions = [&](const std::vector<StreamedResult>& batch) {
+    for (const auto& emitted : batch) {
+      ++emitted_total;
+      std::string excluded;
+      for (std::size_t a : emitted.result.excluded_antennas) {
+        excluded += (excluded.empty() ? "" : ",") + std::to_string(a);
+      }
+      if (excluded.empty()) excluded = "-";
+      if (emitted.result.valid) {
+        std::printf("%-8.1f %-10s %8.2f cm  %-10s %s\n", emitted.completed_at_s,
+                    to_string(emitted.result.grade),
+                    100.0 * distance(emitted.result.position, state.position),
+                    excluded.c_str(), "-");
+      } else {
+        std::printf("%-8.1f %-10s %11s  %-10s %s\n", emitted.completed_at_s,
+                    to_string(emitted.result.grade), "-", excluded.c_str(),
+                    to_string(emitted.result.reject_reason));
+      }
+    }
+  };
+  for (int k = 0; k < options.rounds; ++k) {
+    const std::uint64_t trial = 5000 + static_cast<std::uint64_t>(k);
+    const RoundTrace round = bed.collect(state, trial);
+    auto reads = round_to_reads(round, bed.tag_id());
+    for (auto& read : reads) read.time_s += clock;
+    sensor.push(injector.apply_stream(
+        std::span<const TagRead>(reads.data(), reads.size()), trial));
+    clock += round.duration_s + 1.0;
+
+    print_emissions(sensor.poll(clock));
+  }
+  // Flush anything still pending once the site goes quiet.
+  print_emissions(sensor.poll(clock + 1000.0));
+
+  const StreamingStats& stats = sensor.stats();
+  std::printf("\nstream stats\n");
+  std::printf("  reads accepted     %llu\n",
+              static_cast<unsigned long long>(stats.reads_accepted));
+  std::printf("  duplicates dropped %llu\n",
+              static_cast<unsigned long long>(stats.duplicates_dropped));
+  std::printf("  stale dropped      %llu\n",
+              static_cast<unsigned long long>(stats.stale_dropped));
+  std::printf("  pools pruned       %llu\n",
+              static_cast<unsigned long long>(stats.stale_pools_pruned));
+  std::printf("  rounds emitted     %llu (full %llu, degraded %llu, "
+              "rejected %llu)\n",
+              static_cast<unsigned long long>(stats.rounds_emitted),
+              static_cast<unsigned long long>(stats.rounds_full),
+              static_cast<unsigned long long>(stats.rounds_degraded),
+              static_cast<unsigned long long>(stats.rounds_rejected));
+  std::printf("  tags timed out     %llu\n",
+              static_cast<unsigned long long>(stats.tags_timed_out));
+
+  if (const AntennaHealthMonitor* health = sensor.health()) {
+    std::printf("\nport health\n");
+    for (std::size_t a = 0; a < health->n_antennas(); ++a) {
+      const PortHealth& port = health->port(a);
+      std::printf("  port %zu  %-12s rmse %.3f  read rate %.2f  "
+                  "exclusion rate %.2f  rounds %zu\n",
+                  a, port.quarantined ? "QUARANTINED" : "healthy",
+                  port.ewma_rmse, port.ewma_read_rate,
+                  port.ewma_exclusion_rate, port.rounds_observed);
+    }
+  }
+  return emitted_total > 0 ? 0 : 1;
+}
+
 int run_materials() {
   const MaterialDB db = MaterialDB::standard();
   std::printf("%-10s %12s %8s %10s %8s %s\n", "name", "kt[rad/GHz]",
@@ -249,6 +355,32 @@ int main(int argc, char** argv) {
       }
       return command == "replay" ? run_replay(argv[2], seed)
                                  : run_inspect(argv[2]);
+    }
+
+    if (command == "stream") {
+      StreamOptions options;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+          if (i + 1 >= argc) throw Error("missing value for " + arg);
+          return argv[++i];
+        };
+        if (arg == "--rounds") {
+          options.rounds = std::stoi(next());
+        } else if (arg == "--fault-intensity") {
+          options.intensity = std::stod(next());
+        } else if (arg == "--dead") {
+          options.dead_port = std::stoull(next());
+        } else if (arg == "--antennas") {
+          options.antennas = std::stoull(next());
+        } else if (arg == "--seed") {
+          options.seed = std::stoull(next());
+        } else {
+          std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+          return usage();
+        }
+      }
+      return run_stream(options);
     }
 
     if (command == "simulate") {
