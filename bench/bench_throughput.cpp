@@ -1,0 +1,156 @@
+/// Batch-sensing throughput: thread count x batch size sweep.
+///
+/// A fixed corpus of simulated hop rounds is sensed through
+/// RfPrism::sense_batch on SensingEngines of increasing size. For every
+/// (threads, batch) cell the bench reports sustained throughput
+/// (rounds/sec over repeated batch submissions) and the p50/p99 latency
+/// of one batch submission. The 1-thread column is the sequential
+/// baseline the ISSUE's ">= 3x at 8 threads" acceptance criterion is
+/// measured against; a closing JSON block (BENCH_throughput.json in CI)
+/// makes the sweep machine-readable for trending.
+///
+/// Every cell re-senses the same corpus, and sense_batch is bit-identical
+/// across thread counts by contract — the bench asserts that on the fly,
+/// so a determinism regression fails the throughput smoke too.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "rfp/core/engine.hpp"
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace rfp;
+using namespace rfp::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Exact equality on every field sensing computes (bit-identity is the
+/// sense_batch contract, so no tolerances).
+bool identical(const SensingResult& a, const SensingResult& b) {
+  return a.valid == b.valid && a.reject_reason == b.reject_reason &&
+         a.grade == b.grade && a.excluded_antennas == b.excluded_antennas &&
+         a.unhealthy_antennas == b.unhealthy_antennas &&
+         a.position.x == b.position.x && a.position.y == b.position.y &&
+         a.position.z == b.position.z &&
+         a.position_residual == b.position_residual && a.alpha == b.alpha &&
+         a.polarization.x == b.polarization.x &&
+         a.polarization.y == b.polarization.y &&
+         a.polarization.z == b.polarization.z &&
+         a.orientation_residual == b.orientation_residual && a.kt == b.kt &&
+         a.bt == b.bt && a.material_signature == b.material_signature;
+}
+
+struct Cell {
+  std::size_t threads = 0;
+  std::size_t batch = 0;
+  double rounds_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick: one repetition per cell, small corpus (CI smoke).
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  print_header("Batch throughput",
+               "sense_batch rounds/sec and latency vs thread count");
+
+  Testbed bed;
+  const auto materials = paper_materials();
+  Rng rng(mix_seed(42, 0xB47C));
+
+  const std::size_t corpus_size = quick ? 24 : 96;
+  std::vector<RoundTrace> corpus;
+  corpus.reserve(corpus_size);
+  for (std::size_t k = 0; k < corpus_size; ++k) {
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const TagState state = bed.tag_state(p, rng.uniform(0.0, kPi),
+                                         materials[k % materials.size()]);
+    corpus.push_back(bed.collect(state, 9000 + k));
+  }
+
+  // Reference results from the sequential path: every parallel cell must
+  // reproduce these bit for bit.
+  std::vector<SensingResult> reference;
+  reference.reserve(corpus.size());
+  for (const RoundTrace& round : corpus) {
+    reference.push_back(bed.prism().sense(round, bed.tag_id()));
+  }
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<std::size_t> batch_sizes =
+      quick ? std::vector<std::size_t>{corpus_size}
+            : std::vector<std::size_t>{8, 32, corpus_size};
+  const std::size_t reps = quick ? 2 : 5;
+
+  std::vector<Cell> cells;
+  std::printf("  %-8s %-8s %-14s %-10s %s\n", "threads", "batch", "rounds/s",
+              "p50[ms]", "p99[ms]");
+  for (std::size_t n_threads : thread_counts) {
+    SensingEngine engine(n_threads);
+    for (std::size_t batch : batch_sizes) {
+      const std::span<const RoundTrace> rounds(corpus.data(), batch);
+      // Warm-up: populate per-thread workspaces (and check determinism).
+      const std::vector<SensingResult> warm =
+          bed.prism().sense_batch(rounds, engine, bed.tag_id());
+      for (std::size_t k = 0; k < warm.size(); ++k) {
+        if (!identical(warm[k], reference[k])) {
+          std::fprintf(stderr,
+                       "FAIL: round %zu differs from sequential sense at "
+                       "%zu threads\n",
+                       k, engine.n_threads());
+          return 1;
+        }
+      }
+
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(reps);
+      std::size_t sensed = 0;
+      const auto t0 = Clock::now();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto s0 = Clock::now();
+        const std::vector<SensingResult> results =
+            bed.prism().sense_batch(rounds, engine, bed.tag_id());
+        latencies_ms.push_back(1e3 * seconds_since(s0));
+        sensed += results.size();
+      }
+      const double elapsed = seconds_since(t0);
+
+      Cell cell;
+      cell.threads = engine.n_threads();
+      cell.batch = batch;
+      cell.rounds_per_s =
+          elapsed > 0.0 ? static_cast<double>(sensed) / elapsed : 0.0;
+      cell.p50_ms = percentile(latencies_ms, 50.0);
+      cell.p99_ms = percentile(latencies_ms, 99.0);
+      cells.push_back(cell);
+      std::printf("  %-8zu %-8zu %-14.1f %-10.2f %.2f\n", cell.threads,
+                  cell.batch, cell.rounds_per_s, cell.p50_ms, cell.p99_ms);
+    }
+  }
+
+  std::printf("\n  JSON:\n[");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    std::printf(
+        "%s\n  {\"threads\": %zu, \"batch\": %zu, \"rounds_per_s\": %.1f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f}",
+        i == 0 ? "" : ",", cell.threads, cell.batch, cell.rounds_per_s,
+        cell.p50_ms, cell.p99_ms);
+  }
+  std::printf("\n]\n");
+  return 0;
+}

@@ -1,5 +1,7 @@
 #pragma once
 
+#include "rfp/common/thread_pool.hpp"
+#include "rfp/common/workspace.hpp"
 #include "rfp/core/types.hpp"
 
 /// \file disentangle.hpp
@@ -64,6 +66,19 @@ PositionSolve solve_position(const DeploymentGeometry& geometry,
                              std::span<const AntennaLine> lines,
                              const DisentangleConfig& config);
 
+/// Workspace-taking overload: all scratch (the flattened SoA snapshot of
+/// the usable lines, LM buffers) lives in `ws`, so repeated solves on a
+/// warmed-up workspace do no heap allocation in the grid scan or the
+/// refinement iterations. With a non-null `pool` the Stage-A grid scan is
+/// fanned out over the pool by row chunks; results are bit-identical to
+/// the sequential scan for any pool size (each cell's cost is computed
+/// independently and the argmin reduction is first-strict-minimum in scan
+/// order).
+PositionSolve solve_position(const DeploymentGeometry& geometry,
+                             std::span<const AntennaLine> lines,
+                             const DisentangleConfig& config,
+                             SolveWorkspace& ws, ThreadPool* pool = nullptr);
+
 /// Solve orientation + bt from per-antenna intercepts, given the Stage-A
 /// position estimate (the polarization coupling happens transverse to each
 /// antenna->tag ray, so the model needs the ray directions; their
@@ -74,6 +89,14 @@ OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
                                    std::span<const AntennaLine> lines,
                                    Vec3 tag_position,
                                    const DisentangleConfig& config);
+
+/// Workspace-taking overload of solve_orientation (allocation-free at
+/// steady state, same results as the plain overload).
+OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
+                                   std::span<const AntennaLine> lines,
+                                   Vec3 tag_position,
+                                   const DisentangleConfig& config,
+                                   SolveWorkspace& ws);
 
 /// Slope-equation RMS residual at a given position (diagnostic; also the
 /// Stage A cost function). kt is the closed-form optimum at `p`.

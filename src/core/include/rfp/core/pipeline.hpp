@@ -1,7 +1,10 @@
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
+#include "rfp/common/workspace.hpp"
 #include "rfp/core/antenna_health.hpp"
 #include "rfp/core/calibration.hpp"
 #include "rfp/core/disentangle.hpp"
@@ -25,6 +28,8 @@
 ///   if (r.valid) { use r.position / r.alpha / material features }
 
 namespace rfp {
+
+class SensingEngine;
 
 /// Everything the pipeline needs to know about the deployment and its own
 /// thresholds. Geometry is *as measured* — the pipeline never touches the
@@ -83,6 +88,34 @@ class RfPrism {
   SensingResult sense(const RoundTrace& round, const std::string& tag_id = {},
                       const AntennaHealthMonitor* health = nullptr) const;
 
+  /// Engine-powered single-round sense: scratch comes from the engine's
+  /// per-thread workspaces and the Stage-A grid scan fans out over the
+  /// engine's pool. Bit-identical to sense() for any thread count.
+  SensingResult sense(const RoundTrace& round, SensingEngine& engine,
+                      const std::string& tag_id = {},
+                      const AntennaHealthMonitor* health = nullptr) const;
+
+  /// Batch sensing: fan the independent rounds across the engine's pool,
+  /// one solve per round on a per-thread workspace. Results come back in
+  /// input order and are bit-identical to calling sense() on each round
+  /// sequentially — including degraded/rejected grades — regardless of
+  /// the engine's thread count. `tag_id` applies to every round.
+  ///
+  /// Exceptions from structurally wrong rounds (antenna count mismatch)
+  /// propagate: the first failing round *in input order* wins, after all
+  /// rounds have finished.
+  std::vector<SensingResult> sense_batch(
+      std::span<const RoundTrace> rounds, SensingEngine& engine,
+      const std::string& tag_id = {},
+      const AntennaHealthMonitor* health = nullptr) const;
+
+  /// Per-round tag ids (`tag_ids` empty, or one id per round — anything
+  /// else throws InvalidArgument). The multi-tag streaming shape.
+  std::vector<SensingResult> sense_batch(
+      std::span<const RoundTrace> rounds,
+      std::span<const std::string> tag_ids, SensingEngine& engine,
+      const AntennaHealthMonitor* health = nullptr) const;
+
   const RfPrismConfig& config() const { return config_; }
   const CalibrationDB& calibrations() const { return db_; }
   bool reader_calibrated() const { return db_.reader().has_value(); }
@@ -96,6 +129,13 @@ class RfPrism {
  private:
   std::vector<AntennaLine> fit_round(const RoundTrace& round,
                                      bool apply_reader_cal) const;
+
+  /// The one true sensing path: every public sense/sense_batch entry
+  /// point funnels here with an explicit workspace (and optionally a pool
+  /// for the grid scan), so the sequential and batch paths cannot drift.
+  SensingResult sense_with(const RoundTrace& round, const std::string& tag_id,
+                           const AntennaHealthMonitor* health,
+                           SolveWorkspace& ws, ThreadPool* pool) const;
 
   RfPrismConfig config_;
   CalibrationDB db_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rfp/core/antenna_health.hpp"
+#include "rfp/core/engine.hpp"
 #include "rfp/core/pipeline.hpp"
 #include "rfp/rfsim/faults.hpp"
 
@@ -108,7 +109,17 @@ struct StreamedResult {
 /// StreamingConfig caps no matter how adversarial the stream is.
 class StreamingSensor {
  public:
-  StreamingSensor(const RfPrism& prism, StreamingConfig config = {});
+  /// With an `engine`, each poll() senses all completing tags as one
+  /// sense_batch fanned across the engine's pool (both must outlive the
+  /// sensor). Per-round results are bit-identical to the engine-less
+  /// sensor; the one semantic difference is that the health monitor
+  /// advances once per poll instead of between tags of the same poll —
+  /// every round sensed in a poll sees the port-health state from the
+  /// poll's start (a snapshot is the only order-free definition under
+  /// concurrency, and it is what keeps emissions independent of tag-id
+  /// ordering).
+  StreamingSensor(const RfPrism& prism, StreamingConfig config = {},
+                  SensingEngine* engine = nullptr);
 
   /// Ingest one read. Throws InvalidArgument on an empty tag id or an
   /// antenna index outside the pipeline geometry; never throws on merely
@@ -185,6 +196,7 @@ class StreamingSensor {
 
   const RfPrism* prism_;
   StreamingConfig config_;
+  SensingEngine* engine_ = nullptr;
   std::map<std::string, PendingTag> pending_;
   StreamingStats stats_;
   std::optional<AntennaHealthMonitor> health_;

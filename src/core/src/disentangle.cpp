@@ -13,192 +13,291 @@ namespace rfp {
 
 namespace {
 
-/// Lines with enough inlier channels to trust, paired with their antenna's
-/// geometry index.
-std::vector<const AntennaLine*> usable_lines(
-    std::span<const AntennaLine> lines) {
-  std::vector<const AntennaLine*> out;
-  for (const auto& line : lines) {
-    if (line.fit.n >= 3) out.push_back(&line);
+/// Flat (structure-of-arrays) snapshot of one round's usable lines —
+/// antenna geometry and fitted line parameters copied out of the
+/// pointer-chasing AntennaLine vector once per solve, so the grid and
+/// orientation scans are tight loops over contiguous data. Lives in a
+/// SolveWorkspace (scratch<RoundSnapshot>()), so the arrays are reused
+/// across solves.
+struct RoundSnapshot {
+  std::size_t n = 0;
+  std::vector<Vec3> position;        ///< antenna phase centers
+  std::vector<double> slope;         ///< fitted k_i [rad/Hz]
+  std::vector<double> intercept;     ///< fitted b_i [rad]
+  std::vector<OrthoFrame> aperture;  ///< antenna aperture frames
+  std::vector<std::size_t> antenna;  ///< original antenna indices
+
+  // Scratch for the orientation stage (single-threaded per solve).
+  std::vector<OrthoFrame> ray;            ///< frames at the current position
+  std::vector<double> residual_angle;     ///< wrapped intercept residuals
+};
+
+/// Usable = enough inlier channels to trust the fit (paper §V-A).
+void build_snapshot(const DeploymentGeometry& geometry,
+                    std::span<const AntennaLine> lines, RoundSnapshot& snap) {
+  snap.position.clear();
+  snap.slope.clear();
+  snap.intercept.clear();
+  snap.aperture.clear();
+  snap.antenna.clear();
+  const bool have_frames =
+      geometry.antenna_frames.size() == geometry.n_antennas();
+  for (const AntennaLine& line : lines) {
+    if (line.fit.n < 3) continue;
+    require(line.antenna < geometry.n_antennas(),
+            "disentangle: line references unknown antenna");
+    snap.position.push_back(geometry.antenna_positions[line.antenna]);
+    snap.slope.push_back(line.fit.slope);
+    snap.intercept.push_back(line.fit.intercept);
+    if (have_frames) {
+      snap.aperture.push_back(geometry.antenna_frames[line.antenna]);
+    }
+    snap.antenna.push_back(line.antenna);
+  }
+  snap.n = snap.slope.size();
+}
+
+/// Closed-form kt and the slope residual sum of squares at `p`, in one
+/// walk of the snapshot (kt enters the equations linearly, so it is
+/// eliminated exactly at every candidate).
+struct SlopeCost {
+  double kt = 0.0;
+  double rss = 0.0;
+};
+
+SlopeCost slope_cost(const RoundSnapshot& snap, Vec3 p) {
+  SlopeCost out;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < snap.n; ++i) {
+    acc += snap.slope[i] - kSlopePerMeter * distance(snap.position[i], p);
+  }
+  out.kt = acc / static_cast<double>(snap.n);
+  for (std::size_t i = 0; i < snap.n; ++i) {
+    const double r = snap.slope[i] -
+                     kSlopePerMeter * distance(snap.position[i], p) - out.kt;
+    out.rss += r * r;
   }
   return out;
 }
 
-/// Closed-form kt at position p: mean of (k_i - C*d_i).
-double kt_at(const DeploymentGeometry& geometry,
-             const std::vector<const AntennaLine*>& lines, Vec3 p) {
-  double s = 0.0;
-  for (const AntennaLine* line : lines) {
-    const double d = distance(geometry.antenna_positions[line->antenna], p);
-    s += line->fit.slope - kSlopePerMeter * d;
-  }
-  return s / static_cast<double>(lines.size());
-}
-
-double slope_rss(const DeploymentGeometry& geometry,
-                 const std::vector<const AntennaLine*>& lines, Vec3 p) {
-  const double kt = kt_at(geometry, lines, p);
-  double rss = 0.0;
-  for (const AntennaLine* line : lines) {
-    const double d = distance(geometry.antenna_positions[line->antenna], p);
-    const double r = line->fit.slope - kSlopePerMeter * d - kt;
-    rss += r * r;
-  }
-  return rss;
-}
-
 /// Closed-form bt at polarization w (circular mean of b_i - orient_i) and
-/// the resulting wrapped residual sum of squares.
+/// the wrapped residual sum of squares. Uses snap.residual_angle as
+/// scratch; snap.ray must hold the frames at the current tag position.
 struct InterceptCost {
   double bt = 0.0;
   double rss = 0.0;
 };
 
-InterceptCost intercept_cost(const DeploymentGeometry& geometry,
-                             const std::vector<const AntennaLine*>& lines,
-                             const std::vector<OrthoFrame>& ray_frames,
-                             Vec3 w) {
-  std::vector<double> residual_angles;
-  residual_angles.reserve(lines.size());
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    (void)geometry;
-    const double orient = polarization_phase(ray_frames[i], w);
-    residual_angles.push_back(
-        wrap_to_2pi(lines[i]->fit.intercept - orient));
+InterceptCost intercept_cost(RoundSnapshot& snap, Vec3 w) {
+  snap.residual_angle.resize(snap.n);
+  for (std::size_t i = 0; i < snap.n; ++i) {
+    const double orient = polarization_phase(snap.ray[i], w);
+    snap.residual_angle[i] = wrap_to_2pi(snap.intercept[i] - orient);
   }
   InterceptCost out;
-  out.bt = wrap_to_2pi(circular_mean(residual_angles));
-  for (double a : residual_angles) {
+  out.bt = wrap_to_2pi(circular_mean(snap.residual_angle));
+  for (double a : snap.residual_angle) {
     const double r = ang_diff(a, out.bt);
     out.rss += r * r;
   }
   return out;
 }
 
-/// Propagation-adjusted aperture frames for all usable lines at candidate
-/// tag position `p`.
-std::vector<OrthoFrame> ray_frames_at(
-    const DeploymentGeometry& geometry,
-    const std::vector<const AntennaLine*>& lines, Vec3 p) {
-  std::vector<OrthoFrame> out;
-  out.reserve(lines.size());
-  for (const AntennaLine* line : lines) {
-    out.push_back(propagation_adjusted_frame(
-        geometry.antenna_frames[line->antenna],
-        geometry.antenna_positions[line->antenna], p));
+/// Propagation-adjusted aperture frames for all snapshot lines at
+/// candidate tag position `p`, into snap.ray.
+void fill_ray_frames(RoundSnapshot& snap, Vec3 p) {
+  snap.ray.resize(snap.n);
+  for (std::size_t i = 0; i < snap.n; ++i) {
+    snap.ray[i] =
+        propagation_adjusted_frame(snap.aperture[i], snap.position[i], p);
   }
-  return out;
+}
+
+/// Per-chunk result of the Stage-A grid scan: the first strict minimum in
+/// scan order within the chunk's rows.
+struct GridBest {
+  double rss = std::numeric_limits<double>::infinity();
+  double kt = 0.0;
+  Vec3 position;
+  bool any = false;
+};
+
+/// Scan grid rows [row_begin, row_end) in canonical (iz, iy, ix) order.
+/// A "row" is one (iz, iy) pair: row = iz * grid_ny + iy.
+GridBest scan_grid_rows(const RoundSnapshot& snap,
+                        const DeploymentGeometry& geometry,
+                        const DisentangleConfig& config, bool mode_3d,
+                        std::size_t nz, std::size_t row_begin,
+                        std::size_t row_end) {
+  const Rect& region = geometry.working_region;
+  GridBest best;
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    const std::size_t iz = row / config.grid_ny;
+    const std::size_t iy = row % config.grid_ny;
+    const double z =
+        mode_3d ? config.z_lo + (config.z_hi - config.z_lo) *
+                                    static_cast<double>(iz) /
+                                    static_cast<double>(nz - 1)
+                : geometry.tag_plane_z;
+    const double y = region.lo.y + region.height() *
+                                       static_cast<double>(iy) /
+                                       static_cast<double>(config.grid_ny - 1);
+    for (std::size_t ix = 0; ix < config.grid_nx; ++ix) {
+      const double x = region.lo.x + region.width() *
+                                         static_cast<double>(ix) /
+                                         static_cast<double>(config.grid_nx - 1);
+      const Vec3 p{x, y, z};
+      const SlopeCost cost = slope_cost(snap, p);
+      if (cost.rss < best.rss) {
+        best.rss = cost.rss;
+        best.kt = cost.kt;
+        best.position = p;
+        best.any = true;
+      }
+    }
+  }
+  return best;
+}
+
+/// Thread-local fallback workspace backing the workspace-free public
+/// overloads (and the diagnostics). Per-thread, so the legacy API stays
+/// safe to call from pool workers.
+SolveWorkspace& local_workspace() {
+  static thread_local SolveWorkspace ws;
+  return ws;
 }
 
 }  // namespace
 
 double position_cost(const DeploymentGeometry& geometry,
                      std::span<const AntennaLine> lines, Vec3 p) {
-  const auto usable = usable_lines(lines);
-  require(!usable.empty(), "position_cost: no usable lines");
-  return std::sqrt(slope_rss(geometry, usable, p) /
-                   static_cast<double>(usable.size()));
+  RoundSnapshot& snap = local_workspace().scratch<RoundSnapshot>();
+  build_snapshot(geometry, lines, snap);
+  require(snap.n > 0, "position_cost: no usable lines");
+  return std::sqrt(slope_cost(snap, p).rss / static_cast<double>(snap.n));
 }
 
 double orientation_cost(const DeploymentGeometry& geometry,
                         std::span<const AntennaLine> lines, Vec3 tag_position,
                         Vec3 w) {
-  const auto usable = usable_lines(lines);
-  require(!usable.empty(), "orientation_cost: no usable lines");
-  const auto frames = ray_frames_at(geometry, usable, tag_position);
-  return std::sqrt(intercept_cost(geometry, usable, frames, w).rss /
-                   static_cast<double>(usable.size()));
+  RoundSnapshot& snap = local_workspace().scratch<RoundSnapshot>();
+  build_snapshot(geometry, lines, snap);
+  require(snap.n > 0, "orientation_cost: no usable lines");
+  require(geometry.antenna_frames.size() == geometry.n_antennas(),
+          "orientation_cost: geometry missing frames");
+  fill_ray_frames(snap, tag_position);
+  return std::sqrt(intercept_cost(snap, w).rss /
+                   static_cast<double>(snap.n));
 }
 
 PositionSolve solve_position(const DeploymentGeometry& geometry,
                              std::span<const AntennaLine> lines,
                              const DisentangleConfig& config) {
-  const auto usable = usable_lines(lines);
+  return solve_position(geometry, lines, config, local_workspace());
+}
+
+PositionSolve solve_position(const DeploymentGeometry& geometry,
+                             std::span<const AntennaLine> lines,
+                             const DisentangleConfig& config,
+                             SolveWorkspace& ws, ThreadPool* pool) {
+  RoundSnapshot& snap = ws.scratch<RoundSnapshot>();
+  build_snapshot(geometry, lines, snap);
   const bool mode_3d = config.grid_nz > 1;
   const std::size_t min_antennas = mode_3d ? 4 : 3;
-  require(usable.size() >= min_antennas,
+  require(snap.n >= min_antennas,
           "solve_position: not enough usable antenna lines");
   require(config.grid_nx >= 2 && config.grid_ny >= 2,
           "solve_position: grid too coarse");
-  for (const AntennaLine* line : usable) {
-    require(line->antenna < geometry.n_antennas(),
-            "solve_position: line references unknown antenna");
-  }
 
   // ---- Stage A1: grid multi-start over the working region -------------
+  // Every cell's cost is independent, so the scan fans out over the pool
+  // by row chunks; the reduction takes the first strict minimum in scan
+  // order, which makes the winner identical for any chunking.
   const Rect& region = geometry.working_region;
-  Vec3 best{region.center().x, region.center().y, geometry.tag_plane_z};
-  double best_rss = std::numeric_limits<double>::infinity();
-
   const std::size_t nz = std::max<std::size_t>(config.grid_nz, 1);
-  for (std::size_t iz = 0; iz < nz; ++iz) {
-    const double z =
-        mode_3d ? config.z_lo + (config.z_hi - config.z_lo) *
-                                    static_cast<double>(iz) /
-                                    static_cast<double>(nz - 1)
-                : geometry.tag_plane_z;
-    for (std::size_t iy = 0; iy < config.grid_ny; ++iy) {
-      const double y = region.lo.y + region.height() *
-                                         static_cast<double>(iy) /
-                                         static_cast<double>(config.grid_ny - 1);
-      for (std::size_t ix = 0; ix < config.grid_nx; ++ix) {
-        const double x = region.lo.x + region.width() *
-                                           static_cast<double>(ix) /
-                                           static_cast<double>(config.grid_nx - 1);
-        const Vec3 p{x, y, z};
-        const double rss = slope_rss(geometry, usable, p);
-        if (rss < best_rss) {
-          best_rss = rss;
-          best = p;
-        }
-      }
+  const std::size_t rows = nz * config.grid_ny;
+
+  GridBest best;
+  if (pool != nullptr && pool->size() > 1) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, rows / (4 * pool->size()));
+    const std::size_t n_chunks = (rows + chunk - 1) / chunk;
+    std::vector<GridBest> slots(n_chunks);
+    pool->parallel_for(rows, chunk,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         slots[begin / chunk] = scan_grid_rows(
+                             snap, geometry, config, mode_3d, nz, begin, end);
+                       });
+    for (const GridBest& slot : slots) {
+      if (slot.any && slot.rss < best.rss) best = slot;
     }
+  } else {
+    best = scan_grid_rows(snap, geometry, config, mode_3d, nz, 0, rows);
+  }
+  if (!best.any || !std::isfinite(best.rss)) {
+    // Pathological (all costs NaN/inf): fall back to the region center,
+    // like the pre-snapshot implementation's initial candidate.
+    best.position = Vec3{region.center().x, region.center().y,
+                         geometry.tag_plane_z};
+    const SlopeCost cost = slope_cost(snap, best.position);
+    best.kt = cost.kt;
+    best.rss = cost.rss;
   }
 
   PositionSolve solve;
-  solve.position = best;
+  solve.position = best.position;
   solve.converged = true;
+  double final_rss = best.rss;
+  double final_kt = best.kt;
 
   // ---- Stage A2: Levenberg-Marquardt refinement ------------------------
   if (config.refine) {
     const std::size_t n_params = mode_3d ? 3 : 2;
-    std::vector<double> initial{best.x, best.y};
-    if (mode_3d) initial.push_back(best.z);
+    std::vector<double>& initial = ws.vec(0, n_params);
+    initial[0] = best.position.x;
+    initial[1] = best.position.y;
+    if (mode_3d) initial[2] = best.position.z;
 
     const auto residual_fn = [&](std::span<const double> params,
                                  std::span<double> residuals) {
       const Vec3 p{params[0], params[1],
                    mode_3d ? params[2] : geometry.tag_plane_z};
-      const double kt = kt_at(geometry, usable, p);
-      for (std::size_t i = 0; i < usable.size(); ++i) {
-        const double d =
-            distance(geometry.antenna_positions[usable[i]->antenna], p);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < snap.n; ++i) {
+        acc += snap.slope[i] - kSlopePerMeter * distance(snap.position[i], p);
+      }
+      const double kt = acc / static_cast<double>(snap.n);
+      for (std::size_t i = 0; i < snap.n; ++i) {
+        const double d = distance(snap.position[i], p);
         // Scale rad/Hz residuals into O(1) units (rad/Hz -> rad/GHz).
-        residuals[i] =
-            (usable[i]->fit.slope - kSlopePerMeter * d - kt) * 1e9;
+        residuals[i] = (snap.slope[i] - kSlopePerMeter * d - kt) * 1e9;
       }
     };
 
     LmOptions options;
     options.parameter_scales.assign(n_params, 0.05);  // meters
-    const LmResult lm = levenberg_marquardt(residual_fn, initial,
-                                            usable.size(), options);
+    const LmResult lm =
+        levenberg_marquardt(residual_fn, initial, snap.n, options, ws);
     const Vec3 refined{lm.params[0], lm.params[1],
                        mode_3d ? lm.params[2] : geometry.tag_plane_z};
     // Keep the refinement only if it stayed in (a modest margin around)
-    // the search region and actually improved.
+    // the search region and actually improved. The refined cost is
+    // computed once and reused for kt and the reported RMS.
     const Rect margin{{region.lo.x - 0.2, region.lo.y - 0.2},
                       {region.hi.x + 0.2, region.hi.y + 0.2}};
-    if (margin.contains(refined.xy()) &&
-        slope_rss(geometry, usable, refined) <= best_rss) {
-      solve.position = refined;
-      solve.converged = lm.converged;
+    if (margin.contains(refined.xy())) {
+      const SlopeCost refined_cost = slope_cost(snap, refined);
+      if (refined_cost.rss <= best.rss) {
+        solve.position = refined;
+        solve.converged = lm.converged;
+        final_rss = refined_cost.rss;
+        final_kt = refined_cost.kt;
+      }
     }
   }
 
-  solve.kt = kt_at(geometry, usable, solve.position);
-  solve.rms = std::sqrt(slope_rss(geometry, usable, solve.position) /
-                        static_cast<double>(usable.size()));
+  solve.kt = final_kt;
+  solve.rms = std::sqrt(final_rss / static_cast<double>(snap.n));
   return solve;
 }
 
@@ -206,14 +305,24 @@ OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
                                    std::span<const AntennaLine> lines,
                                    Vec3 tag_position,
                                    const DisentangleConfig& config) {
-  const auto usable = usable_lines(lines);
-  require(usable.size() >= 3, "solve_orientation: need >= 3 usable lines");
-  require(config.orientation_scan_steps >= 8,
-          "solve_orientation: scan too coarse");
+  return solve_orientation(geometry, lines, tag_position, config,
+                           local_workspace());
+}
+
+OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
+                                   std::span<const AntennaLine> lines,
+                                   Vec3 tag_position,
+                                   const DisentangleConfig& config,
+                                   SolveWorkspace& ws) {
   require(geometry.antenna_frames.size() == geometry.n_antennas(),
           "solve_orientation: geometry missing frames");
+  RoundSnapshot& snap = ws.scratch<RoundSnapshot>();
+  build_snapshot(geometry, lines, snap);
+  require(snap.n >= 3, "solve_orientation: need >= 3 usable lines");
+  require(config.orientation_scan_steps >= 8,
+          "solve_orientation: scan too coarse");
   const bool mode_3d = config.grid_nz > 1;
-  const auto frames = ray_frames_at(geometry, usable, tag_position);
+  fill_ray_frames(snap, tag_position);
 
   OrientationSolve best;
   double best_rss = std::numeric_limits<double>::infinity();
@@ -226,7 +335,7 @@ OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
         kPi * static_cast<double>(ia) / static_cast<double>(az_steps);
     if (!mode_3d) {
       const Vec3 w = planar_polarization(alpha);
-      const InterceptCost c = intercept_cost(geometry, usable, frames, w);
+      const InterceptCost c = intercept_cost(snap, w);
       if (c.rss < best_rss) {
         best_rss = c.rss;
         best.alpha = alpha;
@@ -240,7 +349,7 @@ OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
             -kPi / 2.0 + kPi * static_cast<double>(ie) /
                              static_cast<double>(el_steps - 1);
         const Vec3 w = spherical_polarization(alpha, elevation);
-        const InterceptCost c = intercept_cost(geometry, usable, frames, w);
+        const InterceptCost c = intercept_cost(snap, w);
         if (c.rss < best_rss) {
           best_rss = c.rss;
           best.alpha = alpha;
@@ -259,12 +368,8 @@ OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
     for (int iter = 0; iter < 40; ++iter) {
       const double m1 = lo + (hi - lo) * 0.382;
       const double m2 = lo + (hi - lo) * 0.618;
-      const double c1 =
-          intercept_cost(geometry, usable, frames, planar_polarization(m1))
-              .rss;
-      const double c2 =
-          intercept_cost(geometry, usable, frames, planar_polarization(m2))
-              .rss;
+      const double c1 = intercept_cost(snap, planar_polarization(m1)).rss;
+      const double c2 = intercept_cost(snap, planar_polarization(m2)).rss;
       if (c1 < c2) {
         hi = m2;
       } else {
@@ -274,13 +379,12 @@ OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
     const double alpha = wrap_to_2pi((lo + hi) / 2.0);
     best.alpha = alpha >= kPi ? alpha - kPi : alpha;
     best.polarization = planar_polarization(best.alpha);
-    const InterceptCost c =
-        intercept_cost(geometry, usable, frames, best.polarization);
+    const InterceptCost c = intercept_cost(snap, best.polarization);
     best.bt = c.bt;
     best_rss = c.rss;
   }
 
-  best.rms = std::sqrt(best_rss / static_cast<double>(usable.size()));
+  best.rms = std::sqrt(best_rss / static_cast<double>(snap.n));
   return best;
 }
 

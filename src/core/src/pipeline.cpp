@@ -2,6 +2,7 @@
 
 #include "rfp/common/angles.hpp"
 #include "rfp/common/error.hpp"
+#include "rfp/core/engine.hpp"
 #include "rfp/core/features.hpp"
 
 namespace rfp {
@@ -92,10 +93,71 @@ SensingResult& reject(SensingResult& result, RejectReason reason) {
   return result;
 }
 
+/// Scratch for the workspace-free sense() overload. Thread-local, so the
+/// legacy API is safe from any thread and still allocation-free at steady
+/// state.
+SolveWorkspace& fallback_workspace() {
+  static thread_local SolveWorkspace ws;
+  return ws;
+}
+
 }  // namespace
 
 SensingResult RfPrism::sense(const RoundTrace& round, const std::string& tag_id,
                              const AntennaHealthMonitor* health) const {
+  return sense_with(round, tag_id, health, fallback_workspace(),
+                    /*pool=*/nullptr);
+}
+
+SensingResult RfPrism::sense(const RoundTrace& round, SensingEngine& engine,
+                             const std::string& tag_id,
+                             const AntennaHealthMonitor* health) const {
+  return sense_with(round, tag_id, health, engine.local_workspace(),
+                    &engine.pool());
+}
+
+std::vector<SensingResult> RfPrism::sense_batch(
+    std::span<const RoundTrace> rounds, SensingEngine& engine,
+    const std::string& tag_id, const AntennaHealthMonitor* health) const {
+  std::vector<SensingResult> results(rounds.size());
+  // One round per chunk: per-tag solves are the natural work quantum
+  // (~ms each), and every chunk writes only its own pre-assigned result
+  // slot, so results are in input order and independent of scheduling.
+  // Inner solves do NOT use the pool (a busy pool must never be waited on
+  // from inside itself beyond parallel_for's inline fallback).
+  engine.pool().parallel_for(
+      rounds.size(), 1,
+      [&](std::size_t begin, std::size_t end, std::size_t slot) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = sense_with(rounds[i], tag_id, health,
+                                  engine.workspace(slot), /*pool=*/nullptr);
+        }
+      });
+  return results;
+}
+
+std::vector<SensingResult> RfPrism::sense_batch(
+    std::span<const RoundTrace> rounds, std::span<const std::string> tag_ids,
+    SensingEngine& engine, const AntennaHealthMonitor* health) const {
+  require(tag_ids.empty() || tag_ids.size() == rounds.size(),
+          "RfPrism::sense_batch: tag_ids must be empty or match rounds");
+  if (tag_ids.empty()) return sense_batch(rounds, engine, {}, health);
+  std::vector<SensingResult> results(rounds.size());
+  engine.pool().parallel_for(
+      rounds.size(), 1,
+      [&](std::size_t begin, std::size_t end, std::size_t slot) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = sense_with(rounds[i], tag_ids[i], health,
+                                  engine.workspace(slot), /*pool=*/nullptr);
+        }
+      });
+  return results;
+}
+
+SensingResult RfPrism::sense_with(const RoundTrace& round,
+                                  const std::string& tag_id,
+                                  const AntennaHealthMonitor* health,
+                                  SolveWorkspace& ws, ThreadPool* pool) const {
   SensingResult result;
   result.lines = fit_round(round, /*apply_reader_cal=*/true);
   const bool mode_3d = config_.disentangle.grid_nz > 1;
@@ -179,10 +241,10 @@ SensingResult RfPrism::sense(const RoundTrace& round, const std::string& tag_id,
   }
 
   try {
-    const PositionSolve pos =
-        solve_position(config_.geometry, solve_lines, config_.disentangle);
+    const PositionSolve pos = solve_position(
+        config_.geometry, solve_lines, config_.disentangle, ws, pool);
     const OrientationSolve orient = solve_orientation(
-        config_.geometry, solve_lines, pos.position, config_.disentangle);
+        config_.geometry, solve_lines, pos.position, config_.disentangle, ws);
 
     result.position = pos.position;
     result.position_residual = pos.rms;

@@ -7,8 +7,9 @@
 
 namespace rfp {
 
-StreamingSensor::StreamingSensor(const RfPrism& prism, StreamingConfig config)
-    : prism_(&prism), config_(std::move(config)) {
+StreamingSensor::StreamingSensor(const RfPrism& prism, StreamingConfig config,
+                                 SensingEngine* engine)
+    : prism_(&prism), config_(std::move(config)), engine_(engine) {
   require(config_.min_channels_per_antenna >= 3,
           "StreamingSensor: need at least 3 channels per antenna");
   require(config_.max_round_age_s > 0.0 && config_.tag_timeout_s > 0.0,
@@ -196,20 +197,65 @@ std::vector<StreamedResult> StreamingSensor::poll(double now_s) {
 }
 
 std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
+  // ---- Phase 1: collect every tag whose round completes this poll -----
+  // (in pending_ map order, i.e. ascending tag id — deterministic).
+  std::vector<std::string> ids;
+  std::vector<double> completed_at;
+  std::vector<RoundTrace> rounds;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingTag& tag = it->second;
+    if (round_complete(tag, now_s)) {
+      ids.push_back(it->first);
+      completed_at.push_back(tag.newest_time_s);
+      rounds.push_back(assemble(tag));
+      it = pending_.erase(it);
+      continue;
+    }
+    if (now_s - tag.newest_time_s > config_.tag_timeout_s) {
+      // Departed tag. If it left behind at least one complete antenna,
+      // flush the partial round through the pipeline instead of dropping
+      // it silently: the result is almost certainly a reject, but the
+      // reject *reason* (and the health monitor's view of which ports
+      // delivered nothing) is exactly what an operator needs to see when
+      // a minimal rig loses a port and can never complete a round.
+      std::size_t complete = 0;
+      for (const auto& antenna : tag.antennas) {
+        if (antenna.size() >= config_.min_channels_per_antenna) ++complete;
+      }
+      if (complete > 0) {
+        ids.push_back(it->first);
+        completed_at.push_back(tag.newest_time_s);
+        rounds.push_back(assemble(tag));
+      }
+      it = pending_.erase(it);
+      ++stats_.tags_timed_out;
+      continue;
+    }
+    ++it;
+  }
+
+  // ---- Phase 2: sense + account -----------------------------------------
+  const AntennaHealthMonitor* monitor = health_ ? &*health_ : nullptr;
   std::vector<StreamedResult> out;
-  const auto emit = [this, &out](const std::string& tag_id, PendingTag& tag) {
-    StreamedResult emitted;
-    emitted.tag_id = tag_id;
-    emitted.completed_at_s = tag.newest_time_s;
+  out.reserve(ids.size());
+
+  const auto sense_one = [&](std::size_t i) -> SensingResult {
     try {
-      emitted.result =
-          prism_->sense(assemble(tag), tag_id, health_ ? &*health_ : nullptr);
+      return prism_->sense(rounds[i], ids[i], monitor);
     } catch (const Error&) {
       // Structurally unsolvable assembly (cannot normally happen — push
       // validates geometry); account for it rather than poisoning poll.
-      emitted.result = {};
-      emitted.result.reject_reason = RejectReason::kSolverFailure;
+      SensingResult result;
+      result.reject_reason = RejectReason::kSolverFailure;
+      return result;
     }
+  };
+
+  const auto account = [&](std::size_t i, SensingResult result) {
+    StreamedResult emitted;
+    emitted.tag_id = std::move(ids[i]);
+    emitted.completed_at_s = completed_at[i];
+    emitted.result = std::move(result);
     ++stats_.rounds_emitted;
     switch (emitted.result.grade) {
       case SensingGrade::kFull:
@@ -244,30 +290,28 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
     out.push_back(std::move(emitted));
   };
 
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    PendingTag& tag = it->second;
-    if (round_complete(tag, now_s)) {
-      emit(it->first, tag);
-      it = pending_.erase(it);
-      continue;
-    }
-    if (now_s - tag.newest_time_s > config_.tag_timeout_s) {
-      // Departed tag. If it left behind at least one complete antenna,
-      // flush the partial round through the pipeline instead of dropping
-      // it silently: the result is almost certainly a reject, but the
-      // reject *reason* (and the health monitor's view of which ports
-      // delivered nothing) is exactly what an operator needs to see when
-      // a minimal rig loses a port and can never complete a round.
-      std::size_t complete = 0;
-      for (const auto& antenna : tag.antennas) {
-        if (antenna.size() >= config_.min_channels_per_antenna) ++complete;
+  bool batched = false;
+  if (engine_ != nullptr && !rounds.empty()) {
+    // All completing tags of this poll solved as one batch across the
+    // engine's pool, each against the port-health snapshot taken at the
+    // start of the poll. Per-round results are bit-identical to the
+    // sequential path for any thread count.
+    try {
+      std::vector<SensingResult> sensed =
+          prism_->sense_batch(rounds, ids, *engine_, monitor);
+      for (std::size_t i = 0; i < sensed.size(); ++i) {
+        account(i, std::move(sensed[i]));
       }
-      if (complete > 0) emit(it->first, tag);
-      it = pending_.erase(it);
-      ++stats_.tags_timed_out;
-      continue;
+      batched = true;
+    } catch (const Error&) {
+      // A structurally unsolvable round poisons batch granularity (cannot
+      // normally happen — push validates geometry): redo per-tag so the
+      // healthy tags still emit.
+      out.clear();
     }
-    ++it;
+  }
+  if (!batched) {
+    for (std::size_t i = 0; i < rounds.size(); ++i) account(i, sense_one(i));
   }
   std::sort(out.begin(), out.end(),
             [](const StreamedResult& a, const StreamedResult& b) {

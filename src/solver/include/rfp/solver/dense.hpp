@@ -21,6 +21,15 @@ class Matrix {
 
   static Matrix identity(std::size_t n);
 
+  /// Re-shape to rows x cols, reusing the existing heap block when large
+  /// enough (never shrinks capacity). Element values are unspecified —
+  /// callers overwrite them; the workspace-driven solve path depends on
+  /// this never allocating at steady state.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Copy `other` into this matrix, reusing storage like reshape().
+  void assign(const Matrix& other);
+
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
   }
@@ -34,8 +43,16 @@ class Matrix {
   /// A^T * A (cols x cols).
   Matrix gram() const;
 
+  /// A^T * A written into `out` (reshaped to cols x cols, no allocation
+  /// once `out` has the capacity). Identical arithmetic to gram().
+  void gram_into(Matrix& out) const;
+
   /// A^T * v for v of length rows().
   std::vector<double> transpose_times(std::span<const double> v) const;
+
+  /// A^T * v written into `out` (length cols(), fully overwritten).
+  void transpose_times_into(std::span<const double> v,
+                            std::span<double> out) const;
 
   /// A * v for v of length cols().
   std::vector<double> times(std::span<const double> v) const;
@@ -56,6 +73,12 @@ class Matrix {
 /// NumericalError on (near-)singular A. A is taken by value (factored in
 /// place on the copy).
 std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Allocation-free variant: factors `a` in place and overwrites `b` with
+/// the solution. Same pivoting and arithmetic as solve_linear (bit-
+/// identical solutions); same NumericalError on singular input (in which
+/// case both `a` and `b` hold partially eliminated garbage).
+void solve_linear_in_place(Matrix& a, std::span<double> b);
 
 /// Solve the least-squares problem min ||A x - b||_2 via normal equations
 /// with Tikhonov damping `lambda` (>= 0). Requires rows >= cols.

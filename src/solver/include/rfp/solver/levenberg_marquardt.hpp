@@ -4,6 +4,9 @@
 #include <span>
 #include <vector>
 
+#include "rfp/common/workspace.hpp"
+#include "rfp/solver/dense.hpp"
+
 /// \file levenberg_marquardt.hpp
 /// Damped Gauss-Newton (Levenberg-Marquardt) for small nonlinear
 /// least-squares problems. The disentangling solver (paper §IV-C) refines
@@ -50,5 +53,26 @@ struct LmResult {
 LmResult levenberg_marquardt(const ResidualFn& fn,
                              std::span<const double> initial,
                              std::size_t n_residuals, const LmOptions& options);
+
+/// The LM driver's reusable buffers: Jacobian, normal equations, trial
+/// vectors. Lives inside a SolveWorkspace (via scratch<LmWorkspace>()) so
+/// one warmed-up workspace serves every refinement a thread runs. Contents
+/// are unspecified between calls and fully overwritten by each solve —
+/// results never depend on what ran before.
+struct LmWorkspace {
+  std::vector<double> params, residuals, trial_params, trial_residuals;
+  std::vector<double> perturbed, damping, jtr, step;
+  Matrix jac, jtj, damped;
+};
+
+/// Workspace-taking overload: identical iterates, costs, and convergence
+/// flags to the allocating overload (same arithmetic, same order), but
+/// zero heap allocation once `ws` has warmed up to the problem size —
+/// except the params vector inside the returned LmResult, which is tiny
+/// (one allocation of n_params doubles).
+LmResult levenberg_marquardt(const ResidualFn& fn,
+                             std::span<const double> initial,
+                             std::size_t n_residuals, const LmOptions& options,
+                             SolveWorkspace& ws);
 
 }  // namespace rfp

@@ -16,30 +16,54 @@ Matrix Matrix::identity(std::size_t n) {
   return m;
 }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::assign(const Matrix& other) {
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_.assign(other.data_.begin(), other.data_.end());
+}
+
 Matrix Matrix::gram() const {
   Matrix g(cols_, cols_);
+  gram_into(g);
+  return g;
+}
+
+void Matrix::gram_into(Matrix& out) const {
+  out.reshape(cols_, cols_);
   for (std::size_t i = 0; i < cols_; ++i) {
     for (std::size_t j = i; j < cols_; ++j) {
       double s = 0.0;
       for (std::size_t r = 0; r < rows_; ++r) {
         s += (*this)(r, i) * (*this)(r, j);
       }
-      g(i, j) = s;
-      g(j, i) = s;
+      out(i, j) = s;
+      out(j, i) = s;
     }
   }
-  return g;
 }
 
 std::vector<double> Matrix::transpose_times(std::span<const double> v) const {
-  require(v.size() == rows_, "Matrix::transpose_times: size mismatch");
   std::vector<double> out(cols_, 0.0);
+  transpose_times_into(v, out);
+  return out;
+}
+
+void Matrix::transpose_times_into(std::span<const double> v,
+                                  std::span<double> out) const {
+  require(v.size() == rows_, "Matrix::transpose_times: size mismatch");
+  require(out.size() == cols_, "Matrix::transpose_times: out size mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = 0.0;
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {
       out[c] += (*this)(r, c) * v[r];
     }
   }
-  return out;
 }
 
 std::vector<double> Matrix::times(std::span<const double> v) const {
@@ -65,6 +89,11 @@ void Matrix::add_scaled_diagonal(std::span<const double> d, double value) {
 }
 
 std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  solve_linear_in_place(a, b);
+  return b;
+}
+
+void solve_linear_in_place(Matrix& a, std::span<double> b) {
   require(a.rows() == a.cols(), "solve_linear: matrix not square");
   require(b.size() == a.rows(), "solve_linear: rhs size mismatch");
   const std::size_t n = a.rows();
@@ -95,14 +124,12 @@ std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
     }
   }
 
-  // Back substitution.
-  std::vector<double> x(n, 0.0);
+  // Back substitution, in place on b.
   for (std::size_t i = n; i-- > 0;) {
     double s = b[i];
-    for (std::size_t c = i + 1; c < n; ++c) s -= a(i, c) * x[c];
-    x[i] = s / a(i, i);
+    for (std::size_t c = i + 1; c < n; ++c) s -= a(i, c) * b[c];
+    b[i] = s / a(i, i);
   }
-  return x;
 }
 
 std::vector<double> solve_least_squares(const Matrix& a,

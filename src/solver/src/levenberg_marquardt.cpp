@@ -15,12 +15,12 @@ double half_squared_norm(std::span<const double> v) {
   return 0.5 * s;
 }
 
-}  // namespace
-
-LmResult levenberg_marquardt(const ResidualFn& fn,
-                             std::span<const double> initial,
-                             std::size_t n_residuals,
-                             const LmOptions& options) {
+/// The driver proper, running entirely inside `ws`. Both public overloads
+/// funnel here, so the allocating and workspace paths are the same code —
+/// identical iterates by construction.
+LmResult run(const ResidualFn& fn, std::span<const double> initial,
+             std::size_t n_residuals, const LmOptions& options,
+             LmWorkspace& ws) {
   const std::size_t n_params = initial.size();
   require(n_params > 0, "levenberg_marquardt: no parameters");
   require(n_residuals >= n_params,
@@ -31,75 +31,80 @@ LmResult levenberg_marquardt(const ResidualFn& fn,
     require(s > 0.0, "levenberg_marquardt: scales must be positive");
   }
 
-  std::vector<double> params(initial.begin(), initial.end());
-  std::vector<double> residuals(n_residuals, 0.0);
-  std::vector<double> trial_params(n_params, 0.0);
-  std::vector<double> trial_residuals(n_residuals, 0.0);
-  std::vector<double> perturbed(n_residuals, 0.0);
+  ws.params.assign(initial.begin(), initial.end());
+  ws.residuals.resize(n_residuals);
+  ws.trial_params.resize(n_params);
+  ws.trial_residuals.resize(n_residuals);
+  ws.perturbed.resize(n_residuals);
+  ws.jtr.resize(n_params);
+  ws.step.resize(n_params);
 
-  fn(params, residuals);
-  double cost = half_squared_norm(residuals);
+  fn(ws.params, ws.residuals);
+  double cost = half_squared_norm(ws.residuals);
 
   LmResult result;
   result.initial_cost = cost;
   double lambda = options.initial_lambda;
 
   // Squared inverse scales damp each parameter in its own units.
-  std::vector<double> damping(n_params);
+  ws.damping.resize(n_params);
   for (std::size_t j = 0; j < n_params; ++j) {
-    damping[j] = 1.0 / (options.parameter_scales[j] * options.parameter_scales[j]);
+    ws.damping[j] =
+        1.0 / (options.parameter_scales[j] * options.parameter_scales[j]);
   }
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
-    // Forward-difference Jacobian.
-    Matrix jac(n_residuals, n_params);
+    // Forward-difference Jacobian (every entry overwritten).
+    ws.jac.reshape(n_residuals, n_params);
     for (std::size_t j = 0; j < n_params; ++j) {
       const double h = options.parameter_scales[j] * 1e-4;
-      trial_params = params;
-      trial_params[j] += h;
-      fn(trial_params, perturbed);
+      for (std::size_t k = 0; k < n_params; ++k) {
+        ws.trial_params[k] = ws.params[k];
+      }
+      ws.trial_params[j] += h;
+      fn(ws.trial_params, ws.perturbed);
       for (std::size_t r = 0; r < n_residuals; ++r) {
-        jac(r, j) = (perturbed[r] - residuals[r]) / h;
+        ws.jac(r, j) = (ws.perturbed[r] - ws.residuals[r]) / h;
       }
     }
 
-    const Matrix jtj = jac.gram();
-    std::vector<double> jtr = jac.transpose_times(residuals);
-    for (double& g : jtr) g = -g;
+    ws.jac.gram_into(ws.jtj);
+    ws.jac.transpose_times_into(ws.residuals, ws.jtr);
+    for (double& g : ws.jtr) g = -g;
 
     bool stepped = false;
     while (lambda <= options.max_lambda) {
-      Matrix damped = jtj;
-      damped.add_scaled_diagonal(damping, lambda);
+      ws.damped.assign(ws.jtj);
+      ws.damped.add_scaled_diagonal(ws.damping, lambda);
 
-      std::vector<double> step;
+      for (std::size_t j = 0; j < n_params; ++j) ws.step[j] = ws.jtr[j];
       try {
-        step = solve_linear(std::move(damped), jtr);
+        solve_linear_in_place(ws.damped, ws.step);
       } catch (const NumericalError&) {
         lambda *= options.lambda_up;
         continue;
       }
 
       for (std::size_t j = 0; j < n_params; ++j) {
-        trial_params[j] = params[j] + step[j];
+        ws.trial_params[j] = ws.params[j] + ws.step[j];
       }
-      fn(trial_params, trial_residuals);
-      const double trial_cost = half_squared_norm(trial_residuals);
+      fn(ws.trial_params, ws.trial_residuals);
+      const double trial_cost = half_squared_norm(ws.trial_residuals);
 
       if (trial_cost < cost) {
         // Accept.
         double scaled_step = 0.0;
         for (std::size_t j = 0; j < n_params; ++j) {
-          const double s = step[j] / options.parameter_scales[j];
+          const double s = ws.step[j] / options.parameter_scales[j];
           scaled_step += s * s;
         }
         scaled_step = std::sqrt(scaled_step);
         const double improvement = (cost - trial_cost) / (cost + 1e-300);
 
-        params = trial_params;
-        residuals = trial_residuals;
+        ws.params.swap(ws.trial_params);
+        ws.residuals.swap(ws.trial_residuals);
         cost = trial_cost;
         lambda = std::max(lambda * options.lambda_down, 1e-12);
         stepped = true;
@@ -120,9 +125,26 @@ LmResult levenberg_marquardt(const ResidualFn& fn,
     if (result.converged) break;
   }
 
-  result.params = std::move(params);
+  result.params.assign(ws.params.begin(), ws.params.end());
   result.cost = cost;
   return result;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ResidualFn& fn,
+                             std::span<const double> initial,
+                             std::size_t n_residuals,
+                             const LmOptions& options) {
+  LmWorkspace ws;
+  return run(fn, initial, n_residuals, options, ws);
+}
+
+LmResult levenberg_marquardt(const ResidualFn& fn,
+                             std::span<const double> initial,
+                             std::size_t n_residuals, const LmOptions& options,
+                             SolveWorkspace& ws) {
+  return run(fn, initial, n_residuals, options, ws.scratch<LmWorkspace>());
 }
 
 }  // namespace rfp

@@ -150,5 +150,126 @@ TEST(Lm, FewerResidualsThanParamsThrows) {
       InvalidArgument);
 }
 
+// ---- Workspace overload ------------------------------------------------
+// The workspace-taking overload must produce exactly the iterates of the
+// allocating one (bitwise, not approximately), and a workspace must carry
+// no state between calls.
+
+/// Run the same problem through both overloads and require bit-equality.
+void expect_overloads_identical(const ResidualFn& fn,
+                                const std::vector<double>& initial,
+                                std::size_t n_residuals,
+                                const LmOptions& options,
+                                SolveWorkspace& ws) {
+  const LmResult plain =
+      levenberg_marquardt(fn, initial, n_residuals, options);
+  const LmResult pooled =
+      levenberg_marquardt(fn, initial, n_residuals, options, ws);
+  EXPECT_EQ(pooled.converged, plain.converged);
+  EXPECT_EQ(pooled.iterations, plain.iterations);
+  EXPECT_EQ(pooled.cost, plain.cost);
+  EXPECT_EQ(pooled.initial_cost, plain.initial_cost);
+  EXPECT_EQ(pooled.params, plain.params);
+}
+
+TEST(LmWorkspace, MatchesAllocatingOverloadOnFixtures) {
+  SolveWorkspace ws;
+
+  {  // Linear least squares
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys{1.0, 3.0, 5.0, 7.0, 9.0};
+    const ResidualFn fn = [&](std::span<const double> p, std::span<double> r) {
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        r[i] = p[0] * xs[i] + p[1] - ys[i];
+      }
+    };
+    LmOptions options;
+    options.parameter_scales = {1.0, 1.0};
+    expect_overloads_identical(fn, {0.0, 0.0}, xs.size(), options, ws);
+  }
+  {  // Rosenbrock
+    const ResidualFn fn = [](std::span<const double> p, std::span<double> r) {
+      r[0] = 10.0 * (p[1] - p[0] * p[0]);
+      r[1] = 1.0 - p[0];
+    };
+    LmOptions options;
+    options.parameter_scales = {1.0, 1.0};
+    options.max_iterations = 200;
+    expect_overloads_identical(fn, {-1.2, 1.0}, 2, options, ws);
+  }
+  {  // Badly scaled parameters
+    const ResidualFn fn = [](std::span<const double> p, std::span<double> r) {
+      r[0] = (p[0] - 3e-8) * 1e8;
+      r[1] = p[1] - 2.0;
+    };
+    LmOptions options;
+    options.parameter_scales = {1e-8, 1.0};
+    expect_overloads_identical(fn, {0.0, 0.0}, 2, options, ws);
+  }
+}
+
+TEST(LmWorkspace, ReuseAcrossCallsLeaksNoState) {
+  // Solve a large problem, then a small different-shaped one, then the
+  // small one again on a fresh workspace: the dirty workspace must give
+  // exactly the fresh-workspace result (and exactly the allocating one).
+  SolveWorkspace dirty;
+
+  std::vector<double> ts, ys;
+  for (int i = 0; i < 20; ++i) {
+    const double t = 0.25 * i;
+    ts.push_back(t);
+    ys.push_back(3.0 * std::exp(-0.8 * t));
+  }
+  const ResidualFn big = [&](std::span<const double> p, std::span<double> r) {
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      r[i] = p[0] * std::exp(-p[1] * ts[i]) - ys[i];
+    }
+  };
+  LmOptions big_options;
+  big_options.parameter_scales = {1.0, 0.5};
+  (void)levenberg_marquardt(big, std::vector<double>{1.0, 0.2}, ts.size(),
+                            big_options, dirty);
+
+  const ResidualFn small = [](std::span<const double> p, std::span<double> r) {
+    r[0] = std::sin(p[0]) + 0.5 * p[0];
+    r[1] = p[1] * p[1] - 0.3;
+  };
+  LmOptions small_options;
+  small_options.parameter_scales = {1.0, 1.0};
+
+  SolveWorkspace fresh;
+  const LmResult from_dirty = levenberg_marquardt(
+      small, std::vector<double>{2.0, 2.0}, 2, small_options, dirty);
+  const LmResult from_fresh = levenberg_marquardt(
+      small, std::vector<double>{2.0, 2.0}, 2, small_options, fresh);
+  const LmResult allocating = levenberg_marquardt(
+      small, std::vector<double>{2.0, 2.0}, 2, small_options);
+
+  EXPECT_EQ(from_dirty.params, from_fresh.params);
+  EXPECT_EQ(from_dirty.params, allocating.params);
+  EXPECT_EQ(from_dirty.cost, allocating.cost);
+  EXPECT_EQ(from_dirty.iterations, allocating.iterations);
+  EXPECT_EQ(from_dirty.converged, allocating.converged);
+
+  // And the dirty workspace solves the big problem identically again.
+  const LmResult big_again = levenberg_marquardt(
+      big, std::vector<double>{1.0, 0.2}, ts.size(), big_options, dirty);
+  const LmResult big_plain = levenberg_marquardt(
+      big, std::vector<double>{1.0, 0.2}, ts.size(), big_options);
+  EXPECT_EQ(big_again.params, big_plain.params);
+  EXPECT_EQ(big_again.cost, big_plain.cost);
+}
+
+TEST(LmWorkspace, ValidationErrorsStillThrow) {
+  SolveWorkspace ws;
+  const ResidualFn fn = [](std::span<const double>, std::span<double> r) {
+    r[0] = 0.0;
+  };
+  LmOptions options;  // parameter_scales left empty
+  EXPECT_THROW(
+      levenberg_marquardt(fn, std::vector<double>{1.0}, 1, options, ws),
+      InvalidArgument);
+}
+
 }  // namespace
 }  // namespace rfp

@@ -1,0 +1,92 @@
+#include "rfp/common/workspace.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rfp {
+namespace {
+
+TEST(SolveWorkspace, VecResizesToExactLength) {
+  SolveWorkspace ws;
+  EXPECT_EQ(ws.vec(0, 5).size(), 5u);
+  EXPECT_EQ(ws.vec(0, 3).size(), 3u);
+  EXPECT_EQ(ws.vec(0, 9).size(), 9u);
+}
+
+TEST(SolveWorkspace, SlotsAreIndependentBuffers) {
+  SolveWorkspace ws;
+  std::vector<double>& a = ws.vec(0, 4);
+  std::vector<double>& b = ws.vec(1, 4);
+  EXPECT_NE(&a, &b);
+  a.assign(4, 1.0);
+  b.assign(4, 2.0);
+  EXPECT_EQ(ws.vec(0, 4)[0], 1.0);
+  EXPECT_EQ(ws.vec(1, 4)[0], 2.0);
+}
+
+TEST(SolveWorkspace, ReferencesSurviveLaterBorrows) {
+  // The stable-reference guarantee: borrowing a high slot later must not
+  // relocate an earlier borrow.
+  SolveWorkspace ws;
+  std::vector<double>& a = ws.vec(0, 8);
+  a.assign(8, 7.0);
+  for (std::size_t slot = 1; slot < 40; ++slot) ws.vec(slot, 16);
+  EXPECT_EQ(&a, &ws.vec(0, 8));
+  EXPECT_EQ(a[7], 7.0);
+  EXPECT_EQ(ws.slots(), 40u);
+}
+
+TEST(SolveWorkspace, CapacityIsReusedAcrossBorrows) {
+  SolveWorkspace ws;
+  ws.vec(0, 128);
+  const double* data = ws.vec(0, 128).data();
+  // Shrinking then re-borrowing at or under the high-water mark must not
+  // reallocate — that is the whole point of the arena.
+  ws.vec(0, 16);
+  EXPECT_EQ(ws.vec(0, 128).data(), data);
+}
+
+struct ScratchA {
+  int value = 11;
+};
+struct ScratchB {
+  std::vector<int> items;
+};
+
+TEST(SolveWorkspace, ScratchReturnsOneInstancePerType) {
+  SolveWorkspace ws;
+  ScratchA& a1 = ws.scratch<ScratchA>();
+  EXPECT_EQ(a1.value, 11);  // default-constructed on first use
+  a1.value = 42;
+  EXPECT_EQ(ws.scratch<ScratchA>().value, 42);
+  EXPECT_EQ(&ws.scratch<ScratchA>(), &a1);
+
+  ScratchB& b = ws.scratch<ScratchB>();
+  b.items.push_back(1);
+  EXPECT_EQ(&ws.scratch<ScratchB>(), &b);
+  EXPECT_EQ(ws.scratch<ScratchA>().value, 42);  // types do not collide
+}
+
+TEST(SolveWorkspace, ScratchReferencesStableAcrossNewTypes) {
+  SolveWorkspace ws;
+  ScratchA& a = ws.scratch<ScratchA>();
+  a.value = 5;
+  (void)ws.scratch<ScratchB>();
+  (void)ws.scratch<std::vector<double>>();
+  EXPECT_EQ(&ws.scratch<ScratchA>(), &a);
+  EXPECT_EQ(a.value, 5);
+}
+
+TEST(SolveWorkspace, MoveTransfersBuffers) {
+  SolveWorkspace ws;
+  ws.vec(0, 6).assign(6, 3.0);
+  ws.scratch<ScratchA>().value = 9;
+  SolveWorkspace moved(std::move(ws));
+  EXPECT_EQ(moved.vec(0, 6)[5], 3.0);
+  EXPECT_EQ(moved.scratch<ScratchA>().value, 9);
+}
+
+}  // namespace
+}  // namespace rfp

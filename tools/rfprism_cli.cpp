@@ -9,6 +9,10 @@
 ///   rfprism stream [options]     push faulted reader streams through the
 ///                                StreamingSensor and print emissions,
 ///                                ingestion stats, and port health
+///   rfprism batch [options]      sense a batch of simulated rounds
+///                                through a SensingEngine thread pool and
+///                                report throughput (optionally verifying
+///                                bit-identity with the sequential path)
 ///
 /// `simulate` options:
 ///   --trials N        number of trials (default 20)
@@ -19,6 +23,7 @@
 ///   --csv             machine-readable per-trial output
 ///   --dump-trace F    additionally save the first trial's round to F
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -30,6 +35,7 @@
 #include "rfp/common/constants.hpp"
 #include "rfp/common/rng.hpp"
 #include "rfp/dsp/stats.hpp"
+#include "rfp/core/engine.hpp"
 #include "rfp/core/streaming.hpp"
 #include "rfp/core/tracker.hpp"
 #include "rfp/exp/testbed.hpp"
@@ -42,7 +48,7 @@ using namespace rfp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rfprism <simulate|track|replay|inspect|materials|stream> [args]\n"
+               "usage: rfprism <simulate|track|replay|inspect|materials|stream|batch> [args]\n"
                "  rfprism simulate [--trials N] [--material NAME|all]\n"
                "                   [--alpha DEG] [--multipath] [--seed S]\n"
                "                   [--csv] [--dump-trace FILE]\n"
@@ -51,7 +57,9 @@ int usage() {
                "  rfprism track [--rounds N] [--seed S]\n"
                "  rfprism materials\n"
                "  rfprism stream [--rounds N] [--fault-intensity X]\n"
-               "                 [--dead PORT] [--antennas N] [--seed S]\n");
+               "                 [--dead PORT] [--antennas N] [--seed S]\n"
+               "  rfprism batch [--rounds N] [--threads N] [--material NAME|all]\n"
+               "                [--multipath] [--seed S] [--verify]\n");
   return 2;
 }
 
@@ -310,6 +318,101 @@ int run_stream(const StreamOptions& options) {
   return emitted_total > 0 ? 0 : 1;
 }
 
+struct BatchOptions {
+  int rounds = 64;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  std::string material = "all";
+  bool multipath = false;
+  std::uint64_t seed = 42;
+  bool verify = false;
+};
+
+/// Exact equality on everything sensing computes. Bit-identity across
+/// thread counts is a hard contract of sense_batch, so == (not a
+/// tolerance) is the right comparison.
+bool results_identical(const SensingResult& a, const SensingResult& b) {
+  return a.valid == b.valid && a.reject_reason == b.reject_reason &&
+         a.grade == b.grade && a.excluded_antennas == b.excluded_antennas &&
+         a.unhealthy_antennas == b.unhealthy_antennas &&
+         a.position.x == b.position.x && a.position.y == b.position.y &&
+         a.position.z == b.position.z &&
+         a.position_residual == b.position_residual && a.alpha == b.alpha &&
+         a.polarization.x == b.polarization.x &&
+         a.polarization.y == b.polarization.y &&
+         a.polarization.z == b.polarization.z &&
+         a.orientation_residual == b.orientation_residual && a.kt == b.kt &&
+         a.bt == b.bt && a.material_signature == b.material_signature;
+}
+
+int run_batch(const BatchOptions& options) {
+  TestbedConfig config;
+  config.seed = options.seed;
+  config.multipath_environment = options.multipath;
+  Testbed bed(config);
+
+  const auto materials = paper_materials();
+  Rng rng(mix_seed(options.seed, 0xBA7C));
+  const std::size_t n = static_cast<std::size_t>(options.rounds);
+  std::vector<RoundTrace> rounds;
+  std::vector<TagState> truth;
+  rounds.reserve(n);
+  truth.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::string material =
+        options.material == "all" ? materials[k % materials.size()]
+                                  : options.material;
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const TagState state = bed.tag_state(p, rng.uniform(0.0, kPi), material);
+    truth.push_back(state);
+    rounds.push_back(bed.collect(state, 7000 + k));
+  }
+
+  SensingEngine engine(options.threads);
+  std::printf("sensing %zu rounds on %zu thread(s)...\n", n,
+              engine.n_threads());
+
+  // Warm-up pass populates each per-thread workspace so the timed pass
+  // measures the steady-state (allocation-free) solve path.
+  (void)bed.prism().sense_batch(rounds, engine, bed.tag_id());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SensingResult> results =
+      bed.prism().sense_batch(rounds, engine, bed.tag_id());
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> loc_cm;
+  std::size_t valid = 0;
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    if (!results[k].valid) continue;
+    ++valid;
+    loc_cm.push_back(100.0 *
+                     distance(results[k].position, truth[k].position));
+  }
+  std::printf("valid       %zu/%zu\n", valid, n);
+  if (!loc_cm.empty()) {
+    std::printf("loc err     mean %.2f cm   p90 %.2f cm\n", mean(loc_cm),
+                percentile(loc_cm, 90.0));
+  }
+  std::printf("elapsed     %.3f s\n", elapsed_s);
+  std::printf("throughput  %.1f rounds/s\n",
+              elapsed_s > 0.0 ? static_cast<double>(n) / elapsed_s : 0.0);
+
+  if (options.verify) {
+    std::size_t mismatches = 0;
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      const SensingResult sequential =
+          bed.prism().sense(rounds[k], bed.tag_id());
+      if (!results_identical(results[k], sequential)) ++mismatches;
+    }
+    std::printf("verify      %zu/%zu bit-identical to sequential sense\n",
+                n - mismatches, n);
+    if (mismatches > 0) return 1;
+  }
+  return 0;
+}
+
 int run_materials() {
   const MaterialDB db = MaterialDB::standard();
   std::printf("%-10s %12s %8s %10s %8s %s\n", "name", "kt[rad/GHz]",
@@ -381,6 +484,40 @@ int main(int argc, char** argv) {
         }
       }
       return run_stream(options);
+    }
+
+    if (command == "batch") {
+      BatchOptions options;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+          if (i + 1 >= argc) throw Error("missing value for " + arg);
+          return argv[++i];
+        };
+        if (arg == "--rounds") {
+          options.rounds = std::stoi(next());
+        } else if (arg == "--threads") {
+          options.threads = std::stoull(next());
+        } else if (arg == "--material") {
+          options.material = next();
+        } else if (arg == "--multipath") {
+          options.multipath = true;
+        } else if (arg == "--seed") {
+          options.seed = std::stoull(next());
+        } else if (arg == "--verify") {
+          options.verify = true;
+        } else {
+          std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+          return usage();
+        }
+      }
+      if (options.material != "all" &&
+          !MaterialDB::standard().contains(options.material)) {
+        std::fprintf(stderr, "unknown material: %s (try 'rfprism materials')\n",
+                     options.material.c_str());
+        return 2;
+      }
+      return run_batch(options);
     }
 
     if (command == "simulate") {
