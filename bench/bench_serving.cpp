@@ -1,0 +1,196 @@
+/// Serving-layer throughput: client count x pipeline depth sweep over a
+/// loopback rfp::net::Server.
+///
+/// An in-process server (SensingEngine on the hardware thread count)
+/// serves a fixed corpus of simulated hop rounds to N concurrent client
+/// connections. Each client pipelines `depth` requests per window and
+/// reads the window's responses back before sending the next, so depth 1
+/// is classic request/response and larger depths amortize the wire
+/// round-trip the way a streaming deployment would. Per cell the bench
+/// reports sustained requests/sec and the p50/p99 window latency, plus a
+/// closing JSON block (BENCH_serving.json in CI) for trending.
+///
+/// Every response is checked byte-for-byte against the locally encoded
+/// direct-path result, so a wire-determinism regression fails the bench
+/// before it skews a number.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rfp/core/engine.hpp"
+#include "rfp/net/client.hpp"
+#include "rfp/net/server.hpp"
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace rfp;
+using namespace rfp::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Cell {
+  std::size_t clients = 0;
+  std::size_t depth = 0;
+  double requests_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct ClientOutcome {
+  std::vector<double> window_ms;
+  std::size_t completed = 0;
+  std::string error;  // empty on success
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick: fewer cells and windows (CI smoke).
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  print_header("Serving throughput",
+               "rfpd loopback requests/sec vs clients and pipeline depth");
+
+  Testbed bed;
+  const auto materials = paper_materials();
+  Rng rng(mix_seed(42, 0x5E59));
+
+  const std::size_t corpus_size = quick ? 8 : 32;
+  std::vector<RoundTrace> corpus;
+  corpus.reserve(corpus_size);
+  for (std::size_t k = 0; k < corpus_size; ++k) {
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const TagState state = bed.tag_state(p, rng.uniform(0.0, kPi),
+                                         materials[k % materials.size()]);
+    corpus.push_back(bed.collect(state, 11000 + k));
+  }
+
+  // Expected wire bytes from the direct path; every served response must
+  // match one of these exactly.
+  std::vector<std::vector<std::uint8_t>> expected;
+  expected.reserve(corpus.size());
+  for (const RoundTrace& round : corpus) {
+    expected.push_back(
+        net::encode_sense_response(bed.prism().sense(round, bed.tag_id())));
+  }
+
+  SensingEngine engine(0);  // hardware thread count
+  net::Server server(bed.prism(), engine);
+  server.start();
+  std::printf("  server on 127.0.0.1:%u, %zu engine thread(s), corpus %zu "
+              "rounds\n\n",
+              static_cast<unsigned>(server.port()), engine.n_threads(),
+              corpus.size());
+
+  const std::vector<std::size_t> client_counts =
+      quick ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::vector<std::size_t> depths =
+      quick ? std::vector<std::size_t>{1, 8} : std::vector<std::size_t>{1, 4, 16};
+  const std::size_t windows = quick ? 3 : 10;
+
+  std::vector<Cell> cells;
+  std::printf("  %-8s %-8s %-14s %-10s %s\n", "clients", "depth", "req/s",
+              "p50[ms]", "p99[ms]");
+  for (std::size_t n_clients : client_counts) {
+    for (std::size_t depth : depths) {
+      std::vector<ClientOutcome> outcomes(n_clients);
+      const auto t0 = Clock::now();
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < n_clients; ++c) {
+        threads.emplace_back([&, c] {
+          ClientOutcome& out = outcomes[c];
+          try {
+            net::ClientConfig config;
+            config.port = server.port();
+            config.io_timeout_s = 120.0;
+            net::Client client(config);
+            std::size_t cursor = c;  // offset clients across the corpus
+            for (std::size_t w = 0; w < windows; ++w) {
+              const auto w0 = Clock::now();
+              std::vector<std::size_t> sent;
+              for (std::size_t d = 0; d < depth; ++d) {
+                const std::size_t k = cursor++ % corpus.size();
+                client.send_sense(corpus[k], bed.tag_id());
+                sent.push_back(k);
+              }
+              for (std::size_t k : sent) {
+                const net::Frame frame = client.read_frame();
+                if (frame.type != net::FrameType::kSenseResponse ||
+                    frame.payload != expected[k]) {
+                  out.error = "response mismatch for round " +
+                              std::to_string(k);
+                  return;
+                }
+                ++out.completed;
+              }
+              out.window_ms.push_back(1e3 * seconds_since(w0));
+            }
+          } catch (const std::exception& e) {
+            out.error = e.what();
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double elapsed = seconds_since(t0);
+
+      std::vector<double> window_ms;
+      std::size_t completed = 0;
+      for (const ClientOutcome& out : outcomes) {
+        if (!out.error.empty()) {
+          std::fprintf(stderr, "FAIL: %s\n", out.error.c_str());
+          return 1;
+        }
+        window_ms.insert(window_ms.end(), out.window_ms.begin(),
+                         out.window_ms.end());
+        completed += out.completed;
+      }
+
+      Cell cell;
+      cell.clients = n_clients;
+      cell.depth = depth;
+      cell.requests_per_s =
+          elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
+      cell.p50_ms = percentile(window_ms, 50.0);
+      cell.p99_ms = percentile(window_ms, 99.0);
+      cells.push_back(cell);
+      std::printf("  %-8zu %-8zu %-14.1f %-10.2f %.2f\n", cell.clients,
+                  cell.depth, cell.requests_per_s, cell.p50_ms, cell.p99_ms);
+    }
+  }
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  std::printf("\n  server: %llu requests completed, %llu failed, "
+              "%llu backpressure pauses\n",
+              static_cast<unsigned long long>(stats.requests_completed),
+              static_cast<unsigned long long>(stats.requests_failed),
+              static_cast<unsigned long long>(stats.backpressure_pauses));
+  if (stats.requests_failed != 0) {
+    std::fprintf(stderr, "FAIL: server reported failed requests\n");
+    return 1;
+  }
+
+  std::printf("\n  JSON:\n[");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    std::printf(
+        "%s\n  {\"clients\": %zu, \"depth\": %zu, \"requests_per_s\": %.1f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f}",
+        i == 0 ? "" : ",", cell.clients, cell.depth, cell.requests_per_s,
+        cell.p50_ms, cell.p99_ms);
+  }
+  std::printf("\n]\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file bytes.hpp
+/// Little-endian byte packing for the binary trace format and the rfp::net
+/// wire protocol. Two deliberately boring primitives:
+///
+///  - ByteWriter appends fixed-width little-endian fields to a growing
+///    byte vector.
+///  - ByteReader consumes them back with a sticky failure flag instead of
+///    exceptions: any overrun marks the reader failed, every subsequent
+///    get returns a zero value, and the caller checks ok() once at the
+///    end. That is the shape a frame decoder needs — malformed network
+///    input must never throw across a socket boundary.
+///
+/// Multi-byte integers are encoded little-endian regardless of host order;
+/// doubles are encoded as the little-endian bytes of their IEEE-754 bit
+/// pattern, so values round-trip bit-exactly (NaNs included).
+
+namespace rfp {
+
+/// Append-only little-endian encoder over a caller-owned buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed (u32) string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    std::uint8_t raw[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    out_.insert(out_.end(), raw, raw + sizeof(T));
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian decoder with a sticky failure flag.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Fully consumed and no overrun: the shape a strict payload parse
+  /// checks at the end (trailing junk is as malformed as truncation).
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  double f64() { return std::bit_cast<double>(take<std::uint64_t>()); }
+
+  /// Length-prefixed (u32) string written by ByteWriter::str.
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// `n` doubles into `out` (resized). The remaining-bytes check bounds
+  /// the allocation by the actual payload size, so a malformed count can
+  /// never trigger a huge resize.
+  bool f64_array(std::size_t n, std::vector<double>& out) {
+    if (!check(n * sizeof(std::uint64_t))) return false;
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = f64();
+    return true;
+  }
+
+  /// Declare the input malformed (semantic checks by the caller).
+  void fail() { ok_ = false; }
+
+ private:
+  bool check(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  template <typename T>
+  T take() {
+    if (!check(sizeof(T))) return T{};
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace rfp

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
+#include <utility>
 
 #include "rfp/common/thread_pool.hpp"
 #include "rfp/common/workspace.hpp"
@@ -28,6 +30,13 @@ class SensingEngine {
 
   std::size_t n_threads() const { return pool_.size(); }
   ThreadPool& pool() { return pool_; }
+
+  /// Enqueue an independent task on the engine's pool. The serving
+  /// layer's unit of work: a task may itself call the engine-powered
+  /// sense overloads — nested parallel_for runs inline on the worker, so
+  /// results stay bit-identical to the sequential path. Tasks must not
+  /// let exceptions escape (see ThreadPool::submit).
+  void submit(std::function<void()> task) { pool_.submit(std::move(task)); }
 
   /// Scratch workspace for slot `slot` in [0, n_threads()]: workers use
   /// their ThreadPool::worker_index(); the extra last slot serves the

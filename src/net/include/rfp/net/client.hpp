@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rfp/common/socket.hpp"
+#include "rfp/core/types.hpp"
+#include "rfp/net/wire.hpp"
+#include "rfp/rfsim/reader.hpp"
+
+/// \file client.hpp
+/// Blocking rfpd client. One connection, synchronous request/response by
+/// default, plus a split send/read surface for pipelining (the bench and
+/// the shutdown-drain test send many requests before reading anything).
+/// All failures surface as NetError (transport) or RemoteError (the
+/// server answered with an error frame); timeouts are NetError.
+
+namespace rfp::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double connect_timeout_s = 5.0;
+  /// Per-operation deadline for sends and response waits; 0 disables.
+  double io_timeout_s = 30.0;
+  /// Total connection attempts before Client's constructor gives up.
+  int connect_attempts = 3;
+  /// Sleep between attempts, doubled each retry.
+  double retry_backoff_s = 0.1;
+  std::size_t max_payload = kDefaultMaxPayload;
+};
+
+class Client {
+ public:
+  /// Connects immediately (with retries); throws NetError on failure.
+  explicit Client(ClientConfig config);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Round-trip one sensing request. Throws RemoteError if the server
+  /// answered with an error frame.
+  SensingResult sense(const RoundTrace& round, const std::string& tag_id = {});
+
+  /// Same round trip, but returns the raw response *payload* bytes —
+  /// the byte-identity tests compare these against a locally encoded
+  /// SensingResult without a decode/re-encode in between.
+  std::vector<std::uint8_t> sense_raw(const RoundTrace& round,
+                                      const std::string& tag_id = {});
+
+  /// Liveness probe; throws on anything but a clean pong.
+  void ping();
+
+  // -- Pipelined surface -------------------------------------------------
+
+  /// Send one sensing request without waiting; returns its seq. The
+  /// server answers in request order, so the k-th read_frame() after k-1
+  /// others carries this seq.
+  std::uint32_t send_sense(const RoundTrace& round,
+                           const std::string& tag_id = {});
+
+  /// Block for the next response frame (any type; error frames are
+  /// returned, not thrown — pipelining callers match them by seq).
+  Frame read_frame();
+
+  /// Send raw bytes on the wire, bypassing frame encoding. Exists for
+  /// protocol tests (malformed input) — not part of the sensing API.
+  void send_bytes(std::span<const std::uint8_t> data);
+
+  void close() { fd_.reset(); }
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  void send_frame(FrameType type, std::uint32_t seq,
+                  std::span<const std::uint8_t> payload);
+
+  ClientConfig config_;
+  UniqueFd fd_;
+  FrameDecoder decoder_;
+  std::uint32_t next_seq_ = 1;
+};
+
+}  // namespace rfp::net

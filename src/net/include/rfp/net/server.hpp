@@ -1,0 +1,184 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rfp/common/socket.hpp"
+#include "rfp/core/antenna_health.hpp"
+#include "rfp/core/engine.hpp"
+#include "rfp/core/pipeline.hpp"
+#include "rfp/net/wire.hpp"
+
+/// \file server.hpp
+/// The rfpd serving loop: a single poll()-based connection thread that
+/// parses wire frames, enqueues complete rounds onto a SensingEngine's
+/// worker pool, and writes responses back in per-connection request
+/// order. The poll thread never solves and the workers never touch a
+/// socket: they meet at a mutex-guarded completion queue plus a self-pipe
+/// that wakes the poll loop when a solve finishes.
+///
+/// Ordering: each accepted request gets a per-connection index; finished
+/// responses park in a reorder map until every earlier response has been
+/// written. seq values are echoed, not interpreted.
+///
+/// Backpressure: a connection with `max_pending_per_connection` requests
+/// in flight (or an unflushed output backlog past the write buffer cap)
+/// stops being read — bytes accumulate in kernel buffers and eventually
+/// stall the client's send, which is the whole point.
+///
+/// Shutdown: stop() (or the async-signal-safe request_stop()) closes the
+/// listener and stops reading, but the loop keeps running until every
+/// in-flight solve has completed and its response has been flushed (bounded
+/// by drain_flush_timeout_s for unwritable peers). No accepted request
+/// loses its response to a graceful shutdown.
+
+namespace rfp::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port (see Server::port)
+  int backlog = 64;
+  std::size_t max_connections = 64;
+  std::size_t max_payload = kDefaultMaxPayload;
+  /// Requests accepted but not yet answered before the server stops
+  /// reading the connection.
+  std::size_t max_pending_per_connection = 32;
+  /// Unflushed response bytes before the server stops reading the
+  /// connection (second backpressure trigger, for slow readers).
+  std::size_t max_write_backlog = 8u << 20;
+  /// Seconds of inactivity (no frames, nothing pending) before a
+  /// connection is closed; 0 disables.
+  double idle_timeout_s = 60.0;
+  /// At shutdown, how long to keep trying to flush drained responses to
+  /// peers that have stopped reading; 0 means don't wait for the flush.
+  double drain_flush_timeout_s = 10.0;
+};
+
+/// Monotonic counters for one connection (also aggregated server-wide).
+struct ConnectionStats {
+  std::uint64_t frames_received = 0;
+  std::uint64_t requests_completed = 0;  ///< responses written (non-error)
+  std::uint64_t requests_failed = 0;     ///< error frames written
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::size_t in_flight = 0;  ///< accepted, response not yet written
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;     ///< over max_connections
+  std::uint64_t connections_closed_idle = 0;
+  std::uint64_t connections_closed_protocol = 0;  ///< framing violations
+  std::uint64_t frames_received = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_failed = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t backpressure_pauses = 0;
+  std::size_t connections_open = 0;
+};
+
+/// One rfpd instance: owns the listener, borrows the pipeline and engine.
+/// The pipeline and engine must outlive the server. Thread-safe surface:
+/// port()/stats()/request_stop()/stop() may be called from any thread;
+/// run() belongs to exactly one.
+class Server {
+ public:
+  /// Binds and listens immediately; throws NetError when the address
+  /// can't be bound. `health` optionally gates quarantined ports exactly
+  /// as in RfPrism::sense.
+  Server(const RfPrism& prism, SensingEngine& engine,
+         ServerConfig config = {},
+         const AntennaHealthMonitor* health = nullptr);
+
+  /// Requests stop, drains in-flight solves, joins the service thread.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actually-bound port (resolves port = 0 in the config).
+  std::uint16_t port() const { return port_; }
+
+  /// Run the poll loop on the calling thread until a stop is requested
+  /// and the drain completes. Call this *or* start(), not both.
+  void run();
+
+  /// Run the poll loop on a background service thread.
+  void start();
+
+  /// Request a graceful stop and wait for run()/the service thread to
+  /// finish draining.
+  void stop();
+
+  /// Async-signal-safe stop request (atomic flag + self-pipe write); safe
+  /// to call from a SIGINT/SIGTERM handler.
+  void request_stop() noexcept;
+
+  ServerStats stats() const;
+
+  /// Per-connection counters of the currently open connections (snapshot
+  /// refreshed by the poll loop).
+  std::vector<ConnectionStats> connection_stats() const;
+
+ private:
+  struct Connection;
+  struct Completion;
+
+  void poll_loop();
+  void accept_ready();
+  bool read_ready(Connection& conn);
+  bool write_ready(Connection& conn);
+  void parse_frames(Connection& conn);
+  void handle_frame(Connection& conn, Frame&& frame);
+  void finish_local(Connection& conn, std::uint64_t index, bool failed,
+                    std::vector<std::uint8_t> frame_bytes);
+  void submit_solve(Connection& conn, std::uint32_t seq, std::string tag_id,
+                    RoundTrace round);
+  void drain_completions();
+  void emit_ready(Connection& conn);
+  bool wants_read(const Connection& conn) const;
+  void close_connection(std::uint64_t id);
+  void refresh_snapshots();
+  void wake() noexcept;
+
+  const RfPrism& prism_;
+  SensingEngine& engine_;
+  const AntennaHealthMonitor* health_;
+  ServerConfig config_;
+
+  UniqueFd listener_;
+  std::uint16_t port_ = 0;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  std::atomic<bool> stop_requested_{false};
+
+  // Poll-thread-only state.
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_connection_id_ = 1;
+
+  // Worker <-> poll thread handoff.
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  // Outstanding worker jobs (for the destructor's unconditional wait:
+  // jobs capture `this` and must never outlive the server).
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::size_t jobs_outstanding_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+  std::vector<ConnectionStats> connection_snapshot_;
+
+  std::thread service_thread_;
+};
+
+}  // namespace rfp::net

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rfp/common/error.hpp"
+#include "rfp/core/types.hpp"
+#include "rfp/rfsim/reader.hpp"
+
+/// \file wire.hpp
+/// The rfpd wire protocol: versioned, length-prefixed binary frames.
+///
+/// Frame layout (all fields little-endian, fixed width):
+///
+///   offset  size  field
+///   0       4     magic        0x4E504652 ("RFPN" as bytes on the wire)
+///   4       2     version      protocol version (currently 1)
+///   6       2     type         FrameType
+///   8       4     seq          caller-chosen sequence id, echoed back
+///   12      4     payload_len  bytes of payload following the header
+///   16      ...   payload      type-specific, see below
+///
+/// Payloads (encoded with rfp/io/binary_io + ByteWriter primitives):
+///   kSenseRequest   tag_id (u32-length-prefixed string) + RoundTrace
+///   kSenseResponse  SensingResult (all fields, diagnostics included)
+///   kError          u32 WireError code + u32-length-prefixed message
+///   kPing / kPong   empty
+///
+/// The decoder is incremental (tolerates arbitrary read fragmentation)
+/// and total: malformed input yields an error status, never an exception
+/// — nothing in this header throws on untrusted bytes. Responses echo the
+/// request's seq, and a server answers each connection's requests in the
+/// order they arrived, so seq is a client-side sanity check rather than a
+/// matching mechanism.
+
+namespace rfp::net {
+
+/// Transport/protocol failure on the local side (connect, timeout,
+/// unexpected close, malformed peer bytes).
+class NetError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The server answered with an error frame.
+class RemoteError : public NetError {
+ public:
+  RemoteError(std::uint32_t code, const std::string& message)
+      : NetError(message), code_(code) {}
+  std::uint32_t code() const { return code_; }
+
+ private:
+  std::uint32_t code_;
+};
+
+inline constexpr std::uint32_t kMagic = 0x4E504652;  // "RFPN"
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 16;
+
+/// Default ceiling on a frame's payload. A full 4-antenna 50-channel
+/// round is ~100 KiB, so 8 MiB leaves generous headroom while keeping a
+/// hostile length field from committing the server to a huge buffer.
+inline constexpr std::size_t kDefaultMaxPayload = 8u << 20;
+
+enum class FrameType : std::uint16_t {
+  kSenseRequest = 1,
+  kSenseResponse = 2,
+  kError = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+/// Error codes carried by kError frames.
+enum class WireError : std::uint32_t {
+  kMalformedPayload = 1,  ///< frame parsed, payload didn't
+  kUnsupportedType = 2,   ///< frame type the server doesn't serve
+  kInternal = 3,          ///< the solve threw; message carries what()
+};
+
+const char* to_string(WireError code);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint32_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Append a complete frame (header + payload) to `out`.
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint32_t seq, std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t seq,
+                                       std::span<const std::uint8_t> payload);
+
+/// Outcome of one FrameDecoder::next() call. Everything from kBadMagic
+/// down is unrecoverable for the stream: the decoder latches the error
+/// and the connection should be torn down.
+enum class DecodeStatus {
+  kFrame,       ///< a complete frame was produced
+  kNeedMore,    ///< no complete frame buffered yet
+  kBadMagic,    ///< stream is not speaking this protocol
+  kBadVersion,  ///< protocol version mismatch
+  kOversized,   ///< declared payload exceeds the configured ceiling
+};
+
+/// True for the statuses that poison the stream.
+bool is_decode_error(DecodeStatus status);
+
+/// Incremental frame parser over an arbitrarily fragmented byte stream.
+/// feed() buffers; next() pops at most one complete frame per call. After
+/// any error status the decoder stays failed (a framing error leaves no
+/// way to resynchronize a length-prefixed stream).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(std::span<const std::uint8_t> data);
+  DecodeStatus next(Frame& out);
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  DecodeStatus failed_ = DecodeStatus::kNeedMore;  // latched error, if any
+};
+
+// -- Payload codecs ------------------------------------------------------
+// Encoders trust their input; decoders are total (false on malformed,
+// including trailing bytes).
+
+std::vector<std::uint8_t> encode_sense_request(std::string_view tag_id,
+                                               const RoundTrace& round);
+bool decode_sense_request(std::span<const std::uint8_t> payload,
+                          std::string& tag_id, RoundTrace& round);
+
+std::vector<std::uint8_t> encode_sense_response(const SensingResult& result);
+bool decode_sense_response(std::span<const std::uint8_t> payload,
+                           SensingResult& result);
+
+std::vector<std::uint8_t> encode_error_payload(WireError code,
+                                               std::string_view message);
+bool decode_error_payload(std::span<const std::uint8_t> payload,
+                          WireError& code, std::string& message);
+
+}  // namespace rfp::net

@@ -1,0 +1,120 @@
+#include "rfp/net/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace rfp::net {
+
+Client::Client(ClientConfig config)
+    : config_(std::move(config)), decoder_(config_.max_payload) {
+  std::string error = "no attempts made";
+  double backoff = config_.retry_backoff_s;
+  const int attempts = std::max(1, config_.connect_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
+    }
+    fd_ = tcp_connect(config_.host, config_.port, config_.connect_timeout_s,
+                      &error);
+    if (fd_.valid()) return;
+  }
+  throw NetError("connect to " + config_.host + ":" +
+                 std::to_string(config_.port) + " failed after " +
+                 std::to_string(attempts) + " attempt(s): " + error);
+}
+
+void Client::send_bytes(std::span<const std::uint8_t> data) {
+  if (!fd_.valid()) throw NetError("client is not connected");
+  if (!send_all(fd_.get(), data.data(), data.size(), config_.io_timeout_s)) {
+    fd_.reset();
+    throw NetError("send failed or timed out");
+  }
+}
+
+void Client::send_frame(FrameType type, std::uint32_t seq,
+                        std::span<const std::uint8_t> payload) {
+  send_bytes(encode_frame(type, seq, payload));
+}
+
+Frame Client::read_frame() {
+  if (!fd_.valid()) throw NetError("client is not connected");
+  for (;;) {
+    Frame frame;
+    const DecodeStatus status = decoder_.next(frame);
+    if (status == DecodeStatus::kFrame) return frame;
+    if (is_decode_error(status)) {
+      fd_.reset();
+      throw NetError("server sent a malformed frame");
+    }
+    std::uint8_t buf[64 * 1024];
+    const IoResult r =
+        recv_with_timeout(fd_.get(), buf, sizeof buf, config_.io_timeout_s);
+    if (r.status == IoStatus::kOk) {
+      decoder_.feed({buf, r.bytes});
+      continue;
+    }
+    fd_.reset();
+    if (r.status == IoStatus::kClosed) {
+      throw NetError("server closed the connection");
+    }
+    if (r.status == IoStatus::kWouldBlock) {
+      throw NetError("timed out waiting for a response");
+    }
+    throw NetError("socket error while reading response");
+  }
+}
+
+std::uint32_t Client::send_sense(const RoundTrace& round,
+                                 const std::string& tag_id) {
+  const std::uint32_t seq = next_seq_++;
+  send_frame(FrameType::kSenseRequest, seq,
+             encode_sense_request(tag_id, round));
+  return seq;
+}
+
+std::vector<std::uint8_t> Client::sense_raw(const RoundTrace& round,
+                                            const std::string& tag_id) {
+  const std::uint32_t seq = send_sense(round, tag_id);
+  Frame frame = read_frame();
+  if (frame.seq != seq) {
+    fd_.reset();
+    throw NetError("response seq mismatch (protocol confusion)");
+  }
+  if (frame.type == FrameType::kError) {
+    WireError code = WireError::kInternal;
+    std::string message;
+    if (!decode_error_payload(frame.payload, code, message)) {
+      message = "undecodable error frame";
+    }
+    throw RemoteError(static_cast<std::uint32_t>(code),
+                      std::string(to_string(code)) + ": " + message);
+  }
+  if (frame.type != FrameType::kSenseResponse) {
+    fd_.reset();
+    throw NetError("unexpected response frame type");
+  }
+  return std::move(frame.payload);
+}
+
+SensingResult Client::sense(const RoundTrace& round,
+                            const std::string& tag_id) {
+  const std::vector<std::uint8_t> payload = sense_raw(round, tag_id);
+  SensingResult result;
+  if (!decode_sense_response(payload, result)) {
+    throw NetError("sense response payload did not parse");
+  }
+  return result;
+}
+
+void Client::ping() {
+  const std::uint32_t seq = next_seq_++;
+  send_frame(FrameType::kPing, seq, {});
+  const Frame frame = read_frame();
+  if (frame.type != FrameType::kPong || frame.seq != seq) {
+    fd_.reset();
+    throw NetError("ping was not answered with a matching pong");
+  }
+}
+
+}  // namespace rfp::net

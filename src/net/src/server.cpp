@@ -1,0 +1,558 @@
+#include "rfp/net/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace rfp::net {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* decode_error_message(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kBadMagic:
+      return "bad frame magic";
+    case DecodeStatus::kBadVersion:
+      return "unsupported protocol version";
+    case DecodeStatus::kOversized:
+      return "frame payload exceeds server limit";
+    default:
+      return "framing error";
+  }
+}
+
+}  // namespace
+
+struct Server::Connection {
+  std::uint64_t id = 0;
+  UniqueFd fd;
+  FrameDecoder decoder;
+  ConnectionStats stats;
+
+  std::vector<std::uint8_t> out;  ///< unflushed response bytes
+  std::size_t out_pos = 0;
+
+  // Per-connection ordering: request `index` values are assigned as
+  // frames arrive; finished responses wait in `ready` until everything
+  // earlier has been appended to `out`.
+  std::uint64_t next_index = 0;
+  std::uint64_t next_emit = 0;
+  struct ReadyResponse {
+    bool failed = false;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::map<std::uint64_t, ReadyResponse> ready;
+  std::size_t in_flight = 0;  ///< accepted, response not yet emitted
+
+  double last_activity = 0.0;
+  bool read_closed = false;       ///< peer EOF (or reading abandoned)
+  bool close_after_flush = false; ///< close once `out` drains
+  bool dead = false;              ///< hard socket error: drop now
+  bool paused = false;            ///< backpressure state (edge-counted)
+
+  // A framing violation's error frame, held back until the responses for
+  // already-accepted requests have been written (ordering survives even
+  // the connection's own teardown).
+  bool has_pending_fatal = false;
+  std::vector<std::uint8_t> pending_fatal;
+
+  explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
+
+  std::size_t write_backlog() const { return out.size() - out_pos; }
+  bool drained() const {
+    return in_flight == 0 && ready.empty() && write_backlog() == 0 &&
+           !has_pending_fatal;
+  }
+};
+
+struct Server::Completion {
+  std::uint64_t conn_id = 0;
+  std::uint64_t index = 0;
+  bool failed = false;
+  std::vector<std::uint8_t> bytes;
+};
+
+Server::Server(const RfPrism& prism, SensingEngine& engine,
+               ServerConfig config, const AntennaHealthMonitor* health)
+    : prism_(prism), engine_(engine), health_(health),
+      config_(std::move(config)) {
+  std::string error;
+  listener_ = tcp_listen(config_.bind_address, config_.port, config_.backlog,
+                         &port_, &error);
+  if (!listener_.valid()) {
+    throw NetError("rfpd: " + error);
+  }
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw NetError(std::string("rfpd: pipe2: ") + std::strerror(errno));
+  }
+  wake_read_ = UniqueFd(pipe_fds[0]);
+  wake_write_ = UniqueFd(pipe_fds[1]);
+}
+
+Server::~Server() {
+  stop();
+  // Worker jobs capture `this`; they must all have finished before the
+  // completion queue (and everything else) is torn down.
+  std::unique_lock<std::mutex> lock(jobs_mutex_);
+  jobs_cv_.wait(lock, [this] { return jobs_outstanding_ == 0; });
+}
+
+void Server::run() { poll_loop(); }
+
+void Server::start() {
+  service_thread_ = std::thread([this] {
+    try {
+      poll_loop();
+    } catch (...) {
+      // poll_loop only throws on allocation failure; nothing useful to do
+      // beyond not crossing the thread boundary with it.
+    }
+  });
+}
+
+void Server::stop() {
+  request_stop();
+  if (service_thread_.joinable()) service_thread_.join();
+}
+
+void Server::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+void Server::wake() noexcept {
+  const char byte = 0;
+  // A full pipe already guarantees a pending wakeup.
+  (void)!::write(wake_write_.get(), &byte, 1);
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::vector<ConnectionStats> Server::connection_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return connection_snapshot_;
+}
+
+void Server::refresh_snapshots() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.connections_open = connections_.size();
+  connection_snapshot_.clear();
+  for (const auto& [id, conn] : connections_) {
+    ConnectionStats s = conn->stats;
+    s.in_flight = conn->in_flight;
+    connection_snapshot_.push_back(s);
+  }
+}
+
+bool Server::wants_read(const Connection& conn) const {
+  return !conn.read_closed && !conn.close_after_flush &&
+         !conn.has_pending_fatal && !conn.dead &&
+         conn.in_flight < config_.max_pending_per_connection &&
+         conn.write_backlog() < config_.max_write_backlog;
+}
+
+void Server::poll_loop() {
+  bool draining = false;
+  double drain_deadline = 0.0;
+
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> pfd_conn;  // conn id per pollfd (0 = none)
+
+  for (;;) {
+    const bool stopping = stop_requested_.load(std::memory_order_relaxed);
+    if (stopping && !draining) {
+      draining = true;
+      drain_deadline = now_s() + std::max(0.0, config_.drain_flush_timeout_s);
+      listener_.reset();  // stop accepting; frees the port immediately
+    }
+
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({wake_read_.get(), POLLIN, 0});
+    pfd_conn.push_back(0);
+    if (listener_.valid()) {
+      pfds.push_back({listener_.get(), POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    const std::size_t first_conn_pfd = pfds.size();
+    for (const auto& [id, conn] : connections_) {
+      short events = 0;
+      if (!stopping && wants_read(*conn)) events |= POLLIN;
+      if (conn->write_backlog() > 0) events |= POLLOUT;
+      pfds.push_back({conn->fd.get(), events, 0});
+      pfd_conn.push_back(id);
+    }
+
+    int timeout_ms = -1;
+    const double now = now_s();
+    if (draining) {
+      timeout_ms = static_cast<int>(
+          std::clamp((drain_deadline - now) * 1e3, 0.0, 100.0));
+    } else if (config_.idle_timeout_s > 0.0 && !connections_.empty()) {
+      double next_deadline = 1e300;
+      for (const auto& [id, conn] : connections_) {
+        next_deadline = std::min(
+            next_deadline, conn->last_activity + config_.idle_timeout_s);
+      }
+      timeout_ms = static_cast<int>(
+          std::clamp((next_deadline - now) * 1e3 + 1.0, 0.0, 60e3));
+    }
+
+    int rc;
+    do {
+      rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) break;  // poll itself failed: unrecoverable loop state
+
+    if (pfds[0].revents & POLLIN) {
+      // Pipes don't speak recv(); drain wakeups with plain read().
+      std::uint8_t drain_buf[256];
+      while (::read(wake_read_.get(), drain_buf, sizeof drain_buf) > 0) {
+      }
+    }
+
+    drain_completions();
+
+    if (listener_.valid()) {
+      for (std::size_t i = 1; i < first_conn_pfd; ++i) {
+        if (pfds[i].fd == listener_.get() && (pfds[i].revents & POLLIN)) {
+          accept_ready();
+        }
+      }
+    }
+
+    for (std::size_t i = first_conn_pfd; i < pfds.size(); ++i) {
+      const auto it = connections_.find(pfd_conn[i]);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+        conn.dead = true;
+        continue;
+      }
+      if (pfds[i].revents & POLLIN) read_ready(conn);
+      if ((pfds[i].revents & POLLHUP) && !(pfds[i].revents & POLLIN)) {
+        conn.read_closed = true;
+      }
+    }
+
+    // Unified service pass: order-preserving emission, further parsing
+    // once capacity frees up, deferred framing-error frames, writes, and
+    // close decisions.
+    std::vector<std::uint64_t> to_close;
+    const double service_now = now_s();
+    for (auto& [id, conn_ptr] : connections_) {
+      Connection& conn = *conn_ptr;
+      if (conn.dead) {
+        to_close.push_back(id);
+        continue;
+      }
+      emit_ready(conn);
+      if (!stopping && wants_read(conn)) parse_frames(conn);
+      emit_ready(conn);
+      if (conn.has_pending_fatal && conn.in_flight == 0 &&
+          conn.ready.empty()) {
+        conn.out.insert(conn.out.end(), conn.pending_fatal.begin(),
+                        conn.pending_fatal.end());
+        conn.pending_fatal.clear();
+        conn.has_pending_fatal = false;
+        conn.close_after_flush = true;
+      }
+      if (conn.write_backlog() > 0 && !write_ready(conn)) {
+        conn.dead = true;
+        to_close.push_back(id);
+        continue;
+      }
+
+      const bool backpressured =
+          conn.in_flight >= config_.max_pending_per_connection ||
+          conn.write_backlog() >= config_.max_write_backlog;
+      if (backpressured && !conn.paused) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.backpressure_pauses;
+      }
+      conn.paused = backpressured;
+
+      if (conn.close_after_flush && conn.write_backlog() == 0) {
+        to_close.push_back(id);
+        continue;
+      }
+      if (conn.read_closed && conn.drained()) {
+        to_close.push_back(id);
+        continue;
+      }
+      if (!stopping && config_.idle_timeout_s > 0.0 && conn.drained() &&
+          service_now - conn.last_activity > config_.idle_timeout_s) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections_closed_idle;
+        to_close.push_back(id);
+      }
+    }
+    for (std::uint64_t id : to_close) close_connection(id);
+
+    refresh_snapshots();
+
+    if (draining) {
+      bool all_drained = true;
+      for (const auto& [id, conn] : connections_) {
+        all_drained = all_drained && conn->drained();
+      }
+      if (all_drained || now_s() >= drain_deadline) break;
+    }
+  }
+
+  connections_.clear();
+  refresh_snapshots();
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listener_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept failure: try again next poll
+    }
+    if (connections_.size() >= config_.max_connections) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_rejected;
+      continue;
+    }
+    auto conn = std::make_unique<Connection>(config_.max_payload);
+    conn->id = next_connection_id_++;
+    conn->fd = UniqueFd(fd);
+    conn->last_activity = now_s();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_accepted;
+    }
+    connections_.emplace(conn->id, std::move(conn));
+  }
+}
+
+bool Server::read_ready(Connection& conn) {
+  std::uint8_t buf[64 * 1024];
+  // Per-iteration read cap so one firehose connection can't starve the
+  // rest of the poll set.
+  std::size_t budget = 1u << 20;
+  while (budget > 0) {
+    const IoResult r = recv_some(conn.fd.get(), buf, sizeof buf);
+    if (r.status == IoStatus::kOk) {
+      conn.decoder.feed({buf, r.bytes});
+      conn.last_activity = now_s();
+      conn.stats.bytes_received += r.bytes;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.bytes_received += r.bytes;
+      }
+      budget -= std::min(budget, r.bytes);
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) break;
+    if (r.status == IoStatus::kClosed) {
+      conn.read_closed = true;
+      break;
+    }
+    conn.dead = true;
+    return false;
+  }
+  parse_frames(conn);
+  return true;
+}
+
+void Server::parse_frames(Connection& conn) {
+  if (conn.has_pending_fatal || conn.close_after_flush || conn.dead) return;
+  while (conn.in_flight < config_.max_pending_per_connection) {
+    Frame frame;
+    const DecodeStatus status = conn.decoder.next(frame);
+    if (status == DecodeStatus::kNeedMore) return;
+    if (status == DecodeStatus::kFrame) {
+      handle_frame(conn, std::move(frame));
+      continue;
+    }
+    // Framing violation: the stream cannot be resynchronized. Answer
+    // what was already accepted, then send one error frame and close.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_closed_protocol;
+    }
+    conn.pending_fatal = encode_frame(
+        FrameType::kError, 0,
+        encode_error_payload(WireError::kMalformedPayload,
+                             decode_error_message(status)));
+    conn.has_pending_fatal = true;
+    conn.read_closed = true;
+    return;
+  }
+}
+
+void Server::handle_frame(Connection& conn, Frame&& frame) {
+  conn.last_activity = now_s();
+  ++conn.stats.frames_received;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.frames_received;
+  }
+  switch (frame.type) {
+    case FrameType::kPing:
+      finish_local(conn, conn.next_index++, false,
+                   encode_frame(FrameType::kPong, frame.seq, {}));
+      ++conn.in_flight;
+      return;
+    case FrameType::kSenseRequest: {
+      std::string tag_id;
+      RoundTrace round;
+      if (!decode_sense_request(frame.payload, tag_id, round)) {
+        finish_local(
+            conn, conn.next_index++, true,
+            encode_frame(FrameType::kError, frame.seq,
+                         encode_error_payload(WireError::kMalformedPayload,
+                                              "sense request payload did "
+                                              "not parse")));
+        ++conn.in_flight;
+        return;
+      }
+      submit_solve(conn, frame.seq, std::move(tag_id), std::move(round));
+      return;
+    }
+    default:
+      finish_local(
+          conn, conn.next_index++, true,
+          encode_frame(FrameType::kError, frame.seq,
+                       encode_error_payload(WireError::kUnsupportedType,
+                                            "frame type not served")));
+      ++conn.in_flight;
+      return;
+  }
+}
+
+void Server::finish_local(Connection& conn, std::uint64_t index, bool failed,
+                          std::vector<std::uint8_t> frame_bytes) {
+  conn.ready[index] = {failed, std::move(frame_bytes)};
+}
+
+void Server::submit_solve(Connection& conn, std::uint32_t seq,
+                          std::string tag_id, RoundTrace round) {
+  const std::uint64_t conn_id = conn.id;
+  const std::uint64_t index = conn.next_index++;
+  ++conn.in_flight;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    ++jobs_outstanding_;
+  }
+  engine_.submit([this, conn_id, index, seq, tag_id = std::move(tag_id),
+                  round = std::move(round)]() mutable {
+    bool failed = false;
+    std::vector<std::uint8_t> bytes;
+    try {
+      const SensingResult result =
+          prism_.sense(round, engine_, tag_id, health_);
+      bytes = encode_frame(FrameType::kSenseResponse, seq,
+                           encode_sense_response(result));
+    } catch (const InvalidArgument& e) {
+      // Structurally wrong round (antenna count mismatch): the client's
+      // fault, not ours.
+      failed = true;
+      bytes = encode_frame(
+          FrameType::kError, seq,
+          encode_error_payload(WireError::kMalformedPayload, e.what()));
+    } catch (const std::exception& e) {
+      failed = true;
+      bytes = encode_frame(FrameType::kError, seq,
+                           encode_error_payload(WireError::kInternal,
+                                                e.what()));
+    }
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.push_back(
+          Completion{conn_id, index, failed, std::move(bytes)});
+    }
+    wake();
+    {
+      // Notify under the lock: the destructor destroys jobs_cv_ right
+      // after its wait returns, and the wait can't return while we still
+      // hold jobs_mutex_ — so the notify is sequenced before teardown.
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      --jobs_outstanding_;
+      jobs_cv_.notify_all();
+    }
+  });
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    const auto it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) continue;  // connection died mid-solve
+    finish_local(*it->second, completion.index, completion.failed,
+                 std::move(completion.bytes));
+  }
+}
+
+void Server::emit_ready(Connection& conn) {
+  for (auto it = conn.ready.find(conn.next_emit); it != conn.ready.end();
+       it = conn.ready.find(conn.next_emit)) {
+    conn.out.insert(conn.out.end(), it->second.bytes.begin(),
+                    it->second.bytes.end());
+    if (it->second.failed) {
+      ++conn.stats.requests_failed;
+    } else {
+      ++conn.stats.requests_completed;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (it->second.failed) {
+        ++stats_.requests_failed;
+      } else {
+        ++stats_.requests_completed;
+      }
+    }
+    conn.ready.erase(it);
+    ++conn.next_emit;
+    --conn.in_flight;
+    conn.last_activity = now_s();
+  }
+}
+
+bool Server::write_ready(Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const IoResult r = send_some(conn.fd.get(), conn.out.data() + conn.out_pos,
+                                 conn.out.size() - conn.out_pos);
+    if (r.status == IoStatus::kOk) {
+      conn.out_pos += r.bytes;
+      conn.stats.bytes_sent += r.bytes;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_sent += r.bytes;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) return true;
+    return false;  // hard error; caller drops the connection
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  return true;
+}
+
+void Server::close_connection(std::uint64_t id) { connections_.erase(id); }
+
+}  // namespace rfp::net

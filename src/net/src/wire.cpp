@@ -1,0 +1,126 @@
+#include "rfp/net/wire.hpp"
+
+#include <cstring>
+
+#include "rfp/common/bytes.hpp"
+#include "rfp/io/binary_io.hpp"
+
+namespace rfp::net {
+
+const char* to_string(WireError code) {
+  switch (code) {
+    case WireError::kMalformedPayload:
+      return "malformed payload";
+    case WireError::kUnsupportedType:
+      return "unsupported frame type";
+    case WireError::kInternal:
+      return "internal server error";
+  }
+  return "unknown";
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint32_t seq, std::span<const std::uint8_t> payload) {
+  ByteWriter w(out);
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u32(seq);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t seq,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  append_frame(out, type, seq, payload);
+  return out;
+}
+
+bool is_decode_error(DecodeStatus status) {
+  return status != DecodeStatus::kFrame && status != DecodeStatus::kNeedMore;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  if (is_decode_error(failed_)) return;  // poisoned: drop further input
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (is_decode_error(failed_)) return failed_;
+  const std::span<const std::uint8_t> pending(buffer_.data() + consumed_,
+                                              buffer_.size() - consumed_);
+  if (pending.size() < kHeaderSize) return DecodeStatus::kNeedMore;
+
+  ByteReader r(pending);
+  const std::uint32_t magic = r.u32();
+  const std::uint16_t version = r.u16();
+  const std::uint16_t type = r.u16();
+  const std::uint32_t seq = r.u32();
+  const std::uint32_t payload_len = r.u32();
+  if (magic != kMagic) return failed_ = DecodeStatus::kBadMagic;
+  if (version != kVersion) return failed_ = DecodeStatus::kBadVersion;
+  if (payload_len > max_payload_) return failed_ = DecodeStatus::kOversized;
+  if (pending.size() < kHeaderSize + payload_len) {
+    return DecodeStatus::kNeedMore;
+  }
+
+  out.type = static_cast<FrameType>(type);
+  out.seq = seq;
+  out.payload.assign(pending.begin() + kHeaderSize,
+                     pending.begin() + kHeaderSize + payload_len);
+  consumed_ += kHeaderSize + payload_len;
+  // Compact once the dead prefix dominates, so a long-lived connection
+  // doesn't hold on to every byte it ever received.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return DecodeStatus::kFrame;
+}
+
+std::vector<std::uint8_t> encode_sense_request(std::string_view tag_id,
+                                               const RoundTrace& round) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.str(tag_id);
+  append_round(w, round);
+  return out;
+}
+
+bool decode_sense_request(std::span<const std::uint8_t> payload,
+                          std::string& tag_id, RoundTrace& round) {
+  ByteReader r(payload);
+  tag_id = r.str();
+  return r.ok() && read_round(r, round) && r.exhausted();
+}
+
+std::vector<std::uint8_t> encode_sense_response(const SensingResult& result) {
+  return encode_result(result);
+}
+
+bool decode_sense_response(std::span<const std::uint8_t> payload,
+                           SensingResult& result) {
+  return decode_result(payload, result);
+}
+
+std::vector<std::uint8_t> encode_error_payload(WireError code,
+                                               std::string_view message) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(code));
+  w.str(message);
+  return out;
+}
+
+bool decode_error_payload(std::span<const std::uint8_t> payload,
+                          WireError& code, std::string& message) {
+  ByteReader r(payload);
+  code = static_cast<WireError>(r.u32());
+  message = r.str();
+  return r.exhausted();
+}
+
+}  // namespace rfp::net

@@ -1,0 +1,273 @@
+/// rfp::net wire protocol: payload codecs round-trip bit-exactly, the
+/// frame decoder tolerates arbitrary fragmentation, and every class of
+/// malformed input (truncated, oversized, bad magic/version, bit-flipped)
+/// is rejected with an error status — never an exception, never a crash.
+/// The fuzz cases here are the ASan job's hunting ground.
+
+#include "rfp/net/wire.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rfp/common/constants.hpp"
+#include "rfp/common/rng.hpp"
+#include "rfp/exp/testbed.hpp"
+#include "rfp/io/binary_io.hpp"
+
+namespace rfp {
+namespace {
+
+using net::DecodeStatus;
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameType;
+using net::WireError;
+
+RoundTrace sample_round(std::uint64_t trial = 1234) {
+  static const Testbed bed;  // one testbed for the whole test binary
+  Rng rng(mix_seed(trial, 0x31E));
+  const TagState state = bed.tag_state(
+      {0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()},
+      rng.uniform(0.0, kPi), "plastic");
+  return bed.collect(state, trial);
+}
+
+SensingResult sample_result(std::uint64_t trial = 1234) {
+  static const Testbed bed;
+  return bed.prism().sense(sample_round(trial), bed.tag_id());
+}
+
+void expect_rounds_equal(const RoundTrace& a, const RoundTrace& b) {
+  EXPECT_EQ(a.n_antennas, b.n_antennas);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  ASSERT_EQ(a.dwells.size(), b.dwells.size());
+  for (std::size_t i = 0; i < a.dwells.size(); ++i) {
+    EXPECT_EQ(a.dwells[i].antenna, b.dwells[i].antenna);
+    EXPECT_EQ(a.dwells[i].channel, b.dwells[i].channel);
+    EXPECT_EQ(a.dwells[i].frequency_hz, b.dwells[i].frequency_hz);
+    EXPECT_EQ(a.dwells[i].start_time_s, b.dwells[i].start_time_s);
+    EXPECT_EQ(a.dwells[i].phases, b.dwells[i].phases);
+    EXPECT_EQ(a.dwells[i].rssi_dbm, b.dwells[i].rssi_dbm);
+  }
+}
+
+TEST(WireCodec, RoundTripsRoundTraceBitExactly) {
+  const RoundTrace round = sample_round();
+  const std::vector<std::uint8_t> bytes = encode_round(round);
+  RoundTrace decoded;
+  ASSERT_TRUE(decode_round(bytes, decoded));
+  expect_rounds_equal(round, decoded);
+  // Determinism of the encoding itself: same round, same bytes.
+  EXPECT_EQ(bytes, encode_round(decoded));
+}
+
+TEST(WireCodec, RoundTripsSensingResultBitExactly) {
+  const SensingResult result = sample_result();
+  ASSERT_TRUE(result.valid);  // a boring sample would prove nothing
+  const std::vector<std::uint8_t> bytes = encode_result(result);
+  SensingResult decoded;
+  ASSERT_TRUE(decode_result(bytes, decoded));
+  EXPECT_EQ(bytes, encode_result(decoded));
+  EXPECT_EQ(result.position.x, decoded.position.x);
+  EXPECT_EQ(result.alpha, decoded.alpha);
+  EXPECT_EQ(result.kt, decoded.kt);
+  EXPECT_EQ(result.material_signature, decoded.material_signature);
+  ASSERT_EQ(result.lines.size(), decoded.lines.size());
+  for (std::size_t i = 0; i < result.lines.size(); ++i) {
+    EXPECT_EQ(result.lines[i].fit.slope, decoded.lines[i].fit.slope);
+    EXPECT_EQ(result.lines[i].residual, decoded.lines[i].residual);
+    EXPECT_EQ(result.lines[i].channel_inlier,
+              decoded.lines[i].channel_inlier);
+  }
+}
+
+TEST(WireCodec, RoundTripsRejectedResult) {
+  SensingResult rejected;  // default: invalid, kRejected, kSolverFailure
+  rejected.excluded_antennas = {1, 3};
+  rejected.unhealthy_antennas = {3};
+  const std::vector<std::uint8_t> bytes = encode_result(rejected);
+  SensingResult decoded;
+  ASSERT_TRUE(decode_result(bytes, decoded));
+  EXPECT_FALSE(decoded.valid);
+  EXPECT_EQ(decoded.grade, SensingGrade::kRejected);
+  EXPECT_EQ(decoded.excluded_antennas, rejected.excluded_antennas);
+  EXPECT_EQ(decoded.unhealthy_antennas, rejected.unhealthy_antennas);
+}
+
+TEST(WireCodec, SenseRequestRoundTrips) {
+  const RoundTrace round = sample_round();
+  const auto payload = net::encode_sense_request("tag-7", round);
+  std::string tag_id;
+  RoundTrace decoded;
+  ASSERT_TRUE(net::decode_sense_request(payload, tag_id, decoded));
+  EXPECT_EQ(tag_id, "tag-7");
+  expect_rounds_equal(round, decoded);
+}
+
+TEST(WireCodec, ErrorPayloadRoundTrips) {
+  const auto payload = net::encode_error_payload(
+      WireError::kMalformedPayload, "no thanks");
+  WireError code = WireError::kInternal;
+  std::string message;
+  ASSERT_TRUE(net::decode_error_payload(payload, code, message));
+  EXPECT_EQ(code, WireError::kMalformedPayload);
+  EXPECT_EQ(message, "no thanks");
+}
+
+TEST(WireCodec, RejectsTrailingBytes) {
+  std::vector<std::uint8_t> bytes = encode_round(sample_round());
+  bytes.push_back(0);
+  RoundTrace decoded;
+  EXPECT_FALSE(decode_round(bytes, decoded));
+}
+
+TEST(WireCodec, RejectsTruncatedPayloadAtEveryLength) {
+  const SensingResult result = sample_result();
+  const std::vector<std::uint8_t> bytes = encode_result(result);
+  // Every strict prefix must fail cleanly (sampled stride keeps it fast).
+  for (std::size_t n = 0; n < bytes.size(); n += 7) {
+    SensingResult decoded;
+    EXPECT_FALSE(decode_result({bytes.data(), n}, decoded)) << "len " << n;
+  }
+}
+
+// ---- Frame layer -------------------------------------------------------
+
+TEST(FrameDecoderTest, ParsesFramesFedOneByteAtATime) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto bytes = net::encode_frame(FrameType::kSenseRequest, 77, payload);
+  FrameDecoder decoder;
+  Frame frame;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.feed({&bytes[i], 1});
+    ASSERT_EQ(decoder.next(frame), DecodeStatus::kNeedMore) << "byte " << i;
+  }
+  decoder.feed({&bytes.back(), 1});
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kSenseRequest);
+  EXPECT_EQ(frame.seq, 77u);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, ParsesSeveralFramesFromOneFeed) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    const std::vector<std::uint8_t> payload(seq, static_cast<std::uint8_t>(seq));
+    net::append_frame(stream, FrameType::kPing, seq, payload);
+  }
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    Frame frame;
+    ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+    EXPECT_EQ(frame.seq, seq);
+    EXPECT_EQ(frame.payload.size(), seq);
+  }
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kNeedMore);
+}
+
+TEST(FrameDecoderTest, RejectsBadMagicAndStaysPoisoned) {
+  auto bytes = net::encode_frame(FrameType::kPing, 1, {});
+  bytes[0] ^= 0xFF;
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadMagic);
+  // A poisoned decoder never recovers, even when valid bytes follow.
+  decoder.feed(net::encode_frame(FrameType::kPing, 2, {}));
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadMagic);
+}
+
+TEST(FrameDecoderTest, RejectsVersionMismatch) {
+  auto bytes = net::encode_frame(FrameType::kPing, 1, {});
+  bytes[4] = 0x7F;  // version field, low byte
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadVersion);
+}
+
+TEST(FrameDecoderTest, RejectsOversizedDeclaredPayload) {
+  // Header declaring a payload bigger than the decoder's ceiling must be
+  // rejected from the header alone — no waiting for (or allocating) the
+  // declared bytes.
+  FrameDecoder decoder(1024);
+  const std::vector<std::uint8_t> payload(2048, 0xAB);
+  decoder.feed(net::encode_frame(FrameType::kSenseRequest, 9, payload));
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kOversized);
+}
+
+TEST(FrameDecoderTest, FuzzedFramesNeverCrashTheDecoder) {
+  // Deterministic mutation fuzz over a real request frame: truncations,
+  // bit flips, random splices — fed in random-sized chunks. The decoder
+  // and payload codecs must stay total: any outcome is fine except a
+  // crash, a throw, or an out-of-bounds read (ASan's department).
+  const RoundTrace round = sample_round(77);
+  const auto payload = net::encode_sense_request("tag-1", round);
+  const auto pristine =
+      net::encode_frame(FrameType::kSenseRequest, 42, payload);
+
+  Rng rng(mix_seed(2024, 0xF022));
+  std::size_t frames = 0, errors = 0;
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    std::vector<std::uint8_t> bytes = pristine;
+    // Truncate or extend.
+    if (rng.bernoulli(0.5)) {
+      bytes.resize(rng.uniform_index(bytes.size() + 1));
+    }
+    // Flip a handful of random bits.
+    const std::size_t flips = 1 + rng.uniform_index(8);
+    for (std::size_t f = 0; f < flips && !bytes.empty(); ++f) {
+      bytes[rng.uniform_index(bytes.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    }
+    // Occasionally splice in garbage.
+    if (rng.bernoulli(0.2)) {
+      const std::size_t n = rng.uniform_index(64);
+      for (std::size_t k = 0; k < n; ++k) {
+        bytes.push_back(static_cast<std::uint8_t>(rng.uniform_index(256)));
+      }
+    }
+
+    FrameDecoder decoder;
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      const std::size_t chunk =
+          std::min(bytes.size() - offset, 1 + rng.uniform_index(977));
+      decoder.feed({bytes.data() + offset, chunk});
+      offset += chunk;
+      for (;;) {
+        Frame frame;
+        const DecodeStatus status = decoder.next(frame);
+        if (status == DecodeStatus::kFrame) {
+          ++frames;
+          // Whatever survived framing gets thrown at the payload codecs.
+          std::string tag;
+          RoundTrace decoded_round;
+          (void)net::decode_sense_request(frame.payload, tag, decoded_round);
+          SensingResult decoded_result;
+          (void)net::decode_sense_response(frame.payload, decoded_result);
+          WireError code;
+          std::string message;
+          (void)net::decode_error_payload(frame.payload, code, message);
+          continue;
+        }
+        if (net::is_decode_error(status)) ++errors;
+        break;
+      }
+    }
+  }
+  // Sanity: the fuzz actually produced both parses and rejections.
+  EXPECT_GT(frames, 0u);
+  EXPECT_GT(errors, 0u);
+}
+
+}  // namespace
+}  // namespace rfp

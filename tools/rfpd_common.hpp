@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "rfp/core/engine.hpp"
+#include "rfp/exp/testbed.hpp"
+#include "rfp/net/server.hpp"
+
+/// \file rfpd_common.hpp
+/// The daemon body shared by the standalone `rfpd` binary and the
+/// `rfprism serve` subcommand: build the calibrated deployment pipeline
+/// (a Testbed keyed by seed, so client and server agree on geometry and
+/// calibration), spin up a SensingEngine + rfp::net::Server, serve until
+/// SIGINT/SIGTERM, then print the drain-complete stats.
+
+namespace rfp::tools {
+
+struct DaemonOptions {
+  std::string bind = "127.0.0.1";
+  std::uint16_t port = 7461;      ///< 0 picks an ephemeral port
+  std::size_t threads = 0;        ///< engine threads; 0 = hardware
+  std::uint64_t seed = 42;        ///< deployment seed
+  std::size_t antennas = 4;       ///< 4 = the fault-tolerance rig
+  bool multipath = false;
+  double idle_timeout_s = 60.0;
+  std::size_t max_connections = 64;
+  std::size_t max_pending = 32;   ///< per-connection backpressure limit
+};
+
+namespace detail {
+inline std::atomic<net::Server*> g_server{nullptr};
+
+inline void stop_signal_handler(int) {
+  // request_stop is async-signal-safe: atomic store + self-pipe write.
+  if (net::Server* server = g_server.load(std::memory_order_relaxed)) {
+    server->request_stop();
+  }
+}
+}  // namespace detail
+
+/// Run the daemon to completion. `name` prefixes log lines ("rfpd" or
+/// "rfprism serve").
+inline int run_daemon(const char* name, const DaemonOptions& options) {
+  TestbedConfig bed_config;
+  bed_config.seed = options.seed;
+  bed_config.n_antennas = options.antennas;
+  bed_config.multipath_environment = options.multipath;
+  const Testbed bed(bed_config);
+
+  SensingEngine engine(options.threads);
+
+  net::ServerConfig server_config;
+  server_config.bind_address = options.bind;
+  server_config.port = options.port;
+  server_config.max_connections = options.max_connections;
+  server_config.max_pending_per_connection = options.max_pending;
+  server_config.idle_timeout_s = options.idle_timeout_s;
+  net::Server server(bed.prism(), engine, server_config);
+
+  detail::g_server.store(&server, std::memory_order_relaxed);
+  std::signal(SIGINT, detail::stop_signal_handler);
+  std::signal(SIGTERM, detail::stop_signal_handler);
+
+  std::printf("%s: deployment seed %llu, %zu antennas, %zu worker thread(s)\n",
+              name, static_cast<unsigned long long>(options.seed),
+              options.antennas, engine.n_threads());
+  std::printf("%s: listening on %s:%u\n", name, options.bind.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  server.run();  // returns once a stop request has drained
+
+  detail::g_server.store(nullptr, std::memory_order_relaxed);
+  const net::ServerStats stats = server.stats();
+  std::printf("%s: shut down cleanly\n", name);
+  std::printf("  connections  accepted %llu  rejected %llu  idle-closed %llu"
+              "  protocol-closed %llu\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.connections_rejected),
+              static_cast<unsigned long long>(stats.connections_closed_idle),
+              static_cast<unsigned long long>(
+                  stats.connections_closed_protocol));
+  std::printf("  requests     completed %llu  failed %llu  "
+              "backpressure pauses %llu\n",
+              static_cast<unsigned long long>(stats.requests_completed),
+              static_cast<unsigned long long>(stats.requests_failed),
+              static_cast<unsigned long long>(stats.backpressure_pauses));
+  std::printf("  bytes        in %llu  out %llu\n",
+              static_cast<unsigned long long>(stats.bytes_received),
+              static_cast<unsigned long long>(stats.bytes_sent));
+  return 0;
+}
+
+}  // namespace rfp::tools

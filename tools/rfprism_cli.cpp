@@ -13,6 +13,11 @@
 ///                                through a SensingEngine thread pool and
 ///                                report throughput (optionally verifying
 ///                                bit-identity with the sequential path)
+///   rfprism serve [options]      run the rfpd sensing daemon in-process
+///                                (serve rounds over the rfp::net wire
+///                                protocol until SIGINT/SIGTERM)
+///   rfprism request [options]    send one round to a running daemon and
+///                                print the sensed result (or --ping)
 ///
 /// `simulate` options:
 ///   --trials N        number of trials (default 20)
@@ -40,7 +45,9 @@
 #include "rfp/core/tracker.hpp"
 #include "rfp/exp/testbed.hpp"
 #include "rfp/io/trace_io.hpp"
+#include "rfp/net/client.hpp"
 #include "rfp/rfsim/faults.hpp"
+#include "rfpd_common.hpp"
 
 namespace {
 
@@ -48,7 +55,7 @@ using namespace rfp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rfprism <simulate|track|replay|inspect|materials|stream|batch> [args]\n"
+               "usage: rfprism <simulate|track|replay|inspect|materials|stream|batch|serve|request> [args]\n"
                "  rfprism simulate [--trials N] [--material NAME|all]\n"
                "                   [--alpha DEG] [--multipath] [--seed S]\n"
                "                   [--csv] [--dump-trace FILE]\n"
@@ -59,9 +66,21 @@ int usage() {
                "  rfprism stream [--rounds N] [--fault-intensity X]\n"
                "                 [--dead PORT] [--antennas N] [--seed S]\n"
                "  rfprism batch [--rounds N] [--threads N] [--material NAME|all]\n"
-               "                [--multipath] [--seed S] [--verify]\n");
+               "                [--multipath] [--seed S] [--verify]\n"
+               "  rfprism serve [--port N] [--bind ADDR] [--threads N]\n"
+               "                [--seed S] [--antennas N] [--multipath]\n"
+               "                [--idle-timeout SEC] [--max-conns N]\n"
+               "  rfprism request [--host H] [--port N] [--trace FILE]\n"
+               "                  [--trial K] [--seed S] [--antennas N]\n"
+               "                  [--multipath] [--material NAME] [--tag ID]\n"
+               "                  [--timeout SEC] [--ping]\n");
   return 2;
 }
+
+/// Malformed command line (missing value, unknown option, bad operand):
+/// main() answers with usage() and exit code 2. Distinct from rfp::Error
+/// so data/runtime failures keep their "error: ..." reporting.
+struct UsageError {};
 
 struct SimulateOptions {
   int trials = 20;
@@ -413,6 +432,76 @@ int run_batch(const BatchOptions& options) {
   return 0;
 }
 
+struct RequestOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7461;
+  std::string trace;  ///< when set, send this saved round instead
+  std::uint64_t seed = 42;
+  int trial = 0;
+  std::size_t antennas = 4;  ///< must match the daemon's deployment
+  bool multipath = false;
+  std::string material = "plastic";
+  std::string tag = "tag-1";
+  double timeout_s = 30.0;
+  bool ping = false;
+};
+
+int run_request(const RequestOptions& options) {
+  net::ClientConfig client_config;
+  client_config.host = options.host;
+  client_config.port = options.port;
+  client_config.io_timeout_s = options.timeout_s;
+  net::Client client(client_config);
+
+  if (options.ping) {
+    client.ping();
+    std::printf("pong from %s:%u\n", options.host.c_str(),
+                static_cast<unsigned>(options.port));
+    return 0;
+  }
+
+  RoundTrace round;
+  std::optional<TagState> truth;
+  if (!options.trace.empty()) {
+    round = load_round(options.trace);
+  } else {
+    // Simulate one round over the same deployment the daemon built from
+    // this seed, so geometry and calibration line up.
+    TestbedConfig config;
+    config.seed = options.seed;
+    config.n_antennas = options.antennas;
+    config.multipath_environment = options.multipath;
+    const Testbed bed(config);
+    Rng rng(mix_seed(options.seed,
+                     0x9E90 + static_cast<std::uint64_t>(options.trial)));
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const TagState state =
+        bed.tag_state(p, rng.uniform(0.0, kPi), options.material);
+    truth = state;
+    round = bed.collect(state,
+                        1000 + static_cast<std::uint64_t>(options.trial));
+  }
+
+  const SensingResult r = client.sense(round, options.tag);
+  if (!r.valid) {
+    std::printf("rejected: %s (grade %s)\n", to_string(r.reject_reason),
+                to_string(r.grade));
+    return 1;
+  }
+  std::printf("grade       %s\n", to_string(r.grade));
+  std::printf("position    (%.4f, %.4f, %.4f) m\n", r.position.x,
+              r.position.y, r.position.z);
+  std::printf("orientation %.2f deg\n", rad2deg(r.alpha));
+  std::printf("kt          %.4f rad/GHz\n", r.kt * 1e9);
+  std::printf("bt          %.4f rad\n", r.bt);
+  if (truth) {
+    std::printf("truth       (%.4f, %.4f)  ->  err %.2f cm\n",
+                truth->position.x, truth->position.y,
+                100.0 * distance(r.position, truth->position));
+  }
+  return 0;
+}
+
 int run_materials() {
   const MaterialDB db = MaterialDB::standard();
   std::printf("%-10s %12s %8s %10s %8s %s\n", "name", "kt[rad/GHz]",
@@ -433,27 +522,52 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
 
   try {
-    if (command == "materials") return run_materials();
+    if (command == "materials") {
+      if (argc > 2) return usage();
+      return run_materials();
+    }
 
     if (command == "track") {
       int rounds = 15;
       std::uint64_t seed = 42;
-      for (int i = 2; i + 1 < argc; i += 2) {
-        if (std::strcmp(argv[i], "--rounds") == 0) {
-          rounds = std::stoi(argv[i + 1]);
-        } else if (std::strcmp(argv[i], "--seed") == 0) {
-          seed = std::stoull(argv[i + 1]);
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+            throw UsageError();
+          }
+          return argv[++i];
+        };
+        if (arg == "--rounds") {
+          rounds = std::stoi(next());
+        } else if (arg == "--seed") {
+          seed = std::stoull(next());
+        } else {
+          std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+          return usage();
         }
       }
       return run_track(rounds, seed);
     }
 
     if (command == "replay" || command == "inspect") {
-      if (argc < 3) return usage();
+      if (argc < 3 || argv[2][0] == '-') return usage();
       std::uint64_t seed = 42;
-      for (int i = 3; i + 1 < argc; i += 2) {
-        if (std::strcmp(argv[i], "--seed") == 0) {
-          seed = std::stoull(argv[i + 1]);
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+            throw UsageError();
+          }
+          return argv[++i];
+        };
+        if (arg == "--seed") {
+          seed = std::stoull(next());
+        } else {
+          std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+          return usage();
         }
       }
       return command == "replay" ? run_replay(argv[2], seed)
@@ -465,7 +579,10 @@ int main(int argc, char** argv) {
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char* {
-          if (i + 1 >= argc) throw Error("missing value for " + arg);
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+            throw UsageError();
+          }
           return argv[++i];
         };
         if (arg == "--rounds") {
@@ -491,7 +608,10 @@ int main(int argc, char** argv) {
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char* {
-          if (i + 1 >= argc) throw Error("missing value for " + arg);
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+            throw UsageError();
+          }
           return argv[++i];
         };
         if (arg == "--rounds") {
@@ -525,7 +645,10 @@ int main(int argc, char** argv) {
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char* {
-          if (i + 1 >= argc) throw Error("missing value for " + arg);
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+            throw UsageError();
+          }
           return argv[++i];
         };
         if (arg == "--trials") {
@@ -555,6 +678,90 @@ int main(int argc, char** argv) {
       }
       return run_simulate(options);
     }
+
+    if (command == "serve") {
+      tools::DaemonOptions options;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+            throw UsageError();
+          }
+          return argv[++i];
+        };
+        if (arg == "--port") {
+          options.port = static_cast<std::uint16_t>(std::stoul(next()));
+        } else if (arg == "--bind") {
+          options.bind = next();
+        } else if (arg == "--threads") {
+          options.threads = std::stoull(next());
+        } else if (arg == "--seed") {
+          options.seed = std::stoull(next());
+        } else if (arg == "--antennas") {
+          options.antennas = std::stoull(next());
+        } else if (arg == "--multipath") {
+          options.multipath = true;
+        } else if (arg == "--idle-timeout") {
+          options.idle_timeout_s = std::stod(next());
+        } else if (arg == "--max-conns") {
+          options.max_connections = std::stoull(next());
+        } else {
+          std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+          return usage();
+        }
+      }
+      return tools::run_daemon("rfprism serve", options);
+    }
+
+    if (command == "request") {
+      RequestOptions options;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+            throw UsageError();
+          }
+          return argv[++i];
+        };
+        if (arg == "--host") {
+          options.host = next();
+        } else if (arg == "--port") {
+          options.port = static_cast<std::uint16_t>(std::stoul(next()));
+        } else if (arg == "--trace") {
+          options.trace = next();
+        } else if (arg == "--trial") {
+          options.trial = std::stoi(next());
+        } else if (arg == "--seed") {
+          options.seed = std::stoull(next());
+        } else if (arg == "--antennas") {
+          options.antennas = std::stoull(next());
+        } else if (arg == "--multipath") {
+          options.multipath = true;
+        } else if (arg == "--material") {
+          options.material = next();
+        } else if (arg == "--tag") {
+          options.tag = next();
+        } else if (arg == "--timeout") {
+          options.timeout_s = std::stod(next());
+        } else if (arg == "--ping") {
+          options.ping = true;
+        } else {
+          std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+          return usage();
+        }
+      }
+      if (options.trace.empty() &&
+          !MaterialDB::standard().contains(options.material)) {
+        std::fprintf(stderr, "unknown material: %s (try 'rfprism materials')\n",
+                     options.material.c_str());
+        return 2;
+      }
+      return run_request(options);
+    }
+  } catch (const UsageError&) {
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
