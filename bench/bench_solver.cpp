@@ -1,0 +1,229 @@
+/// Stage-A solver cost: grid x antennas x acceleration-mode sweep.
+///
+/// Measures per-solve latency (p50/p99, microseconds) of solve_position
+/// on synthetic slope lines across the four Stage-A paths: the legacy
+/// uncached exhaustive scan, the geometry-cached exhaustive scan
+/// (bit-identical, just cheaper), the coarse-to-fine pyramid, and the
+/// hint-windowed warm start. A closing JSON block (BENCH_solver.json in
+/// CI) makes the sweep machine-readable for trending.
+///
+/// The bench is also the perf gate: at the default 2D scene (41x41 grid)
+/// it exits non-zero when the cached scan is not measurably faster than
+/// the uncached one, or when cached+pyramid does not reach the ISSUE's
+/// >= 5x p50 speedup over the uncached exhaustive scan.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rfp/core/disentangle.hpp"
+#include "rfp/core/grid_cache.hpp"
+#include "rfp/rfsim/scene.hpp"
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace rfp;
+using namespace rfp::bench;
+
+using Clock = std::chrono::steady_clock;
+
+DeploymentGeometry scene_geometry(std::size_t n_antennas) {
+  SceneConfig config;
+  config.n_antennas = n_antennas;
+  config.antenna_spacing = n_antennas > 4 ? 0.3 : 0.5;
+  const Scene scene = make_standard_scene(config, /*seed=*/1234);
+  DeploymentGeometry g;
+  for (const auto& a : scene.antennas) {
+    g.antenna_positions.push_back(a.position);
+    g.antenna_frames.push_back(a.frame);
+  }
+  g.working_region = scene.working_region;
+  g.tag_plane_z = scene.tag_plane_z;
+  return g;
+}
+
+/// Slope lines from the physical model plus a whiff of gaussian slope
+/// noise, so LM does a realistic (non-zero) amount of refinement work.
+std::vector<AntennaLine> noisy_lines(const DeploymentGeometry& geometry,
+                                     Vec3 position, Rng& rng) {
+  std::vector<AntennaLine> lines;
+  for (std::size_t i = 0; i < geometry.n_antennas(); ++i) {
+    AntennaLine line;
+    line.antenna = i;
+    const double d = distance(geometry.antenna_positions[i], position);
+    line.fit.slope = kSlopePerMeter * d + 2e-9 + rng.gaussian(0.0, 1e-10);
+    line.fit.intercept = 0.0;
+    line.fit.n = kNumChannels;
+    line.n_channels = kNumChannels;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+struct Workload {
+  std::vector<Vec3> targets;
+  std::vector<std::vector<AntennaLine>> lines;  ///< per target
+};
+
+struct Cell {
+  std::size_t grid = 0;
+  std::size_t antennas = 0;
+  std::string mode;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double speedup_vs_uncached = 0.0;  ///< p50 ratio within (grid, antennas)
+};
+
+enum class Mode { kUncached, kCached, kPyramid, kWarm };
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kUncached:
+      return "uncached";
+    case Mode::kCached:
+      return "cached";
+    case Mode::kPyramid:
+      return "pyramid";
+    case Mode::kWarm:
+      return "warm";
+  }
+  return "?";
+}
+
+double run_mode(const DeploymentGeometry& geometry, const Workload& load,
+                std::size_t grid, Mode mode, std::size_t reps,
+                std::vector<double>& out_us) {
+  DisentangleConfig config;
+  config.grid_nx = grid;
+  config.grid_ny = grid;
+  config.use_geometry_cache = mode != Mode::kUncached;
+  config.pyramid.enable = mode == Mode::kPyramid;
+
+  SolveWorkspace ws;
+  GridGeometryCache cache;
+  GridGeometryCache* cache_ptr =
+      mode == Mode::kUncached ? nullptr : &cache;
+
+  // Warm-up: build the distance table and size the workspace outside the
+  // timed region (steady-state cost is what the sweep compares).
+  (void)solve_position(geometry, load.lines[0], config, ws, nullptr,
+                       cache_ptr);
+
+  out_us.clear();
+  out_us.reserve(reps * load.targets.size());
+  double checksum = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t t = 0; t < load.targets.size(); ++t) {
+      // Warm mode: the hint a tracker would supply — near the truth, a
+      // few cm off.
+      const Vec3 hint{load.targets[t].x + 0.03, load.targets[t].y - 0.02,
+                      load.targets[t].z};
+      const Vec3* hint_ptr = mode == Mode::kWarm ? &hint : nullptr;
+      const auto t0 = Clock::now();
+      const PositionSolve solve = solve_position(
+          geometry, load.lines[t], config, ws, nullptr, cache_ptr, hint_ptr);
+      out_us.push_back(
+          1e6 * std::chrono::duration<double>(Clock::now() - t0).count());
+      checksum += solve.position.x;
+    }
+  }
+  return checksum;  // keep the solves observable
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick: fewer repetitions (CI smoke; the perf gates still apply).
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  print_header("Solver acceleration",
+               "solve_position per-solve latency vs grid, antennas, mode");
+
+  const std::vector<std::size_t> grids = {41, 81};
+  const std::vector<std::size_t> antenna_counts = {4, 8};
+  const std::vector<Mode> modes = {Mode::kUncached, Mode::kCached,
+                                   Mode::kPyramid, Mode::kWarm};
+  const std::size_t n_targets = quick ? 8 : 24;
+  const std::size_t reps = quick ? 4 : 16;
+
+  std::vector<Cell> cells;
+  double uncached_p50_default = 0.0;
+  double cached_p50_default = 0.0;
+  double pyramid_p50_default = 0.0;
+
+  std::printf("  %-6s %-9s %-10s %-10s %-10s %s\n", "grid", "antennas",
+              "mode", "p50[us]", "p99[us]", "speedup");
+  for (std::size_t antennas : antenna_counts) {
+    const DeploymentGeometry geometry = scene_geometry(antennas);
+    Rng rng(mix_seed(antennas, 0x501E));
+    Workload load;
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      const Vec3 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform(), 0.0};
+      load.targets.push_back(p);
+      load.lines.push_back(noisy_lines(geometry, p, rng));
+    }
+    for (std::size_t grid : grids) {
+      double uncached_p50 = 0.0;
+      for (Mode mode : modes) {
+        std::vector<double> us;
+        run_mode(geometry, load, grid, mode, reps, us);
+        Cell cell;
+        cell.grid = grid;
+        cell.antennas = antennas;
+        cell.mode = to_string(mode);
+        cell.p50_us = percentile(us, 50.0);
+        cell.p99_us = percentile(us, 99.0);
+        if (mode == Mode::kUncached) uncached_p50 = cell.p50_us;
+        cell.speedup_vs_uncached =
+            cell.p50_us > 0.0 ? uncached_p50 / cell.p50_us : 0.0;
+        if (grid == 41 && antennas == 4) {
+          if (mode == Mode::kUncached) uncached_p50_default = cell.p50_us;
+          if (mode == Mode::kCached) cached_p50_default = cell.p50_us;
+          if (mode == Mode::kPyramid) pyramid_p50_default = cell.p50_us;
+        }
+        cells.push_back(cell);
+        std::printf("  %-6zu %-9zu %-10s %-10.1f %-10.1f %.2fx\n", cell.grid,
+                    cell.antennas, cell.mode.c_str(), cell.p50_us, cell.p99_us,
+                    cell.speedup_vs_uncached);
+      }
+    }
+  }
+
+  std::printf("\n  JSON:\n[");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    std::printf(
+        "%s\n  {\"grid\": %zu, \"antennas\": %zu, \"mode\": \"%s\", "
+        "\"p50_us\": %.2f, \"p99_us\": %.2f, \"speedup_vs_uncached\": %.2f}",
+        i == 0 ? "" : ",", cell.grid, cell.antennas, cell.mode.c_str(),
+        cell.p50_us, cell.p99_us, cell.speedup_vs_uncached);
+  }
+  std::printf("\n]\n");
+
+  // ---- Perf gates (ISSUE acceptance, measured at grid=41 antennas=4) ----
+  int failures = 0;
+  if (!(cached_p50_default < uncached_p50_default)) {
+    std::fprintf(stderr,
+                 "FAIL: cached scan not faster than uncached at the default "
+                 "scene (p50 %.1f us vs %.1f us)\n",
+                 cached_p50_default, uncached_p50_default);
+    ++failures;
+  }
+  const double pyramid_speedup =
+      pyramid_p50_default > 0.0 ? uncached_p50_default / pyramid_p50_default
+                                : 0.0;
+  if (pyramid_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: cached+pyramid p50 speedup %.2fx < 5x over uncached "
+                 "exhaustive at the default scene\n",
+                 pyramid_speedup);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

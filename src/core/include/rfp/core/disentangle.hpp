@@ -22,6 +22,8 @@
 
 namespace rfp {
 
+class GridGeometryCache;
+
 struct DisentangleConfig {
   /// Stage A multi-start grid resolution over the working region.
   std::size_t grid_nx = 41;
@@ -38,6 +40,54 @@ struct DisentangleConfig {
   /// Stage B orientation scan steps over alpha in [0, pi) (2D) or per
   /// azimuth turn (3D; elevation uses half as many over [-pi/2, pi/2]).
   std::size_t orientation_scan_steps = 720;
+
+  /// Stage B golden-section refinement stops once the bracket is narrower
+  /// than this [rad] (well below any physical orientation accuracy).
+  /// <= 0 restores the legacy fixed 40 iterations.
+  double orientation_refine_tol_rad = 1e-6;
+
+  // ---- Solver acceleration (DESIGN.md "Solver acceleration") -----------
+
+  /// Serve the Stage-A scan from the GridGeometryCache: the per-deployment
+  /// [cell x antenna] distance table is built once and the hot loop
+  /// becomes pure multiply-add over contiguous doubles. Bit-identical to
+  /// the uncached scan (the table stores the exact distance() values and
+  /// the kernel keeps the same accumulation order).
+  bool use_geometry_cache = true;
+
+  /// Coarse-to-fine pyramid search: scan a decimated sampling of the fine
+  /// grid with a fused single-pass ranking kernel, then re-scan full-
+  /// resolution windows around the best coarse cells. Deterministic
+  /// scan-order argmin, reproducible across thread counts; lands within
+  /// one fine cell of the exhaustive scan on smooth slope-residual
+  /// surfaces (validated per test scene, not guaranteed adversarially).
+  struct Pyramid {
+    bool enable = false;
+    std::size_t decimation = 4;     ///< coarse stride in fine cells (>= 2)
+    std::size_t top_k = 3;          ///< coarse candidates refined at full res
+    std::size_t refine_radius = 0;  ///< fine half-window; 0 = decimation + 1
+  };
+  Pyramid pyramid;
+
+  /// Warm start: when the caller passes a position hint (solve_position's
+  /// `warm_hint`, RfPrism::sense_warm, StreamingConfig::enable_warm_start),
+  /// scan only a local window around the hint and LM-refine. Falls back to
+  /// the full grid — byte-identical to the cold solve — whenever the
+  /// windowed solve's refined RMS exceeds `max_rms` or the hint misses the
+  /// working region.
+  struct WarmStart {
+    bool enable = true;      ///< honor hints when provided
+    double window_m = 0.25;  ///< half-width of the hint window [m]
+    double max_rms = 2e-9;   ///< fallback threshold on refined RMS [rad/Hz]
+  };
+  WarmStart warm_start;
+};
+
+/// Which Stage-A search produced a PositionSolve.
+enum class SolvePath {
+  kExhaustive,  ///< full grid scan (cached or not)
+  kPyramid,     ///< coarse-to-fine pyramid
+  kWarmStart,   ///< hint-windowed scan (did not fall back)
 };
 
 /// Stage A output: position and material slope from the slope equations.
@@ -46,6 +96,8 @@ struct PositionSolve {
   double kt = 0.0;       ///< common-mode slope left after propagation [rad/Hz]
   double rms = 0.0;      ///< RMS slope residual [rad/Hz]
   bool converged = false;
+  SolvePath path = SolvePath::kExhaustive;  ///< which Stage-A search ran
+  std::size_t cells_scanned = 0;  ///< Stage-A cost evaluations performed
 };
 
 /// Stage B output: orientation and material intercept from the intercept
@@ -74,10 +126,19 @@ PositionSolve solve_position(const DeploymentGeometry& geometry,
 /// the sequential scan for any pool size (each cell's cost is computed
 /// independently and the argmin reduction is first-strict-minimum in scan
 /// order).
+///
+/// With a non-null `cache` (and config.use_geometry_cache) the scan runs
+/// over the cached [cell x antenna] distance table instead of recomputing
+/// distances per cell — same bits, ~an order of magnitude less work. With
+/// a non-null `warm_hint` (and config.warm_start.enable) the solve first
+/// tries a local window around the hint and falls back to the full grid
+/// when the refined RMS exceeds config.warm_start.max_rms.
 PositionSolve solve_position(const DeploymentGeometry& geometry,
                              std::span<const AntennaLine> lines,
                              const DisentangleConfig& config,
-                             SolveWorkspace& ws, ThreadPool* pool = nullptr);
+                             SolveWorkspace& ws, ThreadPool* pool = nullptr,
+                             GridGeometryCache* cache = nullptr,
+                             const Vec3* warm_hint = nullptr);
 
 /// Solve orientation + bt from per-antenna intercepts, given the Stage-A
 /// position estimate (the polarization coupling happens transverse to each

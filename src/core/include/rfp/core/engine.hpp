@@ -7,6 +7,7 @@
 
 #include "rfp/common/thread_pool.hpp"
 #include "rfp/common/workspace.hpp"
+#include "rfp/core/grid_cache.hpp"
 
 /// \file engine.hpp
 /// Shared execution resources for high-throughput sensing: one ThreadPool
@@ -50,9 +51,16 @@ class SensingEngine {
     return workspaces_[index == ThreadPool::npos ? pool_.size() : index];
   }
 
+  /// Engine-owned geometry cache: the Stage-A distance tables shared
+  /// read-only by every solve routed through this engine. Engine-less
+  /// paths use GridGeometryCache::shared() instead; both build the same
+  /// (bit-identical) tables.
+  GridGeometryCache& geometry_cache() { return geometry_cache_; }
+
  private:
   ThreadPool pool_;
   std::deque<SolveWorkspace> workspaces_;  // n_threads + 1, stable refs
+  GridGeometryCache geometry_cache_;
 };
 
 }  // namespace rfp

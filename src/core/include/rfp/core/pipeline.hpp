@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 namespace rfp {
 
 class SensingEngine;
+class GridGeometryCache;
 
 /// Everything the pipeline needs to know about the deployment and its own
 /// thresholds. Geometry is *as measured* — the pipeline never touches the
@@ -95,6 +97,18 @@ class RfPrism {
                       const std::string& tag_id = {},
                       const AntennaHealthMonitor* health = nullptr) const;
 
+  /// Warm-started single-round sense: `hint` seeds a windowed position
+  /// solve (DisentangleConfig::warm_start) that falls back to the full
+  /// grid — byte-identical to the cold sense — when the windowed residual
+  /// is too high or the hint misses the working region. Use when the tag
+  /// was recently localized (StreamingSensor does this automatically with
+  /// enable_warm_start). With a null `engine` the shared process cache
+  /// and the calling thread are used.
+  SensingResult sense_warm(const RoundTrace& round, const std::string& tag_id,
+                           Vec3 hint,
+                           const AntennaHealthMonitor* health = nullptr,
+                           SensingEngine* engine = nullptr) const;
+
   /// Batch sensing: fan the independent rounds across the engine's pool,
   /// one solve per round on a per-thread workspace. Results come back in
   /// input order and are bit-identical to calling sense() on each round
@@ -111,10 +125,16 @@ class RfPrism {
 
   /// Per-round tag ids (`tag_ids` empty, or one id per round — anything
   /// else throws InvalidArgument). The multi-tag streaming shape.
+  ///
+  /// `warm_hints` is empty or one optional hint per round: rounds with an
+  /// engaged hint run the warm-start path of sense_warm(), the rest solve
+  /// cold. Bit-identical to sensing each round individually with the same
+  /// hint.
   std::vector<SensingResult> sense_batch(
       std::span<const RoundTrace> rounds,
       std::span<const std::string> tag_ids, SensingEngine& engine,
-      const AntennaHealthMonitor* health = nullptr) const;
+      const AntennaHealthMonitor* health = nullptr,
+      std::span<const std::optional<Vec3>> warm_hints = {}) const;
 
   const RfPrismConfig& config() const { return config_; }
   const CalibrationDB& calibrations() const { return db_; }
@@ -132,10 +152,13 @@ class RfPrism {
 
   /// The one true sensing path: every public sense/sense_batch entry
   /// point funnels here with an explicit workspace (and optionally a pool
-  /// for the grid scan), so the sequential and batch paths cannot drift.
+  /// for the grid scan, a geometry cache for the distance tables, and a
+  /// warm-start hint), so the sequential and batch paths cannot drift.
   SensingResult sense_with(const RoundTrace& round, const std::string& tag_id,
                            const AntennaHealthMonitor* health,
-                           SolveWorkspace& ws, ThreadPool* pool) const;
+                           SolveWorkspace& ws, ThreadPool* pool,
+                           GridGeometryCache* cache,
+                           const Vec3* warm_hint = nullptr) const;
 
   RfPrismConfig config_;
   CalibrationDB db_;

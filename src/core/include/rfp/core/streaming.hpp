@@ -8,6 +8,7 @@
 #include "rfp/core/antenna_health.hpp"
 #include "rfp/core/engine.hpp"
 #include "rfp/core/pipeline.hpp"
+#include "rfp/core/tracker.hpp"
 #include "rfp/rfsim/faults.hpp"
 
 /// \file streaming.hpp
@@ -67,6 +68,18 @@ struct StreamingConfig {
   /// round-completion and sensing (quarantined ports are not waited for).
   bool enable_health_monitor = true;
   AntennaHealthConfig health;
+
+  /// Warm-start sensing: keep a per-tag constant-velocity track over the
+  /// emitted fixes and seed each completing tag's position solve from the
+  /// track's prediction (RfPrism::sense_warm). The solve falls back to
+  /// the full grid whenever the windowed residual exceeds
+  /// DisentangleConfig::warm_start.max_rms, so accuracy is preserved; a
+  /// warm-started solve is *not* bit-identical to a cold one, which is
+  /// why this is opt-in.
+  bool enable_warm_start = false;
+  /// A track whose last accepted fix is older than this never seeds a
+  /// solve (a stale prediction is worse than a cold scan).
+  double warm_start_max_age_s = 30.0;
 };
 
 /// Ingestion / emission counters. All monotonically increasing until
@@ -201,6 +214,12 @@ class StreamingSensor {
   StreamingStats stats_;
   std::optional<AntennaHealthMonitor> health_;
   double high_water_s_ = 0.0;
+
+  /// Warm-start state (enable_warm_start only): one track per recently
+  /// localized tag, surviving round completion (PendingTag does not).
+  /// Bounded: pruned against tag_timeout_s and capped at
+  /// max_pending_tags by evicting the stalest track.
+  std::map<std::string, Tracker> tracks_;
 };
 
 /// Flatten a simulated hop round into the interleaved read stream a real

@@ -62,6 +62,11 @@ class Tracker {
 
   std::size_t rejected_in_a_row() const { return consecutive_rejections_; }
 
+  /// Absolute time of the last accepted fix (0 before the first). Lets
+  /// callers judge track staleness — e.g. the streaming sensor's
+  /// warm-start path only seeds a solve from a sufficiently fresh track.
+  double last_update_time_s() const { return initialized_ ? last_time_s : 0.0; }
+
  private:
   void initialize(Vec2 position, double time_s);
 

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "rfp/common/angles.hpp"
 #include "rfp/common/constants.hpp"
 #include "rfp/common/error.hpp"
+#include "rfp/core/grid_cache.hpp"
 #include "rfp/solver/levenberg_marquardt.hpp"
 
 namespace rfp {
@@ -57,6 +61,11 @@ void build_snapshot(const DeploymentGeometry& geometry,
   snap.n = snap.slope.size();
 }
 
+/// Per-cost-evaluation distance scratch: antenna counts are small, so the
+/// common case is a stack array and the loops below compute each distance
+/// once and reuse it for both the kt mean and the residuals.
+constexpr std::size_t kMaxStackAntennas = 64;
+
 /// Closed-form kt and the slope residual sum of squares at `p`, in one
 /// walk of the snapshot (kt enters the equations linearly, so it is
 /// eliminated exactly at every candidate).
@@ -66,18 +75,65 @@ struct SlopeCost {
 };
 
 SlopeCost slope_cost(const RoundSnapshot& snap, Vec3 p) {
+  double stack_dist[kMaxStackAntennas];
+  std::vector<double> heap_dist;
+  double* dist_to = stack_dist;
+  if (snap.n > kMaxStackAntennas) {
+    heap_dist.resize(snap.n);
+    dist_to = heap_dist.data();
+  }
   SlopeCost out;
   double acc = 0.0;
   for (std::size_t i = 0; i < snap.n; ++i) {
-    acc += snap.slope[i] - kSlopePerMeter * distance(snap.position[i], p);
+    dist_to[i] = distance(snap.position[i], p);
+    acc += snap.slope[i] - kSlopePerMeter * dist_to[i];
   }
   out.kt = acc / static_cast<double>(snap.n);
   for (std::size_t i = 0; i < snap.n; ++i) {
-    const double r = snap.slope[i] -
-                     kSlopePerMeter * distance(snap.position[i], p) - out.kt;
+    const double r = snap.slope[i] - kSlopePerMeter * dist_to[i] - out.kt;
     out.rss += r * r;
   }
   return out;
+}
+
+/// Two-pass cached cost at one table cell: bit-identical arithmetic to
+/// slope_cost (the table stores the exact distance() doubles, and the
+/// accumulation order is the same), with both sqrt walks replaced by
+/// contiguous loads — the scan's inner loop is pure multiply-add.
+SlopeCost cached_cell_cost(const GridTable& table, const RoundSnapshot& snap,
+                           std::size_t cell) {
+  const double* dist_row = table.dist.data() + cell * table.n_antennas;
+  SlopeCost out;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < snap.n; ++i) {
+    acc += snap.slope[i] - kSlopePerMeter * dist_row[snap.antenna[i]];
+  }
+  out.kt = acc / static_cast<double>(snap.n);
+  for (std::size_t i = 0; i < snap.n; ++i) {
+    const double r =
+        snap.slope[i] - kSlopePerMeter * dist_row[snap.antenna[i]] - out.kt;
+    out.rss += r * r;
+  }
+  return out;
+}
+
+/// Fused single-pass ranking cost: with x_i = k_i − K·d_i,
+/// rss = Σ(x_i − kt)² = Σx_i² − n·kt². One walk instead of two — but a
+/// different floating-point expression than slope_cost, so it is only
+/// used where the *ordering* of cells matters (pyramid coarse ranking),
+/// never for reported values.
+double fused_cell_rss(const GridTable& table, const RoundSnapshot& snap,
+                      std::size_t cell) {
+  const double* dist_row = table.dist.data() + cell * table.n_antennas;
+  double acc = 0.0;
+  double acc2 = 0.0;
+  for (std::size_t i = 0; i < snap.n; ++i) {
+    const double x = snap.slope[i] - kSlopePerMeter * dist_row[snap.antenna[i]];
+    acc += x;
+    acc2 += x * x;
+  }
+  const double kt = acc / static_cast<double>(snap.n);
+  return std::max(acc2 - static_cast<double>(snap.n) * kt * kt, 0.0);
 }
 
 /// Closed-form bt at polarization w (circular mean of b_i - orient_i) and
@@ -135,17 +191,14 @@ GridBest scan_grid_rows(const RoundSnapshot& snap,
     const std::size_t iz = row / config.grid_ny;
     const std::size_t iy = row % config.grid_ny;
     const double z =
-        mode_3d ? config.z_lo + (config.z_hi - config.z_lo) *
-                                    static_cast<double>(iz) /
-                                    static_cast<double>(nz - 1)
+        mode_3d ? grid_axis_coord(config.z_lo, config.z_hi - config.z_lo, iz,
+                                  nz)
                 : geometry.tag_plane_z;
-    const double y = region.lo.y + region.height() *
-                                       static_cast<double>(iy) /
-                                       static_cast<double>(config.grid_ny - 1);
+    const double y =
+        grid_axis_coord(region.lo.y, region.height(), iy, config.grid_ny);
     for (std::size_t ix = 0; ix < config.grid_nx; ++ix) {
-      const double x = region.lo.x + region.width() *
-                                         static_cast<double>(ix) /
-                                         static_cast<double>(config.grid_nx - 1);
+      const double x =
+          grid_axis_coord(region.lo.x, region.width(), ix, config.grid_nx);
       const Vec3 p{x, y, z};
       const SlopeCost cost = slope_cost(snap, p);
       if (cost.rss < best.rss) {
@@ -157,6 +210,285 @@ GridBest scan_grid_rows(const RoundSnapshot& snap,
     }
   }
   return best;
+}
+
+/// Cached variant of scan_grid_rows: same rows, same scan order, same
+/// two-pass arithmetic — distances loaded from the table instead of
+/// recomputed per cell.
+GridBest scan_grid_rows_cached(const RoundSnapshot& snap,
+                               const GridTable& table, std::size_t row_begin,
+                               std::size_t row_end) {
+  GridBest best;
+  const std::size_t nx = table.spec.nx;
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t cell = row * nx + ix;
+      const SlopeCost cost = cached_cell_cost(table, snap, cell);
+      if (cost.rss < best.rss) {
+        best.rss = cost.rss;
+        best.kt = cost.kt;
+        best.position = table.cell_position(cell);
+        best.any = true;
+      }
+    }
+  }
+  return best;
+}
+
+/// Fan a row-range scan out over the pool by chunks, reducing to the
+/// first strict minimum in chunk (= scan) order; bit-identical to the
+/// sequential scan for any pool size. `scan(row_begin, row_end)` must be
+/// safe to call concurrently.
+template <typename ScanRows>
+GridBest chunked_scan(std::size_t rows, ThreadPool* pool,
+                      const ScanRows& scan) {
+  if (pool != nullptr && pool->size() > 1) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, rows / (4 * pool->size()));
+    const std::size_t n_chunks = (rows + chunk - 1) / chunk;
+    std::vector<GridBest> slots(n_chunks);
+    pool->parallel_for(rows, chunk,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         slots[begin / chunk] = scan(begin, end);
+                       });
+    GridBest best;
+    for (const GridBest& slot : slots) {
+      if (slot.any && slot.rss < best.rss) best = slot;
+    }
+    return best;
+  }
+  return scan(0, rows);
+}
+
+/// Strided coarse sampling of one fine axis: 0, s, 2s, ... plus the last
+/// index (the region edges must stay reachable at the coarse level).
+void coarse_axis(std::size_t n, std::size_t stride,
+                 std::vector<std::size_t>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < n; i += stride) out.push_back(i);
+  if (out.back() != n - 1) out.push_back(n - 1);
+}
+
+/// Coarse-to-fine pyramid scan over the cached table. Deterministic and
+/// single-threaded by construction: the coarse pass walks a strided
+/// sampling of the fine grid in canonical order keeping the top-K cells
+/// (ties broken by cell index), then full-resolution windows around each
+/// candidate are re-scanned with the canonical two-pass kernel under a
+/// strict-minimum argmin — overlapping windows cannot change the winner.
+GridBest pyramid_scan(const RoundSnapshot& snap, const GridTable& table,
+                      const DisentangleConfig& config,
+                      std::size_t* cells_scanned) {
+  const std::size_t nx = table.spec.nx;
+  const std::size_t ny = table.spec.ny;
+  const std::size_t nz = table.spec.nz;
+  const std::size_t stride = std::max<std::size_t>(config.pyramid.decimation, 2);
+  const std::size_t top_k = std::max<std::size_t>(config.pyramid.top_k, 1);
+  const std::size_t radius = config.pyramid.refine_radius > 0
+                                 ? config.pyramid.refine_radius
+                                 : stride + 1;
+
+  // ---- Coarse pass: fused one-walk ranking over the strided sampling ---
+  std::vector<std::size_t> xs_i, ys_i, zs_i;
+  coarse_axis(nx, stride, xs_i);
+  coarse_axis(ny, stride, ys_i);
+  coarse_axis(nz, nz > 1 ? stride : 1, zs_i);
+
+  std::vector<std::pair<double, std::size_t>> top;  // (rss, cell), ascending
+  top.reserve(top_k + 1);
+  for (std::size_t iz : zs_i) {
+    for (std::size_t iy : ys_i) {
+      for (std::size_t ix : xs_i) {
+        const std::size_t cell = (iz * ny + iy) * nx + ix;
+        const std::pair<double, std::size_t> cand{
+            fused_cell_rss(table, snap, cell), cell};
+        ++*cells_scanned;
+        if (top.size() < top_k || cand < top.back()) {
+          top.insert(std::lower_bound(top.begin(), top.end(), cand), cand);
+          if (top.size() > top_k) top.pop_back();
+        }
+      }
+    }
+  }
+
+  // ---- Fine pass: canonical kernel over windows around each candidate --
+  GridBest best;
+  for (const auto& [coarse_rss, cell] : top) {
+    const std::size_t cx = cell % nx;
+    const std::size_t cy = (cell / nx) % ny;
+    const std::size_t cz = cell / (nx * ny);
+    const std::size_t x0 = cx > radius ? cx - radius : 0;
+    const std::size_t x1 = std::min(cx + radius, nx - 1);
+    const std::size_t y0 = cy > radius ? cy - radius : 0;
+    const std::size_t y1 = std::min(cy + radius, ny - 1);
+    const std::size_t z0 = cz > radius ? cz - radius : 0;
+    const std::size_t z1 = std::min(cz + radius, nz - 1);
+    for (std::size_t iz = z0; iz <= z1; ++iz) {
+      for (std::size_t iy = y0; iy <= y1; ++iy) {
+        for (std::size_t ix = x0; ix <= x1; ++ix) {
+          const std::size_t fine = (iz * ny + iy) * nx + ix;
+          const SlopeCost cost = cached_cell_cost(table, snap, fine);
+          ++*cells_scanned;
+          if (cost.rss < best.rss) {
+            best.rss = cost.rss;
+            best.kt = cost.kt;
+            best.position = table.cell_position(fine);
+            best.any = true;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+/// Grid-index range [i0, i1] of cells whose axis coordinate falls within
+/// [center - halfwidth, center + halfwidth]; false if the window misses
+/// the axis entirely.
+bool axis_window(double lo, double extent, std::size_t n, double center,
+                 double halfwidth, std::size_t& i0, std::size_t& i1) {
+  if (!(extent > 0.0) || n < 2) {
+    i0 = i1 = 0;
+    return true;  // degenerate axis: the single coordinate always "matches"
+  }
+  const double step = extent / static_cast<double>(n - 1);
+  const double f0 = std::floor((center - halfwidth - lo) / step);
+  const double f1 = std::ceil((center + halfwidth - lo) / step);
+  if (f1 < 0.0 || f0 > static_cast<double>(n - 1)) return false;
+  i0 = f0 < 0.0 ? 0 : static_cast<std::size_t>(f0);
+  i1 = f1 > static_cast<double>(n - 1) ? n - 1
+                                       : static_cast<std::size_t>(f1);
+  return i0 <= i1;
+}
+
+/// Warm-start window scan: the fine cells within warm_start.window_m of
+/// the hint, canonical order, canonical two-pass kernel (from the table
+/// when available, recomputed otherwise — same positions, same bits).
+GridBest window_scan(const RoundSnapshot& snap,
+                     const DeploymentGeometry& geometry,
+                     const DisentangleConfig& config, const GridTable* table,
+                     bool mode_3d, std::size_t nz, Vec3 hint,
+                     std::size_t* cells_scanned) {
+  const Rect& region = geometry.working_region;
+  const double w = config.warm_start.window_m;
+  std::size_t x0, x1, y0, y1, z0 = 0, z1 = 0;
+  if (!axis_window(region.lo.x, region.width(), config.grid_nx, hint.x, w, x0,
+                   x1) ||
+      !axis_window(region.lo.y, region.height(), config.grid_ny, hint.y, w,
+                   y0, y1)) {
+    return {};
+  }
+  if (mode_3d && !axis_window(config.z_lo, config.z_hi - config.z_lo, nz,
+                              hint.z, w, z0, z1)) {
+    return {};
+  }
+
+  GridBest best;
+  for (std::size_t iz = z0; iz <= z1; ++iz) {
+    const double z =
+        mode_3d ? grid_axis_coord(config.z_lo, config.z_hi - config.z_lo, iz,
+                                  nz)
+                : geometry.tag_plane_z;
+    for (std::size_t iy = y0; iy <= y1; ++iy) {
+      const double y =
+          grid_axis_coord(region.lo.y, region.height(), iy, config.grid_ny);
+      for (std::size_t ix = x0; ix <= x1; ++ix) {
+        const std::size_t cell = (iz * config.grid_ny + iy) * config.grid_nx + ix;
+        SlopeCost cost;
+        Vec3 p;
+        if (table != nullptr) {
+          cost = cached_cell_cost(*table, snap, cell);
+          p = table->cell_position(cell);
+        } else {
+          p = Vec3{grid_axis_coord(region.lo.x, region.width(), ix,
+                                   config.grid_nx),
+                   y, z};
+          cost = slope_cost(snap, p);
+        }
+        ++*cells_scanned;
+        if (cost.rss < best.rss) {
+          best.rss = cost.rss;
+          best.kt = cost.kt;
+          best.position = table != nullptr ? table->cell_position(cell) : p;
+          best.any = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+/// Stage A2: Levenberg-Marquardt refinement of a Stage-A1 winner plus the
+/// final PositionSolve assembly. Shared verbatim by the exhaustive,
+/// pyramid and warm-start paths so they differ only in which grid cells
+/// seed the refinement.
+PositionSolve refine_and_finish(const RoundSnapshot& snap,
+                                const DeploymentGeometry& geometry,
+                                const DisentangleConfig& config,
+                                SolveWorkspace& ws, bool mode_3d,
+                                const GridBest& best) {
+  const Rect& region = geometry.working_region;
+  PositionSolve solve;
+  solve.position = best.position;
+  solve.converged = true;
+  double final_rss = best.rss;
+  double final_kt = best.kt;
+
+  if (config.refine) {
+    const std::size_t n_params = mode_3d ? 3 : 2;
+    std::vector<double>& initial = ws.vec(0, n_params);
+    initial[0] = best.position.x;
+    initial[1] = best.position.y;
+    if (mode_3d) initial[2] = best.position.z;
+
+    const auto residual_fn = [&](std::span<const double> params,
+                                 std::span<double> residuals) {
+      const Vec3 p{params[0], params[1],
+                   mode_3d ? params[2] : geometry.tag_plane_z};
+      double stack_dist[kMaxStackAntennas];
+      std::vector<double> heap_dist;
+      double* dist_to = stack_dist;
+      if (snap.n > kMaxStackAntennas) {
+        heap_dist.resize(snap.n);
+        dist_to = heap_dist.data();
+      }
+      double acc = 0.0;
+      for (std::size_t i = 0; i < snap.n; ++i) {
+        dist_to[i] = distance(snap.position[i], p);
+        acc += snap.slope[i] - kSlopePerMeter * dist_to[i];
+      }
+      const double kt = acc / static_cast<double>(snap.n);
+      for (std::size_t i = 0; i < snap.n; ++i) {
+        // Scale rad/Hz residuals into O(1) units (rad/Hz -> rad/GHz).
+        residuals[i] =
+            (snap.slope[i] - kSlopePerMeter * dist_to[i] - kt) * 1e9;
+      }
+    };
+
+    LmOptions options;
+    options.parameter_scales.assign(n_params, 0.05);  // meters
+    const LmResult lm =
+        levenberg_marquardt(residual_fn, initial, snap.n, options, ws);
+    const Vec3 refined{lm.params[0], lm.params[1],
+                       mode_3d ? lm.params[2] : geometry.tag_plane_z};
+    // Keep the refinement only if it stayed in (a modest margin around)
+    // the search region and actually improved. The refined cost is
+    // computed once and reused for kt and the reported RMS.
+    const Rect margin{{region.lo.x - 0.2, region.lo.y - 0.2},
+                      {region.hi.x + 0.2, region.hi.y + 0.2}};
+    if (margin.contains(refined.xy())) {
+      const SlopeCost refined_cost = slope_cost(snap, refined);
+      if (refined_cost.rss <= best.rss) {
+        solve.position = refined;
+        solve.converged = lm.converged;
+        final_rss = refined_cost.rss;
+        final_kt = refined_cost.kt;
+      }
+    }
+  }
+
+  solve.kt = final_kt;
+  solve.rms = std::sqrt(final_rss / static_cast<double>(snap.n));
+  return solve;
 }
 
 /// Thread-local fallback workspace backing the workspace-free public
@@ -193,13 +525,15 @@ double orientation_cost(const DeploymentGeometry& geometry,
 PositionSolve solve_position(const DeploymentGeometry& geometry,
                              std::span<const AntennaLine> lines,
                              const DisentangleConfig& config) {
-  return solve_position(geometry, lines, config, local_workspace());
+  return solve_position(geometry, lines, config, local_workspace(), nullptr,
+                        &GridGeometryCache::shared());
 }
 
 PositionSolve solve_position(const DeploymentGeometry& geometry,
                              std::span<const AntennaLine> lines,
                              const DisentangleConfig& config,
-                             SolveWorkspace& ws, ThreadPool* pool) {
+                             SolveWorkspace& ws, ThreadPool* pool,
+                             GridGeometryCache* cache, const Vec3* warm_hint) {
   RoundSnapshot& snap = ws.scratch<RoundSnapshot>();
   build_snapshot(geometry, lines, snap);
   const bool mode_3d = config.grid_nz > 1;
@@ -209,30 +543,58 @@ PositionSolve solve_position(const DeploymentGeometry& geometry,
   require(config.grid_nx >= 2 && config.grid_ny >= 2,
           "solve_position: grid too coarse");
 
-  // ---- Stage A1: grid multi-start over the working region -------------
-  // Every cell's cost is independent, so the scan fans out over the pool
-  // by row chunks; the reduction takes the first strict minimum in scan
-  // order, which makes the winner identical for any chunking.
   const Rect& region = geometry.working_region;
   const std::size_t nz = std::max<std::size_t>(config.grid_nz, 1);
   const std::size_t rows = nz * config.grid_ny;
 
-  GridBest best;
-  if (pool != nullptr && pool->size() > 1) {
-    const std::size_t chunk =
-        std::max<std::size_t>(1, rows / (4 * pool->size()));
-    const std::size_t n_chunks = (rows + chunk - 1) / chunk;
-    std::vector<GridBest> slots(n_chunks);
-    pool->parallel_for(rows, chunk,
-                       [&](std::size_t begin, std::size_t end, std::size_t) {
-                         slots[begin / chunk] = scan_grid_rows(
-                             snap, geometry, config, mode_3d, nz, begin, end);
-                       });
-    for (const GridBest& slot : slots) {
-      if (slot.any && slot.rss < best.rss) best = slot;
+  std::shared_ptr<const GridTable> table;
+  if (cache != nullptr && config.use_geometry_cache) {
+    table = cache->acquire(
+        geometry,
+        GridSpec{config.grid_nx, config.grid_ny, nz, config.z_lo, config.z_hi});
+  }
+
+  // ---- Stage A0: warm start — windowed scan around the caller's hint ---
+  if (warm_hint != nullptr && config.warm_start.enable) {
+    std::size_t cells = 0;
+    const GridBest windowed = window_scan(snap, geometry, config, table.get(),
+                                          mode_3d, nz, *warm_hint, &cells);
+    if (windowed.any && std::isfinite(windowed.rss)) {
+      PositionSolve warm =
+          refine_and_finish(snap, geometry, config, ws, mode_3d, windowed);
+      if (warm.rms <= config.warm_start.max_rms) {
+        warm.path = SolvePath::kWarmStart;
+        warm.cells_scanned = cells;
+        return warm;
+      }
     }
+    // Hint missed or residual too high: fall through to the full solve,
+    // byte-identical to the hint-less call.
+  }
+
+  // ---- Stage A1: grid multi-start over the working region -------------
+  // Every cell's cost is independent, so the scan fans out over the pool
+  // by row chunks; the reduction takes the first strict minimum in scan
+  // order, which makes the winner identical for any chunking.
+  GridBest best;
+  std::size_t cells_scanned = rows * config.grid_nx;
+  SolvePath path = SolvePath::kExhaustive;
+  if (config.pyramid.enable && table != nullptr) {
+    cells_scanned = 0;
+    best = pyramid_scan(snap, *table, config, &cells_scanned);
+    path = SolvePath::kPyramid;
+  } else if (table != nullptr) {
+    best = chunked_scan(rows, pool,
+                        [&](std::size_t begin, std::size_t end) {
+                          return scan_grid_rows_cached(snap, *table, begin,
+                                                       end);
+                        });
   } else {
-    best = scan_grid_rows(snap, geometry, config, mode_3d, nz, 0, rows);
+    best = chunked_scan(rows, pool,
+                        [&](std::size_t begin, std::size_t end) {
+                          return scan_grid_rows(snap, geometry, config,
+                                                mode_3d, nz, begin, end);
+                        });
   }
   if (!best.any || !std::isfinite(best.rss)) {
     // Pathological (all costs NaN/inf): fall back to the region center,
@@ -244,60 +606,10 @@ PositionSolve solve_position(const DeploymentGeometry& geometry,
     best.rss = cost.rss;
   }
 
-  PositionSolve solve;
-  solve.position = best.position;
-  solve.converged = true;
-  double final_rss = best.rss;
-  double final_kt = best.kt;
-
-  // ---- Stage A2: Levenberg-Marquardt refinement ------------------------
-  if (config.refine) {
-    const std::size_t n_params = mode_3d ? 3 : 2;
-    std::vector<double>& initial = ws.vec(0, n_params);
-    initial[0] = best.position.x;
-    initial[1] = best.position.y;
-    if (mode_3d) initial[2] = best.position.z;
-
-    const auto residual_fn = [&](std::span<const double> params,
-                                 std::span<double> residuals) {
-      const Vec3 p{params[0], params[1],
-                   mode_3d ? params[2] : geometry.tag_plane_z};
-      double acc = 0.0;
-      for (std::size_t i = 0; i < snap.n; ++i) {
-        acc += snap.slope[i] - kSlopePerMeter * distance(snap.position[i], p);
-      }
-      const double kt = acc / static_cast<double>(snap.n);
-      for (std::size_t i = 0; i < snap.n; ++i) {
-        const double d = distance(snap.position[i], p);
-        // Scale rad/Hz residuals into O(1) units (rad/Hz -> rad/GHz).
-        residuals[i] = (snap.slope[i] - kSlopePerMeter * d - kt) * 1e9;
-      }
-    };
-
-    LmOptions options;
-    options.parameter_scales.assign(n_params, 0.05);  // meters
-    const LmResult lm =
-        levenberg_marquardt(residual_fn, initial, snap.n, options, ws);
-    const Vec3 refined{lm.params[0], lm.params[1],
-                       mode_3d ? lm.params[2] : geometry.tag_plane_z};
-    // Keep the refinement only if it stayed in (a modest margin around)
-    // the search region and actually improved. The refined cost is
-    // computed once and reused for kt and the reported RMS.
-    const Rect margin{{region.lo.x - 0.2, region.lo.y - 0.2},
-                      {region.hi.x + 0.2, region.hi.y + 0.2}};
-    if (margin.contains(refined.xy())) {
-      const SlopeCost refined_cost = slope_cost(snap, refined);
-      if (refined_cost.rss <= best.rss) {
-        solve.position = refined;
-        solve.converged = lm.converged;
-        final_rss = refined_cost.rss;
-        final_kt = refined_cost.kt;
-      }
-    }
-  }
-
-  solve.kt = final_kt;
-  solve.rms = std::sqrt(final_rss / static_cast<double>(snap.n));
+  PositionSolve solve =
+      refine_and_finish(snap, geometry, config, ws, mode_3d, best);
+  solve.path = path;
+  solve.cells_scanned = cells_scanned;
   return solve;
 }
 
@@ -362,10 +674,17 @@ OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
 
   // Local golden-section style refinement around the best scan cell (2D
   // only; the 3D scan is already dense enough for the grid resolution).
+  // Stops once the bracket is narrower than the configured tolerance —
+  // the fixed 40 iterations shrink a ~4e-3 rad bracket by 0.618^40 ≈
+  // 4e-9, far below any physical orientation accuracy.
   if (!mode_3d) {
     double lo = best.alpha - kPi / static_cast<double>(az_steps);
     double hi = best.alpha + kPi / static_cast<double>(az_steps);
     for (int iter = 0; iter < 40; ++iter) {
+      if (config.orientation_refine_tol_rad > 0.0 &&
+          hi - lo <= config.orientation_refine_tol_rad) {
+        break;
+      }
       const double m1 = lo + (hi - lo) * 0.382;
       const double m2 = lo + (hi - lo) * 0.618;
       const double c1 = intercept_cost(snap, planar_polarization(m1)).rss;

@@ -4,6 +4,7 @@
 #include "rfp/common/error.hpp"
 #include "rfp/core/engine.hpp"
 #include "rfp/core/features.hpp"
+#include "rfp/core/grid_cache.hpp"
 
 namespace rfp {
 
@@ -106,14 +107,26 @@ SolveWorkspace& fallback_workspace() {
 SensingResult RfPrism::sense(const RoundTrace& round, const std::string& tag_id,
                              const AntennaHealthMonitor* health) const {
   return sense_with(round, tag_id, health, fallback_workspace(),
-                    /*pool=*/nullptr);
+                    /*pool=*/nullptr, &GridGeometryCache::shared());
 }
 
 SensingResult RfPrism::sense(const RoundTrace& round, SensingEngine& engine,
                              const std::string& tag_id,
                              const AntennaHealthMonitor* health) const {
   return sense_with(round, tag_id, health, engine.local_workspace(),
-                    &engine.pool());
+                    &engine.pool(), &engine.geometry_cache());
+}
+
+SensingResult RfPrism::sense_warm(const RoundTrace& round,
+                                  const std::string& tag_id, Vec3 hint,
+                                  const AntennaHealthMonitor* health,
+                                  SensingEngine* engine) const {
+  if (engine != nullptr) {
+    return sense_with(round, tag_id, health, engine->local_workspace(),
+                      &engine->pool(), &engine->geometry_cache(), &hint);
+  }
+  return sense_with(round, tag_id, health, fallback_workspace(),
+                    /*pool=*/nullptr, &GridGeometryCache::shared(), &hint);
 }
 
 std::vector<SensingResult> RfPrism::sense_batch(
@@ -130,7 +143,8 @@ std::vector<SensingResult> RfPrism::sense_batch(
       [&](std::size_t begin, std::size_t end, std::size_t slot) {
         for (std::size_t i = begin; i < end; ++i) {
           results[i] = sense_with(rounds[i], tag_id, health,
-                                  engine.workspace(slot), /*pool=*/nullptr);
+                                  engine.workspace(slot), /*pool=*/nullptr,
+                                  &engine.geometry_cache());
         }
       });
   return results;
@@ -138,17 +152,27 @@ std::vector<SensingResult> RfPrism::sense_batch(
 
 std::vector<SensingResult> RfPrism::sense_batch(
     std::span<const RoundTrace> rounds, std::span<const std::string> tag_ids,
-    SensingEngine& engine, const AntennaHealthMonitor* health) const {
+    SensingEngine& engine, const AntennaHealthMonitor* health,
+    std::span<const std::optional<Vec3>> warm_hints) const {
   require(tag_ids.empty() || tag_ids.size() == rounds.size(),
           "RfPrism::sense_batch: tag_ids must be empty or match rounds");
-  if (tag_ids.empty()) return sense_batch(rounds, engine, {}, health);
+  require(warm_hints.empty() || warm_hints.size() == rounds.size(),
+          "RfPrism::sense_batch: warm_hints must be empty or match rounds");
+  if (tag_ids.empty() && warm_hints.empty()) {
+    return sense_batch(rounds, engine, {}, health);
+  }
   std::vector<SensingResult> results(rounds.size());
   engine.pool().parallel_for(
       rounds.size(), 1,
       [&](std::size_t begin, std::size_t end, std::size_t slot) {
         for (std::size_t i = begin; i < end; ++i) {
-          results[i] = sense_with(rounds[i], tag_ids[i], health,
-                                  engine.workspace(slot), /*pool=*/nullptr);
+          const Vec3* hint = (!warm_hints.empty() && warm_hints[i].has_value())
+                                 ? &*warm_hints[i]
+                                 : nullptr;
+          results[i] = sense_with(
+              rounds[i], tag_ids.empty() ? std::string{} : tag_ids[i], health,
+              engine.workspace(slot), /*pool=*/nullptr,
+              &engine.geometry_cache(), hint);
         }
       });
   return results;
@@ -157,7 +181,9 @@ std::vector<SensingResult> RfPrism::sense_batch(
 SensingResult RfPrism::sense_with(const RoundTrace& round,
                                   const std::string& tag_id,
                                   const AntennaHealthMonitor* health,
-                                  SolveWorkspace& ws, ThreadPool* pool) const {
+                                  SolveWorkspace& ws, ThreadPool* pool,
+                                  GridGeometryCache* cache,
+                                  const Vec3* warm_hint) const {
   SensingResult result;
   result.lines = fit_round(round, /*apply_reader_cal=*/true);
   const bool mode_3d = config_.disentangle.grid_nz > 1;
@@ -241,8 +267,9 @@ SensingResult RfPrism::sense_with(const RoundTrace& round,
   }
 
   try {
-    const PositionSolve pos = solve_position(
-        config_.geometry, solve_lines, config_.disentangle, ws, pool);
+    const PositionSolve pos =
+        solve_position(config_.geometry, solve_lines, config_.disentangle, ws,
+                       pool, cache, warm_hint);
     const OrientationSolve orient = solve_orientation(
         config_.geometry, solve_lines, pos.position, config_.disentangle, ws);
 

@@ -234,6 +234,26 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
     ++it;
   }
 
+  // ---- Warm-start hints: predict each completing tag from its track ----
+  // (before sensing; hints are per-tag and independent, so the batch path
+  // stays bit-identical to the sequential path).
+  std::vector<std::optional<Vec3>> hints;
+  if (config_.enable_warm_start && !ids.empty()) {
+    hints.resize(ids.size());
+    const double tag_plane_z = prism_->config().geometry.tag_plane_z;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto track = tracks_.find(ids[i]);
+      if (track == tracks_.end()) continue;
+      if (completed_at[i] - track->second.last_update_time_s() >
+          config_.warm_start_max_age_s) {
+        continue;
+      }
+      if (const std::optional<Vec2> p = track->second.predict(completed_at[i])) {
+        hints[i] = Vec3{p->x, p->y, tag_plane_z};
+      }
+    }
+  }
+
   // ---- Phase 2: sense + account -----------------------------------------
   const AntennaHealthMonitor* monitor = health_ ? &*health_ : nullptr;
   std::vector<StreamedResult> out;
@@ -241,6 +261,9 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
 
   const auto sense_one = [&](std::size_t i) -> SensingResult {
     try {
+      if (!hints.empty() && hints[i].has_value()) {
+        return prism_->sense_warm(rounds[i], ids[i], *hints[i], monitor);
+      }
       return prism_->sense(rounds[i], ids[i], monitor);
     } catch (const Error&) {
       // Structurally unsolvable assembly (cannot normally happen — push
@@ -256,6 +279,14 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
     emitted.tag_id = std::move(ids[i]);
     emitted.completed_at_s = completed_at[i];
     emitted.result = std::move(result);
+    if (config_.enable_warm_start && emitted.result.valid) {
+      Tracker& track = tracks_[emitted.tag_id];
+      // Guard the tracker's monotonic-time contract against out-of-order
+      // completion times (possible across polls with a hostile stream).
+      if (emitted.completed_at_s >= track.last_update_time_s()) {
+        track.update(emitted.result, emitted.completed_at_s);
+      }
+    }
     ++stats_.rounds_emitted;
     switch (emitted.result.grade) {
       case SensingGrade::kFull:
@@ -298,7 +329,7 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
     // sequential path for any thread count.
     try {
       std::vector<SensingResult> sensed =
-          prism_->sense_batch(rounds, ids, *engine_, monitor);
+          prism_->sense_batch(rounds, ids, *engine_, monitor, hints);
       for (std::size_t i = 0; i < sensed.size(); ++i) {
         account(i, std::move(sensed[i]));
       }
@@ -313,6 +344,28 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
   if (!batched) {
     for (std::size_t i = 0; i < rounds.size(); ++i) account(i, sense_one(i));
   }
+
+  // ---- Track maintenance: same bounds discipline as pending_ ----------
+  if (config_.enable_warm_start) {
+    for (auto it = tracks_.begin(); it != tracks_.end();) {
+      if (now_s - it->second.last_update_time_s() > config_.tag_timeout_s) {
+        it = tracks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    while (tracks_.size() > config_.max_pending_tags) {
+      auto stalest = tracks_.begin();
+      for (auto it = tracks_.begin(); it != tracks_.end(); ++it) {
+        if (it->second.last_update_time_s() <
+            stalest->second.last_update_time_s()) {
+          stalest = it;
+        }
+      }
+      tracks_.erase(stalest);
+    }
+  }
+
   std::sort(out.begin(), out.end(),
             [](const StreamedResult& a, const StreamedResult& b) {
               if (a.completed_at_s != b.completed_at_s) {
@@ -337,6 +390,7 @@ std::size_t StreamingSensor::buffered_reads() const {
 
 void StreamingSensor::clear() {
   pending_.clear();
+  tracks_.clear();
   stats_ = {};
   high_water_s_ = 0.0;
   if (health_) health_->reset();

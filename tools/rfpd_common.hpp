@@ -29,6 +29,8 @@ struct DaemonOptions {
   double idle_timeout_s = 60.0;
   std::size_t max_connections = 64;
   std::size_t max_pending = 32;   ///< per-connection backpressure limit
+  bool pyramid = false;           ///< coarse-to-fine Stage-A search
+  bool uncached = false;          ///< disable the geometry cache
 };
 
 namespace detail {
@@ -51,6 +53,13 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   bed_config.multipath_environment = options.multipath;
   const Testbed bed(bed_config);
 
+  // Solver-mode variant (same geometry + calibration; only the Stage-A
+  // search strategy differs — see DESIGN.md "Solver acceleration").
+  RfPrismConfig prism_config = bed.prism().config();
+  prism_config.disentangle.use_geometry_cache = !options.uncached;
+  prism_config.disentangle.pyramid.enable = options.pyramid;
+  const RfPrism prism = bed.make_pipeline_variant(std::move(prism_config));
+
   SensingEngine engine(options.threads);
 
   net::ServerConfig server_config;
@@ -59,15 +68,18 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   server_config.max_connections = options.max_connections;
   server_config.max_pending_per_connection = options.max_pending;
   server_config.idle_timeout_s = options.idle_timeout_s;
-  net::Server server(bed.prism(), engine, server_config);
+  net::Server server(prism, engine, server_config);
 
   detail::g_server.store(&server, std::memory_order_relaxed);
   std::signal(SIGINT, detail::stop_signal_handler);
   std::signal(SIGTERM, detail::stop_signal_handler);
 
-  std::printf("%s: deployment seed %llu, %zu antennas, %zu worker thread(s)\n",
+  std::printf("%s: deployment seed %llu, %zu antennas, %zu worker thread(s), "
+              "solver %s%s\n",
               name, static_cast<unsigned long long>(options.seed),
-              options.antennas, engine.n_threads());
+              options.antennas, engine.n_threads(),
+              options.uncached ? "uncached" : "cached",
+              options.pyramid ? "+pyramid" : "");
   std::printf("%s: listening on %s:%u\n", name, options.bind.c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);

@@ -9,7 +9,7 @@
 ///
 ///   rfpd [--port N] [--bind ADDR] [--threads N] [--seed S]
 ///        [--antennas N] [--multipath] [--idle-timeout SEC]
-///        [--max-conns N] [--max-pending N]
+///        [--max-conns N] [--max-pending N] [--pyramid] [--uncached]
 ///
 /// --port 0 binds an ephemeral port; the actual port is printed on the
 /// "listening on" line (scripts parse it there). SIGINT/SIGTERM trigger
@@ -30,7 +30,7 @@ int usage() {
                "usage: rfpd [--port N] [--bind ADDR] [--threads N]\n"
                "            [--seed S] [--antennas N] [--multipath]\n"
                "            [--idle-timeout SEC] [--max-conns N]\n"
-               "            [--max-pending N]\n");
+               "            [--max-pending N] [--pyramid] [--uncached]\n");
   return 2;
 }
 
@@ -66,6 +66,10 @@ int main(int argc, char** argv) {
         options.max_connections = std::stoull(next());
       } else if (arg == "--max-pending") {
         options.max_pending = std::stoull(next());
+      } else if (arg == "--pyramid") {
+        options.pyramid = true;
+      } else if (arg == "--uncached") {
+        options.uncached = true;
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         return usage();

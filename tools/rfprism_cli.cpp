@@ -65,11 +65,14 @@ int usage() {
                "  rfprism materials\n"
                "  rfprism stream [--rounds N] [--fault-intensity X]\n"
                "                 [--dead PORT] [--antennas N] [--seed S]\n"
+               "                 [--warm]\n"
                "  rfprism batch [--rounds N] [--threads N] [--material NAME|all]\n"
                "                [--multipath] [--seed S] [--verify]\n"
+               "                [--pyramid] [--uncached]\n"
                "  rfprism serve [--port N] [--bind ADDR] [--threads N]\n"
                "                [--seed S] [--antennas N] [--multipath]\n"
                "                [--idle-timeout SEC] [--max-conns N]\n"
+               "                [--pyramid] [--uncached]\n"
                "  rfprism request [--host H] [--port N] [--trace FILE]\n"
                "                  [--trial K] [--seed S] [--antennas N]\n"
                "                  [--multipath] [--material NAME] [--tag ID]\n"
@@ -244,6 +247,7 @@ struct StreamOptions {
   std::optional<std::size_t> dead_port;
   std::size_t antennas = 4;
   std::uint64_t seed = 42;
+  bool warm = false;  ///< track-seeded warm-start solves
 };
 
 int run_stream(const StreamOptions& options) {
@@ -256,7 +260,9 @@ int run_stream(const StreamOptions& options) {
   config.seed = options.seed;
   config.n_antennas = options.antennas;
   Testbed bed(config);
-  StreamingSensor sensor(bed.prism());
+  StreamingConfig streaming_config;
+  streaming_config.enable_warm_start = options.warm;
+  StreamingSensor sensor(bed.prism(), streaming_config);
 
   FaultProfile profile = FaultProfile::scaled(options.intensity,
                                               mix_seed(options.seed, 0xFA17));
@@ -344,6 +350,8 @@ struct BatchOptions {
   bool multipath = false;
   std::uint64_t seed = 42;
   bool verify = false;
+  bool pyramid = false;   ///< coarse-to-fine Stage-A search
+  bool uncached = false;  ///< disable the geometry cache (baseline timing)
 };
 
 /// Exact equality on everything sensing computes. Bit-identity across
@@ -369,6 +377,13 @@ int run_batch(const BatchOptions& options) {
   config.multipath_environment = options.multipath;
   Testbed bed(config);
 
+  // Solver-mode variant of the deployment pipeline (same geometry and
+  // calibration; only the Stage-A search strategy differs).
+  RfPrismConfig prism_config = bed.prism().config();
+  prism_config.disentangle.use_geometry_cache = !options.uncached;
+  prism_config.disentangle.pyramid.enable = options.pyramid;
+  const RfPrism prism = bed.make_pipeline_variant(std::move(prism_config));
+
   const auto materials = paper_materials();
   Rng rng(mix_seed(options.seed, 0xBA7C));
   const std::size_t n = static_cast<std::size_t>(options.rounds);
@@ -387,16 +402,17 @@ int run_batch(const BatchOptions& options) {
   }
 
   SensingEngine engine(options.threads);
-  std::printf("sensing %zu rounds on %zu thread(s)...\n", n,
-              engine.n_threads());
+  std::printf("sensing %zu rounds on %zu thread(s), solver %s%s...\n", n,
+              engine.n_threads(), options.uncached ? "uncached" : "cached",
+              options.pyramid ? "+pyramid" : "");
 
-  // Warm-up pass populates each per-thread workspace so the timed pass
-  // measures the steady-state (allocation-free) solve path.
-  (void)bed.prism().sense_batch(rounds, engine, bed.tag_id());
+  // Warm-up pass populates each per-thread workspace (and the geometry
+  // cache) so the timed pass measures the steady-state solve path.
+  (void)prism.sense_batch(rounds, engine, bed.tag_id());
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<SensingResult> results =
-      bed.prism().sense_batch(rounds, engine, bed.tag_id());
+      prism.sense_batch(rounds, engine, bed.tag_id());
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -421,8 +437,7 @@ int run_batch(const BatchOptions& options) {
   if (options.verify) {
     std::size_t mismatches = 0;
     for (std::size_t k = 0; k < results.size(); ++k) {
-      const SensingResult sequential =
-          bed.prism().sense(rounds[k], bed.tag_id());
+      const SensingResult sequential = prism.sense(rounds[k], bed.tag_id());
       if (!results_identical(results[k], sequential)) ++mismatches;
     }
     std::printf("verify      %zu/%zu bit-identical to sequential sense\n",
@@ -595,6 +610,8 @@ int main(int argc, char** argv) {
           options.antennas = std::stoull(next());
         } else if (arg == "--seed") {
           options.seed = std::stoull(next());
+        } else if (arg == "--warm") {
+          options.warm = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
@@ -626,6 +643,10 @@ int main(int argc, char** argv) {
           options.seed = std::stoull(next());
         } else if (arg == "--verify") {
           options.verify = true;
+        } else if (arg == "--pyramid") {
+          options.pyramid = true;
+        } else if (arg == "--uncached") {
+          options.uncached = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
@@ -706,6 +727,10 @@ int main(int argc, char** argv) {
           options.idle_timeout_s = std::stod(next());
         } else if (arg == "--max-conns") {
           options.max_connections = std::stoull(next());
+        } else if (arg == "--pyramid") {
+          options.pyramid = true;
+        } else if (arg == "--uncached") {
+          options.uncached = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
