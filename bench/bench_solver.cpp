@@ -11,6 +11,12 @@
 /// it exits non-zero when the cached scan is not measurably faster than
 /// the uncached one, or when cached+pyramid does not reach the ISSUE's
 /// >= 5x p50 speedup over the uncached exhaustive scan.
+///
+/// A second sweep times the Stage-A *ranking* in isolation
+/// (rank_exhaustive over the cached table) per kernel — canonical
+/// two-pass, factored-scalar, factored-simd — and gates factored-simd at
+/// >= 4x the canonical p50 on the default scene (target: 8x) whenever
+/// AVX2 dispatch is actually active.
 
 #include <chrono>
 #include <cstdio>
@@ -21,6 +27,7 @@
 #include "rfp/core/disentangle.hpp"
 #include "rfp/core/grid_cache.hpp"
 #include "rfp/rfsim/scene.hpp"
+#include "rfp/simd/dispatch.hpp"
 #include "support/bench_util.hpp"
 
 namespace {
@@ -72,9 +79,10 @@ struct Cell {
   std::size_t grid = 0;
   std::size_t antennas = 0;
   std::string mode;
+  std::string kernel;  ///< ranking kernel in effect ("rank" rows: swept)
   double p50_us = 0.0;
   double p99_us = 0.0;
-  double speedup_vs_uncached = 0.0;  ///< p50 ratio within (grid, antennas)
+  double speedup = 0.0;  ///< p50 vs uncached (modes) / canonical (rank rows)
 };
 
 enum class Mode { kUncached, kCached, kPyramid, kWarm };
@@ -89,6 +97,18 @@ const char* to_string(Mode mode) {
       return "pyramid";
     case Mode::kWarm:
       return "warm";
+  }
+  return "?";
+}
+
+const char* kernel_name(RankKernel kernel) {
+  switch (kernel) {
+    case RankKernel::kCanonical:
+      return "canonical";
+    case RankKernel::kFactoredScalar:
+      return "factored-scalar";
+    case RankKernel::kFactoredSimd:
+      return "factored-simd";
   }
   return "?";
 }
@@ -133,6 +153,32 @@ double run_mode(const DeploymentGeometry& geometry, const Workload& load,
   return checksum;  // keep the solves observable
 }
 
+/// Time the exhaustive Stage-A *ranking* alone (no LM, no Stage B): one
+/// rank_exhaustive call per target per rep over a prebuilt table. This is
+/// the apples-to-apples kernel comparison — every kernel ranks the same
+/// cells and reports the same canonical winner.
+double run_rank(const DeploymentGeometry& geometry, const Workload& load,
+                const GridTable& table, RankKernel kernel, std::size_t reps,
+                std::vector<double>& out_us) {
+  SolveWorkspace ws;
+  (void)rank_exhaustive(geometry, load.lines[0], table, kernel, ws);
+
+  out_us.clear();
+  out_us.reserve(reps * load.targets.size());
+  double checksum = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t t = 0; t < load.targets.size(); ++t) {
+      const auto t0 = Clock::now();
+      const StageARank rank =
+          rank_exhaustive(geometry, load.lines[t], table, kernel, ws);
+      out_us.push_back(
+          1e6 * std::chrono::duration<double>(Clock::now() - t0).count());
+      checksum += rank.rss + static_cast<double>(rank.cell);
+    }
+  }
+  return checksum;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,16 +195,30 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> antenna_counts = {4, 8};
   const std::vector<Mode> modes = {Mode::kUncached, Mode::kCached,
                                    Mode::kPyramid, Mode::kWarm};
+  const std::vector<RankKernel> kernels = {RankKernel::kCanonical,
+                                           RankKernel::kFactoredScalar,
+                                           RankKernel::kFactoredSimd};
   const std::size_t n_targets = quick ? 8 : 24;
   const std::size_t reps = quick ? 4 : 16;
+  const std::size_t rank_reps = reps * 4;  // ranking alone is much cheaper
+
+  // The resolved kernel behind the DisentangleConfig default (the mode
+  // sweep runs it): factored, at whatever level dispatch picked.
+  const char* default_kernel = simd::active() == simd::Level::kAvx2
+                                   ? "factored-simd"
+                                   : "factored-scalar";
+  std::printf("  simd dispatch: %s (compiled_avx2=%d)\n\n",
+              simd::name(simd::active()), simd::compiled_avx2() ? 1 : 0);
 
   std::vector<Cell> cells;
   double uncached_p50_default = 0.0;
   double cached_p50_default = 0.0;
   double pyramid_p50_default = 0.0;
+  double rank_canonical_p50_default = 0.0;
+  double rank_simd_p50_default = 0.0;
 
-  std::printf("  %-6s %-9s %-10s %-10s %-10s %s\n", "grid", "antennas",
-              "mode", "p50[us]", "p99[us]", "speedup");
+  std::printf("  %-6s %-9s %-10s %-16s %-10s %-10s %s\n", "grid", "antennas",
+              "mode", "kernel", "p50[us]", "p99[us]", "speedup");
   for (std::size_t antennas : antenna_counts) {
     const DeploymentGeometry geometry = scene_geometry(antennas);
     Rng rng(mix_seed(antennas, 0x501E));
@@ -177,20 +237,53 @@ int main(int argc, char** argv) {
         cell.grid = grid;
         cell.antennas = antennas;
         cell.mode = to_string(mode);
+        cell.kernel = mode == Mode::kUncached ? "canonical" : default_kernel;
         cell.p50_us = percentile(us, 50.0);
         cell.p99_us = percentile(us, 99.0);
         if (mode == Mode::kUncached) uncached_p50 = cell.p50_us;
-        cell.speedup_vs_uncached =
-            cell.p50_us > 0.0 ? uncached_p50 / cell.p50_us : 0.0;
+        cell.speedup = cell.p50_us > 0.0 ? uncached_p50 / cell.p50_us : 0.0;
         if (grid == 41 && antennas == 4) {
           if (mode == Mode::kUncached) uncached_p50_default = cell.p50_us;
           if (mode == Mode::kCached) cached_p50_default = cell.p50_us;
           if (mode == Mode::kPyramid) pyramid_p50_default = cell.p50_us;
         }
         cells.push_back(cell);
-        std::printf("  %-6zu %-9zu %-10s %-10.1f %-10.1f %.2fx\n", cell.grid,
-                    cell.antennas, cell.mode.c_str(), cell.p50_us, cell.p99_us,
-                    cell.speedup_vs_uncached);
+        std::printf("  %-6zu %-9zu %-10s %-16s %-10.1f %-10.1f %.2fx\n",
+                    cell.grid, cell.antennas, cell.mode.c_str(),
+                    cell.kernel.c_str(), cell.p50_us, cell.p99_us,
+                    cell.speedup);
+      }
+
+      // ---- Ranking-kernel sweep: Stage-A ranking in isolation ----------
+      GridGeometryCache cache;
+      const auto table = cache.acquire(
+          geometry, GridSpec{grid, grid, 1, 0.0, 0.0});
+      double canonical_p50 = 0.0;
+      for (RankKernel kernel : kernels) {
+        std::vector<double> us;
+        run_rank(geometry, load, *table, kernel, rank_reps, us);
+        Cell cell;
+        cell.grid = grid;
+        cell.antennas = antennas;
+        cell.mode = "rank";
+        cell.kernel = kernel_name(kernel);
+        cell.p50_us = percentile(us, 50.0);
+        cell.p99_us = percentile(us, 99.0);
+        if (kernel == RankKernel::kCanonical) canonical_p50 = cell.p50_us;
+        cell.speedup = cell.p50_us > 0.0 ? canonical_p50 / cell.p50_us : 0.0;
+        if (grid == 41 && antennas == 4) {
+          if (kernel == RankKernel::kCanonical) {
+            rank_canonical_p50_default = cell.p50_us;
+          }
+          if (kernel == RankKernel::kFactoredSimd) {
+            rank_simd_p50_default = cell.p50_us;
+          }
+        }
+        cells.push_back(cell);
+        std::printf("  %-6zu %-9zu %-10s %-16s %-10.1f %-10.1f %.2fx\n",
+                    cell.grid, cell.antennas, cell.mode.c_str(),
+                    cell.kernel.c_str(), cell.p50_us, cell.p99_us,
+                    cell.speedup);
       }
     }
   }
@@ -200,9 +293,10 @@ int main(int argc, char** argv) {
     const Cell& cell = cells[i];
     std::printf(
         "%s\n  {\"grid\": %zu, \"antennas\": %zu, \"mode\": \"%s\", "
-        "\"p50_us\": %.2f, \"p99_us\": %.2f, \"speedup_vs_uncached\": %.2f}",
+        "\"kernel\": \"%s\", \"p50_us\": %.2f, \"p99_us\": %.2f, "
+        "\"speedup\": %.2f}",
         i == 0 ? "" : ",", cell.grid, cell.antennas, cell.mode.c_str(),
-        cell.p50_us, cell.p99_us, cell.speedup_vs_uncached);
+        cell.kernel.c_str(), cell.p50_us, cell.p99_us, cell.speedup);
   }
   std::printf("\n]\n");
 
@@ -223,6 +317,21 @@ int main(int argc, char** argv) {
                  "FAIL: cached+pyramid p50 speedup %.2fx < 5x over uncached "
                  "exhaustive at the default scene\n",
                  pyramid_speedup);
+    ++failures;
+  }
+  const double rank_speedup =
+      rank_simd_p50_default > 0.0
+          ? rank_canonical_p50_default / rank_simd_p50_default
+          : 0.0;
+  std::printf(
+      "\n  factored-simd exhaustive ranking: %.2fx canonical p50 at the "
+      "default scene (target 8x, CI gate 4x)\n",
+      rank_speedup);
+  if (simd::active() == simd::Level::kAvx2 && rank_speedup < 4.0) {
+    std::fprintf(stderr,
+                 "FAIL: factored-simd ranking p50 speedup %.2fx < 4x over "
+                 "canonical at the default scene\n",
+                 rank_speedup);
     ++failures;
   }
   return failures == 0 ? 0 : 1;

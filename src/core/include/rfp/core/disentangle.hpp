@@ -23,6 +23,22 @@
 namespace rfp {
 
 class GridGeometryCache;
+struct GridTable;
+
+/// Which micro-kernel *ranks* Stage-A grid cells (DESIGN.md "Vectorized
+/// kernels"). Ranking only: whichever kernel orders the cells, the
+/// reported values (position, kt, rms) always come from the canonical
+/// two-pass kernel re-evaluated at the winning candidates — so results
+/// are byte-identical across kernels and dispatch levels.
+enum class RankKernel {
+  kCanonical,       ///< canonical two-pass kernel at every cell (the
+                    ///< legacy cached scan; baseline for benches)
+  kFactoredScalar,  ///< antenna-factored sufficient statistics, scalar FMA
+  kFactoredSimd,    ///< antenna-factored, AVX2-batched over the table's
+                    ///< antenna-major planes; falls back to scalar when
+                    ///< AVX2 is unavailable (cpuid), RFP_FORCE_SCALAR is
+                    ///< set, or the build used -DRFP_DISABLE_SIMD
+};
 
 struct DisentangleConfig {
   /// Stage A multi-start grid resolution over the working region.
@@ -81,6 +97,12 @@ struct DisentangleConfig {
     double max_rms = 2e-9;   ///< fallback threshold on refined RMS [rad/Hz]
   };
   WarmStart warm_start;
+
+  /// Stage-A ranking kernel. Applies wherever the cached distance table
+  /// is available (exhaustive scan, pyramid coarse pass, warm-start
+  /// windows); the uncached scan always uses the canonical kernel.
+  /// Results are byte-identical for every choice — see RankKernel.
+  RankKernel rank_kernel = RankKernel::kFactoredSimd;
 };
 
 /// Which Stage-A search produced a PositionSolve.
@@ -158,6 +180,32 @@ OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
                                    Vec3 tag_position,
                                    const DisentangleConfig& config,
                                    SolveWorkspace& ws);
+
+/// One exhaustive Stage-A *ranking* pass over a cached distance table:
+/// the winning cell under the requested kernel, with its canonical
+/// two-pass cost. Benchmark/diagnostic hook (bench_solver's kernel
+/// dimension, the factored-vs-canonical property tests) — solve_position
+/// runs the same code path internally.
+struct StageARank {
+  std::size_t cell = 0;  ///< winning cell (canonical strict-< argmin)
+  double rss = 0.0;      ///< canonical two-pass rss at the winner
+  double kt = 0.0;       ///< canonical closed-form kt at the winner
+  /// Cells the factored ranking re-scored canonically (the margin
+  /// candidates); n_cells() for kCanonical, which scores everything.
+  std::size_t candidates = 0;
+};
+
+/// Rank every cell of `table` under `kernel`. The factored kernels
+/// (kFactoredScalar / kFactoredSimd) select the same winner as the
+/// canonical scan: every cell whose factored cost lies within a
+/// conservative rounding margin of the factored minimum is re-scored with
+/// the canonical kernel and the strict-< scan-order argmin of those
+/// candidates is returned. Throws InvalidArgument on fewer than 3 usable
+/// lines or a table/geometry antenna-count mismatch.
+StageARank rank_exhaustive(const DeploymentGeometry& geometry,
+                           std::span<const AntennaLine> lines,
+                           const GridTable& table, RankKernel kernel,
+                           SolveWorkspace& ws);
 
 /// Slope-equation RMS residual at a given position (diagnostic; also the
 /// Stage A cost function). kt is the closed-form optimum at `p`.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "rfp/common/constants.hpp"
 #include "rfp/common/error.hpp"
 #include "rfp/core/grid_cache.hpp"
+#include "rfp/simd/kernels.hpp"
 #include "rfp/solver/levenberg_marquardt.hpp"
 
 namespace rfp {
@@ -34,6 +37,20 @@ struct RoundSnapshot {
   // Scratch for the orientation stage (single-threaded per solve).
   std::vector<OrthoFrame> ray;            ///< frames at the current position
   std::vector<double> residual_angle;     ///< wrapped intercept residuals
+
+  // Antenna-factored sufficient statistics (DESIGN.md "Vectorized
+  // kernels"), folded once per round: with count_a, S1_a = Σ slope,
+  // S2_a = Σ slope² over antenna a's usable lines, a cell's ranking cost
+  // is a closed form over n_antennas terms — the kernels never walk the
+  // lines again. Sized to the deployment's antenna count; antennas with
+  // no usable line carry all-zero coefficients.
+  std::size_t n_antennas = 0;
+  std::vector<double> stat_q1;  ///< per antenna: −count_a·K
+  std::vector<double> stat_p1;  ///< per antenna: −2K·S1_a
+  std::vector<double> stat_p2;  ///< per antenna: count_a·K²
+  double stat_c1 = 0.0;         ///< Σ_a S1_a
+  double stat_c2 = 0.0;         ///< Σ_a S2_a
+  double stat_s1_abs = 0.0;     ///< Σ_a |S1_a| (factored-margin bound)
 };
 
 /// Usable = enough inlier channels to trust the fit (paper §V-A).
@@ -59,6 +76,39 @@ void build_snapshot(const DeploymentGeometry& geometry,
     snap.antenna.push_back(line.antenna);
   }
   snap.n = snap.slope.size();
+
+  // Pre-size the Stage-B scratch once per round: fill_ray_frames and
+  // intercept_cost run per candidate and must never touch capacity.
+  snap.ray.resize(snap.n);
+  snap.residual_angle.resize(snap.n);
+
+  // Fold the sufficient statistics. The stat arrays hold (count, S1, S2)
+  // during accumulation and are transformed into the kernel coefficients
+  // in place afterwards.
+  const std::size_t na = geometry.n_antennas();
+  snap.n_antennas = na;
+  snap.stat_q1.assign(na, 0.0);
+  snap.stat_p1.assign(na, 0.0);
+  snap.stat_p2.assign(na, 0.0);
+  for (std::size_t i = 0; i < snap.n; ++i) {
+    const std::size_t a = snap.antenna[i];
+    snap.stat_q1[a] += 1.0;
+    snap.stat_p1[a] += snap.slope[i];
+    snap.stat_p2[a] += snap.slope[i] * snap.slope[i];
+  }
+  snap.stat_c1 = 0.0;
+  snap.stat_c2 = 0.0;
+  snap.stat_s1_abs = 0.0;
+  for (std::size_t a = 0; a < na; ++a) {
+    snap.stat_c1 += snap.stat_p1[a];
+    snap.stat_c2 += snap.stat_p2[a];
+    snap.stat_s1_abs += std::abs(snap.stat_p1[a]);
+    const double count = snap.stat_q1[a];
+    const double s1 = snap.stat_p1[a];
+    snap.stat_q1[a] = -count * kSlopePerMeter;
+    snap.stat_p1[a] = -2.0 * kSlopePerMeter * s1;
+    snap.stat_p2[a] = count * kSlopePerMeter * kSlopePerMeter;
+  }
 }
 
 /// Per-cost-evaluation distance scratch: antenna counts are small, so the
@@ -117,23 +167,64 @@ SlopeCost cached_cell_cost(const GridTable& table, const RoundSnapshot& snap,
   return out;
 }
 
-/// Fused single-pass ranking cost: with x_i = k_i − K·d_i,
-/// rss = Σ(x_i − kt)² = Σx_i² − n·kt². One walk instead of two — but a
-/// different floating-point expression than slope_cost, so it is only
-/// used where the *ordering* of cells matters (pyramid coarse ranking),
-/// never for reported values.
-double fused_cell_rss(const GridTable& table, const RoundSnapshot& snap,
-                      std::size_t cell) {
-  const double* dist_row = table.dist.data() + cell * table.n_antennas;
-  double acc = 0.0;
-  double acc2 = 0.0;
-  for (std::size_t i = 0; i < snap.n; ++i) {
-    const double x = snap.slope[i] - kSlopePerMeter * dist_row[snap.antenna[i]];
-    acc += x;
-    acc2 += x * x;
+/// The snapshot's sufficient statistics as a kernel view (pointers borrow
+/// from the snapshot; valid for the current solve only).
+simd::FactoredStats factored_stats(const RoundSnapshot& snap) {
+  simd::FactoredStats stats;
+  stats.n_antennas = snap.n_antennas;
+  stats.c1 = snap.stat_c1;
+  stats.c2 = snap.stat_c2;
+  stats.inv_n = 1.0 / static_cast<double>(snap.n);
+  stats.q1 = snap.stat_q1.data();
+  stats.p1 = snap.stat_p1.data();
+  stats.p2 = snap.stat_p2.data();
+  return stats;
+}
+
+/// Conservative bound on |factored − canonical| rss at any cell of
+/// `table`: both expressions equal Σx² − n·kt² exactly, and their
+/// floating-point results differ by at most a few hundred ulps of the
+/// *uncentered* magnitude Σ|per-antenna term| ≤ c2 + 2K·d·Σ|S1| + n(Kd)².
+/// Every cell whose factored cost lies within this margin of the factored
+/// minimum is re-scored canonically, which makes the factored ranking's
+/// winner exactly the canonical scan's strict-< scan-order argmin.
+double factored_margin(const RoundSnapshot& snap, const GridTable& table) {
+  const double kd = kSlopePerMeter * table.max_dist;
+  const double bound = snap.stat_c2 + 2.0 * kd * snap.stat_s1_abs +
+                       static_cast<double>(snap.n) * kd * kd;
+  return 256.0 * std::numeric_limits<double>::epsilon() *
+         static_cast<double>(snap.n + snap.n_antennas + 8) * bound;
+}
+
+/// Thread-local ranking buffers for the factored scans. Pool workers keep
+/// theirs warm across chunks/solves; these cannot live in the per-solve
+/// workspace because chunks of one solve are scanned concurrently.
+std::vector<double>& local_rank_buffer() {
+  static thread_local std::vector<double> buffer;
+  return buffer;
+}
+
+std::vector<std::uint32_t>& local_candidate_buffer() {
+  static thread_local std::vector<std::uint32_t> buffer(64);
+  return buffer;
+}
+
+/// Margin candidates of a scored range: indices into `rank[0, count)`
+/// with rank[i] <= limit, ascending. Grows the thread-local index buffer
+/// and re-collects on the (degenerate-surface) overflow path.
+std::span<const std::uint32_t> margin_candidates(const double* rank,
+                                                 std::size_t count,
+                                                 double limit,
+                                                 simd::Level level) {
+  std::vector<std::uint32_t>& idx = local_candidate_buffer();
+  std::size_t found =
+      simd::collect_below(level, rank, count, limit, idx.data(), idx.size());
+  if (found > idx.size()) {
+    idx.resize(found);
+    found =
+        simd::collect_below(level, rank, count, limit, idx.data(), idx.size());
   }
-  const double kt = acc / static_cast<double>(snap.n);
-  return std::max(acc2 - static_cast<double>(snap.n) * kt * kt, 0.0);
+  return {idx.data(), found};
 }
 
 /// Closed-form bt at polarization w (circular mean of b_i - orient_i) and
@@ -145,7 +236,6 @@ struct InterceptCost {
 };
 
 InterceptCost intercept_cost(RoundSnapshot& snap, Vec3 w) {
-  snap.residual_angle.resize(snap.n);
   for (std::size_t i = 0; i < snap.n; ++i) {
     const double orient = polarization_phase(snap.ray[i], w);
     snap.residual_angle[i] = wrap_to_2pi(snap.intercept[i] - orient);
@@ -160,9 +250,9 @@ InterceptCost intercept_cost(RoundSnapshot& snap, Vec3 w) {
 }
 
 /// Propagation-adjusted aperture frames for all snapshot lines at
-/// candidate tag position `p`, into snap.ray.
+/// candidate tag position `p`, into snap.ray (pre-sized per round by
+/// build_snapshot).
 void fill_ray_frames(RoundSnapshot& snap, Vec3 p) {
-  snap.ray.resize(snap.n);
   for (std::size_t i = 0; i < snap.n; ++i) {
     snap.ray[i] =
         propagation_adjusted_frame(snap.aperture[i], snap.position[i], p);
@@ -175,6 +265,7 @@ struct GridBest {
   double rss = std::numeric_limits<double>::infinity();
   double kt = 0.0;
   Vec3 position;
+  std::size_t cell = 0;  ///< canonical cell index (when the scan has one)
   bool any = false;
 };
 
@@ -205,6 +296,7 @@ GridBest scan_grid_rows(const RoundSnapshot& snap,
         best.rss = cost.rss;
         best.kt = cost.kt;
         best.position = p;
+        best.cell = row * config.grid_nx + ix;
         best.any = true;
       }
     }
@@ -228,8 +320,64 @@ GridBest scan_grid_rows_cached(const RoundSnapshot& snap,
         best.rss = cost.rss;
         best.kt = cost.kt;
         best.position = table.cell_position(cell);
+        best.cell = cell;
         best.any = true;
       }
+    }
+  }
+  return best;
+}
+
+/// Factored-ranking variant of scan_grid_rows_cached. Two stages:
+///
+///  1. The batched sufficient-statistics kernel (rfp::simd) scores every
+///     cell of the rows into a thread-local buffer — O(n_antennas) per
+///     cell instead of O(n_lines), 3 FMAs per antenna, vectorized 8 cells
+///     wide at Level::kAvx2.
+///  2. Every cell whose factored cost lies within `margin` of the buffer
+///     minimum is re-scored with the canonical two-pass kernel under the
+///     same first-strict-minimum scan order.
+///
+/// Because the margin bounds the factored-vs-canonical rounding gap
+/// (factored_margin), the canonical argmin is always among the re-scored
+/// candidates, so the returned winner — rss, kt, position, cell — is
+/// byte-identical to scan_grid_rows_cached over the same rows, for either
+/// dispatch level. The factored costs only *rank*; they are never
+/// reported.
+GridBest scan_grid_rows_factored(const RoundSnapshot& snap,
+                                 const GridTable& table, simd::Level level,
+                                 double margin, std::size_t row_begin,
+                                 std::size_t row_end,
+                                 std::size_t* candidates = nullptr) {
+  GridBest best;
+  const std::size_t nx = table.spec.nx;
+  const std::size_t cell_begin = row_begin * nx;
+  const std::size_t cell_end = row_end * nx;
+  if (cell_begin >= cell_end) return best;
+  const std::size_t count = cell_end - cell_begin;
+
+  std::vector<double>& rank = local_rank_buffer();
+  if (rank.size() < count) rank.resize(count);
+  const simd::FactoredStats stats = factored_stats(snap);
+  const double rank_min =
+      simd::factored_rss_run(level, stats, table.dist_t.data(),
+                             table.cell_stride, cell_begin, cell_end,
+                             rank.data());
+  // All-NaN costs (a poisoned slope poisons every cell in both kernels):
+  // report "no cell", exactly like the canonical scan.
+  if (!std::isfinite(rank_min)) return best;
+
+  for (std::uint32_t i :
+       margin_candidates(rank.data(), count, rank_min + margin, level)) {
+    const std::size_t cell = cell_begin + i;
+    const SlopeCost cost = cached_cell_cost(table, snap, cell);
+    if (candidates != nullptr) ++*candidates;
+    if (cost.rss < best.rss) {
+      best.rss = cost.rss;
+      best.kt = cost.kt;
+      best.position = table.cell_position(cell);
+      best.cell = cell;
+      best.any = true;
     }
   }
   return best;
@@ -269,15 +417,30 @@ void coarse_axis(std::size_t n, std::size_t stride,
   if (out.back() != n - 1) out.push_back(n - 1);
 }
 
+GridBest window_scan_factored(const RoundSnapshot& snap,
+                              const GridTable& table, simd::Level level,
+                              double margin, std::size_t x0, std::size_t x1,
+                              std::size_t y0, std::size_t y1, std::size_t z0,
+                              std::size_t z1, std::size_t* cells_scanned);
+
 /// Coarse-to-fine pyramid scan over the cached table. Deterministic and
-/// single-threaded by construction: the coarse pass walks a strided
+/// single-threaded by construction: the coarse pass ranks a strided
 /// sampling of the fine grid in canonical order keeping the top-K cells
 /// (ties broken by cell index), then full-resolution windows around each
-/// candidate are re-scanned with the canonical two-pass kernel under a
-/// strict-minimum argmin — overlapping windows cannot change the winner.
+/// candidate are re-scanned under a strict-minimum argmin over canonical
+/// costs — overlapping windows cannot change the winner.
+///
+/// With a factored rank kernel both passes use it: the coarse ranking
+/// batches whole x-rows of the antenna-major table (only the strided
+/// entries are consumed and counted), and each fine window goes through
+/// window_scan_factored, whose winner is byte-identical to the canonical
+/// window walk — so merging per-window winners strict-< in candidate
+/// order reproduces the canonical fine pass bit-for-bit. Coarse ranking
+/// is approximate by design either way; everything reported comes from
+/// the fine pass's canonical re-scoring.
 GridBest pyramid_scan(const RoundSnapshot& snap, const GridTable& table,
-                      const DisentangleConfig& config,
-                      std::size_t* cells_scanned) {
+                      const DisentangleConfig& config, simd::Level level,
+                      double margin, std::size_t* cells_scanned) {
   const std::size_t nx = table.spec.nx;
   const std::size_t ny = table.spec.ny;
   const std::size_t nz = table.spec.nz;
@@ -286,21 +449,33 @@ GridBest pyramid_scan(const RoundSnapshot& snap, const GridTable& table,
   const std::size_t radius = config.pyramid.refine_radius > 0
                                  ? config.pyramid.refine_radius
                                  : stride + 1;
+  const bool factored = config.rank_kernel != RankKernel::kCanonical;
 
-  // ---- Coarse pass: fused one-walk ranking over the strided sampling ---
+  // ---- Coarse pass: factored ranking over the strided sampling ---------
   std::vector<std::size_t> xs_i, ys_i, zs_i;
   coarse_axis(nx, stride, xs_i);
   coarse_axis(ny, stride, ys_i);
   coarse_axis(nz, nz > 1 ? stride : 1, zs_i);
 
+  std::vector<double>& rank = local_rank_buffer();
+  if (factored && rank.size() < nx) rank.resize(nx);
+  const simd::FactoredStats stats = factored_stats(snap);
+
   std::vector<std::pair<double, std::size_t>> top;  // (rss, cell), ascending
   top.reserve(top_k + 1);
   for (std::size_t iz : zs_i) {
     for (std::size_t iy : ys_i) {
+      const std::size_t row0 = (iz * ny + iy) * nx;
+      if (factored) {
+        simd::factored_rss_run(level, stats, table.dist_t.data(),
+                               table.cell_stride, row0, row0 + nx,
+                               rank.data());
+      }
       for (std::size_t ix : xs_i) {
-        const std::size_t cell = (iz * ny + iy) * nx + ix;
-        const std::pair<double, std::size_t> cand{
-            fused_cell_rss(table, snap, cell), cell};
+        const std::size_t cell = row0 + ix;
+        const double rss =
+            factored ? rank[ix] : cached_cell_cost(table, snap, cell).rss;
+        const std::pair<double, std::size_t> cand{rss, cell};
         ++*cells_scanned;
         if (top.size() < top_k || cand < top.back()) {
           top.insert(std::lower_bound(top.begin(), top.end(), cand), cand);
@@ -310,7 +485,7 @@ GridBest pyramid_scan(const RoundSnapshot& snap, const GridTable& table,
     }
   }
 
-  // ---- Fine pass: canonical kernel over windows around each candidate --
+  // ---- Fine pass: canonical costs over windows around each candidate --
   GridBest best;
   for (const auto& [coarse_rss, cell] : top) {
     const std::size_t cx = cell % nx;
@@ -322,6 +497,13 @@ GridBest pyramid_scan(const RoundSnapshot& snap, const GridTable& table,
     const std::size_t y1 = std::min(cy + radius, ny - 1);
     const std::size_t z0 = cz > radius ? cz - radius : 0;
     const std::size_t z1 = std::min(cz + radius, nz - 1);
+    if (factored) {
+      const GridBest w = window_scan_factored(snap, table, level, margin, x0,
+                                              x1, y0, y1, z0, z1,
+                                              cells_scanned);
+      if (w.any && w.rss < best.rss) best = w;
+      continue;
+    }
     for (std::size_t iz = z0; iz <= z1; ++iz) {
       for (std::size_t iy = y0; iy <= y1; ++iy) {
         for (std::size_t ix = x0; ix <= x1; ++ix) {
@@ -332,6 +514,7 @@ GridBest pyramid_scan(const RoundSnapshot& snap, const GridTable& table,
             best.rss = cost.rss;
             best.kt = cost.kt;
             best.position = table.cell_position(fine);
+            best.cell = fine;
             best.any = true;
           }
         }
@@ -360,14 +543,75 @@ bool axis_window(double lo, double extent, std::size_t n, double center,
   return i0 <= i1;
 }
 
+/// Factored variant of the warm-start window scan body: the batched
+/// kernel scores each row segment [x0, x1] of the window into the rank
+/// buffer, then margin candidates are re-scored canonically in window
+/// scan order. Byte-identical winner to the canonical window walk (same
+/// margin argument as scan_grid_rows_factored); counts one scanned cell
+/// per window cell, like the canonical walk.
+GridBest window_scan_factored(const RoundSnapshot& snap,
+                              const GridTable& table, simd::Level level,
+                              double margin, std::size_t x0, std::size_t x1,
+                              std::size_t y0, std::size_t y1, std::size_t z0,
+                              std::size_t z1, std::size_t* cells_scanned) {
+  const std::size_t nx = table.spec.nx;
+  const std::size_t ny = table.spec.ny;
+  const std::size_t wx = x1 - x0 + 1;
+  const std::size_t n_rows = (z1 - z0 + 1) * (y1 - y0 + 1);
+  *cells_scanned += wx * n_rows;
+
+  std::vector<double>& rank = local_rank_buffer();
+  if (rank.size() < wx * n_rows) rank.resize(wx * n_rows);
+  const simd::FactoredStats stats = factored_stats(snap);
+  const std::size_t wy = y1 - y0 + 1;
+  double rank_min = std::numeric_limits<double>::infinity();
+  std::size_t slot = 0;
+  for (std::size_t iz = z0; iz <= z1; ++iz) {
+    for (std::size_t iy = y0; iy <= y1; ++iy) {
+      const std::size_t row0 = (iz * ny + iy) * nx;
+      const double row_min =
+          simd::factored_rss_run(level, stats, table.dist_t.data(),
+                                 table.cell_stride, row0 + x0, row0 + x1 + 1,
+                                 rank.data() + slot);
+      rank_min = row_min < rank_min ? row_min : rank_min;
+      slot += wx;
+    }
+  }
+
+  GridBest best;
+  if (!std::isfinite(rank_min)) return best;
+
+  // Packed slots run in canonical window order, so ascending candidate
+  // slots preserve the canonical walk's first-strict-minimum tie-break.
+  for (std::uint32_t i : margin_candidates(rank.data(), wx * n_rows,
+                                           rank_min + margin, level)) {
+    const std::size_t r = i / wx;
+    const std::size_t ix = x0 + i % wx;
+    const std::size_t iy = y0 + r % wy;
+    const std::size_t iz = z0 + r / wy;
+    const std::size_t cell = (iz * ny + iy) * nx + ix;
+    const SlopeCost cost = cached_cell_cost(table, snap, cell);
+    if (cost.rss < best.rss) {
+      best.rss = cost.rss;
+      best.kt = cost.kt;
+      best.position = table.cell_position(cell);
+      best.cell = cell;
+      best.any = true;
+    }
+  }
+  return best;
+}
+
 /// Warm-start window scan: the fine cells within warm_start.window_m of
 /// the hint, canonical order, canonical two-pass kernel (from the table
 /// when available, recomputed otherwise — same positions, same bits).
+/// With a table and a factored rank kernel the window is ranked by
+/// window_scan_factored instead — byte-identical winner, less work.
 GridBest window_scan(const RoundSnapshot& snap,
                      const DeploymentGeometry& geometry,
                      const DisentangleConfig& config, const GridTable* table,
-                     bool mode_3d, std::size_t nz, Vec3 hint,
-                     std::size_t* cells_scanned) {
+                     simd::Level level, double margin, bool mode_3d,
+                     std::size_t nz, Vec3 hint, std::size_t* cells_scanned) {
   const Rect& region = geometry.working_region;
   const double w = config.warm_start.window_m;
   std::size_t x0, x1, y0, y1, z0 = 0, z1 = 0;
@@ -380,6 +624,11 @@ GridBest window_scan(const RoundSnapshot& snap,
   if (mode_3d && !axis_window(config.z_lo, config.z_hi - config.z_lo, nz,
                               hint.z, w, z0, z1)) {
     return {};
+  }
+
+  if (table != nullptr && config.rank_kernel != RankKernel::kCanonical) {
+    return window_scan_factored(snap, *table, level, margin, x0, x1, y0, y1,
+                                z0, z1, cells_scanned);
   }
 
   GridBest best;
@@ -409,6 +658,7 @@ GridBest window_scan(const RoundSnapshot& snap,
           best.rss = cost.rss;
           best.kt = cost.kt;
           best.position = table != nullptr ? table->cell_position(cell) : p;
+          best.cell = cell;
           best.any = true;
         }
       }
@@ -554,11 +804,23 @@ PositionSolve solve_position(const DeploymentGeometry& geometry,
         GridSpec{config.grid_nx, config.grid_ny, nz, config.z_lo, config.z_hi});
   }
 
+  // Ranking-kernel selection (see RankKernel): factored ranking needs the
+  // antenna-major table, so uncached solves always rank canonically. The
+  // dispatch level is resolved once per solve; kFactoredScalar pins the
+  // scalar kernel regardless of what the CPU supports.
+  const bool factored =
+      table != nullptr && config.rank_kernel != RankKernel::kCanonical;
+  const simd::Level level = config.rank_kernel == RankKernel::kFactoredSimd
+                                ? simd::active()
+                                : simd::Level::kScalar;
+  const double margin = factored ? factored_margin(snap, *table) : 0.0;
+
   // ---- Stage A0: warm start — windowed scan around the caller's hint ---
   if (warm_hint != nullptr && config.warm_start.enable) {
     std::size_t cells = 0;
-    const GridBest windowed = window_scan(snap, geometry, config, table.get(),
-                                          mode_3d, nz, *warm_hint, &cells);
+    const GridBest windowed =
+        window_scan(snap, geometry, config, table.get(), level, margin,
+                    mode_3d, nz, *warm_hint, &cells);
     if (windowed.any && std::isfinite(windowed.rss)) {
       PositionSolve warm =
           refine_and_finish(snap, geometry, config, ws, mode_3d, windowed);
@@ -581,8 +843,14 @@ PositionSolve solve_position(const DeploymentGeometry& geometry,
   SolvePath path = SolvePath::kExhaustive;
   if (config.pyramid.enable && table != nullptr) {
     cells_scanned = 0;
-    best = pyramid_scan(snap, *table, config, &cells_scanned);
+    best = pyramid_scan(snap, *table, config, level, margin, &cells_scanned);
     path = SolvePath::kPyramid;
+  } else if (factored) {
+    best = chunked_scan(rows, pool,
+                        [&](std::size_t begin, std::size_t end) {
+                          return scan_grid_rows_factored(snap, *table, level,
+                                                         margin, begin, end);
+                        });
   } else if (table != nullptr) {
     best = chunked_scan(rows, pool,
                         [&](std::size_t begin, std::size_t end) {
@@ -611,6 +879,39 @@ PositionSolve solve_position(const DeploymentGeometry& geometry,
   solve.path = path;
   solve.cells_scanned = cells_scanned;
   return solve;
+}
+
+StageARank rank_exhaustive(const DeploymentGeometry& geometry,
+                           std::span<const AntennaLine> lines,
+                           const GridTable& table, RankKernel kernel,
+                           SolveWorkspace& ws) {
+  RoundSnapshot& snap = ws.scratch<RoundSnapshot>();
+  build_snapshot(geometry, lines, snap);
+  require(snap.n >= 3, "rank_exhaustive: not enough usable antenna lines");
+  require(table.n_antennas == geometry.n_antennas(),
+          "rank_exhaustive: table/geometry antenna count mismatch");
+
+  const std::size_t rows = table.spec.nz * table.spec.ny;
+  GridBest best;
+  StageARank out;
+  if (kernel == RankKernel::kCanonical) {
+    best = scan_grid_rows_cached(snap, table, 0, rows);
+    out.candidates = table.n_cells();
+  } else {
+    const simd::Level level = kernel == RankKernel::kFactoredSimd
+                                  ? simd::active()
+                                  : simd::Level::kScalar;
+    std::size_t candidates = 0;
+    best = scan_grid_rows_factored(snap, table, level,
+                                   factored_margin(snap, table), 0, rows,
+                                   &candidates);
+    out.candidates = candidates;
+  }
+  require(best.any, "rank_exhaustive: no finite cell cost");
+  out.cell = best.cell;
+  out.rss = best.rss;
+  out.kt = best.kt;
+  return out;
 }
 
 OrientationSolve solve_orientation(const DeploymentGeometry& geometry,

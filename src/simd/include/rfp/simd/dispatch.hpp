@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file dispatch.hpp
+/// Runtime CPU dispatch for the rfp::simd micro-kernels (DESIGN.md
+/// "Vectorized kernels"). The instruction set is probed once per process
+/// (cpuid) and every kernel call routes through the chosen level; the
+/// scalar fallback is always available and bit-identical to the vector
+/// path, so dispatch never changes results — only speed.
+///
+/// Overrides, from widest to narrowest scope:
+///  - build: -DRFP_DISABLE_SIMD=ON compiles the AVX2 kernels out entirely
+///    (non-x86 hosts, or pinning the fallback under sanitizers);
+///  - process: the RFP_FORCE_SCALAR environment variable (any value other
+///    than "", "0", "false", "off") forces the scalar path;
+///  - call: DisentangleConfig::rank_kernel / the CLI --scalar flag select
+///    the scalar kernels for one solver instance.
+
+namespace rfp::simd {
+
+enum class Level {
+  kScalar = 0,  ///< portable fallback, std::fma arithmetic
+  kAvx2 = 1,    ///< AVX2 + FMA, 4-8 cells per instruction
+};
+
+/// Short stable name for logs/benches: "scalar" or "avx2".
+const char* name(Level level);
+
+/// True when the AVX2 kernel translation unit was compiled in (the build
+/// was not configured with -DRFP_DISABLE_SIMD and the compiler supports
+/// the required target flags).
+bool compiled_avx2();
+
+/// The best level this machine can run, probed once (cpuid: AVX2 and FMA
+/// must both be present). kScalar when compiled_avx2() is false.
+Level detected();
+
+/// detected(), unless the RFP_FORCE_SCALAR environment variable demands
+/// the scalar path. Read once per process, like detected().
+Level active();
+
+/// Pure resolution of the RFP_FORCE_SCALAR value against a detected
+/// level — the env-parsing half of active(), exposed for tests. `env` is
+/// the raw variable value (nullptr = unset).
+Level level_from_env(Level detected_level, const char* env);
+
+/// Per-call override hook: the level a solve should use given its
+/// config's force-scalar choice.
+inline Level choose(bool force_scalar) {
+  return force_scalar ? Level::kScalar : active();
+}
+
+}  // namespace rfp::simd

@@ -1,0 +1,46 @@
+#include "rfp/simd/dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rfp::simd {
+
+const char* name(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+bool compiled_avx2() {
+#if defined(RFP_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Level detected() {
+#if defined(RFP_HAVE_AVX2)
+  static const Level level = (__builtin_cpu_supports("avx2") &&
+                              __builtin_cpu_supports("fma"))
+                                 ? Level::kAvx2
+                                 : Level::kScalar;
+  return level;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level level_from_env(Level detected_level, const char* env) {
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0 ||
+      std::strcmp(env, "false") == 0 || std::strcmp(env, "off") == 0) {
+    return detected_level;
+  }
+  return Level::kScalar;
+}
+
+Level active() {
+  static const Level level =
+      level_from_env(detected(), std::getenv("RFP_FORCE_SCALAR"));
+  return level;
+}
+
+}  // namespace rfp::simd

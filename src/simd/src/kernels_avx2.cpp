@@ -1,0 +1,185 @@
+/// AVX2+FMA batched factored-rss kernel: 8 cells per iteration (two
+/// 4-wide accumulator pairs in flight, hiding the FMA latency chain over
+/// the antennas), with the skip-NaN minimum folded into the batch loop.
+/// Compiled with -mavx2 -mfma -ffp-contract=off on x86-64 builds only;
+/// the dispatching entry points never route here unless cpuid said the
+/// instructions exist.
+
+#if defined(RFP_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rfp/simd/kernels.hpp"
+
+namespace rfp::simd::detail {
+
+namespace {
+
+/// min(v, acc) lane-wise with NaN lanes of v skipped: VMINPD returns the
+/// SECOND operand when either input is NaN, so keeping `acc` there means
+/// a NaN cost never poisons the running minimum — matching the scalar
+/// `rss < min ? rss : min` reduction.
+inline __m256d min_skip_nan(__m256d v, __m256d acc) {
+  return _mm256_min_pd(v, acc);
+}
+
+}  // namespace
+
+double factored_rss_run_avx2(const FactoredStats& stats, const double* dist_t,
+                             std::size_t cell_stride, std::size_t cell_begin,
+                             std::size_t cell_end, double* out) {
+  const __m256d c1 = _mm256_set1_pd(stats.c1);
+  const __m256d c2 = _mm256_set1_pd(stats.c2);
+  const __m256d inv_n = _mm256_set1_pd(stats.inv_n);
+  const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  __m256d vmin_lo = inf, vmin_hi = inf;
+  std::size_t cell = cell_begin;
+
+  // 16 cells per iteration: four accumulator pairs in flight, enough
+  // independent acc2 chains that the loop is FMA-throughput bound rather
+  // than serialized on the 4-cycle fmadd latency per antenna.
+  for (; cell + 16 <= cell_end; cell += 16) {
+    __m256d acc0 = c1, acc1 = c1, acc2_ = c1, acc3 = c1;
+    __m256d sq0 = c2, sq1 = c2, sq2 = c2, sq3 = c2;
+    for (std::size_t a = 0; a < stats.n_antennas; ++a) {
+      const double* plane = dist_t + a * cell_stride + cell;
+      const __m256d q1 = _mm256_set1_pd(stats.q1[a]);
+      const __m256d p1 = _mm256_set1_pd(stats.p1[a]);
+      const __m256d p2 = _mm256_set1_pd(stats.p2[a]);
+      const __m256d d0 = _mm256_loadu_pd(plane);
+      const __m256d d1 = _mm256_loadu_pd(plane + 4);
+      const __m256d d2 = _mm256_loadu_pd(plane + 8);
+      const __m256d d3 = _mm256_loadu_pd(plane + 12);
+      acc0 = _mm256_fmadd_pd(q1, d0, acc0);
+      acc1 = _mm256_fmadd_pd(q1, d1, acc1);
+      acc2_ = _mm256_fmadd_pd(q1, d2, acc2_);
+      acc3 = _mm256_fmadd_pd(q1, d3, acc3);
+      sq0 = _mm256_fmadd_pd(_mm256_fmadd_pd(p2, d0, p1), d0, sq0);
+      sq1 = _mm256_fmadd_pd(_mm256_fmadd_pd(p2, d1, p1), d1, sq1);
+      sq2 = _mm256_fmadd_pd(_mm256_fmadd_pd(p2, d2, p1), d2, sq2);
+      sq3 = _mm256_fmadd_pd(_mm256_fmadd_pd(p2, d3, p1), d3, sq3);
+    }
+    const __m256d r0 =
+        _mm256_sub_pd(sq0, _mm256_mul_pd(_mm256_mul_pd(acc0, acc0), inv_n));
+    const __m256d r1 =
+        _mm256_sub_pd(sq1, _mm256_mul_pd(_mm256_mul_pd(acc1, acc1), inv_n));
+    const __m256d r2 =
+        _mm256_sub_pd(sq2, _mm256_mul_pd(_mm256_mul_pd(acc2_, acc2_), inv_n));
+    const __m256d r3 =
+        _mm256_sub_pd(sq3, _mm256_mul_pd(_mm256_mul_pd(acc3, acc3), inv_n));
+    double* dst = out + (cell - cell_begin);
+    _mm256_storeu_pd(dst, r0);
+    _mm256_storeu_pd(dst + 4, r1);
+    _mm256_storeu_pd(dst + 8, r2);
+    _mm256_storeu_pd(dst + 12, r3);
+    vmin_lo = min_skip_nan(r0, vmin_lo);
+    vmin_hi = min_skip_nan(r1, vmin_hi);
+    vmin_lo = min_skip_nan(r2, vmin_lo);
+    vmin_hi = min_skip_nan(r3, vmin_hi);
+  }
+
+  for (; cell + 8 <= cell_end; cell += 8) {
+    __m256d acc_lo = c1, acc_hi = c1;
+    __m256d acc2_lo = c2, acc2_hi = c2;
+    for (std::size_t a = 0; a < stats.n_antennas; ++a) {
+      const double* plane = dist_t + a * cell_stride + cell;
+      const __m256d q1 = _mm256_set1_pd(stats.q1[a]);
+      const __m256d p1 = _mm256_set1_pd(stats.p1[a]);
+      const __m256d p2 = _mm256_set1_pd(stats.p2[a]);
+      const __m256d d_lo = _mm256_loadu_pd(plane);
+      const __m256d d_hi = _mm256_loadu_pd(plane + 4);
+      acc_lo = _mm256_fmadd_pd(q1, d_lo, acc_lo);
+      acc_hi = _mm256_fmadd_pd(q1, d_hi, acc_hi);
+      acc2_lo = _mm256_fmadd_pd(_mm256_fmadd_pd(p2, d_lo, p1), d_lo, acc2_lo);
+      acc2_hi = _mm256_fmadd_pd(_mm256_fmadd_pd(p2, d_hi, p1), d_hi, acc2_hi);
+    }
+    // mean_sq = acc²·inv_n as two separate multiplies then a subtract —
+    // never a fused a−b·c — to match the scalar path bit-for-bit.
+    const __m256d ms_lo = _mm256_mul_pd(_mm256_mul_pd(acc_lo, acc_lo), inv_n);
+    const __m256d ms_hi = _mm256_mul_pd(_mm256_mul_pd(acc_hi, acc_hi), inv_n);
+    const __m256d rss_lo = _mm256_sub_pd(acc2_lo, ms_lo);
+    const __m256d rss_hi = _mm256_sub_pd(acc2_hi, ms_hi);
+    double* dst = out + (cell - cell_begin);
+    _mm256_storeu_pd(dst, rss_lo);
+    _mm256_storeu_pd(dst + 4, rss_hi);
+    vmin_lo = min_skip_nan(rss_lo, vmin_lo);
+    vmin_hi = min_skip_nan(rss_hi, vmin_hi);
+  }
+
+  for (; cell + 4 <= cell_end; cell += 4) {
+    __m256d acc = c1;
+    __m256d acc2 = c2;
+    for (std::size_t a = 0; a < stats.n_antennas; ++a) {
+      const __m256d d = _mm256_loadu_pd(dist_t + a * cell_stride + cell);
+      acc = _mm256_fmadd_pd(_mm256_set1_pd(stats.q1[a]), d, acc);
+      acc2 = _mm256_fmadd_pd(
+          _mm256_fmadd_pd(_mm256_set1_pd(stats.p2[a]), d,
+                          _mm256_set1_pd(stats.p1[a])),
+          d, acc2);
+    }
+    const __m256d ms = _mm256_mul_pd(_mm256_mul_pd(acc, acc), inv_n);
+    const __m256d rss = _mm256_sub_pd(acc2, ms);
+    _mm256_storeu_pd(out + (cell - cell_begin), rss);
+    vmin_lo = min_skip_nan(rss, vmin_lo);
+  }
+
+  // Horizontal reduction (pure selection — no rounding, so the order is
+  // irrelevant to the result), then the tail lanes scalar: std::fma in
+  // the same per-lane order (with -mfma this lowers to the same vfmadd
+  // the vector body uses).
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, vmin_lo);
+  _mm256_store_pd(lanes + 4, vmin_hi);
+  double min = std::numeric_limits<double>::infinity();
+  for (double lane : lanes) min = lane < min ? lane : min;
+
+  for (; cell < cell_end; ++cell) {
+    double acc = stats.c1;
+    double acc2 = stats.c2;
+    for (std::size_t a = 0; a < stats.n_antennas; ++a) {
+      const double d = dist_t[a * cell_stride + cell];
+      acc = std::fma(stats.q1[a], d, acc);
+      acc2 = std::fma(std::fma(stats.p2[a], d, stats.p1[a]), d, acc2);
+    }
+    const double mean_sq = (acc * acc) * stats.inv_n;
+    const double rss = acc2 - mean_sq;
+    out[cell - cell_begin] = rss;
+    min = rss < min ? rss : min;
+  }
+  return min;
+}
+
+std::size_t collect_below_avx2(const double* values, std::size_t n,
+                               double limit, std::uint32_t* idx,
+                               std::size_t capacity) {
+  const __m256d vlimit = _mm256_set1_pd(limit);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Ordered-quiet <=: NaN lanes never match, like the scalar compare.
+    const __m256d v = _mm256_loadu_pd(values + i);
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(v, vlimit, _CMP_LE_OQ));
+    if (mask == 0) continue;  // the hot path: nothing near the minimum
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask >> lane) & 1) {
+        if (count < capacity) idx[count] = static_cast<std::uint32_t>(i + lane);
+        ++count;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (values[i] <= limit) {
+      if (count < capacity) idx[count] = static_cast<std::uint32_t>(i);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace rfp::simd::detail
+
+#endif  // RFP_HAVE_AVX2

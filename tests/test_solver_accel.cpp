@@ -108,6 +108,14 @@ RfPrism make_variant(const Testbed& bed, bool cached, bool pyramid) {
   return bed.make_pipeline_variant(std::move(config));
 }
 
+RfPrism make_kernel_variant(const Testbed& bed, RankKernel kernel,
+                            bool pyramid = false) {
+  RfPrismConfig config = bed.prism().config();
+  config.disentangle.rank_kernel = kernel;
+  config.disentangle.pyramid.enable = pyramid;
+  return bed.make_pipeline_variant(std::move(config));
+}
+
 // ---------------------------------------------------------------------------
 // GridGeometryCache unit tests
 // ---------------------------------------------------------------------------
@@ -299,6 +307,115 @@ TEST(SolverAccelDeterminism, CachedBatchBitIdenticalAcrossThreadCounts) {
                            std::to_string(k));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Ranking kernels: factored (scalar / SIMD) byte-identical to canonical
+// ---------------------------------------------------------------------------
+
+TEST(SolverAccelKernels, FactoredMatchesCanonicalBitExact) {
+  // Full clean+faulted corpus through the whole pipeline: whichever kernel
+  // ranks Stage A, the reported results must be byte-identical (ISSUE
+  // acceptance: the factored kernels only *order* cells; winners are
+  // canonically re-scored).
+  TestbedConfig config;
+  config.n_antennas = 4;
+  Testbed bed(config);
+  const std::vector<RoundTrace> corpus = make_corpus(bed, 4, 8);
+  const RfPrism canonical = make_kernel_variant(bed, RankKernel::kCanonical);
+  const RfPrism scalar = make_kernel_variant(bed, RankKernel::kFactoredScalar);
+  const RfPrism simd = make_kernel_variant(bed, RankKernel::kFactoredSimd);
+
+  bool saw_degraded_or_rejected = false;
+  for (std::size_t k = 0; k < corpus.size(); ++k) {
+    const SensingResult a = canonical.sense(corpus[k], bed.tag_id());
+    const SensingResult b = scalar.sense(corpus[k], bed.tag_id());
+    const SensingResult c = simd.sense(corpus[k], bed.tag_id());
+    saw_degraded_or_rejected |= a.grade != SensingGrade::kFull;
+    expect_identical(a, b, "scalar round " + std::to_string(k));
+    expect_identical(a, c, "simd round " + std::to_string(k));
+  }
+  EXPECT_TRUE(saw_degraded_or_rejected)
+      << "faulted corpus never left the full-grade path; weak test";
+}
+
+TEST(SolverAccelKernels, FactoredPyramidMatchesCanonicalPyramid) {
+  // The pyramid's coarse pass also routes through the factored kernel;
+  // its fine pass and the reported values stay canonical.
+  TestbedConfig config;
+  config.n_antennas = 4;
+  Testbed bed(config);
+  const std::vector<RoundTrace> corpus = make_corpus(bed, 3, 5);
+  const RfPrism canonical =
+      make_kernel_variant(bed, RankKernel::kCanonical, /*pyramid=*/true);
+  const RfPrism simd =
+      make_kernel_variant(bed, RankKernel::kFactoredSimd, /*pyramid=*/true);
+  for (std::size_t k = 0; k < corpus.size(); ++k) {
+    expect_identical(canonical.sense(corpus[k], bed.tag_id()),
+                     simd.sense(corpus[k], bed.tag_id()),
+                     "pyramid round " + std::to_string(k));
+  }
+}
+
+TEST(SolverAccelKernels, FactoredBitIdenticalAcrossThreadCounts) {
+  // ISSUE acceptance: factored-SIMD batches at 1/2/8 threads reproduce the
+  // canonical single-threaded results bit-for-bit.
+  TestbedConfig config;
+  config.n_antennas = 4;
+  Testbed bed(config);
+  const std::vector<RoundTrace> corpus = make_corpus(bed, 3, 5);
+  const RfPrism canonical = make_kernel_variant(bed, RankKernel::kCanonical);
+
+  std::vector<SensingResult> reference;
+  for (const RoundTrace& round : corpus) {
+    reference.push_back(canonical.sense(round, bed.tag_id()));
+  }
+  for (RankKernel kernel :
+       {RankKernel::kFactoredScalar, RankKernel::kFactoredSimd}) {
+    const RfPrism variant = make_kernel_variant(bed, kernel);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      SensingEngine engine(threads);
+      const std::vector<SensingResult> batch =
+          variant.sense_batch(corpus, engine, bed.tag_id());
+      ASSERT_EQ(batch.size(), reference.size());
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        expect_identical(batch[k], reference[k],
+                         "kernel=" + std::to_string(static_cast<int>(kernel)) +
+                             " threads=" + std::to_string(threads) +
+                             " round " + std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST(SolverAccelKernels, FactoredWarmWindowMatchesCanonical) {
+  // Warm-start windows rank through the factored kernel too; the windowed
+  // solve must land on the canonical window winner bit-for-bit.
+  const Scene scene = make_scene_2d(71);
+  const DeploymentGeometry geometry = exact_geometry(scene);
+  const Vec3 truth{0.65, 1.4, 0.0};
+  const auto lines =
+      exact_lines(geometry, truth, planar_polarization(0.3), 2e-9, 1.1);
+  DisentangleConfig canonical_cfg;
+  canonical_cfg.rank_kernel = RankKernel::kCanonical;
+  DisentangleConfig simd_cfg;
+  simd_cfg.rank_kernel = RankKernel::kFactoredSimd;
+  SolveWorkspace ws;
+  GridGeometryCache cache;
+  const Vec3 hint{truth.x + 0.04, truth.y - 0.03, 0.0};
+
+  const PositionSolve a =
+      solve_position(geometry, lines, canonical_cfg, ws, nullptr, &cache,
+                     &hint);
+  const PositionSolve b =
+      solve_position(geometry, lines, simd_cfg, ws, nullptr, &cache, &hint);
+  EXPECT_EQ(a.path, SolvePath::kWarmStart);
+  EXPECT_EQ(b.path, SolvePath::kWarmStart);
+  EXPECT_EQ(a.position.x, b.position.x);
+  EXPECT_EQ(a.position.y, b.position.y);
+  EXPECT_EQ(a.position.z, b.position.z);
+  EXPECT_EQ(a.kt, b.kt);
+  EXPECT_EQ(a.rms, b.rms);
 }
 
 // ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@ struct DaemonOptions {
   std::size_t max_pending = 32;   ///< per-connection backpressure limit
   bool pyramid = false;           ///< coarse-to-fine Stage-A search
   bool uncached = false;          ///< disable the geometry cache
+  bool scalar = false;            ///< scalar factored ranking (no SIMD)
 };
 
 namespace detail {
@@ -58,6 +59,9 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   RfPrismConfig prism_config = bed.prism().config();
   prism_config.disentangle.use_geometry_cache = !options.uncached;
   prism_config.disentangle.pyramid.enable = options.pyramid;
+  if (options.scalar) {
+    prism_config.disentangle.rank_kernel = RankKernel::kFactoredScalar;
+  }
   const RfPrism prism = bed.make_pipeline_variant(std::move(prism_config));
 
   SensingEngine engine(options.threads);
@@ -75,11 +79,12 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   std::signal(SIGTERM, detail::stop_signal_handler);
 
   std::printf("%s: deployment seed %llu, %zu antennas, %zu worker thread(s), "
-              "solver %s%s\n",
+              "solver %s%s%s\n",
               name, static_cast<unsigned long long>(options.seed),
               options.antennas, engine.n_threads(),
               options.uncached ? "uncached" : "cached",
-              options.pyramid ? "+pyramid" : "");
+              options.pyramid ? "+pyramid" : "",
+              options.scalar ? "+scalar" : "");
   std::printf("%s: listening on %s:%u\n", name, options.bind.c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);

@@ -10,6 +10,7 @@
 ///   rfpd [--port N] [--bind ADDR] [--threads N] [--seed S]
 ///        [--antennas N] [--multipath] [--idle-timeout SEC]
 ///        [--max-conns N] [--max-pending N] [--pyramid] [--uncached]
+///        [--scalar]
 ///
 /// --port 0 binds an ephemeral port; the actual port is printed on the
 /// "listening on" line (scripts parse it there). SIGINT/SIGTERM trigger
@@ -30,7 +31,8 @@ int usage() {
                "usage: rfpd [--port N] [--bind ADDR] [--threads N]\n"
                "            [--seed S] [--antennas N] [--multipath]\n"
                "            [--idle-timeout SEC] [--max-conns N]\n"
-               "            [--max-pending N] [--pyramid] [--uncached]\n");
+               "            [--max-pending N] [--pyramid] [--uncached]\n"
+               "            [--scalar]\n");
   return 2;
 }
 
@@ -70,6 +72,8 @@ int main(int argc, char** argv) {
         options.pyramid = true;
       } else if (arg == "--uncached") {
         options.uncached = true;
+      } else if (arg == "--scalar") {
+        options.scalar = true;
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         return usage();

@@ -68,11 +68,11 @@ int usage() {
                "                 [--warm]\n"
                "  rfprism batch [--rounds N] [--threads N] [--material NAME|all]\n"
                "                [--multipath] [--seed S] [--verify]\n"
-               "                [--pyramid] [--uncached]\n"
+               "                [--pyramid] [--uncached] [--scalar]\n"
                "  rfprism serve [--port N] [--bind ADDR] [--threads N]\n"
                "                [--seed S] [--antennas N] [--multipath]\n"
                "                [--idle-timeout SEC] [--max-conns N]\n"
-               "                [--pyramid] [--uncached]\n"
+               "                [--pyramid] [--uncached] [--scalar]\n"
                "  rfprism request [--host H] [--port N] [--trace FILE]\n"
                "                  [--trial K] [--seed S] [--antennas N]\n"
                "                  [--multipath] [--material NAME] [--tag ID]\n"
@@ -352,6 +352,7 @@ struct BatchOptions {
   bool verify = false;
   bool pyramid = false;   ///< coarse-to-fine Stage-A search
   bool uncached = false;  ///< disable the geometry cache (baseline timing)
+  bool scalar = false;    ///< rank with the scalar factored kernel (no SIMD)
 };
 
 /// Exact equality on everything sensing computes. Bit-identity across
@@ -382,6 +383,9 @@ int run_batch(const BatchOptions& options) {
   RfPrismConfig prism_config = bed.prism().config();
   prism_config.disentangle.use_geometry_cache = !options.uncached;
   prism_config.disentangle.pyramid.enable = options.pyramid;
+  if (options.scalar) {
+    prism_config.disentangle.rank_kernel = RankKernel::kFactoredScalar;
+  }
   const RfPrism prism = bed.make_pipeline_variant(std::move(prism_config));
 
   const auto materials = paper_materials();
@@ -402,9 +406,10 @@ int run_batch(const BatchOptions& options) {
   }
 
   SensingEngine engine(options.threads);
-  std::printf("sensing %zu rounds on %zu thread(s), solver %s%s...\n", n,
+  std::printf("sensing %zu rounds on %zu thread(s), solver %s%s%s...\n", n,
               engine.n_threads(), options.uncached ? "uncached" : "cached",
-              options.pyramid ? "+pyramid" : "");
+              options.pyramid ? "+pyramid" : "",
+              options.scalar ? "+scalar" : "");
 
   // Warm-up pass populates each per-thread workspace (and the geometry
   // cache) so the timed pass measures the steady-state solve path.
@@ -647,6 +652,8 @@ int main(int argc, char** argv) {
           options.pyramid = true;
         } else if (arg == "--uncached") {
           options.uncached = true;
+        } else if (arg == "--scalar") {
+          options.scalar = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
@@ -731,6 +738,8 @@ int main(int argc, char** argv) {
           options.pyramid = true;
         } else if (arg == "--uncached") {
           options.uncached = true;
+        } else if (arg == "--scalar") {
+          options.scalar = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
