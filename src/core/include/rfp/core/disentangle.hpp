@@ -2,6 +2,7 @@
 
 #include "rfp/common/thread_pool.hpp"
 #include "rfp/common/workspace.hpp"
+#include "rfp/core/drift.hpp"
 #include "rfp/core/types.hpp"
 
 /// \file disentangle.hpp
@@ -97,6 +98,13 @@ struct DisentangleConfig {
     double max_rms = 2e-9;   ///< fallback threshold on refined RMS [rad/Hz]
   };
   WarmStart warm_start;
+
+  /// Online drift self-calibration (drift.hpp): when enabled, owners of a
+  /// DriftEstimator (SensingEngine, StreamingSensor, rfpd) subtract its
+  /// per-antenna corrections from the calibrated lines before the solve
+  /// and feed every valid result back in. Off by default — and when off,
+  /// every pipeline output is byte-identical to the drift-free build.
+  DriftConfig drift;
 
   /// Stage-A ranking kernel. Applies wherever the cached distance table
   /// is available (exhaustive scan, pyramid coarse pass, warm-start

@@ -87,15 +87,26 @@ class RfPrism {
   /// ports leave at least the minimum solvable antenna count produce a
   /// kDegraded result on the healthy subset; with fewer healthy ports the
   /// round is rejected with RejectReason::kAntennaHealth.
+  ///
+  /// `drift` optionally supplies a DriftEstimator's correction snapshot
+  /// (drift.hpp). It only takes effect when the config's
+  /// `disentangle.drift.enable` is set *and* the snapshot is active:
+  /// per-antenna slope/intercept corrections are subtracted from the
+  /// calibrated lines before the solve, and ports the snapshot marks
+  /// `drop` join the degraded subset path like gate failures. With drift
+  /// disabled (the default) a null or inactive snapshot changes nothing —
+  /// results stay byte-identical to the drift-free pipeline.
   SensingResult sense(const RoundTrace& round, const std::string& tag_id = {},
-                      const AntennaHealthMonitor* health = nullptr) const;
+                      const AntennaHealthMonitor* health = nullptr,
+                      const DriftCorrections* drift = nullptr) const;
 
   /// Engine-powered single-round sense: scratch comes from the engine's
   /// per-thread workspaces and the Stage-A grid scan fans out over the
   /// engine's pool. Bit-identical to sense() for any thread count.
   SensingResult sense(const RoundTrace& round, SensingEngine& engine,
                       const std::string& tag_id = {},
-                      const AntennaHealthMonitor* health = nullptr) const;
+                      const AntennaHealthMonitor* health = nullptr,
+                      const DriftCorrections* drift = nullptr) const;
 
   /// Warm-started single-round sense: `hint` seeds a windowed position
   /// solve (DisentangleConfig::warm_start) that falls back to the full
@@ -107,7 +118,8 @@ class RfPrism {
   SensingResult sense_warm(const RoundTrace& round, const std::string& tag_id,
                            Vec3 hint,
                            const AntennaHealthMonitor* health = nullptr,
-                           SensingEngine* engine = nullptr) const;
+                           SensingEngine* engine = nullptr,
+                           const DriftCorrections* drift = nullptr) const;
 
   /// Batch sensing: fan the independent rounds across the engine's pool,
   /// one solve per round on a per-thread workspace. Results come back in
@@ -121,7 +133,8 @@ class RfPrism {
   std::vector<SensingResult> sense_batch(
       std::span<const RoundTrace> rounds, SensingEngine& engine,
       const std::string& tag_id = {},
-      const AntennaHealthMonitor* health = nullptr) const;
+      const AntennaHealthMonitor* health = nullptr,
+      const DriftCorrections* drift = nullptr) const;
 
   /// Per-round tag ids (`tag_ids` empty, or one id per round — anything
   /// else throws InvalidArgument). The multi-tag streaming shape.
@@ -134,7 +147,8 @@ class RfPrism {
       std::span<const RoundTrace> rounds,
       std::span<const std::string> tag_ids, SensingEngine& engine,
       const AntennaHealthMonitor* health = nullptr,
-      std::span<const std::optional<Vec3>> warm_hints = {}) const;
+      std::span<const std::optional<Vec3>> warm_hints = {},
+      const DriftCorrections* drift = nullptr) const;
 
   const RfPrismConfig& config() const { return config_; }
   const CalibrationDB& calibrations() const { return db_; }
@@ -158,7 +172,8 @@ class RfPrism {
                            const AntennaHealthMonitor* health,
                            SolveWorkspace& ws, ThreadPool* pool,
                            GridGeometryCache* cache,
-                           const Vec3* warm_hint = nullptr) const;
+                           const Vec3* warm_hint = nullptr,
+                           const DriftCorrections* drift = nullptr) const;
 
   RfPrismConfig config_;
   CalibrationDB db_;

@@ -180,6 +180,22 @@ class StreamingSensor {
     return health_ ? &*health_ : nullptr;
   }
 
+  /// Drift estimator state (nullptr unless the pipeline config enables
+  /// `disentangle.drift`). The sensor owns one estimator per deployment:
+  /// corrections are snapshotted at the start of each poll and every
+  /// emission is folded back in, in emission order (deterministic).
+  const DriftEstimator* drift() const {
+    return drift_ ? &*drift_ : nullptr;
+  }
+
+  /// Drift counters (all-zero when drift is disabled).
+  DriftStats drift_stats() const { return drift_ ? drift_->stats() : DriftStats{}; }
+
+  /// Currently latched re-survey alarms (empty when drift is disabled).
+  std::vector<ReSurveyAlarm> drift_alarms() const {
+    return drift_ ? drift_->alarms() : std::vector<ReSurveyAlarm>{};
+  }
+
   /// Drop all partial state, counters, and port-health history.
   void clear();
 
@@ -213,6 +229,10 @@ class StreamingSensor {
   std::map<std::string, PendingTag> pending_;
   StreamingStats stats_;
   std::optional<AntennaHealthMonitor> health_;
+  /// Per-deployment drift self-calibration, constructed when the pipeline
+  /// config enables disentangle.drift. Observed only from poll_at (single
+  /// caller thread), so no lock is needed here.
+  std::optional<DriftEstimator> drift_;
   double high_water_s_ = 0.0;
 
   /// Warm-start state (enable_warm_start only): one track per recently

@@ -105,33 +105,41 @@ SolveWorkspace& fallback_workspace() {
 }  // namespace
 
 SensingResult RfPrism::sense(const RoundTrace& round, const std::string& tag_id,
-                             const AntennaHealthMonitor* health) const {
+                             const AntennaHealthMonitor* health,
+                             const DriftCorrections* drift) const {
   return sense_with(round, tag_id, health, fallback_workspace(),
-                    /*pool=*/nullptr, &GridGeometryCache::shared());
+                    /*pool=*/nullptr, &GridGeometryCache::shared(),
+                    /*warm_hint=*/nullptr, drift);
 }
 
 SensingResult RfPrism::sense(const RoundTrace& round, SensingEngine& engine,
                              const std::string& tag_id,
-                             const AntennaHealthMonitor* health) const {
+                             const AntennaHealthMonitor* health,
+                             const DriftCorrections* drift) const {
   return sense_with(round, tag_id, health, engine.local_workspace(),
-                    &engine.pool(), &engine.geometry_cache());
+                    &engine.pool(), &engine.geometry_cache(),
+                    /*warm_hint=*/nullptr, drift);
 }
 
 SensingResult RfPrism::sense_warm(const RoundTrace& round,
                                   const std::string& tag_id, Vec3 hint,
                                   const AntennaHealthMonitor* health,
-                                  SensingEngine* engine) const {
+                                  SensingEngine* engine,
+                                  const DriftCorrections* drift) const {
   if (engine != nullptr) {
     return sense_with(round, tag_id, health, engine->local_workspace(),
-                      &engine->pool(), &engine->geometry_cache(), &hint);
+                      &engine->pool(), &engine->geometry_cache(), &hint,
+                      drift);
   }
   return sense_with(round, tag_id, health, fallback_workspace(),
-                    /*pool=*/nullptr, &GridGeometryCache::shared(), &hint);
+                    /*pool=*/nullptr, &GridGeometryCache::shared(), &hint,
+                    drift);
 }
 
 std::vector<SensingResult> RfPrism::sense_batch(
     std::span<const RoundTrace> rounds, SensingEngine& engine,
-    const std::string& tag_id, const AntennaHealthMonitor* health) const {
+    const std::string& tag_id, const AntennaHealthMonitor* health,
+    const DriftCorrections* drift) const {
   std::vector<SensingResult> results(rounds.size());
   // One round per chunk: per-tag solves are the natural work quantum
   // (~ms each), and every chunk writes only its own pre-assigned result
@@ -144,7 +152,8 @@ std::vector<SensingResult> RfPrism::sense_batch(
         for (std::size_t i = begin; i < end; ++i) {
           results[i] = sense_with(rounds[i], tag_id, health,
                                   engine.workspace(slot), /*pool=*/nullptr,
-                                  &engine.geometry_cache());
+                                  &engine.geometry_cache(),
+                                  /*warm_hint=*/nullptr, drift);
         }
       });
   return results;
@@ -153,13 +162,14 @@ std::vector<SensingResult> RfPrism::sense_batch(
 std::vector<SensingResult> RfPrism::sense_batch(
     std::span<const RoundTrace> rounds, std::span<const std::string> tag_ids,
     SensingEngine& engine, const AntennaHealthMonitor* health,
-    std::span<const std::optional<Vec3>> warm_hints) const {
+    std::span<const std::optional<Vec3>> warm_hints,
+    const DriftCorrections* drift) const {
   require(tag_ids.empty() || tag_ids.size() == rounds.size(),
           "RfPrism::sense_batch: tag_ids must be empty or match rounds");
   require(warm_hints.empty() || warm_hints.size() == rounds.size(),
           "RfPrism::sense_batch: warm_hints must be empty or match rounds");
   if (tag_ids.empty() && warm_hints.empty()) {
-    return sense_batch(rounds, engine, {}, health);
+    return sense_batch(rounds, engine, {}, health, drift);
   }
   std::vector<SensingResult> results(rounds.size());
   engine.pool().parallel_for(
@@ -172,7 +182,7 @@ std::vector<SensingResult> RfPrism::sense_batch(
           results[i] = sense_with(
               rounds[i], tag_ids.empty() ? std::string{} : tag_ids[i], health,
               engine.workspace(slot), /*pool=*/nullptr,
-              &engine.geometry_cache(), hint);
+              &engine.geometry_cache(), hint, drift);
         }
       });
   return results;
@@ -183,11 +193,17 @@ SensingResult RfPrism::sense_with(const RoundTrace& round,
                                   const AntennaHealthMonitor* health,
                                   SolveWorkspace& ws, ThreadPool* pool,
                                   GridGeometryCache* cache,
-                                  const Vec3* warm_hint) const {
+                                  const Vec3* warm_hint,
+                                  const DriftCorrections* drift) const {
   SensingResult result;
   result.lines = fit_round(round, /*apply_reader_cal=*/true);
   const bool mode_3d = config_.disentangle.grid_nz > 1;
   const std::size_t min_antennas = mode_3d ? 4 : 3;
+  // Drift corrections only bite when the feature is enabled in config AND
+  // the caller's snapshot is warmed up; otherwise this path is bit-for-bit
+  // the drift-free pipeline.
+  const bool use_drift =
+      config_.disentangle.drift.enable && drift != nullptr && drift->active;
 
   // ---- Antenna-subset selection (degraded mode) -----------------------
   // Gate each port's *this-round* data: with the detector on, the §V-C
@@ -210,16 +226,37 @@ SensingResult RfPrism::sense_with(const RoundTrace& round,
       const bool quarantined = health != nullptr &&
                                antenna < health->n_antennas() &&
                                !health->healthy(antenna);
-      if (!gate[i]) result.unhealthy_antennas.push_back(antenna);
-      if (!gate[i] || quarantined) {
+      // Ports whose accumulated drift exceeds the correctable bound join
+      // the degraded subset path like gate failures: their lines are too
+      // far gone to trust even corrected.
+      const bool drift_dropped =
+          use_drift && antenna < drift->drop.size() && drift->drop[antenna];
+      if (!gate[i] || drift_dropped) {
+        result.unhealthy_antennas.push_back(antenna);
+      }
+      if (!gate[i] || drift_dropped || quarantined) {
         result.excluded_antennas.push_back(antenna);
-        quarantine_excluded |= quarantined && gate[i];
+        quarantine_excluded |= quarantined && gate[i] && !drift_dropped;
       } else {
         solve_lines.push_back(result.lines[i]);
       }
     }
   } else {
     solve_lines = result.lines;
+  }
+
+  // Subtract the estimator's per-antenna corrections from the lines the
+  // solver will see. result.lines stays *raw* — diagnostics and the drift
+  // estimator itself feed on the uncorrected fits (the integral loop's
+  // fixed point depends on it). rmse is untouched by a slope/intercept
+  // shift, so the error detector's gates behave identically.
+  if (use_drift) {
+    for (AntennaLine& line : solve_lines) {
+      if (line.antenna < drift->slope.size()) {
+        line.fit.slope -= drift->slope[line.antenna];
+        line.fit.intercept -= drift->intercept[line.antenna];
+      }
+    }
   }
 
   if (config_.enable_degraded_mode && solve_lines.size() < min_antennas) {

@@ -23,6 +23,10 @@ StreamingSensor::StreamingSensor(const RfPrism& prism, StreamingConfig config,
   if (config_.enable_health_monitor) {
     health_.emplace(prism_->config().geometry.n_antennas(), config_.health);
   }
+  if (prism_->config().disentangle.drift.enable) {
+    drift_.emplace(prism_->config().geometry.n_antennas(),
+                   prism_->config().disentangle.drift);
+  }
 }
 
 void StreamingSensor::evict_stalest_tag() {
@@ -256,15 +260,23 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
 
   // ---- Phase 2: sense + account -----------------------------------------
   const AntennaHealthMonitor* monitor = health_ ? &*health_ : nullptr;
+  // One drift-correction snapshot for the whole poll: every round sensed
+  // this poll sees the estimator state from the poll's start (same
+  // snapshot discipline as the health monitor — order-free, so the batch
+  // path stays bit-identical to the sequential path).
+  const DriftCorrections drift_snapshot =
+      drift_ ? drift_->corrections() : DriftCorrections{};
+  const DriftCorrections* drift_corr = drift_ ? &drift_snapshot : nullptr;
   std::vector<StreamedResult> out;
   out.reserve(ids.size());
 
   const auto sense_one = [&](std::size_t i) -> SensingResult {
     try {
       if (!hints.empty() && hints[i].has_value()) {
-        return prism_->sense_warm(rounds[i], ids[i], *hints[i], monitor);
+        return prism_->sense_warm(rounds[i], ids[i], *hints[i], monitor,
+                                  /*engine=*/nullptr, drift_corr);
       }
-      return prism_->sense(rounds[i], ids[i], monitor);
+      return prism_->sense(rounds[i], ids[i], monitor, drift_corr);
     } catch (const Error&) {
       // Structurally unsolvable assembly (cannot normally happen — push
       // validates geometry); account for it rather than poisoning poll.
@@ -318,6 +330,9 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
     if (health_) {
       health_->observe_round(emitted.result, config_.min_channels_per_antenna);
     }
+    if (drift_) {
+      drift_->observe(emitted.result, prism_->config().geometry);
+    }
     out.push_back(std::move(emitted));
   };
 
@@ -329,7 +344,8 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
     // sequential path for any thread count.
     try {
       std::vector<SensingResult> sensed =
-          prism_->sense_batch(rounds, ids, *engine_, monitor, hints);
+          prism_->sense_batch(rounds, ids, *engine_, monitor, hints,
+                              drift_corr);
       for (std::size_t i = 0; i < sensed.size(); ++i) {
         account(i, std::move(sensed[i]));
       }
@@ -394,6 +410,7 @@ void StreamingSensor::clear() {
   stats_ = {};
   high_water_s_ = 0.0;
   if (health_) health_->reset();
+  if (drift_) drift_->reset();
 }
 
 std::vector<TagRead> round_to_reads(const RoundTrace& round,

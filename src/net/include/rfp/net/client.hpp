@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -31,6 +32,23 @@ struct ClientConfig {
   /// Sleep between attempts, doubled each retry.
   double retry_backoff_s = 0.1;
   std::size_t max_payload = kDefaultMaxPayload;
+
+  // -- Request retry (sense / sense_raw / ping only) ---------------------
+  // Sensing requests are idempotent pure computation, so a transport
+  // fault mid-request (refused/reset connection, short read, timeout) is
+  // safe to answer with reconnect-and-resend. RemoteError — the server
+  // *answered*, with an error frame — is never retried, and the pipelined
+  // surface (send_sense/read_frame) is never retried either: only the
+  // caller knows which in-flight requests a resend would duplicate.
+
+  /// Total attempts per request (>= 1); 1 restores fail-fast behaviour.
+  int request_attempts = 3;
+  /// Sleep before each retry, doubled every time and capped below.
+  double request_backoff_s = 0.05;
+  double request_backoff_max_s = 1.0;
+  /// Overall wall-clock deadline across all attempts of one request,
+  /// including backoff sleeps; 0 = attempts alone bound the work.
+  double request_deadline_s = 0.0;
 };
 
 class Client {
@@ -42,7 +60,9 @@ class Client {
   Client& operator=(Client&&) = default;
 
   /// Round-trip one sensing request. Throws RemoteError if the server
-  /// answered with an error frame.
+  /// answered with an error frame. Transient transport failures are
+  /// retried with exponential backoff per ClientConfig::request_attempts
+  /// (reconnecting as needed); NetError means retries were exhausted.
   SensingResult sense(const RoundTrace& round, const std::string& tag_id = {});
 
   /// Same round trip, but returns the raw response *payload* bytes —
@@ -76,6 +96,20 @@ class Client {
  private:
   void send_frame(FrameType type, std::uint32_t seq,
                   std::span<const std::uint8_t> payload);
+
+  /// One fresh connection attempt (no retry loop); resets the decoder so
+  /// stale bytes from the previous connection cannot leak into the next
+  /// response. Throws NetError on failure.
+  void reconnect();
+
+  /// Run `op`, retrying transport failures (NetError) with exponential
+  /// backoff under the config's attempt/deadline bounds. RemoteError
+  /// passes straight through. Reconnects lazily before each attempt.
+  void run_with_retry(const std::function<void()>& op);
+
+  std::vector<std::uint8_t> sense_raw_once(const RoundTrace& round,
+                                           const std::string& tag_id);
+  void ping_once();
 
   ClientConfig config_;
   UniqueFd fd_;

@@ -56,6 +56,14 @@ struct ServerConfig {
   /// Seconds of inactivity (no frames, nothing pending) before a
   /// connection is closed; 0 disables.
   double idle_timeout_s = 60.0;
+  /// Seconds a connection may hold *unfinished work* — a partially
+  /// received frame, or unflushed response bytes the peer won't read —
+  /// without making progress before it is shed; 0 disables. This is what
+  /// stops a slow-loris (trickling header bytes keeps last_activity fresh
+  /// forever, so the idle timeout never fires) and reclaims write-blocked
+  /// connections, without ever touching a connection that is merely
+  /// waiting on its own in-flight solves.
+  double stall_timeout_s = 30.0;
   /// At shutdown, how long to keep trying to flush drained responses to
   /// peers that have stopped reading; 0 means don't wait for the flush.
   double drain_flush_timeout_s = 10.0;
@@ -75,6 +83,7 @@ struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_rejected = 0;     ///< over max_connections
   std::uint64_t connections_closed_idle = 0;
+  std::uint64_t connections_closed_stalled = 0;   ///< slow-loris / dead peers
   std::uint64_t connections_closed_protocol = 0;  ///< framing violations
   std::uint64_t frames_received = 0;
   std::uint64_t requests_completed = 0;
@@ -83,6 +92,14 @@ struct ServerStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t backpressure_pauses = 0;
   std::size_t connections_open = 0;
+
+  // -- Drift self-calibration (filled from the engine's estimator when
+  //    SensingEngine::enable_drift was called; all-zero otherwise) -------
+  std::uint64_t drift_rounds_observed = 0;
+  std::uint64_t drift_outliers_rejected = 0;
+  std::uint64_t drift_alarms_raised = 0;   ///< re-survey alarm edges
+  std::uint64_t drift_alarms_active = 0;   ///< ports currently latched
+  std::uint64_t drift_ports_dropped = 0;   ///< beyond the correctable bound
 };
 
 /// One rfpd instance: owns the listener, borrows the pipeline and engine.

@@ -1,5 +1,6 @@
 #include "rfp/net/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -73,8 +74,54 @@ std::uint32_t Client::send_sense(const RoundTrace& round,
   return seq;
 }
 
-std::vector<std::uint8_t> Client::sense_raw(const RoundTrace& round,
-                                            const std::string& tag_id) {
+void Client::reconnect() {
+  fd_.reset();
+  decoder_ = FrameDecoder(config_.max_payload);
+  std::string error = "no attempts made";
+  fd_ = tcp_connect(config_.host, config_.port, config_.connect_timeout_s,
+                    &error);
+  if (!fd_.valid()) {
+    throw NetError("reconnect to " + config_.host + ":" +
+                   std::to_string(config_.port) + " failed: " + error);
+  }
+}
+
+void Client::run_with_retry(const std::function<void()>& op) {
+  const int attempts = std::max(1, config_.request_attempts);
+  const auto started = std::chrono::steady_clock::now();
+  double backoff = std::max(0.0, config_.request_backoff_s);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (!fd_.valid()) reconnect();
+      op();
+      return;
+    } catch (const RemoteError&) {
+      // The server answered — the request was delivered and processed.
+      throw;
+    } catch (const NetError&) {
+      if (attempt + 1 >= attempts) throw;
+      if (config_.request_deadline_s > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count();
+        // Retry only when the budget also covers the backoff sleep.
+        if (elapsed + backoff >= config_.request_deadline_s) throw;
+      }
+      // Whatever partial state the wire is in, it cannot be resynced —
+      // resend on a fresh connection.
+      fd_.reset();
+      decoder_ = FrameDecoder(config_.max_payload);
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff = std::min(backoff * 2.0, config_.request_backoff_max_s);
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> Client::sense_raw_once(const RoundTrace& round,
+                                                 const std::string& tag_id) {
   const std::uint32_t seq = send_sense(round, tag_id);
   Frame frame = read_frame();
   if (frame.seq != seq) {
@@ -97,17 +144,27 @@ std::vector<std::uint8_t> Client::sense_raw(const RoundTrace& round,
   return std::move(frame.payload);
 }
 
+std::vector<std::uint8_t> Client::sense_raw(const RoundTrace& round,
+                                            const std::string& tag_id) {
+  std::vector<std::uint8_t> payload;
+  run_with_retry([&] { payload = sense_raw_once(round, tag_id); });
+  return payload;
+}
+
 SensingResult Client::sense(const RoundTrace& round,
                             const std::string& tag_id) {
-  const std::vector<std::uint8_t> payload = sense_raw(round, tag_id);
   SensingResult result;
-  if (!decode_sense_response(payload, result)) {
-    throw NetError("sense response payload did not parse");
-  }
+  run_with_retry([&] {
+    const std::vector<std::uint8_t> payload = sense_raw_once(round, tag_id);
+    if (!decode_sense_response(payload, result)) {
+      fd_.reset();
+      throw NetError("sense response payload did not parse");
+    }
+  });
   return result;
 }
 
-void Client::ping() {
+void Client::ping_once() {
   const std::uint32_t seq = next_seq_++;
   send_frame(FrameType::kPing, seq, {});
   const Frame frame = read_frame();
@@ -115,6 +172,10 @@ void Client::ping() {
     fd_.reset();
     throw NetError("ping was not answered with a matching pong");
   }
+}
+
+void Client::ping() {
+  run_with_retry([&] { ping_once(); });
 }
 
 }  // namespace rfp::net

@@ -57,6 +57,11 @@ struct Server::Connection {
   std::size_t in_flight = 0;  ///< accepted, response not yet emitted
 
   double last_activity = 0.0;
+  /// Last time the connection advanced real work: a complete frame
+  /// parsed, a response emitted, or outgoing bytes accepted by the
+  /// kernel. Unlike last_activity, trickled partial-frame bytes do NOT
+  /// refresh it — the basis of the stall (slow-loris) timeout.
+  double last_progress = 0.0;
   bool read_closed = false;       ///< peer EOF (or reading abandoned)
   bool close_after_flush = false; ///< close once `out` drains
   bool dead = false;              ///< hard socket error: drop now
@@ -74,6 +79,12 @@ struct Server::Connection {
   bool drained() const {
     return in_flight == 0 && ready.empty() && write_backlog() == 0 &&
            !has_pending_fatal;
+  }
+  /// Work is stuck on the *peer*: a partial frame it never finishes, or
+  /// response bytes it never reads. In-flight solves don't count — that
+  /// wait is the server's own latency, not the peer's misbehaviour.
+  bool peer_work_pending() const {
+    return decoder.buffered() > 0 || write_backlog() > 0;
   }
 };
 
@@ -140,8 +151,20 @@ void Server::wake() noexcept {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  if (engine_.drift_enabled()) {
+    const DriftStats drift = engine_.drift_stats();
+    out.drift_rounds_observed = drift.rounds_observed;
+    out.drift_outliers_rejected = drift.outliers_rejected;
+    out.drift_alarms_raised = drift.alarms_raised;
+    out.drift_alarms_active = drift.alarms_active;
+    out.drift_ports_dropped = drift.ports_dropped;
+  }
+  return out;
 }
 
 std::vector<ConnectionStats> Server::connection_stats() const {
@@ -204,14 +227,22 @@ void Server::poll_loop() {
     if (draining) {
       timeout_ms = static_cast<int>(
           std::clamp((drain_deadline - now) * 1e3, 0.0, 100.0));
-    } else if (config_.idle_timeout_s > 0.0 && !connections_.empty()) {
+    } else if (!connections_.empty()) {
       double next_deadline = 1e300;
       for (const auto& [id, conn] : connections_) {
-        next_deadline = std::min(
-            next_deadline, conn->last_activity + config_.idle_timeout_s);
+        if (config_.idle_timeout_s > 0.0) {
+          next_deadline = std::min(
+              next_deadline, conn->last_activity + config_.idle_timeout_s);
+        }
+        if (config_.stall_timeout_s > 0.0 && conn->peer_work_pending()) {
+          next_deadline = std::min(
+              next_deadline, conn->last_progress + config_.stall_timeout_s);
+        }
       }
-      timeout_ms = static_cast<int>(
-          std::clamp((next_deadline - now) * 1e3 + 1.0, 0.0, 60e3));
+      if (next_deadline < 1e300) {
+        timeout_ms = static_cast<int>(
+            std::clamp((next_deadline - now) * 1e3 + 1.0, 0.0, 60e3));
+      }
     }
 
     int rc;
@@ -301,6 +332,19 @@ void Server::poll_loop() {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.connections_closed_idle;
         to_close.push_back(id);
+        continue;
+      }
+      // Stall shed: the peer holds unfinished work (partial frame or an
+      // unread response backlog) and has made no progress for the whole
+      // stall window. Ordered responses of *other* connections are
+      // untouched — only this connection is dropped, and its in-flight
+      // completions are discarded harmlessly by drain_completions.
+      if (!stopping && config_.stall_timeout_s > 0.0 &&
+          conn.peer_work_pending() &&
+          service_now - conn.last_progress > config_.stall_timeout_s) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections_closed_stalled;
+        to_close.push_back(id);
       }
     }
     for (std::uint64_t id : to_close) close_connection(id);
@@ -338,6 +382,7 @@ void Server::accept_ready() {
     conn->id = next_connection_id_++;
     conn->fd = UniqueFd(fd);
     conn->last_activity = now_s();
+    conn->last_progress = conn->last_activity;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.connections_accepted;
@@ -404,6 +449,7 @@ void Server::parse_frames(Connection& conn) {
 
 void Server::handle_frame(Connection& conn, Frame&& frame) {
   conn.last_activity = now_s();
+  conn.last_progress = conn.last_activity;
   ++conn.stats.frames_received;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -461,8 +507,17 @@ void Server::submit_solve(Connection& conn, std::uint32_t seq,
     bool failed = false;
     std::vector<std::uint8_t> bytes;
     try {
-      const SensingResult result =
-          prism_.sense(round, engine_, tag_id, health_);
+      SensingResult result;
+      if (engine_.drift_enabled()) {
+        // Snapshot corrections before the solve, feed the result back
+        // after: the engine is the deployment-level estimator owner, so
+        // every connection's rounds advance one shared drift estimate.
+        const DriftCorrections corrections = engine_.drift_corrections();
+        result = prism_.sense(round, engine_, tag_id, health_, &corrections);
+        engine_.observe_drift(result, prism_.config().geometry);
+      } else {
+        result = prism_.sense(round, engine_, tag_id, health_);
+      }
       bytes = encode_frame(FrameType::kSenseResponse, seq,
                            encode_sense_response(result));
     } catch (const InvalidArgument& e) {
@@ -531,6 +586,7 @@ void Server::emit_ready(Connection& conn) {
     ++conn.next_emit;
     --conn.in_flight;
     conn.last_activity = now_s();
+    conn.last_progress = conn.last_activity;
   }
 }
 
@@ -541,6 +597,7 @@ bool Server::write_ready(Connection& conn) {
     if (r.status == IoStatus::kOk) {
       conn.out_pos += r.bytes;
       conn.stats.bytes_sent += r.bytes;
+      conn.last_progress = now_s();
       std::lock_guard<std::mutex> lock(stats_mutex_);
       stats_.bytes_sent += r.bytes;
       continue;

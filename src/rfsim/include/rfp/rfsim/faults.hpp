@@ -66,6 +66,31 @@ struct FaultProfile {
   double restart_prob = 0.0;
   double restart_dead_time_s = 2.0;
 
+  // -- Slow calibration drift (per-antenna, deterministic in trial) -----
+  /// Deployment time between consecutive trials [s]: drift for trial n is
+  /// evaluated at T = n * drift_round_period_s (constant within a round —
+  /// LO aging and cable temperature move far slower than a 10 s hop
+  /// round). 0 disables every drift term below.
+  double drift_round_period_s = 0.0;
+  /// LO slope-channel drift rate [rad/Hz per second of deployment time]
+  /// (linear component; per-antenna direction/scale factors are drawn
+  /// deterministically from `seed`, so the drift is differential across
+  /// ports rather than common-mode, which the solver would absorb).
+  double slope_drift_rate = 0.0;
+  /// Per-trial random-walk step std-dev for the slope channel [rad/Hz].
+  double slope_drift_walk = 0.0;
+  /// Cable-delay intercept-channel drift rate [rad per second].
+  double intercept_drift_rate = 0.0;
+  /// Per-trial random-walk step std-dev for the intercept channel [rad].
+  double intercept_drift_walk = 0.0;
+  /// Ports that drift; empty = every port drifts (each with its own
+  /// deterministic factor).
+  std::vector<std::size_t> drift_antennas;
+
+  /// True when any drift term is active (period and at least one rate or
+  /// walk magnitude non-zero).
+  bool has_drift() const;
+
   // -- Stream transport faults (apply_stream only) ----------------------
   /// Per-read probability the report is delivered twice (LLRP redelivery).
   double duplicate_prob = 0.0;
@@ -87,6 +112,7 @@ struct FaultSummary {
   std::size_t dwells_dropped = 0;
   std::size_t reads_dropped = 0;
   std::size_t reads_perturbed = 0;  ///< burst-noise-affected reads
+  std::size_t reads_drifted = 0;    ///< reads offset by calibration drift
   std::size_t reads_duplicated = 0;
   std::size_t reads_reordered = 0;
 };
@@ -116,6 +142,14 @@ class FaultInjector {
   /// plus transport faults (duplicates, timestamp jitter, reordering).
   std::vector<StreamRead> apply_stream(std::span<const StreamRead> reads,
                                        std::uint64_t trial) const;
+
+  /// Ground-truth calibration-drift offsets for `trial`: the per-antenna
+  /// slope [rad/Hz] and intercept [rad] offsets every surviving read of
+  /// that trial is shifted by (phase += dk * f + db). Zero-filled when the
+  /// profile has no drift. Deterministic in (profile.seed, trial) — the
+  /// hook drift-estimator tests and benches compare corrections against.
+  void drift_offsets(std::size_t n_antennas, std::uint64_t trial,
+                     std::vector<double>& dk, std::vector<double>& db) const;
 
  private:
   FaultProfile profile_;

@@ -15,6 +15,10 @@ namespace {
 
 constexpr std::uint64_t kRoundStream = 0x726E64;   // "rnd"
 constexpr std::uint64_t kStreamStream = 0x737472;  // "str"
+constexpr std::uint64_t kDriftDirStream = 0x646472;   // "ddr"
+constexpr std::uint64_t kDriftWalkStream = 0x64776B;  // "dwk"
+constexpr std::uint64_t kDriftSlope = 0x6B;      // 'k'
+constexpr std::uint64_t kDriftIntercept = 0x62;  // 'b'
 
 void require_prob(double p, const char* what) {
   require(p >= 0.0 && p <= 1.0, std::string("FaultInjector: ") + what +
@@ -69,7 +73,95 @@ RoundFaults draw_round_faults(const FaultProfile& profile,
   return faults;
 }
 
+/// Deterministic per-antenna drift factor: direction (random sign) and
+/// magnitude in [0.35, 1], drawn from the profile seed alone so every
+/// trial sees the same factor. The random sign is what makes injected
+/// drift *differential* across ports — a common-mode component would be
+/// absorbed into the solved kt/bt and damage nothing.
+double drift_factor(std::uint64_t seed, std::uint64_t channel,
+                    std::size_t antenna) {
+  Rng rng(mix_seed(seed, mix_seed(kDriftDirStream, channel, antenna)));
+  const double mag = rng.uniform(0.35, 1.0);
+  return rng.bernoulli(0.5) ? mag : -mag;
+}
+
+/// Random-walk displacement after `trial` steps: the sum of independent
+/// unit gaussians, each seeded by its own (seed, channel, antenna, step)
+/// key. O(trial) per call, but deterministic in (seed, trial) regardless
+/// of which trials were faulted before — the injector's contract.
+double drift_walk(std::uint64_t seed, std::uint64_t channel,
+                  std::size_t antenna, std::uint64_t trial) {
+  double sum = 0.0;
+  for (std::uint64_t step = 1; step <= trial; ++step) {
+    Rng rng(mix_seed(seed, mix_seed(kDriftWalkStream, channel, antenna), step));
+    sum += rng.gaussian(0.0, 1.0);
+  }
+  return sum;
+}
+
+/// Per-antenna drift offsets at one trial (empty profile -> all zeros).
+struct DriftOffsets {
+  std::vector<double> dk;  ///< slope-channel offsets [rad/Hz]
+  std::vector<double> db;  ///< intercept-channel offsets [rad]
+  bool any = false;
+
+  bool active(std::size_t antenna) const {
+    return any && antenna < dk.size() &&
+           (dk[antenna] != 0.0 || db[antenna] != 0.0);
+  }
+};
+
+DriftOffsets draw_drift(const FaultProfile& profile, std::size_t n_antennas,
+                        std::uint64_t trial) {
+  DriftOffsets out;
+  out.dk.assign(n_antennas, 0.0);
+  out.db.assign(n_antennas, 0.0);
+  if (!profile.has_drift()) return out;
+  const double t = static_cast<double>(trial) * profile.drift_round_period_s;
+  for (std::size_t ai = 0; ai < n_antennas; ++ai) {
+    if (!profile.drift_antennas.empty() &&
+        !contains(profile.drift_antennas, ai)) {
+      continue;
+    }
+    double dk = 0.0, db = 0.0;
+    if (profile.slope_drift_rate != 0.0) {
+      dk += drift_factor(profile.seed, kDriftSlope, ai) *
+            profile.slope_drift_rate * t;
+    }
+    if (profile.slope_drift_walk != 0.0) {
+      dk += profile.slope_drift_walk *
+            drift_walk(profile.seed, kDriftSlope, ai, trial);
+    }
+    if (profile.intercept_drift_rate != 0.0) {
+      db += drift_factor(profile.seed, kDriftIntercept, ai) *
+            profile.intercept_drift_rate * t;
+    }
+    if (profile.intercept_drift_walk != 0.0) {
+      db += profile.intercept_drift_walk *
+            drift_walk(profile.seed, kDriftIntercept, ai, trial);
+    }
+    out.dk[ai] = dk;
+    out.db[ai] = db;
+    out.any = out.any || dk != 0.0 || db != 0.0;
+  }
+  return out;
+}
+
 }  // namespace
+
+bool FaultProfile::has_drift() const {
+  return drift_round_period_s > 0.0 &&
+         (slope_drift_rate != 0.0 || slope_drift_walk != 0.0 ||
+          intercept_drift_rate != 0.0 || intercept_drift_walk != 0.0);
+}
+
+void FaultInjector::drift_offsets(std::size_t n_antennas, std::uint64_t trial,
+                                  std::vector<double>& dk,
+                                  std::vector<double>& db) const {
+  DriftOffsets offsets = draw_drift(profile_, n_antennas, trial);
+  dk = std::move(offsets.dk);
+  db = std::move(offsets.db);
+}
 
 FaultProfile FaultProfile::scaled(double intensity, std::uint64_t seed) {
   require(intensity >= 0.0 && intensity <= 1.0,
@@ -105,13 +197,21 @@ FaultInjector::FaultInjector(FaultProfile profile)
   require(profile_.burst_phase_noise >= 0.0 &&
               profile_.timestamp_jitter_s >= 0.0,
           "FaultInjector: noise magnitudes must be non-negative");
+  require(profile_.drift_round_period_s >= 0.0,
+          "FaultInjector: drift_round_period_s must be non-negative");
+  require(profile_.slope_drift_walk >= 0.0 &&
+              profile_.intercept_drift_walk >= 0.0,
+          "FaultInjector: drift walk magnitudes must be non-negative");
+  require(std::isfinite(profile_.slope_drift_rate) &&
+              std::isfinite(profile_.intercept_drift_rate),
+          "FaultInjector: drift rates must be finite");
 }
 
 namespace {
 
 RoundTrace apply_faulted(const FaultProfile& profile, const RoundTrace& round,
-                         const RoundFaults& faults, Rng& rng,
-                         FaultSummary& summary) {
+                         const RoundFaults& faults, const DriftOffsets& drift,
+                         Rng& rng, FaultSummary& summary) {
   RoundTrace out;
   out.n_antennas = round.n_antennas;
   out.duration_s = round.duration_s;
@@ -143,6 +243,11 @@ RoundTrace apply_faulted(const FaultProfile& profile, const RoundTrace& round,
       }
       double phase = dwell.phases[r];
       double rssi = r < dwell.rssi_dbm.size() ? dwell.rssi_dbm[r] : 0.0;
+      if (drift.active(dwell.antenna)) {
+        phase = wrap_to_2pi(phase + drift.dk[dwell.antenna] * dwell.frequency_hz +
+                            drift.db[dwell.antenna]);
+        ++summary.reads_drifted;
+      }
       if (faults.in_burst(dwell.start_time_s)) {
         phase = wrap_to_2pi(phase +
                             rng.gaussian(0.0, profile.burst_phase_noise));
@@ -174,7 +279,8 @@ RoundTrace FaultInjector::apply(const RoundTrace& round,
   Rng rng(mix_seed(profile_.seed, kRoundStream, trial));
   const RoundFaults faults =
       draw_round_faults(profile_, round.n_antennas, round.duration_s, rng);
-  return apply_faulted(profile_, round, faults, rng, summary_);
+  const DriftOffsets drift = draw_drift(profile_, round.n_antennas, trial);
+  return apply_faulted(profile_, round, faults, drift, rng, summary_);
 }
 
 std::vector<RoundTrace> FaultInjector::apply(std::span<const RoundTrace> rounds,
@@ -191,10 +297,14 @@ std::vector<RoundTrace> FaultInjector::apply(std::span<const RoundTrace> rounds,
   Rng round_rng(mix_seed(profile_.seed, kRoundStream, trial));
   const RoundFaults faults = draw_round_faults(
       profile_, rounds[0].n_antennas, rounds[0].duration_s, round_rng);
+  // Drift is a deployment-level state (reader hardware), shared by every
+  // tag of the inventory just like the round-level faults.
+  const DriftOffsets drift =
+      draw_drift(profile_, rounds[0].n_antennas, trial);
   for (std::size_t t = 0; t < rounds.size(); ++t) {
     Rng tag_rng(mix_seed(profile_.seed, mix_seed(trial, 0x746167, t)));
     out.push_back(
-        apply_faulted(profile_, rounds[t], faults, tag_rng, summary_));
+        apply_faulted(profile_, rounds[t], faults, drift, tag_rng, summary_));
   }
   return out;
 }
@@ -214,6 +324,7 @@ std::vector<StreamRead> FaultInjector::apply_stream(
   }
   const RoundFaults faults =
       draw_round_faults(profile_, max_antenna + 1, t_hi - t_lo, rng);
+  const DriftOffsets drift = draw_drift(profile_, max_antenna + 1, trial);
 
   // Dwell-level decisions must be consistent across the reads of one
   // (antenna, channel) segment, so they are drawn once per key.
@@ -241,6 +352,11 @@ std::vector<StreamRead> FaultInjector::apply_stream(
       continue;
     }
     StreamRead kept = read;
+    if (drift.active(kept.antenna)) {
+      kept.phase = wrap_to_2pi(kept.phase + drift.dk[kept.antenna] * kept.frequency_hz +
+                               drift.db[kept.antenna]);
+      ++summary_.reads_drifted;
+    }
     if (faults.in_burst(t)) {
       kept.phase =
           wrap_to_2pi(kept.phase + rng.gaussian(0.0, profile_.burst_phase_noise));

@@ -330,6 +330,9 @@ TEST(NetServer, RejectsConnectionsOverTheCap) {
 
   ClientConfig second_config = client_config(server.port());
   second_config.connect_attempts = 1;
+  // Transport retries would reconnect and be rejected again — keep the
+  // rejection count at exactly one for the assertion below.
+  second_config.request_attempts = 1;
   second_config.io_timeout_s = 5.0;
   // The TCP connect may succeed before the server closes the excess
   // socket, so the rejection can surface at connect OR first use.
@@ -342,6 +345,195 @@ TEST(NetServer, RejectsConnectionsOverTheCap) {
 
   server.stop();
   EXPECT_EQ(server.stats().connections_rejected, 1u);
+}
+
+TEST(NetServer, ClientRetriesTransportFaultsTransparently) {
+  const Testbed& bed = shared_bed();
+  const std::vector<RoundTrace> corpus = make_corpus(bed, 1, 0);
+
+  SensingEngine engine(1);
+  Server server(bed.prism(), engine);
+  server.start();
+
+  ClientConfig config = client_config(server.port());
+  config.request_attempts = 3;
+  config.request_backoff_s = 0.01;
+  Client client(config);
+  client.ping();
+
+  // Poison the connection: framing garbage makes the server answer with a
+  // fatal error frame (seq 0) and close. The next sense() rides the retry
+  // path — the first attempt fails on the poisoned connection (seq
+  // mismatch, EOF, or send failure, depending on timing), the retry
+  // reconnects and resends on a fresh connection.
+  const std::vector<std::uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF,
+                                             0xFF, 0xFF, 0xFF, 0xFF};
+  client.send_bytes(garbage);
+  const SensingResult result = client.sense(corpus[0], bed.tag_id());
+  EXPECT_TRUE(result.valid);
+
+  // An explicitly closed client reconnects lazily on the next request.
+  client.close();
+  EXPECT_FALSE(client.connected());
+  EXPECT_TRUE(client.sense(corpus[0], bed.tag_id()).valid);
+  EXPECT_TRUE(client.connected());
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_closed_protocol, 1u);
+  EXPECT_GE(stats.connections_accepted, 3u);
+}
+
+TEST(NetServer, RemoteErrorIsNeverRetried) {
+  const Testbed& bed = shared_bed();
+  const std::vector<RoundTrace> corpus = make_corpus(bed, 1, 0);
+
+  SensingEngine engine(1);
+  Server server(bed.prism(), engine);
+  server.start();
+
+  ClientConfig config = client_config(server.port());
+  config.request_attempts = 3;
+  config.request_backoff_s = 0.01;
+  Client client(config);
+
+  // A junk payload framed as the client's *own next seq* (1): the server
+  // answers it with an error frame and keeps the connection, so the real
+  // sense() request that follows reads a matching-seq error frame —
+  // RemoteError. The server *answered*, so the retry loop must pass it
+  // straight through instead of resending.
+  const std::vector<std::uint8_t> junk = {9, 9, 9};
+  client.send_bytes(net::encode_frame(FrameType::kSenseRequest, 1, junk));
+  EXPECT_THROW(client.sense(corpus[0], bed.tag_id()), RemoteError);
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  // Exactly two frames ever hit the wire: the junk request and ONE copy
+  // of the real request. A retried RemoteError would have sent more.
+  EXPECT_EQ(stats.frames_received, 2u);
+  EXPECT_EQ(stats.requests_failed, 1u);
+}
+
+TEST(NetServer, RetriesExhaustedSurfaceAsNetError) {
+  const Testbed& bed = shared_bed();
+  SensingEngine engine(1);
+  Server server(bed.prism(), engine);
+  server.start();
+
+  ClientConfig config = client_config(server.port());
+  config.request_attempts = 3;
+  config.request_backoff_s = 0.01;
+  config.connect_timeout_s = 1.0;
+  Client client(config);
+  client.ping();
+
+  // Once the server is gone for good, every attempt fails — the first on
+  // the dead connection, the reconnects on the closed port — and after
+  // request_attempts tries the NetError surfaces to the caller.
+  server.stop();
+  EXPECT_THROW(client.ping(), NetError);
+}
+
+TEST(NetServer, StalledConnectionIsShedWithoutDisturbingOthers) {
+  const Testbed& bed = shared_bed();
+  const std::vector<RoundTrace> corpus = make_corpus(bed, 2, 0);
+
+  SensingEngine engine(2);
+  ServerConfig config;
+  config.stall_timeout_s = 0.2;
+  config.idle_timeout_s = 5.0;
+  Server server(bed.prism(), engine, config);
+  server.start();
+
+  Client healthy(client_config(server.port()));
+  ClientConfig loris_config = client_config(server.port());
+  loris_config.request_attempts = 1;  // observe the shed, don't mask it
+  Client loris(loris_config);
+
+  // The slow-loris shape: half a frame, then a one-byte trickle. Every
+  // trickled byte refreshes the *idle* timer, but none completes a frame,
+  // so the connection makes no protocol progress and the stall timer
+  // fires at last_progress + stall_timeout_s.
+  const std::vector<std::uint8_t> request =
+      net::encode_frame(FrameType::kSenseRequest, 1,
+                        net::encode_sense_request(bed.tag_id(), corpus[0]));
+  loris.send_bytes({request.data(), request.size() / 2});
+
+  // Meanwhile a healthy pipelined client is serviced normally.
+  std::vector<std::uint32_t> seqs;
+  for (std::size_t k = 0; k < 4; ++k) {
+    seqs.push_back(healthy.send_sense(corpus[k % corpus.size()],
+                                      bed.tag_id()));
+  }
+
+  std::size_t offset = request.size() / 2;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool shed = false;
+  while (!shed) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "stalled connection was never shed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    try {
+      if (offset < request.size()) {
+        loris.send_bytes({request.data() + offset, 1});
+        ++offset;
+      }
+    } catch (const NetError&) {
+      shed = true;  // the send saw the close first
+    }
+    if (server.stats().connections_closed_stalled > 0) shed = true;
+  }
+
+  // The loris connection is gone; the healthy one never noticed — its
+  // responses arrive complete and in request order.
+  EXPECT_THROW(loris.read_frame(), NetError);
+  for (std::size_t k = 0; k < seqs.size(); ++k) {
+    const Frame frame = healthy.read_frame();
+    ASSERT_EQ(frame.type, FrameType::kSenseResponse) << "response " << k;
+    EXPECT_EQ(frame.seq, seqs[k]) << "response " << k;
+  }
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_closed_stalled, 1u);
+  EXPECT_EQ(stats.connections_closed_idle, 0u);
+  EXPECT_EQ(stats.requests_completed, seqs.size());
+}
+
+TEST(NetServer, DriftEnabledServerObservesAndReportsStats) {
+  const Testbed& bed = shared_bed();
+
+  RfPrismConfig prism_config = bed.prism().config();
+  prism_config.disentangle.drift.enable = true;
+  const RfPrism prism = bed.make_pipeline_variant(std::move(prism_config));
+
+  SensingEngine engine(2);
+  engine.enable_drift(prism.config().geometry.n_antennas(),
+                      prism.config().disentangle.drift);
+
+  Server server(prism, engine);
+  server.start();
+
+  // Clean rounds from a static tag: the estimator warms up, corrections
+  // stay tiny, and no alarm ever fires.
+  const TagState state = bed.tag_state({0.8, 1.2}, 0.5, "glass");
+  Client client(client_config(server.port()));
+  constexpr std::size_t kRounds = 12;
+  for (std::size_t k = 0; k < kRounds; ++k) {
+    const SensingResult result =
+        client.sense(bed.collect(state, 8000 + k), bed.tag_id());
+    EXPECT_TRUE(result.valid) << "round " << k;
+  }
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_completed, kRounds);
+  EXPECT_EQ(stats.drift_rounds_observed, kRounds);
+  EXPECT_EQ(stats.drift_alarms_raised, 0u);
+  EXPECT_EQ(stats.drift_alarms_active, 0u);
+  EXPECT_EQ(stats.drift_ports_dropped, 0u);
+  EXPECT_TRUE(engine.drift_corrections().active);  // past warm-up
 }
 
 TEST(NetServer, StartStopWithoutTrafficIsClean) {

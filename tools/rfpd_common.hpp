@@ -32,6 +32,7 @@ struct DaemonOptions {
   bool pyramid = false;           ///< coarse-to-fine Stage-A search
   bool uncached = false;          ///< disable the geometry cache
   bool scalar = false;            ///< scalar factored ranking (no SIMD)
+  bool drift = false;             ///< online drift self-calibration
 };
 
 namespace detail {
@@ -62,9 +63,14 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   if (options.scalar) {
     prism_config.disentangle.rank_kernel = RankKernel::kFactoredScalar;
   }
+  prism_config.disentangle.drift.enable = options.drift;
   const RfPrism prism = bed.make_pipeline_variant(std::move(prism_config));
 
   SensingEngine engine(options.threads);
+  if (options.drift) {
+    engine.enable_drift(prism.config().geometry.n_antennas(),
+                        prism.config().disentangle.drift);
+  }
 
   net::ServerConfig server_config;
   server_config.bind_address = options.bind;
@@ -85,6 +91,9 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
               options.uncached ? "uncached" : "cached",
               options.pyramid ? "+pyramid" : "",
               options.scalar ? "+scalar" : "");
+  if (options.drift) {
+    std::printf("%s: drift self-calibration enabled\n", name);
+  }
   std::printf("%s: listening on %s:%u\n", name, options.bind.c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
@@ -109,6 +118,15 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   std::printf("  bytes        in %llu  out %llu\n",
               static_cast<unsigned long long>(stats.bytes_received),
               static_cast<unsigned long long>(stats.bytes_sent));
+  if (options.drift) {
+    std::printf("  drift        rounds %llu  outliers %llu  alarms %llu"
+                "  active %llu  dropped-ports %llu\n",
+                static_cast<unsigned long long>(stats.drift_rounds_observed),
+                static_cast<unsigned long long>(stats.drift_outliers_rejected),
+                static_cast<unsigned long long>(stats.drift_alarms_raised),
+                static_cast<unsigned long long>(stats.drift_alarms_active),
+                static_cast<unsigned long long>(stats.drift_ports_dropped));
+  }
   return 0;
 }
 

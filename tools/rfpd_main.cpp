@@ -10,7 +10,7 @@
 ///   rfpd [--port N] [--bind ADDR] [--threads N] [--seed S]
 ///        [--antennas N] [--multipath] [--idle-timeout SEC]
 ///        [--max-conns N] [--max-pending N] [--pyramid] [--uncached]
-///        [--scalar]
+///        [--scalar] [--drift]
 ///
 /// --port 0 binds an ephemeral port; the actual port is printed on the
 /// "listening on" line (scripts parse it there). SIGINT/SIGTERM trigger
@@ -32,7 +32,7 @@ int usage() {
                "            [--seed S] [--antennas N] [--multipath]\n"
                "            [--idle-timeout SEC] [--max-conns N]\n"
                "            [--max-pending N] [--pyramid] [--uncached]\n"
-               "            [--scalar]\n");
+               "            [--scalar] [--drift]\n");
   return 2;
 }
 
@@ -74,6 +74,8 @@ int main(int argc, char** argv) {
         options.uncached = true;
       } else if (arg == "--scalar") {
         options.scalar = true;
+      } else if (arg == "--drift") {
+        options.drift = true;
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         return usage();

@@ -65,14 +65,14 @@ int usage() {
                "  rfprism materials\n"
                "  rfprism stream [--rounds N] [--fault-intensity X]\n"
                "                 [--dead PORT] [--antennas N] [--seed S]\n"
-               "                 [--warm]\n"
+               "                 [--warm] [--drift]\n"
                "  rfprism batch [--rounds N] [--threads N] [--material NAME|all]\n"
                "                [--multipath] [--seed S] [--verify]\n"
                "                [--pyramid] [--uncached] [--scalar]\n"
                "  rfprism serve [--port N] [--bind ADDR] [--threads N]\n"
                "                [--seed S] [--antennas N] [--multipath]\n"
                "                [--idle-timeout SEC] [--max-conns N]\n"
-               "                [--pyramid] [--uncached] [--scalar]\n"
+               "                [--pyramid] [--uncached] [--scalar] [--drift]\n"
                "  rfprism request [--host H] [--port N] [--trace FILE]\n"
                "                  [--trial K] [--seed S] [--antennas N]\n"
                "                  [--multipath] [--material NAME] [--tag ID]\n"
@@ -247,7 +247,8 @@ struct StreamOptions {
   std::optional<std::size_t> dead_port;
   std::size_t antennas = 4;
   std::uint64_t seed = 42;
-  bool warm = false;  ///< track-seeded warm-start solves
+  bool warm = false;   ///< track-seeded warm-start solves
+  bool drift = false;  ///< inject LO drift + run online self-calibration
 };
 
 int run_stream(const StreamOptions& options) {
@@ -262,11 +263,32 @@ int run_stream(const StreamOptions& options) {
   Testbed bed(config);
   StreamingConfig streaming_config;
   streaming_config.enable_warm_start = options.warm;
-  StreamingSensor sensor(bed.prism(), streaming_config);
+
+  // With --drift the sensing pipeline runs its online self-calibration
+  // loop (the StreamingSensor owns the estimator) against injected
+  // per-antenna LO drift.
+  const RfPrism* prism = &bed.prism();
+  std::optional<RfPrism> drift_prism;
+  if (options.drift) {
+    RfPrismConfig prism_config = bed.prism().config();
+    prism_config.disentangle.drift.enable = true;
+    drift_prism.emplace(bed.make_pipeline_variant(std::move(prism_config)));
+    prism = &*drift_prism;
+  }
+  StreamingSensor sensor(*prism, streaming_config);
 
   FaultProfile profile = FaultProfile::scaled(options.intensity,
                                               mix_seed(options.seed, 0xFA17));
   if (options.dead_port) profile.dead_antennas.push_back(*options.dead_port);
+  if (options.drift) {
+    // Slow deterministic per-antenna drift: ~10 s of deployment time per
+    // trial. Rates sized so the accumulated differential offset is large
+    // enough to bias poses (and trip the intercept re-survey alarm over a
+    // default-length run) without exceeding the correctable bound.
+    profile.drift_round_period_s = 10.0;
+    profile.slope_drift_rate = 1.5e-13;
+    profile.intercept_drift_rate = 1e-5;
+  }
   const FaultInjector injector(profile);
 
   // A static tag streamed round after round through a faulty site.
@@ -338,6 +360,33 @@ int run_stream(const StreamOptions& options) {
                   a, port.quarantined ? "QUARANTINED" : "healthy",
                   port.ewma_rmse, port.ewma_read_rate,
                   port.ewma_exclusion_rate, port.rounds_observed);
+    }
+  }
+
+  if (const DriftEstimator* drift = sensor.drift()) {
+    const DriftStats drift_stats = drift->stats();
+    std::printf("\ndrift self-calibration\n");
+    std::printf("  rounds observed    %llu (skipped %llu)\n",
+                static_cast<unsigned long long>(drift_stats.rounds_observed),
+                static_cast<unsigned long long>(drift_stats.rounds_skipped));
+    std::printf("  updates            %llu (outliers rejected %llu)\n",
+                static_cast<unsigned long long>(drift_stats.updates_applied),
+                static_cast<unsigned long long>(
+                    drift_stats.outliers_rejected));
+    std::printf("  corrections        %s\n",
+                drift_stats.warmed_up ? "active" : "warming up");
+    for (std::size_t a = 0; a < drift->n_antennas(); ++a) {
+      const AntennaDriftState& st = drift->state()[a];
+      std::printf("  port %zu  slope %+.3e rad/Hz  intercept %+.3f rad  "
+                  "updates %llu%s\n",
+                  a, st.slope, st.intercept,
+                  static_cast<unsigned long long>(st.updates),
+                  st.alarmed ? "  RE-SURVEY" : "");
+    }
+    for (const ReSurveyAlarm& alarm : drift->alarms()) {
+      std::printf("  ALARM port %zu: re-survey recommended "
+                  "(slope %+.3e rad/Hz, intercept %+.3f rad)\n",
+                  alarm.antenna, alarm.slope_drift, alarm.intercept_drift);
     }
   }
   return emitted_total > 0 ? 0 : 1;
@@ -617,6 +666,8 @@ int main(int argc, char** argv) {
           options.seed = std::stoull(next());
         } else if (arg == "--warm") {
           options.warm = true;
+        } else if (arg == "--drift") {
+          options.drift = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
@@ -740,6 +791,8 @@ int main(int argc, char** argv) {
           options.uncached = true;
         } else if (arg == "--scalar") {
           options.scalar = true;
+        } else if (arg == "--drift") {
+          options.drift = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
