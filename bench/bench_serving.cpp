@@ -1,22 +1,30 @@
-/// Serving-layer throughput: client count x pipeline depth sweep over a
+/// Serving-layer throughput: connection x tenant x reactor sweeps over a
 /// loopback rfp::net::Server.
 ///
-/// An in-process server (SensingEngine on the hardware thread count)
-/// serves a fixed corpus of simulated hop rounds to N concurrent client
-/// connections. Each client pipelines `depth` requests per window and
-/// reads the window's responses back before sending the next, so depth 1
-/// is classic request/response and larger depths amortize the wire
-/// round-trip the way a streaming deployment would. Per cell the bench
-/// reports sustained requests/sec and the p50/p99 window latency, plus a
-/// closing JSON block (BENCH_serving.json in CI) for trending.
+/// Two workloads, one JSON stream (BENCH_serving.json in CI):
 ///
-/// Every response is checked byte-for-byte against the locally encoded
-/// direct-path result, so a wire-determinism regression fails the bench
-/// before it skews a number.
+///   solve — N concurrent client connections pipeline `depth` sense
+///   requests per window against a 2-reactor server; with tenants > 1
+///   each connection opens a wire-v2 session shipping its own surveyed
+///   geometry + calibration, so the sweep exercises the deployment
+///   registry on the hot path. Every response is checked byte-for-byte
+///   against the locally grafted single-tenant pipeline, so a
+///   wire-determinism regression fails the bench before it skews a
+///   number.
+///
+///   wire — 8 connections blast batched ping frames at servers running
+///   1, 2, and 4 reactors. Pings are answered inline on the reactor
+///   thread (no engine hand-off), so this isolates front-end scaling:
+///   CI gates 4-reactor throughput >= 2x single-reactor on this
+///   workload (skipped on < 4 cores, where wall-clock parallelism is
+///   meaningless — the `cores` field records the machine).
+///
+/// Cells report sustained requests/sec plus p50/p99 window latency.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +46,9 @@ double seconds_since(Clock::time_point t0) {
 }
 
 struct Cell {
+  const char* mode = "solve";
+  std::size_t reactors = 0;
+  std::size_t tenants = 0;
   std::size_t clients = 0;
   std::size_t depth = 0;
   double requests_per_s = 0.0;
@@ -51,6 +62,54 @@ struct ClientOutcome {
   std::string error;  // empty on success
 };
 
+/// One deployment a client can ship over the wire: its testbed, a hop
+/// corpus, and the expected response bytes from the grafted direct path
+/// (server solver settings + this deployment's geometry/calibration —
+/// exactly what the registry builds for a session tenant).
+struct Deployment {
+  std::unique_ptr<Testbed> bed;
+  std::vector<RoundTrace> corpus;
+  std::vector<std::vector<std::uint8_t>> expected;
+};
+
+Deployment make_deployment(const RfPrism* server_prism, std::uint64_t seed,
+                           std::size_t corpus_size) {
+  Deployment dep;
+  TestbedConfig config;
+  config.seed = seed;
+  dep.bed = std::make_unique<Testbed>(config);
+
+  const auto materials = paper_materials();
+  Rng rng(mix_seed(seed, 0x5E59));
+  dep.corpus.reserve(corpus_size);
+  for (std::size_t k = 0; k < corpus_size; ++k) {
+    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
+    const TagState state = dep.bed->tag_state(p, rng.uniform(0.0, kPi),
+                                              materials[k % materials.size()]);
+    dep.corpus.push_back(dep.bed->collect(state, 11000 + k));
+  }
+
+  dep.expected.reserve(dep.corpus.size());
+  if (server_prism == nullptr) {  // the server's own (default) deployment
+    for (const RoundTrace& round : dep.corpus) {
+      dep.expected.push_back(net::encode_sense_response(
+          dep.bed->prism().sense(round, dep.bed->tag_id())));
+    }
+  } else {
+    // Mirror the registry graft: server solver settings, this
+    // deployment's geometry and calibration database.
+    RfPrismConfig grafted = server_prism->config();
+    grafted.geometry = dep.bed->prism().config().geometry;
+    RfPrism prism(std::move(grafted));
+    prism.import_calibrations(dep.bed->prism().calibrations());
+    for (const RoundTrace& round : dep.corpus) {
+      dep.expected.push_back(
+          net::encode_sense_response(prism.sense(round, dep.bed->tag_id())));
+    }
+  }
+  return dep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,54 +120,163 @@ int main(int argc, char** argv) {
   }
 
   print_header("Serving throughput",
-               "rfpd loopback requests/sec vs clients and pipeline depth");
+               "rfpd loopback requests/sec: connections x tenants x reactors");
 
-  Testbed bed;
-  const auto materials = paper_materials();
-  Rng rng(mix_seed(42, 0x5E59));
-
+  const std::size_t cores = std::thread::hardware_concurrency();
   const std::size_t corpus_size = quick ? 8 : 32;
-  std::vector<RoundTrace> corpus;
-  corpus.reserve(corpus_size);
-  for (std::size_t k = 0; k < corpus_size; ++k) {
-    const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
-    const TagState state = bed.tag_state(p, rng.uniform(0.0, kPi),
-                                         materials[k % materials.size()]);
-    corpus.push_back(bed.collect(state, 11000 + k));
-  }
 
-  // Expected wire bytes from the direct path; every served response must
-  // match one of these exactly.
-  std::vector<std::vector<std::uint8_t>> expected;
-  expected.reserve(corpus.size());
-  for (const RoundTrace& round : corpus) {
-    expected.push_back(
-        net::encode_sense_response(bed.prism().sense(round, bed.tag_id())));
-  }
-
-  SensingEngine engine(0);  // hardware thread count
-  net::Server server(bed.prism(), engine);
-  server.start();
-  std::printf("  server on 127.0.0.1:%u, %zu engine thread(s), corpus %zu "
-              "rounds\n\n",
-              static_cast<unsigned>(server.port()), engine.n_threads(),
-              corpus.size());
-
-  const std::vector<std::size_t> client_counts =
-      quick ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
-  const std::vector<std::size_t> depths =
-      quick ? std::vector<std::size_t>{1, 8} : std::vector<std::size_t>{1, 4, 16};
-  const std::size_t windows = quick ? 3 : 10;
+  // Deployment 0 is the server's own (sessions not needed); 1..N are
+  // distinct surveyed sites shipped over wire-v2 session setup.
+  std::vector<Deployment> deployments;
+  deployments.push_back(make_deployment(nullptr, 42, corpus_size));
+  const RfPrism& server_prism = deployments[0].bed->prism();
+  deployments.push_back(make_deployment(&server_prism, 7, corpus_size));
+  deployments.push_back(make_deployment(&server_prism, 9, corpus_size));
 
   std::vector<Cell> cells;
-  std::printf("  %-8s %-8s %-14s %-10s %s\n", "clients", "depth", "req/s",
-              "p50[ms]", "p99[ms]");
-  for (std::size_t n_clients : client_counts) {
-    for (std::size_t depth : depths) {
-      std::vector<ClientOutcome> outcomes(n_clients);
+
+  // ---- solve sweep: connections x tenants, byte-verified ----------------
+  {
+    SensingEngine engine(0);  // hardware thread count
+    net::ServerConfig server_config;
+    server_config.reactors = 2;
+    net::Server server(server_prism, engine, server_config);
+    server.start();
+    std::printf("  solve: server on 127.0.0.1:%u, %zu engine thread(s), "
+                "2 reactors, corpus %zu rounds/tenant\n\n",
+                static_cast<unsigned>(server.port()), engine.n_threads(),
+                corpus_size);
+
+    const std::vector<std::size_t> tenant_counts =
+        quick ? std::vector<std::size_t>{1, 2}
+              : std::vector<std::size_t>{1, 3};
+    const std::vector<std::size_t> client_counts =
+        quick ? std::vector<std::size_t>{1, 2}
+              : std::vector<std::size_t>{1, 4, 8};
+    const std::vector<std::size_t> depths =
+        quick ? std::vector<std::size_t>{4}
+              : std::vector<std::size_t>{1, 8};
+    const std::size_t windows = quick ? 3 : 10;
+
+    std::printf("  %-8s %-8s %-8s %-14s %-10s %s\n", "tenants", "clients",
+                "depth", "req/s", "p50[ms]", "p99[ms]");
+    for (std::size_t n_tenants : tenant_counts) {
+      for (std::size_t n_clients : client_counts) {
+        for (std::size_t depth : depths) {
+          std::vector<ClientOutcome> outcomes(n_clients);
+          const auto t0 = Clock::now();
+          std::vector<std::thread> threads;
+          for (std::size_t c = 0; c < n_clients; ++c) {
+            threads.emplace_back([&, c] {
+              ClientOutcome& out = outcomes[c];
+              const Deployment& dep = deployments[c % n_tenants];
+              try {
+                net::ClientConfig config;
+                config.port = server.port();
+                config.io_timeout_s = 120.0;
+                net::Client client(config);
+                if (c % n_tenants != 0) {
+                  client.setup_session(dep.bed->prism().config().geometry,
+                                       dep.bed->prism().calibrations(),
+                                       /*enable_drift=*/false);
+                }
+                std::size_t cursor = c;  // offset clients across the corpus
+                for (std::size_t w = 0; w < windows; ++w) {
+                  const auto w0 = Clock::now();
+                  std::vector<std::size_t> sent;
+                  for (std::size_t d = 0; d < depth; ++d) {
+                    const std::size_t k = cursor++ % dep.corpus.size();
+                    client.send_sense(dep.corpus[k], dep.bed->tag_id());
+                    sent.push_back(k);
+                  }
+                  for (std::size_t k : sent) {
+                    const net::Frame frame = client.read_frame();
+                    if (frame.type != net::FrameType::kSenseResponse ||
+                        frame.payload != dep.expected[k]) {
+                      out.error = "response mismatch for round " +
+                                  std::to_string(k);
+                      return;
+                    }
+                    ++out.completed;
+                  }
+                  out.window_ms.push_back(1e3 * seconds_since(w0));
+                }
+              } catch (const std::exception& e) {
+                out.error = e.what();
+              }
+            });
+          }
+          for (std::thread& t : threads) t.join();
+          const double elapsed = seconds_since(t0);
+
+          std::vector<double> window_ms;
+          std::size_t completed = 0;
+          for (const ClientOutcome& out : outcomes) {
+            if (!out.error.empty()) {
+              std::fprintf(stderr, "FAIL: %s\n", out.error.c_str());
+              return 1;
+            }
+            window_ms.insert(window_ms.end(), out.window_ms.begin(),
+                             out.window_ms.end());
+            completed += out.completed;
+          }
+
+          Cell cell;
+          cell.mode = "solve";
+          cell.reactors = 2;
+          cell.tenants = n_tenants;
+          cell.clients = n_clients;
+          cell.depth = depth;
+          cell.requests_per_s =
+              elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
+          cell.p50_ms = percentile(window_ms, 50.0);
+          cell.p99_ms = percentile(window_ms, 99.0);
+          cells.push_back(cell);
+          std::printf("  %-8zu %-8zu %-8zu %-14.1f %-10.2f %.2f\n",
+                      cell.tenants, cell.clients, cell.depth,
+                      cell.requests_per_s, cell.p50_ms, cell.p99_ms);
+        }
+      }
+    }
+
+    server.stop();
+    const net::ServerStats stats = server.stats();
+    std::printf("\n  solve server: %llu requests completed, %llu failed, "
+                "%llu backpressure pauses, %llu tenants resident\n\n",
+                static_cast<unsigned long long>(stats.requests_completed),
+                static_cast<unsigned long long>(stats.requests_failed),
+                static_cast<unsigned long long>(stats.backpressure_pauses),
+                static_cast<unsigned long long>(stats.tenants_resident));
+    if (stats.requests_failed != 0) {
+      std::fprintf(stderr, "FAIL: server reported failed requests\n");
+      return 1;
+    }
+  }
+
+  // ---- wire sweep: reactor scaling on inline-answered frames ------------
+  {
+    const std::size_t connections = quick ? 4 : 8;
+    const std::size_t depth = 64;
+    const std::size_t windows = quick ? 8 : 30;
+    const std::vector<std::size_t> reactor_counts{1, 2, 4};
+
+    std::printf("  wire: %zu connections, %zu pings/window, %zu windows, "
+                "%zu core(s)\n\n",
+                connections, depth, windows, cores);
+    std::printf("  %-10s %-14s %-10s %s\n", "reactors", "req/s", "p50[ms]",
+                "p99[ms]");
+    for (std::size_t n_reactors : reactor_counts) {
+      SensingEngine engine(1);  // pings never reach the engine
+      net::ServerConfig server_config;
+      server_config.reactors = n_reactors;
+      server_config.max_pending_per_connection = depth * 2;
+      net::Server server(server_prism, engine, server_config);
+      server.start();
+
+      std::vector<ClientOutcome> outcomes(connections);
       const auto t0 = Clock::now();
       std::vector<std::thread> threads;
-      for (std::size_t c = 0; c < n_clients; ++c) {
+      for (std::size_t c = 0; c < connections; ++c) {
         threads.emplace_back([&, c] {
           ClientOutcome& out = outcomes[c];
           try {
@@ -116,21 +284,23 @@ int main(int argc, char** argv) {
             config.port = server.port();
             config.io_timeout_s = 120.0;
             net::Client client(config);
-            std::size_t cursor = c;  // offset clients across the corpus
+            // One pre-encoded batch per window: a single write syscall
+            // ships `depth` pings, keeping the client side cheap so the
+            // reactor threads are the measured bottleneck.
+            std::vector<std::uint8_t> batch;
+            for (std::size_t d = 0; d < depth; ++d) {
+              const auto frame = net::encode_frame(
+                  net::FrameType::kPing, static_cast<std::uint32_t>(d), {});
+              batch.insert(batch.end(), frame.begin(), frame.end());
+            }
             for (std::size_t w = 0; w < windows; ++w) {
               const auto w0 = Clock::now();
-              std::vector<std::size_t> sent;
+              client.send_bytes(batch);
               for (std::size_t d = 0; d < depth; ++d) {
-                const std::size_t k = cursor++ % corpus.size();
-                client.send_sense(corpus[k], bed.tag_id());
-                sent.push_back(k);
-              }
-              for (std::size_t k : sent) {
                 const net::Frame frame = client.read_frame();
-                if (frame.type != net::FrameType::kSenseResponse ||
-                    frame.payload != expected[k]) {
-                  out.error = "response mismatch for round " +
-                              std::to_string(k);
+                if (frame.type != net::FrameType::kPong ||
+                    frame.seq != static_cast<std::uint32_t>(d)) {
+                  out.error = "pong mismatch at depth " + std::to_string(d);
                   return;
                 }
                 ++out.completed;
@@ -144,6 +314,7 @@ int main(int argc, char** argv) {
       }
       for (std::thread& t : threads) t.join();
       const double elapsed = seconds_since(t0);
+      server.stop();
 
       std::vector<double> window_ms;
       std::size_t completed = 0;
@@ -158,38 +329,31 @@ int main(int argc, char** argv) {
       }
 
       Cell cell;
-      cell.clients = n_clients;
+      cell.mode = "wire";
+      cell.reactors = n_reactors;
+      cell.tenants = 1;
+      cell.clients = connections;
       cell.depth = depth;
       cell.requests_per_s =
           elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
       cell.p50_ms = percentile(window_ms, 50.0);
       cell.p99_ms = percentile(window_ms, 99.0);
       cells.push_back(cell);
-      std::printf("  %-8zu %-8zu %-14.1f %-10.2f %.2f\n", cell.clients,
-                  cell.depth, cell.requests_per_s, cell.p50_ms, cell.p99_ms);
+      std::printf("  %-10zu %-14.1f %-10.2f %.2f\n", cell.reactors,
+                  cell.requests_per_s, cell.p50_ms, cell.p99_ms);
     }
-  }
-
-  server.stop();
-  const net::ServerStats stats = server.stats();
-  std::printf("\n  server: %llu requests completed, %llu failed, "
-              "%llu backpressure pauses\n",
-              static_cast<unsigned long long>(stats.requests_completed),
-              static_cast<unsigned long long>(stats.requests_failed),
-              static_cast<unsigned long long>(stats.backpressure_pauses));
-  if (stats.requests_failed != 0) {
-    std::fprintf(stderr, "FAIL: server reported failed requests\n");
-    return 1;
   }
 
   std::printf("\n  JSON:\n[");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
     std::printf(
-        "%s\n  {\"clients\": %zu, \"depth\": %zu, \"requests_per_s\": %.1f, "
-        "\"p50_ms\": %.3f, \"p99_ms\": %.3f}",
-        i == 0 ? "" : ",", cell.clients, cell.depth, cell.requests_per_s,
-        cell.p50_ms, cell.p99_ms);
+        "%s\n  {\"mode\": \"%s\", \"reactors\": %zu, \"tenants\": %zu, "
+        "\"clients\": %zu, \"depth\": %zu, \"cores\": %zu, "
+        "\"requests_per_s\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}",
+        i == 0 ? "" : ",", cell.mode, cell.reactors, cell.tenants,
+        cell.clients, cell.depth, cores, cell.requests_per_s, cell.p50_ms,
+        cell.p99_ms);
   }
   std::printf("\n]\n");
   return 0;

@@ -60,9 +60,15 @@ bool set_nonblocking(int fd);
 /// picks an ephemeral port). On success returns the fd and stores the
 /// actually-bound port in `bound_port`; on failure returns an invalid fd
 /// and stores an errno message in `error`.
+///
+/// With `reuse_port`, SO_REUSEPORT is set before the bind so several
+/// listeners can share one port and let the kernel spread incoming
+/// connections across them — the multi-reactor accept path. Every
+/// listener in the group must be created with the flag (including the
+/// first one, which resolves port 0 for the rest).
 UniqueFd tcp_listen(const std::string& address, std::uint16_t port,
                     int backlog, std::uint16_t* bound_port,
-                    std::string* error);
+                    std::string* error, bool reuse_port = false);
 
 /// Blocking IPv4 connect with a deadline (non-blocking connect + poll).
 /// Returns an invalid fd and an errno/timeout message in `error` on

@@ -44,7 +44,7 @@ bool set_nonblocking(int fd) {
 
 UniqueFd tcp_listen(const std::string& address, std::uint16_t port,
                     int backlog, std::uint16_t* bound_port,
-                    std::string* error) {
+                    std::string* error, bool reuse_port) {
   sockaddr_in addr{};
   if (!fill_addr(address, port, &addr, error)) return UniqueFd();
 
@@ -55,6 +55,12 @@ UniqueFd tcp_listen(const std::string& address, std::uint16_t port,
   }
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+          0) {
+    if (error) *error = errno_message("setsockopt(SO_REUSEPORT)");
+    return UniqueFd();
+  }
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     if (error) *error = errno_message("bind");

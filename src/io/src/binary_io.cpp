@@ -192,6 +192,102 @@ bool read_result(ByteReader& r, SensingResult& out) {
   return r.ok();
 }
 
+void append_geometry(ByteWriter& w, const DeploymentGeometry& geometry) {
+  require(geometry.antenna_frames.size() == geometry.antenna_positions.size(),
+          "append_geometry: frame count does not match position count");
+  w.u32(static_cast<std::uint32_t>(geometry.antenna_positions.size()));
+  for (std::size_t i = 0; i < geometry.antenna_positions.size(); ++i) {
+    append_vec3(w, geometry.antenna_positions[i]);
+    append_vec3(w, geometry.antenna_frames[i].u);
+    append_vec3(w, geometry.antenna_frames[i].v);
+    append_vec3(w, geometry.antenna_frames[i].n);
+  }
+  w.f64(geometry.working_region.lo.x);
+  w.f64(geometry.working_region.lo.y);
+  w.f64(geometry.working_region.hi.x);
+  w.f64(geometry.working_region.hi.y);
+  w.f64(geometry.tag_plane_z);
+}
+
+bool read_geometry(ByteReader& r, DeploymentGeometry& out) {
+  out = DeploymentGeometry{};
+  std::size_t n_antennas = 0;
+  // Position (3 doubles) + orthonormal frame (9 doubles) per antenna.
+  if (!read_count(r, 12 * 8, n_antennas)) return false;
+  out.antenna_positions.resize(n_antennas);
+  out.antenna_frames.resize(n_antennas);
+  for (std::size_t i = 0; i < n_antennas; ++i) {
+    if (!read_vec3(r, out.antenna_positions[i])) return false;
+    if (!read_vec3(r, out.antenna_frames[i].u)) return false;
+    if (!read_vec3(r, out.antenna_frames[i].v)) return false;
+    if (!read_vec3(r, out.antenna_frames[i].n)) return false;
+  }
+  out.working_region.lo.x = r.f64();
+  out.working_region.lo.y = r.f64();
+  out.working_region.hi.x = r.f64();
+  out.working_region.hi.y = r.f64();
+  out.tag_plane_z = r.f64();
+  return r.ok();
+}
+
+void append_calibration_db(ByteWriter& w, const CalibrationDB& db) {
+  if (db.reader().has_value()) {
+    const ReaderCalibration& reader = *db.reader();
+    require(reader.delta_b.size() == reader.delta_k.size(),
+            "append_calibration_db: delta_k/delta_b length mismatch");
+    w.u8(1);
+    append_f64_array(w, reader.delta_k);
+    append_f64_array(w, reader.delta_b);
+  } else {
+    w.u8(0);
+  }
+  // tag_ids() is sorted: one canonical encoding per database value.
+  const std::vector<std::string> ids = db.tag_ids();
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const std::string& id : ids) {
+    const TagCalibration& cal = *db.find_tag(id);
+    w.str(id);
+    w.f64(cal.kd);
+    w.f64(cal.bd);
+    append_f64_array(w, cal.residual_curve);
+  }
+}
+
+bool read_calibration_db(ByteReader& r, CalibrationDB& out) {
+  out = CalibrationDB{};
+  const std::uint8_t has_reader = r.u8();
+  if (!r.ok() || has_reader > 1) {
+    r.fail();
+    return false;
+  }
+  if (has_reader == 1) {
+    ReaderCalibration reader;
+    if (!read_f64_array(r, reader.delta_k)) return false;
+    if (!read_f64_array(r, reader.delta_b)) return false;
+    if (reader.delta_b.size() != reader.delta_k.size()) {
+      r.fail();
+      return false;
+    }
+    out.set_reader(std::move(reader));
+  }
+  std::size_t n_tags = 0;
+  // Per-tag minimum: id length prefix + kd + bd + residual count.
+  if (!read_count(r, 4 + 8 + 8 + 4, n_tags)) return false;
+  for (std::size_t t = 0; t < n_tags; ++t) {
+    const std::string id = r.str();
+    TagCalibration cal;
+    cal.kd = r.f64();
+    cal.bd = r.f64();
+    if (!r.ok() || !read_f64_array(r, cal.residual_curve)) return false;
+    if (out.has_tag(id)) {
+      r.fail();  // duplicate keys would make the encoding non-canonical
+      return false;
+    }
+    out.set_tag(id, std::move(cal));
+  }
+  return r.ok();
+}
+
 std::vector<std::uint8_t> encode_round(const RoundTrace& round) {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
@@ -214,6 +310,32 @@ std::vector<std::uint8_t> encode_result(const SensingResult& result) {
 bool decode_result(std::span<const std::uint8_t> data, SensingResult& out) {
   ByteReader r(data);
   return read_result(r, out) && r.exhausted();
+}
+
+std::vector<std::uint8_t> encode_geometry(const DeploymentGeometry& geometry) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  append_geometry(w, geometry);
+  return out;
+}
+
+bool decode_geometry(std::span<const std::uint8_t> data,
+                     DeploymentGeometry& out) {
+  ByteReader r(data);
+  return read_geometry(r, out) && r.exhausted();
+}
+
+std::vector<std::uint8_t> encode_calibration_db(const CalibrationDB& db) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  append_calibration_db(w, db);
+  return out;
+}
+
+bool decode_calibration_db(std::span<const std::uint8_t> data,
+                           CalibrationDB& out) {
+  ByteReader r(data);
+  return read_calibration_db(r, out) && r.exhausted();
 }
 
 }  // namespace rfp

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -74,6 +75,43 @@ class Client {
   /// Liveness probe; throws on anything but a clean pong.
   void ping();
 
+  // -- Session surface (wire v2) -----------------------------------------
+
+  /// Ship a deployment (geometry + calibrations) to the server and bind
+  /// this connection to its tenant. Subsequent sense/stream calls solve
+  /// against the shipped deployment instead of the server's default.
+  /// Idempotent on the server (tenants are keyed by deployment digest),
+  /// so transport faults are retried like sense(); the setup payload is
+  /// also remembered and replayed after any reconnect, so a retried
+  /// request can never silently land on the wrong deployment. Throws
+  /// RemoteError when the server refuses (malformed deployment, registry
+  /// full).
+  SessionReady setup_session(const DeploymentGeometry& geometry,
+                             const CalibrationDB& calibrations,
+                             bool enable_drift = false);
+
+  /// Push raw tag reads into this connection's server-side streaming
+  /// sensor and collect whatever completed rounds the push released
+  /// (evaluated at stream time `now_s`, exactly like
+  /// StreamingSensor::poll). NOT retried on transport faults — a resend
+  /// would double-push the reads; callers own dedup across reconnects.
+  std::vector<StreamedResult> push_stream(std::span<const TagRead> reads,
+                                          double now_s);
+
+  /// Same push, returning the raw kStreamResults payload bytes (the
+  /// byte-identity tests compare these against locally encoded results).
+  std::vector<std::uint8_t> push_stream_raw(std::span<const TagRead> reads,
+                                            double now_s);
+
+  /// Rebind the connection to the server's default deployment and drop
+  /// the server-side streaming state. Forgets the replay payload first,
+  /// so the session stays closed even if the ack is lost.
+  void close_session();
+
+  /// Whether a setup_session deployment is active (and would be replayed
+  /// on reconnect).
+  bool has_session() const { return session_setup_payload_.has_value(); }
+
   // -- Pipelined surface -------------------------------------------------
 
   /// Send one sensing request without waiting; returns its seq. The
@@ -110,11 +148,15 @@ class Client {
   std::vector<std::uint8_t> sense_raw_once(const RoundTrace& round,
                                            const std::string& tag_id);
   void ping_once();
+  SessionReady setup_session_once(std::span<const std::uint8_t> payload);
 
   ClientConfig config_;
   UniqueFd fd_;
   FrameDecoder decoder_;
   std::uint32_t next_seq_ = 1;
+  /// Encoded kSessionSetup payload of the active session, kept for
+  /// replay inside reconnect() (the session dies with the connection).
+  std::optional<std::vector<std::uint8_t>> session_setup_payload_;
 };
 
 }  // namespace rfp::net

@@ -1,9 +1,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,32 +10,59 @@
 
 #include "rfp/common/socket.hpp"
 #include "rfp/core/antenna_health.hpp"
+#include "rfp/core/deployment_registry.hpp"
 #include "rfp/core/engine.hpp"
 #include "rfp/core/pipeline.hpp"
+#include "rfp/core/streaming.hpp"
 #include "rfp/net/wire.hpp"
 
 /// \file server.hpp
-/// The rfpd serving loop: a single poll()-based connection thread that
-/// parses wire frames, enqueues complete rounds onto a SensingEngine's
-/// worker pool, and writes responses back in per-connection request
-/// order. The poll thread never solves and the workers never touch a
-/// socket: they meet at a mutex-guarded completion queue plus a self-pipe
-/// that wakes the poll loop when a solve finishes.
+/// The rfpd serving loop: N poll()-based reactor threads that parse wire
+/// frames, enqueue complete rounds onto a shared SensingEngine's worker
+/// pool, and write responses back in per-connection request order. Each
+/// reactor owns its own SO_REUSEPORT listener, connection set, completion
+/// queue, and self-pipe — the kernel spreads incoming connections across
+/// the group, and a connection lives its whole life on one reactor.
+/// Reactor threads never solve and the workers never touch a socket: they
+/// meet at the owning reactor's mutex-guarded completion queue plus its
+/// self-pipe.
+///
+/// Tenancy: a DeploymentRegistry resolves each session's shipped
+/// deployment (wire v2 kSessionSetup) to a per-tenant RfPrism + drift
+/// estimator; the engine's thread pool, workspaces, and
+/// GridGeometryCache are shared across every tenant. A connection starts
+/// bound to the *default* tenant (the prism the server was built with),
+/// so v2 clients that never set up a session get the pre-tenancy
+/// behaviour unchanged. Streaming sessions (kStreamPush) run a
+/// per-connection StreamingSensor over the session's tenant, driven
+/// inline on the owning reactor — pushes of one session are naturally
+/// serialized, and the engine still fans the completing tags' solves
+/// across the pool.
 ///
 /// Ordering: each accepted request gets a per-connection index; finished
 /// responses park in a reorder map until every earlier response has been
-/// written. seq values are echoed, not interpreted.
+/// written. seq values are echoed, not interpreted. The reorder map's
+/// parked bytes are bounded by max_reorder_bytes: a connection whose
+/// out-of-order completions exceed the cap is shed (counted in
+/// reorder_evictions) rather than growing server memory without bound.
 ///
 /// Backpressure: a connection with `max_pending_per_connection` requests
 /// in flight (or an unflushed output backlog past the write buffer cap)
 /// stops being read — bytes accumulate in kernel buffers and eventually
 /// stall the client's send, which is the whole point.
 ///
+/// Version negotiation: a peer whose frames carry a different protocol
+/// version gets one kError frame with WireError::kUnsupportedVersion —
+/// encoded at the *peer's* version when older, so a v1 client can decode
+/// its goodbye — then a clean close, counted in
+/// connections_closed_version (framing garbage stays in
+/// connections_closed_protocol).
+///
 /// Shutdown: stop() (or the async-signal-safe request_stop()) closes the
-/// listener and stops reading, but the loop keeps running until every
-/// in-flight solve has completed and its response has been flushed (bounded
-/// by drain_flush_timeout_s for unwritable peers). No accepted request
-/// loses its response to a graceful shutdown.
+/// listeners and stops reading, but every reactor keeps running until its
+/// in-flight solves have completed and their responses have been flushed
+/// (bounded by drain_flush_timeout_s for unwritable peers). No accepted
+/// request loses its response to a graceful shutdown.
 
 namespace rfp::net {
 
@@ -47,12 +72,23 @@ struct ServerConfig {
   int backlog = 64;
   std::size_t max_connections = 64;
   std::size_t max_payload = kDefaultMaxPayload;
+  /// Reactor threads (>= 1). Each owns a listener on the same port
+  /// (SO_REUSEPORT when > 1) and services its own connections end to end.
+  std::size_t reactors = 1;
+  /// Resident deployments in the registry, default tenant included;
+  /// beyond this the oldest tenant with no live session is evicted.
+  std::size_t max_tenants = 16;
   /// Requests accepted but not yet answered before the server stops
   /// reading the connection.
   std::size_t max_pending_per_connection = 32;
   /// Unflushed response bytes before the server stops reading the
   /// connection (second backpressure trigger, for slow readers).
   std::size_t max_write_backlog = 8u << 20;
+  /// Response bytes parked out-of-order in a connection's reorder map
+  /// before the connection is shed (reorder_evictions). In-order
+  /// responses move straight to the write buffer and are governed by
+  /// max_write_backlog instead.
+  std::size_t max_reorder_bytes = 16u << 20;
   /// Seconds of inactivity (no frames, nothing pending) before a
   /// connection is closed; 0 disables.
   double idle_timeout_s = 60.0;
@@ -67,6 +103,11 @@ struct ServerConfig {
   /// At shutdown, how long to keep trying to flush drained responses to
   /// peers that have stopped reading; 0 means don't wait for the flush.
   double drain_flush_timeout_s = 10.0;
+  /// Per-session streaming buffers: each kStreamPush session runs a
+  /// StreamingSensor with these caps, so session memory is bounded by the
+  /// sensor's own three-level eviction policy (evictions are surfaced in
+  /// ServerStats::stream_evictions and the tenant's counters).
+  StreamingConfig stream;
 };
 
 /// Monotonic counters for one connection (also aggregated server-wide).
@@ -85,16 +126,28 @@ struct ServerStats {
   std::uint64_t connections_closed_idle = 0;
   std::uint64_t connections_closed_stalled = 0;   ///< slow-loris / dead peers
   std::uint64_t connections_closed_protocol = 0;  ///< framing violations
+  std::uint64_t connections_closed_version = 0;   ///< protocol version peers
   std::uint64_t frames_received = 0;
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_failed = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t backpressure_pauses = 0;
+  std::uint64_t reorder_evictions = 0;  ///< connections shed, reorder cap
   std::size_t connections_open = 0;
 
+  // -- Sessions / tenancy ------------------------------------------------
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;   ///< explicit kSessionClose rebinds
+  std::uint64_t stream_reads = 0;      ///< reads pushed into sessions
+  std::uint64_t stream_results = 0;    ///< streamed emissions returned
+  std::uint64_t stream_evictions = 0;  ///< session sensor buffer evictions
+  std::size_t tenants_resident = 0;
+  std::uint64_t tenants_evicted = 0;
+
   // -- Drift self-calibration (filled from the engine's estimator when
-  //    SensingEngine::enable_drift was called; all-zero otherwise) -------
+  //    SensingEngine::enable_drift was called; all-zero otherwise — the
+  //    per-tenant estimators report through tenant_stats()) --------------
   std::uint64_t drift_rounds_observed = 0;
   std::uint64_t drift_outliers_rejected = 0;
   std::uint64_t drift_alarms_raised = 0;   ///< re-survey alarm edges
@@ -102,100 +155,80 @@ struct ServerStats {
   std::uint64_t drift_ports_dropped = 0;   ///< beyond the correctable bound
 };
 
-/// One rfpd instance: owns the listener, borrows the pipeline and engine.
-/// The pipeline and engine must outlive the server. Thread-safe surface:
-/// port()/stats()/request_stop()/stop() may be called from any thread;
-/// run() belongs to exactly one.
+/// One rfpd instance: owns the listeners and the deployment registry,
+/// borrows the default pipeline and the engine. The pipeline and engine
+/// must outlive the server. Thread-safe surface:
+/// port()/stats()/tenant_stats()/request_stop()/stop() may be called from
+/// any thread; run() belongs to exactly one.
 class Server {
  public:
-  /// Binds and listens immediately; throws NetError when the address
-  /// can't be bound. `health` optionally gates quarantined ports exactly
-  /// as in RfPrism::sense.
+  /// Binds and listens immediately (config.reactors listeners); throws
+  /// NetError when the address can't be bound. `prism` becomes the
+  /// registry's default tenant and the solver-settings template for
+  /// session tenants. `health` optionally gates quarantined ports exactly
+  /// as in RfPrism::sense — for the default tenant only (port health is
+  /// deployment-specific).
   Server(const RfPrism& prism, SensingEngine& engine,
          ServerConfig config = {},
          const AntennaHealthMonitor* health = nullptr);
 
-  /// Requests stop, drains in-flight solves, joins the service thread.
+  /// Requests stop, drains in-flight solves, joins the reactor threads.
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// The actually-bound port (resolves port = 0 in the config).
+  /// The actually-bound port (resolves port = 0 in the config; every
+  /// reactor listens on this one port).
   std::uint16_t port() const { return port_; }
 
-  /// Run the poll loop on the calling thread until a stop is requested
-  /// and the drain completes. Call this *or* start(), not both.
+  /// Run reactor 0's poll loop on the calling thread (spawning threads
+  /// for the other reactors) until a stop is requested and the drain
+  /// completes. Call this *or* start(), not both.
   void run();
 
-  /// Run the poll loop on a background service thread.
+  /// Run every reactor on a background thread.
   void start();
 
-  /// Request a graceful stop and wait for run()/the service thread to
+  /// Request a graceful stop and wait for run()/the reactor threads to
   /// finish draining.
   void stop();
 
-  /// Async-signal-safe stop request (atomic flag + self-pipe write); safe
-  /// to call from a SIGINT/SIGTERM handler.
+  /// Async-signal-safe stop request (atomic flag + self-pipe writes);
+  /// safe to call from a SIGINT/SIGTERM handler.
   void request_stop() noexcept;
 
+  /// Aggregated across reactors.
   ServerStats stats() const;
 
   /// Per-connection counters of the currently open connections (snapshot
-  /// refreshed by the poll loop).
+  /// refreshed by each reactor's poll loop; concatenated across
+  /// reactors).
   std::vector<ConnectionStats> connection_stats() const;
 
- private:
-  struct Connection;
-  struct Completion;
+  /// Per-tenant serving counters, default tenant first.
+  std::vector<TenantStats> tenant_stats() const { return registry_.stats(); }
 
-  void poll_loop();
-  void accept_ready();
-  bool read_ready(Connection& conn);
-  bool write_ready(Connection& conn);
-  void parse_frames(Connection& conn);
-  void handle_frame(Connection& conn, Frame&& frame);
-  void finish_local(Connection& conn, std::uint64_t index, bool failed,
-                    std::vector<std::uint8_t> frame_bytes);
-  void submit_solve(Connection& conn, std::uint32_t seq, std::string tag_id,
-                    RoundTrace round);
-  void drain_completions();
-  void emit_ready(Connection& conn);
-  bool wants_read(const Connection& conn) const;
-  void close_connection(std::uint64_t id);
-  void refresh_snapshots();
-  void wake() noexcept;
+ private:
+  class Reactor;
+
+  void join_reactor_threads();
 
   const RfPrism& prism_;
   SensingEngine& engine_;
   const AntennaHealthMonitor* health_;
   ServerConfig config_;
 
-  UniqueFd listener_;
+  DeploymentRegistry registry_;
+  std::shared_ptr<DeploymentTenant> default_tenant_;
+
   std::uint16_t port_ = 0;
-  UniqueFd wake_read_;
-  UniqueFd wake_write_;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<std::size_t> open_connections_{0};
 
-  // Poll-thread-only state.
-  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
-  std::uint64_t next_connection_id_ = 1;
-
-  // Worker <-> poll thread handoff.
-  std::mutex completions_mutex_;
-  std::vector<Completion> completions_;
-
-  // Outstanding worker jobs (for the destructor's unconditional wait:
-  // jobs capture `this` and must never outlive the server).
-  std::mutex jobs_mutex_;
-  std::condition_variable jobs_cv_;
-  std::size_t jobs_outstanding_ = 0;
-
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
-  std::vector<ConnectionStats> connection_snapshot_;
-
-  std::thread service_thread_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::vector<std::thread> reactor_threads_;
+  std::mutex join_mutex_;  ///< serializes run()/stop() joining the threads
 };
 
 }  // namespace rfp::net

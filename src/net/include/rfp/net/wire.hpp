@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "rfp/common/error.hpp"
+#include "rfp/core/calibration.hpp"
+#include "rfp/core/streaming.hpp"
 #include "rfp/core/types.hpp"
 #include "rfp/rfsim/reader.hpp"
 
@@ -17,17 +19,27 @@
 ///
 ///   offset  size  field
 ///   0       4     magic        0x4E504652 ("RFPN" as bytes on the wire)
-///   4       2     version      protocol version (currently 1)
+///   4       2     version      protocol version (currently 2)
 ///   6       2     type         FrameType
 ///   8       4     seq          caller-chosen sequence id, echoed back
 ///   12      4     payload_len  bytes of payload following the header
 ///   16      ...   payload      type-specific, see below
 ///
 /// Payloads (encoded with rfp/io/binary_io + ByteWriter primitives):
-///   kSenseRequest   tag_id (u32-length-prefixed string) + RoundTrace
-///   kSenseResponse  SensingResult (all fields, diagnostics included)
-///   kError          u32 WireError code + u32-length-prefixed message
-///   kPing / kPong   empty
+///   kSenseRequest    tag_id (u32-length-prefixed string) + RoundTrace
+///   kSenseResponse   SensingResult (all fields, diagnostics included)
+///   kError           u32 WireError code + u32-length-prefixed message
+///   kPing / kPong    empty
+///   kSessionSetup    DeploymentGeometry + CalibrationDB + option flags —
+///                    the v2 replacement for "both sides reconstruct the
+///                    same seed-keyed Testbed": the client *ships the
+///                    deployment* and the server registers it as a tenant
+///   kSessionReady    u64 deployment digest + u32 n_antennas + flags
+///   kStreamPush      f64 clock + a batch of StreamReads for the
+///                    connection's per-session StreamingSensor
+///   kStreamResults   the emissions completed by that push's poll()
+///   kSessionClose / kSessionClosed   empty (rebinds to the default
+///                    deployment; connection close also tears down)
 ///
 /// The decoder is incremental (tolerates arbitrary read fragmentation)
 /// and total: malformed input yields an error status, never an exception
@@ -35,6 +47,12 @@
 /// request's seq, and a server answers each connection's requests in the
 /// order they arrived, so seq is a client-side sanity check rather than a
 /// matching mechanism.
+///
+/// Version negotiation: every frame carries the version. A peer speaking
+/// a different version is answered with one kError frame carrying
+/// WireError::kUnsupportedVersion — encoded *at the peer's version* when
+/// that version is older (the v1 error payload layout is unchanged, so a
+/// v1 client can decode why it was refused) — followed by a clean close.
 
 namespace rfp::net {
 
@@ -57,7 +75,10 @@ class RemoteError : public NetError {
 };
 
 inline constexpr std::uint32_t kMagic = 0x4E504652;  // "RFPN"
-inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kVersion = 2;
+/// Oldest version whose kError payload layout we still know how to emit
+/// (for the kUnsupportedVersion goodbye frame).
+inline constexpr std::uint16_t kMinGoodbyeVersion = 1;
 inline constexpr std::size_t kHeaderSize = 16;
 
 /// Default ceiling on a frame's payload. A full 4-antenna 50-channel
@@ -71,13 +92,22 @@ enum class FrameType : std::uint16_t {
   kError = 3,
   kPing = 4,
   kPong = 5,
+  // -- v2 ----------------------------------------------------------------
+  kSessionSetup = 6,
+  kSessionReady = 7,
+  kStreamPush = 8,
+  kStreamResults = 9,
+  kSessionClose = 10,
+  kSessionClosed = 11,
 };
 
 /// Error codes carried by kError frames.
 enum class WireError : std::uint32_t {
-  kMalformedPayload = 1,  ///< frame parsed, payload didn't
-  kUnsupportedType = 2,   ///< frame type the server doesn't serve
-  kInternal = 3,          ///< the solve threw; message carries what()
+  kMalformedPayload = 1,    ///< frame parsed, payload didn't
+  kUnsupportedType = 2,     ///< frame type the server doesn't serve
+  kInternal = 3,            ///< the solve threw; message carries what()
+  kUnsupportedVersion = 4,  ///< peer speaks a protocol version we don't
+  kRegistryFull = 5,        ///< every tenant slot is pinned by a session
 };
 
 const char* to_string(WireError code);
@@ -89,12 +119,16 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
-/// Append a complete frame (header + payload) to `out`.
+/// Append a complete frame (header + payload) to `out`. `version` exists
+/// for the version-mismatch goodbye path (and for tests impersonating old
+/// peers); everything else uses the default.
 void append_frame(std::vector<std::uint8_t>& out, FrameType type,
-                  std::uint32_t seq, std::span<const std::uint8_t> payload);
+                  std::uint32_t seq, std::span<const std::uint8_t> payload,
+                  std::uint16_t version = kVersion);
 
 std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t seq,
-                                       std::span<const std::uint8_t> payload);
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint16_t version = kVersion);
 
 /// Outcome of one FrameDecoder::next() call. Everything from kBadMagic
 /// down is unrecoverable for the stream: the decoder latches the error
@@ -103,7 +137,7 @@ enum class DecodeStatus {
   kFrame,       ///< a complete frame was produced
   kNeedMore,    ///< no complete frame buffered yet
   kBadMagic,    ///< stream is not speaking this protocol
-  kBadVersion,  ///< protocol version mismatch
+  kBadVersion,  ///< protocol version mismatch (see peer_version())
   kOversized,   ///< declared payload exceeds the configured ceiling
 };
 
@@ -125,11 +159,18 @@ class FrameDecoder {
   /// Bytes buffered but not yet consumed by next().
   std::size_t buffered() const { return buffer_.size() - consumed_; }
 
+  /// After kBadVersion: the version field the peer sent (the magic was
+  /// right, so this is a real protocol speaker of another generation —
+  /// the server uses it to phrase and version the goodbye frame).
+  /// 0 before any version mismatch.
+  std::uint16_t peer_version() const { return peer_version_; }
+
  private:
   std::size_t max_payload_;
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_ = 0;
   DecodeStatus failed_ = DecodeStatus::kNeedMore;  // latched error, if any
+  std::uint16_t peer_version_ = 0;
 };
 
 // -- Payload codecs ------------------------------------------------------
@@ -149,5 +190,48 @@ std::vector<std::uint8_t> encode_error_payload(WireError code,
                                                std::string_view message);
 bool decode_error_payload(std::span<const std::uint8_t> payload,
                           WireError& code, std::string& message);
+
+/// What a kSessionSetup frame ships: the deployment itself. The solver
+/// configuration is deliberately *not* on the wire — the server grafts
+/// the shipped geometry/calibrations onto its own solver settings, so one
+/// daemon's tenants are comparable and a client cannot pick expensive
+/// solver modes for the fleet.
+struct SessionSetup {
+  DeploymentGeometry geometry;
+  CalibrationDB calibrations;
+  /// Ask the server to run a per-tenant drift estimator (drift.hpp) fed
+  /// by this tenant's rounds. Tenants that share a digest share the
+  /// estimator.
+  bool enable_drift = false;
+};
+
+std::vector<std::uint8_t> encode_session_setup(const SessionSetup& setup);
+bool decode_session_setup(std::span<const std::uint8_t> payload,
+                          SessionSetup& setup);
+
+/// kSessionReady: the server's acknowledgement.
+struct SessionReady {
+  std::uint64_t digest = 0;  ///< deployment digest (registry tenant key)
+  std::uint32_t n_antennas = 0;
+  bool drift_enabled = false;
+};
+
+std::vector<std::uint8_t> encode_session_ready(const SessionReady& ready);
+bool decode_session_ready(std::span<const std::uint8_t> payload,
+                          SessionReady& ready);
+
+/// kStreamPush: a batch of raw reads plus the client's clock (the
+/// per-session StreamingSensor is polled at exactly this time, which
+/// keeps emissions deterministic and lets tests replay streams).
+std::vector<std::uint8_t> encode_stream_push(double now_s,
+                                             std::span<const TagRead> reads);
+bool decode_stream_push(std::span<const std::uint8_t> payload, double& now_s,
+                        std::vector<TagRead>& reads);
+
+/// kStreamResults: every emission completed by the push's poll().
+std::vector<std::uint8_t> encode_stream_results(
+    std::span<const StreamedResult> results);
+bool decode_stream_results(std::span<const std::uint8_t> payload,
+                           std::vector<StreamedResult>& results);
 
 }  // namespace rfp::net

@@ -6,6 +6,20 @@
 
 namespace rfp::net {
 
+namespace {
+
+[[noreturn]] void throw_error_frame(const Frame& frame) {
+  WireError code = WireError::kInternal;
+  std::string message;
+  if (!decode_error_payload(frame.payload, code, message)) {
+    message = "undecodable error frame";
+  }
+  throw RemoteError(static_cast<std::uint32_t>(code),
+                    std::string(to_string(code)) + ": " + message);
+}
+
+}  // namespace
+
 Client::Client(ClientConfig config)
     : config_(std::move(config)), decoder_(config_.max_payload) {
   std::string error = "no attempts made";
@@ -84,6 +98,18 @@ void Client::reconnect() {
     throw NetError("reconnect to " + config_.host + ":" +
                    std::to_string(config_.port) + " failed: " + error);
   }
+  if (session_setup_payload_.has_value()) {
+    // The session died with the old connection; replay the stored setup
+    // so a retried request can never land on the wrong deployment.
+    const std::uint32_t seq = next_seq_++;
+    send_frame(FrameType::kSessionSetup, seq, *session_setup_payload_);
+    const Frame frame = read_frame();
+    if (frame.type == FrameType::kError) throw_error_frame(frame);
+    if (frame.type != FrameType::kSessionReady || frame.seq != seq) {
+      fd_.reset();
+      throw NetError("session replay was not acknowledged");
+    }
+  }
 }
 
 void Client::run_with_retry(const std::function<void()>& op) {
@@ -128,15 +154,7 @@ std::vector<std::uint8_t> Client::sense_raw_once(const RoundTrace& round,
     fd_.reset();
     throw NetError("response seq mismatch (protocol confusion)");
   }
-  if (frame.type == FrameType::kError) {
-    WireError code = WireError::kInternal;
-    std::string message;
-    if (!decode_error_payload(frame.payload, code, message)) {
-      message = "undecodable error frame";
-    }
-    throw RemoteError(static_cast<std::uint32_t>(code),
-                      std::string(to_string(code)) + ": " + message);
-  }
+  if (frame.type == FrameType::kError) throw_error_frame(frame);
   if (frame.type != FrameType::kSenseResponse) {
     fd_.reset();
     throw NetError("unexpected response frame type");
@@ -176,6 +194,90 @@ void Client::ping_once() {
 
 void Client::ping() {
   run_with_retry([&] { ping_once(); });
+}
+
+SessionReady Client::setup_session_once(
+    std::span<const std::uint8_t> payload) {
+  const std::uint32_t seq = next_seq_++;
+  send_frame(FrameType::kSessionSetup, seq, payload);
+  const Frame frame = read_frame();
+  if (frame.seq != seq) {
+    fd_.reset();
+    throw NetError("response seq mismatch (protocol confusion)");
+  }
+  if (frame.type == FrameType::kError) throw_error_frame(frame);
+  if (frame.type != FrameType::kSessionReady) {
+    fd_.reset();
+    throw NetError("unexpected response frame type");
+  }
+  SessionReady ready;
+  if (!decode_session_ready(frame.payload, ready)) {
+    fd_.reset();
+    throw NetError("session ready payload did not parse");
+  }
+  return ready;
+}
+
+SessionReady Client::setup_session(const DeploymentGeometry& geometry,
+                                   const CalibrationDB& calibrations,
+                                   bool enable_drift) {
+  SessionSetup setup;
+  setup.geometry = geometry;
+  setup.calibrations = calibrations;
+  setup.enable_drift = enable_drift;
+  std::vector<std::uint8_t> payload = encode_session_setup(setup);
+  // Forget any previous session before retrying: reconnect() must not
+  // replay the deployment this call is about to replace.
+  session_setup_payload_.reset();
+  SessionReady ready;
+  run_with_retry([&] { ready = setup_session_once(payload); });
+  session_setup_payload_ = std::move(payload);
+  return ready;
+}
+
+std::vector<std::uint8_t> Client::push_stream_raw(
+    std::span<const TagRead> reads, double now_s) {
+  // No transport retry: a resend would double-push the reads into the
+  // server-side sensor. Callers that need at-most-once semantics across
+  // reconnects own their own dedup.
+  if (!fd_.valid()) reconnect();
+  const std::uint32_t seq = next_seq_++;
+  send_frame(FrameType::kStreamPush, seq, encode_stream_push(now_s, reads));
+  Frame frame = read_frame();
+  if (frame.seq != seq) {
+    fd_.reset();
+    throw NetError("response seq mismatch (protocol confusion)");
+  }
+  if (frame.type == FrameType::kError) throw_error_frame(frame);
+  if (frame.type != FrameType::kStreamResults) {
+    fd_.reset();
+    throw NetError("unexpected response frame type");
+  }
+  return std::move(frame.payload);
+}
+
+std::vector<StreamedResult> Client::push_stream(
+    std::span<const TagRead> reads, double now_s) {
+  const std::vector<std::uint8_t> payload = push_stream_raw(reads, now_s);
+  std::vector<StreamedResult> results;
+  if (!decode_stream_results(payload, results)) {
+    fd_.reset();
+    throw NetError("stream results payload did not parse");
+  }
+  return results;
+}
+
+void Client::close_session() {
+  session_setup_payload_.reset();
+  if (!fd_.valid()) return;
+  const std::uint32_t seq = next_seq_++;
+  send_frame(FrameType::kSessionClose, seq, {});
+  const Frame frame = read_frame();
+  if (frame.type == FrameType::kError) throw_error_frame(frame);
+  if (frame.type != FrameType::kSessionClosed || frame.seq != seq) {
+    fd_.reset();
+    throw NetError("session close was not acknowledged");
+  }
 }
 
 }  // namespace rfp::net

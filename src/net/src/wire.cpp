@@ -15,15 +15,20 @@ const char* to_string(WireError code) {
       return "unsupported frame type";
     case WireError::kInternal:
       return "internal server error";
+    case WireError::kUnsupportedVersion:
+      return "unsupported protocol version";
+    case WireError::kRegistryFull:
+      return "deployment registry full";
   }
   return "unknown";
 }
 
 void append_frame(std::vector<std::uint8_t>& out, FrameType type,
-                  std::uint32_t seq, std::span<const std::uint8_t> payload) {
+                  std::uint32_t seq, std::span<const std::uint8_t> payload,
+                  std::uint16_t version) {
   ByteWriter w(out);
   w.u32(kMagic);
-  w.u16(kVersion);
+  w.u16(version);
   w.u16(static_cast<std::uint16_t>(type));
   w.u32(seq);
   w.u32(static_cast<std::uint32_t>(payload.size()));
@@ -31,10 +36,11 @@ void append_frame(std::vector<std::uint8_t>& out, FrameType type,
 }
 
 std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t seq,
-                                       std::span<const std::uint8_t> payload) {
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint16_t version) {
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderSize + payload.size());
-  append_frame(out, type, seq, payload);
+  append_frame(out, type, seq, payload, version);
   return out;
 }
 
@@ -60,7 +66,10 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   const std::uint32_t seq = r.u32();
   const std::uint32_t payload_len = r.u32();
   if (magic != kMagic) return failed_ = DecodeStatus::kBadMagic;
-  if (version != kVersion) return failed_ = DecodeStatus::kBadVersion;
+  if (version != kVersion) {
+    peer_version_ = version;
+    return failed_ = DecodeStatus::kBadVersion;
+  }
   if (payload_len > max_payload_) return failed_ = DecodeStatus::kOversized;
   if (pending.size() < kHeaderSize + payload_len) {
     return DecodeStatus::kNeedMore;
@@ -120,6 +129,121 @@ bool decode_error_payload(std::span<const std::uint8_t> payload,
   ByteReader r(payload);
   code = static_cast<WireError>(r.u32());
   message = r.str();
+  return r.exhausted();
+}
+
+std::vector<std::uint8_t> encode_session_setup(const SessionSetup& setup) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  append_geometry(w, setup.geometry);
+  append_calibration_db(w, setup.calibrations);
+  w.u8(setup.enable_drift ? 1 : 0);
+  return out;
+}
+
+bool decode_session_setup(std::span<const std::uint8_t> payload,
+                          SessionSetup& setup) {
+  ByteReader r(payload);
+  if (!read_geometry(r, setup.geometry)) return false;
+  if (!read_calibration_db(r, setup.calibrations)) return false;
+  const std::uint8_t drift = r.u8();
+  if (!r.ok() || drift > 1) return false;
+  setup.enable_drift = drift != 0;
+  return r.exhausted();
+}
+
+std::vector<std::uint8_t> encode_session_ready(const SessionReady& ready) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u64(ready.digest);
+  w.u32(ready.n_antennas);
+  w.u8(ready.drift_enabled ? 1 : 0);
+  return out;
+}
+
+bool decode_session_ready(std::span<const std::uint8_t> payload,
+                          SessionReady& ready) {
+  ByteReader r(payload);
+  ready.digest = r.u64();
+  ready.n_antennas = r.u32();
+  const std::uint8_t drift = r.u8();
+  if (!r.ok() || drift > 1) return false;
+  ready.drift_enabled = drift != 0;
+  return r.exhausted();
+}
+
+namespace {
+
+// Minimum encoded size of one StreamRead: tag-id length prefix + two u32
+// indices + four doubles.
+constexpr std::size_t kReadMinBytes = 4 + 4 + 4 + 4 * 8;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_stream_push(double now_s,
+                                             std::span<const TagRead> reads) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.f64(now_s);
+  w.u32(static_cast<std::uint32_t>(reads.size()));
+  for (const TagRead& read : reads) {
+    w.str(read.tag_id);
+    w.u32(static_cast<std::uint32_t>(read.antenna));
+    w.u32(static_cast<std::uint32_t>(read.channel));
+    w.f64(read.frequency_hz);
+    w.f64(read.time_s);
+    w.f64(read.phase);
+    w.f64(read.rssi_dbm);
+  }
+  return out;
+}
+
+bool decode_stream_push(std::span<const std::uint8_t> payload, double& now_s,
+                        std::vector<TagRead>& reads) {
+  ByteReader r(payload);
+  now_s = r.f64();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || r.remaining() < n * kReadMinBytes) return false;
+  reads.resize(n);
+  for (TagRead& read : reads) {
+    read.tag_id = r.str();
+    read.antenna = r.u32();
+    read.channel = r.u32();
+    read.frequency_hz = r.f64();
+    read.time_s = r.f64();
+    read.phase = r.f64();
+    read.rssi_dbm = r.f64();
+    if (!r.ok()) return false;
+  }
+  return r.exhausted();
+}
+
+std::vector<std::uint8_t> encode_stream_results(
+    std::span<const StreamedResult> results) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(results.size()));
+  for (const StreamedResult& emission : results) {
+    w.str(emission.tag_id);
+    w.f64(emission.completed_at_s);
+    append_result(w, emission.result);
+  }
+  return out;
+}
+
+bool decode_stream_results(std::span<const std::uint8_t> payload,
+                           std::vector<StreamedResult>& results) {
+  ByteReader r(payload);
+  // Minimum per emission: tag-id length prefix + completed_at_s + the
+  // result's three leading flag bytes.
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || r.remaining() < n * (4 + 8 + 3)) return false;
+  results.resize(n);
+  for (StreamedResult& emission : results) {
+    emission.tag_id = r.str();
+    emission.completed_at_s = r.f64();
+    if (!r.ok() || !read_result(r, emission.result)) return false;
+  }
   return r.exhausted();
 }
 

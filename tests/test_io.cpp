@@ -5,6 +5,7 @@
 #include "rfp/common/error.hpp"
 #include "rfp/core/pipeline.hpp"
 #include "rfp/io/calibration_io.hpp"
+#include "rfp/io/geometry_io.hpp"
 #include "rfp/io/trace_io.hpp"
 #include "support/core_test_util.hpp"
 
@@ -312,6 +313,87 @@ TEST(DriftStateIo, MissingFileThrows) {
   DriftEstimator estimator(3, DriftConfig{});
   EXPECT_THROW(load_drift_state("/nonexistent/path/drift.txt", estimator),
                Error);
+}
+
+TEST(GeometryIo, SurveyRoundTripsExactly) {
+  const Scene scene = make_scene_2d(203);
+  const DeploymentGeometry geometry = testutil::exact_geometry(scene);
+
+  std::stringstream ss;
+  write_geometry(ss, geometry);
+  const DeploymentGeometry reloaded = read_geometry(ss);
+
+  ASSERT_EQ(reloaded.n_antennas(), geometry.n_antennas());
+  for (std::size_t a = 0; a < geometry.n_antennas(); ++a) {
+    EXPECT_EQ(reloaded.antenna_positions[a], geometry.antenna_positions[a]);
+    EXPECT_EQ(reloaded.antenna_frames[a].u, geometry.antenna_frames[a].u);
+    EXPECT_EQ(reloaded.antenna_frames[a].v, geometry.antenna_frames[a].v);
+    EXPECT_EQ(reloaded.antenna_frames[a].n, geometry.antenna_frames[a].n);
+  }
+  EXPECT_EQ(reloaded.working_region.lo, geometry.working_region.lo);
+  EXPECT_EQ(reloaded.working_region.hi, geometry.working_region.hi);
+  EXPECT_DOUBLE_EQ(reloaded.tag_plane_z, geometry.tag_plane_z);
+}
+
+TEST(GeometryIo, ReloadedSurveyBuildsAnIdenticalPipeline) {
+  // The point of the format: a daemon serving a reloaded survey must
+  // sense bit-identically to one built from the original.
+  const Scene scene = make_scene_2d(204);
+  RfPrismConfig config;
+  config.geometry = testutil::exact_geometry(scene);
+
+  std::stringstream ss;
+  write_geometry(ss, config.geometry);
+  RfPrismConfig reloaded_config = config;
+  reloaded_config.geometry = read_geometry(ss);
+
+  const RfPrism original(config);
+  const RfPrism reloaded(reloaded_config);
+  const TagHardware tag = make_tag_hardware("t", 204);
+  const TagState state{Vec3{0.8, 1.1, 0.0}, planar_polarization(0.6), "oil"};
+  Rng rng(4);
+  const RoundTrace round = collect_round(
+      scene, noiseless_reader(), noiseless_channel(), tag, state, 4, rng);
+  const SensingResult a = original.sense(round);
+  const SensingResult b = reloaded.sense(round);
+  ASSERT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.position, b.position);
+  EXPECT_DOUBLE_EQ(a.kt, b.kt);
+}
+
+TEST(GeometryIo, FileRoundTrip) {
+  const Scene scene = make_scene_2d(205);
+  const DeploymentGeometry geometry = testutil::exact_geometry(scene);
+  const std::string path = testing::TempDir() + "/rfp_geom_test.txt";
+  save_geometry(path, geometry);
+  const DeploymentGeometry reloaded = load_geometry(path);
+  ASSERT_EQ(reloaded.n_antennas(), geometry.n_antennas());
+  EXPECT_EQ(reloaded.antenna_positions, geometry.antenna_positions);
+}
+
+TEST(GeometryIo, RejectsMalformedInput) {
+  auto expect_rejected = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(read_geometry(ss), Error) << text;
+  };
+  expect_rejected("not-a-geometry v1\n");
+  expect_rejected("rfprism-geometry v9\nantennas 1\n");
+  // Truncated antenna line.
+  expect_rejected(
+      "rfprism-geometry v1\nantennas 1\nantenna 0 0 1\n");
+  // Non-finite position.
+  expect_rejected(
+      "rfprism-geometry v1\nantennas 1\n"
+      "antenna nan 0 1 1 0 0 0 1 0 0 0 -1\n"
+      "region 0 0 2 2\ntag-plane-z 0\n");
+  // Missing region/tag-plane trailer.
+  expect_rejected(
+      "rfprism-geometry v1\nantennas 1\n"
+      "antenna 0 0 1 1 0 0 0 1 0 0 0 -1\n");
+}
+
+TEST(GeometryIo, MissingFileThrows) {
+  EXPECT_THROW(load_geometry("/nonexistent/path/site.geom"), Error);
 }
 
 }  // namespace

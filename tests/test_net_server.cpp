@@ -18,6 +18,7 @@
 
 #include "rfp/common/constants.hpp"
 #include "rfp/common/rng.hpp"
+#include "rfp/common/socket.hpp"
 #include "rfp/exp/testbed.hpp"
 #include "rfp/net/client.hpp"
 #include "rfp/rfsim/faults.hpp"
@@ -534,6 +535,132 @@ TEST(NetServer, DriftEnabledServerObservesAndReportsStats) {
   EXPECT_EQ(stats.drift_alarms_active, 0u);
   EXPECT_EQ(stats.drift_ports_dropped, 0u);
   EXPECT_TRUE(engine.drift_corrections().active);  // past warm-up
+}
+
+TEST(NetServer, OlderVersionPeerGetsGoodbyeEncodedAtItsVersion) {
+  // A v1 client must receive its kUnsupportedVersion goodbye *as a v1
+  // frame* (the error payload layout is unchanged since v1), so it can
+  // decode why it was refused. The frame is read raw here because a
+  // current-version FrameDecoder would itself reject a v1 reply.
+  const Testbed& bed = shared_bed();
+  SensingEngine engine(1);
+  Server server(bed.prism(), engine);
+  server.start();
+
+  std::string error;
+  UniqueFd fd = tcp_connect("127.0.0.1", server.port(), 5.0, &error);
+  ASSERT_TRUE(fd.valid()) << error;
+  const std::vector<std::uint8_t> v1_ping =
+      net::encode_frame(FrameType::kPing, 1, {}, /*version=*/1);
+  ASSERT_TRUE(send_all(fd.get(), v1_ping.data(), v1_ping.size(), 5.0));
+
+  // Read until EOF: expect exactly one goodbye frame, then the close.
+  std::vector<std::uint8_t> reply;
+  for (;;) {
+    std::uint8_t buf[4096];
+    const IoResult r = recv_with_timeout(fd.get(), buf, sizeof buf, 30.0);
+    if (r.status != IoStatus::kOk) {
+      EXPECT_EQ(r.status, IoStatus::kClosed);  // clean close, not a reset
+      break;
+    }
+    reply.insert(reply.end(), buf, buf + r.bytes);
+  }
+  ASSERT_GE(reply.size(), net::kHeaderSize);
+  auto u16_at = [&](std::size_t off) {
+    return static_cast<std::uint16_t>(reply[off] | (reply[off + 1] << 8));
+  };
+  auto u32_at = [&](std::size_t off) {
+    return static_cast<std::uint32_t>(reply[off]) |
+           (static_cast<std::uint32_t>(reply[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(reply[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(reply[off + 3]) << 24);
+  };
+  EXPECT_EQ(u32_at(0), net::kMagic);
+  EXPECT_EQ(u16_at(4), 1u);  // goodbye speaks the peer's version
+  EXPECT_EQ(u16_at(6), static_cast<std::uint16_t>(FrameType::kError));
+  const std::uint32_t payload_len = u32_at(12);
+  ASSERT_EQ(reply.size(), net::kHeaderSize + payload_len);
+  WireError code;
+  std::string message;
+  ASSERT_TRUE(net::decode_error_payload(
+      {reply.data() + net::kHeaderSize, payload_len}, code, message));
+  EXPECT_EQ(code, WireError::kUnsupportedVersion);
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_closed_version, 1u);
+  EXPECT_EQ(stats.connections_closed_protocol, 0u);
+}
+
+TEST(NetServer, NewerVersionPeerGetsCurrentVersionGoodbye) {
+  // A peer from the future: the server cannot know its error layout, so
+  // the goodbye is encoded at the server's own version — which this
+  // (current-version) client can decode normally.
+  const Testbed& bed = shared_bed();
+  SensingEngine engine(1);
+  Server server(bed.prism(), engine);
+  server.start();
+
+  Client client(client_config(server.port()));
+  client.send_bytes(net::encode_frame(FrameType::kPing, 1, {},
+                                      net::kVersion + 1));
+  try {
+    const Frame frame = client.read_frame();
+    ASSERT_EQ(frame.type, FrameType::kError);
+    WireError code;
+    std::string message;
+    ASSERT_TRUE(net::decode_error_payload(frame.payload, code, message));
+    EXPECT_EQ(code, WireError::kUnsupportedVersion);
+    EXPECT_THROW(client.read_frame(), NetError);  // then the close
+  } catch (const NetError&) {
+    // Close raced ahead of the goodbye read; also acceptable.
+  }
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_closed_version, 1u);
+  EXPECT_EQ(stats.connections_closed_protocol, 0u);
+}
+
+TEST(NetServer, ReorderCapShedsConnectionParkedBehindSlowSolve) {
+  // One real solve occupies the single engine worker; a burst of junk
+  // requests behind it is answered inline with error frames that must
+  // park in the reorder map (response order!) until the solve finishes.
+  // Parked bytes past max_reorder_bytes shed the connection instead of
+  // holding unbounded memory hostage.
+  const Testbed& bed = shared_bed();
+  const std::vector<RoundTrace> corpus = make_corpus(bed, 1, 0);
+
+  SensingEngine engine(1);
+  ServerConfig config;
+  config.max_reorder_bytes = 512;
+  Server server(bed.prism(), engine, config);
+  server.start();
+
+  ClientConfig cc = client_config(server.port());
+  cc.request_attempts = 1;  // observe the shed, don't mask it
+  Client client(cc);
+
+  // One buffer, parsed in one pass: the sense request is submitted to the
+  // worker, then every junk frame's error response parks behind it.
+  std::vector<std::uint8_t> burst = net::encode_frame(
+      FrameType::kSenseRequest, 1,
+      net::encode_sense_request(bed.tag_id(), corpus[0]));
+  const std::vector<std::uint8_t> junk = {1, 2, 3};
+  for (std::uint32_t k = 0; k < 24; ++k) {
+    net::append_frame(burst, FrameType::kSenseRequest, 2 + k, junk);
+  }
+  client.send_bytes(burst);
+
+  // The connection is shed; reading surfaces the close.
+  EXPECT_THROW(
+      {
+        for (;;) (void)client.read_frame();
+      },
+      NetError);
+
+  server.stop();
+  EXPECT_EQ(server.stats().reorder_evictions, 1u);
 }
 
 TEST(NetServer, StartStopWithoutTrafficIsClean) {

@@ -134,6 +134,133 @@ TEST(WireCodec, RejectsTruncatedPayloadAtEveryLength) {
   }
 }
 
+// ---- v2 session / streaming codecs -------------------------------------
+
+TEST(WireCodec, SessionSetupRoundTripsBitExactly) {
+  static const Testbed bed;
+  net::SessionSetup setup;
+  setup.geometry = bed.prism().config().geometry;
+  setup.calibrations = bed.prism().calibrations();
+  setup.enable_drift = true;
+
+  const std::vector<std::uint8_t> bytes = net::encode_session_setup(setup);
+  net::SessionSetup decoded;
+  ASSERT_TRUE(net::decode_session_setup(bytes, decoded));
+  EXPECT_TRUE(decoded.enable_drift);
+  EXPECT_EQ(decoded.geometry.n_antennas(), setup.geometry.n_antennas());
+  EXPECT_EQ(decoded.calibrations.n_tags(), setup.calibrations.n_tags());
+  // Re-encoding the decoded deployment reproduces the exact bytes — the
+  // property the registry's digest keying depends on.
+  EXPECT_EQ(bytes, net::encode_session_setup(decoded));
+}
+
+TEST(WireCodec, SessionSetupRejectsTruncationAndTrailingBytes) {
+  static const Testbed bed;
+  net::SessionSetup setup;
+  setup.geometry = bed.prism().config().geometry;
+  setup.calibrations = bed.prism().calibrations();
+  std::vector<std::uint8_t> bytes = net::encode_session_setup(setup);
+  net::SessionSetup decoded;
+  for (std::size_t n = 0; n < bytes.size(); n += 11) {
+    EXPECT_FALSE(net::decode_session_setup({bytes.data(), n}, decoded))
+        << "len " << n;
+  }
+  bytes.push_back(0);
+  EXPECT_FALSE(net::decode_session_setup(bytes, decoded));
+}
+
+TEST(WireCodec, SessionReadyRoundTrips) {
+  net::SessionReady ready;
+  ready.digest = 0xDEADBEEFCAFEF00Dull;
+  ready.n_antennas = 4;
+  ready.drift_enabled = true;
+  const auto bytes = net::encode_session_ready(ready);
+  net::SessionReady decoded;
+  ASSERT_TRUE(net::decode_session_ready(bytes, decoded));
+  EXPECT_EQ(decoded.digest, ready.digest);
+  EXPECT_EQ(decoded.n_antennas, 4u);
+  EXPECT_TRUE(decoded.drift_enabled);
+  EXPECT_EQ(bytes, net::encode_session_ready(decoded));
+}
+
+TEST(WireCodec, StreamPushRoundTripsBitExactly) {
+  static const Testbed bed;
+  const std::vector<TagRead> reads =
+      round_to_reads(sample_round(555), "stream-tag");
+  ASSERT_FALSE(reads.empty());
+
+  const auto bytes = net::encode_stream_push(12.75, reads);
+  double now_s = 0.0;
+  std::vector<TagRead> decoded;
+  ASSERT_TRUE(net::decode_stream_push(bytes, now_s, decoded));
+  EXPECT_EQ(now_s, 12.75);
+  ASSERT_EQ(decoded.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(decoded[i].tag_id, reads[i].tag_id);
+    EXPECT_EQ(decoded[i].antenna, reads[i].antenna);
+    EXPECT_EQ(decoded[i].channel, reads[i].channel);
+    EXPECT_EQ(decoded[i].frequency_hz, reads[i].frequency_hz);
+    EXPECT_EQ(decoded[i].time_s, reads[i].time_s);
+    EXPECT_EQ(decoded[i].phase, reads[i].phase);
+    EXPECT_EQ(decoded[i].rssi_dbm, reads[i].rssi_dbm);
+  }
+  EXPECT_EQ(bytes, net::encode_stream_push(now_s, decoded));
+
+  // An empty push (a pure clock tick) is legal and round-trips too.
+  const auto tick = net::encode_stream_push(99.0, {});
+  ASSERT_TRUE(net::decode_stream_push(tick, now_s, decoded));
+  EXPECT_EQ(now_s, 99.0);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(WireCodec, StreamResultsRoundTripBitExactly) {
+  static const Testbed bed;
+  StreamedResult emission;
+  emission.tag_id = "tag-9";
+  emission.completed_at_s = 3.5;
+  emission.result = sample_result(77);
+  StreamedResult rejected;
+  rejected.tag_id = "tag-x";
+  rejected.completed_at_s = 4.0;  // result stays default: invalid/kRejected
+  const std::vector<StreamedResult> results = {emission, rejected};
+
+  const auto bytes = net::encode_stream_results(results);
+  std::vector<StreamedResult> decoded;
+  ASSERT_TRUE(net::decode_stream_results(bytes, decoded));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].tag_id, "tag-9");
+  EXPECT_EQ(decoded[0].completed_at_s, 3.5);
+  EXPECT_EQ(decoded[0].result.position.x, emission.result.position.x);
+  EXPECT_EQ(decoded[0].result.kt, emission.result.kt);
+  EXPECT_FALSE(decoded[1].result.valid);
+  EXPECT_EQ(bytes, net::encode_stream_results(decoded));
+}
+
+TEST(WireCodec, V2PayloadsRejectTruncationAtEveryLength) {
+  const std::vector<TagRead> reads =
+      round_to_reads(sample_round(556), "t");
+  const auto push = net::encode_stream_push(1.0, reads);
+  double now_s;
+  std::vector<TagRead> decoded_reads;
+  for (std::size_t n = 0; n < push.size(); n += 13) {
+    EXPECT_FALSE(
+        net::decode_stream_push({push.data(), n}, now_s, decoded_reads))
+        << "push len " << n;
+  }
+
+  StreamedResult emission;
+  emission.tag_id = "t";
+  emission.result = sample_result(78);
+  const auto results =
+      net::encode_stream_results(std::vector<StreamedResult>{emission});
+  std::vector<StreamedResult> decoded_results;
+  for (std::size_t n = 0; n < results.size(); n += 13) {
+    EXPECT_FALSE(net::decode_stream_results({results.data(), n},
+                                            decoded_results))
+        << "results len " << n;
+  }
+}
+
 // ---- Frame layer -------------------------------------------------------
 
 TEST(FrameDecoderTest, ParsesFramesFedOneByteAtATime) {
@@ -191,6 +318,34 @@ TEST(FrameDecoderTest, RejectsVersionMismatch) {
   decoder.feed(bytes);
   Frame frame;
   EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadVersion);
+}
+
+TEST(FrameDecoderTest, RecordsPeerVersionOnMismatch) {
+  // The version-negotiation goodbye needs the *peer's* version: the
+  // decoder must remember what the mismatched header carried.
+  FrameDecoder decoder;
+  EXPECT_EQ(decoder.peer_version(), 0u);  // nothing seen yet
+  decoder.feed(net::encode_frame(FrameType::kPing, 1, {}, /*version=*/1));
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadVersion);
+  EXPECT_EQ(decoder.peer_version(), 1u);
+
+  // And the error latches like every other framing failure.
+  decoder.feed(net::encode_frame(FrameType::kPing, 2, {}));
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadVersion);
+  EXPECT_EQ(decoder.peer_version(), 1u);
+}
+
+TEST(FrameDecoderTest, CurrentVersionFrameCarriesConfiguredVersion) {
+  // encode_frame's version parameter defaults to kVersion and lands in
+  // the header bytes the decoder accepts.
+  const auto bytes = net::encode_frame(FrameType::kPong, 3, {});
+  EXPECT_EQ(bytes[4] | (bytes[5] << 8), net::kVersion);
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kPong);
 }
 
 TEST(FrameDecoderTest, RejectsOversizedDeclaredPayload) {

@@ -4,18 +4,25 @@
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "rfp/core/engine.hpp"
 #include "rfp/exp/testbed.hpp"
+#include "rfp/io/calibration_io.hpp"
+#include "rfp/io/geometry_io.hpp"
 #include "rfp/net/server.hpp"
 
 /// \file rfpd_common.hpp
 /// The daemon body shared by the standalone `rfpd` binary and the
-/// `rfprism serve` subcommand: build the calibrated deployment pipeline
-/// (a Testbed keyed by seed, so client and server agree on geometry and
-/// calibration), spin up a SensingEngine + rfp::net::Server, serve until
-/// SIGINT/SIGTERM, then print the drain-complete stats.
+/// `rfprism serve` subcommand: build the calibrated *default* deployment
+/// pipeline — a Testbed keyed by seed, or survey/calibration files via
+/// --geometry/--calibration — spin up a SensingEngine +
+/// rfp::net::Server with N reactors, serve until SIGINT/SIGTERM, then
+/// print the drain-complete stats (per-tenant included). Wire-v2 clients
+/// may ship their own deployments per session; the options here only
+/// pick what sessionless connections solve against.
 
 namespace rfp::tools {
 
@@ -23,16 +30,23 @@ struct DaemonOptions {
   std::string bind = "127.0.0.1";
   std::uint16_t port = 7461;      ///< 0 picks an ephemeral port
   std::size_t threads = 0;        ///< engine threads; 0 = hardware
+  std::size_t reactors = 1;       ///< poll-loop threads (SO_REUSEPORT)
   std::uint64_t seed = 42;        ///< deployment seed
   std::size_t antennas = 4;       ///< 4 = the fault-tolerance rig
   bool multipath = false;
   double idle_timeout_s = 60.0;
   std::size_t max_connections = 64;
   std::size_t max_pending = 32;   ///< per-connection backpressure limit
+  std::size_t max_tenants = 16;   ///< deployment-registry capacity
   bool pyramid = false;           ///< coarse-to-fine Stage-A search
   bool uncached = false;          ///< disable the geometry cache
   bool scalar = false;            ///< scalar factored ranking (no SIMD)
   bool drift = false;             ///< online drift self-calibration
+  /// Serve a surveyed deployment from files instead of the seed-keyed
+  /// testbed: --geometry replaces the default tenant's geometry,
+  /// --calibration its calibration database (either may be given alone).
+  std::string geometry_path;
+  std::string calibration_path;
 };
 
 namespace detail {
@@ -64,7 +78,28 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
     prism_config.disentangle.rank_kernel = RankKernel::kFactoredScalar;
   }
   prism_config.disentangle.drift.enable = options.drift;
-  const RfPrism prism = bed.make_pipeline_variant(std::move(prism_config));
+
+  // Default deployment: the seed-keyed testbed, unless survey /
+  // calibration files override it (solver modes stay as chosen above —
+  // files ship the site, never the solver).
+  std::optional<RfPrism> pipeline;
+  const bool file_deployment =
+      !options.geometry_path.empty() || !options.calibration_path.empty();
+  if (file_deployment) {
+    if (!options.geometry_path.empty()) {
+      prism_config.geometry = load_geometry(options.geometry_path);
+    }
+    pipeline.emplace(std::move(prism_config));
+    if (!options.calibration_path.empty()) {
+      pipeline->import_calibrations(
+          load_calibrations(options.calibration_path));
+    } else if (options.geometry_path.empty()) {
+      pipeline->import_calibrations(bed.prism().calibrations());
+    }
+  } else {
+    pipeline.emplace(bed.make_pipeline_variant(std::move(prism_config)));
+  }
+  const RfPrism& prism = *pipeline;
 
   SensingEngine engine(options.threads);
   if (options.drift) {
@@ -75,8 +110,10 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   net::ServerConfig server_config;
   server_config.bind_address = options.bind;
   server_config.port = options.port;
+  server_config.reactors = options.reactors == 0 ? 1 : options.reactors;
   server_config.max_connections = options.max_connections;
   server_config.max_pending_per_connection = options.max_pending;
+  server_config.max_tenants = options.max_tenants;
   server_config.idle_timeout_s = options.idle_timeout_s;
   net::Server server(prism, engine, server_config);
 
@@ -84,13 +121,28 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   std::signal(SIGINT, detail::stop_signal_handler);
   std::signal(SIGTERM, detail::stop_signal_handler);
 
-  std::printf("%s: deployment seed %llu, %zu antennas, %zu worker thread(s), "
-              "solver %s%s%s\n",
-              name, static_cast<unsigned long long>(options.seed),
-              options.antennas, engine.n_threads(),
-              options.uncached ? "uncached" : "cached",
-              options.pyramid ? "+pyramid" : "",
-              options.scalar ? "+scalar" : "");
+  if (file_deployment) {
+    std::printf("%s: deployment from %s%s%s, %zu antennas, "
+                "%zu worker thread(s), %zu reactor(s), solver %s%s%s\n",
+                name,
+                options.geometry_path.empty() ? "seed geometry"
+                                              : options.geometry_path.c_str(),
+                options.calibration_path.empty() ? "" : " + ",
+                options.calibration_path.c_str(),
+                prism.config().geometry.n_antennas(), engine.n_threads(),
+                server_config.reactors,
+                options.uncached ? "uncached" : "cached",
+                options.pyramid ? "+pyramid" : "",
+                options.scalar ? "+scalar" : "");
+  } else {
+    std::printf("%s: deployment seed %llu, %zu antennas, "
+                "%zu worker thread(s), %zu reactor(s), solver %s%s%s\n",
+                name, static_cast<unsigned long long>(options.seed),
+                options.antennas, engine.n_threads(), server_config.reactors,
+                options.uncached ? "uncached" : "cached",
+                options.pyramid ? "+pyramid" : "",
+                options.scalar ? "+scalar" : "");
+  }
   if (options.drift) {
     std::printf("%s: drift self-calibration enabled\n", name);
   }
@@ -118,6 +170,30 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   std::printf("  bytes        in %llu  out %llu\n",
               static_cast<unsigned long long>(stats.bytes_received),
               static_cast<unsigned long long>(stats.bytes_sent));
+  std::printf("  sessions     opened %llu  closed %llu  tenants %zu"
+              "  evicted %llu\n",
+              static_cast<unsigned long long>(stats.sessions_opened),
+              static_cast<unsigned long long>(stats.sessions_closed),
+              stats.tenants_resident,
+              static_cast<unsigned long long>(stats.tenants_evicted));
+  if (stats.stream_reads > 0) {
+    std::printf("  streaming    reads %llu  results %llu  evictions %llu\n",
+                static_cast<unsigned long long>(stats.stream_reads),
+                static_cast<unsigned long long>(stats.stream_results),
+                static_cast<unsigned long long>(stats.stream_evictions));
+  }
+  for (const TenantStats& tenant : server.tenant_stats()) {
+    std::printf("  tenant %016llx%s  %zu antennas%s  sessions %llu"
+                "  requests %llu/%llu  stream %llu/%llu\n",
+                static_cast<unsigned long long>(tenant.digest),
+                tenant.is_default ? " (default)" : "",
+                tenant.n_antennas, tenant.drift_enabled ? "  drift" : "",
+                static_cast<unsigned long long>(tenant.sessions_opened),
+                static_cast<unsigned long long>(tenant.requests_completed),
+                static_cast<unsigned long long>(tenant.requests_failed),
+                static_cast<unsigned long long>(tenant.stream_reads),
+                static_cast<unsigned long long>(tenant.stream_emissions));
+  }
   if (options.drift) {
     std::printf("  drift        rounds %llu  outliers %llu  alarms %llu"
                 "  active %llu  dropped-ports %llu\n",

@@ -7,15 +7,20 @@
 /// simulated testbed keyed by --seed, so any client built against the
 /// same seed agrees on what the antennas look like.
 ///
-///   rfpd [--port N] [--bind ADDR] [--threads N] [--seed S]
-///        [--antennas N] [--multipath] [--idle-timeout SEC]
-///        [--max-conns N] [--max-pending N] [--pyramid] [--uncached]
-///        [--scalar] [--drift]
+///   rfpd [--port N] [--bind ADDR] [--threads N] [--reactors N]
+///        [--seed S] [--antennas N] [--multipath] [--idle-timeout SEC]
+///        [--max-conns N] [--max-pending N] [--max-tenants N]
+///        [--geometry FILE] [--calibration FILE]
+///        [--pyramid] [--uncached] [--scalar] [--drift]
 ///
 /// --port 0 binds an ephemeral port; the actual port is printed on the
-/// "listening on" line (scripts parse it there). SIGINT/SIGTERM trigger
-/// a graceful shutdown: the listener closes, in-flight solves drain, and
-/// every accepted request still receives its response.
+/// "listening on" line (scripts parse it there). --reactors runs N
+/// SO_REUSEPORT poll loops; --geometry/--calibration serve a surveyed
+/// deployment from files instead of the seed-keyed testbed (wire-v2
+/// sessions can still ship their own, bounded by --max-tenants).
+/// SIGINT/SIGTERM trigger a graceful shutdown: the listeners close,
+/// in-flight solves drain, and every accepted request still receives its
+/// response.
 
 #include <cstdio>
 #include <cstring>
@@ -29,9 +34,11 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: rfpd [--port N] [--bind ADDR] [--threads N]\n"
-               "            [--seed S] [--antennas N] [--multipath]\n"
-               "            [--idle-timeout SEC] [--max-conns N]\n"
-               "            [--max-pending N] [--pyramid] [--uncached]\n"
+               "            [--reactors N] [--seed S] [--antennas N]\n"
+               "            [--multipath] [--idle-timeout SEC]\n"
+               "            [--max-conns N] [--max-pending N]\n"
+               "            [--max-tenants N] [--geometry FILE]\n"
+               "            [--calibration FILE] [--pyramid] [--uncached]\n"
                "            [--scalar] [--drift]\n");
   return 2;
 }
@@ -56,6 +63,8 @@ int main(int argc, char** argv) {
         options.bind = next();
       } else if (arg == "--threads") {
         options.threads = std::stoull(next());
+      } else if (arg == "--reactors") {
+        options.reactors = std::stoull(next());
       } else if (arg == "--seed") {
         options.seed = std::stoull(next());
       } else if (arg == "--antennas") {
@@ -68,6 +77,12 @@ int main(int argc, char** argv) {
         options.max_connections = std::stoull(next());
       } else if (arg == "--max-pending") {
         options.max_pending = std::stoull(next());
+      } else if (arg == "--max-tenants") {
+        options.max_tenants = std::stoull(next());
+      } else if (arg == "--geometry") {
+        options.geometry_path = next();
+      } else if (arg == "--calibration") {
+        options.calibration_path = next();
       } else if (arg == "--pyramid") {
         options.pyramid = true;
       } else if (arg == "--uncached") {

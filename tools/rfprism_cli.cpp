@@ -17,7 +17,17 @@
 ///                                (serve rounds over the rfp::net wire
 ///                                protocol until SIGINT/SIGTERM)
 ///   rfprism request [options]    send one round to a running daemon and
-///                                print the sensed result (or --ping)
+///                                print the sensed result (or --ping);
+///                                --session ships this client's deployment
+///                                first (wire v2 multi-tenancy)
+///   rfprism export [options]     write the seed-keyed deployment's survey
+///                                (--geometry FILE) and/or calibration
+///                                database (--calibration FILE) for
+///                                `rfpd --geometry/--calibration`
+///
+/// `stream` also speaks the wire: with --port (and optionally --host) the
+/// faulted reads are shipped to a running daemon over a v2 session
+/// (kStreamPush) instead of a local StreamingSensor.
 ///
 /// `simulate` options:
 ///   --trials N        number of trials (default 20)
@@ -55,7 +65,7 @@ using namespace rfp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rfprism <simulate|track|replay|inspect|materials|stream|batch|serve|request> [args]\n"
+               "usage: rfprism <simulate|track|replay|inspect|materials|stream|batch|serve|request|export> [args]\n"
                "  rfprism simulate [--trials N] [--material NAME|all]\n"
                "                   [--alpha DEG] [--multipath] [--seed S]\n"
                "                   [--csv] [--dump-trace FILE]\n"
@@ -66,17 +76,22 @@ int usage() {
                "  rfprism stream [--rounds N] [--fault-intensity X]\n"
                "                 [--dead PORT] [--antennas N] [--seed S]\n"
                "                 [--warm] [--drift]\n"
+               "                 [--host H] [--port N] [--timeout SEC]\n"
                "  rfprism batch [--rounds N] [--threads N] [--material NAME|all]\n"
                "                [--multipath] [--seed S] [--verify]\n"
                "                [--pyramid] [--uncached] [--scalar]\n"
                "  rfprism serve [--port N] [--bind ADDR] [--threads N]\n"
-               "                [--seed S] [--antennas N] [--multipath]\n"
-               "                [--idle-timeout SEC] [--max-conns N]\n"
+               "                [--reactors N] [--seed S] [--antennas N]\n"
+               "                [--multipath] [--idle-timeout SEC]\n"
+               "                [--max-conns N] [--max-tenants N]\n"
+               "                [--geometry FILE] [--calibration FILE]\n"
                "                [--pyramid] [--uncached] [--scalar] [--drift]\n"
                "  rfprism request [--host H] [--port N] [--trace FILE]\n"
                "                  [--trial K] [--seed S] [--antennas N]\n"
                "                  [--multipath] [--material NAME] [--tag ID]\n"
-               "                  [--timeout SEC] [--ping]\n");
+               "                  [--timeout SEC] [--ping] [--session]\n"
+               "  rfprism export [--seed S] [--antennas N] [--multipath]\n"
+               "                 [--geometry FILE] [--calibration FILE]\n");
   return 2;
 }
 
@@ -249,6 +264,11 @@ struct StreamOptions {
   std::uint64_t seed = 42;
   bool warm = false;   ///< track-seeded warm-start solves
   bool drift = false;  ///< inject LO drift + run online self-calibration
+  // Remote mode (--port): ship the deployment over a wire-v2 session and
+  // push the faulted reads to a running daemon instead of solving locally.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = local StreamingSensor
+  double timeout_s = 30.0;
 };
 
 int run_stream(const StreamOptions& options) {
@@ -275,7 +295,26 @@ int run_stream(const StreamOptions& options) {
     drift_prism.emplace(bed.make_pipeline_variant(std::move(prism_config)));
     prism = &*drift_prism;
   }
-  StreamingSensor sensor(*prism, streaming_config);
+  // Remote mode: open a wire-v2 session carrying this deployment; the
+  // daemon runs the per-session StreamingSensor, we just ship reads.
+  std::optional<net::Client> client;
+  std::optional<StreamingSensor> sensor;
+  if (options.port != 0) {
+    net::ClientConfig client_config;
+    client_config.host = options.host;
+    client_config.port = options.port;
+    client_config.io_timeout_s = options.timeout_s;
+    client.emplace(client_config);
+    const net::SessionReady ready = client->setup_session(
+        prism->config().geometry, prism->calibrations(), options.drift);
+    std::printf("session tenant %016llx  (%u antennas%s) at %s:%u\n",
+                static_cast<unsigned long long>(ready.digest),
+                static_cast<unsigned>(ready.n_antennas),
+                ready.drift_enabled ? ", drift" : "", options.host.c_str(),
+                static_cast<unsigned>(options.port));
+  } else {
+    sensor.emplace(*prism, streaming_config);
+  }
 
   FaultProfile profile = FaultProfile::scaled(options.intensity,
                                               mix_seed(options.seed, 0xFA17));
@@ -323,16 +362,28 @@ int run_stream(const StreamOptions& options) {
     const RoundTrace round = bed.collect(state, trial);
     auto reads = round_to_reads(round, bed.tag_id());
     for (auto& read : reads) read.time_s += clock;
-    sensor.push(injector.apply_stream(
-        std::span<const TagRead>(reads.data(), reads.size()), trial));
+    const std::vector<TagRead> faulted = injector.apply_stream(
+        std::span<const TagRead>(reads.data(), reads.size()), trial);
     clock += round.duration_s + 1.0;
 
-    print_emissions(sensor.poll(clock));
+    if (client) {
+      print_emissions(client->push_stream(faulted, clock));
+    } else {
+      sensor->push(std::span<const TagRead>(faulted.data(), faulted.size()));
+      print_emissions(sensor->poll(clock));
+    }
   }
   // Flush anything still pending once the site goes quiet.
-  print_emissions(sensor.poll(clock + 1000.0));
+  if (client) {
+    print_emissions(client->push_stream({}, clock + 1000.0));
+    client->close_session();
+    std::printf("\nremote stream: %zu rounds emitted by the daemon\n",
+                emitted_total);
+    return emitted_total > 0 ? 0 : 1;
+  }
+  print_emissions(sensor->poll(clock + 1000.0));
 
-  const StreamingStats& stats = sensor.stats();
+  const StreamingStats& stats = sensor->stats();
   std::printf("\nstream stats\n");
   std::printf("  reads accepted     %llu\n",
               static_cast<unsigned long long>(stats.reads_accepted));
@@ -351,7 +402,7 @@ int run_stream(const StreamOptions& options) {
   std::printf("  tags timed out     %llu\n",
               static_cast<unsigned long long>(stats.tags_timed_out));
 
-  if (const AntennaHealthMonitor* health = sensor.health()) {
+  if (const AntennaHealthMonitor* health = sensor->health()) {
     std::printf("\nport health\n");
     for (std::size_t a = 0; a < health->n_antennas(); ++a) {
       const PortHealth& port = health->port(a);
@@ -363,7 +414,7 @@ int run_stream(const StreamOptions& options) {
     }
   }
 
-  if (const DriftEstimator* drift = sensor.drift()) {
+  if (const DriftEstimator* drift = sensor->drift()) {
     const DriftStats drift_stats = drift->stats();
     std::printf("\ndrift self-calibration\n");
     std::printf("  rounds observed    %llu (skipped %llu)\n",
@@ -513,6 +564,10 @@ struct RequestOptions {
   std::string tag = "tag-1";
   double timeout_s = 30.0;
   bool ping = false;
+  /// Ship this client's seed-keyed deployment over a wire-v2 session
+  /// before sensing, so the daemon solves against *our* geometry and
+  /// calibration instead of its default tenant.
+  bool session = false;
 };
 
 int run_request(const RequestOptions& options) {
@@ -529,18 +584,29 @@ int run_request(const RequestOptions& options) {
     return 0;
   }
 
+  // The client-side deployment: simulation source when no trace is given,
+  // and (with --session) the deployment shipped to the daemon.
+  TestbedConfig config;
+  config.seed = options.seed;
+  config.n_antennas = options.antennas;
+  config.multipath_environment = options.multipath;
+  const Testbed bed(config);
+
+  if (options.session) {
+    const net::SessionReady ready = client.setup_session(
+        bed.prism().config().geometry, bed.prism().calibrations());
+    std::printf("session     tenant %016llx (%u antennas)\n",
+                static_cast<unsigned long long>(ready.digest),
+                static_cast<unsigned>(ready.n_antennas));
+  }
+
   RoundTrace round;
   std::optional<TagState> truth;
   if (!options.trace.empty()) {
     round = load_round(options.trace);
   } else {
-    // Simulate one round over the same deployment the daemon built from
-    // this seed, so geometry and calibration line up.
-    TestbedConfig config;
-    config.seed = options.seed;
-    config.n_antennas = options.antennas;
-    config.multipath_environment = options.multipath;
-    const Testbed bed(config);
+    // Simulate one round over the daemon's deployment: shipped by the
+    // session, or (sessionless) the shared seed convention.
     Rng rng(mix_seed(options.seed,
                      0x9E90 + static_cast<std::uint64_t>(options.trial)));
     const Vec2 p{0.3 + 1.4 * rng.uniform(), 0.3 + 1.4 * rng.uniform()};
@@ -567,6 +633,33 @@ int run_request(const RequestOptions& options) {
     std::printf("truth       (%.4f, %.4f)  ->  err %.2f cm\n",
                 truth->position.x, truth->position.y,
                 100.0 * distance(r.position, truth->position));
+  }
+  return 0;
+}
+
+struct ExportOptions {
+  std::uint64_t seed = 42;
+  std::size_t antennas = 4;
+  bool multipath = false;
+  std::string geometry_path;
+  std::string calibration_path;
+};
+
+int run_export(const ExportOptions& options) {
+  TestbedConfig config;
+  config.seed = options.seed;
+  config.n_antennas = options.antennas;
+  config.multipath_environment = options.multipath;
+  const Testbed bed(config);
+  if (!options.geometry_path.empty()) {
+    save_geometry(options.geometry_path, bed.prism().config().geometry);
+    std::printf("wrote %s (%zu antennas)\n", options.geometry_path.c_str(),
+                bed.prism().config().geometry.n_antennas());
+  }
+  if (!options.calibration_path.empty()) {
+    save_calibrations(options.calibration_path, bed.prism().calibrations());
+    std::printf("wrote %s (%zu tags)\n", options.calibration_path.c_str(),
+                bed.prism().calibrations().n_tags());
   }
   return 0;
 }
@@ -668,6 +761,12 @@ int main(int argc, char** argv) {
           options.warm = true;
         } else if (arg == "--drift") {
           options.drift = true;
+        } else if (arg == "--host") {
+          options.host = next();
+        } else if (arg == "--port") {
+          options.port = static_cast<std::uint16_t>(std::stoul(next()));
+        } else if (arg == "--timeout") {
+          options.timeout_s = std::stod(next());
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
@@ -775,6 +874,8 @@ int main(int argc, char** argv) {
           options.bind = next();
         } else if (arg == "--threads") {
           options.threads = std::stoull(next());
+        } else if (arg == "--reactors") {
+          options.reactors = std::stoull(next());
         } else if (arg == "--seed") {
           options.seed = std::stoull(next());
         } else if (arg == "--antennas") {
@@ -785,6 +886,12 @@ int main(int argc, char** argv) {
           options.idle_timeout_s = std::stod(next());
         } else if (arg == "--max-conns") {
           options.max_connections = std::stoull(next());
+        } else if (arg == "--max-tenants") {
+          options.max_tenants = std::stoull(next());
+        } else if (arg == "--geometry") {
+          options.geometry_path = next();
+        } else if (arg == "--calibration") {
+          options.calibration_path = next();
         } else if (arg == "--pyramid") {
           options.pyramid = true;
         } else if (arg == "--uncached") {
@@ -834,6 +941,8 @@ int main(int argc, char** argv) {
           options.timeout_s = std::stod(next());
         } else if (arg == "--ping") {
           options.ping = true;
+        } else if (arg == "--session") {
+          options.session = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
@@ -846,6 +955,41 @@ int main(int argc, char** argv) {
         return 2;
       }
       return run_request(options);
+    }
+
+    if (command == "export") {
+      ExportOptions options;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+            throw UsageError();
+          }
+          return argv[++i];
+        };
+        if (arg == "--seed") {
+          options.seed = std::stoull(next());
+        } else if (arg == "--antennas") {
+          options.antennas = std::stoull(next());
+        } else if (arg == "--multipath") {
+          options.multipath = true;
+        } else if (arg == "--geometry") {
+          options.geometry_path = next();
+        } else if (arg == "--calibration") {
+          options.calibration_path = next();
+        } else {
+          std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+          return usage();
+        }
+      }
+      if (options.geometry_path.empty() && options.calibration_path.empty()) {
+        std::fprintf(stderr,
+                     "export: give --geometry FILE and/or --calibration "
+                     "FILE\n");
+        return usage();
+      }
+      return run_export(options);
     }
   } catch (const UsageError&) {
     return usage();
