@@ -22,6 +22,8 @@
 
 namespace rfp {
 
+class TrackSink;  // see track_sink.hpp
+
 /// One tag report from the reader stream. Alias of rfsim's StreamRead so
 /// FaultInjector::apply_stream perturbs exactly what push() ingests.
 using TagRead = StreamRead;
@@ -196,6 +198,17 @@ class StreamingSensor {
     return drift_ ? drift_->alarms() : std::vector<ReSurveyAlarm>{};
   }
 
+  /// Attach a trajectory consumer (see track_sink.hpp): every poll's
+  /// sorted emissions are handed to the sink after accounting, and the
+  /// warm-start path skips any tag the sink flags as maneuvering. The
+  /// sink must outlive the sensor (or be detached with nullptr first).
+  /// With no sink attached, behavior is byte-identical to before this
+  /// hook existed.
+  void attach_track_sink(TrackSink* sink) { track_sink_ = sink; }
+
+  /// Currently attached sink (nullptr when none).
+  TrackSink* track_sink() const { return track_sink_; }
+
   /// Drop all partial state, counters, and port-health history.
   void clear();
 
@@ -240,6 +253,9 @@ class StreamingSensor {
   /// Bounded: pruned against tag_timeout_s and capped at
   /// max_pending_tags by evicting the stalest track.
   std::map<std::string, Tracker> tracks_;
+
+  /// Optional trajectory consumer; not owned. See attach_track_sink().
+  TrackSink* track_sink_ = nullptr;
 };
 
 /// Flatten a simulated hop round into the interleaved read stream a real

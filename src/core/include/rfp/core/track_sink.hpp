@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "rfp/core/streaming.hpp"
+
+/// \file track_sink.hpp
+/// Seam between the streaming layer and a trajectory consumer. rfp_core
+/// cannot depend on rfp_track (the tracking engine consumes core types),
+/// so StreamingSensor talks to an abstract sink: after each poll it hands
+/// the sorted emissions over, and before each warm-started solve it asks
+/// whether the tag is maneuvering (a warm-start hint seeded from a track
+/// mid-maneuver is worse than a cold scan). With no sink attached the
+/// sensor is byte-identical to the pre-sink pipeline.
+
+namespace rfp {
+
+class TrackSink {
+ public:
+  virtual ~TrackSink() = default;
+
+  /// Called once per poll with that poll's emissions, already sorted by
+  /// (completed_at_s, tag_id), and the poll's monotonic "now". The sink
+  /// is expected to fold the emissions in and then advance its own
+  /// lifecycle clocks to `now_s`.
+  virtual void observe_emissions(std::span<const StreamedResult> emissions,
+                                 double now_s) = 0;
+
+  /// True when `tag_id` should not receive a warm-start hint this poll
+  /// (e.g. the sink's motion segmentation says the tag is maneuvering).
+  virtual bool suppress_warm_start(const std::string& tag_id) const = 0;
+};
+
+}  // namespace rfp

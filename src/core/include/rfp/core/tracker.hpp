@@ -48,14 +48,31 @@ class Tracker {
   /// Feed one sensing fix taken at absolute time `time_s`. Invalid
   /// results are ignored (returns false). Returns true when the fix was
   /// accepted into the track, false when it was gated out or ignored.
-  bool update(const SensingResult& result, double time_s);
+  ///
+  /// `noise_scale` inflates the measurement std-dev for this fix only —
+  /// a degraded-grade subset solve is trusted less than a full one (1.0
+  /// is bit-identical to the historical two-argument call). `innovation2`
+  /// (optional) receives the squared Mahalanobis distance of the fix
+  /// from the prediction (0 on a (re)initializing fix), which motion
+  /// segmentation consumes as maneuver evidence.
+  bool update(const SensingResult& result, double time_s,
+              double noise_scale = 1.0, double* innovation2 = nullptr);
 
-  /// Current estimate; nullopt before the first accepted fix.
+  /// Current estimate; nullopt before the first accepted fix. The
+  /// variance is the *posterior* of the last accepted fix — it does not
+  /// grow while the track coasts; see predict_state().
   std::optional<TrackState> state() const;
 
   /// Predicted position at `time_s` (>= the last update); nullopt before
   /// the first accepted fix.
   std::optional<Vec2> predict(double time_s) const;
+
+  /// State predicted at `time_s` (>= the last update) with the
+  /// covariance propagated through the constant-velocity model to that
+  /// time. Unlike state(), the reported variance keeps growing while the
+  /// track coasts — the uncertainty a gate or a motion segmenter must
+  /// use when it queries the track between fixes.
+  std::optional<TrackState> predict_state(double time_s) const;
 
   /// Drop the track.
   void reset();

@@ -1,5 +1,7 @@
 #include "rfp/core/streaming.hpp"
 
+#include "rfp/core/track_sink.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -252,6 +254,12 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
           config_.warm_start_max_age_s) {
         continue;
       }
+      // A maneuvering tag (per the attached trajectory sink's motion
+      // segmentation) solves cold: mid-maneuver the track's prediction
+      // is exactly the hint most likely to mislead the window solve.
+      if (track_sink_ != nullptr && track_sink_->suppress_warm_start(ids[i])) {
+        continue;
+      }
       if (const std::optional<Vec2> p = track->second.predict(completed_at[i])) {
         hints[i] = Vec3{p->x, p->y, tag_plane_z};
       }
@@ -389,6 +397,13 @@ std::vector<StreamedResult> StreamingSensor::poll_at(double now_s) {
               }
               return a.tag_id < b.tag_id;
             });
+  if (track_sink_ != nullptr) {
+    // Hand the sorted emissions to the trajectory consumer and let it
+    // advance its lifecycle clocks to this poll's "now". The input is
+    // already deterministic across thread counts, so the sink's event
+    // stream is too.
+    track_sink_->observe_emissions(out, now_s);
+  }
   return out;
 }
 

@@ -27,8 +27,11 @@ void Tracker::initialize(Vec2 position, double time_s) {
   consecutive_rejections_ = 0;
 }
 
-bool Tracker::update(const SensingResult& result, double time_s) {
+bool Tracker::update(const SensingResult& result, double time_s,
+                     double noise_scale, double* innovation2) {
+  if (innovation2) *innovation2 = 0.0;
   if (!result.valid) return false;
+  require(noise_scale > 0.0, "Tracker::update: noise_scale must be positive");
   const Vec2 z = result.position.xy();
 
   if (!initialized_) {
@@ -48,16 +51,19 @@ bool Tracker::update(const SensingResult& result, double time_s) {
   const double pred_y = x_[1] + dt * x_[3];
 
   // ---- Gate -------------------------------------------------------------
-  const double r = config_.measurement_sigma * config_.measurement_sigma;
+  const double sigma = config_.measurement_sigma * noise_scale;
+  const double r = sigma * sigma;
   const double s = p_pp + r;  // innovation variance per axis
   const double dx = z.x - pred_x;
   const double dy = z.y - pred_y;
   const double mahalanobis2 = (dx * dx + dy * dy) / s;
+  if (innovation2) *innovation2 = mahalanobis2;
   if (mahalanobis2 > config_.gate_chi2) {
     ++consecutive_rejections_;
     if (consecutive_rejections_ >= config_.max_consecutive_rejections) {
       // The world moved on; restart from the new fix.
       initialize(z, time_s);
+      if (innovation2) *innovation2 = 0.0;
       return true;
     }
     return false;
@@ -94,6 +100,19 @@ std::optional<Vec2> Tracker::predict(double time_s) const {
   if (!initialized_) return std::nullopt;
   const double dt = std::max(time_s - last_time_s, 0.0);
   return Vec2{x_[0] + dt * x_[2], x_[1] + dt * x_[3]};
+}
+
+std::optional<TrackState> Tracker::predict_state(double time_s) const {
+  if (!initialized_) return std::nullopt;
+  const double dt = std::max(time_s - last_time_s, 0.0);
+  const double q = config_.acceleration_density;
+  TrackState s;
+  s.position = {x_[0] + dt * x_[2], x_[1] + dt * x_[3]};
+  s.velocity = {x_[2], x_[3]};
+  s.position_variance =
+      p_pp_ + 2.0 * dt * p_pv_ + dt * dt * p_vv_ + q * dt * dt * dt / 3.0;
+  s.updates = updates_;
+  return s;
 }
 
 void Tracker::reset() {

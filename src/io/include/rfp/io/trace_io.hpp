@@ -1,8 +1,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "rfp/rfsim/faults.hpp"
 #include "rfp/rfsim/reader.hpp"
 
 /// \file trace_io.hpp
@@ -35,5 +38,35 @@ RoundTrace read_round(std::istream& is);
 /// opened.
 void save_round(const std::string& path, const RoundTrace& round);
 RoundTrace load_round(const std::string& path);
+
+// -- Read logs -----------------------------------------------------------
+// The streaming analogue of the round trace: the interleaved multi-tag
+// (tag, antenna, channel, frequency, time, phase, rssi) report stream a
+// reader actually delivers, in arrival order. This is what `rfprism
+// track --record` captures and `--replay` feeds back through the
+// StreamingSensor + TrackingEngine offline.
+//
+// Format ("rfprism-readlog v1"), line-oriented, whitespace-separated:
+//
+//   rfprism-readlog v1
+//   reads <n>
+//   <tag_id> <antenna> <channel> <frequency_hz> <time_s> <phase> <rssi>
+//   ...                        (n lines)
+//
+// Tag ids must be whitespace-free (write_read_log enforces it); numbers
+// round-trip at full double precision.
+
+/// Serialize a read stream. Throws InvalidArgument on an empty or
+/// whitespace-containing tag id and Error on stream failure.
+void write_read_log(std::ostream& os, std::span<const StreamRead> reads);
+
+/// Parse a read stream. Throws Error on syntax errors, version mismatch,
+/// or truncation.
+std::vector<StreamRead> read_read_log(std::istream& is);
+
+/// File convenience wrappers; throw Error when the file cannot be
+/// opened.
+void save_read_log(const std::string& path, std::span<const StreamRead> reads);
+std::vector<StreamRead> load_read_log(const std::string& path);
 
 }  // namespace rfp

@@ -92,4 +92,77 @@ RoundTrace load_round(const std::string& path) {
   return read_round(is);
 }
 
+namespace {
+
+constexpr const char* kReadLogMagic = "rfprism-readlog";
+constexpr const char* kReadLogVersion = "v1";
+
+[[noreturn]] void readlog_fail(const std::string& what) {
+  throw Error("read_read_log: " + what);
+}
+
+bool has_whitespace(const std::string& s) {
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' ||
+        c == '\f') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_read_log(std::ostream& os, std::span<const StreamRead> reads) {
+  os << kReadLogMagic << ' ' << kReadLogVersion << '\n';
+  os << "reads " << reads.size() << '\n'
+     << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const StreamRead& read : reads) {
+    require(!read.tag_id.empty() && !has_whitespace(read.tag_id),
+            "write_read_log: tag id must be non-empty and whitespace-free");
+    os << read.tag_id << ' ' << read.antenna << ' ' << read.channel << ' '
+       << read.frequency_hz << ' ' << read.time_s << ' ' << read.phase << ' '
+       << read.rssi_dbm << '\n';
+  }
+  if (!os) throw Error("write_read_log: stream failure");
+}
+
+std::vector<StreamRead> read_read_log(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version)) readlog_fail("missing header");
+  if (magic != kReadLogMagic) readlog_fail("bad magic '" + magic + "'");
+  if (version != kReadLogVersion) {
+    readlog_fail("unsupported version '" + version + "'");
+  }
+
+  std::string tag;
+  std::size_t n_reads = 0;
+  if (!(is >> tag) || tag != "reads" || !(is >> n_reads)) {
+    readlog_fail("bad reads header");
+  }
+  std::vector<StreamRead> reads;
+  reads.reserve(n_reads);
+  for (std::size_t i = 0; i < n_reads; ++i) {
+    StreamRead read;
+    if (!(is >> read.tag_id >> read.antenna >> read.channel >>
+          read.frequency_hz >> read.time_s >> read.phase >> read.rssi_dbm)) {
+      readlog_fail("truncated reads");
+    }
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+void save_read_log(const std::string& path, std::span<const StreamRead> reads) {
+  std::ofstream os(path);
+  if (!os) throw Error("save_read_log: cannot open '" + path + "'");
+  write_read_log(os, reads);
+}
+
+std::vector<StreamRead> load_read_log(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("load_read_log: cannot open '" + path + "'");
+  return read_read_log(is);
+}
+
 }  // namespace rfp

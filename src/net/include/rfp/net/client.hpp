@@ -88,20 +88,34 @@ class Client {
   /// full).
   SessionReady setup_session(const DeploymentGeometry& geometry,
                              const CalibrationDB& calibrations,
-                             bool enable_drift = false);
+                             bool enable_drift = false,
+                             bool enable_tracking = false);
 
   /// Push raw tag reads into this connection's server-side streaming
   /// sensor and collect whatever completed rounds the push released
   /// (evaluated at stream time `now_s`, exactly like
   /// StreamingSensor::poll). NOT retried on transport faults — a resend
   /// would double-push the reads; callers own dedup across reconnects.
-  std::vector<StreamedResult> push_stream(std::span<const TagRead> reads,
-                                          double now_s);
+  ///
+  /// On a session that negotiated tracking (setup_session with
+  /// enable_tracking, granted in SessionReady::tracking_enabled), each
+  /// push is answered with kStreamResults + kTrackEvents; the trajectory
+  /// events land in `track_events` when non-null and are drained off the
+  /// wire (and discarded) when null.
+  std::vector<StreamedResult> push_stream(
+      std::span<const TagRead> reads, double now_s,
+      std::vector<track::TrackEvent>* track_events = nullptr);
 
   /// Same push, returning the raw kStreamResults payload bytes (the
   /// byte-identity tests compare these against locally encoded results).
-  std::vector<std::uint8_t> push_stream_raw(std::span<const TagRead> reads,
-                                            double now_s);
+  /// On a tracking session the raw kTrackEvents payload lands in
+  /// `track_payload` when non-null.
+  std::vector<std::uint8_t> push_stream_raw(
+      std::span<const TagRead> reads, double now_s,
+      std::vector<std::uint8_t>* track_payload = nullptr);
+
+  /// Whether the active session negotiated per-push kTrackEvents frames.
+  bool session_tracking() const { return session_tracking_; }
 
   /// Rebind the connection to the server's default deployment and drop
   /// the server-side streaming state. Forgets the replay payload first,
@@ -157,6 +171,10 @@ class Client {
   /// Encoded kSessionSetup payload of the active session, kept for
   /// replay inside reconnect() (the session dies with the connection).
   std::optional<std::vector<std::uint8_t>> session_setup_payload_;
+  /// The active session was granted tracking: every push reads one extra
+  /// kTrackEvents frame. Survives reconnect (the replayed setup payload
+  /// carries the same tracking bit).
+  bool session_tracking_ = false;
 };
 
 }  // namespace rfp::net

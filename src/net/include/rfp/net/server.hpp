@@ -108,6 +108,13 @@ struct ServerConfig {
   /// sensor's own three-level eviction policy (evictions are surfaced in
   /// ServerStats::stream_evictions and the tenant's counters).
   StreamingConfig stream;
+  /// Per-session trajectory tracking (rfpd --track). When
+  /// tracking.enable is set, a session that also asked for tracking in
+  /// its kSessionSetup gets a per-connection TrackingEngine fed by its
+  /// stream emissions, and every kStreamResults is followed by one
+  /// kTrackEvents frame. Off by default — the serving path is then
+  /// byte-identical to the pre-tracking server.
+  track::TrackingConfig tracking;
 };
 
 /// Monotonic counters for one connection (also aggregated server-wide).
@@ -142,6 +149,7 @@ struct ServerStats {
   std::uint64_t stream_reads = 0;      ///< reads pushed into sessions
   std::uint64_t stream_results = 0;    ///< streamed emissions returned
   std::uint64_t stream_evictions = 0;  ///< session sensor buffer evictions
+  std::uint64_t stream_track_events = 0;  ///< trajectory events returned
   std::size_t tenants_resident = 0;
   std::uint64_t tenants_evicted = 0;
 

@@ -11,6 +11,7 @@
 #include "rfp/core/streaming.hpp"
 #include "rfp/core/types.hpp"
 #include "rfp/rfsim/reader.hpp"
+#include "rfp/track/tracking_engine.hpp"
 
 /// \file wire.hpp
 /// The rfpd wire protocol: versioned, length-prefixed binary frames.
@@ -38,6 +39,9 @@
 ///   kStreamPush      f64 clock + a batch of StreamReads for the
 ///                    connection's per-session StreamingSensor
 ///   kStreamResults   the emissions completed by that push's poll()
+///   kTrackEvents     the trajectory events that poll produced — sent
+///                    immediately after each kStreamResults on sessions
+///                    that negotiated tracking (SessionSetup bit 1)
 ///   kSessionClose / kSessionClosed   empty (rebinds to the default
 ///                    deployment; connection close also tears down)
 ///
@@ -99,6 +103,7 @@ enum class FrameType : std::uint16_t {
   kStreamResults = 9,
   kSessionClose = 10,
   kSessionClosed = 11,
+  kTrackEvents = 12,
 };
 
 /// Error codes carried by kError frames.
@@ -203,6 +208,13 @@ struct SessionSetup {
   /// by this tenant's rounds. Tenants that share a digest share the
   /// estimator.
   bool enable_drift = false;
+  /// Ask the server to run a per-connection TrackingEngine over this
+  /// session's stream emissions; each kStreamResults is then followed by
+  /// one kTrackEvents frame. The server only grants this when rfpd runs
+  /// with --track (see SessionReady::tracking_enabled). Shares the
+  /// option-flag byte with enable_drift (bit 0 drift, bit 1 tracking),
+  /// so the payload layout is unchanged when off.
+  bool enable_tracking = false;
 };
 
 std::vector<std::uint8_t> encode_session_setup(const SessionSetup& setup);
@@ -214,6 +226,10 @@ struct SessionReady {
   std::uint64_t digest = 0;  ///< deployment digest (registry tenant key)
   std::uint32_t n_antennas = 0;
   bool drift_enabled = false;
+  /// Tracking granted: the session's pushes will each be answered with
+  /// kStreamResults + kTrackEvents. False when the client did not ask or
+  /// the server does not run with --track.
+  bool tracking_enabled = false;
 };
 
 std::vector<std::uint8_t> encode_session_ready(const SessionReady& ready);
@@ -233,5 +249,12 @@ std::vector<std::uint8_t> encode_stream_results(
     std::span<const StreamedResult> results);
 bool decode_stream_results(std::span<const std::uint8_t> payload,
                            std::vector<StreamedResult>& results);
+
+/// kTrackEvents: the trajectory events one poll produced, in emission
+/// order. Also the canonical byte encoding the determinism tests compare.
+std::vector<std::uint8_t> encode_track_events(
+    std::span<const track::TrackEvent> events);
+bool decode_track_events(std::span<const std::uint8_t> payload,
+                         std::vector<track::TrackEvent>& events);
 
 }  // namespace rfp::net

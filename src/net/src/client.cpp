@@ -220,23 +220,29 @@ SessionReady Client::setup_session_once(
 
 SessionReady Client::setup_session(const DeploymentGeometry& geometry,
                                    const CalibrationDB& calibrations,
-                                   bool enable_drift) {
+                                   bool enable_drift, bool enable_tracking) {
   SessionSetup setup;
   setup.geometry = geometry;
   setup.calibrations = calibrations;
   setup.enable_drift = enable_drift;
+  setup.enable_tracking = enable_tracking;
   std::vector<std::uint8_t> payload = encode_session_setup(setup);
   // Forget any previous session before retrying: reconnect() must not
   // replay the deployment this call is about to replace.
   session_setup_payload_.reset();
+  session_tracking_ = false;
   SessionReady ready;
   run_with_retry([&] { ready = setup_session_once(payload); });
   session_setup_payload_ = std::move(payload);
+  // What the server *granted*, not what we asked: a non --track daemon
+  // answers tracking_enabled = false and sends no kTrackEvents frames.
+  session_tracking_ = ready.tracking_enabled;
   return ready;
 }
 
 std::vector<std::uint8_t> Client::push_stream_raw(
-    std::span<const TagRead> reads, double now_s) {
+    std::span<const TagRead> reads, double now_s,
+    std::vector<std::uint8_t>* track_payload) {
   // No transport retry: a resend would double-push the reads into the
   // server-side sensor. Callers that need at-most-once semantics across
   // reconnects own their own dedup.
@@ -253,22 +259,51 @@ std::vector<std::uint8_t> Client::push_stream_raw(
     fd_.reset();
     throw NetError("unexpected response frame type");
   }
-  return std::move(frame.payload);
+  std::vector<std::uint8_t> payload = std::move(frame.payload);
+  if (session_tracking_) {
+    // A tracking session answers every push with a second frame; it must
+    // be drained even when the caller doesn't want it, or the next
+    // response read would see it first.
+    Frame track_frame = read_frame();
+    if (track_frame.type == FrameType::kError) throw_error_frame(track_frame);
+    if (track_frame.type != FrameType::kTrackEvents ||
+        track_frame.seq != seq) {
+      fd_.reset();
+      throw NetError("tracking session push was not followed by its "
+                     "track-events frame");
+    }
+    if (track_payload != nullptr) *track_payload = std::move(track_frame.payload);
+  } else if (track_payload != nullptr) {
+    track_payload->clear();
+  }
+  return payload;
 }
 
 std::vector<StreamedResult> Client::push_stream(
-    std::span<const TagRead> reads, double now_s) {
-  const std::vector<std::uint8_t> payload = push_stream_raw(reads, now_s);
+    std::span<const TagRead> reads, double now_s,
+    std::vector<track::TrackEvent>* track_events) {
+  std::vector<std::uint8_t> track_payload;
+  const std::vector<std::uint8_t> payload =
+      push_stream_raw(reads, now_s,
+                      track_events != nullptr ? &track_payload : nullptr);
   std::vector<StreamedResult> results;
   if (!decode_stream_results(payload, results)) {
     fd_.reset();
     throw NetError("stream results payload did not parse");
+  }
+  if (track_events != nullptr) {
+    track_events->clear();
+    if (session_tracking_ && !decode_track_events(track_payload, *track_events)) {
+      fd_.reset();
+      throw NetError("track events payload did not parse");
+    }
   }
   return results;
 }
 
 void Client::close_session() {
   session_setup_payload_.reset();
+  session_tracking_ = false;
   if (!fd_.valid()) return;
   const std::uint32_t seq = next_seq_++;
   send_frame(FrameType::kSessionClose, seq, {});

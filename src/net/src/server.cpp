@@ -93,6 +93,7 @@ class Server::Reactor {
     out.stream_reads += stats_.stream_reads;
     out.stream_results += stats_.stream_results;
     out.stream_evictions += stats_.stream_evictions;
+    out.stream_track_events += stats_.stream_track_events;
   }
 
   void append_connection_stats(std::vector<ConnectionStats>& out) const {
@@ -114,6 +115,11 @@ class Server::Reactor {
     // shared_ptr pins the deployment against registry eviction; `sensor`
     // is declared after `tenant` so it is destroyed first.
     std::shared_ptr<DeploymentTenant> tenant;
+    /// Session trajectory engine (kSessionSetup tracking bit granted by
+    /// --track). Declared before `sensor`: the sensor holds a raw
+    /// TrackSink pointer to it, so the sensor must be destroyed first.
+    std::unique_ptr<track::TrackingEngine> tracker;
+    bool tracking = false;  ///< session negotiated kTrackEvents frames
     std::unique_ptr<StreamingSensor> sensor;
     std::uint64_t sensor_evictions_seen = 0;
 
@@ -530,6 +536,8 @@ class Server::Reactor {
         // streaming state. Closing with no session open still gets its
         // kSessionClosed ack (but doesn't count as a close).
         conn.sensor.reset();
+        conn.tracker.reset();
+        conn.tracking = false;
         if (!conn.tenant->is_default()) {
           conn.tenant = server_.default_tenant_;
           std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -566,7 +574,13 @@ class Server::Reactor {
       std::shared_ptr<DeploymentTenant> tenant = server_.registry_.acquire(
           setup.geometry, setup.calibrations, setup.enable_drift);
       conn.sensor.reset();  // new deployment, fresh streaming state
+      conn.tracker.reset();
       conn.sensor_evictions_seen = 0;
+      // Tracking is granted only when the operator opted the daemon in
+      // (--track); a client asking on a non-tracking server just gets
+      // tracking_enabled = false back, not an error.
+      conn.tracking =
+          setup.enable_tracking && server_.config_.tracking.enable;
       conn.tenant = std::move(tenant);
       conn.tenant->count_session_opened();
       {
@@ -580,6 +594,7 @@ class Server::Reactor {
       ready.drift_enabled = conn.tenant->is_default()
                                 ? server_.engine_.drift_enabled()
                                 : conn.tenant->drift_enabled();
+      ready.tracking_enabled = conn.tracking;
       finish_local(conn, conn.next_index++, false,
                    encode_frame(FrameType::kSessionReady, frame.seq,
                                 encode_session_ready(ready)));
@@ -621,6 +636,11 @@ class Server::Reactor {
         conn.sensor = std::make_unique<StreamingSensor>(
             conn.tenant->prism(), server_.config_.stream, &server_.engine_);
         conn.sensor_evictions_seen = 0;
+        if (conn.tracking) {
+          conn.tracker = std::make_unique<track::TrackingEngine>(
+              server_.config_.tracking);
+          conn.sensor->attach_track_sink(conn.tracker.get());
+        }
       }
       // Pushed inline on the reactor thread: StreamingSensor is
       // single-caller by contract, and one connection's pushes are
@@ -644,9 +664,22 @@ class Server::Reactor {
         stats_.stream_results += results.size();
         stats_.stream_evictions += evicted;
       }
-      finish_local(conn, conn.next_index++, false,
-                   encode_frame(FrameType::kStreamResults, frame.seq,
-                                encode_stream_results(results)));
+      std::vector<std::uint8_t> response = encode_frame(
+          FrameType::kStreamResults, frame.seq, encode_stream_results(results));
+      if (conn.tracking && conn.tracker) {
+        // The poll already fed the tracker (TrackSink); drain its events
+        // into a kTrackEvents frame riding the same response slot, so
+        // per-connection ordering holds with one reorder-map entry.
+        const std::vector<track::TrackEvent> events =
+            conn.tracker->take_events();
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.stream_track_events += events.size();
+        }
+        append_frame(response, FrameType::kTrackEvents, frame.seq,
+                     encode_track_events(events));
+      }
+      finish_local(conn, conn.next_index++, false, std::move(response));
     } catch (const InvalidArgument& e) {
       finish_local(
           conn, conn.next_index++, true,

@@ -132,12 +132,24 @@ bool decode_error_payload(std::span<const std::uint8_t> payload,
   return r.exhausted();
 }
 
+namespace {
+
+// The session option-flag byte: one bit per opt-in feature. The layout
+// predates tracking (it was a 0/1 drift boolean), so bit 0 keeps that
+// meaning and old encodings decode unchanged.
+constexpr std::uint8_t kOptionDrift = 1u << 0;
+constexpr std::uint8_t kOptionTracking = 1u << 1;
+constexpr std::uint8_t kOptionMask = kOptionDrift | kOptionTracking;
+
+}  // namespace
+
 std::vector<std::uint8_t> encode_session_setup(const SessionSetup& setup) {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
   append_geometry(w, setup.geometry);
   append_calibration_db(w, setup.calibrations);
-  w.u8(setup.enable_drift ? 1 : 0);
+  w.u8((setup.enable_drift ? kOptionDrift : 0) |
+       (setup.enable_tracking ? kOptionTracking : 0));
   return out;
 }
 
@@ -146,9 +158,10 @@ bool decode_session_setup(std::span<const std::uint8_t> payload,
   ByteReader r(payload);
   if (!read_geometry(r, setup.geometry)) return false;
   if (!read_calibration_db(r, setup.calibrations)) return false;
-  const std::uint8_t drift = r.u8();
-  if (!r.ok() || drift > 1) return false;
-  setup.enable_drift = drift != 0;
+  const std::uint8_t options = r.u8();
+  if (!r.ok() || (options & ~kOptionMask) != 0) return false;
+  setup.enable_drift = (options & kOptionDrift) != 0;
+  setup.enable_tracking = (options & kOptionTracking) != 0;
   return r.exhausted();
 }
 
@@ -157,7 +170,8 @@ std::vector<std::uint8_t> encode_session_ready(const SessionReady& ready) {
   ByteWriter w(out);
   w.u64(ready.digest);
   w.u32(ready.n_antennas);
-  w.u8(ready.drift_enabled ? 1 : 0);
+  w.u8((ready.drift_enabled ? kOptionDrift : 0) |
+       (ready.tracking_enabled ? kOptionTracking : 0));
   return out;
 }
 
@@ -166,9 +180,10 @@ bool decode_session_ready(std::span<const std::uint8_t> payload,
   ByteReader r(payload);
   ready.digest = r.u64();
   ready.n_antennas = r.u32();
-  const std::uint8_t drift = r.u8();
-  if (!r.ok() || drift > 1) return false;
-  ready.drift_enabled = drift != 0;
+  const std::uint8_t options = r.u8();
+  if (!r.ok() || (options & ~kOptionMask) != 0) return false;
+  ready.drift_enabled = (options & kOptionDrift) != 0;
+  ready.tracking_enabled = (options & kOptionTracking) != 0;
   return r.exhausted();
 }
 
@@ -243,6 +258,69 @@ bool decode_stream_results(std::span<const std::uint8_t> payload,
     emission.tag_id = r.str();
     emission.completed_at_s = r.f64();
     if (!r.ok() || !read_result(r, emission.result)) return false;
+  }
+  return r.exhausted();
+}
+
+std::vector<std::uint8_t> encode_track_events(
+    std::span<const track::TrackEvent> events) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(events.size()));
+  for (const track::TrackEvent& ev : events) {
+    w.str(ev.tag_id);
+    w.f64(ev.time_s);
+    w.u8(static_cast<std::uint8_t>(ev.kind));
+    w.u8(static_cast<std::uint8_t>(ev.label));
+    w.u8(static_cast<std::uint8_t>(ev.grade));
+    w.u8(ev.fix_accepted ? 1 : 0);
+    w.f64(ev.position.x);
+    w.f64(ev.position.y);
+    w.f64(ev.velocity.x);
+    w.f64(ev.velocity.y);
+    w.f64(ev.position_variance);
+    w.f64(ev.angle_rad);
+    w.f64(ev.rate_rad_s);
+    w.u64(ev.updates);
+  }
+  return out;
+}
+
+bool decode_track_events(std::span<const std::uint8_t> payload,
+                         std::vector<track::TrackEvent>& events) {
+  ByteReader r(payload);
+  const std::uint32_t n = r.u32();
+  // Minimum per event: tag-id length prefix + time + 4 flag bytes +
+  // seven doubles + the updates counter.
+  if (!r.ok() || r.remaining() < n * (4 + 8 + 4 + 7 * 8 + 8)) return false;
+  events.resize(n);
+  for (track::TrackEvent& ev : events) {
+    ev.tag_id = r.str();
+    ev.time_s = r.f64();
+    const std::uint8_t kind = r.u8();
+    const std::uint8_t label = r.u8();
+    const std::uint8_t grade = r.u8();
+    const std::uint8_t accepted = r.u8();
+    if (!r.ok() ||
+        kind > static_cast<std::uint8_t>(track::TrackEventKind::kDrop) ||
+        label > static_cast<std::uint8_t>(track::MotionLabel::kRotating) ||
+        grade > static_cast<std::uint8_t>(SensingGrade::kRejected) ||
+        accepted > 1) {
+      return false;
+    }
+    ev.kind = static_cast<track::TrackEventKind>(kind);
+    ev.label = static_cast<track::MotionLabel>(label);
+    ev.grade = static_cast<SensingGrade>(grade);
+    ev.fix_accepted = accepted != 0;
+    ev.position.x = r.f64();
+    ev.position.y = r.f64();
+    ev.velocity.x = r.f64();
+    ev.velocity.y = r.f64();
+    ev.position_variance = r.f64();
+    ev.angle_rad = r.f64();
+    ev.rate_rad_s = r.f64();
+    ev.updates = r.u64();
+    if (!r.ok()) return false;
   }
   return r.exhausted();
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "rfp/rfsim/scene.hpp"
 
 /// \file mobility.hpp
@@ -28,6 +30,29 @@ class MobilityModel {
   static MobilityModel windowed_motion(TagState start, Vec3 velocity,
                                        double t0, double t1);
 
+  /// One leg of a waypoint path: travel linearly to `position` over
+  /// `travel_s` seconds, then hold there for `dwell_s` seconds. Zero
+  /// travel time is an instantaneous index (conveyor step-advance).
+  struct Waypoint {
+    Vec3 position;
+    double travel_s = 0.0;
+    double dwell_s = 0.0;
+  };
+
+  /// Tag following a piecewise-linear waypoint path from `start.position`:
+  /// each leg moves to its waypoint over `travel_s`, dwells `dwell_s`,
+  /// then the next leg begins. After the last waypoint the tag holds
+  /// position forever. An empty path degenerates to static_tag. Travel
+  /// and dwell times must be non-negative.
+  static MobilityModel waypoint_path(TagState start,
+                                     std::vector<Waypoint> path);
+
+  /// Same trajectory evaluated `offset_s` later: at(t) of the returned
+  /// model equals at(t + offset_s) of this one. Lets a per-round
+  /// simulation slice one long trajectory (e.g. a waypoint path spanning
+  /// a whole sweep) into per-round mobility models.
+  MobilityModel with_time_offset(double offset_s) const;
+
   /// State at time t [s] since round start.
   TagState at(double t) const;
 
@@ -35,7 +60,7 @@ class MobilityModel {
   bool is_static() const { return kind_ == Kind::kStatic; }
 
  private:
-  enum class Kind { kStatic, kLinear, kRotation, kWindowed };
+  enum class Kind { kStatic, kLinear, kRotation, kWindowed, kWaypoint };
 
   MobilityModel(Kind kind, TagState start) : kind_(kind), start_(start) {}
 
@@ -46,6 +71,8 @@ class MobilityModel {
   double alpha0_ = 0.0;
   double t0_ = 0.0;
   double t1_ = 0.0;
+  std::vector<Waypoint> path_;
+  double time_offset_ = 0.0;
 };
 
 }  // namespace rfp

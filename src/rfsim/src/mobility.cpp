@@ -34,7 +34,22 @@ MobilityModel MobilityModel::windowed_motion(TagState start, Vec3 velocity,
   return m;
 }
 
+MobilityModel MobilityModel::waypoint_path(TagState start,
+                                           std::vector<Waypoint> path) {
+  if (path.empty()) return static_tag(start);
+  MobilityModel m(Kind::kWaypoint, start);
+  m.path_ = std::move(path);
+  return m;
+}
+
+MobilityModel MobilityModel::with_time_offset(double offset_s) const {
+  MobilityModel m = *this;
+  m.time_offset_ += offset_s;
+  return m;
+}
+
 TagState MobilityModel::at(double t) const {
+  t += time_offset_;
   TagState s = start_;
   switch (kind_) {
     case Kind::kStatic:
@@ -49,6 +64,29 @@ TagState MobilityModel::at(double t) const {
       const double active = std::clamp(t, t0_, t1_) - t0_;
       s.position += velocity_ * active;
       break;
+    }
+    case Kind::kWaypoint: {
+      // Walk the legs, consuming travel then dwell time; negative t (a
+      // with_time_offset before the path starts) holds the start pose.
+      double u = std::max(t, 0.0);
+      Vec3 from = start_.position;
+      s.position = from;
+      for (const Waypoint& leg : path_) {
+        if (u < leg.travel_s) {
+          const double frac = u / leg.travel_s;
+          s.position = from + (leg.position - from) * frac;
+          return s;
+        }
+        u -= leg.travel_s;
+        if (u < leg.dwell_s) {
+          s.position = leg.position;
+          return s;
+        }
+        u -= leg.dwell_s;
+        from = leg.position;
+        s.position = from;
+      }
+      break;  // past the last leg: hold the final waypoint
     }
   }
   return s;

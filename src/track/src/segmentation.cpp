@@ -1,0 +1,67 @@
+#include "rfp/track/segmentation.hpp"
+
+#include <cmath>
+
+#include "rfp/common/error.hpp"
+
+namespace rfp::track {
+
+const char* to_string(MotionLabel label) {
+  switch (label) {
+    case MotionLabel::kStatic:
+      return "static";
+    case MotionLabel::kMoving:
+      return "moving";
+    case MotionLabel::kRotating:
+      return "rotating";
+  }
+  return "?";
+}
+
+MotionSegmenter::MotionSegmenter(SegmentationConfig config) : config_(config) {
+  require(config_.moving_speed_m_s > 0.0 &&
+              config_.moving_innovation_chi2 > 0.0 &&
+              config_.rotating_rate_rad_s > 0.0 && config_.hold_rounds >= 1,
+          "MotionSegmenter: thresholds must be positive");
+}
+
+MotionLabel MotionSegmenter::classify(const MotionEvidence& e) const {
+  // Rotation first: a spinning tag also jitters its position estimate,
+  // and the rate witness is the more specific of the two.
+  if (std::abs(e.rotation_rate_rad_s) >= config_.rotating_rate_rad_s) {
+    return MotionLabel::kRotating;
+  }
+  if (e.mobility_reject || e.speed_m_s >= config_.moving_speed_m_s ||
+      (e.fix_accepted && e.innovation2 >= config_.moving_innovation_chi2)) {
+    return MotionLabel::kMoving;
+  }
+  return MotionLabel::kStatic;
+}
+
+MotionLabel MotionSegmenter::update(const MotionEvidence& e) {
+  const MotionLabel candidate = classify(e);
+  if (candidate == label_) {
+    pending_rounds_ = 0;
+    return label_;
+  }
+  // §V-C is direct physical evidence of a maneuver: flip immediately.
+  // Everything tracker-derived is noisy per round and must persist.
+  if (e.mobility_reject && candidate == MotionLabel::kMoving) {
+    label_ = candidate;
+    pending_rounds_ = 0;
+    return label_;
+  }
+  if (candidate == pending_ && pending_rounds_ > 0) {
+    ++pending_rounds_;
+  } else {
+    pending_ = candidate;
+    pending_rounds_ = 1;
+  }
+  if (pending_rounds_ >= config_.hold_rounds) {
+    label_ = pending_;
+    pending_rounds_ = 0;
+  }
+  return label_;
+}
+
+}  // namespace rfp::track

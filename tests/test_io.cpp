@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rfp/common/constants.hpp"
 #include "rfp/common/error.hpp"
 #include "rfp/core/pipeline.hpp"
 #include "rfp/io/calibration_io.hpp"
@@ -107,6 +108,81 @@ TEST(TraceIo, RejectsAntennaOutOfRange) {
 
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(load_round("/nonexistent/path/trace.txt"), Error);
+}
+
+std::vector<StreamRead> sample_read_log() {
+  std::vector<StreamRead> reads;
+  Rng rng(77);
+  for (int i = 0; i < 40; ++i) {
+    StreamRead read;
+    read.tag_id = i % 2 == 0 ? "pallet-a" : "pallet-b";
+    read.antenna = static_cast<std::size_t>(i % 4);
+    read.channel = static_cast<std::size_t>(i % 16);
+    read.frequency_hz = 902.75e6 + 0.5e6 * (i % 16);
+    read.time_s = 0.05 * i;
+    read.phase = rng.uniform(0.0, 2.0 * kPi);
+    read.rssi_dbm = -55.0 + rng.gaussian(0.0, 3.0);
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+TEST(ReadLogIo, RoundTripsExactly) {
+  const std::vector<StreamRead> original = sample_read_log();
+  std::stringstream ss;
+  write_read_log(ss, original);
+  const std::vector<StreamRead> reloaded = read_read_log(ss);
+  ASSERT_EQ(reloaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reloaded[i].tag_id, original[i].tag_id);
+    EXPECT_EQ(reloaded[i].antenna, original[i].antenna);
+    EXPECT_EQ(reloaded[i].channel, original[i].channel);
+    ASSERT_DOUBLE_EQ(reloaded[i].frequency_hz, original[i].frequency_hz);
+    ASSERT_DOUBLE_EQ(reloaded[i].time_s, original[i].time_s);
+    ASSERT_DOUBLE_EQ(reloaded[i].phase, original[i].phase);
+    ASSERT_DOUBLE_EQ(reloaded[i].rssi_dbm, original[i].rssi_dbm);
+  }
+}
+
+TEST(ReadLogIo, FileRoundTrip) {
+  const std::vector<StreamRead> original = sample_read_log();
+  const std::string path = testing::TempDir() + "/rfp_readlog_test.txt";
+  save_read_log(path, original);
+  EXPECT_EQ(load_read_log(path).size(), original.size());
+}
+
+TEST(ReadLogIo, EmptyLogRoundTrips) {
+  std::stringstream ss;
+  write_read_log(ss, {});
+  EXPECT_TRUE(read_read_log(ss).empty());
+}
+
+TEST(ReadLogIo, WhitespaceTagIdRejectedOnWrite) {
+  // Whitespace in a tag id would shift every later column on reload.
+  for (const char* bad : {"", "two words", "tab\tid", "nl\nid"}) {
+    std::vector<StreamRead> reads(1);
+    reads[0].tag_id = bad;
+    std::stringstream ss;
+    EXPECT_THROW(write_read_log(ss, reads), Error) << "tag '" << bad << "'";
+  }
+}
+
+TEST(ReadLogIo, RejectsBadMagicAndVersion) {
+  std::stringstream bad_magic("rfprism-trace v1\nreads 0\n");
+  EXPECT_THROW(read_read_log(bad_magic), Error);
+  std::stringstream bad_version("rfprism-readlog v9\nreads 0\n");
+  EXPECT_THROW(read_read_log(bad_version), Error);
+}
+
+TEST(ReadLogIo, RejectsTruncation) {
+  const std::vector<StreamRead> original = sample_read_log();
+  std::stringstream ss;
+  write_read_log(ss, original);
+  const std::string text = ss.str();
+  // Cut mid-way through the read lines: the parser must throw, not
+  // silently return a short log.
+  std::stringstream cut(text.substr(0, text.size() * 2 / 3));
+  EXPECT_THROW(read_read_log(cut), Error);
 }
 
 TEST(CalibrationIo, EmptyDbRoundTrips) {

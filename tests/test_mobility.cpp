@@ -71,6 +71,55 @@ TEST(Mobility, WindowedMotionClipsToWindow) {
   EXPECT_NEAR(m.at(10.0).position.x, 1.2, 1e-12);
 }
 
+TEST(Mobility, WaypointPathTravelsAndDwells) {
+  // Leg 1: travel 2 s to (2, 1, 0), dwell 3 s. Leg 2: instant index to
+  // (2, 2, 0), hold forever.
+  const MobilityModel m = MobilityModel::waypoint_path(
+      base_state(), {{Vec3{2.0, 1.0, 0.0}, 2.0, 3.0},
+                     {Vec3{2.0, 2.0, 0.0}, 0.0, 1.0}});
+  EXPECT_FALSE(m.is_static());
+  EXPECT_EQ(m.at(0.0).position, base_state().position);
+  // Mid-travel: halfway along leg 1.
+  EXPECT_NEAR(m.at(1.0).position.x, 1.5, 1e-12);
+  EXPECT_NEAR(m.at(1.0).position.y, 1.0, 1e-12);
+  // Dwelling at waypoint 1.
+  EXPECT_EQ(m.at(3.0).position, (Vec3{2.0, 1.0, 0.0}));
+  EXPECT_EQ(m.at(4.9).position, (Vec3{2.0, 1.0, 0.0}));
+  // The zero-travel leg is an instantaneous conveyor index.
+  EXPECT_EQ(m.at(5.0).position, (Vec3{2.0, 2.0, 0.0}));
+  // After the last waypoint the tag holds position forever.
+  EXPECT_EQ(m.at(100.0).position, (Vec3{2.0, 2.0, 0.0}));
+}
+
+TEST(Mobility, WaypointPathEmptyIsStatic) {
+  const MobilityModel m = MobilityModel::waypoint_path(base_state(), {});
+  EXPECT_TRUE(m.is_static());
+  EXPECT_EQ(m.at(42.0).position, base_state().position);
+}
+
+TEST(Mobility, WithTimeOffsetSlicesATrajectory) {
+  // A long waypoint sweep sliced into per-round models: at(t) of the
+  // offset model equals at(t + offset) of the original.
+  const MobilityModel sweep = MobilityModel::waypoint_path(
+      base_state(), {{Vec3{2.0, 1.0, 0.0}, 4.0, 2.0},
+                     {Vec3{3.0, 1.0, 0.0}, 0.0, 10.0}});
+  const MobilityModel round2 = sweep.with_time_offset(5.0);
+  for (double t = 0.0; t < 8.0; t += 0.37) {
+    EXPECT_EQ(round2.at(t).position, sweep.at(t + 5.0).position) << t;
+  }
+  // Offsets compose.
+  const MobilityModel round3 = round2.with_time_offset(2.0);
+  EXPECT_EQ(round3.at(0.0).position, sweep.at(7.0).position);
+}
+
+TEST(Mobility, WithTimeOffsetOnLinearMotion) {
+  const MobilityModel m =
+      MobilityModel::linear_motion(base_state(), Vec3{0.1, 0.0, 0.0})
+          .with_time_offset(3.0);
+  EXPECT_NEAR(m.at(0.0).position.x, 1.3, 1e-12);
+  EXPECT_NEAR(m.at(2.0).position.x, 1.5, 1e-12);
+}
+
 TEST(Mobility, MaterialCarriedThrough) {
   const MobilityModel m =
       MobilityModel::linear_motion(base_state(), Vec3{1, 0, 0});

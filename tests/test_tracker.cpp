@@ -107,6 +107,43 @@ TEST(Tracker, ReinitializesAfterPersistentJump) {
   EXPECT_NEAR(tracker.state()->position.x, 1.9, 0.05);
 }
 
+TEST(Tracker, PredictStateGrowsVarianceWhileCoasting) {
+  Tracker tracker;
+  for (int k = 0; k < 6; ++k) {
+    tracker.update(fix_at({1.0 + 0.01 * k, 2.0}), 10.0 * k);
+  }
+  const auto posterior = tracker.state();
+  ASSERT_TRUE(posterior.has_value());
+
+  // At the last update time, predict_state is exactly the posterior.
+  const auto at_fix = tracker.predict_state(50.0);
+  ASSERT_TRUE(at_fix.has_value());
+  EXPECT_EQ(at_fix->position, posterior->position);
+  EXPECT_EQ(at_fix->velocity, posterior->velocity);
+  EXPECT_EQ(at_fix->position_variance, posterior->position_variance);
+  EXPECT_EQ(at_fix->updates, posterior->updates);
+
+  // Coasting: the mean extrapolates along the velocity, and (unlike
+  // state()) the reported variance keeps growing with the horizon.
+  const auto later = tracker.predict_state(250.0);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_NEAR(later->position.x,
+              posterior->position.x + 200.0 * posterior->velocity.x, 1e-12);
+  EXPECT_EQ(later->velocity, posterior->velocity);
+  EXPECT_GT(later->position_variance, posterior->position_variance);
+  const auto even_later = tracker.predict_state(500.0);
+  EXPECT_GT(even_later->position_variance, later->position_variance);
+  // state() itself must stay frozen at the posterior.
+  EXPECT_EQ(tracker.state()->position_variance, posterior->position_variance);
+  // The prediction mean agrees with predict().
+  EXPECT_EQ(later->position, *tracker.predict(250.0));
+}
+
+TEST(Tracker, PredictStateBeforeFirstFixIsEmpty) {
+  Tracker tracker;
+  EXPECT_FALSE(tracker.predict_state(1.0).has_value());
+}
+
 TEST(Tracker, ResetDropsTrack) {
   Tracker tracker;
   tracker.update(fix_at({1.0, 1.0}), 0.0);

@@ -236,6 +236,107 @@ TEST(WireCodec, StreamResultsRoundTripBitExactly) {
   EXPECT_EQ(bytes, net::encode_stream_results(decoded));
 }
 
+TEST(WireCodec, TrackEventsRoundTripBitExactly) {
+  track::TrackEvent confirm;
+  confirm.tag_id = "pallet-7";
+  confirm.time_s = 41.5;
+  confirm.kind = track::TrackEventKind::kConfirm;
+  confirm.label = track::MotionLabel::kMoving;
+  confirm.grade = SensingGrade::kDegraded;
+  confirm.fix_accepted = true;
+  confirm.position = {0.75, 1.25};
+  confirm.velocity = {0.004, -0.002};
+  confirm.position_variance = 1.5e-3;
+  confirm.angle_rad = 7.25;  // > pi: only the unwrapped track holds this
+  confirm.rate_rad_s = -0.5;
+  confirm.updates = 3;
+  track::TrackEvent drop;  // all-default second event
+  drop.tag_id = "pallet-8";
+  const std::vector<track::TrackEvent> events = {confirm, drop};
+
+  const auto bytes = net::encode_track_events(events);
+  std::vector<track::TrackEvent> decoded;
+  ASSERT_TRUE(net::decode_track_events(bytes, decoded));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].tag_id, "pallet-7");
+  EXPECT_EQ(decoded[0].time_s, 41.5);
+  EXPECT_EQ(decoded[0].kind, track::TrackEventKind::kConfirm);
+  EXPECT_EQ(decoded[0].label, track::MotionLabel::kMoving);
+  EXPECT_EQ(decoded[0].grade, SensingGrade::kDegraded);
+  EXPECT_TRUE(decoded[0].fix_accepted);
+  EXPECT_EQ(decoded[0].position.x, 0.75);
+  EXPECT_EQ(decoded[0].velocity.y, -0.002);
+  EXPECT_EQ(decoded[0].position_variance, 1.5e-3);
+  EXPECT_EQ(decoded[0].angle_rad, 7.25);
+  EXPECT_EQ(decoded[0].rate_rad_s, -0.5);
+  EXPECT_EQ(decoded[0].updates, 3u);
+  EXPECT_EQ(decoded[1].tag_id, "pallet-8");
+  EXPECT_EQ(decoded[1].kind, track::TrackEventKind::kUpdate);
+  EXPECT_EQ(bytes, net::encode_track_events(decoded));
+
+  // An empty event list (a quiet poll) is legal and round-trips too.
+  const auto quiet = net::encode_track_events({});
+  ASSERT_TRUE(net::decode_track_events(quiet, decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(WireCodec, TrackEventsRejectTruncationAndBadEnums) {
+  track::TrackEvent event;
+  event.tag_id = "t";
+  std::vector<std::uint8_t> bytes =
+      net::encode_track_events(std::vector<track::TrackEvent>{event});
+  std::vector<track::TrackEvent> decoded;
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_FALSE(net::decode_track_events({bytes.data(), n}, decoded))
+        << "len " << n;
+  }
+  bytes.push_back(0);
+  EXPECT_FALSE(net::decode_track_events(bytes, decoded));
+  bytes.pop_back();
+
+  // Layout: u32 count, u32 tag length, the 1-byte tag, f64 time, then
+  // the kind/label/grade/accepted bytes. Out-of-range enums must reject.
+  const std::size_t kind_at = 4 + 4 + 1 + 8;
+  for (std::size_t off = 0; off < 4; ++off) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[kind_at + off] = 0xFF;
+    EXPECT_FALSE(net::decode_track_events(mutated, decoded)) << "byte " << off;
+  }
+}
+
+TEST(WireCodec, SessionOptionBitsCarryTracking) {
+  static const Testbed bed;
+  net::SessionSetup setup;
+  setup.geometry = bed.prism().config().geometry;
+  setup.calibrations = bed.prism().calibrations();
+  setup.enable_drift = false;
+  setup.enable_tracking = true;
+
+  const auto bytes = net::encode_session_setup(setup);
+  net::SessionSetup decoded;
+  ASSERT_TRUE(net::decode_session_setup(bytes, decoded));
+  EXPECT_FALSE(decoded.enable_drift);
+  EXPECT_TRUE(decoded.enable_tracking);
+  EXPECT_EQ(bytes, net::encode_session_setup(decoded));
+
+  // Both option bits set at once survive the shared flag byte.
+  setup.enable_drift = true;
+  ASSERT_TRUE(
+      net::decode_session_setup(net::encode_session_setup(setup), decoded));
+  EXPECT_TRUE(decoded.enable_drift);
+  EXPECT_TRUE(decoded.enable_tracking);
+
+  net::SessionReady ready;
+  ready.digest = 7;
+  ready.n_antennas = 4;
+  ready.tracking_enabled = true;
+  net::SessionReady ready_decoded;
+  ASSERT_TRUE(net::decode_session_ready(net::encode_session_ready(ready),
+                                        ready_decoded));
+  EXPECT_TRUE(ready_decoded.tracking_enabled);
+  EXPECT_FALSE(ready_decoded.drift_enabled);
+}
+
 TEST(WireCodec, V2PayloadsRejectTruncationAtEveryLength) {
   const std::vector<TagRead> reads =
       round_to_reads(sample_round(556), "t");

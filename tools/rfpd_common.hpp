@@ -42,6 +42,7 @@ struct DaemonOptions {
   bool uncached = false;          ///< disable the geometry cache
   bool scalar = false;            ///< scalar factored ranking (no SIMD)
   bool drift = false;             ///< online drift self-calibration
+  bool track = false;             ///< grant per-session trajectory tracking
   /// Serve a surveyed deployment from files instead of the seed-keyed
   /// testbed: --geometry replaces the default tenant's geometry,
   /// --calibration its calibration database (either may be given alone).
@@ -115,6 +116,7 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   server_config.max_pending_per_connection = options.max_pending;
   server_config.max_tenants = options.max_tenants;
   server_config.idle_timeout_s = options.idle_timeout_s;
+  server_config.tracking.enable = options.track;
   net::Server server(prism, engine, server_config);
 
   detail::g_server.store(&server, std::memory_order_relaxed);
@@ -145,6 +147,10 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   }
   if (options.drift) {
     std::printf("%s: drift self-calibration enabled\n", name);
+  }
+  if (options.track) {
+    std::printf("%s: trajectory tracking enabled (per-session opt-in)\n",
+                name);
   }
   std::printf("%s: listening on %s:%u\n", name, options.bind.c_str(),
               static_cast<unsigned>(server.port()));
@@ -177,10 +183,12 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
               stats.tenants_resident,
               static_cast<unsigned long long>(stats.tenants_evicted));
   if (stats.stream_reads > 0) {
-    std::printf("  streaming    reads %llu  results %llu  evictions %llu\n",
+    std::printf("  streaming    reads %llu  results %llu  evictions %llu"
+                "  track events %llu\n",
                 static_cast<unsigned long long>(stats.stream_reads),
                 static_cast<unsigned long long>(stats.stream_results),
-                static_cast<unsigned long long>(stats.stream_evictions));
+                static_cast<unsigned long long>(stats.stream_evictions),
+                static_cast<unsigned long long>(stats.stream_track_events));
   }
   for (const TenantStats& tenant : server.tenant_stats()) {
     std::printf("  tenant %016llx%s  %zu antennas%s  sessions %llu"

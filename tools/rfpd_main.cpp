@@ -11,7 +11,7 @@
 ///        [--seed S] [--antennas N] [--multipath] [--idle-timeout SEC]
 ///        [--max-conns N] [--max-pending N] [--max-tenants N]
 ///        [--geometry FILE] [--calibration FILE]
-///        [--pyramid] [--uncached] [--scalar] [--drift]
+///        [--pyramid] [--uncached] [--scalar] [--drift] [--track]
 ///
 /// --port 0 binds an ephemeral port; the actual port is printed on the
 /// "listening on" line (scripts parse it there). --reactors runs N
@@ -39,7 +39,7 @@ int usage() {
                "            [--max-conns N] [--max-pending N]\n"
                "            [--max-tenants N] [--geometry FILE]\n"
                "            [--calibration FILE] [--pyramid] [--uncached]\n"
-               "            [--scalar] [--drift]\n");
+               "            [--scalar] [--drift] [--track]\n");
   return 2;
 }
 
@@ -91,6 +91,8 @@ int main(int argc, char** argv) {
         options.scalar = true;
       } else if (arg == "--drift") {
         options.drift = true;
+      } else if (arg == "--track") {
+        options.track = true;
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         return usage();

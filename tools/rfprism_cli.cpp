@@ -2,6 +2,13 @@
 ///
 ///   rfprism simulate [options]   run sensing trials on the simulated
 ///                                testbed and print per-trial results
+///   rfprism track [options]      run a multi-tag conveyor scenario
+///                                through the trajectory engine and print
+///                                the track event stream; --record FILE
+///                                saves the raw read stream as a read log,
+///                                --replay FILE streams a saved read log
+///                                through the engine instead and dumps the
+///                                trajectories as JSON
 ///   rfprism replay <trace>       replay a saved hop round through the
 ///                                standard deployment's pipeline
 ///   rfprism inspect <trace>      print structural stats of a saved round
@@ -38,10 +45,13 @@
 ///   --csv             machine-readable per-trial output
 ///   --dump-trace F    additionally save the first trial's round to F
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,11 +62,11 @@
 #include "rfp/dsp/stats.hpp"
 #include "rfp/core/engine.hpp"
 #include "rfp/core/streaming.hpp"
-#include "rfp/core/tracker.hpp"
 #include "rfp/exp/testbed.hpp"
 #include "rfp/io/trace_io.hpp"
 #include "rfp/net/client.hpp"
 #include "rfp/rfsim/faults.hpp"
+#include "rfp/track/tracking_engine.hpp"
 #include "rfpd_common.hpp"
 
 namespace {
@@ -71,11 +81,13 @@ int usage() {
                "                   [--csv] [--dump-trace FILE]\n"
                "  rfprism replay <trace-file> [--seed S]\n"
                "  rfprism inspect <trace-file>\n"
-               "  rfprism track [--rounds N] [--seed S]\n"
+               "  rfprism track [--rounds N] [--tags N] [--seed S] [--json]\n"
+               "                [--record FILE]\n"
+               "  rfprism track --replay FILE [--seed S] [--antennas N]\n"
                "  rfprism materials\n"
                "  rfprism stream [--rounds N] [--fault-intensity X]\n"
                "                 [--dead PORT] [--antennas N] [--seed S]\n"
-               "                 [--warm] [--drift]\n"
+               "                 [--warm] [--drift] [--track]\n"
                "                 [--host H] [--port N] [--timeout SEC]\n"
                "  rfprism batch [--rounds N] [--threads N] [--material NAME|all]\n"
                "                [--multipath] [--seed S] [--verify]\n"
@@ -86,6 +98,7 @@ int usage() {
                "                [--max-conns N] [--max-tenants N]\n"
                "                [--geometry FILE] [--calibration FILE]\n"
                "                [--pyramid] [--uncached] [--scalar] [--drift]\n"
+               "                [--track]\n"
                "  rfprism request [--host H] [--port N] [--trace FILE]\n"
                "                  [--trial K] [--seed S] [--antennas N]\n"
                "                  [--multipath] [--material NAME] [--tag ID]\n"
@@ -215,45 +228,197 @@ int run_inspect(const std::string& path) {
   return 0;
 }
 
-int run_track(int rounds, std::uint64_t seed) {
-  // A tag stepping across the shelf 5 cm between 10 s hop rounds: sense
-  // each round, feed the constant-velocity tracker, print both.
-  TestbedConfig config;
-  config.seed = seed;
-  const Testbed bed(config);
-  Tracker tracker;
-  Rng rng(mix_seed(seed, 0x7272));
-  const Vec2 start{0.35, 0.5 + rng.uniform(0.0, 1.0)};
-  const Vec2 step{0.05, 0.01};
+struct TrackOptions {
+  int rounds = 15;
+  std::size_t tags = 3;
+  std::uint64_t seed = 42;
+  std::size_t antennas = 4;  ///< deployment convention (record and replay
+                             ///< must agree, like `request` vs `serve`)
+  bool json = false;
+  std::string record_path;  ///< save the live read stream as a read log
+  std::string replay_path;  ///< stream a saved read log instead
+};
 
-  std::printf("%-6s %-16s %-16s %-16s %-10s\n", "t[s]", "truth", "sensed",
-              "tracked", "speed");
-  for (int k = 0; k < rounds; ++k) {
-    const double t = 10.0 * k;
-    const Vec2 truth = start + step * static_cast<double>(k);
-    const SensingResult r = bed.sense(
-        bed.tag_state(truth, 0.4, "plastic"),
-        3000 + static_cast<std::uint64_t>(k));
-    if (!r.valid) {
-      std::printf("%-6.0f (%.2f, %.2f)     rejected: %s\n", t, truth.x,
-                  truth.y, to_string(r.reject_reason));
-      continue;
+void print_track_event(const track::TrackEvent& e) {
+  std::printf("%-8.1f %-8s %-8s %-9s %-9s (%5.2f, %5.2f)  %6.3f m/s  "
+              "%7.1f deg  %+6.2f deg/s\n",
+              e.time_s, e.tag_id.c_str(), track::to_string(e.kind),
+              track::to_string(e.label), to_string(e.grade), e.position.x,
+              e.position.y, e.velocity.norm(), rad2deg(e.angle_rad),
+              rad2deg(e.rate_rad_s));
+}
+
+void dump_track_events_json(std::span<const track::TrackEvent> events) {
+  std::printf("{\n  \"events\": [");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const track::TrackEvent& e = events[i];
+    std::printf("%s\n    {\"tag\": \"%s\", \"t\": %.6f, \"kind\": \"%s\", "
+                "\"label\": \"%s\", \"grade\": \"%s\", \"accepted\": %s, "
+                "\"x\": %.6f, \"y\": %.6f, \"vx\": %.6f, \"vy\": %.6f, "
+                "\"position_variance\": %.8g, \"angle_rad\": %.6f, "
+                "\"rate_rad_s\": %.6f, \"updates\": %llu}",
+                i > 0 ? "," : "", e.tag_id.c_str(), e.time_s,
+                track::to_string(e.kind), track::to_string(e.label),
+                to_string(e.grade), e.fix_accepted ? "true" : "false",
+                e.position.x, e.position.y, e.velocity.x, e.velocity.y,
+                e.position_variance, e.angle_rad, e.rate_rad_s,
+                static_cast<unsigned long long>(e.updates));
+  }
+  std::printf("\n  ]\n}\n");
+}
+
+void print_tracking_stats(const track::TrackingStats& stats) {
+  std::printf("\ntracking stats\n");
+  std::printf("  emissions consumed %llu\n",
+              static_cast<unsigned long long>(stats.emissions_consumed));
+  std::printf("  fixes accepted     %llu (degraded %llu, gated %llu)\n",
+              static_cast<unsigned long long>(stats.fixes_accepted),
+              static_cast<unsigned long long>(stats.degraded_fixes_accepted),
+              static_cast<unsigned long long>(stats.fixes_gated));
+  std::printf("  mobility rejects   %llu\n",
+              static_cast<unsigned long long>(stats.mobility_rejects_seen));
+  std::printf("  tracks             started %llu, confirmed %llu, coasted "
+              "%llu, dropped %llu\n",
+              static_cast<unsigned long long>(stats.tracks_started),
+              static_cast<unsigned long long>(stats.tracks_confirmed),
+              static_cast<unsigned long long>(stats.tracks_coasted),
+              static_cast<unsigned long long>(stats.tracks_dropped));
+}
+
+/// Offline mode: stream a saved read log through a StreamingSensor +
+/// TrackingEngine over the seed-keyed deployment (the same convention as
+/// `rfprism request`: the log must have been captured against a
+/// deployment with this seed/antenna count) and dump the trajectory
+/// stream as JSON.
+int run_track_replay(const TrackOptions& options) {
+  std::vector<StreamRead> reads = load_read_log(options.replay_path);
+  if (reads.empty()) {
+    std::fprintf(stderr, "error: %s holds no reads\n",
+                 options.replay_path.c_str());
+    return 1;
+  }
+  // Replay in stream-time order regardless of how the log was captured
+  // (per-tag recorders write grouped logs): out-of-order reads behind an
+  // already-polled clock would be dropped as stale. Stable, so same-time
+  // reads keep their file order and the replay stays deterministic.
+  std::stable_sort(reads.begin(), reads.end(),
+                   [](const StreamRead& a, const StreamRead& b) {
+                     return a.time_s < b.time_s;
+                   });
+
+  TestbedConfig config;
+  config.seed = options.seed;
+  config.n_antennas = options.antennas;
+  const Testbed bed(config);
+
+  track::TrackingConfig tracking;
+  tracking.enable = true;
+  track::TrackingEngine engine(tracking);
+  StreamingSensor sensor(bed.prism(), StreamingConfig{});
+  sensor.attach_track_sink(&engine);
+
+  // Poll once per second of stream time so lifecycle transitions land at
+  // deterministic clock ticks, then flush far past the drop horizon so
+  // every surviving track closes with a kDrop.
+  std::vector<track::TrackEvent> events;
+  const auto drain = [&](double now_s) {
+    (void)sensor.poll(now_s);
+    std::vector<track::TrackEvent> batch = engine.take_events();
+    events.insert(events.end(), batch.begin(), batch.end());
+  };
+  double poll_clock = std::floor(reads.front().time_s) + 1.0;
+  double last_s = reads.front().time_s;
+  for (const StreamRead& read : reads) {
+    while (read.time_s >= poll_clock) {
+      drain(poll_clock);
+      poll_clock += 1.0;
     }
-    tracker.update(r, t);
-    const auto state = tracker.state();
-    std::printf("%-6.0f (%.2f, %.2f)     (%.2f, %.2f)     (%.2f, %.2f)    "
-                "%.3f m/s\n",
-                t, truth.x, truth.y, r.position.x, r.position.y,
-                state->position.x, state->position.y,
-                state->velocity.norm());
+    sensor.push(read);
+    last_s = std::max(last_s, read.time_s);
   }
-  if (const auto state = tracker.state()) {
-    std::printf("\nfinal velocity estimate (%.4f, %.4f) m/s  [truth (%.4f, "
-                "%.4f)]\n",
-                state->velocity.x, state->velocity.y, step.x / 10.0,
-                step.y / 10.0);
+  drain(last_s + tracking.drop_after_s + 1000.0);
+
+  dump_track_events_json(events);
+  return events.empty() ? 1 : 0;
+}
+
+int run_track(const TrackOptions& options) {
+  if (!options.replay_path.empty()) return run_track_replay(options);
+
+  // A conveyor scenario: `tags` tags on parallel lanes step +5 cm along x
+  // between short hop rounds (static *within* each round, per §V-C), and
+  // the last tag also rotates steadily to exercise the mod-pi unwrapper.
+  // All reads interleave through one StreamingSensor; the TrackingEngine
+  // rides behind it as the track sink.
+  TestbedConfig config;
+  config.seed = options.seed;
+  config.n_antennas = options.antennas;  // same convention as --replay
+  config.reader.dwell_s = 0.05;  // short rounds: visible inter-round motion
+  const Testbed bed(config);
+
+  track::TrackingConfig tracking;
+  tracking.enable = true;
+  track::TrackingEngine engine(tracking);
+  StreamingSensor sensor(bed.prism(), StreamingConfig{});
+  sensor.attach_track_sink(&engine);
+
+  const std::size_t n_tags = std::max<std::size_t>(options.tags, 1);
+  const double step_x = 0.05;        // m per round
+  const double spin = 0.2;           // rad per round, last tag only
+  std::vector<StreamRead> recorded;
+  std::vector<track::TrackEvent> all_events;
+  const auto drain = [&]() {
+    std::vector<track::TrackEvent> batch = engine.take_events();
+    if (options.json) {
+      all_events.insert(all_events.end(), batch.begin(), batch.end());
+    } else {
+      for (const track::TrackEvent& e : batch) print_track_event(e);
+    }
+  };
+
+  if (!options.json) {
+    std::printf("%-8s %-8s %-8s %-9s %-9s %-15s %-11s %-9s %s\n", "t[s]",
+                "tag", "event", "label", "grade", "position", "speed",
+                "angle", "rate");
   }
-  return 0;
+  double clock = 0.0;
+  for (int k = 0; k < options.rounds; ++k) {
+    double duration = 0.0;
+    for (std::size_t i = 0; i < n_tags; ++i) {
+      const Vec2 truth{0.35 + step_x * k, 0.5 + 0.3 * static_cast<double>(i)};
+      const double alpha =
+          i + 1 == n_tags ? std::fmod(0.3 + spin * k, kPi) : 0.4;
+      const RoundTrace round = bed.collect(
+          bed.tag_state(truth, alpha, "plastic"),
+          3000 + static_cast<std::uint64_t>(k) * n_tags + i);
+      std::vector<TagRead> reads =
+          round_to_reads(round, "tag-" + std::to_string(i + 1));
+      for (TagRead& read : reads) read.time_s += clock;
+      sensor.push(std::span<const TagRead>(reads.data(), reads.size()));
+      if (!options.record_path.empty()) {
+        recorded.insert(recorded.end(), reads.begin(), reads.end());
+      }
+      duration = std::max(duration, round.duration_s);
+    }
+    clock += duration + 1.0;
+    (void)sensor.poll(clock);
+    drain();
+  }
+  // Quiet site: flush pending rounds, then age every track to its drop.
+  (void)sensor.poll(clock + tracking.drop_after_s + 1000.0);
+  drain();
+
+  if (options.json) {
+    dump_track_events_json(all_events);
+  } else {
+    print_tracking_stats(engine.stats());
+  }
+  if (!options.record_path.empty()) {
+    save_read_log(options.record_path, recorded);
+    std::fprintf(stderr, "recorded %zu reads to %s\n", recorded.size(),
+                 options.record_path.c_str());
+  }
+  return engine.stats().emissions_consumed > 0 ? 0 : 1;
 }
 
 struct StreamOptions {
@@ -264,6 +429,7 @@ struct StreamOptions {
   std::uint64_t seed = 42;
   bool warm = false;   ///< track-seeded warm-start solves
   bool drift = false;  ///< inject LO drift + run online self-calibration
+  bool track = false;  ///< run a TrackingEngine over the emission stream
   // Remote mode (--port): ship the deployment over a wire-v2 session and
   // push the faulted reads to a running daemon instead of solving locally.
   std::string host = "127.0.0.1";
@@ -299,6 +465,7 @@ int run_stream(const StreamOptions& options) {
   // daemon runs the per-session StreamingSensor, we just ship reads.
   std::optional<net::Client> client;
   std::optional<StreamingSensor> sensor;
+  std::optional<track::TrackingEngine> engine;
   if (options.port != 0) {
     net::ClientConfig client_config;
     client_config.host = options.host;
@@ -306,14 +473,27 @@ int run_stream(const StreamOptions& options) {
     client_config.io_timeout_s = options.timeout_s;
     client.emplace(client_config);
     const net::SessionReady ready = client->setup_session(
-        prism->config().geometry, prism->calibrations(), options.drift);
-    std::printf("session tenant %016llx  (%u antennas%s) at %s:%u\n",
+        prism->config().geometry, prism->calibrations(), options.drift,
+        options.track);
+    std::printf("session tenant %016llx  (%u antennas%s%s) at %s:%u\n",
                 static_cast<unsigned long long>(ready.digest),
                 static_cast<unsigned>(ready.n_antennas),
-                ready.drift_enabled ? ", drift" : "", options.host.c_str(),
-                static_cast<unsigned>(options.port));
+                ready.drift_enabled ? ", drift" : "",
+                ready.tracking_enabled ? ", tracking" : "",
+                options.host.c_str(), static_cast<unsigned>(options.port));
+    if (options.track && !ready.tracking_enabled) {
+      std::fprintf(stderr,
+                   "warning: daemon does not grant tracking "
+                   "(run it with --track)\n");
+    }
   } else {
     sensor.emplace(*prism, streaming_config);
+    if (options.track) {
+      track::TrackingConfig tracking;
+      tracking.enable = true;
+      engine.emplace(tracking);
+      sensor->attach_track_sink(&*engine);
+    }
   }
 
   FaultProfile profile = FaultProfile::scaled(options.intensity,
@@ -357,6 +537,12 @@ int run_stream(const StreamOptions& options) {
       }
     }
   };
+  std::vector<track::TrackEvent> events;
+  const auto print_track_batch = [&](std::vector<track::TrackEvent> batch) {
+    for (const track::TrackEvent& e : batch) print_track_event(e);
+    events.insert(events.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+  };
   for (int k = 0; k < options.rounds; ++k) {
     const std::uint64_t trial = 5000 + static_cast<std::uint64_t>(k);
     const RoundTrace round = bed.collect(state, trial);
@@ -367,21 +553,36 @@ int run_stream(const StreamOptions& options) {
     clock += round.duration_s + 1.0;
 
     if (client) {
-      print_emissions(client->push_stream(faulted, clock));
+      std::vector<track::TrackEvent> batch;
+      print_emissions(client->push_stream(
+          faulted, clock, client->session_tracking() ? &batch : nullptr));
+      print_track_batch(std::move(batch));
     } else {
       sensor->push(std::span<const TagRead>(faulted.data(), faulted.size()));
       print_emissions(sensor->poll(clock));
+      if (engine) print_track_batch(engine->take_events());
     }
   }
   // Flush anything still pending once the site goes quiet.
   if (client) {
-    print_emissions(client->push_stream({}, clock + 1000.0));
+    std::vector<track::TrackEvent> batch;
+    print_emissions(client->push_stream(
+        {}, clock + 1000.0, client->session_tracking() ? &batch : nullptr));
+    print_track_batch(std::move(batch));
     client->close_session();
-    std::printf("\nremote stream: %zu rounds emitted by the daemon\n",
+    std::printf("\nremote stream: %zu rounds emitted by the daemon",
                 emitted_total);
+    if (!events.empty()) {
+      std::printf(", %zu track events", events.size());
+    }
+    std::printf("\n");
     return emitted_total > 0 ? 0 : 1;
   }
   print_emissions(sensor->poll(clock + 1000.0));
+  if (engine) {
+    print_track_batch(engine->take_events());
+    print_tracking_stats(engine->stats());
+  }
 
   const StreamingStats& stats = sensor->stats();
   std::printf("\nstream stats\n");
@@ -690,8 +891,7 @@ int main(int argc, char** argv) {
     }
 
     if (command == "track") {
-      int rounds = 15;
-      std::uint64_t seed = 42;
+      TrackOptions options;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char* {
@@ -702,15 +902,25 @@ int main(int argc, char** argv) {
           return argv[++i];
         };
         if (arg == "--rounds") {
-          rounds = std::stoi(next());
+          options.rounds = std::stoi(next());
+        } else if (arg == "--tags") {
+          options.tags = std::stoull(next());
         } else if (arg == "--seed") {
-          seed = std::stoull(next());
+          options.seed = std::stoull(next());
+        } else if (arg == "--antennas") {
+          options.antennas = std::stoull(next());
+        } else if (arg == "--json") {
+          options.json = true;
+        } else if (arg == "--record") {
+          options.record_path = next();
+        } else if (arg == "--replay") {
+          options.replay_path = next();
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
         }
       }
-      return run_track(rounds, seed);
+      return run_track(options);
     }
 
     if (command == "replay" || command == "inspect") {
@@ -761,6 +971,8 @@ int main(int argc, char** argv) {
           options.warm = true;
         } else if (arg == "--drift") {
           options.drift = true;
+        } else if (arg == "--track") {
+          options.track = true;
         } else if (arg == "--host") {
           options.host = next();
         } else if (arg == "--port") {
@@ -900,6 +1112,8 @@ int main(int argc, char** argv) {
           options.scalar = true;
         } else if (arg == "--drift") {
           options.drift = true;
+        } else if (arg == "--track") {
+          options.track = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
