@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "rfp/common/thread_pool.hpp"
 #include "rfp/common/workspace.hpp"
 #include "rfp/core/drift.hpp"
@@ -111,6 +113,17 @@ struct DisentangleConfig {
   /// windows); the uncached scan always uses the canonical kernel.
   /// Results are byte-identical for every choice — see RankKernel.
   RankKernel rank_kernel = RankKernel::kFactoredSimd;
+
+  /// Tag-batched Stage-A ranking (DESIGN.md "Solver acceleration"): when a
+  /// batch entry point (RfPrism::sense_batch, StreamingSensor's per-poll
+  /// batch) carries >= 2 rounds of one deployment, rank all of them per
+  /// shared pass over the cached distance table (solve_position_batch)
+  /// instead of re-streaming the table per tag. Byte-identical to the
+  /// per-tag path for every kernel and thread count — disable only to
+  /// A/B the amortization (bench_solver does this per run, not via this
+  /// flag). Ignored wherever batching cannot apply (single rounds,
+  /// kCanonical ranking, cache disabled).
+  bool batch_rank = true;
 };
 
 /// Which Stage-A search produced a PositionSolve.
@@ -189,6 +202,38 @@ OrientationSolve solve_orientation(const DeploymentGeometry& geometry,
                                    const DisentangleConfig& config,
                                    SolveWorkspace& ws);
 
+/// One round's Stage-A input in a tag-batched solve: the usable lines of
+/// a round sharing the batch's deployment, plus an optional warm-start
+/// hint (same semantics as solve_position's `warm_hint`).
+struct BatchedRankRequest {
+  std::span<const AntennaLine> lines;
+  const Vec3* warm_hint = nullptr;
+};
+
+/// Tag-batched Stage-A position solve over one pre-acquired distance
+/// table (DisentangleConfig::batch_rank). Every request is solved exactly
+/// as a separate solve_position(geometry, lines, config, ws, pool, cache,
+/// warm_hint) call would solve it — warm windows, pyramid, exhaustive
+/// scan, center fallback and LM refinement included — and `out[i]` is
+/// byte-identical to that call for every kernel, dispatch level and pool
+/// size. What changes is the work shape: cold rounds are ranked tag-major
+/// per shared cell pass (the batched rfp::simd kernels visit each table
+/// row once for the whole batch), and warm/pyramid-fine windows batch
+/// whenever requests land on identical windows.
+///
+/// `solved[i]` is set to 1 when out[i] holds a solve and 0 when the
+/// per-tag call would have thrown (too few usable lines); the batch never
+/// throws per tag. Requires a factored rank kernel (kCanonical has no
+/// tag-major form; callers fall back to per-tag solves), matching spans,
+/// and a table built for this geometry/config — InvalidArgument
+/// otherwise.
+void solve_position_batch(const DeploymentGeometry& geometry,
+                          std::span<const BatchedRankRequest> requests,
+                          const DisentangleConfig& config, SolveWorkspace& ws,
+                          ThreadPool* pool, const GridTable& table,
+                          std::span<PositionSolve> out,
+                          std::span<std::uint8_t> solved);
+
 /// One exhaustive Stage-A *ranking* pass over a cached distance table:
 /// the winning cell under the requested kernel, with its canonical
 /// two-pass cost. Benchmark/diagnostic hook (bench_solver's kernel
@@ -214,6 +259,18 @@ StageARank rank_exhaustive(const DeploymentGeometry& geometry,
                            std::span<const AntennaLine> lines,
                            const GridTable& table, RankKernel kernel,
                            SolveWorkspace& ws);
+
+/// Tag-batched rank_exhaustive: one shared pass over `table` ranks every
+/// request (bench_solver's batch dimension). out[i].cell/rss/kt are
+/// byte-identical to rank_exhaustive on requests[i].lines alone;
+/// out[i].candidates may be larger (the shared pass re-scores margin
+/// candidates against per-pass minima, a superset of the single-tag
+/// candidate set — the canonical argmin is provably inside both). Throws
+/// like rank_exhaustive on any invalid request; warm hints are ignored.
+void rank_exhaustive_batch(const DeploymentGeometry& geometry,
+                           std::span<const BatchedRankRequest> requests,
+                           const GridTable& table, RankKernel kernel,
+                           SolveWorkspace& ws, std::span<StageARank> out);
 
 /// Slope-equation RMS residual at a given position (diagnostic; also the
 /// Stage A cost function). kt is the closed-form optimum at `p`.

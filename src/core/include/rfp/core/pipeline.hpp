@@ -175,6 +175,39 @@ class RfPrism {
                            const Vec3* warm_hint = nullptr,
                            const DriftCorrections* drift = nullptr) const;
 
+  /// A round after fitting, health gating, drift subtraction and error
+  /// detection — everything that precedes the position solve. When
+  /// `rejected` is set, `result` already carries the final verdict and
+  /// `solve_lines` must not be used.
+  struct PreparedRound {
+    SensingResult result;
+    std::vector<AntennaLine> solve_lines;
+    bool rejected = false;
+  };
+
+  PreparedRound prepare_round(const RoundTrace& round,
+                              const AntennaHealthMonitor* health,
+                              const DriftCorrections* drift) const;
+
+  /// Orientation solve + feature extraction + calibration + grading from
+  /// an already-computed position. May throw Error (solver failure) —
+  /// callers catch and reject, exactly like the sequential path.
+  SensingResult finish_round(PreparedRound& prep, const std::string& tag_id,
+                             const PositionSolve& pos, SolveWorkspace& ws) const;
+
+  /// Shared body of both public sense_batch overloads. When the config
+  /// allows it (batch_rank, a factored kernel, a cacheable grid) the
+  /// Stage-A grid ranking for all rounds in the batch runs tag-major over
+  /// one shared distance-table pass (solve_position_batch); otherwise each
+  /// round solves independently on the pool as before. Results are
+  /// bit-identical either way.
+  std::vector<SensingResult> sense_batch_impl(
+      std::span<const RoundTrace> rounds,
+      std::span<const std::string> tag_ids, const std::string& shared_tag_id,
+      SensingEngine& engine, const AntennaHealthMonitor* health,
+      std::span<const std::optional<Vec3>> warm_hints,
+      const DriftCorrections* drift) const;
+
   RfPrismConfig config_;
   CalibrationDB db_;
 };

@@ -1,9 +1,11 @@
 #include "rfp/core/disentangle.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <span>
 #include <utility>
@@ -667,6 +669,296 @@ GridBest window_scan(const RoundSnapshot& snap,
   return best;
 }
 
+// ---- Tag-batched Stage-A (DisentangleConfig::batch_rank) ---------------
+//
+// The batched scans below rank B rounds per shared pass over the cached
+// table (simd::factored_rss_run_batch streams each row once per tag tile
+// instead of once per tag). Identity argument, per tag: the batched
+// kernel's per-(tag, cell) arithmetic is exactly the single-tag kernel's,
+// and margin candidates are collected against pass-local minima — a pass
+// minimum is >= the tag's whole-scan minimum, so every pass's candidate
+// set is a superset of the single-tag scan's candidates in that range.
+// The margin guarantee (factored_margin) puts every cell whose canonical
+// cost equals the canonical minimum inside *any* such superset, and
+// candidates are re-scored canonically in scan order with a strict-<
+// argmin — so the winning cell, rss, kt and position are byte-identical
+// to the per-tag scan, only the amount of canonical re-scoring differs.
+
+/// Thread-local arena for the batched kernels: per-tag value slices plus
+/// the pointer/min fan-out arrays. Pool workers keep theirs warm across
+/// chunks, like local_rank_buffer().
+struct BatchRankArena {
+  std::vector<double> values;
+  std::vector<double*> outs;      ///< base slice per tag
+  std::vector<double*> seg_outs;  ///< shifted slice per tag (window rows)
+  std::vector<double> mins;
+  std::vector<double> seg_mins;
+
+  void reserve(std::size_t n_tags, std::size_t cells) {
+    if (values.size() < n_tags * cells) values.resize(n_tags * cells);
+    if (outs.size() < n_tags) {
+      outs.resize(n_tags);
+      seg_outs.resize(n_tags);
+      mins.resize(n_tags);
+      seg_mins.resize(n_tags);
+    }
+    for (std::size_t b = 0; b < n_tags; ++b) {
+      outs[b] = values.data() + b * cells;
+    }
+  }
+};
+
+BatchRankArena& local_batch_arena() {
+  static thread_local BatchRankArena arena;
+  return arena;
+}
+
+/// Batched scan_grid_rows_factored: one shared pass over rows
+/// [row_begin, row_end) ranks every tag. Row groups are sized so the
+/// group's table planes and per-tag slices stay cache-resident while the
+/// kernel's tag tiles re-read them. bests[b] is reduced strict-< in scan
+/// order; candidates[b] (optional) counts canonical re-scores per tag.
+void scan_grid_rows_factored_batch(const RoundSnapshot* const* snaps,
+                                   const simd::FactoredStats* stats,
+                                   const double* margins, std::size_t n_tags,
+                                   const GridTable& table, simd::Level level,
+                                   std::size_t row_begin, std::size_t row_end,
+                                   GridBest* bests,
+                                   std::size_t* candidates = nullptr) {
+  const std::size_t nx = table.spec.nx;
+  if (row_begin >= row_end || n_tags == 0) return;
+  // ~6K cells/group: a 16-tag batch's out slices (~768KB) plus the group's
+  // 8-antenna table planes (~384KB) stay L2-resident, while the per-group
+  // passes (margin collect, candidate re-score) amortize over 3x more cells
+  // than a 2K-cell group would give.
+  const std::size_t group_rows = std::max<std::size_t>(1, 6144 / nx);
+  BatchRankArena& arena = local_batch_arena();
+  for (std::size_t row = row_begin; row < row_end; row += group_rows) {
+    const std::size_t group_end = std::min(row + group_rows, row_end);
+    const std::size_t cell_begin = row * nx;
+    const std::size_t cell_end = group_end * nx;
+    const std::size_t count = cell_end - cell_begin;
+    arena.reserve(n_tags, count);
+    simd::factored_rss_run_batch(level, stats, n_tags, table.dist_t.data(),
+                                 table.cell_stride, cell_begin, cell_end,
+                                 arena.outs.data(), arena.mins.data());
+    for (std::size_t b = 0; b < n_tags; ++b) {
+      if (!std::isfinite(arena.mins[b])) continue;
+      for (std::uint32_t i :
+           margin_candidates(arena.outs[b], count, arena.mins[b] + margins[b],
+                             level)) {
+        const std::size_t cell = cell_begin + i;
+        const SlopeCost cost = cached_cell_cost(table, *snaps[b], cell);
+        if (candidates != nullptr) ++candidates[b];
+        GridBest& best = bests[b];
+        if (cost.rss < best.rss) {
+          best.rss = cost.rss;
+          best.kt = cost.kt;
+          best.position = table.cell_position(cell);
+          best.cell = cell;
+          best.any = true;
+        }
+      }
+    }
+  }
+}
+
+/// Batched window_scan_factored: the tags share one window, each tag's
+/// candidate threshold uses its own whole-window minimum — so per tag the
+/// candidate set, scan order and winner are exactly the single-tag
+/// window_scan_factored's. Callers account the wx*n_rows scanned cells
+/// per tag themselves (the single-tag helper does it inline).
+void window_scan_factored_batch(const RoundSnapshot* const* snaps,
+                                const simd::FactoredStats* stats,
+                                const double* margins, std::size_t n_tags,
+                                const GridTable& table, simd::Level level,
+                                std::size_t x0, std::size_t x1, std::size_t y0,
+                                std::size_t y1, std::size_t z0, std::size_t z1,
+                                GridBest* bests) {
+  const std::size_t nx = table.spec.nx;
+  const std::size_t ny = table.spec.ny;
+  const std::size_t wx = x1 - x0 + 1;
+  const std::size_t wy = y1 - y0 + 1;
+  const std::size_t n_rows = (z1 - z0 + 1) * wy;
+
+  BatchRankArena& arena = local_batch_arena();
+  arena.reserve(n_tags, wx * n_rows);
+  std::vector<double>& win_min = arena.mins;
+  for (std::size_t b = 0; b < n_tags; ++b) {
+    win_min[b] = std::numeric_limits<double>::infinity();
+  }
+  std::size_t slot = 0;
+  for (std::size_t iz = z0; iz <= z1; ++iz) {
+    for (std::size_t iy = y0; iy <= y1; ++iy) {
+      const std::size_t row0 = (iz * ny + iy) * nx;
+      for (std::size_t b = 0; b < n_tags; ++b) {
+        arena.seg_outs[b] = arena.outs[b] + slot;
+      }
+      simd::factored_rss_run_batch(level, stats, n_tags, table.dist_t.data(),
+                                   table.cell_stride, row0 + x0, row0 + x1 + 1,
+                                   arena.seg_outs.data(),
+                                   arena.seg_mins.data());
+      for (std::size_t b = 0; b < n_tags; ++b) {
+        win_min[b] =
+            arena.seg_mins[b] < win_min[b] ? arena.seg_mins[b] : win_min[b];
+      }
+      slot += wx;
+    }
+  }
+
+  for (std::size_t b = 0; b < n_tags; ++b) {
+    if (!std::isfinite(win_min[b])) continue;
+    for (std::uint32_t i : margin_candidates(arena.outs[b], wx * n_rows,
+                                             win_min[b] + margins[b], level)) {
+      const std::size_t r = i / wx;
+      const std::size_t ix = x0 + i % wx;
+      const std::size_t iy = y0 + r % wy;
+      const std::size_t iz = z0 + r / wy;
+      const std::size_t cell = (iz * ny + iy) * nx + ix;
+      const SlopeCost cost = cached_cell_cost(table, *snaps[b], cell);
+      GridBest& best = bests[b];
+      if (cost.rss < best.rss) {
+        best.rss = cost.rss;
+        best.kt = cost.kt;
+        best.position = table.cell_position(cell);
+        best.cell = cell;
+        best.any = true;
+      }
+    }
+  }
+}
+
+/// Window bounds as a grouping key: fine/warm windows that coincide
+/// across tags share one batched scan.
+using WindowKey = std::array<std::size_t, 6>;
+
+/// Batched pyramid_scan: one shared coarse pass feeds per-tag top-K
+/// selections, then the fine windows are grouped across tags by identical
+/// bounds and each group is scanned batched. Per-tag fine results are
+/// merged strict-< in that tag's candidate order, so bests[b] and
+/// cells_scanned[b] are byte-identical to the single-tag pyramid_scan.
+void pyramid_scan_batch(const RoundSnapshot* const* snaps,
+                        const simd::FactoredStats* stats,
+                        const double* margins, std::size_t n_tags,
+                        const GridTable& table,
+                        const DisentangleConfig& config, simd::Level level,
+                        GridBest* bests, std::size_t* cells_scanned) {
+  const std::size_t nx = table.spec.nx;
+  const std::size_t ny = table.spec.ny;
+  const std::size_t nz = table.spec.nz;
+  const std::size_t stride =
+      std::max<std::size_t>(config.pyramid.decimation, 2);
+  const std::size_t top_k = std::max<std::size_t>(config.pyramid.top_k, 1);
+  const std::size_t radius = config.pyramid.refine_radius > 0
+                                 ? config.pyramid.refine_radius
+                                 : stride + 1;
+
+  std::vector<std::size_t> xs_i, ys_i, zs_i;
+  coarse_axis(nx, stride, xs_i);
+  coarse_axis(ny, stride, ys_i);
+  coarse_axis(nz, nz > 1 ? stride : 1, zs_i);
+
+  // ---- Coarse pass: one batched full-row ranking per sampled row -------
+  BatchRankArena& arena = local_batch_arena();
+  std::vector<std::vector<std::pair<double, std::size_t>>> tops(n_tags);
+  for (auto& top : tops) top.reserve(top_k + 1);
+  for (std::size_t iz : zs_i) {
+    for (std::size_t iy : ys_i) {
+      const std::size_t row0 = (iz * ny + iy) * nx;
+      arena.reserve(n_tags, nx);
+      simd::factored_rss_run_batch(level, stats, n_tags, table.dist_t.data(),
+                                   table.cell_stride, row0, row0 + nx,
+                                   arena.outs.data(), arena.mins.data());
+      for (std::size_t b = 0; b < n_tags; ++b) {
+        auto& top = tops[b];
+        for (std::size_t ix : xs_i) {
+          const std::pair<double, std::size_t> cand{arena.outs[b][ix],
+                                                    row0 + ix};
+          ++cells_scanned[b];
+          if (top.size() < top_k || cand < top.back()) {
+            top.insert(std::lower_bound(top.begin(), top.end(), cand), cand);
+            if (top.size() > top_k) top.pop_back();
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Fine pass: identical windows batch across tags ------------------
+  std::map<WindowKey, std::vector<std::pair<std::size_t, std::size_t>>>
+      groups;  // window -> [(tag, candidate rank)]
+  for (std::size_t b = 0; b < n_tags; ++b) {
+    for (std::size_t r = 0; r < tops[b].size(); ++r) {
+      const std::size_t cell = tops[b][r].second;
+      const std::size_t cx = cell % nx;
+      const std::size_t cy = (cell / nx) % ny;
+      const std::size_t cz = cell / (nx * ny);
+      const WindowKey key{cx > radius ? cx - radius : 0,
+                          std::min(cx + radius, nx - 1),
+                          cy > radius ? cy - radius : 0,
+                          std::min(cy + radius, ny - 1),
+                          cz > radius ? cz - radius : 0,
+                          std::min(cz + radius, nz - 1)};
+      groups[key].push_back({b, r});
+    }
+  }
+
+  std::vector<std::vector<GridBest>> fine(n_tags);
+  for (std::size_t b = 0; b < n_tags; ++b) fine[b].resize(tops[b].size());
+  std::vector<const RoundSnapshot*> g_snaps;
+  std::vector<simd::FactoredStats> g_stats;
+  std::vector<double> g_margins;
+  std::vector<GridBest> g_bests;
+  for (const auto& [key, members] : groups) {
+    g_snaps.clear();
+    g_stats.clear();
+    g_margins.clear();
+    for (const auto& [b, r] : members) {
+      g_snaps.push_back(snaps[b]);
+      g_stats.push_back(stats[b]);
+      g_margins.push_back(margins[b]);
+    }
+    g_bests.assign(members.size(), GridBest{});
+    window_scan_factored_batch(g_snaps.data(), g_stats.data(),
+                               g_margins.data(), members.size(), table, level,
+                               key[0], key[1], key[2], key[3], key[4], key[5],
+                               g_bests.data());
+    const std::size_t window_cells = (key[1] - key[0] + 1) *
+                                     (key[3] - key[2] + 1) *
+                                     (key[5] - key[4] + 1);
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      const auto [b, r] = members[j];
+      fine[b][r] = g_bests[j];
+      cells_scanned[b] += window_cells;
+    }
+  }
+
+  // Merge per tag in candidate order (the sequential fine-pass order), so
+  // exact-tie resolution between windows matches the single-tag scan.
+  for (std::size_t b = 0; b < n_tags; ++b) {
+    for (const GridBest& w : fine[b]) {
+      if (w.any && w.rss < bests[b].rss) bests[b] = w;
+    }
+  }
+}
+
+/// Per-workspace scratch of the batched entry points: snapshots and
+/// selection arrays reused across batches.
+struct BatchScratch {
+  std::vector<RoundSnapshot> snaps;
+  std::vector<simd::FactoredStats> stats;
+  std::vector<double> margins;
+  std::vector<std::uint8_t> done;
+  std::vector<std::size_t> pending;
+  std::vector<const RoundSnapshot*> sel_snaps;
+  std::vector<simd::FactoredStats> sel_stats;
+  std::vector<double> sel_margins;
+  std::vector<GridBest> bests;
+  std::vector<std::size_t> cells;
+  std::vector<GridBest> chunk_slots;
+  std::vector<std::size_t> candidates;
+};
+
 /// Stage A2: Levenberg-Marquardt refinement of a Stage-A1 winner plus the
 /// final PositionSolve assembly. Shared verbatim by the exhaustive,
 /// pyramid and warm-start paths so they differ only in which grid cells
@@ -879,6 +1171,236 @@ PositionSolve solve_position(const DeploymentGeometry& geometry,
   solve.path = path;
   solve.cells_scanned = cells_scanned;
   return solve;
+}
+
+void solve_position_batch(const DeploymentGeometry& geometry,
+                          std::span<const BatchedRankRequest> requests,
+                          const DisentangleConfig& config, SolveWorkspace& ws,
+                          ThreadPool* pool, const GridTable& table,
+                          std::span<PositionSolve> out,
+                          std::span<std::uint8_t> solved) {
+  require(out.size() == requests.size() && solved.size() == requests.size(),
+          "solve_position_batch: output spans must match requests");
+  require(config.rank_kernel != RankKernel::kCanonical,
+          "solve_position_batch: canonical ranking has no tag-major form");
+  require(table.n_antennas == geometry.n_antennas(),
+          "solve_position_batch: table/geometry antenna count mismatch");
+  require(config.grid_nx >= 2 && config.grid_ny >= 2,
+          "solve_position_batch: grid too coarse");
+  const std::size_t nz = std::max<std::size_t>(config.grid_nz, 1);
+  require(table.spec.nx == config.grid_nx && table.spec.ny == config.grid_ny &&
+              table.spec.nz == nz,
+          "solve_position_batch: table/config grid mismatch");
+
+  const bool mode_3d = config.grid_nz > 1;
+  const std::size_t min_antennas = mode_3d ? 4 : 3;
+  const std::size_t rows = nz * config.grid_ny;
+  const std::size_t n = requests.size();
+  const Rect& region = geometry.working_region;
+  const simd::Level level = config.rank_kernel == RankKernel::kFactoredSimd
+                                ? simd::active()
+                                : simd::Level::kScalar;
+
+  BatchScratch& scr = ws.scratch<BatchScratch>();
+  if (scr.snaps.size() < n) scr.snaps.resize(n);
+  scr.stats.resize(n);
+  scr.margins.resize(n);
+  scr.done.assign(n, 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    RoundSnapshot& snap = scr.snaps[b];
+    try {
+      build_snapshot(geometry, requests[b].lines, snap);
+      solved[b] = snap.n >= min_antennas ? 1 : 0;
+    } catch (const Error&) {
+      solved[b] = 0;  // malformed lines: the per-tag call throws too
+    }
+    if (solved[b] == 0) {
+      scr.done[b] = 1;
+      continue;
+    }
+    scr.stats[b] = factored_stats(snap);
+    scr.margins[b] = factored_margin(snap, table);
+  }
+
+  // ---- Stage A0: warm starts, grouped by identical hint windows --------
+  if (config.warm_start.enable) {
+    std::map<WindowKey, std::vector<std::size_t>> warm_groups;
+    const double w = config.warm_start.window_m;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (scr.done[b] != 0 || requests[b].warm_hint == nullptr) continue;
+      const Vec3 hint = *requests[b].warm_hint;
+      std::size_t x0, x1, y0, y1, z0 = 0, z1 = 0;
+      if (!axis_window(region.lo.x, region.width(), config.grid_nx, hint.x, w,
+                       x0, x1) ||
+          !axis_window(region.lo.y, region.height(), config.grid_ny, hint.y, w,
+                       y0, y1)) {
+        continue;  // hint missed the region: cold solve, like window_scan
+      }
+      if (mode_3d && !axis_window(config.z_lo, config.z_hi - config.z_lo, nz,
+                                  hint.z, w, z0, z1)) {
+        continue;
+      }
+      warm_groups[WindowKey{x0, x1, y0, y1, z0, z1}].push_back(b);
+    }
+    for (const auto& [key, members] : warm_groups) {
+      scr.sel_snaps.clear();
+      scr.sel_stats.clear();
+      scr.sel_margins.clear();
+      for (std::size_t b : members) {
+        scr.sel_snaps.push_back(&scr.snaps[b]);
+        scr.sel_stats.push_back(scr.stats[b]);
+        scr.sel_margins.push_back(scr.margins[b]);
+      }
+      scr.bests.assign(members.size(), GridBest{});
+      window_scan_factored_batch(scr.sel_snaps.data(), scr.sel_stats.data(),
+                                 scr.sel_margins.data(), members.size(), table,
+                                 level, key[0], key[1], key[2], key[3], key[4],
+                                 key[5], scr.bests.data());
+      const std::size_t window_cells = (key[1] - key[0] + 1) *
+                                       (key[3] - key[2] + 1) *
+                                       (key[5] - key[4] + 1);
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        const std::size_t b = members[j];
+        const GridBest& windowed = scr.bests[j];
+        if (!windowed.any || !std::isfinite(windowed.rss)) continue;
+        PositionSolve warm = refine_and_finish(scr.snaps[b], geometry, config,
+                                               ws, mode_3d, windowed);
+        if (warm.rms <= config.warm_start.max_rms) {
+          warm.path = SolvePath::kWarmStart;
+          warm.cells_scanned = window_cells;
+          out[b] = warm;
+          scr.done[b] = 1;
+        }
+        // Otherwise fall through to the cold batch, byte-identical to the
+        // hint-less per-tag call.
+      }
+    }
+  }
+
+  // ---- Stage A1: one shared pass ranks every cold tag ------------------
+  scr.pending.clear();
+  for (std::size_t b = 0; b < n; ++b) {
+    if (scr.done[b] == 0) scr.pending.push_back(b);
+  }
+  if (scr.pending.empty()) return;
+  const std::size_t n_pending = scr.pending.size();
+  scr.sel_snaps.clear();
+  scr.sel_stats.clear();
+  scr.sel_margins.clear();
+  for (std::size_t b : scr.pending) {
+    scr.sel_snaps.push_back(&scr.snaps[b]);
+    scr.sel_stats.push_back(scr.stats[b]);
+    scr.sel_margins.push_back(scr.margins[b]);
+  }
+  scr.bests.assign(n_pending, GridBest{});
+  scr.cells.assign(n_pending, 0);
+
+  SolvePath path = SolvePath::kExhaustive;
+  if (config.pyramid.enable) {
+    path = SolvePath::kPyramid;
+    pyramid_scan_batch(scr.sel_snaps.data(), scr.sel_stats.data(),
+                       scr.sel_margins.data(), n_pending, table, config, level,
+                       scr.bests.data(), scr.cells.data());
+  } else {
+    for (std::size_t p = 0; p < n_pending; ++p) {
+      scr.cells[p] = rows * config.grid_nx;
+    }
+    if (pool != nullptr && pool->size() > 1) {
+      // Same chunk boundaries as chunked_scan; per-(chunk, tag) bests are
+      // reduced strict-< in chunk order per tag, so the winner matches the
+      // sequential batched pass (and hence the per-tag scan) exactly.
+      const std::size_t chunk =
+          std::max<std::size_t>(1, rows / (4 * pool->size()));
+      const std::size_t n_chunks = (rows + chunk - 1) / chunk;
+      scr.chunk_slots.assign(n_chunks * n_pending, GridBest{});
+      pool->parallel_for(
+          rows, chunk, [&](std::size_t begin, std::size_t end, std::size_t) {
+            scan_grid_rows_factored_batch(
+                scr.sel_snaps.data(), scr.sel_stats.data(),
+                scr.sel_margins.data(), n_pending, table, level, begin, end,
+                scr.chunk_slots.data() + (begin / chunk) * n_pending);
+          });
+      for (std::size_t c = 0; c < n_chunks; ++c) {
+        for (std::size_t p = 0; p < n_pending; ++p) {
+          const GridBest& slot = scr.chunk_slots[c * n_pending + p];
+          if (slot.any && slot.rss < scr.bests[p].rss) scr.bests[p] = slot;
+        }
+      }
+    } else {
+      scan_grid_rows_factored_batch(scr.sel_snaps.data(), scr.sel_stats.data(),
+                                    scr.sel_margins.data(), n_pending, table,
+                                    level, 0, rows, scr.bests.data());
+    }
+  }
+
+  for (std::size_t p = 0; p < n_pending; ++p) {
+    const std::size_t b = scr.pending[p];
+    GridBest best = scr.bests[p];
+    if (!best.any || !std::isfinite(best.rss)) {
+      // Pathological (all costs NaN/inf): region-center fallback, same as
+      // the per-tag solve.
+      best.position = Vec3{region.center().x, region.center().y,
+                           geometry.tag_plane_z};
+      const SlopeCost cost = slope_cost(scr.snaps[b], best.position);
+      best.kt = cost.kt;
+      best.rss = cost.rss;
+    }
+    PositionSolve solve =
+        refine_and_finish(scr.snaps[b], geometry, config, ws, mode_3d, best);
+    solve.path = path;
+    solve.cells_scanned = scr.cells[p];
+    out[b] = solve;
+  }
+}
+
+void rank_exhaustive_batch(const DeploymentGeometry& geometry,
+                           std::span<const BatchedRankRequest> requests,
+                           const GridTable& table, RankKernel kernel,
+                           SolveWorkspace& ws, std::span<StageARank> out) {
+  require(out.size() == requests.size(),
+          "rank_exhaustive_batch: output span must match requests");
+  require(table.n_antennas == geometry.n_antennas(),
+          "rank_exhaustive: table/geometry antenna count mismatch");
+  const std::size_t n = requests.size();
+  const std::size_t rows = table.spec.nz * table.spec.ny;
+  BatchScratch& scr = ws.scratch<BatchScratch>();
+  if (scr.snaps.size() < n) scr.snaps.resize(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    build_snapshot(geometry, requests[b].lines, scr.snaps[b]);
+    require(scr.snaps[b].n >= 3,
+            "rank_exhaustive: not enough usable antenna lines");
+  }
+
+  if (kernel == RankKernel::kCanonical) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const GridBest best = scan_grid_rows_cached(scr.snaps[b], table, 0, rows);
+      require(best.any, "rank_exhaustive: no finite cell cost");
+      out[b] = StageARank{best.cell, best.rss, best.kt, table.n_cells()};
+    }
+    return;
+  }
+
+  const simd::Level level = kernel == RankKernel::kFactoredSimd
+                                ? simd::active()
+                                : simd::Level::kScalar;
+  scr.sel_snaps.clear();
+  scr.sel_stats.clear();
+  scr.sel_margins.clear();
+  for (std::size_t b = 0; b < n; ++b) {
+    scr.sel_snaps.push_back(&scr.snaps[b]);
+    scr.sel_stats.push_back(factored_stats(scr.snaps[b]));
+    scr.sel_margins.push_back(factored_margin(scr.snaps[b], table));
+  }
+  scr.bests.assign(n, GridBest{});
+  scr.candidates.assign(n, 0);
+  scan_grid_rows_factored_batch(scr.sel_snaps.data(), scr.sel_stats.data(),
+                                scr.sel_margins.data(), n, table, level, 0,
+                                rows, scr.bests.data(), scr.candidates.data());
+  for (std::size_t b = 0; b < n; ++b) {
+    require(scr.bests[b].any, "rank_exhaustive: no finite cell cost");
+    out[b] = StageARank{scr.bests[b].cell, scr.bests[b].rss, scr.bests[b].kt,
+                        scr.candidates[b]};
+  }
 }
 
 StageARank rank_exhaustive(const DeploymentGeometry& geometry,

@@ -1,5 +1,10 @@
 #include "rfp/core/pipeline.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
 #include "rfp/common/angles.hpp"
 #include "rfp/common/error.hpp"
 #include "rfp/core/engine.hpp"
@@ -140,23 +145,8 @@ std::vector<SensingResult> RfPrism::sense_batch(
     std::span<const RoundTrace> rounds, SensingEngine& engine,
     const std::string& tag_id, const AntennaHealthMonitor* health,
     const DriftCorrections* drift) const {
-  std::vector<SensingResult> results(rounds.size());
-  // One round per chunk: per-tag solves are the natural work quantum
-  // (~ms each), and every chunk writes only its own pre-assigned result
-  // slot, so results are in input order and independent of scheduling.
-  // Inner solves do NOT use the pool (a busy pool must never be waited on
-  // from inside itself beyond parallel_for's inline fallback).
-  engine.pool().parallel_for(
-      rounds.size(), 1,
-      [&](std::size_t begin, std::size_t end, std::size_t slot) {
-        for (std::size_t i = begin; i < end; ++i) {
-          results[i] = sense_with(rounds[i], tag_id, health,
-                                  engine.workspace(slot), /*pool=*/nullptr,
-                                  &engine.geometry_cache(),
-                                  /*warm_hint=*/nullptr, drift);
-        }
-      });
-  return results;
+  return sense_batch_impl(rounds, /*tag_ids=*/{}, tag_id, engine, health,
+                          /*warm_hints=*/{}, drift);
 }
 
 std::vector<SensingResult> RfPrism::sense_batch(
@@ -168,34 +158,126 @@ std::vector<SensingResult> RfPrism::sense_batch(
           "RfPrism::sense_batch: tag_ids must be empty or match rounds");
   require(warm_hints.empty() || warm_hints.size() == rounds.size(),
           "RfPrism::sense_batch: warm_hints must be empty or match rounds");
-  if (tag_ids.empty() && warm_hints.empty()) {
-    return sense_batch(rounds, engine, {}, health, drift);
-  }
+  return sense_batch_impl(rounds, tag_ids, /*shared_tag_id=*/{}, engine, health,
+                          warm_hints, drift);
+}
+
+std::vector<SensingResult> RfPrism::sense_batch_impl(
+    std::span<const RoundTrace> rounds, std::span<const std::string> tag_ids,
+    const std::string& shared_tag_id, SensingEngine& engine,
+    const AntennaHealthMonitor* health,
+    std::span<const std::optional<Vec3>> warm_hints,
+    const DriftCorrections* drift) const {
   std::vector<SensingResult> results(rounds.size());
+  const DisentangleConfig& dc = config_.disentangle;
+  const auto tag_of = [&](std::size_t i) -> const std::string& {
+    return tag_ids.empty() ? shared_tag_id : tag_ids[i];
+  };
+  const auto hint_of = [&](std::size_t i) -> const Vec3* {
+    return (!warm_hints.empty() && warm_hints[i].has_value()) ? &*warm_hints[i]
+                                                              : nullptr;
+  };
+
+  // The tag-major Stage-A pass needs a factored kernel, a shared cached
+  // distance table, and a non-degenerate grid (GridGeometryCache::acquire
+  // throws on degenerate grids, whereas the per-round path converts that
+  // into a per-round kSolverFailure — so degenerate configs must keep the
+  // per-round path). Singletons gain nothing from batching.
+  const bool batched = dc.batch_rank && rounds.size() >= 2 &&
+                       dc.use_geometry_cache &&
+                       dc.rank_kernel != RankKernel::kCanonical &&
+                       dc.grid_nx >= 2 && dc.grid_ny >= 2;
+  if (!batched) {
+    // One round per chunk: per-tag solves are the natural work quantum
+    // (~ms each), and every chunk writes only its own pre-assigned result
+    // slot, so results are in input order and independent of scheduling.
+    // Inner solves do NOT use the pool (a busy pool must never be waited
+    // on from inside itself beyond parallel_for's inline fallback).
+    engine.pool().parallel_for(
+        rounds.size(), 1,
+        [&](std::size_t begin, std::size_t end, std::size_t slot) {
+          for (std::size_t i = begin; i < end; ++i) {
+            results[i] = sense_with(rounds[i], tag_of(i), health,
+                                    engine.workspace(slot), /*pool=*/nullptr,
+                                    &engine.geometry_cache(), hint_of(i),
+                                    drift);
+          }
+        });
+    return results;
+  }
+
+  // ---- Tag-batched Stage-A path ---------------------------------------
+  // Every round in the batch shares the deployment geometry, so the cache
+  // lookup hoists out of the per-round loop: one digest+lock per batch
+  // instead of one per round.
+  const std::size_t nz = std::max<std::size_t>(dc.grid_nz, 1);
+  const std::shared_ptr<const GridTable> table =
+      engine.geometry_cache().acquire(
+          config_.geometry,
+          GridSpec{dc.grid_nx, dc.grid_ny, nz, dc.z_lo, dc.z_hi});
+
+  // Phase 1: fit + gate every round on the pool. prepare_round needs no
+  // workspace; exceptions (antenna-count mismatch) keep parallel_for's
+  // first-in-chunk-order semantics, same as the per-round path.
+  std::vector<PreparedRound> preps(rounds.size());
+  engine.pool().parallel_for(
+      rounds.size(), 1,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          preps[i] = prepare_round(rounds[i], health, drift);
+        }
+      });
+
+  // Phase 2: tag-major Stage A over the shared table. solve_position_batch
+  // fans the grid rows out over the pool internally.
+  std::vector<BatchedRankRequest> requests;
+  std::vector<std::size_t> req_of(rounds.size(), 0);
+  requests.reserve(rounds.size());
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    if (preps[i].rejected) continue;
+    req_of[i] = requests.size();
+    requests.push_back(BatchedRankRequest{
+        std::span<const AntennaLine>(preps[i].solve_lines), hint_of(i)});
+  }
+  std::vector<PositionSolve> solves(requests.size());
+  std::vector<std::uint8_t> solved(requests.size(), 0);
+  if (!requests.empty()) {
+    solve_position_batch(config_.geometry, requests, dc,
+                         engine.local_workspace(), &engine.pool(), *table,
+                         solves, solved);
+  }
+
+  // Phase 3: orientation + features + grading per round on the pool.
   engine.pool().parallel_for(
       rounds.size(), 1,
       [&](std::size_t begin, std::size_t end, std::size_t slot) {
         for (std::size_t i = begin; i < end; ++i) {
-          const Vec3* hint = (!warm_hints.empty() && warm_hints[i].has_value())
-                                 ? &*warm_hints[i]
-                                 : nullptr;
-          results[i] = sense_with(
-              rounds[i], tag_ids.empty() ? std::string{} : tag_ids[i], health,
-              engine.workspace(slot), /*pool=*/nullptr,
-              &engine.geometry_cache(), hint, drift);
+          if (preps[i].rejected) {
+            results[i] = std::move(preps[i].result);
+            continue;
+          }
+          const std::size_t r = req_of[i];
+          if (solved[r] == 0) {
+            results[i] = reject(preps[i].result, RejectReason::kSolverFailure);
+            continue;
+          }
+          try {
+            results[i] = finish_round(preps[i], tag_of(i), solves[r],
+                                      engine.workspace(slot));
+          } catch (const Error&) {
+            results[i] = reject(preps[i].result, RejectReason::kSolverFailure);
+          }
         }
       });
   return results;
 }
 
-SensingResult RfPrism::sense_with(const RoundTrace& round,
-                                  const std::string& tag_id,
-                                  const AntennaHealthMonitor* health,
-                                  SolveWorkspace& ws, ThreadPool* pool,
-                                  GridGeometryCache* cache,
-                                  const Vec3* warm_hint,
-                                  const DriftCorrections* drift) const {
-  SensingResult result;
+RfPrism::PreparedRound RfPrism::prepare_round(
+    const RoundTrace& round, const AntennaHealthMonitor* health,
+    const DriftCorrections* drift) const {
+  PreparedRound prep;
+  SensingResult& result = prep.result;
+  std::vector<AntennaLine>& solve_lines = prep.solve_lines;
   result.lines = fit_round(round, /*apply_reader_cal=*/true);
   const bool mode_3d = config_.disentangle.grid_nz > 1;
   const std::size_t min_antennas = mode_3d ? 4 : 3;
@@ -211,7 +293,6 @@ SensingResult RfPrism::sense_with(const RoundTrace& round,
   // channels), which reproduces the strict pipeline's implicit filtering.
   // Quarantined ports (long-horizon health) are excluded regardless of how
   // their current round looks.
-  std::vector<AntennaLine> solve_lines;
   bool quarantine_excluded = false;
   if (config_.enable_degraded_mode) {
     std::vector<bool> gate;
@@ -264,18 +345,22 @@ SensingResult RfPrism::sense_with(const RoundTrace& round,
     // detector verdict when *every* port failed (mobility corrupts all
     // antennas at once — that is not a port-health problem); otherwise
     // name the antenna-health gate explicitly.
+    prep.rejected = true;
     if (config_.enable_error_detector) {
       if (result.unhealthy_antennas.size() == result.lines.size()) {
         const RejectReason reason =
             detect_errors(result.lines, config_.error_detector);
-        return reject(result, reason != RejectReason::kNone
-                                  ? reason
-                                  : RejectReason::kAntennaHealth);
+        reject(result, reason != RejectReason::kNone
+                           ? reason
+                           : RejectReason::kAntennaHealth);
+        return prep;
       }
-      return reject(result, RejectReason::kAntennaHealth);
+      reject(result, RejectReason::kAntennaHealth);
+      return prep;
     }
-    return reject(result, quarantine_excluded ? RejectReason::kAntennaHealth
-                                              : RejectReason::kSolverFailure);
+    reject(result, quarantine_excluded ? RejectReason::kAntennaHealth
+                                       : RejectReason::kSolverFailure);
+    return prep;
   }
 
   if (config_.enable_error_detector) {
@@ -300,26 +385,35 @@ SensingResult RfPrism::sense_with(const RoundTrace& round,
                                config_.error_detector);
       }
     }
-    if (reason != RejectReason::kNone) return reject(result, reason);
+    if (reason != RejectReason::kNone) {
+      prep.rejected = true;
+      reject(result, reason);
+      return prep;
+    }
   }
 
-  try {
-    const PositionSolve pos =
-        solve_position(config_.geometry, solve_lines, config_.disentangle, ws,
-                       pool, cache, warm_hint);
-    const OrientationSolve orient = solve_orientation(
-        config_.geometry, solve_lines, pos.position, config_.disentangle, ws);
+  return prep;
+}
 
-    result.position = pos.position;
-    result.position_residual = pos.rms;
-    result.kt = pos.kt;
-    result.alpha = orient.alpha;
-    result.polarization = orient.polarization;
-    result.orientation_residual = orient.rms;
-    result.bt = orient.bt;
-  } catch (const Error&) {
-    return reject(result, RejectReason::kSolverFailure);
-  }
+SensingResult RfPrism::finish_round(PreparedRound& prep,
+                                    const std::string& tag_id,
+                                    const PositionSolve& pos,
+                                    SolveWorkspace& ws) const {
+  // Work on prep.result in place: if the orientation solve throws, the
+  // caller still holds the fitted/gated result to reject, exactly like
+  // the monolithic path did.
+  SensingResult& result = prep.result;
+  const std::vector<AntennaLine>& solve_lines = prep.solve_lines;
+  const OrientationSolve orient = solve_orientation(
+      config_.geometry, solve_lines, pos.position, config_.disentangle, ws);
+
+  result.position = pos.position;
+  result.position_residual = pos.rms;
+  result.kt = pos.kt;
+  result.alpha = orient.alpha;
+  result.polarization = orient.polarization;
+  result.orientation_residual = orient.rms;
+  result.bt = orient.bt;
 
   // Material features come from the lines that were actually solved on: a
   // dead or bursty port would otherwise poison the averaged signature.
@@ -338,7 +432,26 @@ SensingResult RfPrism::sense_with(const RoundTrace& round,
                   solve_lines.size() < result.lines.size())
                      ? SensingGrade::kDegraded
                      : SensingGrade::kFull;
-  return result;
+  return std::move(prep.result);
+}
+
+SensingResult RfPrism::sense_with(const RoundTrace& round,
+                                  const std::string& tag_id,
+                                  const AntennaHealthMonitor* health,
+                                  SolveWorkspace& ws, ThreadPool* pool,
+                                  GridGeometryCache* cache,
+                                  const Vec3* warm_hint,
+                                  const DriftCorrections* drift) const {
+  PreparedRound prep = prepare_round(round, health, drift);
+  if (prep.rejected) return std::move(prep.result);
+  try {
+    const PositionSolve pos =
+        solve_position(config_.geometry, prep.solve_lines, config_.disentangle,
+                       ws, pool, cache, warm_hint);
+    return finish_round(prep, tag_id, pos, ws);
+  } catch (const Error&) {
+    return reject(prep.result, RejectReason::kSolverFailure);
+  }
 }
 
 }  // namespace rfp

@@ -70,6 +70,21 @@ double factored_rss_run(Level level, const FactoredStats& stats,
 double factored_rss_cell(const FactoredStats& stats, const double* dist_t,
                          std::size_t cell_stride, std::size_t cell);
 
+/// Tag-batched variant: rank the same cells for `n_stats` rounds that
+/// share one distance table, streaming the table once per tag *tile*
+/// (pairs on AVX2, quads on AVX-512) instead of once per tag. Writes
+/// outs[b][cell - cell_begin] and mins[b] exactly as `n_stats`
+/// independent factored_rss_run calls would — per-cell arithmetic is
+/// per-tag, so every output double is bit-identical to the single-tag
+/// kernel at every level. Callers should keep [cell_begin, cell_end)
+/// cache-sized (a grid row) so tile re-reads hit L1/L2 rather than
+/// re-streaming DRAM.
+void factored_rss_run_batch(Level level, const FactoredStats* stats,
+                            std::size_t n_stats, const double* dist_t,
+                            std::size_t cell_stride, std::size_t cell_begin,
+                            std::size_t cell_end, double* const* outs,
+                            double* mins);
+
 /// Ascending indices i in [0, n) with values[i] <= limit (NaN never
 /// matches), up to `capacity` stored in idx. Returns the total match
 /// count — when it exceeds `capacity`, only the first `capacity` indices
@@ -95,6 +110,31 @@ double factored_rss_run_avx2(const FactoredStats& stats, const double* dist_t,
 std::size_t collect_below_avx2(const double* values, std::size_t n,
                                double limit, std::uint32_t* idx,
                                std::size_t capacity);
+void factored_rss_run_batch_scalar(const FactoredStats* stats,
+                                   std::size_t n_stats, const double* dist_t,
+                                   std::size_t cell_stride,
+                                   std::size_t cell_begin,
+                                   std::size_t cell_end, double* const* outs,
+                                   double* mins);
+void factored_rss_run_batch_avx2(const FactoredStats* stats,
+                                 std::size_t n_stats, const double* dist_t,
+                                 std::size_t cell_stride,
+                                 std::size_t cell_begin, std::size_t cell_end,
+                                 double* const* outs, double* mins);
+/// Defined only when the build compiles the AVX-512 translation unit.
+double factored_rss_run_avx512(const FactoredStats& stats,
+                               const double* dist_t, std::size_t cell_stride,
+                               std::size_t cell_begin, std::size_t cell_end,
+                               double* out);
+std::size_t collect_below_avx512(const double* values, std::size_t n,
+                                 double limit, std::uint32_t* idx,
+                                 std::size_t capacity);
+void factored_rss_run_batch_avx512(const FactoredStats* stats,
+                                   std::size_t n_stats, const double* dist_t,
+                                   std::size_t cell_stride,
+                                   std::size_t cell_begin,
+                                   std::size_t cell_end, double* const* outs,
+                                   double* mins);
 }  // namespace detail
 
 }  // namespace rfp::simd

@@ -152,6 +152,151 @@ double factored_rss_run_avx2(const FactoredStats& stats, const double* dist_t,
   return min;
 }
 
+namespace {
+
+/// Two tags fused over one stream of the distance planes: each 8-cell
+/// block loads d once and applies both tags' coefficient FMAs, so a batch
+/// of B tags reads the table ceil(B/2) times (from L1/L2 when the caller
+/// hands in row-sized ranges) instead of B. Per-(tag, cell) arithmetic is
+/// exactly the single-tag chain — the tiling only reorders independent
+/// lanes — so outputs are bit-identical to factored_rss_run_avx2.
+/// Requires sa.n_antennas == sb.n_antennas (same GridTable).
+void factored_rss_pair_avx2(const FactoredStats& sa, const FactoredStats& sb,
+                            const double* dist_t, std::size_t cell_stride,
+                            std::size_t cell_begin, std::size_t cell_end,
+                            double* out_a, double* out_b, double* min_a,
+                            double* min_b) {
+  const std::size_t n_antennas = sa.n_antennas;
+  const __m256d c1a = _mm256_set1_pd(sa.c1), c2a = _mm256_set1_pd(sa.c2);
+  const __m256d c1b = _mm256_set1_pd(sb.c1), c2b = _mm256_set1_pd(sb.c2);
+  const __m256d inv_na = _mm256_set1_pd(sa.inv_n);
+  const __m256d inv_nb = _mm256_set1_pd(sb.inv_n);
+  const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  __m256d vmin_a0 = inf, vmin_a1 = inf, vmin_b0 = inf, vmin_b1 = inf;
+  std::size_t cell = cell_begin;
+
+  for (; cell + 8 <= cell_end; cell += 8) {
+    __m256d acc_a0 = c1a, acc_a1 = c1a, sq_a0 = c2a, sq_a1 = c2a;
+    __m256d acc_b0 = c1b, acc_b1 = c1b, sq_b0 = c2b, sq_b1 = c2b;
+    for (std::size_t a = 0; a < n_antennas; ++a) {
+      const double* plane = dist_t + a * cell_stride + cell;
+      const __m256d d0 = _mm256_loadu_pd(plane);
+      const __m256d d1 = _mm256_loadu_pd(plane + 4);
+      const __m256d q1a = _mm256_set1_pd(sa.q1[a]);
+      const __m256d p1a = _mm256_set1_pd(sa.p1[a]);
+      const __m256d p2a = _mm256_set1_pd(sa.p2[a]);
+      acc_a0 = _mm256_fmadd_pd(q1a, d0, acc_a0);
+      acc_a1 = _mm256_fmadd_pd(q1a, d1, acc_a1);
+      sq_a0 = _mm256_fmadd_pd(_mm256_fmadd_pd(p2a, d0, p1a), d0, sq_a0);
+      sq_a1 = _mm256_fmadd_pd(_mm256_fmadd_pd(p2a, d1, p1a), d1, sq_a1);
+      const __m256d q1b = _mm256_set1_pd(sb.q1[a]);
+      const __m256d p1b = _mm256_set1_pd(sb.p1[a]);
+      const __m256d p2b = _mm256_set1_pd(sb.p2[a]);
+      acc_b0 = _mm256_fmadd_pd(q1b, d0, acc_b0);
+      acc_b1 = _mm256_fmadd_pd(q1b, d1, acc_b1);
+      sq_b0 = _mm256_fmadd_pd(_mm256_fmadd_pd(p2b, d0, p1b), d0, sq_b0);
+      sq_b1 = _mm256_fmadd_pd(_mm256_fmadd_pd(p2b, d1, p1b), d1, sq_b1);
+    }
+    const __m256d ra0 = _mm256_sub_pd(
+        sq_a0, _mm256_mul_pd(_mm256_mul_pd(acc_a0, acc_a0), inv_na));
+    const __m256d ra1 = _mm256_sub_pd(
+        sq_a1, _mm256_mul_pd(_mm256_mul_pd(acc_a1, acc_a1), inv_na));
+    const __m256d rb0 = _mm256_sub_pd(
+        sq_b0, _mm256_mul_pd(_mm256_mul_pd(acc_b0, acc_b0), inv_nb));
+    const __m256d rb1 = _mm256_sub_pd(
+        sq_b1, _mm256_mul_pd(_mm256_mul_pd(acc_b1, acc_b1), inv_nb));
+    const std::size_t off = cell - cell_begin;
+    _mm256_storeu_pd(out_a + off, ra0);
+    _mm256_storeu_pd(out_a + off + 4, ra1);
+    _mm256_storeu_pd(out_b + off, rb0);
+    _mm256_storeu_pd(out_b + off + 4, rb1);
+    vmin_a0 = min_skip_nan(ra0, vmin_a0);
+    vmin_a1 = min_skip_nan(ra1, vmin_a1);
+    vmin_b0 = min_skip_nan(rb0, vmin_b0);
+    vmin_b1 = min_skip_nan(rb1, vmin_b1);
+  }
+
+  for (; cell + 4 <= cell_end; cell += 4) {
+    __m256d acc_a = c1a, sq_a = c2a, acc_b = c1b, sq_b = c2b;
+    for (std::size_t a = 0; a < n_antennas; ++a) {
+      const __m256d d = _mm256_loadu_pd(dist_t + a * cell_stride + cell);
+      acc_a = _mm256_fmadd_pd(_mm256_set1_pd(sa.q1[a]), d, acc_a);
+      sq_a = _mm256_fmadd_pd(
+          _mm256_fmadd_pd(_mm256_set1_pd(sa.p2[a]), d,
+                          _mm256_set1_pd(sa.p1[a])),
+          d, sq_a);
+      acc_b = _mm256_fmadd_pd(_mm256_set1_pd(sb.q1[a]), d, acc_b);
+      sq_b = _mm256_fmadd_pd(
+          _mm256_fmadd_pd(_mm256_set1_pd(sb.p2[a]), d,
+                          _mm256_set1_pd(sb.p1[a])),
+          d, sq_b);
+    }
+    const __m256d ra = _mm256_sub_pd(
+        sq_a, _mm256_mul_pd(_mm256_mul_pd(acc_a, acc_a), inv_na));
+    const __m256d rb = _mm256_sub_pd(
+        sq_b, _mm256_mul_pd(_mm256_mul_pd(acc_b, acc_b), inv_nb));
+    _mm256_storeu_pd(out_a + (cell - cell_begin), ra);
+    _mm256_storeu_pd(out_b + (cell - cell_begin), rb);
+    vmin_a0 = min_skip_nan(ra, vmin_a0);
+    vmin_b0 = min_skip_nan(rb, vmin_b0);
+  }
+
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, vmin_a0);
+  _mm256_store_pd(lanes + 4, vmin_a1);
+  double ma = std::numeric_limits<double>::infinity();
+  for (double lane : lanes) ma = lane < ma ? lane : ma;
+  _mm256_store_pd(lanes, vmin_b0);
+  _mm256_store_pd(lanes + 4, vmin_b1);
+  double mb = std::numeric_limits<double>::infinity();
+  for (double lane : lanes) mb = lane < mb ? lane : mb;
+
+  for (; cell < cell_end; ++cell) {
+    double acc_a = sa.c1, sq_a = sa.c2, acc_b = sb.c1, sq_b = sb.c2;
+    for (std::size_t a = 0; a < n_antennas; ++a) {
+      const double d = dist_t[a * cell_stride + cell];
+      acc_a = std::fma(sa.q1[a], d, acc_a);
+      sq_a = std::fma(std::fma(sa.p2[a], d, sa.p1[a]), d, sq_a);
+      acc_b = std::fma(sb.q1[a], d, acc_b);
+      sq_b = std::fma(std::fma(sb.p2[a], d, sb.p1[a]), d, sq_b);
+    }
+    const double rss_a = sq_a - (acc_a * acc_a) * sa.inv_n;
+    const double rss_b = sq_b - (acc_b * acc_b) * sb.inv_n;
+    out_a[cell - cell_begin] = rss_a;
+    out_b[cell - cell_begin] = rss_b;
+    ma = rss_a < ma ? rss_a : ma;
+    mb = rss_b < mb ? rss_b : mb;
+  }
+  *min_a = ma;
+  *min_b = mb;
+}
+
+}  // namespace
+
+void factored_rss_run_batch_avx2(const FactoredStats* stats,
+                                 std::size_t n_stats, const double* dist_t,
+                                 std::size_t cell_stride,
+                                 std::size_t cell_begin, std::size_t cell_end,
+                                 double* const* outs, double* mins) {
+  std::size_t b = 0;
+  for (; b + 2 <= n_stats; b += 2) {
+    if (stats[b].n_antennas == stats[b + 1].n_antennas) {
+      factored_rss_pair_avx2(stats[b], stats[b + 1], dist_t, cell_stride,
+                             cell_begin, cell_end, outs[b], outs[b + 1],
+                             &mins[b], &mins[b + 1]);
+    } else {
+      mins[b] = factored_rss_run_avx2(stats[b], dist_t, cell_stride,
+                                      cell_begin, cell_end, outs[b]);
+      mins[b + 1] = factored_rss_run_avx2(stats[b + 1], dist_t, cell_stride,
+                                          cell_begin, cell_end, outs[b + 1]);
+    }
+  }
+  for (; b < n_stats; ++b) {
+    mins[b] = factored_rss_run_avx2(stats[b], dist_t, cell_stride, cell_begin,
+                                    cell_end, outs[b]);
+  }
+}
+
 std::size_t collect_below_avx2(const double* values, std::size_t n,
                                double limit, std::uint32_t* idx,
                                std::size_t capacity) {

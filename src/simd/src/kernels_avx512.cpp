@@ -1,0 +1,315 @@
+/// AVX-512F factored-rss kernels: 8 doubles per instruction, with the
+/// skip-NaN minimum folded into the batch loop and a four-tag fused tile
+/// for the batched entry point. Compiled with -mavx512f -mfma
+/// -ffp-contract=off on x86-64 builds only; the dispatching entry points
+/// never route here unless cpuid said the instructions exist.
+///
+/// Bit-identity: the per-lane arithmetic is the same
+/// fma/fma-fma/mul-mul-sub chain as the scalar and AVX2 paths, and
+/// VMINPD keeps the AVX2 NaN convention (returns the SECOND operand when
+/// either input is NaN), so every written double and every returned
+/// minimum matches the other levels exactly.
+
+#if defined(RFP_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rfp/simd/kernels.hpp"
+
+namespace rfp::simd::detail {
+
+namespace {
+
+/// min(v, acc) lane-wise with NaN lanes of v skipped — acc as the second
+/// operand, matching the scalar `rss < min ? rss : min` reduction.
+inline __m512d min_skip_nan(__m512d v, __m512d acc) {
+  return _mm512_min_pd(v, acc);
+}
+
+inline double reduce_min_skip_nan(__m512d vmin_lo, __m512d vmin_hi) {
+  // Pure selection — no rounding — so the reduction order is irrelevant.
+  alignas(64) double lanes[16];
+  _mm512_store_pd(lanes, vmin_lo);
+  _mm512_store_pd(lanes + 8, vmin_hi);
+  double min = std::numeric_limits<double>::infinity();
+  for (double lane : lanes) min = lane < min ? lane : min;
+  return min;
+}
+
+}  // namespace
+
+double factored_rss_run_avx512(const FactoredStats& stats,
+                               const double* dist_t, std::size_t cell_stride,
+                               std::size_t cell_begin, std::size_t cell_end,
+                               double* out) {
+  const __m512d c1 = _mm512_set1_pd(stats.c1);
+  const __m512d c2 = _mm512_set1_pd(stats.c2);
+  const __m512d inv_n = _mm512_set1_pd(stats.inv_n);
+  const __m512d inf = _mm512_set1_pd(std::numeric_limits<double>::infinity());
+  __m512d vmin_lo = inf, vmin_hi = inf;
+  std::size_t cell = cell_begin;
+
+  // 32 cells per iteration: four accumulator pairs in flight so the loop
+  // is FMA-throughput bound rather than serialized on the fmadd latency.
+  for (; cell + 32 <= cell_end; cell += 32) {
+    __m512d acc0 = c1, acc1 = c1, acc2_ = c1, acc3 = c1;
+    __m512d sq0 = c2, sq1 = c2, sq2 = c2, sq3 = c2;
+    for (std::size_t a = 0; a < stats.n_antennas; ++a) {
+      const double* plane = dist_t + a * cell_stride + cell;
+      const __m512d q1 = _mm512_set1_pd(stats.q1[a]);
+      const __m512d p1 = _mm512_set1_pd(stats.p1[a]);
+      const __m512d p2 = _mm512_set1_pd(stats.p2[a]);
+      const __m512d d0 = _mm512_loadu_pd(plane);
+      const __m512d d1 = _mm512_loadu_pd(plane + 8);
+      const __m512d d2 = _mm512_loadu_pd(plane + 16);
+      const __m512d d3 = _mm512_loadu_pd(plane + 24);
+      acc0 = _mm512_fmadd_pd(q1, d0, acc0);
+      acc1 = _mm512_fmadd_pd(q1, d1, acc1);
+      acc2_ = _mm512_fmadd_pd(q1, d2, acc2_);
+      acc3 = _mm512_fmadd_pd(q1, d3, acc3);
+      sq0 = _mm512_fmadd_pd(_mm512_fmadd_pd(p2, d0, p1), d0, sq0);
+      sq1 = _mm512_fmadd_pd(_mm512_fmadd_pd(p2, d1, p1), d1, sq1);
+      sq2 = _mm512_fmadd_pd(_mm512_fmadd_pd(p2, d2, p1), d2, sq2);
+      sq3 = _mm512_fmadd_pd(_mm512_fmadd_pd(p2, d3, p1), d3, sq3);
+    }
+    const __m512d r0 =
+        _mm512_sub_pd(sq0, _mm512_mul_pd(_mm512_mul_pd(acc0, acc0), inv_n));
+    const __m512d r1 =
+        _mm512_sub_pd(sq1, _mm512_mul_pd(_mm512_mul_pd(acc1, acc1), inv_n));
+    const __m512d r2 =
+        _mm512_sub_pd(sq2, _mm512_mul_pd(_mm512_mul_pd(acc2_, acc2_), inv_n));
+    const __m512d r3 =
+        _mm512_sub_pd(sq3, _mm512_mul_pd(_mm512_mul_pd(acc3, acc3), inv_n));
+    double* dst = out + (cell - cell_begin);
+    _mm512_storeu_pd(dst, r0);
+    _mm512_storeu_pd(dst + 8, r1);
+    _mm512_storeu_pd(dst + 16, r2);
+    _mm512_storeu_pd(dst + 24, r3);
+    vmin_lo = min_skip_nan(r0, vmin_lo);
+    vmin_hi = min_skip_nan(r1, vmin_hi);
+    vmin_lo = min_skip_nan(r2, vmin_lo);
+    vmin_hi = min_skip_nan(r3, vmin_hi);
+  }
+
+  for (; cell + 8 <= cell_end; cell += 8) {
+    __m512d acc = c1;
+    __m512d acc2 = c2;
+    for (std::size_t a = 0; a < stats.n_antennas; ++a) {
+      const __m512d d = _mm512_loadu_pd(dist_t + a * cell_stride + cell);
+      acc = _mm512_fmadd_pd(_mm512_set1_pd(stats.q1[a]), d, acc);
+      acc2 = _mm512_fmadd_pd(
+          _mm512_fmadd_pd(_mm512_set1_pd(stats.p2[a]), d,
+                          _mm512_set1_pd(stats.p1[a])),
+          d, acc2);
+    }
+    // mean_sq = acc²·inv_n as two separate multiplies then a subtract —
+    // never a fused a−b·c — to match the scalar path bit-for-bit.
+    const __m512d ms = _mm512_mul_pd(_mm512_mul_pd(acc, acc), inv_n);
+    const __m512d rss = _mm512_sub_pd(acc2, ms);
+    _mm512_storeu_pd(out + (cell - cell_begin), rss);
+    vmin_lo = min_skip_nan(rss, vmin_lo);
+  }
+
+  double min = reduce_min_skip_nan(vmin_lo, vmin_hi);
+
+  // Tail cells scalar: std::fma in the same per-lane order (with -mfma
+  // this lowers to the same vfmadd the vector body uses).
+  for (; cell < cell_end; ++cell) {
+    double acc = stats.c1;
+    double acc2 = stats.c2;
+    for (std::size_t a = 0; a < stats.n_antennas; ++a) {
+      const double d = dist_t[a * cell_stride + cell];
+      acc = std::fma(stats.q1[a], d, acc);
+      acc2 = std::fma(std::fma(stats.p2[a], d, stats.p1[a]), d, acc2);
+    }
+    const double mean_sq = (acc * acc) * stats.inv_n;
+    const double rss = acc2 - mean_sq;
+    out[cell - cell_begin] = rss;
+    min = rss < min ? rss : min;
+  }
+  return min;
+}
+
+std::size_t collect_below_avx512(const double* values, std::size_t n,
+                                 double limit, std::uint32_t* idx,
+                                 std::size_t capacity) {
+  const __m512d vlimit = _mm512_set1_pd(limit);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Ordered-quiet <=: NaN lanes never match, like the scalar compare.
+    const __m512d v = _mm512_loadu_pd(values + i);
+    const unsigned mask =
+        static_cast<unsigned>(_mm512_cmp_pd_mask(v, vlimit, _CMP_LE_OQ));
+    if (mask == 0) continue;  // the hot path: nothing near the minimum
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((mask >> lane) & 1u) {
+        if (count < capacity) idx[count] = static_cast<std::uint32_t>(i + lane);
+        ++count;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (values[i] <= limit) {
+      if (count < capacity) idx[count] = static_cast<std::uint32_t>(i);
+      ++count;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+/// Four tags fused over one stream of the distance planes: each 16-cell
+/// block loads d twice (two zmm) and applies all four tags' coefficient
+/// FMAs, so a batch of B tags reads the table ceil(B/4) times — from
+/// L1/L2 when the caller hands in row-sized ranges. 16 accumulators +
+/// 2 distance registers sit comfortably in the 32 zmm registers.
+/// Requires all four stats to share n_antennas (same GridTable).
+void factored_rss_quad_avx512(const FactoredStats& s0,
+                              const FactoredStats& s1,
+                              const FactoredStats& s2,
+                              const FactoredStats& s3, const double* dist_t,
+                              std::size_t cell_stride, std::size_t cell_begin,
+                              std::size_t cell_end, double* const* outs,
+                              double* mins) {
+  const FactoredStats* st[4] = {&s0, &s1, &s2, &s3};
+  const std::size_t n_antennas = s0.n_antennas;
+  __m512d c1[4], c2[4], inv_n[4];
+  for (int t = 0; t < 4; ++t) {
+    c1[t] = _mm512_set1_pd(st[t]->c1);
+    c2[t] = _mm512_set1_pd(st[t]->c2);
+    inv_n[t] = _mm512_set1_pd(st[t]->inv_n);
+  }
+  std::size_t cell = cell_begin;
+
+  // The minimum is NOT tracked inside the blocked loops: 8 extra live
+  // zmm registers on top of the 16 accumulators made GCC spill the hot
+  // loop. Every value is stored anyway, so the min falls out of one
+  // selection-only pass over the (cache-resident) out slices below —
+  // bit-identical, since min is pure selection with no rounding.
+  for (; cell + 16 <= cell_end; cell += 16) {
+    __m512d acc0[4], acc1[4], sq0[4], sq1[4];
+    for (int t = 0; t < 4; ++t) {
+      acc0[t] = c1[t];
+      acc1[t] = c1[t];
+      sq0[t] = c2[t];
+      sq1[t] = c2[t];
+    }
+    for (std::size_t a = 0; a < n_antennas; ++a) {
+      const double* plane = dist_t + a * cell_stride + cell;
+      const __m512d d0 = _mm512_loadu_pd(plane);
+      const __m512d d1 = _mm512_loadu_pd(plane + 8);
+      for (int t = 0; t < 4; ++t) {
+        const __m512d q1 = _mm512_set1_pd(st[t]->q1[a]);
+        const __m512d p1 = _mm512_set1_pd(st[t]->p1[a]);
+        const __m512d p2 = _mm512_set1_pd(st[t]->p2[a]);
+        acc0[t] = _mm512_fmadd_pd(q1, d0, acc0[t]);
+        acc1[t] = _mm512_fmadd_pd(q1, d1, acc1[t]);
+        sq0[t] = _mm512_fmadd_pd(_mm512_fmadd_pd(p2, d0, p1), d0, sq0[t]);
+        sq1[t] = _mm512_fmadd_pd(_mm512_fmadd_pd(p2, d1, p1), d1, sq1[t]);
+      }
+    }
+    const std::size_t off = cell - cell_begin;
+    for (int t = 0; t < 4; ++t) {
+      const __m512d r0 = _mm512_sub_pd(
+          sq0[t], _mm512_mul_pd(_mm512_mul_pd(acc0[t], acc0[t]), inv_n[t]));
+      const __m512d r1 = _mm512_sub_pd(
+          sq1[t], _mm512_mul_pd(_mm512_mul_pd(acc1[t], acc1[t]), inv_n[t]));
+      _mm512_storeu_pd(outs[t] + off, r0);
+      _mm512_storeu_pd(outs[t] + off + 8, r1);
+    }
+  }
+
+  for (; cell + 8 <= cell_end; cell += 8) {
+    __m512d acc[4], sq[4];
+    for (int t = 0; t < 4; ++t) {
+      acc[t] = c1[t];
+      sq[t] = c2[t];
+    }
+    for (std::size_t a = 0; a < n_antennas; ++a) {
+      const __m512d d = _mm512_loadu_pd(dist_t + a * cell_stride + cell);
+      for (int t = 0; t < 4; ++t) {
+        acc[t] = _mm512_fmadd_pd(_mm512_set1_pd(st[t]->q1[a]), d, acc[t]);
+        sq[t] = _mm512_fmadd_pd(
+            _mm512_fmadd_pd(_mm512_set1_pd(st[t]->p2[a]), d,
+                            _mm512_set1_pd(st[t]->p1[a])),
+            d, sq[t]);
+      }
+    }
+    for (int t = 0; t < 4; ++t) {
+      const __m512d ms = _mm512_mul_pd(_mm512_mul_pd(acc[t], acc[t]), inv_n[t]);
+      const __m512d rss = _mm512_sub_pd(sq[t], ms);
+      _mm512_storeu_pd(outs[t] + (cell - cell_begin), rss);
+    }
+  }
+
+  for (; cell < cell_end; ++cell) {
+    const std::size_t off = cell - cell_begin;
+    for (int t = 0; t < 4; ++t) {
+      double acc = st[t]->c1;
+      double acc2 = st[t]->c2;
+      for (std::size_t a = 0; a < n_antennas; ++a) {
+        const double d = dist_t[a * cell_stride + cell];
+        acc = std::fma(st[t]->q1[a], d, acc);
+        acc2 = std::fma(std::fma(st[t]->p2[a], d, st[t]->p1[a]), d, acc2);
+      }
+      const double mean_sq = (acc * acc) * st[t]->inv_n;
+      const double rss = acc2 - mean_sq;
+      outs[t][off] = rss;
+    }
+  }
+
+  // Selection-only min pass (skip-NaN semantics as everywhere else).
+  const std::size_t count = cell_end - cell_begin;
+  const __m512d inf = _mm512_set1_pd(std::numeric_limits<double>::infinity());
+  for (int t = 0; t < 4; ++t) {
+    __m512d vmin = inf;
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+      vmin = min_skip_nan(_mm512_loadu_pd(outs[t] + i), vmin);
+    }
+    double min = reduce_min_skip_nan(vmin, inf);
+    for (; i < count; ++i) {
+      const double v = outs[t][i];
+      min = v < min ? v : min;
+    }
+    mins[t] = min;
+  }
+}
+
+}  // namespace
+
+void factored_rss_run_batch_avx512(const FactoredStats* stats,
+                                   std::size_t n_stats, const double* dist_t,
+                                   std::size_t cell_stride,
+                                   std::size_t cell_begin,
+                                   std::size_t cell_end, double* const* outs,
+                                   double* mins) {
+  std::size_t b = 0;
+  for (; b + 4 <= n_stats; b += 4) {
+    if (stats[b].n_antennas == stats[b + 1].n_antennas &&
+        stats[b].n_antennas == stats[b + 2].n_antennas &&
+        stats[b].n_antennas == stats[b + 3].n_antennas) {
+      factored_rss_quad_avx512(stats[b], stats[b + 1], stats[b + 2],
+                               stats[b + 3], dist_t, cell_stride, cell_begin,
+                               cell_end, outs + b, mins + b);
+    } else {
+      for (std::size_t t = b; t < b + 4; ++t) {
+        mins[t] = factored_rss_run_avx512(stats[t], dist_t, cell_stride,
+                                          cell_begin, cell_end, outs[t]);
+      }
+    }
+  }
+  for (; b < n_stats; ++b) {
+    mins[b] = factored_rss_run_avx512(stats[b], dist_t, cell_stride,
+                                      cell_begin, cell_end, outs[b]);
+  }
+}
+
+}  // namespace rfp::simd::detail
+
+#endif  // RFP_HAVE_AVX512

@@ -55,12 +55,30 @@ std::size_t collect_below_scalar(const double* values, std::size_t n,
   return count;
 }
 
+void factored_rss_run_batch_scalar(const FactoredStats* stats,
+                                   std::size_t n_stats, const double* dist_t,
+                                   std::size_t cell_stride,
+                                   std::size_t cell_begin,
+                                   std::size_t cell_end, double* const* outs,
+                                   double* mins) {
+  for (std::size_t b = 0; b < n_stats; ++b) {
+    mins[b] = factored_rss_run_scalar(stats[b], dist_t, cell_stride,
+                                      cell_begin, cell_end, outs[b]);
+  }
+}
+
 }  // namespace detail
 
 double factored_rss_run(Level level, const FactoredStats& stats,
                         const double* dist_t, std::size_t cell_stride,
                         std::size_t cell_begin, std::size_t cell_end,
                         double* out) {
+#if defined(RFP_HAVE_AVX512)
+  if (level == Level::kAvx512) {
+    return detail::factored_rss_run_avx512(stats, dist_t, cell_stride,
+                                           cell_begin, cell_end, out);
+  }
+#endif
 #if defined(RFP_HAVE_AVX2)
   if (level == Level::kAvx2) {
     return detail::factored_rss_run_avx2(stats, dist_t, cell_stride,
@@ -75,6 +93,11 @@ double factored_rss_run(Level level, const FactoredStats& stats,
 std::size_t collect_below(Level level, const double* values, std::size_t n,
                           double limit, std::uint32_t* idx,
                           std::size_t capacity) {
+#if defined(RFP_HAVE_AVX512)
+  if (level == Level::kAvx512) {
+    return detail::collect_below_avx512(values, n, limit, idx, capacity);
+  }
+#endif
 #if defined(RFP_HAVE_AVX2)
   if (level == Level::kAvx2) {
     return detail::collect_below_avx2(values, n, limit, idx, capacity);
@@ -82,6 +105,30 @@ std::size_t collect_below(Level level, const double* values, std::size_t n,
 #endif
   (void)level;
   return detail::collect_below_scalar(values, n, limit, idx, capacity);
+}
+
+void factored_rss_run_batch(Level level, const FactoredStats* stats,
+                            std::size_t n_stats, const double* dist_t,
+                            std::size_t cell_stride, std::size_t cell_begin,
+                            std::size_t cell_end, double* const* outs,
+                            double* mins) {
+#if defined(RFP_HAVE_AVX512)
+  if (level == Level::kAvx512) {
+    detail::factored_rss_run_batch_avx512(stats, n_stats, dist_t, cell_stride,
+                                          cell_begin, cell_end, outs, mins);
+    return;
+  }
+#endif
+#if defined(RFP_HAVE_AVX2)
+  if (level == Level::kAvx2) {
+    detail::factored_rss_run_batch_avx2(stats, n_stats, dist_t, cell_stride,
+                                        cell_begin, cell_end, outs, mins);
+    return;
+  }
+#endif
+  (void)level;
+  detail::factored_rss_run_batch_scalar(stats, n_stats, dist_t, cell_stride,
+                                        cell_begin, cell_end, outs, mins);
 }
 
 }  // namespace rfp::simd

@@ -75,7 +75,18 @@ AlignedVector<double> random_planes(Rng& rng, std::size_t n_antennas,
 
 std::size_t padded_stride(std::size_t n_cells) { return (n_cells + 7) / 8 * 8; }
 
-bool avx2_runnable() { return compiled_avx2() && detected() == Level::kAvx2; }
+bool avx2_runnable() { return compiled_avx2() && detected() >= Level::kAvx2; }
+bool avx512_runnable() {
+  return compiled_avx512() && detected() == Level::kAvx512;
+}
+
+/// Every level this host/build can actually execute.
+std::vector<Level> runnable_levels() {
+  std::vector<Level> levels{Level::kScalar};
+  if (avx2_runnable()) levels.push_back(Level::kAvx2);
+  if (avx512_runnable()) levels.push_back(Level::kAvx512);
+  return levels;
+}
 
 // ---------------------------------------------------------------------------
 // Dispatch
@@ -84,6 +95,7 @@ bool avx2_runnable() { return compiled_avx2() && detected() == Level::kAvx2; }
 TEST(SimdDispatch, NamesAreStable) {
   EXPECT_STREQ(name(Level::kScalar), "scalar");
   EXPECT_STREQ(name(Level::kAvx2), "avx2");
+  EXPECT_STREQ(name(Level::kAvx512), "avx512");
 }
 
 TEST(SimdDispatch, DetectedNeverExceedsCompiledSupport) {
@@ -91,8 +103,12 @@ TEST(SimdDispatch, DetectedNeverExceedsCompiledSupport) {
     EXPECT_EQ(detected(), Level::kScalar)
         << "build has no AVX2 translation unit, nothing else may be detected";
   }
+  if (!compiled_avx512()) {
+    EXPECT_NE(detected(), Level::kAvx512)
+        << "build has no AVX-512 translation unit";
+  }
   // active() can only ever narrow detected(), never widen it.
-  EXPECT_TRUE(active() == detected() || active() == Level::kScalar);
+  EXPECT_TRUE(active() <= detected());
 }
 
 TEST(SimdDispatch, LevelFromEnvParsesOverride) {
@@ -114,14 +130,39 @@ TEST(SimdDispatch, LevelFromEnvParsesOverride) {
 
 TEST(SimdDispatch, ActiveHonorsForceScalarEnvironment) {
   // active() is pinned at first use; it must equal re-resolving the
-  // current environment (the variable cannot have changed under a test
+  // current environment (the variables cannot have changed under a test
   // runner). With RFP_FORCE_SCALAR=1 in the environment — the CI
-  // forced-scalar lanes — this asserts the scalar path actually engaged.
-  const char* env = std::getenv("RFP_FORCE_SCALAR");
-  EXPECT_EQ(active(), level_from_env(detected(), env));
-  if (env != nullptr && std::string(env) == "1") {
+  // forced-scalar lanes — this asserts the scalar path actually engaged,
+  // and with RFP_SIMD_LEVEL pinned the named level (clamped) engaged.
+  const char* force = std::getenv("RFP_FORCE_SCALAR");
+  const char* pin = std::getenv("RFP_SIMD_LEVEL");
+  EXPECT_EQ(active(), resolve_level(detected(), force, pin));
+  if (force != nullptr && std::string(force) == "1") {
     EXPECT_EQ(active(), Level::kScalar);
   }
+}
+
+TEST(SimdDispatch, ResolveLevelParsesSimdLevelOverride) {
+  // Exact level names pin the level...
+  EXPECT_EQ(resolve_level(Level::kAvx512, nullptr, "scalar"), Level::kScalar);
+  EXPECT_EQ(resolve_level(Level::kAvx512, nullptr, "avx2"), Level::kAvx2);
+  EXPECT_EQ(resolve_level(Level::kAvx512, nullptr, "avx512"), Level::kAvx512);
+  // ...but never above what the machine can run (clamped, not an error).
+  EXPECT_EQ(resolve_level(Level::kAvx2, nullptr, "avx512"), Level::kAvx2);
+  EXPECT_EQ(resolve_level(Level::kScalar, nullptr, "avx512"), Level::kScalar);
+  EXPECT_EQ(resolve_level(Level::kScalar, nullptr, "avx2"), Level::kScalar);
+  // Unset / empty / unrecognized fall through to the detected level.
+  EXPECT_EQ(resolve_level(Level::kAvx512, nullptr, nullptr), Level::kAvx512);
+  EXPECT_EQ(resolve_level(Level::kAvx512, nullptr, ""), Level::kAvx512);
+  EXPECT_EQ(resolve_level(Level::kAvx2, nullptr, "AVX2"), Level::kAvx2);
+  EXPECT_EQ(resolve_level(Level::kAvx2, nullptr, "sse"), Level::kAvx2);
+  // RFP_FORCE_SCALAR beats RFP_SIMD_LEVEL outright.
+  EXPECT_EQ(resolve_level(Level::kAvx512, "1", "avx512"), Level::kScalar);
+  EXPECT_EQ(resolve_level(Level::kAvx512, "yes", "avx2"), Level::kScalar);
+  // ...unless it spells one of the documented "off" values.
+  EXPECT_EQ(resolve_level(Level::kAvx512, "0", "avx2"), Level::kAvx2);
+  EXPECT_EQ(resolve_level(Level::kAvx512, "false", nullptr), Level::kAvx512);
+  EXPECT_EQ(resolve_level(Level::kAvx512, "off", nullptr), Level::kAvx512);
 }
 
 TEST(SimdDispatch, ChooseForcesScalarPerCall) {
@@ -188,6 +229,162 @@ TEST(SimdKernels, Avx2MatchesScalarBitExact) {
   }
 }
 
+TEST(SimdKernels, Avx512MatchesScalarBitExact) {
+  if (!avx512_runnable()) {
+    GTEST_SKIP() << "AVX-512 unavailable on this host/build";
+  }
+  Rng rng(4112);
+  // Every loop regime of the AVX-512 kernel: below one 8-lane vector, the
+  // 8/32-wide bodies, and ragged tails of each — plus unaligned begins.
+  for (std::size_t n_antennas : {1u, 2u, 4u, 7u, 12u}) {
+    for (std::size_t n_cells :
+         {1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u, 63u, 64u, 65u,
+          100u}) {
+      const std::size_t stride = padded_stride(n_cells + 6);
+      const StatsFixture fx(rng, n_antennas);
+      const AlignedVector<double> dist =
+          random_planes(rng, n_antennas, stride);
+      for (std::size_t begin : {0u, 1u, 3u, 5u}) {
+        if (begin + n_cells > stride) continue;
+        std::vector<double> scalar_out(n_cells, -1.0);
+        std::vector<double> wide_out(n_cells, -2.0);
+        const double scalar_min = factored_rss_run(
+            Level::kScalar, fx.stats, dist.data(), stride, begin,
+            begin + n_cells, scalar_out.data());
+        const double wide_min = factored_rss_run(
+            Level::kAvx512, fx.stats, dist.data(), stride, begin,
+            begin + n_cells, wide_out.data());
+        ASSERT_EQ(std::memcmp(scalar_out.data(), wide_out.data(),
+                              n_cells * sizeof(double)),
+                  0)
+            << "antennas=" << n_antennas << " cells=" << n_cells
+            << " begin=" << begin;
+        ASSERT_EQ(scalar_min, wide_min);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, BatchedRunMatchesPerTagAtEveryLevel) {
+  Rng rng(4113);
+  // The batched entry must write the exact doubles of B independent
+  // single-tag runs over the shared table — including around the pair
+  // (AVX2) and quad (AVX-512) tile boundaries and their remainders.
+  const std::size_t n_antennas = 6;
+  for (Level level : runnable_levels()) {
+    SCOPED_TRACE(name(level));
+    for (std::size_t batch : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 11u}) {
+      for (std::size_t n_cells : {1u, 7u, 16u, 33u, 100u}) {
+        const std::size_t stride = padded_stride(n_cells + 6);
+        const AlignedVector<double> dist =
+            random_planes(rng, n_antennas, stride);
+        std::vector<StatsFixture> tags;
+        tags.reserve(batch);
+        std::vector<FactoredStats> stats;
+        for (std::size_t b = 0; b < batch; ++b) {
+          tags.emplace_back(rng, n_antennas);
+          stats.push_back(tags.back().stats);
+        }
+        for (std::size_t begin : {0u, 3u}) {
+          if (begin + n_cells > stride) continue;
+          std::vector<std::vector<double>> batch_out(
+              batch, std::vector<double>(n_cells, -2.0));
+          std::vector<double*> outs;
+          for (auto& o : batch_out) outs.push_back(o.data());
+          std::vector<double> mins(batch, -3.0);
+          factored_rss_run_batch(level, stats.data(), batch, dist.data(),
+                                 stride, begin, begin + n_cells, outs.data(),
+                                 mins.data());
+          for (std::size_t b = 0; b < batch; ++b) {
+            std::vector<double> single(n_cells, -1.0);
+            const double single_min = factored_rss_run(
+                level, stats[b], dist.data(), stride, begin, begin + n_cells,
+                single.data());
+            ASSERT_EQ(std::memcmp(single.data(), batch_out[b].data(),
+                                  n_cells * sizeof(double)),
+                      0)
+                << "tag=" << b << " batch=" << batch << " cells=" << n_cells
+                << " begin=" << begin;
+            ASSERT_EQ(single_min, mins[b]) << "tag=" << b;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, BatchedRunFallsBackOnMixedAntennaCounts) {
+  Rng rng(4114);
+  // Tags with different antenna counts cannot share a pair/quad tile;
+  // the batch must quietly fall back to single-tag runs for them.
+  const std::size_t n_cells = 41, stride = padded_stride(n_cells);
+  const std::size_t counts[] = {6, 3, 6, 6, 2, 6, 6, 6};
+  const AlignedVector<double> dist = random_planes(rng, 6, stride);
+  std::vector<StatsFixture> tags;
+  tags.reserve(std::size(counts));
+  std::vector<FactoredStats> stats;
+  for (std::size_t c : counts) {
+    tags.emplace_back(rng, c);
+    stats.push_back(tags.back().stats);
+  }
+  for (Level level : runnable_levels()) {
+    SCOPED_TRACE(name(level));
+    std::vector<std::vector<double>> batch_out(
+        stats.size(), std::vector<double>(n_cells, -2.0));
+    std::vector<double*> outs;
+    for (auto& o : batch_out) outs.push_back(o.data());
+    std::vector<double> mins(stats.size(), -3.0);
+    factored_rss_run_batch(level, stats.data(), stats.size(), dist.data(),
+                           stride, 0, n_cells, outs.data(), mins.data());
+    for (std::size_t b = 0; b < stats.size(); ++b) {
+      std::vector<double> single(n_cells, -1.0);
+      const double single_min = factored_rss_run(
+          level, stats[b], dist.data(), stride, 0, n_cells, single.data());
+      ASSERT_EQ(std::memcmp(single.data(), batch_out[b].data(),
+                            n_cells * sizeof(double)),
+                0)
+          << "tag=" << b;
+      ASSERT_EQ(single_min, mins[b]) << "tag=" << b;
+    }
+  }
+}
+
+TEST(SimdKernels, BatchedRunSkipsNaNPerTag) {
+  Rng rng(4115);
+  // One tag's NaN cells must not leak into its tile partners' minima.
+  const std::size_t n_antennas = 4, n_cells = 29;
+  const std::size_t stride = padded_stride(n_cells);
+  AlignedVector<double> dist = random_planes(rng, n_antennas, stride);
+  for (std::size_t cell : {0u, 8u, 28u}) dist[cell] = kNan;
+  std::vector<StatsFixture> tags;
+  std::vector<FactoredStats> stats;
+  for (std::size_t b = 0; b < 5; ++b) {
+    tags.emplace_back(rng, n_antennas);
+    stats.push_back(tags.back().stats);
+  }
+  for (Level level : runnable_levels()) {
+    SCOPED_TRACE(name(level));
+    std::vector<std::vector<double>> batch_out(
+        stats.size(), std::vector<double>(n_cells, -2.0));
+    std::vector<double*> outs;
+    for (auto& o : batch_out) outs.push_back(o.data());
+    std::vector<double> mins(stats.size(), -3.0);
+    factored_rss_run_batch(level, stats.data(), stats.size(), dist.data(),
+                           stride, 0, n_cells, outs.data(), mins.data());
+    for (std::size_t b = 0; b < stats.size(); ++b) {
+      EXPECT_TRUE(std::isfinite(mins[b])) << "tag=" << b;
+      for (std::size_t cell : {0u, 8u, 28u}) {
+        EXPECT_TRUE(std::isnan(batch_out[b][cell]))
+            << "tag=" << b << " cell=" << cell;
+      }
+      std::vector<double> single(n_cells);
+      const double single_min = factored_rss_run(
+          level, stats[b], dist.data(), stride, 0, n_cells, single.data());
+      ASSERT_EQ(single_min, mins[b]) << "tag=" << b;
+    }
+  }
+}
+
 TEST(SimdKernels, DispatchedRunIsPureRouting) {
   // The public entry point at an explicit level must equal the level's
   // kernel — no extra arithmetic in the dispatcher.
@@ -216,9 +413,7 @@ TEST(SimdKernels, MinSkipsNaNCellsAtEveryLevel) {
   // NaN) — including cell 0 and the last cell, the reduction edges.
   for (std::size_t cell : {0u, 7u, 8u, 15u, 28u}) dist[cell] = kNan;
 
-  std::vector<Level> levels{Level::kScalar};
-  if (avx2_runnable()) levels.push_back(Level::kAvx2);
-  for (Level level : levels) {
+  for (Level level : runnable_levels()) {
     SCOPED_TRACE(name(level));
     std::vector<double> out(n_cells);
     const double min = factored_rss_run(level, fx.stats, dist.data(), stride,
@@ -241,9 +436,7 @@ TEST(SimdKernels, AllNaNRunReturnsInfinity) {
   const std::size_t n_cells = 21, stride = padded_stride(n_cells);
   const StatsFixture fx(rng, 3);
   AlignedVector<double> dist(3 * stride, kNan);
-  std::vector<Level> levels{Level::kScalar};
-  if (avx2_runnable()) levels.push_back(Level::kAvx2);
-  for (Level level : levels) {
+  for (Level level : runnable_levels()) {
     SCOPED_TRACE(name(level));
     std::vector<double> out(n_cells);
     EXPECT_EQ(factored_rss_run(level, fx.stats, dist.data(), stride, 0,
@@ -259,9 +452,7 @@ TEST(SimdKernels, AllNaNRunReturnsInfinity) {
 TEST(SimdCollect, SelectsAscendingInclusiveSkippingNaN) {
   const std::vector<double> values{3.0, 1.0, kNan, 2.0,  2.0, 5.0,
                                    kNan, -1.0, 2.0, 2.0000001};
-  std::vector<Level> levels{Level::kScalar};
-  if (avx2_runnable()) levels.push_back(Level::kAvx2);
-  for (Level level : levels) {
+  for (Level level : runnable_levels()) {
     SCOPED_TRACE(name(level));
     std::uint32_t idx[16];
     const std::size_t count =
@@ -275,9 +466,7 @@ TEST(SimdCollect, SelectsAscendingInclusiveSkippingNaN) {
 TEST(SimdCollect, OverflowReportsTotalAndFillsPrefix) {
   std::vector<double> values(40, 0.5);
   values[11] = 9.0;  // the only non-match
-  std::vector<Level> levels{Level::kScalar};
-  if (avx2_runnable()) levels.push_back(Level::kAvx2);
-  for (Level level : levels) {
+  for (Level level : runnable_levels()) {
     SCOPED_TRACE(name(level));
     std::uint32_t idx[4] = {999, 999, 999, 999};
     const std::size_t count =
@@ -302,10 +491,14 @@ TEST(SimdCollect, LevelsAgreeOnRandomInputs) {
     std::vector<std::uint32_t> a(n + 1, 0), b(n + 1, 0);
     const std::size_t ca =
         collect_below(Level::kScalar, values.data(), n, limit, a.data(), n);
-    const std::size_t cb =
-        collect_below(Level::kAvx2, values.data(), n, limit, b.data(), n);
-    ASSERT_EQ(ca, cb) << "n=" << n;
-    for (std::size_t i = 0; i < ca; ++i) ASSERT_EQ(a[i], b[i]);
+    for (Level level : runnable_levels()) {
+      if (level == Level::kScalar) continue;
+      SCOPED_TRACE(name(level));
+      const std::size_t cb =
+          collect_below(level, values.data(), n, limit, b.data(), n);
+      ASSERT_EQ(ca, cb) << "n=" << n;
+      for (std::size_t i = 0; i < ca; ++i) ASSERT_EQ(a[i], b[i]);
+    }
   }
 }
 

@@ -11,7 +11,8 @@
 ///        [--seed S] [--antennas N] [--multipath] [--idle-timeout SEC]
 ///        [--max-conns N] [--max-pending N] [--max-tenants N]
 ///        [--geometry FILE] [--calibration FILE]
-///        [--pyramid] [--uncached] [--scalar] [--drift] [--track]
+///        [--pyramid] [--uncached] [--scalar] [--no-batch-rank]
+///        [--drift] [--track]
 ///
 /// --port 0 binds an ephemeral port; the actual port is printed on the
 /// "listening on" line (scripts parse it there). --reactors runs N
@@ -39,7 +40,8 @@ int usage() {
                "            [--max-conns N] [--max-pending N]\n"
                "            [--max-tenants N] [--geometry FILE]\n"
                "            [--calibration FILE] [--pyramid] [--uncached]\n"
-               "            [--scalar] [--drift] [--track]\n");
+               "            [--scalar] [--no-batch-rank] [--drift]\n"
+               "            [--track]\n");
   return 2;
 }
 
@@ -89,6 +91,10 @@ int main(int argc, char** argv) {
         options.uncached = true;
       } else if (arg == "--scalar") {
         options.scalar = true;
+      } else if (arg == "--no-batch-rank") {
+        options.batch_rank = false;
+      } else if (arg == "--batch-rank") {
+        options.batch_rank = true;
       } else if (arg == "--drift") {
         options.drift = true;
       } else if (arg == "--track") {

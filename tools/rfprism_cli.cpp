@@ -92,13 +92,14 @@ int usage() {
                "  rfprism batch [--rounds N] [--threads N] [--material NAME|all]\n"
                "                [--multipath] [--seed S] [--verify]\n"
                "                [--pyramid] [--uncached] [--scalar]\n"
+               "                [--no-batch-rank]\n"
                "  rfprism serve [--port N] [--bind ADDR] [--threads N]\n"
                "                [--reactors N] [--seed S] [--antennas N]\n"
                "                [--multipath] [--idle-timeout SEC]\n"
                "                [--max-conns N] [--max-tenants N]\n"
                "                [--geometry FILE] [--calibration FILE]\n"
                "                [--pyramid] [--uncached] [--scalar] [--drift]\n"
-               "                [--track]\n"
+               "                [--no-batch-rank] [--track]\n"
                "  rfprism request [--host H] [--port N] [--trace FILE]\n"
                "                  [--trial K] [--seed S] [--antennas N]\n"
                "                  [--multipath] [--material NAME] [--tag ID]\n"
@@ -654,6 +655,7 @@ struct BatchOptions {
   bool pyramid = false;   ///< coarse-to-fine Stage-A search
   bool uncached = false;  ///< disable the geometry cache (baseline timing)
   bool scalar = false;    ///< rank with the scalar factored kernel (no SIMD)
+  bool batch_rank = true;  ///< tag-batched Stage-A over one shared table pass
 };
 
 /// Exact equality on everything sensing computes. Bit-identity across
@@ -687,6 +689,7 @@ int run_batch(const BatchOptions& options) {
   if (options.scalar) {
     prism_config.disentangle.rank_kernel = RankKernel::kFactoredScalar;
   }
+  prism_config.disentangle.batch_rank = options.batch_rank;
   const RfPrism prism = bed.make_pipeline_variant(std::move(prism_config));
 
   const auto materials = paper_materials();
@@ -707,10 +710,11 @@ int run_batch(const BatchOptions& options) {
   }
 
   SensingEngine engine(options.threads);
-  std::printf("sensing %zu rounds on %zu thread(s), solver %s%s%s...\n", n,
+  std::printf("sensing %zu rounds on %zu thread(s), solver %s%s%s%s...\n", n,
               engine.n_threads(), options.uncached ? "uncached" : "cached",
               options.pyramid ? "+pyramid" : "",
-              options.scalar ? "+scalar" : "");
+              options.scalar ? "+scalar" : "",
+              options.batch_rank ? "" : "+no-batch-rank");
 
   // Warm-up pass populates each per-thread workspace (and the geometry
   // cache) so the timed pass measures the steady-state solve path.
@@ -1016,6 +1020,10 @@ int main(int argc, char** argv) {
           options.uncached = true;
         } else if (arg == "--scalar") {
           options.scalar = true;
+        } else if (arg == "--no-batch-rank") {
+          options.batch_rank = false;
+        } else if (arg == "--batch-rank") {
+          options.batch_rank = true;
         } else {
           std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
           return usage();
@@ -1110,6 +1118,10 @@ int main(int argc, char** argv) {
           options.uncached = true;
         } else if (arg == "--scalar") {
           options.scalar = true;
+        } else if (arg == "--no-batch-rank") {
+          options.batch_rank = false;
+        } else if (arg == "--batch-rank") {
+          options.batch_rank = true;
         } else if (arg == "--drift") {
           options.drift = true;
         } else if (arg == "--track") {
