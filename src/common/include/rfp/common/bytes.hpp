@@ -38,18 +38,43 @@ class ByteWriter {
   void f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
 
   void bytes(std::span<const std::uint8_t> data) {
+    grow_for(data.size());
     out_.insert(out_.end(), data.begin(), data.end());
   }
 
   /// Length-prefixed (u32) string.
   void str(std::string_view s) {
+    grow_for(4 + s.size());
     u32(static_cast<std::uint32_t>(s.size()));
     out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  /// Pre-size for `additional` more bytes. Bulk encoders that know their
+  /// total (a multi-KiB round or read batch) call this once up front so
+  /// the field-at-a-time appends below never reallocate mid-encode.
+  void reserve(std::size_t additional) { grow_for(additional); }
+
+  /// Overwrite the u32 previously written at byte offset `at` (which must
+  /// be a completed write). This is how frame headers get their payload
+  /// length after the payload was encoded in place behind them.
+  void patch_u32(std::size_t at, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      out_[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
   }
 
   std::size_t size() const { return out_.size(); }
 
  private:
+  // Grow geometrically but chunk-aware: a single large append jumps the
+  // capacity straight to what it needs instead of doubling toward it,
+  // while small appends keep plain amortized doubling.
+  void grow_for(std::size_t n) {
+    const std::size_t need = out_.size() + n;
+    if (need <= out_.capacity()) return;
+    out_.reserve(std::max(need, out_.capacity() * 2));
+  }
+
   template <typename T>
   void put_le(T v) {
     std::uint8_t raw[sizeof(T)];

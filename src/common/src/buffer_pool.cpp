@@ -1,0 +1,117 @@
+#include "rfp/common/buffer_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rfp {
+
+PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)),
+      storage_(std::move(other.storage_)) {
+  other.storage_.clear();
+}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    reset();
+    pool_ = std::exchange(other.pool_, nullptr);
+    storage_ = std::move(other.storage_);
+    other.storage_.clear();
+  }
+  return *this;
+}
+
+PooledBuffer::~PooledBuffer() { reset(); }
+
+PooledBuffer PooledBuffer::wrap(std::vector<std::uint8_t> storage) {
+  return PooledBuffer(nullptr, std::move(storage));
+}
+
+void PooledBuffer::reset() {
+  if (pool_ != nullptr) {
+    pool_->release(std::move(storage_));
+    pool_ = nullptr;
+  }
+  // Moved-from vectors are left valid-but-unspecified by release(); make
+  // the handle unambiguously empty either way.
+  storage_ = std::vector<std::uint8_t>{};
+}
+
+BufferPool::BufferPool(BufferPoolConfig config) : config_(config) {
+  config_.min_class_bytes = std::max<std::size_t>(config_.min_class_bytes, 64);
+  config_.max_class_bytes =
+      std::max(config_.max_class_bytes, config_.min_class_bytes);
+  for (std::size_t bytes = config_.min_class_bytes;;) {
+    class_bytes_.push_back(bytes);
+    if (bytes >= config_.max_class_bytes) break;
+    bytes = std::min(bytes * 2, config_.max_class_bytes);
+  }
+  free_.resize(class_bytes_.size());
+}
+
+std::size_t BufferPool::class_for_acquire(std::size_t min_capacity) const {
+  // Smallest class that can hold min_capacity; callers asking beyond the
+  // largest class get the largest (the vector grows past it while out and
+  // the oversized storage is discarded on release).
+  for (std::size_t c = 0; c < class_bytes_.size(); ++c) {
+    if (class_bytes_[c] >= min_capacity) return c;
+  }
+  return class_bytes_.size() - 1;
+}
+
+PooledBuffer BufferPool::acquire(std::size_t min_capacity) {
+  std::vector<std::uint8_t> storage;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.acquires;
+    // Scan from the preferred class upward so a buffer from a larger bin
+    // still beats a fresh allocation.
+    for (std::size_t c = class_for_acquire(min_capacity);
+         c < class_bytes_.size(); ++c) {
+      if (!free_[c].empty()) {
+        storage = std::move(free_[c].back());
+        free_[c].pop_back();
+        --stats_.buffers_resident;
+        stats_.bytes_resident -= storage.capacity();
+        ++stats_.hits;
+        break;
+      }
+    }
+    if (storage.capacity() == 0) ++stats_.misses;
+  }
+  const std::size_t want =
+      std::max(min_capacity, class_bytes_[class_for_acquire(min_capacity)]);
+  if (storage.capacity() < want) storage.reserve(want);
+  storage.clear();
+  return PooledBuffer(this, std::move(storage));
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& storage) {
+  std::vector<std::uint8_t> local = std::move(storage);
+  const std::size_t capacity = local.capacity();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.releases;
+  if (capacity < config_.min_class_bytes ||
+      capacity > config_.max_class_bytes) {
+    ++stats_.discards;
+    return;  // `local` frees the storage
+  }
+  // Bin by the largest class the capacity can actually serve.
+  std::size_t c = 0;
+  while (c + 1 < class_bytes_.size() && class_bytes_[c + 1] <= capacity) ++c;
+  if (free_[c].size() >= config_.max_buffers_per_class) {
+    ++stats_.discards;
+    return;
+  }
+  local.clear();
+  free_[c].push_back(std::move(local));
+  ++stats_.buffers_resident;
+  stats_.bytes_resident += capacity;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rfp

@@ -8,6 +8,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 namespace rfp {
@@ -162,6 +163,23 @@ IoResult recv_some(int fd, void* buf, std::size_t n) {
 IoResult send_some(int fd, const void* buf, std::size_t n) {
   for (;;) {
     const ssize_t rc = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (rc >= 0) return {IoStatus::kOk, static_cast<std::size_t>(rc)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult writev_some(int fd, const void* iov, int iovcnt) {
+  const auto* vecs = static_cast<const struct iovec*>(iov);
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(vecs);
+  msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(iovcnt);
+  for (;;) {
+    ssize_t rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (rc < 0 && errno == ENOTSOCK) rc = ::writev(fd, vecs, iovcnt);
     if (rc >= 0) return {IoStatus::kOk, static_cast<std::size_t>(rc)};
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {

@@ -87,6 +87,13 @@ bool read_vec3(ByteReader& r, Vec3& v) {
 }  // namespace
 
 void append_round(ByteWriter& w, const RoundTrace& round) {
+  // Exact encoded size, so multi-KiB rounds are one reserve, not a
+  // doubling ladder of reallocations.
+  std::size_t total = 4 + 8 + 4;
+  for (const Dwell& dwell : round.dwells) {
+    total += kDwellMinBytes + 2 * 8 * dwell.phases.size();
+  }
+  w.reserve(total);
   w.u32(static_cast<std::uint32_t>(round.n_antennas));
   w.f64(round.duration_s);
   w.u32(static_cast<std::uint32_t>(round.dwells.size()));
@@ -104,7 +111,9 @@ void append_round(ByteWriter& w, const RoundTrace& round) {
 }
 
 bool read_round(ByteReader& r, RoundTrace& out) {
-  out = RoundTrace{};
+  // No blanket reset: every field below is overwritten, and keeping the
+  // dwell/phase vector capacities is what lets a reactor decode rounds
+  // into reused scratch without per-request heap traffic.
   out.n_antennas = r.u32();
   out.duration_s = r.f64();
   std::size_t n_dwells = 0;
@@ -195,6 +204,7 @@ bool read_result(ByteReader& r, SensingResult& out) {
 void append_geometry(ByteWriter& w, const DeploymentGeometry& geometry) {
   require(geometry.antenna_frames.size() == geometry.antenna_positions.size(),
           "append_geometry: frame count does not match position count");
+  w.reserve(4 + geometry.antenna_positions.size() * 12 * 8 + 5 * 8);
   w.u32(static_cast<std::uint32_t>(geometry.antenna_positions.size()));
   for (std::size_t i = 0; i < geometry.antenna_positions.size(); ++i) {
     append_vec3(w, geometry.antenna_positions[i]);

@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "rfp/common/buffer_pool.hpp"
 #include "rfp/common/socket.hpp"
 #include "rfp/core/types.hpp"
 #include "rfp/net/wire.hpp"
@@ -149,6 +151,11 @@ class Client {
   void send_frame(FrameType type, std::uint32_t seq,
                   std::span<const std::uint8_t> payload);
 
+  /// The cleared send scratch: every outbound frame (header and payload)
+  /// is encoded in place here, so a pipelined burst reuses one pooled
+  /// buffer instead of allocating per request.
+  std::vector<std::uint8_t>& send_scratch();
+
   /// One fresh connection attempt (no retry loop); resets the decoder so
   /// stale bytes from the previous connection cannot leak into the next
   /// response. Throws NetError on failure.
@@ -166,6 +173,14 @@ class Client {
 
   ClientConfig config_;
   UniqueFd fd_;
+  /// Owns the client's send scratch. Behind unique_ptr so the mutex-
+  /// holding pool doesn't cost Client its defaulted move operations, and
+  /// so scratch_'s back-pointer into the pool survives a move.
+  std::unique_ptr<BufferPool> pool_;
+  /// One pooled buffer reused for every outbound frame (see
+  /// send_scratch); request bursts run allocation-free once its capacity
+  /// has grown to the largest frame seen.
+  PooledBuffer scratch_;
   FrameDecoder decoder_;
   std::uint32_t next_seq_ = 1;
   /// Encoded kSessionSetup payload of the active session, kept for

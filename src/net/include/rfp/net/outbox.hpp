@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <sys/uio.h>
+#include <vector>
+
+#include "rfp/common/buffer_pool.hpp"
+
+/// \file outbox.hpp
+/// Per-connection outbound byte queue as a chain of pooled buffer
+/// segments, drained with writev scatter-gather.
+///
+/// The old data path flattened every response into one per-connection
+/// vector — a full extra copy of every outbound byte. Here a finished
+/// response buffer is *spliced* (moved) into the chain instead, and the
+/// write loop hands the kernel an iovec over the segment fronts. The one
+/// deliberate copy left: frames at or under `coalesce_limit` bytes are
+/// packed into the tail segment's spare capacity, so a pong flood builds
+/// a handful of fat segments rather than a thousand 16-byte iovecs.
+///
+/// Segments live in a power-of-two ring (not a deque) so the steady
+/// push/consume cycle never allocates: drained segments return their
+/// storage to the pool and their ring slots are reused in place.
+///
+/// Single-threaded by design — owned and touched only by the reactor
+/// thread, like the rest of a Connection.
+
+namespace rfp::net {
+
+/// Splice/coalesce tallies, shared across one reactor's connections (the
+/// reactor owns the struct and folds it into ServerStats).
+struct OutboxCounters {
+  std::uint64_t frames_spliced = 0;    ///< buffers adopted wholesale
+  std::uint64_t frames_coalesced = 0;  ///< small frames packed into a tail
+  std::uint64_t bytes_coalesced = 0;   ///< bytes copied by that packing
+};
+
+class Outbox {
+ public:
+  Outbox() = default;
+  explicit Outbox(OutboxCounters* counters, std::size_t coalesce_limit = 512)
+      : counters_(counters), coalesce_limit_(coalesce_limit) {}
+
+  /// Queued-but-unsent bytes (the write-backlog measure).
+  std::size_t size() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+
+  /// Take ownership of a finished frame buffer (or several frames already
+  /// packed back-to-back in one buffer). Empty buffers are released.
+  void push(PooledBuffer&& bytes);
+
+  /// Fill up to `max_iov` iovecs with the unsent front of the chain.
+  /// Returns the count filled. The iovecs stay valid until the next
+  /// push/consume/clear.
+  std::size_t fill_iovec(struct iovec* iov, std::size_t max_iov) const;
+
+  /// Drop `n` sent bytes from the front; fully drained segments return
+  /// their storage to the pool immediately.
+  void consume(std::size_t n);
+
+  /// Release everything (connection teardown).
+  void clear();
+
+ private:
+  struct Segment {
+    PooledBuffer buf;
+    std::size_t pos = 0;  ///< bytes of buf already sent
+  };
+
+  Segment& slot(std::size_t i) {
+    return ring_[(head_ + i) & (ring_.size() - 1)];
+  }
+  const Segment& slot(std::size_t i) const {
+    return ring_[(head_ + i) & (ring_.size() - 1)];
+  }
+  void grow_ring();
+
+  OutboxCounters* counters_ = nullptr;
+  std::size_t coalesce_limit_ = 512;
+  std::vector<Segment> ring_;  ///< power-of-two capacity circular queue
+  std::size_t head_ = 0;       ///< ring index of the oldest segment
+  std::size_t count_ = 0;      ///< live segments
+  std::size_t bytes_ = 0;      ///< total unsent bytes
+};
+
+}  // namespace rfp::net

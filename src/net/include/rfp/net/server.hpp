@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "rfp/common/buffer_pool.hpp"
 #include "rfp/common/socket.hpp"
 #include "rfp/core/antenna_health.hpp"
 #include "rfp/core/deployment_registry.hpp"
@@ -40,11 +41,18 @@
 /// across the pool.
 ///
 /// Ordering: each accepted request gets a per-connection index; finished
-/// responses park in a reorder map until every earlier response has been
-/// written. seq values are echoed, not interpreted. The reorder map's
+/// responses park in a fixed reorder ring (max_pending_per_connection
+/// slots, so indices can never collide) until every earlier response has
+/// been written. seq values are echoed, not interpreted. The ring's
 /// parked bytes are bounded by max_reorder_bytes: a connection whose
 /// out-of-order completions exceed the cap is shed (counted in
 /// reorder_evictions) rather than growing server memory without bound.
+///
+/// Data path: response frames are encoded straight into buffers from the
+/// reactor's BufferPool, spliced (moved) into the connection's Outbox
+/// segment chain, and drained with writev — zero steady-state heap
+/// allocations and no flattening copy on the outbound side (see DESIGN.md
+/// §9 "Data path & memory").
 ///
 /// Backpressure: a connection with `max_pending_per_connection` requests
 /// in flight (or an unflushed output backlog past the write buffer cap)
@@ -115,6 +123,16 @@ struct ServerConfig {
   /// kTrackEvents frame. Off by default — the serving path is then
   /// byte-identical to the pre-tracking server.
   track::TrackingConfig tracking;
+  /// Per-reactor buffer pool owning all connection I/O memory: response
+  /// frames are encoded into pooled buffers, spliced into per-connection
+  /// outboxes, drained by writev, and returned — zero steady-state heap
+  /// traffic on the wire path (rfpd --pool-buffers tunes the freelist
+  /// depth).
+  BufferPoolConfig pool;
+  /// Outbound frames at or under this size are packed into the tail
+  /// outbox segment (one small copy) instead of occupying their own
+  /// segment, keeping writev iovec chains short under pong floods.
+  std::size_t outbox_coalesce_limit = 512;
 };
 
 /// Monotonic counters for one connection (also aggregated server-wide).
@@ -152,6 +170,16 @@ struct ServerStats {
   std::uint64_t stream_track_events = 0;  ///< trajectory events returned
   std::size_t tenants_resident = 0;
   std::uint64_t tenants_evicted = 0;
+
+  // -- Data path (per-reactor pools, outbox splices, writev drains) ------
+  std::uint64_t pool_hits = 0;      ///< buffer acquires served off freelists
+  std::uint64_t pool_misses = 0;    ///< acquires that hit the heap
+  std::uint64_t pool_discards = 0;  ///< returned buffers freed, not kept
+  std::size_t pool_bytes_resident = 0;
+  std::uint64_t frames_spliced = 0;    ///< response buffers moved, not copied
+  std::uint64_t frames_coalesced = 0;  ///< small frames packed into a tail
+  std::uint64_t bytes_coalesced = 0;   ///< bytes copied by that packing
+  std::uint64_t writev_calls = 0;      ///< scatter-gather drains issued
 
   // -- Drift self-calibration (filled from the engine's estimator when
   //    SensingEngine::enable_drift was called; all-zero otherwise — the

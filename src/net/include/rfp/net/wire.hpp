@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rfp/common/bytes.hpp"
 #include "rfp/common/error.hpp"
 #include "rfp/core/calibration.hpp"
 #include "rfp/core/streaming.hpp"
@@ -117,11 +118,22 @@ enum class WireError : std::uint32_t {
 
 const char* to_string(WireError code);
 
-/// One decoded frame.
+/// One decoded frame, payload copied out. The serving hot path uses
+/// FrameView instead; this stays as the convenient owning form for tests
+/// and for client APIs that hand payload bytes to the caller.
 struct Frame {
   FrameType type = FrameType::kError;
   std::uint32_t seq = 0;
   std::vector<std::uint8_t> payload;
+};
+
+/// One decoded frame whose payload points into the decoder's own storage
+/// — no copy. Valid until the *next* call to that decoder's next();
+/// feed() never invalidates an outstanding view (see FrameDecoder).
+struct FrameView {
+  FrameType type = FrameType::kError;
+  std::uint32_t seq = 0;
+  std::span<const std::uint8_t> payload;
 };
 
 /// Append a complete frame (header + payload) to `out`. `version` exists
@@ -134,6 +146,15 @@ void append_frame(std::vector<std::uint8_t>& out, FrameType type,
 std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t seq,
                                        std::span<const std::uint8_t> payload,
                                        std::uint16_t version = kVersion);
+
+/// Zero-copy frame serialization: write the 16-byte header with a
+/// placeholder payload length, encode the payload in place behind it with
+/// the encode_*_into overloads below, then patch the length. Returns the
+/// token end_frame needs. Frames nest back-to-back in one buffer (the
+/// kStreamResults + kTrackEvents pair rides a single response buffer).
+std::size_t begin_frame(ByteWriter& w, FrameType type, std::uint32_t seq,
+                        std::uint16_t version = kVersion);
+void end_frame(ByteWriter& w, std::size_t token);
 
 /// Outcome of one FrameDecoder::next() call. Everything from kBadMagic
 /// down is unrecoverable for the stream: the decoder latches the error
@@ -153,16 +174,35 @@ bool is_decode_error(DecodeStatus status);
 /// feed() buffers; next() pops at most one complete frame per call. After
 /// any error status the decoder stays failed (a framing error leaves no
 /// way to resynchronize a length-prefixed stream).
+///
+/// Storage is a compacting ring: live bytes sit at [head_, size) of one
+/// vector, and the dead prefix is erased in place once it dominates.
+/// next(FrameView&) yields payload spans into that storage under a strict
+/// lifetime contract:
+///
+///  - a view is valid until the *next* call to next() on this decoder
+///    (any status — the following next() may compact over the payload);
+///  - feed() never invalidates the outstanding view. When an append
+///    would have to reallocate under a live view, the old block is
+///    retired — kept alive, un-moved — and live unparsed bytes move to a
+///    fresh block; the retired block is freed on the next next() call.
+///
+/// So the serving loop's natural shape — feed(); while (next(view) ==
+/// kFrame) handle(view); — touches each payload byte exactly once, in
+/// place, with no per-frame allocation.
 class FrameDecoder {
  public:
   explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
       : max_payload_(max_payload) {}
 
   void feed(std::span<const std::uint8_t> data);
+  /// Zero-copy: payload points into decoder storage (lifetime above).
+  DecodeStatus next(FrameView& out);
+  /// Copying form (tests, client convenience paths).
   DecodeStatus next(Frame& out);
 
   /// Bytes buffered but not yet consumed by next().
-  std::size_t buffered() const { return buffer_.size() - consumed_; }
+  std::size_t buffered() const { return buffer_.size() - head_; }
 
   /// After kBadVersion: the version field the peer sent (the magic was
   /// right, so this is a real protocol speaker of another generation —
@@ -173,24 +213,38 @@ class FrameDecoder {
  private:
   std::size_t max_payload_;
   std::vector<std::uint8_t> buffer_;
-  std::size_t consumed_ = 0;
+  std::size_t head_ = 0;  ///< first unconsumed byte in buffer_
+  /// Previous storage block pinned under the outstanding view after a
+  /// feed() that had to reallocate. Freed by the next next() call.
+  std::vector<std::uint8_t> retired_;
+  bool view_live_ = false;
   DecodeStatus failed_ = DecodeStatus::kNeedMore;  // latched error, if any
   std::uint16_t peer_version_ = 0;
 };
 
 // -- Payload codecs ------------------------------------------------------
 // Encoders trust their input; decoders are total (false on malformed,
-// including trailing bytes).
+// including trailing bytes). Every encode_* has an encode_*_into overload
+// appending the identical bytes through a caller-owned ByteWriter — the
+// zero-copy path: the server writes payloads straight into pooled frame
+// buffers (between begin_frame/end_frame) instead of materializing a
+// payload vector per response. The vector-returning forms are thin
+// wrappers over the _into forms, so the wire bytes cannot diverge.
 
+void encode_sense_request_into(ByteWriter& w, std::string_view tag_id,
+                               const RoundTrace& round);
 std::vector<std::uint8_t> encode_sense_request(std::string_view tag_id,
                                                const RoundTrace& round);
 bool decode_sense_request(std::span<const std::uint8_t> payload,
                           std::string& tag_id, RoundTrace& round);
 
+void encode_sense_response_into(ByteWriter& w, const SensingResult& result);
 std::vector<std::uint8_t> encode_sense_response(const SensingResult& result);
 bool decode_sense_response(std::span<const std::uint8_t> payload,
                            SensingResult& result);
 
+void encode_error_payload_into(ByteWriter& w, WireError code,
+                               std::string_view message);
 std::vector<std::uint8_t> encode_error_payload(WireError code,
                                                std::string_view message);
 bool decode_error_payload(std::span<const std::uint8_t> payload,
@@ -217,6 +271,7 @@ struct SessionSetup {
   bool enable_tracking = false;
 };
 
+void encode_session_setup_into(ByteWriter& w, const SessionSetup& setup);
 std::vector<std::uint8_t> encode_session_setup(const SessionSetup& setup);
 bool decode_session_setup(std::span<const std::uint8_t> payload,
                           SessionSetup& setup);
@@ -232,6 +287,7 @@ struct SessionReady {
   bool tracking_enabled = false;
 };
 
+void encode_session_ready_into(ByteWriter& w, const SessionReady& ready);
 std::vector<std::uint8_t> encode_session_ready(const SessionReady& ready);
 bool decode_session_ready(std::span<const std::uint8_t> payload,
                           SessionReady& ready);
@@ -239,12 +295,16 @@ bool decode_session_ready(std::span<const std::uint8_t> payload,
 /// kStreamPush: a batch of raw reads plus the client's clock (the
 /// per-session StreamingSensor is polled at exactly this time, which
 /// keeps emissions deterministic and lets tests replay streams).
+void encode_stream_push_into(ByteWriter& w, double now_s,
+                             std::span<const TagRead> reads);
 std::vector<std::uint8_t> encode_stream_push(double now_s,
                                              std::span<const TagRead> reads);
 bool decode_stream_push(std::span<const std::uint8_t> payload, double& now_s,
                         std::vector<TagRead>& reads);
 
 /// kStreamResults: every emission completed by the push's poll().
+void encode_stream_results_into(ByteWriter& w,
+                                std::span<const StreamedResult> results);
 std::vector<std::uint8_t> encode_stream_results(
     std::span<const StreamedResult> results);
 bool decode_stream_results(std::span<const std::uint8_t> payload,
@@ -252,6 +312,8 @@ bool decode_stream_results(std::span<const std::uint8_t> payload,
 
 /// kTrackEvents: the trajectory events one poll produced, in emission
 /// order. Also the canonical byte encoding the determinism tests compare.
+void encode_track_events_into(ByteWriter& w,
+                              std::span<const track::TrackEvent> events);
 std::vector<std::uint8_t> encode_track_events(
     std::span<const track::TrackEvent> events);
 bool decode_track_events(std::span<const std::uint8_t> payload,

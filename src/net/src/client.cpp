@@ -21,7 +21,10 @@ namespace {
 }  // namespace
 
 Client::Client(ClientConfig config)
-    : config_(std::move(config)), decoder_(config_.max_payload) {
+    : config_(std::move(config)),
+      pool_(std::make_unique<BufferPool>()),
+      scratch_(pool_->acquire()),
+      decoder_(config_.max_payload) {
   std::string error = "no attempts made";
   double backoff = config_.retry_backoff_s;
   const int attempts = std::max(1, config_.connect_attempts);
@@ -47,9 +50,20 @@ void Client::send_bytes(std::span<const std::uint8_t> data) {
   }
 }
 
+std::vector<std::uint8_t>& Client::send_scratch() {
+  std::vector<std::uint8_t>& out = scratch_.storage();
+  out.clear();
+  return out;
+}
+
 void Client::send_frame(FrameType type, std::uint32_t seq,
                         std::span<const std::uint8_t> payload) {
-  send_bytes(encode_frame(type, seq, payload));
+  std::vector<std::uint8_t>& out = send_scratch();
+  ByteWriter w(out);
+  const std::size_t frame = begin_frame(w, type, seq);
+  w.bytes(payload);
+  end_frame(w, frame);
+  send_bytes(out);
 }
 
 Frame Client::read_frame() {
@@ -83,8 +97,15 @@ Frame Client::read_frame() {
 std::uint32_t Client::send_sense(const RoundTrace& round,
                                  const std::string& tag_id) {
   const std::uint32_t seq = next_seq_++;
-  send_frame(FrameType::kSenseRequest, seq,
-             encode_sense_request(tag_id, round));
+  // Encoded straight into the frame scratch behind its header — no
+  // intermediate payload vector, so a pipelined burst is allocation-free
+  // once the scratch has grown to the largest request.
+  std::vector<std::uint8_t>& out = send_scratch();
+  ByteWriter w(out);
+  const std::size_t frame = begin_frame(w, FrameType::kSenseRequest, seq);
+  encode_sense_request_into(w, tag_id, round);
+  end_frame(w, frame);
+  send_bytes(out);
   return seq;
 }
 
@@ -248,7 +269,14 @@ std::vector<std::uint8_t> Client::push_stream_raw(
   // reconnects own their own dedup.
   if (!fd_.valid()) reconnect();
   const std::uint32_t seq = next_seq_++;
-  send_frame(FrameType::kStreamPush, seq, encode_stream_push(now_s, reads));
+  {
+    std::vector<std::uint8_t>& out = send_scratch();
+    ByteWriter w(out);
+    const std::size_t frame = begin_frame(w, FrameType::kStreamPush, seq);
+    encode_stream_push_into(w, now_s, reads);
+    end_frame(w, frame);
+    send_bytes(out);
+  }
   Frame frame = read_frame();
   if (frame.seq != seq) {
     fd_.reset();

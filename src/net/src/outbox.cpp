@@ -1,0 +1,83 @@
+#include "rfp/net/outbox.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace rfp::net {
+
+void Outbox::push(PooledBuffer&& bytes) {
+  const std::size_t n = bytes.size();
+  if (n == 0) {
+    bytes.reset();
+    return;
+  }
+  if (n <= coalesce_limit_ && count_ > 0) {
+    std::vector<std::uint8_t>& tail = slot(count_ - 1).buf.storage();
+    if (tail.capacity() - tail.size() >= n) {
+      tail.insert(tail.end(), bytes.storage().begin(), bytes.storage().end());
+      bytes_ += n;
+      if (counters_ != nullptr) {
+        ++counters_->frames_coalesced;
+        counters_->bytes_coalesced += n;
+      }
+      bytes.reset();
+      return;
+    }
+  }
+  if (count_ == ring_.size()) grow_ring();
+  Segment& seg = slot(count_);
+  seg.buf = std::move(bytes);
+  seg.pos = 0;
+  ++count_;
+  bytes_ += n;
+  if (counters_ != nullptr) ++counters_->frames_spliced;
+}
+
+std::size_t Outbox::fill_iovec(struct iovec* iov, std::size_t max_iov) const {
+  const std::size_t n = count_ < max_iov ? count_ : max_iov;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment& seg = slot(i);
+    iov[i].iov_base =
+        const_cast<std::uint8_t*>(seg.buf.data()) + seg.pos;
+    iov[i].iov_len = seg.buf.size() - seg.pos;
+  }
+  return n;
+}
+
+void Outbox::consume(std::size_t n) {
+  bytes_ -= n;
+  while (n > 0) {
+    Segment& front = slot(0);
+    const std::size_t avail = front.buf.size() - front.pos;
+    if (n < avail) {
+      front.pos += n;
+      return;
+    }
+    n -= avail;
+    front.buf.reset();  // storage back to the pool
+    front.pos = 0;
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
+  }
+}
+
+void Outbox::clear() {
+  for (std::size_t i = 0; i < count_; ++i) {
+    Segment& seg = slot(i);
+    seg.buf.reset();
+    seg.pos = 0;
+  }
+  head_ = 0;
+  count_ = 0;
+  bytes_ = 0;
+}
+
+void Outbox::grow_ring() {
+  const std::size_t new_size = ring_.empty() ? 8 : ring_.size() * 2;
+  std::vector<Segment> grown(new_size);
+  for (std::size_t i = 0; i < count_; ++i) grown[i] = std::move(slot(i));
+  ring_ = std::move(grown);
+  head_ = 0;
+}
+
+}  // namespace rfp::net

@@ -7,11 +7,15 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <span>
+
+#include "rfp/net/outbox.hpp"
 
 namespace rfp::net {
 
@@ -43,8 +47,11 @@ const char* decode_error_message(DecodeStatus status) {
 /// open-connection count (atomic).
 class Server::Reactor {
  public:
-  Reactor(Server& server, UniqueFd listener) : server_(server),
-                                               listener_(std::move(listener)) {
+  Reactor(Server& server, UniqueFd listener)
+      : server_(server), listener_(std::move(listener)),
+        pool_(server.config_.pool),
+        ready_slots_(std::bit_ceil(
+            std::max<std::size_t>(1, server.config_.max_pending_per_connection))) {
     int pipe_fds[2];
     if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
       throw NetError(std::string("rfpd: pipe2: ") + std::strerror(errno));
@@ -94,6 +101,14 @@ class Server::Reactor {
     out.stream_results += stats_.stream_results;
     out.stream_evictions += stats_.stream_evictions;
     out.stream_track_events += stats_.stream_track_events;
+    out.pool_hits += stats_.pool_hits;
+    out.pool_misses += stats_.pool_misses;
+    out.pool_discards += stats_.pool_discards;
+    out.pool_bytes_resident += stats_.pool_bytes_resident;
+    out.frames_spliced += stats_.frames_spliced;
+    out.frames_coalesced += stats_.frames_coalesced;
+    out.bytes_coalesced += stats_.bytes_coalesced;
+    out.writev_calls += stats_.writev_calls;
   }
 
   void append_connection_stats(std::vector<ConnectionStats>& out) const {
@@ -123,19 +138,23 @@ class Server::Reactor {
     std::unique_ptr<StreamingSensor> sensor;
     std::uint64_t sensor_evictions_seen = 0;
 
-    std::vector<std::uint8_t> out;  ///< unflushed response bytes
-    std::size_t out_pos = 0;
+    Outbox out;  ///< unflushed response bytes (pooled segment chain)
 
     // Per-connection ordering: request `index` values are assigned as
-    // frames arrive; finished responses wait in `ready` until everything
-    // earlier has been appended to `out`.
+    // frames arrive; finished responses wait in the `ready` ring until
+    // everything earlier has been spliced into `out`. The ring has
+    // bit_ceil(max_pending_per_connection) slots and in_flight is gated
+    // below max_pending before an index is assigned, so two live indices
+    // can never share a slot — ordering with zero per-request allocation.
     std::uint64_t next_index = 0;
     std::uint64_t next_emit = 0;
     struct ReadyResponse {
+      bool present = false;
       bool failed = false;
-      std::vector<std::uint8_t> bytes;
+      PooledBuffer bytes;
     };
-    std::map<std::uint64_t, ReadyResponse> ready;
+    std::vector<ReadyResponse> ready;  ///< power-of-two reorder ring
+    std::size_t ready_count = 0;  ///< parked responses
     std::size_t ready_bytes = 0;  ///< parked bytes (max_reorder_bytes cap)
     std::size_t in_flight = 0;    ///< accepted, response not yet emitted
 
@@ -154,13 +173,21 @@ class Server::Reactor {
     // for already-accepted requests have been written (ordering survives
     // even the connection's own teardown).
     bool has_pending_fatal = false;
-    std::vector<std::uint8_t> pending_fatal;
+    PooledBuffer pending_fatal;
 
-    explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
+    Connection(std::size_t max_payload, OutboxCounters* outbox_counters,
+               std::size_t coalesce_limit, std::size_t ready_slots)
+        : decoder(max_payload), out(outbox_counters, coalesce_limit) {
+      ready.resize(ready_slots);
+    }
 
-    std::size_t write_backlog() const { return out.size() - out_pos; }
+    ReadyResponse& ready_slot(std::uint64_t index) {
+      return ready[index & (ready.size() - 1)];
+    }
+
+    std::size_t write_backlog() const { return out.size(); }
     bool drained() const {
-      return in_flight == 0 && ready.empty() && write_backlog() == 0 &&
+      return in_flight == 0 && ready_count == 0 && write_backlog() == 0 &&
              !has_pending_fatal;
     }
     /// Work is stuck on the *peer*: a partial frame it never finishes, or
@@ -175,7 +202,7 @@ class Server::Reactor {
     std::uint64_t conn_id = 0;
     std::uint64_t index = 0;
     bool failed = false;
-    std::vector<std::uint8_t> bytes;
+    PooledBuffer bytes;
   };
 
   bool wants_read(const Connection& conn) const {
@@ -186,8 +213,20 @@ class Server::Reactor {
   }
 
   void refresh_snapshots() {
+    // Data-path counters live reactor-thread-local (outbox splices) or
+    // behind the pool's own lock; fold them into the shared snapshot here
+    // so stats() readers never race the hot path.
+    const BufferPoolStats pool_stats = pool_.stats();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.connections_open = connections_.size();
+    stats_.pool_hits = pool_stats.hits;
+    stats_.pool_misses = pool_stats.misses;
+    stats_.pool_discards = pool_stats.discards;
+    stats_.pool_bytes_resident = pool_stats.bytes_resident;
+    stats_.frames_spliced = outbox_counters_.frames_spliced;
+    stats_.frames_coalesced = outbox_counters_.frames_coalesced;
+    stats_.bytes_coalesced = outbox_counters_.bytes_coalesced;
+    stats_.writev_calls = writev_calls_;
     connection_snapshot_.clear();
     for (const auto& [id, conn] : connections_) {
       ConnectionStats s = conn->stats;
@@ -316,10 +355,9 @@ class Server::Reactor {
           continue;
         }
         if (conn.has_pending_fatal && conn.in_flight == 0 &&
-            conn.ready.empty()) {
-          conn.out.insert(conn.out.end(), conn.pending_fatal.begin(),
-                          conn.pending_fatal.end());
-          conn.pending_fatal.clear();
+            conn.ready_count == 0) {
+          // Spliced, not copied: the goodbye buffer moves into the chain.
+          conn.out.push(std::move(conn.pending_fatal));
           conn.has_pending_fatal = false;
           conn.close_after_flush = true;
         }
@@ -404,7 +442,9 @@ class Server::Reactor {
         ++stats_.connections_rejected;
         continue;
       }
-      auto conn = std::make_unique<Connection>(server_.config_.max_payload);
+      auto conn = std::make_unique<Connection>(
+          server_.config_.max_payload, &outbox_counters_,
+          server_.config_.outbox_coalesce_limit, ready_slots_);
       conn->id = next_connection_id_++;
       conn->fd = UniqueFd(fd);
       conn->tenant = server_.default_tenant_;
@@ -448,14 +488,38 @@ class Server::Reactor {
     return true;
   }
 
+  /// An error frame in a pooled buffer (the only copies are the message
+  /// bytes themselves, once, onto the wire encoding).
+  PooledBuffer make_error_frame(std::uint32_t seq, WireError code,
+                                std::string_view message,
+                                std::uint16_t version = kVersion) {
+    PooledBuffer buf = pool_.acquire();
+    ByteWriter w(buf.storage());
+    const std::size_t frame = begin_frame(w, FrameType::kError, seq, version);
+    encode_error_payload_into(w, code, message);
+    end_frame(w, frame);
+    return buf;
+  }
+
+  /// A payload-less frame (kPong, kSessionClosed) in a pooled buffer.
+  PooledBuffer make_empty_frame(FrameType type, std::uint32_t seq) {
+    PooledBuffer buf = pool_.acquire();
+    ByteWriter w(buf.storage());
+    end_frame(w, begin_frame(w, type, seq));
+    return buf;
+  }
+
   void parse_frames(Connection& conn) {
     if (conn.has_pending_fatal || conn.close_after_flush || conn.dead) return;
     while (conn.in_flight < server_.config_.max_pending_per_connection) {
-      Frame frame;
+      // The view's payload lives in the decoder's storage and is consumed
+      // in place by handle_frame before the loop advances — the decoder
+      // guarantees it stays put until the next next() call.
+      FrameView frame;
       const DecodeStatus status = conn.decoder.next(frame);
       if (status == DecodeStatus::kNeedMore) return;
       if (status == DecodeStatus::kFrame) {
-        handle_frame(conn, std::move(frame));
+        handle_frame(conn, frame);
         continue;
       }
       // The stream cannot be resynchronized. Answer what was already
@@ -471,22 +535,19 @@ class Server::Reactor {
         const std::uint16_t peer = conn.decoder.peer_version();
         const std::uint16_t goodbye_version =
             (peer >= kMinGoodbyeVersion && peer < kVersion) ? peer : kVersion;
-        conn.pending_fatal = encode_frame(
-            FrameType::kError, 0,
-            encode_error_payload(
-                WireError::kUnsupportedVersion,
-                "unsupported protocol version " + std::to_string(peer) +
-                    " (server speaks v" + std::to_string(kVersion) + ")"),
+        conn.pending_fatal = make_error_frame(
+            0, WireError::kUnsupportedVersion,
+            "unsupported protocol version " + std::to_string(peer) +
+                " (server speaks v" + std::to_string(kVersion) + ")",
             goodbye_version);
       } else {
         {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.connections_closed_protocol;
         }
-        conn.pending_fatal = encode_frame(
-            FrameType::kError, 0,
-            encode_error_payload(WireError::kMalformedPayload,
-                                 decode_error_message(status)));
+        conn.pending_fatal =
+            make_error_frame(0, WireError::kMalformedPayload,
+                             decode_error_message(status));
       }
       conn.has_pending_fatal = true;
       conn.read_closed = true;
@@ -494,7 +555,7 @@ class Server::Reactor {
     }
   }
 
-  void handle_frame(Connection& conn, Frame&& frame) {
+  void handle_frame(Connection& conn, const FrameView& frame) {
     conn.last_activity = now_s();
     conn.last_progress = conn.last_activity;
     ++conn.stats.frames_received;
@@ -505,7 +566,7 @@ class Server::Reactor {
     switch (frame.type) {
       case FrameType::kPing:
         finish_local(conn, conn.next_index++, false,
-                     encode_frame(FrameType::kPong, frame.seq, {}));
+                     make_empty_frame(FrameType::kPong, frame.seq));
         ++conn.in_flight;
         return;
       case FrameType::kSenseRequest: {
@@ -513,12 +574,10 @@ class Server::Reactor {
         RoundTrace round;
         if (!decode_sense_request(frame.payload, tag_id, round)) {
           conn.tenant->count_request(true);
-          finish_local(
-              conn, conn.next_index++, true,
-              encode_frame(FrameType::kError, frame.seq,
-                           encode_error_payload(WireError::kMalformedPayload,
-                                                "sense request payload did "
-                                                "not parse")));
+          finish_local(conn, conn.next_index++, true,
+                       make_error_frame(frame.seq, WireError::kMalformedPayload,
+                                        "sense request payload did not "
+                                        "parse"));
           ++conn.in_flight;
           return;
         }
@@ -544,29 +603,24 @@ class Server::Reactor {
           ++stats_.sessions_closed;
         }
         finish_local(conn, conn.next_index++, false,
-                     encode_frame(FrameType::kSessionClosed, frame.seq, {}));
+                     make_empty_frame(FrameType::kSessionClosed, frame.seq));
         ++conn.in_flight;
         return;
       default:
-        finish_local(
-            conn, conn.next_index++, true,
-            encode_frame(FrameType::kError, frame.seq,
-                         encode_error_payload(WireError::kUnsupportedType,
-                                              "frame type not served")));
+        finish_local(conn, conn.next_index++, true,
+                     make_error_frame(frame.seq, WireError::kUnsupportedType,
+                                      "frame type not served"));
         ++conn.in_flight;
         return;
     }
   }
 
-  void handle_session_setup(Connection& conn, const Frame& frame) {
+  void handle_session_setup(Connection& conn, const FrameView& frame) {
     SessionSetup setup;
     if (!decode_session_setup(frame.payload, setup)) {
-      finish_local(
-          conn, conn.next_index++, true,
-          encode_frame(FrameType::kError, frame.seq,
-                       encode_error_payload(WireError::kMalformedPayload,
-                                            "session setup payload did not "
-                                            "parse")));
+      finish_local(conn, conn.next_index++, true,
+                   make_error_frame(frame.seq, WireError::kMalformedPayload,
+                                    "session setup payload did not parse"));
       ++conn.in_flight;
       return;
     }
@@ -595,39 +649,37 @@ class Server::Reactor {
                                 ? server_.engine_.drift_enabled()
                                 : conn.tenant->drift_enabled();
       ready.tracking_enabled = conn.tracking;
-      finish_local(conn, conn.next_index++, false,
-                   encode_frame(FrameType::kSessionReady, frame.seq,
-                                encode_session_ready(ready)));
+      PooledBuffer buf = pool_.acquire();
+      ByteWriter w(buf.storage());
+      const std::size_t f = begin_frame(w, FrameType::kSessionReady, frame.seq);
+      encode_session_ready_into(w, ready);
+      end_frame(w, f);
+      finish_local(conn, conn.next_index++, false, std::move(buf));
     } catch (const InvalidArgument& e) {
       // The shipped deployment itself is unusable (bad geometry, antenna
       // count mismatch between geometry and calibration).
-      finish_local(
-          conn, conn.next_index++, true,
-          encode_frame(FrameType::kError, frame.seq,
-                       encode_error_payload(WireError::kMalformedPayload,
-                                            e.what())));
+      finish_local(conn, conn.next_index++, true,
+                   make_error_frame(frame.seq, WireError::kMalformedPayload,
+                                    e.what()));
     } catch (const Error& e) {
       // Registry-side refusal: every tenant slot pinned by a live
       // session (or a digest collision — equally "cannot admit").
-      finish_local(
-          conn, conn.next_index++, true,
-          encode_frame(FrameType::kError, frame.seq,
-                       encode_error_payload(WireError::kRegistryFull,
-                                            e.what())));
+      finish_local(conn, conn.next_index++, true,
+                   make_error_frame(frame.seq, WireError::kRegistryFull,
+                                    e.what()));
     }
     ++conn.in_flight;
   }
 
-  void handle_stream_push(Connection& conn, const Frame& frame) {
+  void handle_stream_push(Connection& conn, const FrameView& frame) {
     double push_now = 0.0;
-    std::vector<TagRead> reads;
+    // Reactor-owned decode scratch: resize() reuses element capacity, so
+    // a steady stream of same-shaped pushes decodes with no allocation.
+    std::vector<TagRead>& reads = stream_reads_scratch_;
     if (!decode_stream_push(frame.payload, push_now, reads)) {
-      finish_local(
-          conn, conn.next_index++, true,
-          encode_frame(FrameType::kError, frame.seq,
-                       encode_error_payload(WireError::kMalformedPayload,
-                                            "stream push payload did not "
-                                            "parse")));
+      finish_local(conn, conn.next_index++, true,
+                   make_error_frame(frame.seq, WireError::kMalformedPayload,
+                                    "stream push payload did not parse"));
       ++conn.in_flight;
       return;
     }
@@ -664,41 +716,49 @@ class Server::Reactor {
         stats_.stream_results += results.size();
         stats_.stream_evictions += evicted;
       }
-      std::vector<std::uint8_t> response = encode_frame(
-          FrameType::kStreamResults, frame.seq, encode_stream_results(results));
+      PooledBuffer response = pool_.acquire();
+      ByteWriter w(response.storage());
+      const std::size_t results_frame =
+          begin_frame(w, FrameType::kStreamResults, frame.seq);
+      encode_stream_results_into(w, results);
+      end_frame(w, results_frame);
       if (conn.tracking && conn.tracker) {
         // The poll already fed the tracker (TrackSink); drain its events
-        // into a kTrackEvents frame riding the same response slot, so
-        // per-connection ordering holds with one reorder-map entry.
+        // into a kTrackEvents frame encoded back-to-back in the same
+        // response buffer, so per-connection ordering holds with one
+        // reorder slot and one outbox segment.
         const std::vector<track::TrackEvent> events =
             conn.tracker->take_events();
         {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           stats_.stream_track_events += events.size();
         }
-        append_frame(response, FrameType::kTrackEvents, frame.seq,
-                     encode_track_events(events));
+        const std::size_t track_frame =
+            begin_frame(w, FrameType::kTrackEvents, frame.seq);
+        encode_track_events_into(w, events);
+        end_frame(w, track_frame);
       }
       finish_local(conn, conn.next_index++, false, std::move(response));
     } catch (const InvalidArgument& e) {
-      finish_local(
-          conn, conn.next_index++, true,
-          encode_frame(FrameType::kError, frame.seq,
-                       encode_error_payload(WireError::kMalformedPayload,
-                                            e.what())));
+      finish_local(conn, conn.next_index++, true,
+                   make_error_frame(frame.seq, WireError::kMalformedPayload,
+                                    e.what()));
     } catch (const std::exception& e) {
-      finish_local(
-          conn, conn.next_index++, true,
-          encode_frame(FrameType::kError, frame.seq,
-                       encode_error_payload(WireError::kInternal, e.what())));
+      finish_local(conn, conn.next_index++, true,
+                   make_error_frame(frame.seq, WireError::kInternal,
+                                    e.what()));
     }
     ++conn.in_flight;
   }
 
   void finish_local(Connection& conn, std::uint64_t index, bool failed,
-                    std::vector<std::uint8_t> frame_bytes) {
+                    PooledBuffer frame_bytes) {
+    Connection::ReadyResponse& slot = conn.ready_slot(index);
+    slot.present = true;
+    slot.failed = failed;
     conn.ready_bytes += frame_bytes.size();
-    conn.ready[index] = {failed, std::move(frame_bytes)};
+    slot.bytes = std::move(frame_bytes);
+    ++conn.ready_count;
   }
 
   void submit_solve(Connection& conn, std::uint32_t seq, std::string tag_id,
@@ -716,7 +776,9 @@ class Server::Reactor {
                      tenant = conn.tenant, tag_id = std::move(tag_id),
                      round = std::move(round)]() mutable {
       bool failed = false;
-      std::vector<std::uint8_t> bytes;
+      // The pool is thread-safe precisely for this: solve workers encode
+      // responses straight into the owning reactor's pooled buffers.
+      PooledBuffer bytes = pool_.acquire();
       try {
         const RfPrism& prism = tenant->prism();
         // Port-health gating is deployment-specific: the monitor the
@@ -741,20 +803,27 @@ class Server::Reactor {
         } else {
           result = prism.sense(round, engine(), tag_id, health);
         }
-        bytes = encode_frame(FrameType::kSenseResponse, seq,
-                             encode_sense_response(result));
+        ByteWriter w(bytes.storage());
+        const std::size_t f = begin_frame(w, FrameType::kSenseResponse, seq);
+        encode_sense_response_into(w, result);
+        end_frame(w, f);
       } catch (const InvalidArgument& e) {
         // Structurally wrong round (antenna count mismatch): the
-        // client's fault, not ours.
+        // client's fault, not ours. Clear first: the solve (or encode)
+        // may have died mid-frame.
         failed = true;
-        bytes = encode_frame(
-            FrameType::kError, seq,
-            encode_error_payload(WireError::kMalformedPayload, e.what()));
+        bytes.storage().clear();
+        ByteWriter w(bytes.storage());
+        const std::size_t f = begin_frame(w, FrameType::kError, seq);
+        encode_error_payload_into(w, WireError::kMalformedPayload, e.what());
+        end_frame(w, f);
       } catch (const std::exception& e) {
         failed = true;
-        bytes = encode_frame(FrameType::kError, seq,
-                             encode_error_payload(WireError::kInternal,
-                                                  e.what()));
+        bytes.storage().clear();
+        ByteWriter w(bytes.storage());
+        const std::size_t f = begin_frame(w, FrameType::kError, seq);
+        encode_error_payload_into(w, WireError::kInternal, e.what());
+        end_frame(w, f);
       }
       tenant->count_request(failed);
       {
@@ -776,39 +845,47 @@ class Server::Reactor {
   }
 
   void drain_completions() {
-    std::vector<Completion> done;
+    // Ping-pong with a reactor-owned scratch vector: the swap hands the
+    // workers back the previously drained (cleared, capacity-retaining)
+    // storage, so the steady state allocates nothing on either side.
     {
       std::lock_guard<std::mutex> lock(completions_mutex_);
-      done.swap(completions_);
+      completions_.swap(completions_scratch_);
     }
-    for (Completion& completion : done) {
+    for (Completion& completion : completions_scratch_) {
       const auto it = connections_.find(completion.conn_id);
       if (it == connections_.end()) continue;  // connection died mid-solve
       finish_local(*it->second, completion.index, completion.failed,
                    std::move(completion.bytes));
     }
+    completions_scratch_.clear();
   }
 
   void emit_ready(Connection& conn) {
-    for (auto it = conn.ready.find(conn.next_emit); it != conn.ready.end();
-         it = conn.ready.find(conn.next_emit)) {
-      conn.out.insert(conn.out.end(), it->second.bytes.begin(),
-                      it->second.bytes.end());
-      conn.ready_bytes -= it->second.bytes.size();
-      if (it->second.failed) {
+    for (;;) {
+      Connection::ReadyResponse& slot = conn.ready_slot(conn.next_emit);
+      if (!slot.present) break;
+      conn.ready_bytes -= slot.bytes.size();
+      const bool failed = slot.failed;
+      // Spliced into the outbox, not copied: the response buffer itself
+      // becomes a write segment (small frames coalesce into the tail).
+      conn.out.push(std::move(slot.bytes));
+      slot.present = false;
+      slot.failed = false;
+      --conn.ready_count;
+      if (failed) {
         ++conn.stats.requests_failed;
       } else {
         ++conn.stats.requests_completed;
       }
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        if (it->second.failed) {
+        if (failed) {
           ++stats_.requests_failed;
         } else {
           ++stats_.requests_completed;
         }
       }
-      conn.ready.erase(it);
       ++conn.next_emit;
       --conn.in_flight;
       conn.last_activity = now_s();
@@ -817,14 +894,20 @@ class Server::Reactor {
   }
 
   bool write_ready(Connection& conn) {
-    while (conn.out_pos < conn.out.size()) {
-      const IoResult r = send_some(conn.fd.get(),
-                                   conn.out.data() + conn.out_pos,
-                                   conn.out.size() - conn.out_pos);
+    // Scatter-gather drain: hand the kernel the segment chain as it is —
+    // no flattening copy. 64 iovecs per call covers any realistic burst
+    // (coalescing keeps small frames from fragmenting the chain).
+    constexpr std::size_t kMaxWriteIov = 64;
+    struct iovec iov[kMaxWriteIov];
+    while (!conn.out.empty()) {
+      const std::size_t n_iov = conn.out.fill_iovec(iov, kMaxWriteIov);
+      const IoResult r =
+          writev_some(conn.fd.get(), iov, static_cast<int>(n_iov));
       if (r.status == IoStatus::kOk) {
-        conn.out_pos += r.bytes;
+        conn.out.consume(r.bytes);
         conn.stats.bytes_sent += r.bytes;
         conn.last_progress = now_s();
+        ++writev_calls_;
         std::lock_guard<std::mutex> lock(stats_mutex_);
         stats_.bytes_sent += r.bytes;
         continue;
@@ -832,8 +915,6 @@ class Server::Reactor {
       if (r.status == IoStatus::kWouldBlock) return true;
       return false;  // hard error; caller drops the connection
     }
-    conn.out.clear();
-    conn.out_pos = 0;
     return true;
   }
 
@@ -850,11 +931,24 @@ class Server::Reactor {
   UniqueFd wake_read_;
   UniqueFd wake_write_;
 
+  // Declared before connections_/completions_ on purpose: members destroy
+  // in reverse order, so every pooled buffer still alive in a connection's
+  // outbox or a parked completion returns into a live pool.
+  BufferPool pool_;
+  OutboxCounters outbox_counters_;
+  std::uint64_t writev_calls_ = 0;
+  std::size_t ready_slots_ = 1;
+  /// Decode scratch for kStreamPush payloads, reused across frames.
+  std::vector<TagRead> stream_reads_scratch_;
+
   std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
   std::uint64_t next_connection_id_ = 1;
 
   std::mutex completions_mutex_;
   std::vector<Completion> completions_;
+  /// Ping-pong partner for completions_: drain swaps the queues so the
+  /// steady state reuses both vectors' capacity instead of reallocating.
+  std::vector<Completion> completions_scratch_;
 
   std::mutex jobs_mutex_;
   std::condition_variable jobs_cv_;

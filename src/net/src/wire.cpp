@@ -1,5 +1,6 @@
 #include "rfp/net/wire.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "rfp/common/bytes.hpp"
@@ -44,19 +45,79 @@ std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t seq,
   return out;
 }
 
+std::size_t begin_frame(ByteWriter& w, FrameType type, std::uint32_t seq,
+                        std::uint16_t version) {
+  w.u32(kMagic);
+  w.u16(version);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u32(seq);
+  const std::size_t token = w.size();
+  w.u32(0);  // payload length, patched by end_frame
+  return token;
+}
+
+void end_frame(ByteWriter& w, std::size_t token) {
+  w.patch_u32(token, static_cast<std::uint32_t>(w.size() - token - 4));
+}
+
 bool is_decode_error(DecodeStatus status) {
   return status != DecodeStatus::kFrame && status != DecodeStatus::kNeedMore;
 }
 
 void FrameDecoder::feed(std::span<const std::uint8_t> data) {
   if (is_decode_error(failed_)) return;  // poisoned: drop further input
-  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  if (data.empty()) return;
+  if (buffer_.size() + data.size() <= buffer_.capacity()) {
+    // No reallocation: an outstanding view (which lives at [x, head_) of
+    // this block) cannot move.
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    return;
+  }
+  if (!view_live_) {
+    // Free to rearrange: drop the dead prefix first so a fat connection
+    // doesn't carry it through the reallocation, then grow.
+    if (head_ > 0) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    return;
+  }
+  // Growth under a live view: the view's bytes must stay put, so retire
+  // the current block (kept alive until the next next() call) and move
+  // only the live unparsed region to a fresh block.
+  std::vector<std::uint8_t> fresh;
+  fresh.reserve(std::max(buffer_.size() - head_ + data.size(),
+                         buffer_.capacity() * 2));
+  fresh.insert(fresh.end(), buffer_.begin() + static_cast<std::ptrdiff_t>(head_),
+               buffer_.end());
+  fresh.insert(fresh.end(), data.begin(), data.end());
+  if (retired_.empty()) {
+    // The view points into buffer_: pin it. (If retired_ is already
+    // holding the view's block from an earlier feed, buffer_ has no view
+    // into it and can simply be replaced.)
+    retired_ = std::move(buffer_);
+  }
+  buffer_ = std::move(fresh);
+  head_ = 0;
 }
 
-DecodeStatus FrameDecoder::next(Frame& out) {
+DecodeStatus FrameDecoder::next(FrameView& out) {
   if (is_decode_error(failed_)) return failed_;
-  const std::span<const std::uint8_t> pending(buffer_.data() + consumed_,
-                                              buffer_.size() - consumed_);
+  // The previously yielded view expires now: release its pinned block and
+  // allow compaction over its bytes.
+  view_live_ = false;
+  if (!retired_.empty()) retired_ = std::vector<std::uint8_t>{};
+  // Compact once the dead prefix dominates, so a long-lived connection
+  // doesn't hold on to every byte it ever received.
+  if (head_ > 4096 && head_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  const std::span<const std::uint8_t> pending(buffer_.data() + head_,
+                                              buffer_.size() - head_);
   if (pending.size() < kHeaderSize) return DecodeStatus::kNeedMore;
 
   ByteReader r(pending);
@@ -77,25 +138,33 @@ DecodeStatus FrameDecoder::next(Frame& out) {
 
   out.type = static_cast<FrameType>(type);
   out.seq = seq;
-  out.payload.assign(pending.begin() + kHeaderSize,
-                     pending.begin() + kHeaderSize + payload_len);
-  consumed_ += kHeaderSize + payload_len;
-  // Compact once the dead prefix dominates, so a long-lived connection
-  // doesn't hold on to every byte it ever received.
-  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
-    consumed_ = 0;
-  }
+  out.payload = pending.subspan(kHeaderSize, payload_len);
+  head_ += kHeaderSize + payload_len;
+  view_live_ = true;
   return DecodeStatus::kFrame;
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  FrameView view;
+  const DecodeStatus status = next(view);
+  if (status != DecodeStatus::kFrame) return status;
+  out.type = view.type;
+  out.seq = view.seq;
+  out.payload.assign(view.payload.begin(), view.payload.end());
+  return DecodeStatus::kFrame;
+}
+
+void encode_sense_request_into(ByteWriter& w, std::string_view tag_id,
+                               const RoundTrace& round) {
+  w.str(tag_id);
+  append_round(w, round);
 }
 
 std::vector<std::uint8_t> encode_sense_request(std::string_view tag_id,
                                                const RoundTrace& round) {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.str(tag_id);
-  append_round(w, round);
+  encode_sense_request_into(w, tag_id, round);
   return out;
 }
 
@@ -104,6 +173,10 @@ bool decode_sense_request(std::span<const std::uint8_t> payload,
   ByteReader r(payload);
   tag_id = r.str();
   return r.ok() && read_round(r, round) && r.exhausted();
+}
+
+void encode_sense_response_into(ByteWriter& w, const SensingResult& result) {
+  append_result(w, result);
 }
 
 std::vector<std::uint8_t> encode_sense_response(const SensingResult& result) {
@@ -115,12 +188,17 @@ bool decode_sense_response(std::span<const std::uint8_t> payload,
   return decode_result(payload, result);
 }
 
+void encode_error_payload_into(ByteWriter& w, WireError code,
+                               std::string_view message) {
+  w.u32(static_cast<std::uint32_t>(code));
+  w.str(message);
+}
+
 std::vector<std::uint8_t> encode_error_payload(WireError code,
                                                std::string_view message) {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.u32(static_cast<std::uint32_t>(code));
-  w.str(message);
+  encode_error_payload_into(w, code, message);
   return out;
 }
 
@@ -143,13 +221,17 @@ constexpr std::uint8_t kOptionMask = kOptionDrift | kOptionTracking;
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_session_setup(const SessionSetup& setup) {
-  std::vector<std::uint8_t> out;
-  ByteWriter w(out);
+void encode_session_setup_into(ByteWriter& w, const SessionSetup& setup) {
   append_geometry(w, setup.geometry);
   append_calibration_db(w, setup.calibrations);
   w.u8((setup.enable_drift ? kOptionDrift : 0) |
        (setup.enable_tracking ? kOptionTracking : 0));
+}
+
+std::vector<std::uint8_t> encode_session_setup(const SessionSetup& setup) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  encode_session_setup_into(w, setup);
   return out;
 }
 
@@ -165,13 +247,17 @@ bool decode_session_setup(std::span<const std::uint8_t> payload,
   return r.exhausted();
 }
 
-std::vector<std::uint8_t> encode_session_ready(const SessionReady& ready) {
-  std::vector<std::uint8_t> out;
-  ByteWriter w(out);
+void encode_session_ready_into(ByteWriter& w, const SessionReady& ready) {
   w.u64(ready.digest);
   w.u32(ready.n_antennas);
   w.u8((ready.drift_enabled ? kOptionDrift : 0) |
        (ready.tracking_enabled ? kOptionTracking : 0));
+}
+
+std::vector<std::uint8_t> encode_session_ready(const SessionReady& ready) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  encode_session_ready_into(w, ready);
   return out;
 }
 
@@ -195,10 +281,12 @@ constexpr std::size_t kReadMinBytes = 4 + 4 + 4 + 4 * 8;
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_stream_push(double now_s,
-                                             std::span<const TagRead> reads) {
-  std::vector<std::uint8_t> out;
-  ByteWriter w(out);
+void encode_stream_push_into(ByteWriter& w, double now_s,
+                             std::span<const TagRead> reads) {
+  // Exact reserve: big read batches are the protocol's bulkiest frames.
+  std::size_t total = 8 + 4;
+  for (const TagRead& read : reads) total += kReadMinBytes + read.tag_id.size();
+  w.reserve(total);
   w.f64(now_s);
   w.u32(static_cast<std::uint32_t>(reads.size()));
   for (const TagRead& read : reads) {
@@ -210,39 +298,83 @@ std::vector<std::uint8_t> encode_stream_push(double now_s,
     w.f64(read.phase);
     w.f64(read.rssi_dbm);
   }
+}
+
+std::vector<std::uint8_t> encode_stream_push(double now_s,
+                                             std::span<const TagRead> reads) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  encode_stream_push_into(w, now_s, reads);
   return out;
 }
 
 bool decode_stream_push(std::span<const std::uint8_t> payload, double& now_s,
                         std::vector<TagRead>& reads) {
-  ByteReader r(payload);
-  now_s = r.f64();
-  const std::uint32_t n = r.u32();
-  if (!r.ok() || r.remaining() < n * kReadMinBytes) return false;
-  reads.resize(n);
-  for (TagRead& read : reads) {
-    read.tag_id = r.str();
-    read.antenna = r.u32();
-    read.channel = r.u32();
-    read.frequency_hz = r.f64();
-    read.time_s = r.f64();
-    read.phase = r.f64();
-    read.rssi_dbm = r.f64();
-    if (!r.ok()) return false;
+  // Hot path: a reactor parses every kStreamPush burst inline on its
+  // thread, so this decoder pays one bounds check per read (the tag
+  // length prefix, then the 40-byte fixed block) instead of one per
+  // field, and assigns the tag in place so each slot's string capacity
+  // survives across bursts.
+  constexpr std::size_t kFixedBytes = kReadMinBytes - 4;  // sans length
+  const std::uint8_t* p = payload.data();
+  const std::uint8_t* const end = p + payload.size();
+  if (static_cast<std::size_t>(end - p) < 12) return false;
+  std::uint64_t now_bits;
+  std::memcpy(&now_bits, p, 8);
+  now_s = std::bit_cast<double>(now_bits);
+  std::uint32_t n;
+  std::memcpy(&n, p + 8, 4);
+  p += 12;
+  if (static_cast<std::size_t>(end - p) <
+      std::uint64_t{n} * kReadMinBytes) {
+    return false;
   }
-  return r.exhausted();
+  reads.resize(n);
+  const auto load_u32 = [](const std::uint8_t* q) {
+    std::uint32_t v;
+    std::memcpy(&v, q, 4);
+    return v;
+  };
+  const auto load_f64 = [](const std::uint8_t* q) {
+    std::uint64_t v;
+    std::memcpy(&v, q, 8);
+    return std::bit_cast<double>(v);
+  };
+  for (TagRead& read : reads) {
+    if (static_cast<std::size_t>(end - p) < 4) return false;
+    const std::uint32_t len = load_u32(p);
+    p += 4;
+    if (static_cast<std::size_t>(end - p) < std::uint64_t{len} + kFixedBytes) {
+      return false;
+    }
+    read.tag_id.assign(reinterpret_cast<const char*>(p), len);
+    p += len;
+    read.antenna = load_u32(p);
+    read.channel = load_u32(p + 4);
+    read.frequency_hz = load_f64(p + 8);
+    read.time_s = load_f64(p + 16);
+    read.phase = load_f64(p + 24);
+    read.rssi_dbm = load_f64(p + 32);
+    p += kFixedBytes;
+  }
+  return p == end;
 }
 
-std::vector<std::uint8_t> encode_stream_results(
-    std::span<const StreamedResult> results) {
-  std::vector<std::uint8_t> out;
-  ByteWriter w(out);
+void encode_stream_results_into(ByteWriter& w,
+                                std::span<const StreamedResult> results) {
   w.u32(static_cast<std::uint32_t>(results.size()));
   for (const StreamedResult& emission : results) {
     w.str(emission.tag_id);
     w.f64(emission.completed_at_s);
     append_result(w, emission.result);
   }
+}
+
+std::vector<std::uint8_t> encode_stream_results(
+    std::span<const StreamedResult> results) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  encode_stream_results_into(w, results);
   return out;
 }
 
@@ -262,10 +394,15 @@ bool decode_stream_results(std::span<const std::uint8_t> payload,
   return r.exhausted();
 }
 
-std::vector<std::uint8_t> encode_track_events(
-    std::span<const track::TrackEvent> events) {
-  std::vector<std::uint8_t> out;
-  ByteWriter w(out);
+void encode_track_events_into(ByteWriter& w,
+                              std::span<const track::TrackEvent> events) {
+  // Per event: id prefix + id bytes + time + 4 flag bytes + 7 doubles +
+  // the updates counter.
+  std::size_t total = 4;
+  for (const track::TrackEvent& ev : events) {
+    total += 4 + ev.tag_id.size() + 8 + 4 + 7 * 8 + 8;
+  }
+  w.reserve(total);
   w.u32(static_cast<std::uint32_t>(events.size()));
   for (const track::TrackEvent& ev : events) {
     w.str(ev.tag_id);
@@ -283,6 +420,13 @@ std::vector<std::uint8_t> encode_track_events(
     w.f64(ev.rate_rad_s);
     w.u64(ev.updates);
   }
+}
+
+std::vector<std::uint8_t> encode_track_events(
+    std::span<const track::TrackEvent> events) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  encode_track_events_into(w, events);
   return out;
 }
 

@@ -72,7 +72,8 @@ double factored_rss_cell(const FactoredStats& stats, const double* dist_t,
 
 /// Tag-batched variant: rank the same cells for `n_stats` rounds that
 /// share one distance table, streaming the table once per tag *tile*
-/// (pairs on AVX2, quads on AVX-512) instead of once per tag. Writes
+/// (pairs on AVX2; eight-tag tiles, then quads, on AVX-512) instead of
+/// once per tag. Writes
 /// outs[b][cell - cell_begin] and mins[b] exactly as `n_stats`
 /// independent factored_rss_run calls would — per-cell arithmetic is
 /// per-tag, so every output double is bit-identical to the single-tag

@@ -1,6 +1,7 @@
 /// AVX-512F factored-rss kernels: 8 doubles per instruction, with the
-/// skip-NaN minimum folded into the batch loop and a four-tag fused tile
-/// for the batched entry point. Compiled with -mavx512f -mfma
+/// skip-NaN minimum folded into the batch loop and fused multi-tag tiles
+/// (eight tags × 8 cells, then four tags × 16 cells) for the batched
+/// entry point. Compiled with -mavx512f -mfma
 /// -ffp-contract=off on x86-64 builds only; the dispatching entry points
 /// never route here unless cpuid said the instructions exist.
 ///
@@ -281,6 +282,90 @@ void factored_rss_quad_avx512(const FactoredStats& s0,
   }
 }
 
+/// Eight tags fused over one stream of the distance planes: each 8-cell
+/// block loads d once (one zmm) and applies all eight tags' coefficient
+/// FMAs, so a batch of B tags reads the table ceil(B/8) times — half the
+/// quad tile's traffic. 16 accumulators + 1 distance register + the
+/// broadcast temps fit the 32 zmm registers without spilling (the
+/// narrower 8-cell block is what buys the headroom the quad tile spends
+/// on a second cell column). Same per-lane fma/fma-fma/mul-mul-sub chain
+/// as every other level, so the outputs stay bit-identical. Requires all
+/// eight stats to share n_antennas (same GridTable).
+void factored_rss_oct_avx512(const FactoredStats* const* st,
+                             const double* dist_t, std::size_t cell_stride,
+                             std::size_t cell_begin, std::size_t cell_end,
+                             double* const* outs, double* mins) {
+  const std::size_t n_antennas = st[0]->n_antennas;
+  __m512d c1[8], c2[8], inv_n[8];
+  for (int t = 0; t < 8; ++t) {
+    c1[t] = _mm512_set1_pd(st[t]->c1);
+    c2[t] = _mm512_set1_pd(st[t]->c2);
+    inv_n[t] = _mm512_set1_pd(st[t]->inv_n);
+  }
+  std::size_t cell = cell_begin;
+
+  // Like the quad tile, the minimum is left to a selection-only pass at
+  // the end — tracking it here would need 8 more live zmm registers and
+  // spill the accumulators.
+  for (; cell + 8 <= cell_end; cell += 8) {
+    __m512d acc[8], sq[8];
+    for (int t = 0; t < 8; ++t) {
+      acc[t] = c1[t];
+      sq[t] = c2[t];
+    }
+    for (std::size_t a = 0; a < n_antennas; ++a) {
+      const __m512d d = _mm512_loadu_pd(dist_t + a * cell_stride + cell);
+      for (int t = 0; t < 8; ++t) {
+        const __m512d q1 = _mm512_set1_pd(st[t]->q1[a]);
+        const __m512d p1 = _mm512_set1_pd(st[t]->p1[a]);
+        const __m512d p2 = _mm512_set1_pd(st[t]->p2[a]);
+        acc[t] = _mm512_fmadd_pd(q1, d, acc[t]);
+        sq[t] = _mm512_fmadd_pd(_mm512_fmadd_pd(p2, d, p1), d, sq[t]);
+      }
+    }
+    const std::size_t off = cell - cell_begin;
+    for (int t = 0; t < 8; ++t) {
+      const __m512d ms =
+          _mm512_mul_pd(_mm512_mul_pd(acc[t], acc[t]), inv_n[t]);
+      const __m512d rss = _mm512_sub_pd(sq[t], ms);
+      _mm512_storeu_pd(outs[t] + off, rss);
+    }
+  }
+
+  for (; cell < cell_end; ++cell) {
+    const std::size_t off = cell - cell_begin;
+    for (int t = 0; t < 8; ++t) {
+      double acc = st[t]->c1;
+      double acc2 = st[t]->c2;
+      for (std::size_t a = 0; a < n_antennas; ++a) {
+        const double d = dist_t[a * cell_stride + cell];
+        acc = std::fma(st[t]->q1[a], d, acc);
+        acc2 = std::fma(std::fma(st[t]->p2[a], d, st[t]->p1[a]), d, acc2);
+      }
+      const double mean_sq = (acc * acc) * st[t]->inv_n;
+      const double rss = acc2 - mean_sq;
+      outs[t][off] = rss;
+    }
+  }
+
+  // Selection-only min pass (skip-NaN semantics as everywhere else).
+  const std::size_t count = cell_end - cell_begin;
+  const __m512d inf = _mm512_set1_pd(std::numeric_limits<double>::infinity());
+  for (int t = 0; t < 8; ++t) {
+    __m512d vmin = inf;
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+      vmin = min_skip_nan(_mm512_loadu_pd(outs[t] + i), vmin);
+    }
+    double min = reduce_min_skip_nan(vmin, inf);
+    for (; i < count; ++i) {
+      const double v = outs[t][i];
+      min = v < min ? v : min;
+    }
+    mins[t] = min;
+  }
+}
+
 }  // namespace
 
 void factored_rss_run_batch_avx512(const FactoredStats* stats,
@@ -290,6 +375,19 @@ void factored_rss_run_batch_avx512(const FactoredStats* stats,
                                    std::size_t cell_end, double* const* outs,
                                    double* mins) {
   std::size_t b = 0;
+  // Widest tile first: eight tags per table sweep when a full group
+  // shares n_antennas, then the four-tag tile, then one at a time.
+  for (; b + 8 <= n_stats; b += 8) {
+    bool same = true;
+    for (std::size_t t = b + 1; t < b + 8; ++t) {
+      same = same && stats[b].n_antennas == stats[t].n_antennas;
+    }
+    if (!same) break;
+    const FactoredStats* group[8];
+    for (int t = 0; t < 8; ++t) group[t] = &stats[b + t];
+    factored_rss_oct_avx512(group, dist_t, cell_stride, cell_begin, cell_end,
+                            outs + b, mins + b);
+  }
   for (; b + 4 <= n_stats; b += 4) {
     if (stats[b].n_antennas == stats[b + 1].n_antennas &&
         stats[b].n_antennas == stats[b + 2].n_antennas &&

@@ -269,11 +269,12 @@ TEST(SimdKernels, BatchedRunMatchesPerTagAtEveryLevel) {
   Rng rng(4113);
   // The batched entry must write the exact doubles of B independent
   // single-tag runs over the shared table — including around the pair
-  // (AVX2) and quad (AVX-512) tile boundaries and their remainders.
+  // (AVX2), quad and oct (AVX-512) tile boundaries and their remainders.
   const std::size_t n_antennas = 6;
   for (Level level : runnable_levels()) {
     SCOPED_TRACE(name(level));
-    for (std::size_t batch : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 11u}) {
+    for (std::size_t batch :
+         {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 11u, 12u, 16u}) {
       for (std::size_t n_cells : {1u, 7u, 16u, 33u, 100u}) {
         const std::size_t stride = padded_stride(n_cells + 6);
         const AlignedVector<double> dist =
@@ -319,6 +320,44 @@ TEST(SimdKernels, BatchedRunFallsBackOnMixedAntennaCounts) {
   // the batch must quietly fall back to single-tag runs for them.
   const std::size_t n_cells = 41, stride = padded_stride(n_cells);
   const std::size_t counts[] = {6, 3, 6, 6, 2, 6, 6, 6};
+  const AlignedVector<double> dist = random_planes(rng, 6, stride);
+  std::vector<StatsFixture> tags;
+  tags.reserve(std::size(counts));
+  std::vector<FactoredStats> stats;
+  for (std::size_t c : counts) {
+    tags.emplace_back(rng, c);
+    stats.push_back(tags.back().stats);
+  }
+  for (Level level : runnable_levels()) {
+    SCOPED_TRACE(name(level));
+    std::vector<std::vector<double>> batch_out(
+        stats.size(), std::vector<double>(n_cells, -2.0));
+    std::vector<double*> outs;
+    for (auto& o : batch_out) outs.push_back(o.data());
+    std::vector<double> mins(stats.size(), -3.0);
+    factored_rss_run_batch(level, stats.data(), stats.size(), dist.data(),
+                           stride, 0, n_cells, outs.data(), mins.data());
+    for (std::size_t b = 0; b < stats.size(); ++b) {
+      std::vector<double> single(n_cells, -1.0);
+      const double single_min = factored_rss_run(
+          level, stats[b], dist.data(), stride, 0, n_cells, single.data());
+      ASSERT_EQ(std::memcmp(single.data(), batch_out[b].data(),
+                            n_cells * sizeof(double)),
+                0)
+          << "tag=" << b;
+      ASSERT_EQ(single_min, mins[b]) << "tag=" << b;
+    }
+  }
+}
+
+TEST(SimdKernels, BatchedRunOctTileThenMixedGroupFallsBack) {
+  Rng rng(4117);
+  // First eight tags share an antenna count (the AVX-512 oct tile takes
+  // them); the next group mixes counts, so the dispatcher must degrade
+  // through the narrower tiles/single runs without disturbing the first
+  // group's outputs.
+  const std::size_t n_cells = 53, stride = padded_stride(n_cells);
+  const std::size_t counts[] = {6, 6, 6, 6, 6, 6, 6, 6, 6, 3, 6, 6, 2, 6};
   const AlignedVector<double> dist = random_planes(rng, 6, stride);
   std::vector<StatsFixture> tags;
   tags.reserve(std::size(counts));

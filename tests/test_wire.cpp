@@ -6,6 +6,7 @@
 
 #include "rfp/net/wire.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -523,6 +524,160 @@ TEST(FrameDecoderTest, FuzzedFramesNeverCrashTheDecoder) {
   // Sanity: the fuzz actually produced both parses and rejections.
   EXPECT_GT(frames, 0u);
   EXPECT_GT(errors, 0u);
+}
+
+// -- FrameView lifetime contract ------------------------------------------
+// next(FrameView&) hands out spans into the decoder's own storage. These
+// suites pin the two halves of the contract — feed() never invalidates an
+// outstanding view (even when it must reallocate), and compaction between
+// frames never corrupts pending bytes. Every span is read byte-by-byte
+// after the hazardous operation, so a stale pointer is an ASan report,
+// not a silent pass.
+
+std::vector<std::uint8_t> patterned(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed + i * 131u);
+  }
+  return out;
+}
+
+TEST(FrameViewTest, PayloadMatchesCopyingApiExactly) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint32_t seq = 0; seq < 6; ++seq) {
+    net::append_frame(stream, FrameType::kStreamPush, seq,
+                      patterned(seq * 37, static_cast<std::uint8_t>(seq)));
+  }
+  FrameDecoder by_view;
+  FrameDecoder by_copy;
+  by_view.feed(stream);
+  by_copy.feed(stream);
+  for (;;) {
+    net::FrameView view;
+    Frame frame;
+    const DecodeStatus vs = by_view.next(view);
+    const DecodeStatus fs = by_copy.next(frame);
+    ASSERT_EQ(vs, fs);
+    if (vs != DecodeStatus::kFrame) break;
+    EXPECT_EQ(view.type, frame.type);
+    EXPECT_EQ(view.seq, frame.seq);
+    ASSERT_EQ(view.payload.size(), frame.payload.size());
+    EXPECT_TRUE(std::equal(view.payload.begin(), view.payload.end(),
+                           frame.payload.begin()));
+  }
+}
+
+TEST(FrameViewTest, ViewSurvivesReallocatingFeeds) {
+  // Hold a view while later feeds force the decoder's buffer to
+  // reallocate repeatedly. The retired-block mechanism must keep the
+  // viewed bytes alive and unmoved through all of it.
+  const std::vector<std::uint8_t> first_payload = patterned(100, 7);
+  const std::vector<std::uint8_t> big_payload = patterned(256 * 1024, 43);
+  const auto first = net::encode_frame(FrameType::kPing, 1, first_payload);
+  const auto big =
+      net::encode_frame(FrameType::kSenseRequest, 2, big_payload);
+
+  FrameDecoder decoder;
+  decoder.feed(first);
+  net::FrameView view;
+  ASSERT_EQ(decoder.next(view), DecodeStatus::kFrame);
+  ASSERT_EQ(view.payload.size(), first_payload.size());
+  const std::uint8_t* before = view.payload.data();
+
+  // Feed the big frame in chunks; several of these appends overflow the
+  // current capacity and reallocate under the outstanding view.
+  constexpr std::size_t kChunk = 64 * 1024;
+  for (std::size_t off = 0; off < big.size(); off += kChunk) {
+    decoder.feed({big.data() + off, std::min(kChunk, big.size() - off)});
+    EXPECT_TRUE(std::equal(view.payload.begin(), view.payload.end(),
+                           first_payload.begin()))
+        << "view corrupted after feeding " << off + kChunk << " bytes";
+  }
+  // The span must not have been moved out from under the caller either.
+  EXPECT_EQ(view.payload.data(), before);
+
+  ASSERT_EQ(decoder.next(view), DecodeStatus::kFrame);
+  EXPECT_EQ(view.seq, 2u);
+  ASSERT_EQ(view.payload.size(), big_payload.size());
+  EXPECT_TRUE(std::equal(view.payload.begin(), view.payload.end(),
+                         big_payload.begin()));
+}
+
+TEST(FrameViewTest, CompactionBetweenFramesPreservesPendingBytes) {
+  // Many KB-sized frames parsed from one feed: the dead-prefix erase
+  // triggers repeatedly mid-stream, and every later payload must still
+  // read back exactly.
+  std::vector<std::uint8_t> stream;
+  constexpr std::uint32_t kFrames = 64;
+  for (std::uint32_t seq = 0; seq < kFrames; ++seq) {
+    net::append_frame(stream, FrameType::kStreamPush, seq,
+                      patterned(1024 + seq, static_cast<std::uint8_t>(seq)));
+  }
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  for (std::uint32_t seq = 0; seq < kFrames; ++seq) {
+    net::FrameView view;
+    ASSERT_EQ(decoder.next(view), DecodeStatus::kFrame) << "frame " << seq;
+    EXPECT_EQ(view.seq, seq);
+    const std::vector<std::uint8_t> expect =
+        patterned(1024 + seq, static_cast<std::uint8_t>(seq));
+    ASSERT_EQ(view.payload.size(), expect.size());
+    EXPECT_TRUE(std::equal(view.payload.begin(), view.payload.end(),
+                           expect.begin()));
+  }
+  net::FrameView view;
+  EXPECT_EQ(decoder.next(view), DecodeStatus::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameViewTest, FuzzedFeedsNeverInvalidateAnOutstandingView) {
+  // Randomized interleaving of feed() and next(FrameView&): after every
+  // feed, the most recent view (obtained before that feed) is re-read in
+  // full and compared against its snapshot. Chunk sizes are drawn to
+  // straddle every boundary — sub-header, mid-payload, multi-frame.
+  Rng rng(mix_seed(2026, 0xFEED));
+  std::size_t frames = 0, survivals = 0;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::vector<std::uint8_t> stream;
+    const std::size_t n_frames = 1 + rng.uniform_index(8);
+    for (std::size_t f = 0; f < n_frames; ++f) {
+      net::append_frame(
+          stream, FrameType::kStreamPush, static_cast<std::uint32_t>(f),
+          patterned(rng.uniform_index(4096), static_cast<std::uint8_t>(f)));
+    }
+    FrameDecoder decoder;
+    net::FrameView view;
+    std::vector<std::uint8_t> snapshot;
+    bool view_live = false;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t chunk =
+          std::min(stream.size() - offset, 1 + rng.uniform_index(1500));
+      decoder.feed({stream.data() + offset, chunk});
+      offset += chunk;
+      if (view_live) {
+        ASSERT_EQ(view.payload.size(), snapshot.size());
+        ASSERT_TRUE(std::equal(view.payload.begin(), view.payload.end(),
+                               snapshot.begin()))
+            << "iteration " << iteration;
+        ++survivals;
+      }
+      // At most one next() per feed so the view obtained here is the one
+      // still outstanding when the following feed lands.
+      if (decoder.next(view) == DecodeStatus::kFrame) {
+        snapshot.assign(view.payload.begin(), view.payload.end());
+        view_live = true;
+        ++frames;
+      } else {
+        view_live = false;
+      }
+    }
+    // Drain what the one-next-per-feed pacing left buffered.
+    while (decoder.next(view) == DecodeStatus::kFrame) ++frames;
+  }
+  // Sanity: the interleaving actually exercised the hazard.
+  EXPECT_GT(frames, 0u);
+  EXPECT_GT(survivals, 0u);
 }
 
 }  // namespace

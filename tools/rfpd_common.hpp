@@ -38,6 +38,9 @@ struct DaemonOptions {
   std::size_t max_connections = 64;
   std::size_t max_pending = 32;   ///< per-connection backpressure limit
   std::size_t max_tenants = 16;   ///< deployment-registry capacity
+  /// Per-reactor buffer-pool residency cap (freelist slots per size
+  /// class); 0 keeps the BufferPoolConfig default.
+  std::size_t pool_buffers = 0;
   bool pyramid = false;           ///< coarse-to-fine Stage-A search
   bool uncached = false;          ///< disable the geometry cache
   bool scalar = false;            ///< scalar factored ranking (no SIMD)
@@ -119,6 +122,9 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   server_config.max_tenants = options.max_tenants;
   server_config.idle_timeout_s = options.idle_timeout_s;
   server_config.tracking.enable = options.track;
+  if (options.pool_buffers > 0) {
+    server_config.pool.max_buffers_per_class = options.pool_buffers;
+  }
   net::Server server(prism, engine, server_config);
 
   detail::g_server.store(&server, std::memory_order_relaxed);
@@ -180,6 +186,18 @@ inline int run_daemon(const char* name, const DaemonOptions& options) {
   std::printf("  bytes        in %llu  out %llu\n",
               static_cast<unsigned long long>(stats.bytes_received),
               static_cast<unsigned long long>(stats.bytes_sent));
+  std::printf("  datapath     pool hits %llu  misses %llu  discards %llu"
+              "  resident %llu B\n",
+              static_cast<unsigned long long>(stats.pool_hits),
+              static_cast<unsigned long long>(stats.pool_misses),
+              static_cast<unsigned long long>(stats.pool_discards),
+              static_cast<unsigned long long>(stats.pool_bytes_resident));
+  std::printf("               frames spliced %llu  coalesced %llu"
+              " (%llu B)  writev calls %llu\n",
+              static_cast<unsigned long long>(stats.frames_spliced),
+              static_cast<unsigned long long>(stats.frames_coalesced),
+              static_cast<unsigned long long>(stats.bytes_coalesced),
+              static_cast<unsigned long long>(stats.writev_calls));
   std::printf("  sessions     opened %llu  closed %llu  tenants %zu"
               "  evicted %llu\n",
               static_cast<unsigned long long>(stats.sessions_opened),

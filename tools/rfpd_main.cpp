@@ -10,6 +10,7 @@
 ///   rfpd [--port N] [--bind ADDR] [--threads N] [--reactors N]
 ///        [--seed S] [--antennas N] [--multipath] [--idle-timeout SEC]
 ///        [--max-conns N] [--max-pending N] [--max-tenants N]
+///        [--pool-buffers N]
 ///        [--geometry FILE] [--calibration FILE]
 ///        [--pyramid] [--uncached] [--scalar] [--no-batch-rank]
 ///        [--drift] [--track]
@@ -38,7 +39,8 @@ int usage() {
                "            [--reactors N] [--seed S] [--antennas N]\n"
                "            [--multipath] [--idle-timeout SEC]\n"
                "            [--max-conns N] [--max-pending N]\n"
-               "            [--max-tenants N] [--geometry FILE]\n"
+               "            [--max-tenants N] [--pool-buffers N]\n"
+               "            [--geometry FILE]\n"
                "            [--calibration FILE] [--pyramid] [--uncached]\n"
                "            [--scalar] [--no-batch-rank] [--drift]\n"
                "            [--track]\n");
@@ -81,6 +83,8 @@ int main(int argc, char** argv) {
         options.max_pending = std::stoull(next());
       } else if (arg == "--max-tenants") {
         options.max_tenants = std::stoull(next());
+      } else if (arg == "--pool-buffers") {
+        options.pool_buffers = std::stoull(next());
       } else if (arg == "--geometry") {
         options.geometry_path = next();
       } else if (arg == "--calibration") {

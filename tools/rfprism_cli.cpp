@@ -97,6 +97,7 @@ int usage() {
                "                [--reactors N] [--seed S] [--antennas N]\n"
                "                [--multipath] [--idle-timeout SEC]\n"
                "                [--max-conns N] [--max-tenants N]\n"
+               "                [--pool-buffers N]\n"
                "                [--geometry FILE] [--calibration FILE]\n"
                "                [--pyramid] [--uncached] [--scalar] [--drift]\n"
                "                [--no-batch-rank] [--track]\n"
@@ -1108,6 +1109,8 @@ int main(int argc, char** argv) {
           options.max_connections = std::stoull(next());
         } else if (arg == "--max-tenants") {
           options.max_tenants = std::stoull(next());
+        } else if (arg == "--pool-buffers") {
+          options.pool_buffers = std::stoull(next());
         } else if (arg == "--geometry") {
           options.geometry_path = next();
         } else if (arg == "--calibration") {
